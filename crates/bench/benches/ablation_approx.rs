@@ -1,0 +1,45 @@
+//! Ablation: the approximate quotient (one 64-bit division on the top
+//! words) against the exact multiword quotient (Fast Euclid) — the paper's
+//! central design decision. Iteration counts are near-identical (Table IV's
+//! (E)−(B) column); per-iteration cost is what differs.
+
+use bulkgcd_bench::{iteration_summary, rsa_modulus_pairs};
+use bulkgcd_core::{run, Algorithm, GcdPair, NoProbe, Termination};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_quotient_strategy(c: &mut Criterion) {
+    let bits = 1024u64;
+    let pairs = rsa_modulus_pairs(8, bits, 51);
+    let term = Termination::Early {
+        threshold_bits: bits / 2,
+    };
+
+    // The iteration-count side of the ablation, printed once.
+    let exact = iteration_summary(Algorithm::Fast, &pairs, term);
+    let approx = iteration_summary(Algorithm::Approximate, &pairs, term);
+    println!(
+        "[ablation_approx] mean iterations: exact-quotient {:.2} vs approx-quotient {:.2} (gap {:+.4})",
+        exact.mean_iterations,
+        approx.mean_iterations,
+        approx.mean_iterations - exact.mean_iterations
+    );
+
+    let mut group = c.benchmark_group("quotient_strategy_1024bit");
+    for algo in [Algorithm::Fast, Algorithm::Approximate] {
+        group.bench_function(BenchmarkId::from_parameter(algo.name()), |b| {
+            let mut ws = GcdPair::with_capacity(1);
+            let mut i = 0;
+            b.iter(|| {
+                let (x, y) = &pairs[i % pairs.len()];
+                i += 1;
+                ws.load(x, y);
+                black_box(run(algo, &mut ws, term, &mut NoProbe))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_quotient_strategy);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Ablation: column-wise vs row-wise arrangement (the Fig. 3 design
+//! choice). Benchmarks the *simulation* of both layouts and reports the
+//! modelled UMM time units via Criterion's output; the interesting number
+//! is the simulated ratio printed once per run.
+
+use bulkgcd_bench::odd_pairs;
+use bulkgcd_core::{Algorithm, Termination};
+use bulkgcd_umm::gcd_trace::bulk_gcd_trace;
+use bulkgcd_umm::{simulate, Layout, UmmConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_layout(c: &mut Criterion) {
+    let inputs = odd_pairs(64, 512, 31);
+    let bulk = bulk_gcd_trace(
+        Algorithm::Approximate,
+        &inputs,
+        Termination::Early { threshold_bits: 256 },
+    );
+    let cfg = UmmConfig::new(32, 32);
+
+    // Report the modelled effect once.
+    let col = simulate(&bulk, Layout::ColumnWise, cfg);
+    let row = simulate(&bulk, Layout::RowWise, cfg);
+    println!(
+        "[ablation_layout] UMM time units: column-wise {} vs row-wise {} ({:.1}x)",
+        col.time_units,
+        row.time_units,
+        row.time_units as f64 / col.time_units as f64
+    );
+
+    let mut group = c.benchmark_group("umm_simulate");
+    group.sample_size(10);
+    for layout in [Layout::ColumnWise, Layout::RowWise] {
+        group.bench_function(BenchmarkId::from_parameter(format!("{layout:?}")), |b| {
+            b.iter(|| black_box(simulate(&bulk, layout, cfg)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_layout);
+criterion_main!(benches);

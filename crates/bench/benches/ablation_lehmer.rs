@@ -1,0 +1,66 @@
+//! Ablation (extension): the paper's Approximate Euclid against full
+//! Lehmer (Knuth Algorithm L) — the classical way to batch Euclid steps.
+//! Lehmer does fewer multiword passes but each pass runs a long, highly
+//! divergent 64-bit cosequence loop; the paper's one-shot approximation is
+//! what makes the SIMT version tick.
+
+use bulkgcd_bench::rsa_modulus_pairs;
+use bulkgcd_core::lehmer::lehmer_euclid;
+use bulkgcd_core::{run, Algorithm, GcdPair, NoProbe, StatsProbe, Termination};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_lehmer_vs_approximate(c: &mut Criterion) {
+    let bits = 1024u64;
+    let pairs = rsa_modulus_pairs(8, bits, 61);
+    let term = Termination::Early {
+        threshold_bits: bits / 2,
+    };
+
+    // Multiword-pass counts, printed once.
+    let mut ws = GcdPair::with_capacity(1);
+    let mut approx_iters = 0u64;
+    let mut lehmer_iters = 0u64;
+    for (a, b) in &pairs {
+        ws.load(a, b);
+        let mut sp = StatsProbe::default();
+        run(Algorithm::Approximate, &mut ws, term, &mut sp);
+        approx_iters += sp.stats.iterations;
+        ws.load(a, b);
+        let mut sp = StatsProbe::default();
+        lehmer_euclid(&mut ws, term, &mut sp);
+        lehmer_iters += sp.stats.iterations;
+    }
+    println!(
+        "[ablation_lehmer] multiword passes over {} pairs: approximate {} vs lehmer {}",
+        pairs.len(),
+        approx_iters,
+        lehmer_iters
+    );
+
+    let mut group = c.benchmark_group("quotient_batching_1024bit");
+    group.bench_function(BenchmarkId::from_parameter("approximate_euclid"), |b| {
+        let mut ws = GcdPair::with_capacity(1);
+        let mut i = 0;
+        b.iter(|| {
+            let (x, y) = &pairs[i % pairs.len()];
+            i += 1;
+            ws.load(x, y);
+            black_box(run(Algorithm::Approximate, &mut ws, term, &mut NoProbe))
+        });
+    });
+    group.bench_function(BenchmarkId::from_parameter("lehmer"), |b| {
+        let mut ws = GcdPair::with_capacity(1);
+        let mut i = 0;
+        b.iter(|| {
+            let (x, y) = &pairs[i % pairs.len()];
+            i += 1;
+            ws.load(x, y);
+            black_box(lehmer_euclid(&mut ws, term, &mut NoProbe))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_lehmer_vs_approximate);
+criterion_main!(benches);

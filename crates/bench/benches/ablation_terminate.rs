@@ -1,0 +1,38 @@
+//! Ablation: early termination vs running to Y = 0 (the §V design choice
+//! that halves iteration counts for RSA moduli).
+
+use bulkgcd_bench::rsa_modulus_pairs;
+use bulkgcd_core::{run, Algorithm, GcdPair, NoProbe, Termination};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_terminate(c: &mut Criterion) {
+    for bits in [512u64, 1024] {
+        let pairs = rsa_modulus_pairs(8, bits, 41);
+        let mut group = c.benchmark_group(format!("approx_{bits}bit"));
+        for (name, term) in [
+            ("non_terminate", Termination::Full),
+            (
+                "early_terminate",
+                Termination::Early {
+                    threshold_bits: bits / 2,
+                },
+            ),
+        ] {
+            group.bench_function(BenchmarkId::from_parameter(name), |b| {
+                let mut ws = GcdPair::with_capacity(1);
+                let mut i = 0;
+                b.iter(|| {
+                    let (x, y) = &pairs[i % pairs.len()];
+                    i += 1;
+                    ws.load(x, y);
+                    black_box(run(Algorithm::Approximate, &mut ws, term, &mut NoProbe))
+                });
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_terminate);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Extension bench: the paper's pairwise all-pairs scan against the
+//! product/remainder-tree batch GCD (the pre-existing attack). Pairwise is
+//! O(m²) cheap-per-pair; batch GCD is quasi-linear with huge constants —
+//! the crossover is the interesting artifact.
+
+use bulkgcd_bulk::{batch_gcd, scan_cpu};
+use bulkgcd_core::Algorithm;
+use bulkgcd_rsa::build_corpus;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_batch_vs_pairwise(c: &mut Criterion) {
+    for m in [16usize, 64] {
+        let mut rng = StdRng::seed_from_u64(m as u64);
+        let corpus = build_corpus(&mut rng, m, 512, 1);
+        let moduli = corpus.moduli();
+
+        let mut group = c.benchmark_group(format!("weak_key_scan_m{m}_512bit"));
+        group.sample_size(10);
+        group.bench_function(BenchmarkId::from_parameter("pairwise_approx_euclid"), |b| {
+            b.iter(|| black_box(scan_cpu(&moduli, Algorithm::Approximate, true)))
+        });
+        group.bench_function(BenchmarkId::from_parameter("batch_gcd"), |b| {
+            b.iter(|| black_box(batch_gcd(&moduli)))
+        });
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_batch_vs_pairwise);
+criterion_main!(benches);

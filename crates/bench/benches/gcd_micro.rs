@@ -1,0 +1,38 @@
+//! Criterion micro-benchmarks: one GCD for each of the five Euclidean
+//! variants at several modulus sizes (the CPU column of Table V, under a
+//! statistics-grade harness).
+
+use bulkgcd_bench::rsa_modulus_pairs;
+use bulkgcd_core::{run, Algorithm, GcdPair, NoProbe, Termination};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_gcd(c: &mut Criterion) {
+    for bits in [512u64, 1024] {
+        let pairs = rsa_modulus_pairs(8, bits, 123);
+        let mut group = c.benchmark_group(format!("gcd_{bits}bit_early"));
+        for algo in Algorithm::ALL {
+            group.bench_function(BenchmarkId::from_parameter(algo.tag()), |b| {
+                let mut ws = GcdPair::with_capacity(1);
+                let mut i = 0;
+                b.iter(|| {
+                    let (x, y) = &pairs[i % pairs.len()];
+                    i += 1;
+                    ws.load(x, y);
+                    black_box(run(
+                        algo,
+                        &mut ws,
+                        Termination::Early {
+                            threshold_bits: bits / 2,
+                        },
+                        &mut NoProbe,
+                    ))
+                });
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_gcd);
+criterion_main!(benches);

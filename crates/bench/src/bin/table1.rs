@@ -1,0 +1,56 @@
+//! Reproduces **Table I**: the step-by-step traces of Binary Euclidean and
+//! Fast Binary Euclidean on X = 1043915, Y = 768955 with 4-bit words,
+//! asserting the paper's iteration counts (24 and 16).
+//!
+//! Run: `cargo run -p bulkgcd-bench --bin table1`
+
+use bulkgcd_bigint::Nat;
+use bulkgcd_core::smallword::trace;
+use bulkgcd_core::Algorithm;
+
+const X: u128 = 1_043_915;
+const Y: u128 = 768_955;
+
+fn grouped(v: u128) -> String {
+    if v == 0 {
+        "0000".to_string()
+    } else {
+        Nat::from_u128(v).to_binary_grouped()
+    }
+}
+
+fn main() {
+    println!("TABLE I. An example of computation performed by Binary Euclidean");
+    println!("algorithm and Fast Binary Euclidean algorithm");
+    println!();
+    let bin = trace(Algorithm::Binary, X, Y, 4);
+    let fast = trace(Algorithm::FastBinary, X, Y, 4);
+    let rows = bin.rows.len().max(fast.rows.len());
+    println!(
+        "{:>3} | {:<26} {:<26} | {:<26} {:<26}",
+        "#", "Binary X", "Binary Y", "Fast Binary X", "Fast Binary Y"
+    );
+    for i in 0..rows {
+        let b = bin.rows.get(i);
+        let f = fast.rows.get(i);
+        println!(
+            "{:>3} | {:<26} {:<26} | {:<26} {:<26}",
+            i + 1,
+            b.map_or(String::new(), |r| grouped(r.x_after)),
+            b.map_or(String::new(), |r| grouped(r.y_after)),
+            f.map_or(String::new(), |r| grouped(r.x_after)),
+            f.map_or(String::new(), |r| grouped(r.y_after)),
+        );
+    }
+    println!();
+    println!(
+        "Binary Euclidean: {} iterations (paper: 24); Fast Binary: {} iterations (paper: 16)",
+        bin.iterations(),
+        fast.iterations()
+    );
+    println!("GCD = {} (paper: 0101 = 5)", grouped(bin.gcd));
+    assert_eq!(bin.iterations(), 24);
+    assert_eq!(fast.iterations(), 16);
+    assert_eq!(bin.gcd, 5);
+    assert_eq!(fast.gcd, 5);
+}

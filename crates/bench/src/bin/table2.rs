@@ -1,0 +1,61 @@
+//! Reproduces **Table II**: the traces of Original Euclidean and Fast
+//! Euclidean (with quotient column) on the paper's running example,
+//! asserting the iteration counts (11 and 8) and the exact quotient
+//! sequences.
+//!
+//! Run: `cargo run -p bulkgcd-bench --bin table2`
+
+use bulkgcd_bigint::Nat;
+use bulkgcd_core::smallword::trace;
+use bulkgcd_core::Algorithm;
+
+const X: u128 = 1_043_915;
+const Y: u128 = 768_955;
+
+fn grouped(v: u128) -> String {
+    if v == 0 {
+        "0000".to_string()
+    } else {
+        Nat::from_u128(v).to_binary_grouped()
+    }
+}
+
+fn main() {
+    println!("TABLE II. An example of computation performed by Original Euclidean");
+    println!("algorithm and Fast Euclidean algorithm");
+    println!();
+    let orig = trace(Algorithm::Original, X, Y, 4);
+    let fast = trace(Algorithm::Fast, X, Y, 4);
+    let rows = orig.rows.len().max(fast.rows.len());
+    println!(
+        "{:>3} | {:<26} {:>5} | {:<26} {:>5}",
+        "#", "Original X after", "Q", "Fast X after", "Q"
+    );
+    for i in 0..rows {
+        let o = orig.rows.get(i);
+        let f = fast.rows.get(i);
+        println!(
+            "{:>3} | {:<26} {:>5} | {:<26} {:>5}",
+            i + 1,
+            o.map_or(String::new(), |r| grouped(r.x_after)),
+            o.and_then(|r| r.q).map_or(String::new(), |q| q.to_string()),
+            f.map_or(String::new(), |r| grouped(r.x_after)),
+            f.and_then(|r| r.q).map_or(String::new(), |q| q.to_string()),
+        );
+    }
+    let qo: Vec<u128> = orig.rows.iter().filter_map(|r| r.q).collect();
+    let qf: Vec<u128> = fast.rows.iter().filter_map(|r| r.q).collect();
+    println!();
+    println!(
+        "Original: {} iterations, Q = {qo:?} (paper: [1,2,1,3,1,10,1,83,1,4,2])",
+        orig.iterations()
+    );
+    println!(
+        "Fast: {} iterations, Q = {qf:?} (paper: [1,43,9,11,1,1,1,5])",
+        fast.iterations()
+    );
+    assert_eq!(orig.iterations(), 11);
+    assert_eq!(fast.iterations(), 8);
+    assert_eq!(qo, vec![1, 2, 1, 3, 1, 10, 1, 83, 1, 4, 2]);
+    assert_eq!(qf, vec![1, 43, 9, 11, 1, 1, 1, 5]);
+}

@@ -1,0 +1,55 @@
+//! Reproduces **Table III**: the Approximate Euclidean trace on the
+//! paper's running example with d = 4, including the `approx` case and
+//! (α, β) per iteration.
+//!
+//! Run: `cargo run -p bulkgcd-bench --bin table3`
+
+use bulkgcd_bigint::Nat;
+use bulkgcd_core::smallword::trace;
+use bulkgcd_core::Algorithm;
+
+const X: u128 = 1_043_915;
+const Y: u128 = 768_955;
+
+fn grouped(v: u128) -> String {
+    if v == 0 {
+        "0000".to_string()
+    } else {
+        Nat::from_u128(v).to_binary_grouped()
+    }
+}
+
+fn main() {
+    println!("TABLE III. An example of computation performed by Approximate");
+    println!("Euclidean algorithm (d = 4, D = 16)");
+    println!();
+    let t = trace(Algorithm::Approximate, X, Y, 4);
+    println!(
+        "{:>3} | {:<26} {:<26} | {:>5} {:>10}",
+        "#", "X after", "Y after", "CASE", "(a, b)"
+    );
+    for r in &t.rows {
+        println!(
+            "{:>3} | {:<26} {:<26} | {:>5} {:>10}",
+            r.iteration,
+            grouped(r.x_after),
+            grouped(r.y_after),
+            r.case.unwrap().label(),
+            format!("({}, {})", r.alpha.unwrap(), r.beta.unwrap()),
+        );
+    }
+    println!();
+    println!(
+        "{} iterations (paper: 9); GCD = {} (paper: 0101 = 5)",
+        t.iterations(),
+        grouped(t.gcd)
+    );
+    let cases: Vec<&str> = t.rows.iter().map(|r| r.case.unwrap().label()).collect();
+    assert_eq!(t.iterations(), 9);
+    assert_eq!(t.gcd, 5);
+    assert_eq!(
+        cases,
+        ["4-A", "4-A", "4-A", "4-B", "4-A", "3-B", "1", "1", "1"]
+    );
+    println!("Case sequence matches the paper: {cases:?}");
+}

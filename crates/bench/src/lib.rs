@@ -1,0 +1,228 @@
+//! Shared helpers for the reproduction harness binaries and benches.
+
+#![warn(missing_docs)]
+
+use bulkgcd_bigint::Nat;
+use bulkgcd_core::{run, Algorithm, GcdPair, StatsProbe, Termination};
+use bulkgcd_rsa::generate_keypair;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Deterministic RSA-modulus pairs for experiments: `n` pairs of `bits`-bit
+/// moduli (each the product of two `bits/2`-bit primes, OpenSSL-style).
+pub fn rsa_modulus_pairs(n: usize, bits: u64, seed: u64) -> Vec<(Nat, Nat)> {
+    let mut rng = StdRng::seed_from_u64(seed ^ bits);
+    (0..n)
+        .map(|_| {
+            (
+                generate_keypair(&mut rng, bits).public.n,
+                generate_keypair(&mut rng, bits).public.n,
+            )
+        })
+        .collect()
+}
+
+/// Deterministic random odd pairs (cheaper than full RSA moduli; identical
+/// iteration statistics for GCD purposes).
+pub fn odd_pairs(n: usize, bits: u64, seed: u64) -> Vec<(Nat, Nat)> {
+    use bulkgcd_bigint::random::random_odd_bits;
+    let mut rng = StdRng::seed_from_u64(seed ^ (bits << 1));
+    (0..n)
+        .map(|_| (random_odd_bits(&mut rng, bits), random_odd_bits(&mut rng, bits)))
+        .collect()
+}
+
+/// Online mean/variance accumulator (Welford).
+#[derive(Debug, Default, Clone)]
+pub struct Welford {
+    n: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl Welford {
+    /// Add one observation.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let d = x - self.mean;
+        self.mean += d / self.n as f64;
+        self.m2 += d * (x - self.mean);
+    }
+
+    /// Number of observations.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Sample standard deviation (0 with fewer than two observations).
+    pub fn std(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            (self.m2 / (self.n - 1) as f64).sqrt()
+        }
+    }
+
+    /// Half-width of the ~95% confidence interval of the mean.
+    pub fn ci95(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            1.96 * self.std() / (self.n as f64).sqrt()
+        }
+    }
+}
+
+/// Iteration statistics of `algo` over `pairs`.
+pub struct IterationSummary {
+    /// Mean do-while iterations per pair.
+    pub mean_iterations: f64,
+    /// Total iterations.
+    pub total_iterations: u64,
+    /// Total β>0 occurrences.
+    pub beta_nonzero: u64,
+    /// Total §IV memory operations.
+    pub mem_ops: u64,
+    /// Full distribution of per-pair iteration counts.
+    pub distribution: Welford,
+}
+
+/// Run `algo` over all `pairs` collecting iteration statistics.
+pub fn iteration_summary(
+    algo: Algorithm,
+    pairs: &[(Nat, Nat)],
+    term: Termination,
+) -> IterationSummary {
+    let mut ws = GcdPair::with_capacity(1);
+    let mut total = 0u64;
+    let mut beta = 0u64;
+    let mut mem = 0u64;
+    let mut dist = Welford::default();
+    for (a, b) in pairs {
+        ws.load(a, b);
+        let mut probe = StatsProbe::default();
+        run(algo, &mut ws, term, &mut probe);
+        total += probe.stats.iterations;
+        beta += probe.stats.beta_nonzero;
+        mem += probe.stats.mem_ops;
+        dist.push(probe.stats.iterations as f64);
+    }
+    IterationSummary {
+        mean_iterations: total as f64 / pairs.len().max(1) as f64,
+        total_iterations: total,
+        beta_nonzero: beta,
+        mem_ops: mem,
+        distribution: dist,
+    }
+}
+
+/// Wall-clock seconds per GCD for `algo` over `pairs`, single-threaded
+/// (the Table V CPU measurement).
+pub fn cpu_seconds_per_gcd(algo: Algorithm, pairs: &[(Nat, Nat)], term: Termination) -> f64 {
+    use bulkgcd_core::NoProbe;
+    let mut ws = GcdPair::with_capacity(1);
+    // Warm-up pass (allocation, caches).
+    if let Some((a, b)) = pairs.first() {
+        ws.load(a, b);
+        run(algo, &mut ws, term, &mut NoProbe);
+    }
+    let start = std::time::Instant::now();
+    for (a, b) in pairs {
+        ws.load(a, b);
+        std::hint::black_box(run(algo, &mut ws, term, &mut NoProbe));
+    }
+    start.elapsed().as_secs_f64() / pairs.len().max(1) as f64
+}
+
+/// Parse `--key value` style options from `std::env::args`.
+pub struct Options {
+    args: Vec<String>,
+}
+
+impl Options {
+    /// Capture the process arguments.
+    pub fn from_env() -> Self {
+        Options {
+            args: std::env::args().skip(1).collect(),
+        }
+    }
+
+    /// Value of `--name <v>`, parsed, or `default`.
+    pub fn get<T: std::str::FromStr>(&self, name: &str, default: T) -> T {
+        let flag = format!("--{name}");
+        self.args
+            .iter()
+            .position(|a| a == &flag)
+            .and_then(|i| self.args.get(i + 1))
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    }
+
+    /// All values of a comma-separated `--name a,b,c` list, or `default`.
+    pub fn get_list(&self, name: &str, default: &[u64]) -> Vec<u64> {
+        let flag = format!("--{name}");
+        self.args
+            .iter()
+            .position(|a| a == &flag)
+            .and_then(|i| self.args.get(i + 1))
+            .map(|v| v.split(',').filter_map(|s| s.parse().ok()).collect())
+            .unwrap_or_else(|| default.to_vec())
+    }
+
+    /// Whether the bare flag `--name` is present.
+    pub fn has(&self, name: &str) -> bool {
+        self.args.iter().any(|a| a == &format!("--{name}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pair_generators_are_deterministic() {
+        assert_eq!(odd_pairs(3, 128, 1), odd_pairs(3, 128, 1));
+        let a = rsa_modulus_pairs(1, 96, 2);
+        let b = rsa_modulus_pairs(1, 96, 2);
+        assert_eq!(a, b);
+        assert_eq!(a[0].0.bit_len(), 96);
+    }
+
+    #[test]
+    fn iteration_summary_counts() {
+        let pairs = odd_pairs(4, 128, 3);
+        let s = iteration_summary(Algorithm::Approximate, &pairs, Termination::Full);
+        assert!(s.total_iterations > 0);
+        assert!(s.mean_iterations > 10.0);
+        assert!(s.mem_ops > s.total_iterations);
+        assert_eq!(s.distribution.n(), 4);
+        assert!((s.distribution.mean() - s.mean_iterations).abs() < 1e-9);
+    }
+
+    #[test]
+    fn welford_matches_two_pass() {
+        let xs = [2.0f64, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let mut w = Welford::default();
+        for &x in &xs {
+            w.push(x);
+        }
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (xs.len() - 1) as f64;
+        assert!((w.mean() - mean).abs() < 1e-12);
+        assert!((w.std() - var.sqrt()).abs() < 1e-12);
+        assert!(w.ci95() > 0.0);
+        assert_eq!(Welford::default().std(), 0.0);
+    }
+
+    #[test]
+    fn cpu_timer_positive() {
+        let pairs = odd_pairs(2, 128, 4);
+        let t = cpu_seconds_per_gcd(Algorithm::FastBinary, &pairs, Termination::Full);
+        assert!(t > 0.0);
+    }
+}

@@ -1,0 +1,130 @@
+//! Barrett reduction — the division-free modular reduction that works for
+//! *any* modulus (Montgomery needs an odd one). Used as an alternative
+//! backend for modular exponentiation and as an ablation target: the
+//! benches compare Montgomery vs Barrett vs plain division.
+
+use crate::nat::Nat;
+use crate::limb::LIMB_BITS;
+
+/// Precomputed Barrett context for a fixed modulus `n > 1`.
+///
+/// With `k = limbs(n)` and `b = 2^32`, stores `mu = floor(b^(2k) / n)`.
+/// [`Barrett::reduce`] then reduces any `x < n²` with two multiplications
+/// and at most two subtractions (Handbook of Applied Cryptography 14.42).
+#[derive(Debug, Clone)]
+pub struct Barrett {
+    n: Nat,
+    mu: Nat,
+    k: usize,
+}
+
+impl Barrett {
+    /// Build a context for `n > 1` (any parity).
+    pub fn new(n: &Nat) -> Self {
+        assert!(!n.is_zero() && !n.is_one(), "modulus must be > 1");
+        let k = n.len();
+        let b2k = Nat::one().shl(2 * k as u64 * LIMB_BITS as u64);
+        Barrett {
+            n: n.clone(),
+            mu: b2k.div(n),
+            k,
+        }
+    }
+
+    /// The modulus.
+    pub fn modulus(&self) -> &Nat {
+        &self.n
+    }
+
+    /// Reduce `x mod n`. Requires `x < n²` (the product of two reduced
+    /// operands always qualifies).
+    pub fn reduce(&self, x: &Nat) -> Nat {
+        debug_assert!(x < &self.n.square(), "Barrett requires x < n^2");
+        let shift_k_minus_1 = (self.k as u64 - 1) * LIMB_BITS as u64;
+        let shift_k_plus_1 = (self.k as u64 + 1) * LIMB_BITS as u64;
+        // q = floor(floor(x / b^(k-1)) * mu / b^(k+1))
+        let q = x.shr(shift_k_minus_1).mul(&self.mu).shr(shift_k_plus_1);
+        // r = x - q*n; r < 3n, so at most two corrective subtractions.
+        let mut r = x.sub(&q.mul(&self.n));
+        while r >= self.n {
+            r = r.sub(&self.n);
+        }
+        r
+    }
+
+    /// `a * b mod n` for reduced operands.
+    pub fn mul_mod(&self, a: &Nat, b: &Nat) -> Nat {
+        debug_assert!(a < &self.n && b < &self.n);
+        self.reduce(&a.mul(b))
+    }
+
+    /// `base^exp mod n` by square-and-multiply over Barrett reduction.
+    pub fn pow(&self, base: &Nat, exp: &Nat) -> Nat {
+        let mut acc = Nat::one().rem(&self.n);
+        let base = base.rem(&self.n);
+        for i in (0..exp.bit_len()).rev() {
+            acc = self.mul_mod(&acc, &acc);
+            if exp.bit(i) {
+                acc = self.mul_mod(&acc, &base);
+            }
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reduce_matches_rem_small() {
+        let n = Nat::from(1_000_003u32);
+        let ctx = Barrett::new(&n);
+        for x in [0u128, 1, 999_999, 1_000_003, 123_456_789_012, 1_000_002u128 * 1_000_002] {
+            let xn = Nat::from_u128(x);
+            assert_eq!(ctx.reduce(&xn), xn.rem(&n), "x={x}");
+        }
+    }
+
+    #[test]
+    fn works_for_even_moduli() {
+        // Montgomery cannot do this one.
+        let n = Nat::from_u128(0x1_0000_0000_0000_0000u128 - 0x1234_5678);
+        let ctx = Barrett::new(&n);
+        let x = n.sub(&Nat::one()).square();
+        assert_eq!(ctx.reduce(&x), x.rem(&n));
+    }
+
+    #[test]
+    fn pow_matches_naive_and_montgomery() {
+        let n = Nat::from_u128(0xffff_ffff_ffff_ffff_ffff_ffff_ffff_ff61);
+        let b = Nat::from_u128(0x0123_4567_89ab_cdef);
+        let e = Nat::from_u128(0xfedc_ba98);
+        let ctx = Barrett::new(&n);
+        assert_eq!(ctx.pow(&b, &e), b.modpow_naive(&e, &n));
+        assert_eq!(ctx.pow(&b, &e), b.modpow(&e, &n));
+    }
+
+    #[test]
+    fn pow_even_modulus_matches_naive() {
+        let n = Nat::from_u128(1_000_000_000_000);
+        let b = Nat::from_u128(987_654_321);
+        let e = Nat::from_u128(1234);
+        assert_eq!(Barrett::new(&n).pow(&b, &e), b.modpow_naive(&e, &n));
+    }
+
+    #[test]
+    fn mul_mod_reduced_operands() {
+        let n = Nat::from_u128((1u128 << 100) + 7);
+        let ctx = Barrett::new(&n);
+        let a = Nat::from_u128((1u128 << 99) + 12345);
+        let b = Nat::from_u128((1u128 << 98) + 999);
+        assert_eq!(ctx.mul_mod(&a, &b), a.mul(&b).rem(&n));
+    }
+
+    #[test]
+    #[should_panic(expected = "> 1")]
+    fn trivial_modulus_rejected() {
+        let _ = Barrett::new(&Nat::one());
+    }
+}

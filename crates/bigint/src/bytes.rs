@@ -1,0 +1,93 @@
+//! Big-endian byte-string conversions (the wire format of real RSA moduli:
+//! DER/PEM keys carry big-endian magnitudes, so a corpus scanner needs
+//! these to ingest harvested keys).
+
+use crate::nat::Nat;
+
+impl Nat {
+    /// Big-endian bytes, minimal length (empty for zero).
+    pub fn to_bytes_be(&self) -> Vec<u8> {
+        if self.is_zero() {
+            return Vec::new();
+        }
+        let limbs = self.limbs();
+        let mut out = Vec::with_capacity(limbs.len() * 4);
+        // Top limb without leading zero bytes, the rest in full.
+        let top = limbs[limbs.len() - 1];
+        let top_bytes = 4 - (top.leading_zeros() / 8) as usize;
+        for i in (0..top_bytes).rev() {
+            out.push((top >> (8 * i)) as u8);
+        }
+        for &w in limbs[..limbs.len() - 1].iter().rev() {
+            out.extend_from_slice(&w.to_be_bytes());
+        }
+        out
+    }
+
+    /// Parse big-endian bytes (leading zero bytes allowed; empty = zero).
+    pub fn from_bytes_be(bytes: &[u8]) -> Nat {
+        let mut limbs = vec![0u32; bytes.len().div_ceil(4)];
+        for (i, &b) in bytes.iter().rev().enumerate() {
+            limbs[i / 4] |= (b as u32) << (8 * (i % 4));
+        }
+        Nat::from_limbs(&limbs)
+    }
+
+    /// Little-endian bytes, minimal length (empty for zero).
+    pub fn to_bytes_le(&self) -> Vec<u8> {
+        let mut v = self.to_bytes_be();
+        v.reverse();
+        v
+    }
+
+    /// Parse little-endian bytes.
+    pub fn from_bytes_le(bytes: &[u8]) -> Nat {
+        let mut v = bytes.to_vec();
+        v.reverse();
+        Nat::from_bytes_be(&v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_encodings() {
+        assert_eq!(Nat::zero().to_bytes_be(), Vec::<u8>::new());
+        assert_eq!(Nat::from(1u32).to_bytes_be(), vec![1]);
+        assert_eq!(Nat::from(0x0102u32).to_bytes_be(), vec![1, 2]);
+        assert_eq!(
+            Nat::from_u128(0x0102_0304_0506).to_bytes_be(),
+            vec![1, 2, 3, 4, 5, 6]
+        );
+    }
+
+    #[test]
+    fn roundtrip_be_and_le() {
+        for v in [0u128, 1, 255, 256, 0xdead_beef, u128::MAX, 1 << 100] {
+            let n = Nat::from_u128(v);
+            assert_eq!(Nat::from_bytes_be(&n.to_bytes_be()), n, "be {v:#x}");
+            assert_eq!(Nat::from_bytes_le(&n.to_bytes_le()), n, "le {v:#x}");
+        }
+    }
+
+    #[test]
+    fn leading_zeros_ignored_on_parse() {
+        assert_eq!(
+            Nat::from_bytes_be(&[0, 0, 1, 2]),
+            Nat::from(0x0102u32)
+        );
+        assert_eq!(Nat::from_bytes_be(&[0, 0]), Nat::zero());
+        assert_eq!(Nat::from_bytes_be(&[]), Nat::zero());
+    }
+
+    #[test]
+    fn minimality() {
+        // No leading zero byte in output.
+        for v in [1u128, 0x80, 0x1_00, 0xff_ff_ff, 1 << 31, 1 << 32] {
+            let b = Nat::from_u128(v).to_bytes_be();
+            assert_ne!(b[0], 0, "v={v:#x} -> {b:?}");
+        }
+    }
+}

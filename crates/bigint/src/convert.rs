@@ -1,0 +1,193 @@
+//! Conversions to and from hexadecimal, decimal and binary strings.
+
+use crate::div::div_rem_limb;
+use crate::nat::Nat;
+use core::fmt;
+
+/// Error parsing a number from a string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseNatError {
+    /// Offending character, if any (empty input otherwise).
+    pub bad_char: Option<char>,
+}
+
+impl fmt::Display for ParseNatError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.bad_char {
+            Some(c) => write!(f, "invalid digit {c:?} in number literal"),
+            None => write!(f, "empty number literal"),
+        }
+    }
+}
+
+impl std::error::Error for ParseNatError {}
+
+impl Nat {
+    /// Lower-case hexadecimal representation without a `0x` prefix
+    /// (`"0"` for zero).
+    pub fn to_hex(&self) -> String {
+        if self.is_zero() {
+            return "0".to_string();
+        }
+        let limbs = self.limbs();
+        let mut s = format!("{:x}", limbs[limbs.len() - 1]);
+        for &w in limbs[..limbs.len() - 1].iter().rev() {
+            s.push_str(&format!("{w:08x}"));
+        }
+        s
+    }
+
+    /// Parse a hexadecimal string (optional `0x` prefix, `_` separators allowed).
+    pub fn from_hex(s: &str) -> Result<Nat, ParseNatError> {
+        let s = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")).unwrap_or(s);
+        let mut digits = Vec::new();
+        for c in s.chars() {
+            if c == '_' {
+                continue;
+            }
+            let d = c.to_digit(16).ok_or(ParseNatError { bad_char: Some(c) })?;
+            digits.push(d);
+        }
+        if digits.is_empty() {
+            return Err(ParseNatError { bad_char: None });
+        }
+        // Pack 8 hex digits per limb, least significant last in the string.
+        let mut limbs = vec![0u32; digits.len().div_ceil(8)];
+        for (i, &d) in digits.iter().rev().enumerate() {
+            limbs[i / 8] |= d << (4 * (i % 8));
+        }
+        Ok(Nat::from_limbs(&limbs))
+    }
+
+    /// Decimal representation.
+    pub fn to_decimal(&self) -> String {
+        if self.is_zero() {
+            return "0".to_string();
+        }
+        // Peel 9 decimal digits at a time with single-limb division.
+        const CHUNK: u32 = 1_000_000_000;
+        let mut rem = self.limbs().to_vec();
+        let mut groups = Vec::new();
+        while !rem.is_empty() {
+            let (q, r) = div_rem_limb(&rem, CHUNK);
+            groups.push(r);
+            rem = q;
+        }
+        let mut s = groups.last().unwrap().to_string();
+        for &g in groups.iter().rev().skip(1) {
+            s.push_str(&format!("{g:09}"));
+        }
+        s
+    }
+
+    /// Parse a decimal string (`_` separators allowed).
+    pub fn from_decimal(s: &str) -> Result<Nat, ParseNatError> {
+        let mut acc = Nat::zero();
+        let mut any = false;
+        for c in s.chars() {
+            if c == '_' {
+                continue;
+            }
+            let d = c.to_digit(10).ok_or(ParseNatError { bad_char: Some(c) })?;
+            acc = acc.mul_u32(10).add(&Nat::from(d));
+            any = true;
+        }
+        if !any {
+            return Err(ParseNatError { bad_char: None });
+        }
+        Ok(acc)
+    }
+
+    /// Binary representation grouped in 4-bit nibbles separated by commas —
+    /// the notation the paper's tables use (e.g. `1101,1111` for 223).
+    pub fn to_binary_grouped(&self) -> String {
+        if self.is_zero() {
+            return "0000".to_string();
+        }
+        let bits = self.bit_len();
+        let nibbles = bits.div_ceil(4);
+        let mut out = String::new();
+        for n in (0..nibbles).rev() {
+            let mut v = 0u8;
+            for b in 0..4 {
+                if self.bit(n * 4 + b) {
+                    v |= 1 << b;
+                }
+            }
+            out.push_str(&format!("{v:04b}"));
+            if n != 0 {
+                out.push(',');
+            }
+        }
+        out
+    }
+}
+
+impl std::str::FromStr for Nat {
+    type Err = ParseNatError;
+
+    /// Parses decimal by default, hexadecimal with a `0x` prefix.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        if s.starts_with("0x") || s.starts_with("0X") {
+            Nat::from_hex(s)
+        } else {
+            Nat::from_decimal(s)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hex_roundtrip() {
+        for v in [0u128, 1, 0xff, 0xdead_beef, u128::MAX, 1 << 127] {
+            let n = Nat::from_u128(v);
+            assert_eq!(Nat::from_hex(&n.to_hex()).unwrap(), n, "v={v:#x}");
+        }
+        assert_eq!(Nat::from_u128(0xabcdef).to_hex(), "abcdef");
+    }
+
+    #[test]
+    fn hex_prefix_and_separators() {
+        assert_eq!(
+            Nat::from_hex("0xdead_beef").unwrap(),
+            Nat::from_u128(0xdead_beef)
+        );
+    }
+
+    #[test]
+    fn decimal_roundtrip() {
+        for v in [0u128, 9, 10, 999_999_999, 1_000_000_000, u128::MAX] {
+            let n = Nat::from_u128(v);
+            assert_eq!(n.to_decimal(), v.to_string());
+            assert_eq!(Nat::from_decimal(&v.to_string()).unwrap(), n);
+        }
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(Nat::from_hex("xyz").is_err());
+        assert!(Nat::from_decimal("12a").is_err());
+        assert!(Nat::from_decimal("").is_err());
+        assert!(Nat::from_hex("0x").is_err());
+    }
+
+    #[test]
+    fn from_str_dispatch() {
+        assert_eq!("255".parse::<Nat>().unwrap(), Nat::from(255u32));
+        assert_eq!("0xff".parse::<Nat>().unwrap(), Nat::from(255u32));
+    }
+
+    #[test]
+    fn binary_grouped_matches_paper_notation() {
+        // The paper writes 223 as 1101,1111.
+        assert_eq!(Nat::from(223u32).to_binary_grouped(), "1101,1111");
+        // 1043915 = 1111,1110,1101,1100,1011 (paper Table I, X).
+        assert_eq!(
+            Nat::from(1_043_915u32).to_binary_grouped(),
+            "1111,1110,1101,1100,1011"
+        );
+    }
+}

@@ -1,0 +1,254 @@
+//! Extended Euclidean algorithm with Bézout coefficients — the §I tool
+//! ("d = e⁻¹ (mod (p−1)(q−1)) can be computed very easily by extended
+//! Euclidean algorithm"), here in full signed form. `Nat::modinv` tracks
+//! its coefficient modulo m and never needs signs; this module computes
+//! the actual identity `a·x + b·y = gcd(a, b)` and doubles as an
+//! independent oracle for `modinv`.
+
+use crate::nat::Nat;
+use core::cmp::Ordering;
+
+/// A signed arbitrary-precision integer, just big enough for Bézout
+/// coefficients. Zero is always stored non-negative.
+#[derive(Clone, PartialEq, Eq)]
+pub struct SignedNat {
+    /// Absolute value.
+    pub magnitude: Nat,
+    /// Sign (false = non-negative).
+    pub negative: bool,
+}
+
+impl SignedNat {
+    /// Non-negative value.
+    pub fn from_nat(n: Nat) -> Self {
+        SignedNat {
+            magnitude: n,
+            negative: false,
+        }
+    }
+
+    /// Zero.
+    pub fn zero() -> Self {
+        Self::from_nat(Nat::zero())
+    }
+
+    /// One.
+    pub fn one() -> Self {
+        Self::from_nat(Nat::one())
+    }
+
+    /// True when the value is zero.
+    pub fn is_zero(&self) -> bool {
+        self.magnitude.is_zero()
+    }
+
+    fn normalized(mut self) -> Self {
+        if self.magnitude.is_zero() {
+            self.negative = false;
+        }
+        self
+    }
+
+    /// Negation.
+    pub fn neg(&self) -> SignedNat {
+        SignedNat {
+            magnitude: self.magnitude.clone(),
+            negative: !self.negative && !self.is_zero(),
+        }
+    }
+
+    /// `self - other`.
+    pub fn sub(&self, other: &SignedNat) -> SignedNat {
+        self.add(&other.neg())
+    }
+
+    /// `self + other`.
+    pub fn add(&self, other: &SignedNat) -> SignedNat {
+        if self.negative == other.negative {
+            return SignedNat {
+                magnitude: self.magnitude.add(&other.magnitude),
+                negative: self.negative,
+            }
+            .normalized();
+        }
+        match self.magnitude.cmp(&other.magnitude) {
+            Ordering::Equal => SignedNat::zero(),
+            Ordering::Greater => SignedNat {
+                magnitude: self.magnitude.sub(&other.magnitude),
+                negative: self.negative,
+            }
+            .normalized(),
+            Ordering::Less => SignedNat {
+                magnitude: other.magnitude.sub(&self.magnitude),
+                negative: other.negative,
+            }
+            .normalized(),
+        }
+    }
+
+    /// `self * n` for an unsigned multiplier.
+    pub fn mul_nat(&self, n: &Nat) -> SignedNat {
+        SignedNat {
+            magnitude: self.magnitude.mul(n),
+            negative: self.negative && !n.is_zero(),
+        }
+        .normalized()
+    }
+
+    /// Canonical representative of `self mod m` in `[0, m)`.
+    pub fn rem_euclid(&self, m: &Nat) -> Nat {
+        let r = self.magnitude.rem(m);
+        if self.negative && !r.is_zero() {
+            m.sub(&r)
+        } else {
+            r
+        }
+    }
+}
+
+impl core::fmt::Debug for SignedNat {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        if self.negative {
+            write!(f, "-{:?}", self.magnitude)
+        } else {
+            write!(f, "{:?}", self.magnitude)
+        }
+    }
+}
+
+/// The Bézout identity `a·x + b·y = gcd(a, b)`.
+#[derive(Debug, Clone)]
+pub struct ExtGcd {
+    /// `gcd(a, b)`.
+    pub gcd: Nat,
+    /// Coefficient of `a`.
+    pub x: SignedNat,
+    /// Coefficient of `b`.
+    pub y: SignedNat,
+}
+
+/// Extended Euclidean algorithm. `ext_gcd(0, 0)` returns gcd 0 with
+/// zero coefficients.
+pub fn ext_gcd(a: &Nat, b: &Nat) -> ExtGcd {
+    let mut old_r = a.clone();
+    let mut r = b.clone();
+    let mut old_x = SignedNat::one();
+    let mut x = SignedNat::zero();
+    let mut old_y = SignedNat::zero();
+    let mut y = SignedNat::one();
+    while !r.is_zero() {
+        let (q, rem) = old_r.div_rem(&r);
+        old_r = core::mem::replace(&mut r, rem);
+        let nx = old_x.sub(&x.mul_nat(&q));
+        old_x = core::mem::replace(&mut x, nx);
+        let ny = old_y.sub(&y.mul_nat(&q));
+        old_y = core::mem::replace(&mut y, ny);
+    }
+    if a.is_zero() && b.is_zero() {
+        return ExtGcd {
+            gcd: Nat::zero(),
+            x: SignedNat::zero(),
+            y: SignedNat::zero(),
+        };
+    }
+    ExtGcd {
+        gcd: old_r,
+        x: old_x,
+        y: old_y,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_identity(a: u128, b: u128) {
+        let an = Nat::from_u128(a);
+        let bn = Nat::from_u128(b);
+        let e = ext_gcd(&an, &bn);
+        assert_eq!(e.gcd, an.gcd_reference(&bn), "gcd a={a} b={b}");
+        // a*x + b*y == g, evaluated in signed arithmetic.
+        let ax = SignedNat::from_nat(an.clone()).mul_nat(&e.x.magnitude);
+        let ax = if e.x.negative { ax.neg() } else { ax };
+        let by = SignedNat::from_nat(bn.clone()).mul_nat(&e.y.magnitude);
+        let by = if e.y.negative { by.neg() } else { by };
+        let sum = ax.add(&by);
+        assert!(!sum.negative, "a={a} b={b}");
+        assert_eq!(sum.magnitude, e.gcd, "identity a={a} b={b}");
+    }
+
+    #[test]
+    fn identity_on_sample_pairs() {
+        for (a, b) in [
+            (240u128, 46u128),
+            (46, 240),
+            (1_043_915, 768_955),
+            (17, 0),
+            (0, 17),
+            (1, 1),
+            (u64::MAX as u128, 3),
+            ((1 << 89) - 1, (1 << 61) - 1),
+        ] {
+            check_identity(a, b);
+        }
+    }
+
+    #[test]
+    fn zero_zero() {
+        let e = ext_gcd(&Nat::zero(), &Nat::zero());
+        assert!(e.gcd.is_zero());
+    }
+
+    #[test]
+    fn known_coefficients() {
+        // gcd(240, 46) = 2 = 240*(-9) + 46*47.
+        let e = ext_gcd(&Nat::from(240u32), &Nat::from(46u32));
+        assert_eq!(e.gcd, Nat::from(2u32));
+        assert_eq!(e.x.magnitude, Nat::from(9u32));
+        assert!(e.x.negative);
+        assert_eq!(e.y.magnitude, Nat::from(47u32));
+        assert!(!e.y.negative);
+    }
+
+    #[test]
+    fn recovers_modular_inverse() {
+        // When gcd(a, m) = 1, x mod m is a^{-1} mod m: must agree with
+        // Nat::modinv.
+        let m = Nat::from(1_000_003u32);
+        for a in [2u32, 3, 65537, 999_999] {
+            let a = Nat::from(a);
+            let e = ext_gcd(&a, &m);
+            assert!(e.gcd.is_one());
+            let inv = e.x.rem_euclid(&m);
+            assert_eq!(Some(inv), a.modinv(&m));
+        }
+    }
+
+    #[test]
+    fn signed_arithmetic_basics() {
+        let five = SignedNat::from_nat(Nat::from(5u32));
+        let three = SignedNat::from_nat(Nat::from(3u32));
+        assert_eq!(three.sub(&five), five.sub(&three).neg());
+        assert!(five.sub(&five).is_zero());
+        assert!(!five.sub(&five).negative, "zero is non-negative");
+        let neg2 = three.sub(&five);
+        assert_eq!(neg2.rem_euclid(&Nat::from(7u32)), Nat::from(5u32));
+        assert_eq!(neg2.mul_nat(&Nat::from(3u32)).rem_euclid(&Nat::from(7u32)), Nat::from(1u32));
+    }
+
+    #[test]
+    fn pseudorandom_identity_sweep() {
+        let mut state = 0x7777_1234_dead_beefu64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for _ in 0..100 {
+            let a = ((next() as u128) << 64 | next() as u128) >> (next() % 64);
+            let b = ((next() as u128) << 64 | next() as u128) >> (next() % 64);
+            check_identity(a, b);
+        }
+    }
+}

@@ -1,0 +1,65 @@
+//! A deliberately simple reference GCD used as a test oracle for the five
+//! optimized Euclidean variants in `bulkgcd-core`. Kept here (in the
+//! substrate crate) so every higher crate can cross-check against it without
+//! a dependency cycle.
+
+use crate::nat::Nat;
+
+impl Nat {
+    /// Reference GCD via the plain modulo-based Euclidean algorithm.
+    /// `gcd(0, y) = y` and `gcd(x, 0) = x`.
+    pub fn gcd_reference(&self, other: &Nat) -> Nat {
+        let mut x = self.clone();
+        let mut y = other.clone();
+        while !y.is_zero() {
+            let r = x.rem(&y);
+            x = core::mem::replace(&mut y, r);
+        }
+        x
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn base_cases() {
+        assert_eq!(Nat::zero().gcd_reference(&Nat::zero()), Nat::zero());
+        assert_eq!(Nat::from(5u32).gcd_reference(&Nat::zero()), Nat::from(5u32));
+        assert_eq!(Nat::zero().gcd_reference(&Nat::from(5u32)), Nat::from(5u32));
+    }
+
+    #[test]
+    fn matches_u128_gcd() {
+        fn gcd_u128(mut a: u128, mut b: u128) -> u128 {
+            while b != 0 {
+                let r = a % b;
+                a = b;
+                b = r;
+            }
+            a
+        }
+        let pairs = [
+            (12u128, 18u128),
+            (1_043_915, 768_955), // the paper's running example: gcd = 5
+            (u128::MAX, 12345),
+            (1 << 100, 1 << 37),
+            (600, 600),
+        ];
+        for (a, b) in pairs {
+            assert_eq!(
+                Nat::from_u128(a).gcd_reference(&Nat::from_u128(b)),
+                Nat::from_u128(gcd_u128(a, b)),
+                "a={a} b={b}"
+            );
+        }
+    }
+
+    #[test]
+    fn paper_example_gcd_is_5() {
+        // Table I: X = 1043915, Y = 768955, GCD = 5.
+        let g = Nat::from(1_043_915u32).gcd_reference(&Nat::from(768_955u32));
+        assert_eq!(g, Nat::from(5u32));
+    }
+}

@@ -1,0 +1,42 @@
+//! # bulkgcd-bigint
+//!
+//! Multiword natural-number arithmetic on 32-bit limbs — the substrate for
+//! the reproduction of *"Bulk GCD Computation Using a GPU to Break Weak RSA
+//! Keys"* (Fujita, Nakano, Ito; IPDPSW 2015).
+//!
+//! The paper fixes the word size at `d = 32` bits with 64-bit temporaries
+//! (§V), and this crate follows suit: numbers are little-endian `u32` limb
+//! vectors. Everything the reproduction needs from GMP/OpenSSL is
+//! implemented here from scratch:
+//!
+//! * [`Nat`] — the owner type with comparison, add/sub, shifts and the
+//!   paper's `rshift` (trailing-zero strip);
+//! * [`ops`] — slice-level kernels shared with the fixed-buffer GCD operands
+//!   of `bulkgcd-core`, including the fused `X ← rshift(X − α·Y)` single-pass
+//!   update of paper §IV;
+//! * schoolbook/Karatsuba multiplication and Knuth Algorithm D division;
+//! * Montgomery modular exponentiation and modular inverse (for recovering
+//!   RSA private keys);
+//! * Miller–Rabin primality testing and random prime generation (replacing
+//!   the paper's use of the OpenSSL toolkit to produce RSA moduli).
+
+pub mod barrett;
+pub mod bytes;
+pub mod convert;
+pub mod div;
+pub mod extgcd;
+pub mod gcd_ref;
+pub mod limb;
+pub mod modular;
+pub mod mul;
+pub mod nat;
+pub mod ops;
+pub mod prime;
+pub mod random;
+pub mod square;
+
+pub use barrett::Barrett;
+pub use extgcd::{ext_gcd, ExtGcd, SignedNat};
+pub use limb::{Limb, Wide, D, LIMB_BITS};
+pub use modular::Montgomery;
+pub use nat::Nat;

@@ -1,0 +1,126 @@
+//! Limb-level primitives.
+//!
+//! The paper fixes the word size at `d = 32` bits ("we set d = 32 for our
+//! Approximate Euclidean algorithm", §V) with 64-bit temporaries, so the whole
+//! workspace uses `u32` limbs and `u64` intermediates. Numbers are stored
+//! little-endian: limb 0 is the least significant word. The paper's `x1`
+//! (most significant word of `X`) is `limbs[len - 1]` here.
+
+/// A single machine word ("d-bit word" in the paper, d = 32).
+pub type Limb = u32;
+
+/// A double-width word used for carries, borrows and products.
+pub type Wide = u64;
+
+/// Number of bits in a limb (the paper's `d`).
+pub const LIMB_BITS: u32 = 32;
+
+/// The paper's `D = 2^d` as a double-width value.
+pub const D: Wide = 1 << LIMB_BITS;
+
+/// Add with carry: returns `(sum, carry_out)` for `a + b + carry_in`.
+#[inline(always)]
+pub fn adc(a: Limb, b: Limb, carry: Limb) -> (Limb, Limb) {
+    let t = a as Wide + b as Wide + carry as Wide;
+    (t as Limb, (t >> LIMB_BITS) as Limb)
+}
+
+/// Subtract with borrow: returns `(diff, borrow_out)` for `a - b - borrow_in`.
+/// `borrow_out` is 0 or 1.
+#[inline(always)]
+pub fn sbb(a: Limb, b: Limb, borrow: Limb) -> (Limb, Limb) {
+    let t = (a as Wide)
+        .wrapping_sub(b as Wide)
+        .wrapping_sub(borrow as Wide);
+    (t as Limb, (t >> 63) as Limb)
+}
+
+/// Multiply-accumulate: `a + b * c + carry`, returning `(low, high)`.
+///
+/// The result always fits in two limbs: the maximum value is
+/// `(D-1) + (D-1)^2 + (D-1) = D^2 - 1`.
+#[inline(always)]
+pub fn mac(a: Limb, b: Limb, c: Limb, carry: Limb) -> (Limb, Limb) {
+    let t = a as Wide + (b as Wide) * (c as Wide) + carry as Wide;
+    (t as Limb, (t >> LIMB_BITS) as Limb)
+}
+
+/// Full widening multiplication `a * b`, returning `(low, high)`.
+#[inline(always)]
+pub fn mul_wide(a: Limb, b: Limb) -> (Limb, Limb) {
+    let t = (a as Wide) * (b as Wide);
+    (t as Limb, (t >> LIMB_BITS) as Limb)
+}
+
+/// Divide the two-limb value `hi:lo` by `div`, returning `(quotient, remainder)`.
+///
+/// Requires `hi < div` so that the quotient fits in one limb (the standard
+/// schoolbook-division precondition).
+#[inline(always)]
+pub fn div2by1(hi: Limb, lo: Limb, div: Limb) -> (Limb, Limb) {
+    debug_assert!(div != 0, "division by zero limb");
+    debug_assert!(hi < div, "quotient would overflow a limb");
+    let n = ((hi as Wide) << LIMB_BITS) | lo as Wide;
+    ((n / div as Wide) as Limb, (n % div as Wide) as Limb)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adc_no_carry() {
+        assert_eq!(adc(1, 2, 0), (3, 0));
+    }
+
+    #[test]
+    fn adc_carry_in_and_out() {
+        assert_eq!(adc(u32::MAX, 0, 1), (0, 1));
+        assert_eq!(adc(u32::MAX, u32::MAX, 1), (u32::MAX, 1));
+    }
+
+    #[test]
+    fn sbb_no_borrow() {
+        assert_eq!(sbb(5, 3, 0), (2, 0));
+    }
+
+    #[test]
+    fn sbb_borrow_out() {
+        assert_eq!(sbb(0, 1, 0), (u32::MAX, 1));
+        assert_eq!(sbb(0, 0, 1), (u32::MAX, 1));
+        assert_eq!(sbb(0, u32::MAX, 1), (0, 1));
+    }
+
+    #[test]
+    fn mac_max_operands_fit() {
+        // (D-1) + (D-1)*(D-1) + (D-1) == D^2 - 1 exactly: no overflow.
+        let (lo, hi) = mac(u32::MAX, u32::MAX, u32::MAX, u32::MAX);
+        assert_eq!(lo, u32::MAX);
+        assert_eq!(hi, u32::MAX);
+    }
+
+    #[test]
+    fn mul_wide_basic() {
+        assert_eq!(mul_wide(0x1_0000, 0x1_0000), (0, 1));
+        assert_eq!(mul_wide(u32::MAX, u32::MAX), (1, u32::MAX - 1));
+    }
+
+    #[test]
+    fn div2by1_basic() {
+        assert_eq!(div2by1(0, 100, 7), (14, 2));
+        // (2^32 + 5) / 3 == 1431655767 exactly
+        assert_eq!(div2by1(1, 5, 3), (1_431_655_767, 0));
+    }
+
+    #[test]
+    fn div2by1_large() {
+        let hi = 0x1234_5678u32;
+        let lo = 0x9abc_def0u32;
+        let d = 0x2000_0001u32;
+        let n = ((hi as u64) << 32) | lo as u64;
+        let (q, r) = div2by1(hi, lo, d);
+        assert_eq!(q as u64, n / d as u64);
+        assert_eq!(r as u64, n % d as u64);
+        assert_eq!(q as u64 * d as u64 + r as u64, n);
+    }
+}

@@ -1,0 +1,218 @@
+//! Multiplication: schoolbook for short operands, Karatsuba above a cutoff.
+//!
+//! Karatsuba is needed by the batch-GCD baseline (`bulkgcd-bulk`), whose
+//! product tree multiplies thousands of RSA moduli into million-bit numbers;
+//! schoolbook would make that quadratic wall-clock.
+
+use crate::limb::{mac, Limb};
+use crate::nat::Nat;
+use crate::ops;
+
+/// Operand length (in limbs) above which Karatsuba is used.
+/// Tuned coarsely; correctness does not depend on the value.
+pub const KARATSUBA_CUTOFF: usize = 32;
+
+/// Schoolbook product `a * b` into `out`. `out` must be zeroed and have
+/// length at least `a.len() + b.len()`.
+pub fn mul_schoolbook(out: &mut [Limb], a: &[Limb], b: &[Limb]) {
+    debug_assert!(out.len() >= a.len() + b.len());
+    debug_assert!(out[..a.len() + b.len()].iter().all(|&w| w == 0));
+    for (i, &ai) in a.iter().enumerate() {
+        if ai == 0 {
+            continue;
+        }
+        let mut carry = 0;
+        for (j, &bj) in b.iter().enumerate() {
+            let (lo, hi) = mac(out[i + j], ai, bj, carry);
+            out[i + j] = lo;
+            carry = hi;
+        }
+        out[i + b.len()] = carry;
+    }
+}
+
+/// `a * b` by one multiplication limb: `out = a * m`, returns carry limb.
+/// `out.len() == a.len()`; the returned carry is the limb above the top.
+pub fn mul_limb(out: &mut [Limb], a: &[Limb], m: Limb) -> Limb {
+    debug_assert_eq!(out.len(), a.len());
+    let mut carry = 0;
+    for (o, &ai) in out.iter_mut().zip(a.iter()) {
+        let (lo, hi) = mac(0, ai, m, carry);
+        *o = lo;
+        carry = hi;
+    }
+    carry
+}
+
+/// Karatsuba product into `out` (zeroed, len >= a.len()+b.len()), with
+/// `scratch` workspace. Falls back to schoolbook below the cutoff.
+fn mul_karatsuba(out: &mut [Limb], a: &[Limb], b: &[Limb]) {
+    let (a, b) = if a.len() >= b.len() { (a, b) } else { (b, a) };
+    // a is the longer operand.
+    if b.is_empty() {
+        return;
+    }
+    if b.len() < KARATSUBA_CUTOFF {
+        mul_schoolbook(out, a, b);
+        return;
+    }
+    if a.len() > 2 * b.len() {
+        // Unbalanced: chop `a` into b.len()-sized chunks.
+        let chunk = b.len();
+        let mut tmp = vec![0; chunk + b.len()];
+        let mut off = 0;
+        while off < a.len() {
+            let hi = (off + chunk).min(a.len());
+            let part = &a[off..hi];
+            tmp.truncate(0);
+            tmp.resize(part.len() + b.len(), 0);
+            mul_karatsuba(&mut tmp, part, b);
+            let carry = ops::add_assign(&mut out[off..], &tmp);
+            debug_assert_eq!(carry, 0);
+            off = hi;
+        }
+        return;
+    }
+
+    // Balanced Karatsuba: split at m = ceil(a.len()/2).
+    let m = a.len().div_ceil(2);
+    let (a0, a1) = a.split_at(m.min(a.len()));
+    let (b0, b1) = if b.len() > m {
+        b.split_at(m)
+    } else {
+        (b, &[][..])
+    };
+
+    // z0 = a0*b0, z2 = a1*b1, z1 = (a0+a1)(b0+b1) - z0 - z2.
+    let mut z0 = vec![0; a0.len() + b0.len()];
+    mul_karatsuba(&mut z0, a0, b0);
+    z0.truncate(ops::normalized_len(&z0));
+    let mut z2 = vec![0; a1.len() + b1.len().max(1)];
+    if !a1.is_empty() && !b1.is_empty() {
+        mul_karatsuba(&mut z2, a1, b1);
+    }
+    z2.truncate(ops::normalized_len(&z2));
+
+    // sa = a0 + a1, sb = b0 + b1 (each at most m+1 limbs).
+    let mut sa = vec![0; m + 1];
+    sa[..a0.len()].copy_from_slice(a0);
+    ops::add_assign(&mut sa, a1);
+    let mut sb = vec![0; m + 1];
+    sb[..b0.len()].copy_from_slice(b0);
+    ops::add_assign(&mut sb, b1);
+    let la = ops::normalized_len(&sa);
+    let lb = ops::normalized_len(&sb);
+    let mut z1 = vec![0; la + lb];
+    mul_karatsuba(&mut z1, &sa[..la], &sb[..lb]);
+    let borrow = ops::sub_assign(&mut z1, &z0);
+    debug_assert_eq!(borrow, 0);
+    let borrow = ops::sub_assign(&mut z1, &z2);
+    debug_assert_eq!(borrow, 0);
+    // The middle term a0*b1 + a1*b0 always fits in out[m..]; its *slice* may
+    // be one limb longer than that, so drop the (provably zero) high limbs.
+    z1.truncate(ops::normalized_len(&z1));
+
+    // out = z0 + z1 << (32*m) + z2 << (64*m)
+    out[..z0.len()].copy_from_slice(&z0);
+    let carry = ops::add_assign(&mut out[m..], &z1);
+    debug_assert_eq!(carry, 0);
+    let z2n = ops::normalized_len(&z2);
+    if z2n > 0 {
+        let carry = ops::add_assign(&mut out[2 * m..], &z2[..z2n]);
+        debug_assert_eq!(carry, 0);
+    }
+}
+
+/// Full product of two limb slices, allocating the result.
+pub fn mul_slices(a: &[Limb], b: &[Limb]) -> Vec<Limb> {
+    let la = ops::normalized_len(a);
+    let lb = ops::normalized_len(b);
+    if la == 0 || lb == 0 {
+        return Vec::new();
+    }
+    let mut out = vec![0; la + lb];
+    mul_karatsuba(&mut out, &a[..la], &b[..lb]);
+    out.truncate(ops::normalized_len(&out));
+    out
+}
+
+impl Nat {
+    /// `self * other`.
+    pub fn mul(&self, other: &Nat) -> Nat {
+        Nat::from_limbs(&mul_slices(self.limbs(), other.limbs()))
+    }
+
+    /// `self * m` for a single limb `m`.
+    pub fn mul_u32(&self, m: Limb) -> Nat {
+        if m == 0 || self.is_zero() {
+            return Nat::zero();
+        }
+        let mut out = vec![0; self.len() + 1];
+        let carry = mul_limb(&mut out[..self.len()], self.limbs(), m);
+        out[self.len()] = carry;
+        Nat::from_limbs(&out)
+    }
+
+    /// `self * self` (delegates to the dedicated squaring path).
+    pub fn square(&self) -> Nat {
+        crate::square::square_nat(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schoolbook_matches_u128() {
+        let a = 0xffff_ffff_ffffu128;
+        let b = 0x1234_5678_9abcu128;
+        let prod = Nat::from_u128(a).mul(&Nat::from_u128(b));
+        assert_eq!(prod.to_u128(), Some(a * b));
+    }
+
+    #[test]
+    fn mul_by_zero_and_one() {
+        let a = Nat::from_u128(0xdead_beef_cafe);
+        assert!(a.mul(&Nat::zero()).is_zero());
+        assert_eq!(a.mul(&Nat::one()), a);
+        assert_eq!(a.mul_u32(0), Nat::zero());
+        assert_eq!(a.mul_u32(1), a);
+    }
+
+    #[test]
+    fn mul_u32_matches_mul() {
+        let a = Nat::from_u128(u128::MAX / 7);
+        assert_eq!(a.mul_u32(12345), a.mul(&Nat::from(12345u32)));
+    }
+
+    #[test]
+    fn karatsuba_matches_schoolbook() {
+        // Build operands long enough to take the Karatsuba path.
+        let n = KARATSUBA_CUTOFF * 3 + 5;
+        let a: Vec<Limb> = (0..n).map(|i| (i as u32).wrapping_mul(0x9e37_79b9) | 1).collect();
+        let b: Vec<Limb> = (0..n - 7)
+            .map(|i| (i as u32).wrapping_mul(0x85eb_ca6b) ^ 0xdead)
+            .collect();
+        let mut expect = vec![0; a.len() + b.len()];
+        mul_schoolbook(&mut expect, &a, &b);
+        expect.truncate(ops::normalized_len(&expect));
+        assert_eq!(mul_slices(&a, &b), expect);
+    }
+
+    #[test]
+    fn karatsuba_unbalanced() {
+        let a: Vec<Limb> = (0..KARATSUBA_CUTOFF * 8).map(|i| i as u32 | 1).collect();
+        let b: Vec<Limb> = (0..KARATSUBA_CUTOFF).map(|i| !(i as u32)).collect();
+        let mut expect = vec![0; a.len() + b.len()];
+        mul_schoolbook(&mut expect, &a, &b);
+        expect.truncate(ops::normalized_len(&expect));
+        assert_eq!(mul_slices(&a, &b), expect);
+    }
+
+    #[test]
+    fn square_is_mul_self() {
+        let a = Nat::from_u128(0x0123_4567_89ab_cdef);
+        assert_eq!(a.square(), a.mul(&a));
+    }
+}

@@ -1,0 +1,327 @@
+//! [`Nat`]: an arbitrary-precision natural number on 32-bit limbs.
+//!
+//! This is the owner type used everywhere outside the GCD inner loops (which
+//! work on pre-allocated buffers instead, see `bulkgcd-core`). The invariant
+//! is that `limbs` is normalized: no high zero limbs, and zero is the empty
+//! vector.
+
+use crate::limb::{Limb, LIMB_BITS};
+use crate::ops;
+use core::cmp::Ordering;
+use core::fmt;
+
+/// An arbitrary-precision natural number (unsigned), little-endian `u32` limbs.
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct Nat {
+    limbs: Vec<Limb>,
+}
+
+impl Nat {
+    /// The value 0.
+    pub const fn zero() -> Self {
+        Nat { limbs: Vec::new() }
+    }
+
+    /// The value 1.
+    pub fn one() -> Self {
+        Nat { limbs: vec![1] }
+    }
+
+    /// Build from little-endian limbs; high zero limbs are stripped.
+    pub fn from_limbs(limbs: &[Limb]) -> Self {
+        let n = ops::normalized_len(limbs);
+        Nat {
+            limbs: limbs[..n].to_vec(),
+        }
+    }
+
+    /// Build from a `u64`.
+    pub fn from_u64(v: u64) -> Self {
+        Nat::from_limbs(&[v as Limb, (v >> LIMB_BITS) as Limb])
+    }
+
+    /// Build from a `u128`.
+    pub fn from_u128(v: u128) -> Self {
+        Nat::from_limbs(&[
+            v as Limb,
+            (v >> 32) as Limb,
+            (v >> 64) as Limb,
+            (v >> 96) as Limb,
+        ])
+    }
+
+    /// Lossy conversion to `u64` (low 64 bits).
+    pub fn low_u64(&self) -> u64 {
+        let lo = self.limbs.first().copied().unwrap_or(0) as u64;
+        let hi = self.limbs.get(1).copied().unwrap_or(0) as u64;
+        hi << LIMB_BITS | lo
+    }
+
+    /// Exact conversion to `u128` if the value fits.
+    pub fn to_u128(&self) -> Option<u128> {
+        if self.limbs.len() > 4 {
+            return None;
+        }
+        Some(
+            self.limbs
+                .iter()
+                .enumerate()
+                .fold(0u128, |acc, (i, &w)| acc | (w as u128) << (32 * i)),
+        )
+    }
+
+    /// The normalized little-endian limbs (empty for zero).
+    #[inline]
+    pub fn limbs(&self) -> &[Limb] {
+        &self.limbs
+    }
+
+    /// Take ownership of the limb vector.
+    pub fn into_limbs(self) -> Vec<Limb> {
+        self.limbs
+    }
+
+    /// Number of significant limbs (the paper's `lX`); 0 for zero.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.limbs.len()
+    }
+
+    /// True if the value is 0.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.limbs.is_empty()
+    }
+
+    /// True if the value is 0.
+    #[inline]
+    pub fn is_zero(&self) -> bool {
+        self.limbs.is_empty()
+    }
+
+    /// True if the value is 1.
+    pub fn is_one(&self) -> bool {
+        self.limbs == [1]
+    }
+
+    /// True if the value is odd.
+    #[inline]
+    pub fn is_odd(&self) -> bool {
+        self.limbs.first().is_some_and(|&w| w & 1 == 1)
+    }
+
+    /// True if the value is even (zero counts as even).
+    #[inline]
+    pub fn is_even(&self) -> bool {
+        !self.is_odd()
+    }
+
+    /// Number of significant bits (the position of the highest set bit + 1).
+    #[inline]
+    pub fn bit_len(&self) -> u64 {
+        ops::bit_len(&self.limbs)
+    }
+
+    /// Test bit `i` (bit 0 = least significant).
+    #[inline]
+    pub fn bit(&self, i: u64) -> bool {
+        ops::bit(&self.limbs, i)
+    }
+
+    /// Number of trailing zero bits, or `None` for zero.
+    pub fn trailing_zeros(&self) -> Option<u64> {
+        ops::trailing_zeros(&self.limbs)
+    }
+
+    /// Internal: restore the no-high-zero-limb invariant.
+    pub(crate) fn normalize(&mut self) {
+        let n = ops::normalized_len(&self.limbs);
+        self.limbs.truncate(n);
+    }
+
+    /// `self + other`.
+    pub fn add(&self, other: &Nat) -> Nat {
+        let (big, small) = if self.len() >= other.len() {
+            (self, other)
+        } else {
+            (other, self)
+        };
+        let mut limbs = big.limbs.clone();
+        limbs.push(0);
+        ops::add_assign(&mut limbs, &small.limbs);
+        let mut r = Nat { limbs };
+        r.normalize();
+        r
+    }
+
+    /// `self - other`; `None` if `other > self`.
+    pub fn checked_sub(&self, other: &Nat) -> Option<Nat> {
+        if self.cmp(other) == Ordering::Less {
+            return None;
+        }
+        let mut limbs = self.limbs.clone();
+        let borrow = ops::sub_assign(&mut limbs, &other.limbs);
+        debug_assert_eq!(borrow, 0);
+        let mut r = Nat { limbs };
+        r.normalize();
+        Some(r)
+    }
+
+    /// `self - other`; panics if `other > self`.
+    pub fn sub(&self, other: &Nat) -> Nat {
+        self.checked_sub(other)
+            .expect("Nat::sub underflow: subtrahend larger than minuend")
+    }
+
+    /// `self << r`.
+    pub fn shl(&self, r: u64) -> Nat {
+        if self.is_zero() {
+            return Nat::zero();
+        }
+        let extra = (r / LIMB_BITS as u64) as usize + 1;
+        let mut limbs = self.limbs.clone();
+        limbs.resize(self.len() + extra, 0);
+        let n = ops::shl_in_place(&mut limbs, r);
+        limbs.truncate(n);
+        Nat { limbs }
+    }
+
+    /// `self >> r`.
+    pub fn shr(&self, r: u64) -> Nat {
+        let mut limbs = self.limbs.clone();
+        let n = ops::shr_in_place(&mut limbs, r);
+        limbs.truncate(n);
+        Nat { limbs }
+    }
+
+    /// The paper's `rshift`: strip all trailing zero bits.
+    /// Returns the shifted value and the number of bits removed.
+    pub fn rshift(&self) -> (Nat, u64) {
+        match self.trailing_zeros() {
+            None | Some(0) => (self.clone(), 0),
+            Some(r) => (self.shr(r), r),
+        }
+    }
+
+}
+
+impl PartialOrd for Nat {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(Ord::cmp(self, other))
+    }
+}
+
+impl Ord for Nat {
+    /// Compare as natural numbers.
+    fn cmp(&self, other: &Self) -> Ordering {
+        ops::cmp(&self.limbs, &other.limbs)
+    }
+}
+
+impl From<u32> for Nat {
+    fn from(v: u32) -> Self {
+        Nat::from_limbs(&[v])
+    }
+}
+
+impl From<u64> for Nat {
+    fn from(v: u64) -> Self {
+        Nat::from_u64(v)
+    }
+}
+
+impl From<u128> for Nat {
+    fn from(v: u128) -> Self {
+        Nat::from_u128(v)
+    }
+}
+
+impl fmt::Debug for Nat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Nat(0x{})", self.to_hex())
+    }
+}
+
+impl fmt::Display for Nat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_decimal())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_invariants() {
+        let z = Nat::zero();
+        assert!(z.is_zero());
+        assert!(z.is_even());
+        assert!(!z.is_odd());
+        assert_eq!(z.bit_len(), 0);
+        assert_eq!(z.len(), 0);
+        assert_eq!(z, Nat::from_limbs(&[0, 0, 0]));
+    }
+
+    #[test]
+    fn from_u128_roundtrip() {
+        let v = 0x0123_4567_89ab_cdef_1122_3344_5566_7788u128;
+        assert_eq!(Nat::from_u128(v).to_u128(), Some(v));
+    }
+
+    #[test]
+    fn add_sub_roundtrip() {
+        let a = Nat::from_u128(u128::MAX - 3);
+        let b = Nat::from_u128(12345);
+        let c = a.add(&b);
+        assert_eq!(c.sub(&b), a);
+        assert_eq!(c.sub(&a), b);
+    }
+
+    #[test]
+    fn checked_sub_underflow() {
+        assert!(Nat::from(3u32).checked_sub(&Nat::from(4u32)).is_none());
+        assert_eq!(
+            Nat::from(3u32).checked_sub(&Nat::from(3u32)),
+            Some(Nat::zero())
+        );
+    }
+
+    #[test]
+    fn shifts_match_u128() {
+        let v = 0x0123_4567_89ab_cdefu128;
+        let n = Nat::from_u128(v);
+        for r in [0u64, 1, 5, 31, 32, 33, 64] {
+            assert_eq!(n.shl(r).to_u128(), Some(v << r), "shl {r}");
+            assert_eq!(n.shr(r).to_u128(), Some(v >> r), "shr {r}");
+        }
+    }
+
+    #[test]
+    fn rshift_strips_trailing_zeros() {
+        let (v, r) = Nat::from(0b1011_0000u32).rshift();
+        assert_eq!(v, Nat::from(0b1011u32));
+        assert_eq!(r, 4);
+        let (z, r0) = Nat::zero().rshift();
+        assert!(z.is_zero());
+        assert_eq!(r0, 0);
+    }
+
+    #[test]
+    fn ordering() {
+        let a = Nat::from_u128(1 << 100);
+        let b = Nat::from_u128((1 << 100) + 1);
+        assert!(a < b);
+        assert!(b > a);
+        assert_eq!(a.cmp(&a), Ordering::Equal);
+    }
+
+    #[test]
+    fn bit_access() {
+        let n = Nat::from_u128(0b101 << 40);
+        assert!(n.bit(40));
+        assert!(!n.bit(41));
+        assert!(n.bit(42));
+        assert!(!n.bit(1000));
+    }
+}

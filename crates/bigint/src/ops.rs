@@ -1,0 +1,477 @@
+//! Slice-level arithmetic kernels.
+//!
+//! These operate on raw little-endian limb slices so that both the
+//! heap-allocated [`crate::Nat`] type and the fixed pre-allocated GCD operand
+//! buffers of `bulkgcd-core` (paper Fig. 1) can share one implementation.
+//!
+//! Unless stated otherwise, slices need not be normalized (they may carry
+//! high zero limbs); functions that return a length always return the
+//! *normalized* length of the result.
+
+use crate::limb::{adc, sbb, Limb, LIMB_BITS};
+
+/// Length of `a` with high zero limbs stripped.
+#[inline]
+pub fn normalized_len(a: &[Limb]) -> usize {
+    let mut n = a.len();
+    while n > 0 && a[n - 1] == 0 {
+        n -= 1;
+    }
+    n
+}
+
+/// Compare two little-endian limb slices as natural numbers.
+pub fn cmp(a: &[Limb], b: &[Limb]) -> core::cmp::Ordering {
+    use core::cmp::Ordering;
+    let la = normalized_len(a);
+    let lb = normalized_len(b);
+    match la.cmp(&lb) {
+        Ordering::Equal => {}
+        ord => return ord,
+    }
+    for i in (0..la).rev() {
+        match a[i].cmp(&b[i]) {
+            Ordering::Equal => {}
+            ord => return ord,
+        }
+    }
+    Ordering::Equal
+}
+
+/// Number of significant bits of `a` (0 for the value zero).
+#[inline]
+pub fn bit_len(a: &[Limb]) -> u64 {
+    let n = normalized_len(a);
+    if n == 0 {
+        0
+    } else {
+        n as u64 * LIMB_BITS as u64 - a[n - 1].leading_zeros() as u64
+    }
+}
+
+/// Number of trailing zero bits of `a`. Returns `None` for the value zero.
+pub fn trailing_zeros(a: &[Limb]) -> Option<u64> {
+    for (i, &w) in a.iter().enumerate() {
+        if w != 0 {
+            return Some(i as u64 * LIMB_BITS as u64 + w.trailing_zeros() as u64);
+        }
+    }
+    None
+}
+
+/// Test bit `i` (little-endian bit order; bit 0 is the least significant).
+#[inline]
+pub fn bit(a: &[Limb], i: u64) -> bool {
+    let limb = (i / LIMB_BITS as u64) as usize;
+    if limb >= a.len() {
+        return false;
+    }
+    (a[limb] >> (i % LIMB_BITS as u64)) & 1 == 1
+}
+
+/// `a += b`, returning the final carry (0 or 1). Requires `a.len() >= b.len()`;
+/// the carry propagates through the high limbs of `a`.
+pub fn add_assign(a: &mut [Limb], b: &[Limb]) -> Limb {
+    debug_assert!(a.len() >= b.len());
+    let mut carry = 0;
+    for (ai, &bi) in a.iter_mut().zip(b.iter()) {
+        let (s, c) = adc(*ai, bi, carry);
+        *ai = s;
+        carry = c;
+    }
+    if carry != 0 {
+        for ai in a.iter_mut().skip(b.len()) {
+            let (s, c) = adc(*ai, 0, carry);
+            *ai = s;
+            carry = c;
+            if carry == 0 {
+                break;
+            }
+        }
+    }
+    carry
+}
+
+/// `a -= b`, returning the final borrow (0 or 1). Requires `a.len() >= b.len()`.
+/// A non-zero return means `b > a` and `a` now holds the wrapped difference.
+pub fn sub_assign(a: &mut [Limb], b: &[Limb]) -> Limb {
+    debug_assert!(a.len() >= b.len());
+    let mut borrow = 0;
+    for (ai, &bi) in a.iter_mut().zip(b.iter()) {
+        let (d, bo) = sbb(*ai, bi, borrow);
+        *ai = d;
+        borrow = bo;
+    }
+    if borrow != 0 {
+        for ai in a.iter_mut().skip(b.len()) {
+            let (d, bo) = sbb(*ai, 0, borrow);
+            *ai = d;
+            borrow = bo;
+            if borrow == 0 {
+                break;
+            }
+        }
+    }
+    borrow
+}
+
+/// `a -= alpha * b`, returning the final borrow limb.
+///
+/// This is the multiply-subtract at the heart of the paper's
+/// `X ← X − Y·α` update (§IV): one pass over the operands with a 64-bit
+/// accumulator. Requires `a.len() >= b.len()`. If `alpha * b <= a` the
+/// returned borrow is zero.
+pub fn submul_assign(a: &mut [Limb], b: &[Limb], alpha: Limb) -> Limb {
+    debug_assert!(a.len() >= b.len());
+    // carry holds the high part of alpha*b[i] plus the subtraction borrow;
+    // it always fits in a u64 because alpha*b[i] + carry <= D^2 - 1.
+    let mut carry: u64 = 0;
+    for (ai, &bi) in a.iter_mut().zip(b.iter()) {
+        let p = alpha as u64 * bi as u64 + carry;
+        let (d, bo) = sbb(*ai, p as Limb, 0);
+        *ai = d;
+        carry = (p >> LIMB_BITS) + bo as u64;
+    }
+    let mut i = b.len();
+    while carry != 0 && i < a.len() {
+        let (d, bo) = sbb(a[i], carry as Limb, 0);
+        a[i] = d;
+        carry = (carry >> LIMB_BITS) + bo as u64;
+        i += 1;
+    }
+    carry as Limb
+}
+
+/// Shift `a` right by `r` bits in place. Bits shifted out are discarded.
+/// Returns the normalized length of the result.
+pub fn shr_in_place(a: &mut [Limb], r: u64) -> usize {
+    let n = normalized_len(a);
+    if n == 0 {
+        return 0;
+    }
+    let limb_shift = (r / LIMB_BITS as u64) as usize;
+    let bit_shift = (r % LIMB_BITS as u64) as u32;
+    if limb_shift >= n {
+        a[..n].fill(0);
+        return 0;
+    }
+    if bit_shift == 0 {
+        a.copy_within(limb_shift..n, 0);
+    } else {
+        for i in 0..n - limb_shift {
+            let lo = a[i + limb_shift] >> bit_shift;
+            let hi = if i + limb_shift + 1 < n {
+                a[i + limb_shift + 1] << (LIMB_BITS - bit_shift)
+            } else {
+                0
+            };
+            a[i] = lo | hi;
+        }
+    }
+    a[n - limb_shift..n].fill(0);
+    normalized_len(&a[..n - limb_shift])
+}
+
+/// Shift `a` left by `r` bits in place. Requires the slice to be long enough
+/// to hold the result. Returns the normalized length of the result.
+pub fn shl_in_place(a: &mut [Limb], r: u64) -> usize {
+    let n = normalized_len(a);
+    if n == 0 {
+        return 0;
+    }
+    let limb_shift = (r / LIMB_BITS as u64) as usize;
+    let bit_shift = (r % LIMB_BITS as u64) as u32;
+    let new_hi = n + limb_shift + usize::from(bit_shift != 0);
+    assert!(
+        new_hi <= a.len(),
+        "shl_in_place overflow: need {new_hi} limbs, have {}",
+        a.len()
+    );
+    // Anything above the source digits is treated as garbage and cleared.
+    a[n..].fill(0);
+    if bit_shift == 0 {
+        a.copy_within(0..n, limb_shift);
+    } else {
+        // Highest destination limb first to avoid clobbering sources.
+        for i in (0..n).rev() {
+            let hi = a[i] >> (LIMB_BITS - bit_shift);
+            let lo = a[i] << bit_shift;
+            a[i + limb_shift + 1] |= hi;
+            a[i + limb_shift] = lo;
+        }
+    }
+    if limb_shift > 0 {
+        a[..limb_shift].fill(0);
+    }
+    normalized_len(a)
+}
+
+/// The paper's `rshift(X)` (§II): remove all trailing zero bits, in place.
+/// Returns `(normalized length, number of bits removed)`.
+/// `rshift(0)` is defined as `(0, 0)`.
+pub fn rshift_in_place(a: &mut [Limb]) -> (usize, u64) {
+    match trailing_zeros(a) {
+        None => (0, 0),
+        Some(0) => (normalized_len(a), 0),
+        Some(r) => (shr_in_place(a, r), r),
+    }
+}
+
+/// Fused `X ← rshift(X − α·Y)` in a single pass (paper §IV).
+///
+/// Computes the difference limb-by-limb from the least significant end while
+/// simultaneously emitting the right-shifted result, exactly as the paper's
+/// register-pipelined loop does (one read of X, one read of Y, one write of
+/// X per limb). The shift amount is determined from the low 64 bits of the
+/// difference; if the difference has 64 or more trailing zero bits (vanishingly
+/// rare for random inputs) we fall back to the two-pass path.
+///
+/// Requirements: `α·Y ≤ X`, `x.len() >= y.len()`.
+/// Returns `(normalized length of X, bits shifted)`.
+pub fn fused_submul_rshift(x: &mut [Limb], y: &[Limb], alpha: Limb) -> (usize, u64) {
+    debug_assert!(x.len() >= y.len());
+    let yl = y.len();
+    let xl = x.len();
+
+    // Compute the two lowest difference limbs to find the shift amount.
+    let get_y = |i: usize| -> Limb {
+        if i < yl {
+            y[i]
+        } else {
+            0
+        }
+    };
+    let mut carry: u64 = 0; // combined mul-high + borrow chain, as in submul_assign
+    let mut d0 = 0;
+    let mut d1 = 0;
+    #[allow(clippy::needless_range_loop)] // i indexes two arrays in lockstep
+    for i in 0..2.min(xl) {
+        let p = alpha as u64 * get_y(i) as u64 + carry;
+        let (d, bo) = sbb(x[i], p as Limb, 0);
+        if i == 0 {
+            d0 = d;
+        } else {
+            d1 = d;
+        }
+        carry = (p >> LIMB_BITS) + bo as u64;
+    }
+    let low = (d1 as u64) << LIMB_BITS | d0 as u64;
+    if low == 0 {
+        // >= 64 trailing zero bits (or tiny operand): two-pass fallback.
+        let borrow = submul_assign(x, y, alpha);
+        debug_assert_eq!(borrow, 0, "fused_submul_rshift requires alpha*y <= x");
+        let (len, r) = rshift_in_place(x);
+        return (len, r);
+    }
+    let r = low.trailing_zeros() as u64;
+    if r >= LIMB_BITS as u64 {
+        // Shift crosses a limb boundary; take the simple path.
+        let borrow = submul_assign(x, y, alpha);
+        debug_assert_eq!(borrow, 0);
+        let (len, r2) = rshift_in_place(x);
+        return (len, r2);
+    }
+    let rs = r as u32;
+    // Single fused pass: recompute the difference limb stream, emitting each
+    // output limb as soon as its high bits are known.
+    let mut carry: u64 = 0;
+    let mut prev: Limb = 0; // difference limb i-1, not yet emitted
+    for i in 0..xl {
+        let p = alpha as u64 * get_y(i) as u64 + carry;
+        let (d, bo) = sbb(x[i], p as Limb, 0);
+        carry = (p >> LIMB_BITS) + bo as u64;
+        if i > 0 {
+            x[i - 1] = if rs == 0 {
+                prev
+            } else {
+                (prev >> rs) | (d << (LIMB_BITS - rs))
+            };
+        }
+        prev = d;
+    }
+    debug_assert_eq!(carry, 0, "fused_submul_rshift requires alpha*y <= x");
+    x[xl - 1] = prev >> rs;
+    (normalized_len(x), r)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn from_u128(mut v: u128) -> Vec<Limb> {
+        let mut out = vec![];
+        while v != 0 {
+            out.push(v as Limb);
+            v >>= 32;
+        }
+        out
+    }
+
+    fn to_u128(a: &[Limb]) -> u128 {
+        a.iter()
+            .enumerate()
+            .fold(0u128, |acc, (i, &w)| acc | (w as u128) << (32 * i))
+    }
+
+    #[test]
+    fn normalized_len_strips_high_zeros() {
+        assert_eq!(normalized_len(&[1, 2, 0, 0]), 2);
+        assert_eq!(normalized_len(&[0, 0]), 0);
+        assert_eq!(normalized_len(&[]), 0);
+    }
+
+    #[test]
+    fn cmp_handles_unnormalized() {
+        use core::cmp::Ordering::*;
+        assert_eq!(cmp(&[1, 0, 0], &[1]), Equal);
+        assert_eq!(cmp(&[0, 1], &[5]), Greater);
+        assert_eq!(cmp(&[5], &[0, 1]), Less);
+        assert_eq!(cmp(&[2, 1], &[3, 1]), Less);
+    }
+
+    #[test]
+    fn bit_len_cases() {
+        assert_eq!(bit_len(&[]), 0);
+        assert_eq!(bit_len(&[0]), 0);
+        assert_eq!(bit_len(&[1]), 1);
+        assert_eq!(bit_len(&[0, 1]), 33);
+        assert_eq!(bit_len(&[u32::MAX, u32::MAX]), 64);
+    }
+
+    #[test]
+    fn trailing_zeros_cases() {
+        assert_eq!(trailing_zeros(&[]), None);
+        assert_eq!(trailing_zeros(&[0, 0]), None);
+        assert_eq!(trailing_zeros(&[8]), Some(3));
+        assert_eq!(trailing_zeros(&[0, 2]), Some(33));
+    }
+
+    #[test]
+    fn add_sub_roundtrip_u128() {
+        let a = 0x0123_4567_89ab_cdef_1122_3344u128;
+        let b = 0x0fed_cba9_8765_4321u128;
+        let mut x = from_u128(a);
+        x.push(0); // headroom
+        assert_eq!(add_assign(&mut x, &from_u128(b)), 0);
+        assert_eq!(to_u128(&x), a + b);
+        assert_eq!(sub_assign(&mut x, &from_u128(b)), 0);
+        assert_eq!(to_u128(&x), a);
+    }
+
+    #[test]
+    fn sub_underflow_reports_borrow() {
+        let mut x = from_u128(5);
+        assert_eq!(sub_assign(&mut x, &from_u128(7)), 1);
+    }
+
+    #[test]
+    fn submul_matches_u128() {
+        let a = 0xffff_ffff_ffff_ffff_ffffu128;
+        let b = 0x1234_5678u128;
+        let alpha = 0x9abc_def0u32;
+        let mut x = from_u128(a);
+        assert_eq!(submul_assign(&mut x, &from_u128(b), alpha), 0);
+        assert_eq!(to_u128(&x), a - b * alpha as u128);
+    }
+
+    #[test]
+    fn submul_carry_propagates_past_b() {
+        // Force borrow propagation through high limbs of x.
+        let a = (1u128 << 96) | 1;
+        let b = 2u128;
+        let alpha = 1u32;
+        let mut x = from_u128(a);
+        assert_eq!(submul_assign(&mut x, &from_u128(b), alpha), 0);
+        assert_eq!(to_u128(&x), a - 2);
+    }
+
+    #[test]
+    fn shr_various() {
+        let v = 0x0123_4567_89ab_cdef_0011_2233u128;
+        for r in [0u64, 1, 31, 32, 33, 63, 64, 65, 95] {
+            let mut x = from_u128(v);
+            let len = shr_in_place(&mut x, r);
+            assert_eq!(to_u128(&x[..len]), v >> r, "r={r}");
+        }
+    }
+
+    #[test]
+    fn shr_to_zero() {
+        let mut x = from_u128(0xff);
+        assert_eq!(shr_in_place(&mut x, 8), 0);
+        assert_eq!(shr_in_place(&mut x, 1000), 0);
+    }
+
+    #[test]
+    fn shl_various() {
+        let v = 0x0123_4567_89abu128;
+        for r in [0u64, 1, 31, 32, 33, 63, 64] {
+            let mut x = from_u128(v);
+            x.resize(x.len() + 3, 0);
+            let len = shl_in_place(&mut x, r);
+            assert_eq!(to_u128(&x[..len]), v << r, "r={r}");
+        }
+    }
+
+    #[test]
+    fn rshift_strips_exactly_trailing_zeros() {
+        let mut x = from_u128(0b1101_0100 << 40);
+        let (len, r) = rshift_in_place(&mut x);
+        assert_eq!(r, 42);
+        assert_eq!(to_u128(&x[..len]), 0b11_0101);
+    }
+
+    #[test]
+    fn fused_matches_two_pass() {
+        let xs: [u128; 5] = [
+            0xffff_ffff_ffff_ffff_ffff_ffffu128,
+            0x0123_4567_89ab_cdef_0123_4567u128,
+            (1u128 << 100) + (1 << 50),
+            u128::MAX >> 1,
+            0x1_0000_0000u128,
+        ];
+        let ys: [u128; 3] = [0x89ab_cdefu128, 0x1_0000_0001u128, 3];
+        for &a in &xs {
+            for &b in &ys {
+                for alpha in [1u32, 3, 0x7fff_ffff] {
+                    if b * alpha as u128 > a {
+                        continue;
+                    }
+                    let mut x = from_u128(a);
+                    let y = from_u128(b);
+                    if y.len() > x.len() {
+                        continue;
+                    }
+                    let (len, r) = fused_submul_rshift(&mut x, &y, alpha);
+                    let expect = a - b * alpha as u128;
+                    let tz = if expect == 0 {
+                        0
+                    } else {
+                        expect.trailing_zeros() as u64
+                    };
+                    assert_eq!(r, tz, "a={a:#x} b={b:#x} alpha={alpha:#x}");
+                    assert_eq!(to_u128(&x[..len]), expect >> tz);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fused_handles_zero_result() {
+        let mut x = from_u128(21);
+        let y = from_u128(7);
+        let (len, _) = fused_submul_rshift(&mut x, &y, 3);
+        assert_eq!(len, 0);
+    }
+
+    #[test]
+    fn fused_handles_many_trailing_zeros() {
+        // difference = 2^96: forces the fallback path.
+        let a = (1u128 << 96) + 5;
+        let mut x = from_u128(a);
+        let y = from_u128(5);
+        let (len, r) = fused_submul_rshift(&mut x, &y, 1);
+        assert_eq!(r, 96);
+        assert_eq!(to_u128(&x[..len]), 1);
+    }
+}

@@ -1,0 +1,235 @@
+//! Primality testing and random prime generation.
+//!
+//! This replaces the paper's use of the OpenSSL toolkit for generating RSA
+//! moduli (§V, §VII): trial division by a small-prime table followed by
+//! Miller–Rabin with random bases (plus base 2).
+
+use crate::modular::Montgomery;
+use crate::nat::Nat;
+use crate::random::{random_below, random_odd_bits};
+use rand::Rng;
+
+/// Number of Miller–Rabin rounds. 32 random bases gives a composite-escape
+/// probability below 4^-32, far below the hardware error rate.
+pub const MILLER_RABIN_ROUNDS: usize = 32;
+
+/// Small primes for trial division, generated once by a sieve.
+fn small_primes() -> &'static [u32] {
+    use std::sync::OnceLock;
+    static TABLE: OnceLock<Vec<u32>> = OnceLock::new();
+    TABLE.get_or_init(|| sieve(8192))
+}
+
+/// Simple sieve of Eratosthenes up to `limit` (exclusive).
+pub fn sieve(limit: u32) -> Vec<u32> {
+    let limit = limit as usize;
+    let mut is_comp = vec![false; limit];
+    let mut primes = Vec::new();
+    for i in 2..limit {
+        if !is_comp[i] {
+            primes.push(i as u32);
+            let mut j = i * i;
+            while j < limit {
+                is_comp[j] = true;
+                j += i;
+            }
+        }
+    }
+    primes
+}
+
+/// Outcome of trial division.
+enum TrialDivision {
+    /// Divisible by the contained small prime (0 when `n < 2`).
+    Composite(u32),
+    /// Equal to a small prime.
+    IsSmallPrime,
+    /// No small factor found.
+    Unknown,
+}
+
+fn trial_division(n: &Nat) -> TrialDivision {
+    for &p in small_primes() {
+        let pn = Nat::from(p);
+        match n.cmp(&pn) {
+            core::cmp::Ordering::Equal => return TrialDivision::IsSmallPrime,
+            core::cmp::Ordering::Less => return TrialDivision::Composite(0),
+            core::cmp::Ordering::Greater => {}
+        }
+        if n.rem_u32(p) == 0 {
+            return TrialDivision::Composite(p);
+        }
+    }
+    TrialDivision::Unknown
+}
+
+/// The smallest prime factor of `n` below the trial-division bound, if any.
+/// Returns `None` both for primes and for composites whose factors are all
+/// larger than the table.
+pub fn small_factor(n: &Nat) -> Option<u32> {
+    match trial_division(n) {
+        TrialDivision::Composite(p) if p != 0 => Some(p),
+        _ => None,
+    }
+}
+
+/// One Miller–Rabin round for witness `a` against odd `n > 2`,
+/// with `n - 1 = 2^s * d` precomputed. Returns true if `n` passes.
+fn miller_rabin_round(mont: &Montgomery, n: &Nat, n_minus_1: &Nat, d: &Nat, s: u64, a: &Nat) -> bool {
+    let mut x = mont.pow(a, d);
+    if x.is_one() || x == *n_minus_1 {
+        return true;
+    }
+    for _ in 1..s {
+        x = x.mul(&x).rem(n);
+        if x == *n_minus_1 {
+            return true;
+        }
+        if x.is_one() {
+            return false; // non-trivial sqrt of 1 found
+        }
+    }
+    false
+}
+
+/// Probabilistic primality test: trial division + Miller–Rabin.
+pub fn is_probable_prime<R: Rng + ?Sized>(n: &Nat, rng: &mut R) -> bool {
+    is_probable_prime_rounds(n, rng, MILLER_RABIN_ROUNDS)
+}
+
+/// As [`is_probable_prime`] with an explicit round count.
+pub fn is_probable_prime_rounds<R: Rng + ?Sized>(n: &Nat, rng: &mut R, rounds: usize) -> bool {
+    if n.cmp(&Nat::from(2u32)) == core::cmp::Ordering::Less {
+        return false;
+    }
+    if n == &Nat::from(2u32) {
+        return true;
+    }
+    if n.is_even() {
+        return false;
+    }
+    match trial_division(n) {
+        TrialDivision::Composite(_) => return false,
+        TrialDivision::IsSmallPrime => return true,
+        TrialDivision::Unknown => {}
+    }
+    let n_minus_1 = n.sub(&Nat::one());
+    let s = n_minus_1
+        .trailing_zeros()
+        .expect("n odd > 2 implies n-1 > 0");
+    let d = n_minus_1.shr(s);
+    let mont = Montgomery::new(n);
+
+    // Base 2 first (cheap, catches most composites), then random bases
+    // in [2, n-2].
+    if !miller_rabin_round(&mont, n, &n_minus_1, &d, s, &Nat::from(2u32)) {
+        return false;
+    }
+    let span = n.sub(&Nat::from(3u32)); // witnesses drawn from [2, n-2]
+    for _ in 1..rounds {
+        let a = random_below(rng, &span).add(&Nat::from(2u32));
+        if !miller_rabin_round(&mont, n, &n_minus_1, &d, s, &a) {
+            return false;
+        }
+    }
+    true
+}
+
+/// Generate a random probable prime with exactly `bits` significant bits.
+///
+/// Uses the usual generate-and-test loop over random odd candidates; the
+/// prime density theorem makes the expected number of candidates ~ bits·ln 2 / 2.
+pub fn random_prime<R: Rng + ?Sized>(rng: &mut R, bits: u64) -> Nat {
+    assert!(bits >= 2, "no primes below 2 bits");
+    loop {
+        let cand = random_odd_bits(rng, bits);
+        if is_probable_prime(&cand, rng) {
+            return cand;
+        }
+    }
+}
+
+/// Generate a random probable prime with its **two** top bits set — the
+/// convention RSA key generators use so that the product of two such
+/// `bits`-bit primes always has exactly `2·bits` bits.
+pub fn random_rsa_prime<R: Rng + ?Sized>(rng: &mut R, bits: u64) -> Nat {
+    assert!(bits >= 3, "need room for two forced top bits");
+    let top2 = Nat::one().shl(bits - 2);
+    loop {
+        let mut cand = random_odd_bits(rng, bits);
+        if !cand.bit(bits - 2) {
+            cand = cand.add(&top2);
+        }
+        if is_probable_prime(&cand, rng) {
+            return cand;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0xfeed)
+    }
+
+    #[test]
+    fn sieve_matches_known_primes() {
+        assert_eq!(sieve(30), vec![2, 3, 5, 7, 11, 13, 17, 19, 23, 29]);
+        assert_eq!(sieve(2), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn small_numbers_classified() {
+        let mut r = rng();
+        let primes = [2u32, 3, 5, 7, 11, 97, 7919, 65537];
+        let composites = [0u32, 1, 4, 9, 15, 91, 561 /* Carmichael */, 6601, 62745];
+        for p in primes {
+            assert!(is_probable_prime(&Nat::from(p), &mut r), "{p} is prime");
+        }
+        for c in composites {
+            assert!(!is_probable_prime(&Nat::from(c), &mut r), "{c} is composite");
+        }
+    }
+
+    #[test]
+    fn large_known_prime_and_composite() {
+        let mut r = rng();
+        // 2^89 - 1 is a Mersenne prime.
+        let m89 = Nat::from_u128((1u128 << 89) - 1);
+        assert!(is_probable_prime(&m89, &mut r));
+        // 2^89 + 1 is divisible by 3? 2 mod 3 = 2, 2^89 mod 3 = 2, +1 = 0: composite.
+        let c = Nat::from_u128((1u128 << 89) + 1);
+        assert!(!is_probable_prime(&c, &mut r));
+    }
+
+    #[test]
+    fn product_of_two_primes_rejected() {
+        let mut r = rng();
+        let p = random_prime(&mut r, 48);
+        let q = random_prime(&mut r, 48);
+        assert!(!is_probable_prime(&p.mul(&q), &mut r));
+    }
+
+    #[test]
+    fn random_prime_has_requested_width() {
+        let mut r = rng();
+        for bits in [16u64, 33, 64, 128] {
+            let p = random_prime(&mut r, bits);
+            assert_eq!(p.bit_len(), bits);
+            assert!(p.is_odd() || p == Nat::from(2u32));
+        }
+    }
+
+    #[test]
+    fn strong_pseudoprime_to_base_2_caught() {
+        // 3215031751 is a strong pseudoprime to bases 2, 3, 5, 7? It is a
+        // well-known Carmichael-like case: 3215031751 = 151 * 751 * 28351.
+        let n = Nat::from(3_215_031_751u32);
+        let mut r = rng();
+        assert!(!is_probable_prime(&n, &mut r));
+    }
+}

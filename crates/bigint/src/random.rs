@@ -1,0 +1,112 @@
+//! Random number generation helpers (seedable, for reproducible experiments).
+
+use crate::limb::{Limb, LIMB_BITS};
+use crate::nat::Nat;
+use rand::Rng;
+
+/// Uniform random value with exactly `bits` significant bits
+/// (the top bit is always set). `bits == 0` returns zero.
+pub fn random_bits<R: Rng + ?Sized>(rng: &mut R, bits: u64) -> Nat {
+    if bits == 0 {
+        return Nat::zero();
+    }
+    let limbs = bits.div_ceil(LIMB_BITS as u64) as usize;
+    let mut v: Vec<Limb> = (0..limbs).map(|_| rng.gen()).collect();
+    let top_bits = ((bits - 1) % LIMB_BITS as u64) as u32; // bit index within top limb
+    let top = &mut v[limbs - 1];
+    // Clear bits above the requested width, then force the top bit.
+    if top_bits < LIMB_BITS - 1 {
+        *top &= (1u32 << (top_bits + 1)) - 1;
+    }
+    *top |= 1 << top_bits;
+    Nat::from_limbs(&v)
+}
+
+/// Uniform random value in `[0, bound)`. Panics if `bound` is zero.
+pub fn random_below<R: Rng + ?Sized>(rng: &mut R, bound: &Nat) -> Nat {
+    assert!(!bound.is_zero(), "empty range");
+    let bits = bound.bit_len();
+    let limbs = bits.div_ceil(LIMB_BITS as u64) as usize;
+    let top_mask = {
+        let used = ((bits - 1) % LIMB_BITS as u64) as u32 + 1;
+        if used == LIMB_BITS {
+            u32::MAX
+        } else {
+            (1u32 << used) - 1
+        }
+    };
+    // Rejection sampling: expected < 2 iterations.
+    loop {
+        let mut v: Vec<Limb> = (0..limbs).map(|_| rng.gen()).collect();
+        v[limbs - 1] &= top_mask;
+        let n = Nat::from_limbs(&v);
+        if n.cmp(bound) == core::cmp::Ordering::Less {
+            return n;
+        }
+    }
+}
+
+/// Uniform random odd value with exactly `bits` significant bits.
+pub fn random_odd_bits<R: Rng + ?Sized>(rng: &mut R, bits: u64) -> Nat {
+    assert!(bits >= 1);
+    let n = random_bits(rng, bits);
+    if n.is_odd() {
+        n
+    } else {
+        n.add(&Nat::one())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn random_bits_width_exact() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for bits in [1u64, 2, 31, 32, 33, 64, 100, 512] {
+            for _ in 0..10 {
+                let n = random_bits(&mut rng, bits);
+                assert_eq!(n.bit_len(), bits, "bits={bits}");
+            }
+        }
+    }
+
+    #[test]
+    fn random_below_in_range() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let bound = Nat::from_u128(1_000_000_007);
+        for _ in 0..100 {
+            let n = random_below(&mut rng, &bound);
+            assert!(n < bound);
+        }
+    }
+
+    #[test]
+    fn random_below_tiny_bound() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let bound = Nat::one();
+        for _ in 0..10 {
+            assert!(random_below(&mut rng, &bound).is_zero());
+        }
+    }
+
+    #[test]
+    fn random_odd_is_odd_and_right_width() {
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..50 {
+            let n = random_odd_bits(&mut rng, 256);
+            assert!(n.is_odd());
+            assert_eq!(n.bit_len(), 256);
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = random_bits(&mut StdRng::seed_from_u64(42), 128);
+        let b = random_bits(&mut StdRng::seed_from_u64(42), 128);
+        assert_eq!(a, b);
+    }
+}

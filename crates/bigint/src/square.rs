@@ -1,0 +1,126 @@
+//! Dedicated squaring: the cross products `a_i·a_j` (i ≠ j) appear twice
+//! in a square, so schoolbook squaring does ~half the single-limb
+//! multiplications of a general product. Matters for the product tree
+//! (batch GCD squares at every remainder-tree level) and for the modpow
+//! square chain.
+
+use crate::limb::{mac, mul_wide, Limb, LIMB_BITS};
+use crate::mul::KARATSUBA_CUTOFF;
+use crate::nat::Nat;
+use crate::ops;
+
+/// Schoolbook squaring of `a` into `out` (zeroed, length >= 2·a.len()).
+pub fn square_schoolbook(out: &mut [Limb], a: &[Limb]) {
+    let n = a.len();
+    debug_assert!(out.len() >= 2 * n);
+    debug_assert!(out[..2 * n].iter().all(|&w| w == 0));
+    if n == 0 {
+        return;
+    }
+    // Off-diagonal products, each once: out += sum_{i<j} a_i a_j B^{i+j}.
+    for i in 0..n {
+        let ai = a[i];
+        if ai == 0 {
+            continue;
+        }
+        let mut carry = 0;
+        for j in i + 1..n {
+            let (lo, hi) = mac(out[i + j], ai, a[j], carry);
+            out[i + j] = lo;
+            carry = hi;
+        }
+        out[i + n] = carry;
+    }
+    // Double them: out <<= 1.
+    let mut prev_hi = 0;
+    for w in out[..2 * n].iter_mut() {
+        let hi = *w >> (LIMB_BITS - 1);
+        *w = (*w << 1) | prev_hi;
+        prev_hi = hi;
+    }
+    // Add the diagonal a_i^2 terms.
+    let mut carry: Limb = 0;
+    for i in 0..n {
+        let (lo, hi) = mul_wide(a[i], a[i]);
+        let (s, c1) = crate::limb::adc(out[2 * i], lo, carry);
+        out[2 * i] = s;
+        let (s, c2) = crate::limb::adc(out[2 * i + 1], hi, c1);
+        out[2 * i + 1] = s;
+        carry = c2;
+    }
+    debug_assert_eq!(carry, 0, "square fits in 2n limbs");
+}
+
+/// Square of a limb slice, allocating the result.
+pub fn square_slices(a: &[Limb]) -> Vec<Limb> {
+    let n = ops::normalized_len(a);
+    if n == 0 {
+        return Vec::new();
+    }
+    if n >= KARATSUBA_CUTOFF {
+        // Karatsuba multiplication already splits well; reuse it above the
+        // cutoff (its subproducts are squares again only on the diagonal,
+        // so a dedicated Karatsuba-square gains little here).
+        return crate::mul::mul_slices(a, a);
+    }
+    let mut out = vec![0; 2 * n];
+    square_schoolbook(&mut out, &a[..n]);
+    out.truncate(ops::normalized_len(&out));
+    out
+}
+
+/// `n²` via dedicated squaring below the Karatsuba cutoff (the
+/// implementation behind [`Nat::square`]).
+pub fn square_nat(n: &Nat) -> Nat {
+    Nat::from_limbs(&square_slices(n.limbs()))
+}
+
+impl Nat {
+    /// `self²` via dedicated squaring below the Karatsuba cutoff.
+    pub fn square_fast(&self) -> Nat {
+        square_nat(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_mul_small() {
+        for v in [0u128, 1, 2, 0xffff_ffff, 0x1_0000_0000, u64::MAX as u128] {
+            let n = Nat::from_u128(v);
+            assert_eq!(n.square_fast(), n.mul(&n), "v={v:#x}");
+            assert_eq!(n.square_fast().to_u128(), Some(v * v));
+        }
+    }
+
+    #[test]
+    fn matches_mul_wide_pseudorandom() {
+        let mut state = 0xabcd_ef01_2345_6789u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for len in [1usize, 3, 7, 15, 31, 40, 80] {
+            let limbs: Vec<Limb> = (0..len).map(|_| next() as u32).collect();
+            let n = Nat::from_limbs(&limbs);
+            assert_eq!(n.square_fast(), n.mul(&n), "len={len}");
+        }
+    }
+
+    #[test]
+    fn all_max_limbs() {
+        // Worst case carries everywhere.
+        let n = Nat::from_limbs(&[u32::MAX; 12]);
+        assert_eq!(n.square_fast(), n.mul(&n));
+    }
+
+    #[test]
+    fn square_method_now_uses_fast_path() {
+        let n = Nat::from_u128(0x0123_4567_89ab_cdef_0011_2233);
+        assert_eq!(n.square(), n.square_fast());
+    }
+}

@@ -1,0 +1,189 @@
+//! Property-based tests for the arithmetic substrate.
+//!
+//! Two independent oracles are used: `u128` built-in arithmetic for narrow
+//! operands, and algebraic identities (reconstruction, inverses, roundtrips)
+//! for wide ones.
+
+use bulkgcd_bigint::nat::Nat;
+use bulkgcd_bigint::{ops, Limb};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+/// Strategy: an arbitrary Nat up to `max_limbs` limbs.
+fn nat(max_limbs: usize) -> impl Strategy<Value = Nat> {
+    vec(any::<Limb>(), 0..=max_limbs).prop_map(|v| Nat::from_limbs(&v))
+}
+
+/// Strategy: a non-zero Nat up to `max_limbs` limbs.
+fn nat_nonzero(max_limbs: usize) -> impl Strategy<Value = Nat> {
+    nat(max_limbs).prop_filter("non-zero", |n| !n.is_zero())
+}
+
+proptest! {
+    // ---- u128 oracle ----
+
+    #[test]
+    fn add_matches_u128(a in any::<u64>(), b in any::<u64>()) {
+        let s = Nat::from_u64(a).add(&Nat::from_u64(b));
+        prop_assert_eq!(s.to_u128(), Some(a as u128 + b as u128));
+    }
+
+    #[test]
+    fn mul_matches_u128(a in any::<u64>(), b in any::<u64>()) {
+        let p = Nat::from_u64(a).mul(&Nat::from_u64(b));
+        prop_assert_eq!(p.to_u128(), Some(a as u128 * b as u128));
+    }
+
+    #[test]
+    fn div_rem_matches_u128(a in any::<u128>(), b in 1u128..) {
+        let (q, r) = Nat::from_u128(a).div_rem(&Nat::from_u128(b));
+        prop_assert_eq!(q.to_u128(), Some(a / b));
+        prop_assert_eq!(r.to_u128(), Some(a % b));
+    }
+
+    #[test]
+    fn shifts_match_u128(a in any::<u128>(), r in 0u64..127) {
+        prop_assert_eq!(Nat::from_u128(a).shr(r).to_u128(), Some(a >> r));
+        let masked = a >> r; // keep shl in range
+        prop_assert_eq!(Nat::from_u128(masked).shl(r).to_u128(), Some(masked << r));
+    }
+
+    #[test]
+    fn gcd_reference_matches_u128(a in any::<u128>(), b in any::<u128>()) {
+        fn gcd(mut a: u128, mut b: u128) -> u128 {
+            while b != 0 { let t = a % b; a = b; b = t; }
+            a
+        }
+        prop_assert_eq!(
+            Nat::from_u128(a).gcd_reference(&Nat::from_u128(b)),
+            Nat::from_u128(gcd(a, b))
+        );
+    }
+
+    // ---- algebraic identities on wide operands ----
+
+    #[test]
+    fn add_sub_roundtrip(a in nat(24), b in nat(24)) {
+        prop_assert_eq!(a.add(&b).sub(&b), a);
+    }
+
+    #[test]
+    fn add_commutes(a in nat(24), b in nat(24)) {
+        prop_assert_eq!(a.add(&b), b.add(&a));
+    }
+
+    #[test]
+    fn mul_commutes_and_distributes(a in nat(12), b in nat(12), c in nat(12)) {
+        prop_assert_eq!(a.mul(&b), b.mul(&a));
+        prop_assert_eq!(a.mul(&b.add(&c)), a.mul(&b).add(&a.mul(&c)));
+    }
+
+    #[test]
+    fn division_reconstruction(a in nat(24), b in nat_nonzero(12)) {
+        let (q, r) = a.div_rem(&b);
+        prop_assert_eq!(q.mul(&b).add(&r), a);
+        prop_assert!(r < b);
+    }
+
+    #[test]
+    fn exact_division_recovers_factor(a in nat_nonzero(12), b in nat_nonzero(12)) {
+        let p = a.mul(&b);
+        prop_assert_eq!(p.div(&b), a.clone());
+        prop_assert!(p.rem(&b).is_zero());
+        prop_assert_eq!(p.div(&a), b);
+    }
+
+    #[test]
+    fn shl_shr_roundtrip(a in nat(16), r in 0u64..200) {
+        prop_assert_eq!(a.shl(r).shr(r), a);
+    }
+
+    #[test]
+    fn rshift_makes_odd(a in nat_nonzero(16)) {
+        let (v, r) = a.rshift();
+        prop_assert!(v.is_odd());
+        prop_assert_eq!(v.shl(r), a);
+    }
+
+    #[test]
+    fn hex_decimal_roundtrip(a in nat(20)) {
+        prop_assert_eq!(Nat::from_hex(&a.to_hex()).unwrap(), a.clone());
+        prop_assert_eq!(Nat::from_decimal(&a.to_decimal()).unwrap(), a);
+    }
+
+    #[test]
+    fn bit_len_bounds(a in nat_nonzero(16)) {
+        let bits = a.bit_len();
+        prop_assert!(a >= Nat::one().shl(bits - 1));
+        prop_assert!(a < Nat::one().shl(bits));
+    }
+
+    // ---- slice kernels ----
+
+    #[test]
+    fn submul_assign_matches_composition(
+        a in nat_nonzero(16), b in nat(8), alpha in any::<u32>()
+    ) {
+        let ab = b.mul_u32(alpha);
+        prop_assume!(ab <= a && b.len() <= a.len());
+        let mut x = a.limbs().to_vec();
+        let borrow = ops::submul_assign(&mut x, b.limbs(), alpha);
+        prop_assert_eq!(borrow, 0);
+        prop_assert_eq!(Nat::from_limbs(&x), a.sub(&ab));
+    }
+
+    #[test]
+    fn fused_submul_rshift_matches_composition(
+        a in nat_nonzero(16), b in nat(8), alpha in any::<u32>()
+    ) {
+        let ab = b.mul_u32(alpha);
+        prop_assume!(ab <= a && b.len() <= a.len());
+        let mut x = a.limbs().to_vec();
+        let (len, r) = ops::fused_submul_rshift(&mut x, b.limbs(), alpha);
+        let expect = a.sub(&ab);
+        let (expect_shifted, expect_r) = expect.rshift();
+        prop_assert_eq!(r, expect_r);
+        prop_assert_eq!(Nat::from_limbs(&x[..len]), expect_shifted);
+    }
+
+    // ---- modular arithmetic ----
+
+    #[test]
+    fn modpow_montgomery_matches_naive(
+        b in nat(6), e in nat(2), m in nat_nonzero(6)
+    ) {
+        prop_assume!(m.is_odd() && !m.is_one());
+        prop_assert_eq!(b.modpow(&e, &m), b.modpow_naive(&e, &m));
+    }
+
+    #[test]
+    fn modpow_product_of_exponents(b in nat(4), m in nat_nonzero(4)) {
+        prop_assume!(m.is_odd() && !m.is_one());
+        // b^(2+3) == b^2 * b^3 (mod m)
+        let lhs = b.modpow(&Nat::from(5u32), &m);
+        let rhs = b
+            .modpow(&Nat::from(2u32), &m)
+            .mul(&b.modpow(&Nat::from(3u32), &m))
+            .rem(&m);
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn modinv_is_inverse(a in nat_nonzero(6), m in nat_nonzero(6)) {
+        prop_assume!(!m.is_one());
+        if let Some(inv) = a.modinv(&m) {
+            prop_assert!(a.mul(&inv).rem(&m).is_one());
+            prop_assert!(inv < m);
+        } else {
+            // No inverse means gcd(a, m) != 1.
+            prop_assert!(!a.gcd_reference(&m).is_one());
+        }
+    }
+
+    #[test]
+    fn gcd_divides_both(a in nat_nonzero(10), b in nat_nonzero(10)) {
+        let g = a.gcd_reference(&b);
+        prop_assert!(a.rem(&g).is_zero());
+        prop_assert!(b.rem(&g).is_zero());
+    }
+}

@@ -1,0 +1,264 @@
+//! The batch-GCD baseline (product tree + remainder tree).
+//!
+//! This is the attack the literature already had when the paper was written
+//! (Heninger et al. / Lenstra et al., implemented by tools like `fastgcd`):
+//! instead of `m(m−1)/2` pairwise GCDs it computes, for every modulus,
+//! `gcd(n_i, (P mod n_i²)/n_i)` with `P = Π n_j` — quasi-linear in `m` at
+//! the price of multi-million-bit multiplications. Implemented here as the
+//! comparison baseline the repository's benchmarks pit the paper's
+//! pairwise GPU approach against.
+
+use bulkgcd_bigint::Nat;
+use rayon::prelude::*;
+
+/// A bottom-up product tree: `levels[0]` are the inputs, each higher level
+/// holds pairwise products, `levels.last()` is `[Π inputs]`.
+#[derive(Debug, Clone)]
+pub struct ProductTree {
+    /// Tree levels, leaves first.
+    pub levels: Vec<Vec<Nat>>,
+}
+
+impl ProductTree {
+    /// Build the tree. Empty input yields a single level `[1]`... no:
+    /// empty input is rejected (no meaningful product).
+    pub fn build(moduli: &[Nat]) -> ProductTree {
+        assert!(!moduli.is_empty(), "product tree of nothing");
+        let mut levels = vec![moduli.to_vec()];
+        while levels.last().unwrap().len() > 1 {
+            let prev = levels.last().unwrap();
+            let mut next = Vec::with_capacity(prev.len().div_ceil(2));
+            for chunk in prev.chunks(2) {
+                match chunk {
+                    [a, b] => next.push(a.mul(b)),
+                    [a] => next.push(a.clone()),
+                    _ => unreachable!(),
+                }
+            }
+            levels.push(next);
+        }
+        ProductTree { levels }
+    }
+
+    /// The root product `Π n_i`.
+    pub fn root(&self) -> &Nat {
+        &self.levels.last().unwrap()[0]
+    }
+
+    /// Number of leaves.
+    pub fn len(&self) -> usize {
+        self.levels[0].len()
+    }
+
+    /// True when the tree has no leaves (never: build rejects empty input).
+    pub fn is_empty(&self) -> bool {
+        self.levels[0].is_empty()
+    }
+}
+
+/// For every modulus, compute `gcd(n_i, (P mod n_i²) / n_i)` by descending
+/// a remainder tree. The result is > 1 exactly for moduli sharing a prime
+/// with some other modulus (or appearing twice).
+///
+/// ```
+/// use bulkgcd_bigint::Nat;
+/// use bulkgcd_bulk::batch_gcd;
+///
+/// let moduli = vec![
+///     Nat::from_u64(101 * 211),
+///     Nat::from_u64(101 * 223), // shares 101 with the first
+///     Nat::from_u64(103 * 227), // clean
+/// ];
+/// let g = batch_gcd(&moduli);
+/// assert_eq!(g[0], Nat::from_u64(101));
+/// assert_eq!(g[1], Nat::from_u64(101));
+/// assert!(g[2].is_one());
+/// ```
+pub fn batch_gcd(moduli: &[Nat]) -> Vec<Nat> {
+    if moduli.len() < 2 {
+        return moduli.iter().map(|_| Nat::one()).collect();
+    }
+    let tree = ProductTree::build(moduli);
+    // Remainder tree, top down: rem[v] = root mod node[v]^2.
+    let mut rems: Vec<Nat> = vec![tree.root().clone()];
+    for level in (0..tree.levels.len() - 1).rev() {
+        let nodes = &tree.levels[level];
+        let mut next = Vec::with_capacity(nodes.len());
+        for (idx, node) in nodes.iter().enumerate() {
+            let parent = &rems[idx / 2];
+            next.push(parent.rem(&node.square()));
+        }
+        rems = next;
+    }
+    moduli
+        .iter()
+        .zip(&rems)
+        .map(|(n, z)| {
+            let (q, r) = z.div_rem(n);
+            debug_assert!(r.is_zero(), "P mod n^2 is a multiple of n");
+            q.gcd_reference(n)
+        })
+        .collect()
+}
+
+/// Parallel [`batch_gcd`]: same computation with every tree level mapped
+/// across the rayon pool. The level-by-level data dependence is inherent
+/// (each remainder needs its parent), but levels are wide near the leaves
+/// — exactly where the squarings are numerous.
+pub fn batch_gcd_parallel(moduli: &[Nat]) -> Vec<Nat> {
+    if moduli.len() < 2 {
+        return moduli.iter().map(|_| Nat::one()).collect();
+    }
+    // Product tree, parallel within each level.
+    let mut levels = vec![moduli.to_vec()];
+    while levels.last().unwrap().len() > 1 {
+        let prev = levels.last().unwrap();
+        let next: Vec<Nat> = prev
+            .par_chunks(2)
+            .map(|chunk| match chunk {
+                [a, b] => a.mul(b),
+                [a] => a.clone(),
+                _ => unreachable!(),
+            })
+            .collect();
+        levels.push(next);
+    }
+    // Remainder tree, parallel within each level.
+    let mut rems: Vec<Nat> = vec![levels.last().unwrap()[0].clone()];
+    for level in (0..levels.len() - 1).rev() {
+        let nodes = &levels[level];
+        rems = nodes
+            .par_iter()
+            .enumerate()
+            .map(|(idx, node)| rems[idx / 2].rem(&node.square()))
+            .collect();
+    }
+    moduli
+        .par_iter()
+        .zip(&rems)
+        .map(|(n, z)| {
+            let (q, r) = z.div_rem(n);
+            debug_assert!(r.is_zero());
+            q.gcd_reference(n)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bulkgcd_bigint::prime::random_rsa_prime;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn nat(v: u128) -> Nat {
+        Nat::from_u128(v)
+    }
+
+    #[test]
+    fn product_tree_root_is_product() {
+        let xs = [3u128, 5, 7, 11, 13];
+        let t = ProductTree::build(&xs.map(nat));
+        assert_eq!(t.root(), &nat(3 * 5 * 7 * 11 * 13));
+        assert_eq!(t.len(), 5);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn product_tree_single_leaf() {
+        let t = ProductTree::build(&[nat(42)]);
+        assert_eq!(t.root(), &nat(42));
+        assert_eq!(t.levels.len(), 1);
+    }
+
+    #[test]
+    fn batch_gcd_finds_shared_primes() {
+        // n0 and n2 share 101; n1 and n3 share 103; n4 is clean.
+        let moduli = [
+            nat(101 * 211),
+            nat(103 * 223),
+            nat(101 * 227),
+            nat(103 * 229),
+            nat(233 * 239),
+        ];
+        let g = batch_gcd(&moduli);
+        assert_eq!(g[0], nat(101));
+        assert_eq!(g[1], nat(103));
+        assert_eq!(g[2], nat(101));
+        assert_eq!(g[3], nat(103));
+        assert_eq!(g[4], Nat::one());
+    }
+
+    #[test]
+    fn batch_gcd_clean_corpus_all_ones() {
+        let moduli = [nat(101 * 211), nat(103 * 223), nat(107 * 227)];
+        assert!(batch_gcd(&moduli).iter().all(|g| g.is_one()));
+    }
+
+    #[test]
+    fn batch_gcd_duplicate_modulus_reports_modulus() {
+        let n = nat(101 * 211);
+        let g = batch_gcd(&[n.clone(), n.clone(), nat(103 * 223)]);
+        assert_eq!(g[0], n);
+        assert_eq!(g[1], n);
+        assert!(g[2].is_one());
+    }
+
+    #[test]
+    fn batch_gcd_degenerate_sizes() {
+        assert!(batch_gcd(&[]).is_empty());
+        assert_eq!(batch_gcd(&[nat(15)]), vec![Nat::one()]);
+    }
+
+    #[test]
+    fn batch_gcd_matches_pairwise_on_rsa_corpus() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let p_shared = random_rsa_prime(&mut rng, 64);
+        let mut moduli: Vec<Nat> = (0..6)
+            .map(|_| random_rsa_prime(&mut rng, 64).mul(&random_rsa_prime(&mut rng, 64)))
+            .collect();
+        moduli.push(p_shared.mul(&random_rsa_prime(&mut rng, 64)));
+        moduli.push(p_shared.mul(&random_rsa_prime(&mut rng, 64)));
+        let batch = batch_gcd(&moduli);
+        // Pairwise oracle.
+        for (i, ni) in moduli.iter().enumerate() {
+            let mut expect = Nat::one();
+            for (j, nj) in moduli.iter().enumerate() {
+                if i != j {
+                    let g = ni.gcd_reference(nj);
+                    if !g.is_one() {
+                        expect = g;
+                    }
+                }
+            }
+            assert_eq!(batch[i], expect, "modulus {i}");
+        }
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let shared = random_rsa_prime(&mut rng, 48);
+        let mut moduli: Vec<Nat> = (0..9)
+            .map(|_| random_rsa_prime(&mut rng, 48).mul(&random_rsa_prime(&mut rng, 48)))
+            .collect();
+        moduli.push(shared.mul(&random_rsa_prime(&mut rng, 48)));
+        moduli.push(shared.mul(&random_rsa_prime(&mut rng, 48)));
+        assert_eq!(batch_gcd_parallel(&moduli), batch_gcd(&moduli));
+        assert_eq!(batch_gcd_parallel(&[]), batch_gcd(&[]));
+        assert_eq!(
+            batch_gcd_parallel(&[nat(15)]),
+            batch_gcd(&[nat(15)])
+        );
+    }
+
+    #[test]
+    fn odd_level_sizes_handled() {
+        // 7 leaves exercises the unpaired-node carry at two levels.
+        let moduli: Vec<Nat> = [3u128, 5, 7, 11, 13, 17, 19].map(nat).to_vec();
+        let t = ProductTree::build(&moduli);
+        assert_eq!(t.root(), &nat(3 * 5 * 7 * 11 * 13 * 17 * 19));
+        let g = batch_gcd(&moduli);
+        assert!(g.iter().all(|x| x.is_one()));
+    }
+}

@@ -1,0 +1,169 @@
+//! Incremental weak-key checking.
+//!
+//! The all-pairs scan answers "which of these m keys share primes"; a key
+//! *service* faces the streaming variant: "does this one new modulus share
+//! a prime with anything we have seen?". A precomputed product tree makes
+//! each check one `P mod n` plus one GCD — quasi-constant work per new key
+//! instead of m pairwise GCDs.
+
+use crate::batch::ProductTree;
+use bulkgcd_bigint::Nat;
+
+/// A corpus index supporting O(log-ish) shared-prime checks against all
+/// previously registered moduli.
+#[derive(Debug, Clone, Default)]
+pub struct CorpusIndex {
+    moduli: Vec<Nat>,
+    /// Product tree over `moduli`; rebuilt lazily after inserts.
+    tree: Option<ProductTree>,
+}
+
+impl CorpusIndex {
+    /// Empty index.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Index over an initial corpus.
+    pub fn from_moduli(moduli: &[Nat]) -> Self {
+        let mut idx = CorpusIndex {
+            moduli: moduli.to_vec(),
+            tree: None,
+        };
+        idx.rebuild();
+        idx
+    }
+
+    fn rebuild(&mut self) {
+        self.tree = if self.moduli.is_empty() {
+            None
+        } else {
+            Some(ProductTree::build(&self.moduli))
+        };
+    }
+
+    /// Number of indexed moduli.
+    pub fn len(&self) -> usize {
+        self.moduli.len()
+    }
+
+    /// True when nothing is indexed.
+    pub fn is_empty(&self) -> bool {
+        self.moduli.is_empty()
+    }
+
+    /// Check a candidate modulus against everything indexed: returns
+    /// `gcd(n, P mod n)` — a value > 1 exactly when `n` shares a factor
+    /// with (or equals) some indexed modulus.
+    pub fn shared_factor(&self, n: &Nat) -> Nat {
+        assert!(!n.is_zero(), "candidate modulus must be positive");
+        let Some(tree) = &self.tree else {
+            return Nat::one();
+        };
+        let r = tree.root().rem(n);
+        if r.is_zero() {
+            // n divides the product: n itself is (a product of) shared
+            // primes — the duplicate-modulus case.
+            return n.clone();
+        }
+        r.gcd_reference(n)
+    }
+
+    /// Register a new modulus (call [`Self::commit`] when done inserting).
+    pub fn insert(&mut self, n: Nat) {
+        assert!(!n.is_zero());
+        self.moduli.push(n);
+        self.tree = None;
+    }
+
+    /// Rebuild the tree after a batch of [`Self::insert`]s.
+    pub fn commit(&mut self) {
+        self.rebuild();
+    }
+
+    /// Check-then-insert in one step: returns the shared factor (1 when
+    /// clean) and registers the modulus either way.
+    ///
+    /// Note: rebuilding per key is O(m) multiplications; batch inserts and
+    /// a single [`Self::commit`] when throughput matters.
+    pub fn check_and_insert(&mut self, n: &Nat) -> Nat {
+        if self.tree.is_none() && !self.moduli.is_empty() {
+            self.rebuild();
+        }
+        let g = self.shared_factor(n);
+        self.insert(n.clone());
+        self.commit();
+        g
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bulkgcd_bigint::prime::random_rsa_prime;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn nat(v: u128) -> Nat {
+        Nat::from_u128(v)
+    }
+
+    #[test]
+    fn empty_index_reports_clean() {
+        let idx = CorpusIndex::new();
+        assert!(idx.is_empty());
+        assert!(idx.shared_factor(&nat(101 * 103)).is_one());
+    }
+
+    #[test]
+    fn detects_shared_prime_with_indexed_modulus() {
+        let idx = CorpusIndex::from_moduli(&[nat(101 * 211), nat(103 * 223), nat(107 * 227)]);
+        assert_eq!(idx.len(), 3);
+        // Candidate shares 103 with the second modulus.
+        assert_eq!(idx.shared_factor(&nat(103 * 229)), nat(103));
+        // Clean candidate.
+        assert!(idx.shared_factor(&nat(109 * 233)).is_one());
+    }
+
+    #[test]
+    fn duplicate_modulus_detected() {
+        let n = nat(101 * 211);
+        let idx = CorpusIndex::from_moduli(&[n.clone(), nat(103 * 223)]);
+        assert_eq!(idx.shared_factor(&n), n);
+    }
+
+    #[test]
+    fn check_and_insert_stream() {
+        let mut idx = CorpusIndex::new();
+        assert!(idx.check_and_insert(&nat(101 * 211)).is_one());
+        assert!(idx.check_and_insert(&nat(103 * 223)).is_one());
+        // Third key reuses 101.
+        assert_eq!(idx.check_and_insert(&nat(101 * 227)), nat(101));
+        assert_eq!(idx.len(), 3);
+        // Fourth key reuses 227 from the third.
+        assert_eq!(idx.check_and_insert(&nat(227 * 229)), nat(227));
+    }
+
+    #[test]
+    fn matches_pairwise_scan_on_rsa_corpus() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let shared = random_rsa_prime(&mut rng, 48);
+        let moduli = vec![
+            random_rsa_prime(&mut rng, 48).mul(&random_rsa_prime(&mut rng, 48)),
+            shared.mul(&random_rsa_prime(&mut rng, 48)),
+            random_rsa_prime(&mut rng, 48).mul(&random_rsa_prime(&mut rng, 48)),
+        ];
+        let idx = CorpusIndex::from_moduli(&moduli);
+        let candidate = shared.mul(&random_rsa_prime(&mut rng, 48));
+        assert_eq!(idx.shared_factor(&candidate), shared);
+    }
+
+    #[test]
+    fn insert_without_commit_then_query_rebuilds() {
+        let mut idx = CorpusIndex::new();
+        idx.insert(nat(101 * 211));
+        idx.insert(nat(103 * 223));
+        idx.commit();
+        assert_eq!(idx.shared_factor(&nat(211 * 9973)), nat(211));
+    }
+}

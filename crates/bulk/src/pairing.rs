@@ -1,0 +1,148 @@
+//! The paper's all-pairs decomposition (§VI).
+//!
+//! `m` moduli are split into `m/r` groups of `r`; CUDA block `(i, j)` with
+//! `r` threads covers the cross product of group `i` and group `j`. Blocks
+//! with `i > j` terminate immediately; diagonal blocks `(i, i)` cover the
+//! strict upper triangle within the group. Together the `(m/r)²` blocks
+//! cover all `m(m−1)/2` unordered pairs exactly once.
+
+/// The group/block decomposition for `m` moduli in groups of `r`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GroupedPairs {
+    /// Number of moduli.
+    pub m: usize,
+    /// Group size `r` (threads per block).
+    pub r: usize,
+}
+
+/// A block of the §VI grid, identified by its group coordinates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BlockId {
+    /// Row group index.
+    pub i: usize,
+    /// Column group index.
+    pub j: usize,
+}
+
+impl GroupedPairs {
+    /// Create a decomposition. `r` must divide `m` (pad the modulus list to
+    /// a multiple of `r` if necessary, as a real launch would).
+    pub fn new(m: usize, r: usize) -> Self {
+        assert!(r >= 1, "group size must be positive");
+        assert!(m.is_multiple_of(r), "paper's decomposition needs r | m (pad the corpus)");
+        GroupedPairs { m, r }
+    }
+
+    /// Number of groups `m/r`.
+    pub fn groups(&self) -> usize {
+        self.m / self.r
+    }
+
+    /// All non-trivial blocks (`i <= j`; blocks with `i > j` exit at once
+    /// and are not enumerated).
+    pub fn blocks(&self) -> impl Iterator<Item = BlockId> + '_ {
+        let g = self.groups();
+        (0..g).flat_map(move |i| (i..g).map(move |j| BlockId { i, j }))
+    }
+
+    /// Total number of unordered pairs `m(m−1)/2`.
+    pub fn total_pairs(&self) -> u64 {
+        let m = self.m as u64;
+        m * (m - 1) / 2
+    }
+
+    /// The (global-index) pairs covered by thread `k` of block `b`, in the
+    /// order the paper's kernel visits them.
+    pub fn thread_pairs(&self, b: BlockId, k: usize) -> Vec<(usize, usize)> {
+        assert!(k < self.r);
+        let ik = b.i * self.r + k;
+        let mut out = Vec::new();
+        if b.i < b.j {
+            for u in 0..self.r {
+                out.push((ik, b.j * self.r + u));
+            }
+        } else if b.i == b.j {
+            for u in k + 1..self.r {
+                out.push((ik, b.i * self.r + u));
+            }
+        }
+        out
+    }
+
+    /// All pairs covered by block `b` (all `r` threads).
+    pub fn block_pairs(&self, b: BlockId) -> Vec<(usize, usize)> {
+        (0..self.r)
+            .flat_map(|k| self.thread_pairs(b, k))
+            .collect()
+    }
+
+    /// Every unordered pair, enumerated block by block (the §VI schedule).
+    pub fn all_pairs(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        self.blocks().flat_map(move |b| self.block_pairs(b))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn covers_all_pairs_exactly_once() {
+        for (m, r) in [(8, 2), (12, 3), (16, 4), (6, 6), (10, 1)] {
+            let g = GroupedPairs::new(m, r);
+            let mut seen = HashSet::new();
+            for (a, b) in g.all_pairs() {
+                assert!(a < b, "pairs are ordered (a < b): ({a},{b})");
+                assert!(b < m);
+                assert!(seen.insert((a, b)), "duplicate pair ({a},{b}) m={m} r={r}");
+            }
+            assert_eq!(seen.len() as u64, g.total_pairs(), "m={m} r={r}");
+        }
+    }
+
+    #[test]
+    fn off_diagonal_block_is_full_cross_product() {
+        let g = GroupedPairs::new(8, 2);
+        let pairs = g.block_pairs(BlockId { i: 0, j: 2 });
+        assert_eq!(pairs.len(), 4);
+        assert!(pairs.contains(&(0, 4)));
+        assert!(pairs.contains(&(1, 5)));
+    }
+
+    #[test]
+    fn diagonal_block_is_strict_upper_triangle() {
+        let g = GroupedPairs::new(8, 4);
+        let pairs = g.block_pairs(BlockId { i: 1, j: 1 });
+        assert_eq!(pairs.len(), 4 * 3 / 2);
+        for (a, b) in pairs {
+            assert!((4..8).contains(&a) && (4..8).contains(&b) && a < b);
+        }
+    }
+
+    #[test]
+    fn thread_pair_counts_match_paper_kernel() {
+        let g = GroupedPairs::new(16, 4);
+        // Off-diagonal: every thread computes r GCDs.
+        for k in 0..4 {
+            assert_eq!(g.thread_pairs(BlockId { i: 0, j: 1 }, k).len(), 4);
+        }
+        // Diagonal: thread k computes r-1-k GCDs.
+        for k in 0..4 {
+            assert_eq!(g.thread_pairs(BlockId { i: 2, j: 2 }, k).len(), 3 - k);
+        }
+    }
+
+    #[test]
+    fn block_count_is_upper_triangle_of_groups() {
+        let g = GroupedPairs::new(12, 3);
+        assert_eq!(g.groups(), 4);
+        assert_eq!(g.blocks().count(), 4 * 5 / 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "r | m")]
+    fn indivisible_m_rejected() {
+        let _ = GroupedPairs::new(10, 3);
+    }
+}

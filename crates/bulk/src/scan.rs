@@ -1,0 +1,298 @@
+//! All-pairs weak-key scans.
+//!
+//! * [`scan_cpu`] — the multithreaded host scan (rayon over §VI blocks,
+//!   one reusable [`GcdPair`] workspace per worker);
+//! * [`scan_gpu_sim`] — the same scan priced on the simulated GPU, batched
+//!   into kernel launches like the paper's runs.
+//!
+//! Both produce identical findings; only the clock differs.
+
+use crate::pairing::GroupedPairs;
+use bulkgcd_bigint::Nat;
+use bulkgcd_core::{run, Algorithm, GcdOutcome, GcdPair, NoProbe, Termination};
+use bulkgcd_gpu::{simulate_bulk_gcd, BulkGcdLaunch, CostModel, DeviceConfig};
+use rayon::prelude::*;
+use std::time::{Duration, Instant};
+
+/// A pair of moduli found to share a factor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Index of the first modulus.
+    pub i: usize,
+    /// Index of the second modulus.
+    pub j: usize,
+    /// The shared factor (`gcd(n_i, n_j)`, > 1).
+    pub factor: Nat,
+}
+
+/// Outcome of a scan.
+#[derive(Debug, Clone)]
+pub struct ScanReport {
+    /// Pairs sharing a factor, ordered by (i, j).
+    pub findings: Vec<Finding>,
+    /// Unordered pairs examined.
+    pub pairs_scanned: u64,
+    /// Wall-clock time of the scan (host time; for the GPU scan this is
+    /// the simulation's own runtime, not the simulated device time).
+    pub elapsed: Duration,
+    /// Simulated device seconds (GPU scans only).
+    pub simulated_seconds: Option<f64>,
+}
+
+fn termination_for(a: &Nat, b: &Nat, early: bool) -> Termination {
+    if early {
+        // s/2 where s is the modulus width: a shared prime has s/2 bits.
+        Termination::Early {
+            threshold_bits: a.bit_len().min(b.bit_len()) / 2,
+        }
+    } else {
+        Termination::Full
+    }
+}
+
+/// Scan all pairs of `moduli` on the CPU with `algo`, using every rayon
+/// worker. `early` enables the §V early termination (recommended).
+///
+/// ```
+/// use bulkgcd_bigint::Nat;
+/// use bulkgcd_bulk::scan_cpu;
+/// use bulkgcd_core::Algorithm;
+///
+/// // Three "moduli"; the first two share the factor 101.
+/// let moduli = vec![
+///     Nat::from_u64(101 * 211),
+///     Nat::from_u64(101 * 223),
+///     Nat::from_u64(103 * 227),
+/// ];
+/// let report = scan_cpu(&moduli, Algorithm::Approximate, false);
+/// assert_eq!(report.pairs_scanned, 3);
+/// assert_eq!(report.findings.len(), 1);
+/// assert_eq!(report.findings[0].factor, Nat::from_u64(101));
+/// ```
+pub fn scan_cpu(moduli: &[Nat], algo: Algorithm, early: bool) -> ScanReport {
+    let start = Instant::now();
+    let m = moduli.len();
+    if m < 2 {
+        return ScanReport {
+            findings: Vec::new(),
+            pairs_scanned: 0,
+            elapsed: start.elapsed(),
+            simulated_seconds: None,
+        };
+    }
+    // Group size: the paper uses r = 64 threads per block; any r | m works.
+    // Use the largest power of two <= 64 dividing m, falling back to 1.
+    let r = (0..=6)
+        .rev()
+        .map(|k| 1usize << k)
+        .find(|r| m.is_multiple_of(*r))
+        .unwrap_or(1);
+    let grid = GroupedPairs::new(m, r);
+    let blocks: Vec<_> = grid.blocks().collect();
+    let mut findings: Vec<Finding> = blocks
+        .par_iter()
+        .map(|&b| {
+            // One reusable workspace per block task (worker-local reuse).
+            let mut pair = GcdPair::with_capacity(1);
+            let mut found = Vec::new();
+            for (i, j) in grid.block_pairs(b) {
+                let (a, c) = (&moduli[i], &moduli[j]);
+                pair.load(a, c);
+                let term = termination_for(a, c, early);
+                if let GcdOutcome::Gcd(g) = run(algo, &mut pair, term, &mut NoProbe) {
+                    if !g.is_one() {
+                        found.push(Finding { i, j, factor: g });
+                    }
+                }
+            }
+            found
+        })
+        .flatten()
+        .collect();
+    findings.sort_by_key(|f| (f.i, f.j));
+    ScanReport {
+        findings,
+        pairs_scanned: grid.total_pairs(),
+        elapsed: start.elapsed(),
+        simulated_seconds: None,
+    }
+}
+
+/// Scan all pairs of `moduli` on the simulated GPU.
+///
+/// Pairs are enumerated in the §VI block order and submitted in launches of
+/// `launch_pairs` lanes (bounded memory). Findings are exact; the simulated
+/// seconds accumulate across launches.
+pub fn scan_gpu_sim(
+    moduli: &[Nat],
+    algo: Algorithm,
+    early: bool,
+    device: &DeviceConfig,
+    cost: &CostModel,
+    launch_pairs: usize,
+) -> ScanReport {
+    let start = Instant::now();
+    let m = moduli.len();
+    if m < 2 {
+        return ScanReport {
+            findings: Vec::new(),
+            pairs_scanned: 0,
+            elapsed: start.elapsed(),
+            simulated_seconds: Some(0.0),
+        };
+    }
+    let r = (0..=6)
+        .rev()
+        .map(|k| 1usize << k)
+        .find(|r| m.is_multiple_of(*r))
+        .unwrap_or(1);
+    let grid = GroupedPairs::new(m, r);
+    let early_term = |a: &Nat, b: &Nat| termination_for(a, b, early);
+
+    let mut findings = Vec::new();
+    let mut simulated = 0f64;
+    let mut batch_idx: Vec<(usize, usize)> = Vec::with_capacity(launch_pairs);
+    let mut batch: Vec<(Nat, Nat)> = Vec::with_capacity(launch_pairs);
+    let flush = |batch_idx: &mut Vec<(usize, usize)>,
+                     batch: &mut Vec<(Nat, Nat)>,
+                     findings: &mut Vec<Finding>,
+                     simulated: &mut f64| {
+        if batch.is_empty() {
+            return;
+        }
+        // One termination setting per launch: take the *smallest* per-pair
+        // threshold so a mixed-width batch can never stop before a pair's
+        // own shared-prime size (conservative: extra iterations for the
+        // wider pairs, never a missed factor).
+        let term = batch
+            .iter()
+            .map(|(a, b)| early_term(a, b))
+            .reduce(|acc, t| match (acc, t) {
+                (
+                    Termination::Early { threshold_bits: x },
+                    Termination::Early { threshold_bits: y },
+                ) => Termination::Early {
+                    threshold_bits: x.min(y),
+                },
+                _ => Termination::Full,
+            })
+            .unwrap_or(Termination::Full);
+        let launch: BulkGcdLaunch = simulate_bulk_gcd(device, cost, algo, batch, term);
+        *simulated += launch.report.seconds;
+        for ((i, j), out) in batch_idx.iter().zip(&launch.outcomes) {
+            if let GcdOutcome::Gcd(g) = out {
+                if !g.is_one() {
+                    findings.push(Finding {
+                        i: *i,
+                        j: *j,
+                        factor: g.clone(),
+                    });
+                }
+            }
+        }
+        batch_idx.clear();
+        batch.clear();
+    };
+
+    for (i, j) in grid.all_pairs() {
+        batch_idx.push((i, j));
+        batch.push((moduli[i].clone(), moduli[j].clone()));
+        if batch.len() == launch_pairs {
+            flush(&mut batch_idx, &mut batch, &mut findings, &mut simulated);
+        }
+    }
+    flush(&mut batch_idx, &mut batch, &mut findings, &mut simulated);
+    findings.sort_by_key(|f| (f.i, f.j));
+    ScanReport {
+        findings,
+        pairs_scanned: grid.total_pairs(),
+        elapsed: start.elapsed(),
+        simulated_seconds: Some(simulated),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bulkgcd_rsa::build_corpus;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn check_findings_match_ground_truth(
+        findings: &[Finding],
+        corpus: &bulkgcd_rsa::Corpus,
+    ) {
+        assert_eq!(findings.len(), corpus.shared.len());
+        for (f, (i, j, p)) in findings.iter().zip(&corpus.shared) {
+            assert_eq!((f.i, f.j), (*i, *j));
+            assert_eq!(&f.factor, p);
+        }
+    }
+
+    #[test]
+    fn cpu_scan_finds_planted_pairs() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let corpus = build_corpus(&mut rng, 16, 128, 3);
+        for early in [false, true] {
+            let rep = scan_cpu(&corpus.moduli(), Algorithm::Approximate, early);
+            assert_eq!(rep.pairs_scanned, 16 * 15 / 2);
+            check_findings_match_ground_truth(&rep.findings, &corpus);
+        }
+    }
+
+    #[test]
+    fn all_algorithms_agree_on_cpu() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let corpus = build_corpus(&mut rng, 8, 128, 2);
+        let moduli = corpus.moduli();
+        let reference = scan_cpu(&moduli, Algorithm::Approximate, true);
+        for algo in Algorithm::ALL {
+            let rep = scan_cpu(&moduli, algo, true);
+            assert_eq!(rep.findings, reference.findings, "{}", algo.name());
+        }
+    }
+
+    #[test]
+    fn gpu_scan_matches_cpu_scan() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let corpus = build_corpus(&mut rng, 12, 128, 2);
+        let moduli = corpus.moduli();
+        let cpu = scan_cpu(&moduli, Algorithm::Approximate, true);
+        let gpu = scan_gpu_sim(
+            &moduli,
+            Algorithm::Approximate,
+            true,
+            &DeviceConfig::gtx_780_ti(),
+            &CostModel::default(),
+            32,
+        );
+        assert_eq!(cpu.findings, gpu.findings);
+        assert_eq!(cpu.pairs_scanned, gpu.pairs_scanned);
+        assert!(gpu.simulated_seconds.unwrap() > 0.0);
+    }
+
+    #[test]
+    fn clean_corpus_yields_no_findings() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let corpus = build_corpus(&mut rng, 8, 96, 0);
+        let rep = scan_cpu(&corpus.moduli(), Algorithm::Approximate, true);
+        assert!(rep.findings.is_empty());
+    }
+
+    #[test]
+    fn degenerate_corpora() {
+        let rep = scan_cpu(&[], Algorithm::Approximate, true);
+        assert_eq!(rep.pairs_scanned, 0);
+        let rep = scan_cpu(&[Nat::from(15u32)], Algorithm::Approximate, true);
+        assert_eq!(rep.pairs_scanned, 0);
+    }
+
+    #[test]
+    fn odd_corpus_size_uses_group_size_one() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let corpus = build_corpus(&mut rng, 7, 96, 1);
+        let rep = scan_cpu(&corpus.moduli(), Algorithm::Approximate, true);
+        assert_eq!(rep.pairs_scanned, 21);
+        check_findings_match_ground_truth(&rep.findings, &corpus);
+    }
+}

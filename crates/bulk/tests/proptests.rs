@@ -1,0 +1,99 @@
+//! Property tests for the orchestration layer: exact pair coverage for
+//! arbitrary grid shapes, batch-GCD vs a pairwise oracle on arbitrary
+//! composite sets, and incremental-index consistency.
+
+use bulkgcd_bigint::Nat;
+use bulkgcd_bulk::{batch_gcd, CorpusIndex, GroupedPairs};
+use proptest::collection::vec;
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+/// Small odd primes for building composite moduli cheaply.
+const SMALL_PRIMES: &[u32] = &[
+    101, 103, 107, 109, 113, 127, 131, 137, 139, 149, 151, 157, 163, 167, 173, 179,
+];
+
+fn composite() -> impl Strategy<Value = Nat> {
+    (0..SMALL_PRIMES.len(), 0..SMALL_PRIMES.len()).prop_map(|(i, j)| {
+        Nat::from(SMALL_PRIMES[i]).mul(&Nat::from(SMALL_PRIMES[j]))
+    })
+}
+
+proptest! {
+    #[test]
+    fn grid_covers_every_pair_exactly_once(groups in 1usize..=8, r in 1usize..=8) {
+        let m = groups * r;
+        let grid = GroupedPairs::new(m, r);
+        let mut seen = HashSet::new();
+        for (a, b) in grid.all_pairs() {
+            prop_assert!(a < b && b < m);
+            prop_assert!(seen.insert((a, b)), "duplicate ({a},{b})");
+        }
+        prop_assert_eq!(seen.len() as u64, grid.total_pairs());
+    }
+
+    #[test]
+    fn thread_workloads_match_kernel_spec(groups in 1usize..=6, r in 1usize..=6) {
+        let grid = GroupedPairs::new(groups * r, r);
+        for b in grid.blocks() {
+            for k in 0..r {
+                let pairs = grid.thread_pairs(b, k);
+                if b.i < b.j {
+                    prop_assert_eq!(pairs.len(), r);
+                } else {
+                    prop_assert_eq!(pairs.len(), r - 1 - k);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batch_gcd_matches_pairwise_oracle(moduli in vec(composite(), 2..12)) {
+        let batch = batch_gcd(&moduli);
+        for (i, ni) in moduli.iter().enumerate() {
+            // Oracle: gcd of n_i with the product of all the others equals
+            // gcd(n_i, prod mod n_i). Build it straightforwardly.
+            let mut prod_others = Nat::one();
+            for (j, nj) in moduli.iter().enumerate() {
+                if i != j {
+                    prod_others = prod_others.mul(nj);
+                }
+            }
+            let expect = ni.gcd_reference(&prod_others.rem(ni));
+            // batch_gcd defines the duplicate case as gcd(n, 0) = n.
+            let expect = if prod_others.rem(ni).is_zero() { ni.clone() } else { expect };
+            prop_assert_eq!(&batch[i], &expect, "modulus {}", i);
+        }
+    }
+
+    #[test]
+    fn incremental_index_agrees_with_direct_product(
+        corpus in vec(composite(), 1..10), candidate in composite()
+    ) {
+        let idx = CorpusIndex::from_moduli(&corpus);
+        let got = idx.shared_factor(&candidate);
+        let mut prod = Nat::one();
+        for n in &corpus {
+            prod = prod.mul(n);
+        }
+        let r = prod.rem(&candidate);
+        let expect = if r.is_zero() {
+            candidate.clone()
+        } else {
+            r.gcd_reference(&candidate)
+        };
+        prop_assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn check_and_insert_is_order_consistent(moduli in vec(composite(), 2..8)) {
+        // Streaming the corpus yields, at each step, the shared factor
+        // against the prefix — which must agree with a fresh index over
+        // that prefix.
+        let mut idx = CorpusIndex::new();
+        for (i, n) in moduli.iter().enumerate() {
+            let fresh = CorpusIndex::from_moduli(&moduli[..i]);
+            prop_assert_eq!(idx.check_and_insert(n), fresh.shared_factor(n), "step {}", i);
+        }
+    }
+}

@@ -1,0 +1,501 @@
+//! The five Euclidean variants of §II–§III, all driving a [`GcdPair`]
+//! in place and reporting one [`Step`] per do-while iteration:
+//!
+//! * (A) Original Euclid — `X ← X mod Y`
+//! * (B) Fast Euclid — exact quotient forced odd, `X ← rshift(X − Q·Y)`
+//! * (C) Binary Euclid — halve/subtract
+//! * (D) Fast Binary Euclid — `X ← rshift(X − Y)`
+//! * (E) Approximate Euclid — the paper's contribution
+//!
+//! All variants assume **odd** inputs (the paper's standing assumption —
+//! RSA moduli are odd). The [`gcd_nat`] wrapper handles arbitrary inputs by
+//! stripping common powers of two first, exactly as §II prescribes.
+
+use crate::approx::approx;
+use crate::operand::GcdPair;
+use crate::probe::{NoProbe, Probe, Step, StepKind};
+use bulkgcd_bigint::Nat;
+
+/// When to stop iterating (§V).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Termination {
+    /// Run until `Y = 0`; `X` then holds the GCD.
+    Full,
+    /// Stop as soon as `Y` has fewer than `threshold_bits` bits: for s-bit
+    /// RSA moduli with s/2-bit prime factors, `threshold_bits = s/2` — once
+    /// `Y` drops below that, the inputs are coprime.
+    Early {
+        /// Bit threshold below which the operands are declared coprime.
+        threshold_bits: u64,
+    },
+}
+
+/// Result of a GCD run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GcdOutcome {
+    /// `Y` reached zero: the GCD is this value.
+    Gcd(Nat),
+    /// Early termination fired: the inputs share no factor of at least
+    /// `threshold_bits` bits (for RSA moduli: they are coprime).
+    Coprime,
+}
+
+impl GcdOutcome {
+    /// The non-trivial factor, if one was found (a GCD larger than 1).
+    pub fn factor(&self) -> Option<&Nat> {
+        match self {
+            GcdOutcome::Gcd(g) if !g.is_one() => Some(g),
+            _ => None,
+        }
+    }
+
+    /// True when the run proved the pair coprime (GCD == 1 or early exit).
+    pub fn is_coprime(&self) -> bool {
+        match self {
+            GcdOutcome::Coprime => true,
+            GcdOutcome::Gcd(g) => g.is_one(),
+        }
+    }
+}
+
+/// Identifier for the five variants, in the paper's (A)–(E) order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Algorithm {
+    /// (A) Original Euclidean algorithm.
+    Original,
+    /// (B) Fast Euclidean algorithm.
+    Fast,
+    /// (C) Binary Euclidean algorithm.
+    Binary,
+    /// (D) Fast Binary Euclidean algorithm.
+    FastBinary,
+    /// (E) Approximate Euclidean algorithm (the paper's contribution).
+    Approximate,
+}
+
+impl Algorithm {
+    /// All five, in the paper's order.
+    pub const ALL: [Algorithm; 5] = [
+        Algorithm::Original,
+        Algorithm::Fast,
+        Algorithm::Binary,
+        Algorithm::FastBinary,
+        Algorithm::Approximate,
+    ];
+
+    /// The paper's single-letter tag, e.g. `"(E)"`.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            Algorithm::Original => "(A)",
+            Algorithm::Fast => "(B)",
+            Algorithm::Binary => "(C)",
+            Algorithm::FastBinary => "(D)",
+            Algorithm::Approximate => "(E)",
+        }
+    }
+
+    /// Human-readable name as used in the paper's tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Algorithm::Original => "Original Euclidean algorithm",
+            Algorithm::Fast => "Fast Euclidean algorithm",
+            Algorithm::Binary => "Binary Euclidean algorithm",
+            Algorithm::FastBinary => "Fast Binary Euclidean algorithm",
+            Algorithm::Approximate => "Approximate Euclidean algorithm",
+        }
+    }
+
+    /// Run this variant on a loaded pair. See [`run`].
+    pub fn run<P: Probe>(&self, pair: &mut GcdPair, term: Termination, probe: &mut P) -> GcdOutcome {
+        run(*self, pair, term, probe)
+    }
+}
+
+#[inline]
+fn finished(pair: &GcdPair, term: Termination) -> Option<GcdOutcome> {
+    if pair.y_is_zero() {
+        return Some(GcdOutcome::Gcd(pair.x_nat()));
+    }
+    if let Termination::Early { threshold_bits } = term {
+        if pair.y_bits() < threshold_bits {
+            return Some(GcdOutcome::Coprime);
+        }
+    }
+    None
+}
+
+/// (A) Original Euclidean algorithm: `X ← X mod Y; swap(X, Y)`.
+pub fn original_euclid<P: Probe>(pair: &mut GcdPair, term: Termination, probe: &mut P) -> GcdOutcome {
+    loop {
+        if let Some(out) = finished(pair, term) {
+            return out;
+        }
+        let (lx, ly) = (pair.lx(), pair.ly());
+        pair.x_mod_y();
+        pair.swap(); // X mod Y < Y, so X > Y always holds afterwards
+        probe.step(
+            pair,
+            &Step {
+                kind: StepKind::OriginalMod,
+                lx_before: lx,
+                ly_before: ly,
+                alpha: 0,
+                beta: 0,
+                case: None,
+                rshift_bits: 0,
+                swapped: true,
+            },
+        );
+    }
+}
+
+/// (B) Fast Euclidean algorithm: exact quotient forced odd, then
+/// `X ← rshift(X − Q·Y)`.
+pub fn fast_euclid<P: Probe>(pair: &mut GcdPair, term: Termination, probe: &mut P) -> GcdOutcome {
+    loop {
+        if let Some(out) = finished(pair, term) {
+            return out;
+        }
+        let (lx, ly) = (pair.lx(), pair.ly());
+        let mut q = pair.x_div_y();
+        if q.is_even() {
+            // Q even would leave X − Q·Y odd; decrement so rshift strips bits.
+            q = q.sub(&Nat::one());
+        }
+        let r = pair.x_submul_nat_rshift(&q);
+        let swapped = pair.ensure_x_ge_y();
+        probe.step(
+            pair,
+            &Step {
+                kind: StepKind::FastQuotient,
+                lx_before: lx,
+                ly_before: ly,
+                alpha: q.low_u64(),
+                beta: 0,
+                case: None,
+                rshift_bits: r,
+                swapped,
+            },
+        );
+    }
+}
+
+/// (C) Binary Euclidean algorithm: halve whichever operand is even, else
+/// `X ← (X − Y)/2`.
+pub fn binary_euclid<P: Probe>(pair: &mut GcdPair, term: Termination, probe: &mut P) -> GcdOutcome {
+    loop {
+        if let Some(out) = finished(pair, term) {
+            return out;
+        }
+        let (lx, ly) = (pair.lx(), pair.ly());
+        let kind = if !pair.x_is_odd() {
+            pair.x_halve();
+            StepKind::BinaryXEven
+        } else if !pair.y_is_odd() {
+            pair.y_halve();
+            StepKind::BinaryYEven
+        } else {
+            pair.x_sub_y_halve();
+            StepKind::BinaryBothOdd
+        };
+        let swapped = pair.ensure_x_ge_y();
+        probe.step(
+            pair,
+            &Step {
+                kind,
+                lx_before: lx,
+                ly_before: ly,
+                alpha: 1,
+                beta: 0,
+                case: None,
+                rshift_bits: 1,
+                swapped,
+            },
+        );
+    }
+}
+
+/// (D) Fast Binary Euclidean algorithm: `X ← rshift(X − Y)`.
+pub fn fast_binary_euclid<P: Probe>(
+    pair: &mut GcdPair,
+    term: Termination,
+    probe: &mut P,
+) -> GcdOutcome {
+    loop {
+        if let Some(out) = finished(pair, term) {
+            return out;
+        }
+        let (lx, ly) = (pair.lx(), pair.ly());
+        let r = pair.x_sub_y_rshift();
+        let swapped = pair.ensure_x_ge_y();
+        probe.step(
+            pair,
+            &Step {
+                kind: StepKind::FastBinarySub,
+                lx_before: lx,
+                ly_before: ly,
+                alpha: 1,
+                beta: 0,
+                case: None,
+                rshift_bits: r,
+                swapped,
+            },
+        );
+    }
+}
+
+/// (E) Approximate Euclidean algorithm — the paper's contribution (§III).
+///
+/// Each iteration computes `(α, β) = approx(X, Y)` from the top words with
+/// one 64-bit division; with β = 0 (overwhelmingly likely, §V) it performs
+/// the fused `X ← rshift(X − α·Y)` with α forced odd, otherwise the rare
+/// `X ← rshift(X − Y·α·D^β + Y)`.
+pub fn approximate_euclid<P: Probe>(
+    pair: &mut GcdPair,
+    term: Termination,
+    probe: &mut P,
+) -> GcdOutcome {
+    loop {
+        if let Some(out) = finished(pair, term) {
+            return out;
+        }
+        let (lx, ly) = (pair.lx(), pair.ly());
+        let a = approx(pair.x(), lx, pair.y(), ly);
+        let (kind, alpha, r) = if a.beta == 0 {
+            let mut alpha = a.alpha;
+            if alpha & 1 == 0 {
+                alpha -= 1; // make odd so X − α·Y is even
+            }
+            let r = if alpha <= u32::MAX as u64 {
+                pair.x_submul_rshift(alpha as u32)
+            } else {
+                // Case 1 can produce a two-word exact quotient; X then fits
+                // in 64 bits, so do the arithmetic directly.
+                debug_assert!(lx <= 2);
+                let x = pair.x_nat().low_u64();
+                let y = pair.y_nat().low_u64();
+                let d = x - alpha * y;
+                let tz = if d == 0 { 0 } else { d.trailing_zeros() as u64 };
+                pair.set_x_u64(d >> tz);
+                tz
+            };
+            (StepKind::ApproxBetaZero, alpha, r)
+        } else {
+            // β > 0 guarantees α fits one word (§III).
+            let r = pair.x_submul_shifted_rshift(a.alpha as u32, a.beta);
+            (StepKind::ApproxBetaPositive, a.alpha, r)
+        };
+        let swapped = pair.ensure_x_ge_y();
+        probe.step(
+            pair,
+            &Step {
+                kind,
+                lx_before: lx,
+                ly_before: ly,
+                alpha,
+                beta: a.beta,
+                case: Some(a.case),
+                rshift_bits: r,
+                swapped,
+            },
+        );
+    }
+}
+
+/// Run `algo` on a loaded pair (inputs must be odd; use [`gcd_nat`] for
+/// arbitrary inputs).
+pub fn run<P: Probe>(
+    algo: Algorithm,
+    pair: &mut GcdPair,
+    term: Termination,
+    probe: &mut P,
+) -> GcdOutcome {
+    match algo {
+        Algorithm::Original => original_euclid(pair, term, probe),
+        Algorithm::Fast => fast_euclid(pair, term, probe),
+        Algorithm::Binary => binary_euclid(pair, term, probe),
+        Algorithm::FastBinary => fast_binary_euclid(pair, term, probe),
+        Algorithm::Approximate => approximate_euclid(pair, term, probe),
+    }
+}
+
+/// General-input GCD with any of the five variants.
+///
+/// Handles zero and even inputs via the §II reductions: `gcd(X, 0) = X`,
+/// shared factors of two are extracted up front, and a single even operand
+/// has its trailing zeros stripped (they cannot contribute to an odd GCD).
+pub fn gcd_nat(algo: Algorithm, a: &Nat, b: &Nat) -> Nat {
+    if a.is_zero() {
+        return b.clone();
+    }
+    if b.is_zero() {
+        return a.clone();
+    }
+    let (a_odd, za) = a.rshift();
+    let (b_odd, zb) = b.rshift();
+    let common_twos = za.min(zb);
+    let mut pair = GcdPair::new(&a_odd, &b_odd);
+    match run(algo, &mut pair, Termination::Full, &mut NoProbe) {
+        GcdOutcome::Gcd(g) => g.shl(common_twos),
+        GcdOutcome::Coprime => unreachable!("Full termination never reports Coprime"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::probe::StatsProbe;
+
+    fn nat(v: u128) -> Nat {
+        Nat::from_u128(v)
+    }
+
+    #[test]
+    fn all_variants_solve_paper_example() {
+        // X = 1043915, Y = 768955, gcd = 5 (Tables I-III).
+        for algo in Algorithm::ALL {
+            let g = gcd_nat(algo, &nat(1_043_915), &nat(768_955));
+            assert_eq!(g, nat(5), "{}", algo.name());
+        }
+    }
+
+    #[test]
+    fn all_variants_match_reference_on_odd_pairs() {
+        let pairs = [
+            (3u128, 3u128),
+            (35, 5),
+            (1, 1),
+            (99_999_999_977, 99_999_999_977), // equal large
+            ((1 << 89) - 1, (1 << 61) - 1),   // coprime Mersennes
+            (0xffff_ffff_ffff_ffff, 3),
+            (1_043_915, 768_955),
+            (225, 15),
+        ];
+        for (a, b) in pairs {
+            let expect = nat(a).gcd_reference(&nat(b));
+            for algo in Algorithm::ALL {
+                assert_eq!(
+                    gcd_nat(algo, &nat(a), &nat(b)),
+                    expect,
+                    "{} on ({a}, {b})",
+                    algo.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn even_inputs_handled_by_wrapper() {
+        // gcd(2^5*3, 2^3*9) = 2^3 * 3 = 24.
+        let a = nat(96);
+        let b = nat(72);
+        for algo in Algorithm::ALL {
+            assert_eq!(gcd_nat(algo, &a, &b), nat(24), "{}", algo.name());
+        }
+    }
+
+    #[test]
+    fn zero_inputs() {
+        for algo in Algorithm::ALL {
+            assert_eq!(gcd_nat(algo, &Nat::zero(), &nat(7)), nat(7));
+            assert_eq!(gcd_nat(algo, &nat(7), &Nat::zero()), nat(7));
+            assert_eq!(gcd_nat(algo, &Nat::zero(), &Nat::zero()), Nat::zero());
+        }
+    }
+
+    #[test]
+    fn fast_euclid_39_9_example() {
+        // §II example: Original runs 2 iterations on (39, 9). The paper's
+        // prose trace for Fast shows "(39,9) → (12,9) → (9,3) → (3,0)" —
+        // displaying the difference *before* rshift as a state — but the
+        // algorithm listing applies rshift in the same iteration, so the
+        // faithful implementation reaches (9,3) after one pass:
+        // q=4→3, rshift(39−27)=rshift(12)=3, swap.
+        let mut pair = GcdPair::new(&nat(39), &nat(9));
+        let mut sp = StatsProbe::default();
+        let out = original_euclid(&mut pair, Termination::Full, &mut sp);
+        assert_eq!(out, GcdOutcome::Gcd(nat(3)));
+        assert_eq!(sp.stats.iterations, 2);
+
+        let mut pair = GcdPair::new(&nat(39), &nat(9));
+        let mut tp = crate::probe::TraceProbe::default();
+        let out = fast_euclid(&mut pair, Termination::Full, &mut tp);
+        assert_eq!(out, GcdOutcome::Gcd(nat(3)));
+        assert_eq!(tp.rows.len(), 2);
+        assert_eq!(tp.rows[0].x_after, nat(9));
+        assert_eq!(tp.rows[0].y_after, nat(3));
+    }
+
+    #[test]
+    fn early_termination_declares_coprime() {
+        // 64-bit "moduli" sharing no 32-bit factor.
+        let a = nat(0xffff_ffff_ffff_fff1); // arbitrary odd
+        let b = nat(0xffff_ffff_ffff_fceb);
+        let g = a.gcd_reference(&b);
+        assert!(g.is_one(), "test inputs must be coprime");
+        for algo in Algorithm::ALL {
+            let mut pair = GcdPair::new(&a, &b);
+            let out = run(
+                algo,
+                &mut pair,
+                Termination::Early { threshold_bits: 32 },
+                &mut NoProbe,
+            );
+            assert_eq!(out, GcdOutcome::Coprime, "{}", algo.name());
+        }
+    }
+
+    #[test]
+    fn early_termination_still_finds_shared_factor() {
+        // p is a 32-bit prime shared by both products.
+        let p = 0xffff_fffbu128; // 4294967291, prime
+        let a = nat(p * 4_294_967_311); // another prime
+        let b = nat(p * 4_294_967_357);
+        for algo in Algorithm::ALL {
+            let mut pair = GcdPair::new(&a, &b);
+            let out = run(
+                algo,
+                &mut pair,
+                Termination::Early { threshold_bits: 32 },
+                &mut NoProbe,
+            );
+            assert_eq!(out, GcdOutcome::Gcd(nat(p)), "{}", algo.name());
+        }
+    }
+
+    #[test]
+    fn identical_moduli_gcd_is_self() {
+        let n = nat(0xffff_fffb * 0xffff_ffef);
+        for algo in Algorithm::ALL {
+            assert_eq!(gcd_nat(algo, &n, &n), n, "{}", algo.name());
+        }
+    }
+
+    #[test]
+    fn approximate_iterations_at_most_fast_binary_plus_slack() {
+        // (E) should need far fewer iterations than (D) on large inputs.
+        let a = nat((1 << 127) - 1);
+        let b = nat((1 << 126) - 3);
+        let run_stats = |algo| {
+            let mut pair = GcdPair::new(&a, &b);
+            let mut sp = StatsProbe::default();
+            run(algo, &mut pair, Termination::Full, &mut sp);
+            sp.stats.iterations
+        };
+        let fast_binary = run_stats(Algorithm::FastBinary);
+        let approximate = run_stats(Algorithm::Approximate);
+        assert!(
+            approximate < fast_binary,
+            "approximate {approximate} >= fast binary {fast_binary}"
+        );
+    }
+
+    #[test]
+    fn outcome_helpers() {
+        assert!(GcdOutcome::Coprime.is_coprime());
+        assert!(GcdOutcome::Gcd(Nat::one()).is_coprime());
+        assert!(GcdOutcome::Gcd(nat(7)).factor().is_some());
+        assert!(GcdOutcome::Gcd(Nat::one()).factor().is_none());
+        assert!(GcdOutcome::Coprime.factor().is_none());
+    }
+}

@@ -1,0 +1,348 @@
+//! The paper's `approx(X, Y)` function (§III).
+//!
+//! Computes a pair `(α, β)` such that `α·D^β ≤ Q = X div Y` is a good
+//! approximation of the quotient, using at most one 64-bit division over the
+//! most significant one or two words of each operand. `D = 2^32` here
+//! (the paper sets d = 32 for real devices, §V).
+//!
+//! Case structure exactly as the paper's listing:
+//!
+//! * **Case 1** — `lX ≤ 2`: exact 64-bit quotient, `β = 0`.
+//! * **Case 2** — `lY = 1`: 2-A if `x1 ≥ y1`, else 2-B.
+//! * **Case 3** — `lY = 2`: 3-A if `x1x2 ≥ y1y2`, else 3-B.
+//! * **Case 4** — both longer: 4-A if `x1x2 > y1y2`, 4-B if `lX > lY`,
+//!   otherwise 4-C (`α·D^β = 1`).
+
+use bulkgcd_bigint::{Limb, LIMB_BITS};
+
+/// Which case of the paper's `approx` listing fired.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum ApproxCase {
+    Case1,
+    Case2A,
+    Case2B,
+    Case3A,
+    Case3B,
+    Case4A,
+    Case4B,
+    Case4C,
+}
+
+impl ApproxCase {
+    /// Number of distinct cases (size of the Table IV histogram).
+    pub const COUNT: usize = 8;
+
+    /// The paper's label for the case (e.g. `"4-A"`).
+    pub fn label(&self) -> &'static str {
+        match self {
+            ApproxCase::Case1 => "1",
+            ApproxCase::Case2A => "2-A",
+            ApproxCase::Case2B => "2-B",
+            ApproxCase::Case3A => "3-A",
+            ApproxCase::Case3B => "3-B",
+            ApproxCase::Case4A => "4-A",
+            ApproxCase::Case4B => "4-B",
+            ApproxCase::Case4C => "4-C",
+        }
+    }
+
+    /// All cases in declaration order (histogram indexing).
+    pub const ALL: [ApproxCase; Self::COUNT] = [
+        ApproxCase::Case1,
+        ApproxCase::Case2A,
+        ApproxCase::Case2B,
+        ApproxCase::Case3A,
+        ApproxCase::Case3B,
+        ApproxCase::Case4A,
+        ApproxCase::Case4B,
+        ApproxCase::Case4C,
+    ];
+}
+
+/// Result of [`approx`]: `α·D^β` approximates `X div Y` from below.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Approx {
+    /// The quotient digit. Fits a single word except in Case 1, where it is
+    /// the exact (up to 64-bit) quotient.
+    pub alpha: u64,
+    /// The word-shift exponent. Whenever `β > 0`, `α < D` is guaranteed.
+    pub beta: usize,
+    /// Which case produced the value.
+    pub case: ApproxCase,
+}
+
+#[inline]
+fn two_words(v: &[Limb], l: usize) -> u64 {
+    // value of the top two words: v[l-1] * D + v[l-2]
+    debug_assert!(l >= 2);
+    ((v[l - 1] as u64) << LIMB_BITS) | v[l - 2] as u64
+}
+
+#[inline]
+fn full_value_le2(v: &[Limb], l: usize) -> u64 {
+    match l {
+        0 => 0,
+        1 => v[0] as u64,
+        _ => two_words(v, l),
+    }
+}
+
+/// The paper's `approx(X, Y)`.
+///
+/// `x`/`y` are little-endian word slices with normalized lengths `lx`/`ly`.
+/// Requires `X ≥ Y > 0`. Only the top two words of each operand and the two
+/// lengths are inspected (at most four memory words — §IV).
+///
+/// ```
+/// use bulkgcd_bigint::Nat;
+/// use bulkgcd_core::{approx, ApproxCase};
+///
+/// // The paper's §III example at d = 32: X spans 4 words, Y spans 3, so
+/// // Case 4 applies and alpha * D^beta lower-bounds the true quotient.
+/// let x = Nat::from_u128(0xdddd_0000_1111_2222_3333_4444_5555_6666);
+/// let y = Nat::from_u128(0x7777_8888_9999_aaaa_bbbb);
+/// let a = approx(x.limbs(), x.len(), y.limbs(), y.len());
+/// assert_eq!(a.case, ApproxCase::Case4A);
+/// let approx_q = Nat::from_u64(a.alpha).shl(32 * a.beta as u64);
+/// assert!(approx_q <= x.div(&y));
+/// ```
+pub fn approx(x: &[Limb], lx: usize, y: &[Limb], ly: usize) -> Approx {
+    debug_assert!(lx >= ly && ly > 0);
+    // Case 1: X fits in 64 bits — exact quotient.
+    if lx <= 2 {
+        let xv = full_value_le2(x, lx);
+        let yv = full_value_le2(y, ly);
+        return Approx {
+            alpha: xv / yv,
+            beta: 0,
+            case: ApproxCase::Case1,
+        };
+    }
+    let x12 = two_words(x, lx);
+    let x1 = x[lx - 1] as u64;
+    if ly == 1 {
+        let y1 = y[0] as u64;
+        return if x1 >= y1 {
+            Approx {
+                alpha: x1 / y1,
+                beta: lx - 1,
+                case: ApproxCase::Case2A,
+            }
+        } else {
+            Approx {
+                alpha: x12 / y1,
+                beta: lx - 2,
+                case: ApproxCase::Case2B,
+            }
+        };
+    }
+    let y12 = two_words(y, ly);
+    let y1 = y[ly - 1] as u64;
+    if ly == 2 {
+        return if x12 >= y12 {
+            Approx {
+                alpha: x12 / y12,
+                beta: lx - 2,
+                case: ApproxCase::Case3A,
+            }
+        } else {
+            Approx {
+                alpha: x12 / (y1 + 1),
+                beta: lx - 3,
+                case: ApproxCase::Case3B,
+            }
+        };
+    }
+    // Case 4: both operands longer than two words.
+    if x12 > y12 {
+        Approx {
+            alpha: x12 / (y12 + 1),
+            beta: lx - ly,
+            case: ApproxCase::Case4A,
+        }
+    } else if lx > ly {
+        Approx {
+            alpha: x12 / (y1 + 1),
+            beta: lx - ly - 1,
+            case: ApproxCase::Case4B,
+        }
+    } else {
+        Approx {
+            alpha: 1,
+            beta: 0,
+            case: ApproxCase::Case4C,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bulkgcd_bigint::Nat;
+
+    fn ap(x: u128, y: u128) -> Approx {
+        let xn = Nat::from_u128(x);
+        let yn = Nat::from_u128(y);
+        approx(xn.limbs(), xn.len(), yn.limbs(), yn.len())
+    }
+
+    /// Check the paper's invariant: 1 <= alpha * D^beta <= X div Y
+    /// (alpha may be 0 only in Case 1 when X < Y never happens; X >= Y
+    /// implies alpha >= 1 there too).
+    fn check_bound(x: u128, y: u128) {
+        let a = ap(x, y);
+        let approx_q = (a.alpha as u128) << (32 * a.beta as u32);
+        let q = x / y;
+        assert!(approx_q >= 1, "x={x:#x} y={y:#x} case={:?}", a.case);
+        assert!(
+            approx_q <= q,
+            "x={x:#x} y={y:#x} case={:?} approx={approx_q:#x} q={q:#x}",
+            a.case
+        );
+    }
+
+    #[test]
+    fn case1_exact() {
+        let a = ap(223, 45);
+        assert_eq!(a.case, ApproxCase::Case1);
+        assert_eq!((a.alpha, a.beta), (4, 0));
+    }
+
+    #[test]
+    fn case2a() {
+        // X: 3 words with top word >= one-word Y.
+        let x = (9u128 << 64) | 1234;
+        let y = 4u128;
+        let a = ap(x, y);
+        assert_eq!(a.case, ApproxCase::Case2A);
+        assert_eq!(a.alpha, 9 / 4);
+        assert_eq!(a.beta, 2);
+        check_bound(x, y);
+    }
+
+    #[test]
+    fn case2b() {
+        // top word of X smaller than Y's single word.
+        let x = (4u128 << 64) | (0xdu128 << 32) | 2;
+        let y = 12u128;
+        let a = ap(x, y);
+        assert_eq!(a.case, ApproxCase::Case2B);
+        assert_eq!(a.alpha, ((4u64 << 32) | 0xd) / 12);
+        assert_eq!(a.beta, 1);
+        check_bound(x, y);
+    }
+
+    #[test]
+    fn case3a_and_3b() {
+        // ly == 2.
+        let y = (3u128 << 32) | 7;
+        let x_big = (9u128 << 64) | (5u128 << 32) | 1; // x12 = 9D+5 >= y12
+        let a = ap(x_big, y);
+        assert_eq!(a.case, ApproxCase::Case3A);
+        check_bound(x_big, y);
+
+        let x_small = (2u128 << 64) | (5u128 << 32) | 1; // x12 = 2D+5 < y12
+        let a = ap(x_small, y);
+        assert_eq!(a.case, ApproxCase::Case3B);
+        assert_eq!(a.beta, 0);
+        check_bound(x_small, y);
+    }
+
+    #[test]
+    fn case4a() {
+        let x = (0xdu128 << 96) | (4u128 << 64) | 3;
+        let y = (4u128 << 64) | (0xdu128 << 32) | 2;
+        let a = ap(x, y);
+        assert_eq!(a.case, ApproxCase::Case4A);
+        assert_eq!(a.beta, 1);
+        check_bound(x, y);
+    }
+
+    #[test]
+    fn case4b() {
+        // x12 <= y12 but lx > ly.
+        let x = (4u128 << 96) | (0xdu128 << 64) | 3;
+        let y = (0xfu128 << 64) | (0xau128 << 32);
+        let a = ap(x, y);
+        assert_eq!(a.case, ApproxCase::Case4B);
+        assert_eq!(a.beta, 0);
+        check_bound(x, y);
+    }
+
+    #[test]
+    fn case4c_near_equal() {
+        let x = (7u128 << 64) | (9u128 << 32) | 5;
+        let y = (7u128 << 64) | (9u128 << 32) | 3;
+        let a = ap(x, y);
+        assert_eq!(a.case, ApproxCase::Case4C);
+        assert_eq!((a.alpha, a.beta), (1, 0));
+        check_bound(x, y);
+    }
+
+    #[test]
+    fn bound_holds_exhaustively_on_pseudorandom_pairs() {
+        let mut state = 0x9e37_79b9_7f4a_7c15u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for _ in 0..5000 {
+            let x = ((next() as u128) << 64 | next() as u128) >> (next() % 96);
+            let y = ((next() as u128) << 64 | next() as u128) >> (next() % 96);
+            if x == 0 || y == 0 {
+                continue;
+            }
+            let (x, y) = if x >= y { (x, y) } else { (y, x) };
+            check_bound(x, y);
+        }
+    }
+
+    /// Constructed d = 32 operands hitting every case, with the bound
+    /// checked by multiword arithmetic (not just u128).
+    #[test]
+    fn every_case_reachable_at_d32() {
+        use bulkgcd_bigint::Nat;
+        let limbs = |v: &[u32]| Nat::from_limbs(v); // little-endian
+        // (X limbs, Y limbs, expected case), most significant last.
+        let cases: Vec<(Vec<u32>, Vec<u32>, ApproxCase)> = vec![
+            // Case 1: lX <= 2.
+            (vec![5, 9], vec![3], ApproxCase::Case1),
+            // Case 2-A: lY = 1, x1 >= y1.
+            (vec![1, 2, 9], vec![4], ApproxCase::Case2A),
+            // Case 2-B: lY = 1, x1 < y1.
+            (vec![1, 2, 3], vec![9], ApproxCase::Case2B),
+            // Case 3-A: lY = 2, top-two(X) >= top-two(Y).
+            (vec![1, 5, 9], vec![7, 3], ApproxCase::Case3A),
+            // Case 3-B: lY = 2, top-two(X) < top-two(Y).
+            (vec![1, 5, 2], vec![7, 9], ApproxCase::Case3B),
+            // Case 4-A: both > 2 words, x1x2 > y1y2.
+            (vec![1, 2, 9, 9], vec![3, 4, 5], ApproxCase::Case4A),
+            // Case 4-B: x1x2 <= y1y2 but lX > lY.
+            (vec![1, 2, 3, 4], vec![5, 6, 7], ApproxCase::Case4B),
+            // Case 4-C: equal lengths, equal top-two words.
+            (vec![9, 8, 7, 6], vec![1, 8, 7, 6], ApproxCase::Case4C),
+        ];
+        for (xl, yl, expect) in cases {
+            let x = limbs(&xl);
+            let y = limbs(&yl);
+            assert!(x >= y, "construction must satisfy X >= Y: {expect:?}");
+            let a = approx(x.limbs(), x.len(), y.limbs(), y.len());
+            assert_eq!(a.case, expect, "x={xl:?} y={yl:?}");
+            assert!(a.alpha >= 1);
+            // alpha * D^beta <= X div Y, checked in multiword arithmetic.
+            let approx_q = Nat::from_u64(a.alpha).shl(32 * a.beta as u64);
+            let q = x.div(&y);
+            assert!(approx_q <= q, "{expect:?}: approx {approx_q:?} > q {q:?}");
+        }
+    }
+
+    #[test]
+    fn labels_are_papers() {
+        assert_eq!(ApproxCase::Case4A.label(), "4-A");
+        assert_eq!(ApproxCase::Case1.label(), "1");
+        assert_eq!(ApproxCase::ALL.len(), ApproxCase::COUNT);
+    }
+}

@@ -1,0 +1,305 @@
+//! Lehmer's GCD algorithm (Knuth TAOCP vol. 2, Algorithm 4.5.2 L) — an
+//! *extension* beyond the paper's five variants.
+//!
+//! Lehmer is the classical way to avoid multiword divisions: simulate
+//! several Euclid steps on the top words of `X` and `Y` (tracking the
+//! cosequence `a, b, c, d`), then apply them all at once as two linear
+//! combinations `(X, Y) ← (aX + bY, cX + dY)`. The paper's Approximate
+//! Euclid can be read as a radically simplified one-step Lehmer: one
+//! approximate quotient per iteration, no cosequence, one fused update.
+//! Having the real thing in-tree lets the benches quantify what the
+//! simplification costs (iterations) and buys (per-iteration work,
+//! obliviousness on SIMT hardware — Lehmer's inner loop is wildly
+//! divergent).
+
+use crate::operand::GcdPair;
+use crate::probe::{Probe, Step, StepKind};
+use crate::algorithms::{GcdOutcome, Termination};
+use bulkgcd_bigint::Nat;
+
+/// Largest coefficient magnitude allowed in the cosequence; staying below
+/// 2^31 keeps the multiword update inside single-limb multiplications.
+const COEFF_LIMIT: i64 = 1 << 31;
+
+/// Top (up to) 62 bits of `X`, and the bits of `Y` at the *same* shift
+/// (so both values are comparable; `Y`'s may be 0 when it is much shorter).
+/// 62 bits — not 64 — so that `x̂ + coefficient` never overflows an `i64`
+/// in the cosequence loop.
+fn top_bits(pair: &GcdPair) -> (u64, u64) {
+    let shift = pair.x_bits().saturating_sub(62);
+    let x = pair.x_nat().shr(shift).low_u64();
+    let y = pair.y_nat().shr(shift).low_u64();
+    (x, y)
+}
+
+/// `|u|·A − |v|·B` for a signed pair with opposite signs (or zero), where
+/// the true value `u·A + v·B` is known to be non-negative.
+fn linear(a: &Nat, b: &Nat, u: i64, v: i64) -> Nat {
+    debug_assert!(u >= 0 || v >= 0);
+    debug_assert!(u.unsigned_abs() < u32::MAX as u64 && v.unsigned_abs() < u32::MAX as u64);
+    if u >= 0 && v >= 0 {
+        return a.mul_u32(u as u32).add(&b.mul_u32(v as u32));
+    }
+    if u >= 0 {
+        a.mul_u32(u as u32).sub(&b.mul_u32(v.unsigned_abs() as u32))
+    } else {
+        b.mul_u32(v as u32).sub(&a.mul_u32(u.unsigned_abs() as u32))
+    }
+}
+
+/// Lehmer's GCD on a loaded pair (inputs may be any positive values;
+/// unlike the paper's five variants it does not require odd inputs).
+pub fn lehmer_euclid<P: Probe>(pair: &mut GcdPair, term: Termination, probe: &mut P) -> GcdOutcome {
+    loop {
+        if pair.y_is_zero() {
+            return GcdOutcome::Gcd(pair.x_nat());
+        }
+        if let Termination::Early { threshold_bits } = term {
+            if pair.y_bits() < threshold_bits {
+                return GcdOutcome::Coprime;
+            }
+        }
+        let (lx, ly) = (pair.lx(), pair.ly());
+
+        if lx <= 2 {
+            // Both operands fit in 64 bits: finish directly.
+            let mut x = pair.x_nat().low_u64();
+            let mut y = pair.y_nat().low_u64();
+            while y != 0 {
+                if let Termination::Early { threshold_bits } = term {
+                    if (64 - y.leading_zeros() as u64) < threshold_bits {
+                        return GcdOutcome::Coprime;
+                    }
+                }
+                let r = x % y;
+                x = y;
+                y = r;
+            }
+            let g = Nat::from_u64(x);
+            probe.step(
+                pair,
+                &Step {
+                    kind: StepKind::OriginalMod,
+                    lx_before: lx,
+                    ly_before: ly,
+                    alpha: 0,
+                    beta: 0,
+                    case: None,
+                    rshift_bits: 0,
+                    swapped: false,
+                },
+            );
+            return GcdOutcome::Gcd(g);
+        }
+
+        let (mut xh, mut yh) = top_bits(pair);
+        // Cosequence simulation on the top words (Knuth Algorithm L).
+        let (mut a, mut b, mut c, mut d) = (1i64, 0i64, 0i64, 1i64);
+        let mut steps = 0u32;
+        loop {
+            // Quotient is certain only if it agrees under both boundary
+            // corrections (c/d have opposite signs, so these bracket).
+            let denom1 = yh as i64 + c;
+            let denom2 = yh as i64 + d;
+            if denom1 == 0 || denom2 == 0 {
+                break;
+            }
+            let q1 = (xh as i64 + a) / denom1;
+            let q2 = (xh as i64 + b) / denom2;
+            if q1 != q2 || q1 < 0 {
+                break;
+            }
+            let q = q1;
+            // Advance the cosequence; stop before coefficients overflow
+            // the single-limb update.
+            let na = c;
+            let nc = a - q * c;
+            let nb = d;
+            let nd = b - q * d;
+            if nc.abs() >= COEFF_LIMIT || nd.abs() >= COEFF_LIMIT {
+                break;
+            }
+            a = na;
+            c = nc;
+            b = nb;
+            d = nd;
+            let t = xh as i64 - q * yh as i64;
+            xh = yh;
+            yh = t as u64;
+            steps += 1;
+            if yh == 0 {
+                break;
+            }
+        }
+
+        if b == 0 {
+            // No certain quotient: one exact multiword division step.
+            pair.x_mod_y();
+            pair.swap();
+            probe.step(
+                pair,
+                &Step {
+                    kind: StepKind::OriginalMod,
+                    lx_before: lx,
+                    ly_before: ly,
+                    alpha: 0,
+                    beta: 0,
+                    case: None,
+                    rshift_bits: 0,
+                    swapped: true,
+                },
+            );
+            continue;
+        }
+
+        // Apply the accumulated steps: (X, Y) <- (aX + bY, cX + dY).
+        let xn = pair.x_nat();
+        let yn = pair.y_nat();
+        let new_x = linear(&xn, &yn, a, b);
+        let new_y = linear(&xn, &yn, c, d);
+        // With certain quotients these are consecutive remainders, so the
+        // batch always makes progress on Y.
+        debug_assert!(new_y < yn);
+        pair.load(&new_x, &new_y);
+        let swapped = pair.ensure_x_ge_y();
+        probe.step(
+            pair,
+            &Step {
+                kind: StepKind::LehmerBatch,
+                lx_before: lx,
+                ly_before: ly,
+                alpha: steps as u64,
+                beta: 0,
+                case: None,
+                rshift_bits: 0,
+                swapped,
+            },
+        );
+    }
+}
+
+/// General-input Lehmer GCD.
+///
+/// ```
+/// use bulkgcd_bigint::Nat;
+/// use bulkgcd_core::lehmer_gcd_nat;
+///
+/// // The paper's running example, solved by the classical batching
+/// // algorithm instead of the paper's approximation.
+/// let g = lehmer_gcd_nat(&Nat::from_u64(1_043_915), &Nat::from_u64(768_955));
+/// assert_eq!(g, Nat::from_u64(5));
+/// ```
+pub fn lehmer_gcd_nat(a: &Nat, b: &Nat) -> Nat {
+    if a.is_zero() {
+        return b.clone();
+    }
+    if b.is_zero() {
+        return a.clone();
+    }
+    let mut pair = GcdPair::new(a, b);
+    match lehmer_euclid(&mut pair, Termination::Full, &mut crate::probe::NoProbe) {
+        GcdOutcome::Gcd(g) => g,
+        GcdOutcome::Coprime => unreachable!("Full termination never reports Coprime"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::probe::StatsProbe;
+
+    fn nat(v: u128) -> Nat {
+        Nat::from_u128(v)
+    }
+
+    #[test]
+    fn matches_reference_on_small_values() {
+        let pairs = [
+            (12u128, 18u128),
+            (1_043_915, 768_955),
+            (1, 1),
+            (7, 0),
+            (0, 7),
+            (u64::MAX as u128, 3),
+            ((1 << 89) - 1, (1 << 61) - 1),
+        ];
+        for (a, b) in pairs {
+            assert_eq!(
+                lehmer_gcd_nat(&nat(a), &nat(b)),
+                nat(a).gcd_reference(&nat(b)),
+                "({a}, {b})"
+            );
+        }
+    }
+
+    #[test]
+    fn matches_reference_on_wide_values() {
+        let mut state = 0x1234_5678_9abc_def0u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for _ in 0..200 {
+            let a = ((next() as u128) << 64) | next() as u128;
+            let b = ((next() as u128) << 64) | next() as u128;
+            assert_eq!(
+                lehmer_gcd_nat(&nat(a), &nat(b)),
+                nat(a).gcd_reference(&nat(b)),
+                "a={a:#x} b={b:#x}"
+            );
+        }
+    }
+
+    #[test]
+    fn handles_even_inputs_without_preprocessing() {
+        assert_eq!(lehmer_gcd_nat(&nat(96), &nat(72)), nat(24));
+        assert_eq!(lehmer_gcd_nat(&nat(1 << 100), &nat(1 << 37)), nat(1 << 37));
+    }
+
+    #[test]
+    fn early_termination_works() {
+        let p = 0xffff_fffbu128;
+        let n1 = nat(p * 4_294_967_311);
+        let n2 = nat(p * 4_294_967_357);
+        let mut pair = GcdPair::new(&n1, &n2);
+        let out = lehmer_euclid(
+            &mut pair,
+            Termination::Early { threshold_bits: 32 },
+            &mut crate::probe::NoProbe,
+        );
+        assert_eq!(out, GcdOutcome::Gcd(nat(p)));
+
+        let c1 = nat(0xffff_ffff_ffff_fff1u128);
+        let c2 = nat(0xffff_ffff_ffff_fcebu128);
+        let mut pair = GcdPair::new(&c1, &c2);
+        let out = lehmer_euclid(
+            &mut pair,
+            Termination::Early { threshold_bits: 32 },
+            &mut crate::probe::NoProbe,
+        );
+        assert_eq!(out, GcdOutcome::Coprime);
+    }
+
+    #[test]
+    fn far_fewer_multiword_passes_than_fast_binary() {
+        // Lehmer batches ~dozens of Euclid steps per multiword pass.
+        use crate::algorithms::{run, Algorithm};
+        let a = nat((1 << 127) - 1);
+        let b = nat((1 << 126) - 3);
+        let mut pair = GcdPair::new(&a, &b);
+        let mut sp = StatsProbe::default();
+        lehmer_euclid(&mut pair, Termination::Full, &mut sp);
+        let lehmer_passes = sp.stats.iterations;
+
+        let mut pair = GcdPair::new(&a, &b);
+        let mut sp = StatsProbe::default();
+        run(Algorithm::FastBinary, &mut pair, Termination::Full, &mut sp);
+        assert!(
+            lehmer_passes * 4 < sp.stats.iterations,
+            "lehmer {lehmer_passes} vs fast-binary {}",
+            sp.stats.iterations
+        );
+    }
+}

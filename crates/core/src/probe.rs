@@ -1,0 +1,217 @@
+//! Instrumentation probes.
+//!
+//! Every algorithm's inner loop reports one [`Step`] per do-while iteration
+//! through a [`Probe`]. [`NoProbe`] compiles to nothing (the production
+//! path); [`StatsProbe`] accumulates the counters behind Table IV and the
+//! §V β-statistics; [`TraceProbe`] snapshots operand values for the
+//! Tables I–III walkthroughs; the GPU simulator installs its own probe to
+//! harvest per-iteration work descriptors.
+
+use crate::approx::ApproxCase;
+use crate::operand::GcdPair;
+
+/// Which branch of an algorithm's iteration executed.
+///
+/// This doubles as the SIMT divergence label in the GPU simulator: threads
+/// of a warp whose steps carry different kinds execute serially (§VII's
+/// explanation of why Binary Euclid degrades on the GPU).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StepKind {
+    /// Binary Euclid: `X` even, `X ← X/2`.
+    BinaryXEven,
+    /// Binary Euclid: `Y` even, `Y ← Y/2`.
+    BinaryYEven,
+    /// Binary Euclid: both odd, `X ← (X−Y)/2`.
+    BinaryBothOdd,
+    /// Fast Binary Euclid: `X ← rshift(X−Y)` (single path).
+    FastBinarySub,
+    /// Original Euclid: `X ← X mod Y`.
+    OriginalMod,
+    /// Fast Euclid: exact quotient, `X ← rshift(X−Q·Y)`.
+    FastQuotient,
+    /// Approximate Euclid with `β = 0`: `X ← rshift(X−α·Y)`.
+    ApproxBetaZero,
+    /// Approximate Euclid with `β > 0`: `X ← rshift(X−α·D^β·Y+Y)`.
+    ApproxBetaPositive,
+    /// Lehmer's algorithm (extension): one batched multiword update
+    /// `(X, Y) ← (aX+bY, cX+dY)` covering several Euclid steps.
+    LehmerBatch,
+}
+
+/// One do-while iteration of any of the five algorithms.
+#[derive(Debug, Clone)]
+pub struct Step {
+    /// Which branch ran.
+    pub kind: StepKind,
+    /// `lX` before the update (words), i.e. the operand scan length.
+    pub lx_before: usize,
+    /// `lY` before the update (words).
+    pub ly_before: usize,
+    /// The approximate (or exact, truncated) quotient factor α, when
+    /// meaningful for the algorithm.
+    pub alpha: u64,
+    /// The word-shift exponent β (Approximate Euclid only).
+    pub beta: usize,
+    /// Which `approx` case selected (α, β) (Approximate Euclid only).
+    pub case: Option<ApproxCase>,
+    /// Bits stripped by `rshift` in this iteration (0 when not applicable).
+    pub rshift_bits: u64,
+    /// Whether the trailing `if (X < Y) swap(X, Y)` fired.
+    pub swapped: bool,
+}
+
+impl Step {
+    /// Memory operations this iteration performed under the §IV accounting:
+    /// reading `X`, reading `Y` and writing `X` cost one operation per word
+    /// actually scanned, and the β > 0 path pays one extra read of `Y`
+    /// (3·s/d vs 4·s/d in the paper's fixed-length formulation).
+    pub fn mem_ops(&self) -> u64 {
+        let scan = self.lx_before as u64;
+        match self.kind {
+            StepKind::BinaryXEven | StepKind::BinaryYEven => 2 * scan,
+            StepKind::ApproxBetaPositive => 4 * scan,
+            // Lehmer reads X and Y and writes both: two linear combinations.
+            StepKind::LehmerBatch => 4 * scan,
+            _ => 3 * scan,
+        }
+    }
+}
+
+/// Observer of per-iteration events.
+pub trait Probe {
+    /// Called once per do-while iteration, after the update and the swap
+    /// check, with the pair in its post-iteration state.
+    fn step(&mut self, pair: &GcdPair, step: &Step);
+}
+
+/// The zero-cost probe: everything inlines away.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoProbe;
+
+impl Probe for NoProbe {
+    #[inline(always)]
+    fn step(&mut self, _pair: &GcdPair, _step: &Step) {}
+}
+
+/// Counters for Table IV and the §V statistics.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct RunStats {
+    /// Do-while iterations executed.
+    pub iterations: u64,
+    /// Iterations that took the rare β > 0 path (§V: < 10⁻⁸ of calls).
+    pub beta_nonzero: u64,
+    /// Histogram over `approx` cases (Approximate Euclid only).
+    pub case_counts: [u64; ApproxCase::COUNT],
+    /// Memory operations under the §IV accounting.
+    pub mem_ops: u64,
+    /// How many iterations ended with a swap.
+    pub swaps: u64,
+    /// Total bits stripped by `rshift` across the run.
+    pub rshift_bits: u64,
+}
+
+/// Probe that fills a [`RunStats`].
+#[derive(Debug, Default, Clone)]
+pub struct StatsProbe {
+    /// The accumulated counters.
+    pub stats: RunStats,
+}
+
+impl Probe for StatsProbe {
+    fn step(&mut self, _pair: &GcdPair, step: &Step) {
+        let s = &mut self.stats;
+        s.iterations += 1;
+        s.mem_ops += step.mem_ops();
+        s.rshift_bits += step.rshift_bits;
+        if step.swapped {
+            s.swaps += 1;
+        }
+        if step.kind == StepKind::ApproxBetaPositive {
+            s.beta_nonzero += 1;
+        }
+        if let Some(c) = step.case {
+            s.case_counts[c as usize] += 1;
+        }
+    }
+}
+
+/// A recorded iteration for the Tables I–III walkthroughs.
+#[derive(Debug, Clone)]
+pub struct TraceRow {
+    /// 1-based iteration index.
+    pub iteration: u64,
+    /// The step descriptor.
+    pub step: Step,
+    /// `X` after the iteration.
+    pub x_after: bulkgcd_bigint::Nat,
+    /// `Y` after the iteration.
+    pub y_after: bulkgcd_bigint::Nat,
+}
+
+/// Probe that records the full iteration history.
+#[derive(Debug, Default, Clone)]
+pub struct TraceProbe {
+    /// One row per iteration, in execution order.
+    pub rows: Vec<TraceRow>,
+}
+
+impl Probe for TraceProbe {
+    fn step(&mut self, pair: &GcdPair, step: &Step) {
+        self.rows.push(TraceRow {
+            iteration: self.rows.len() as u64 + 1,
+            step: step.clone(),
+            x_after: pair.x_nat(),
+            y_after: pair.y_nat(),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bulkgcd_bigint::Nat;
+
+    fn dummy_step(kind: StepKind, lx: usize) -> Step {
+        Step {
+            kind,
+            lx_before: lx,
+            ly_before: lx,
+            alpha: 1,
+            beta: 0,
+            case: None,
+            rshift_bits: 2,
+            swapped: true,
+        }
+    }
+
+    #[test]
+    fn mem_ops_accounting() {
+        assert_eq!(dummy_step(StepKind::FastBinarySub, 16).mem_ops(), 48);
+        assert_eq!(dummy_step(StepKind::ApproxBetaZero, 16).mem_ops(), 48);
+        assert_eq!(dummy_step(StepKind::ApproxBetaPositive, 16).mem_ops(), 64);
+        assert_eq!(dummy_step(StepKind::BinaryXEven, 16).mem_ops(), 32);
+    }
+
+    #[test]
+    fn stats_probe_accumulates() {
+        let pair = GcdPair::new(&Nat::from(9u32), &Nat::from(5u32));
+        let mut p = StatsProbe::default();
+        p.step(&pair, &dummy_step(StepKind::ApproxBetaZero, 4));
+        p.step(&pair, &dummy_step(StepKind::ApproxBetaPositive, 4));
+        assert_eq!(p.stats.iterations, 2);
+        assert_eq!(p.stats.beta_nonzero, 1);
+        assert_eq!(p.stats.swaps, 2);
+        assert_eq!(p.stats.rshift_bits, 4);
+        assert_eq!(p.stats.mem_ops, 12 + 16);
+    }
+
+    #[test]
+    fn trace_probe_snapshots() {
+        let pair = GcdPair::new(&Nat::from(9u32), &Nat::from(5u32));
+        let mut p = TraceProbe::default();
+        p.step(&pair, &dummy_step(StepKind::FastBinarySub, 1));
+        assert_eq!(p.rows.len(), 1);
+        assert_eq!(p.rows[0].iteration, 1);
+        assert_eq!(p.rows[0].x_after, Nat::from(9u32));
+    }
+}

@@ -1,0 +1,361 @@
+//! Generic word-size reference implementations on `u128` values.
+//!
+//! The paper's worked examples (Tables I–III) use **4-bit words** (`d = 4`,
+//! `D = 16`) for readability, while the production implementation fixes
+//! `d = 32`. This module implements all five Euclidean variants — including
+//! `approx` — parameterised over `d`, on plain `u128` arithmetic. It serves
+//! two purposes:
+//!
+//! 1. regenerating Tables I–III exactly (the `table1`/`table2`/`table3`
+//!    binaries in `bulkgcd-bench`), and
+//! 2. acting as an independent oracle: with `d = 32` its iteration traces
+//!    must agree with the optimized multiword implementation.
+
+use crate::approx::ApproxCase;
+use crate::algorithms::Algorithm;
+
+/// One recorded iteration of a small-word run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SwRow {
+    /// 1-based iteration index.
+    pub iteration: u32,
+    /// `X` before this iteration.
+    pub x_before: u128,
+    /// `Y` before this iteration.
+    pub y_before: u128,
+    /// Exact quotient (Original / Fast Euclid).
+    pub q: Option<u128>,
+    /// α (Approximate Euclid; also 1 for the binary variants).
+    pub alpha: Option<u128>,
+    /// β (Approximate Euclid).
+    pub beta: Option<u32>,
+    /// `approx` case (Approximate Euclid).
+    pub case: Option<ApproxCase>,
+    /// `X` after the update and swap.
+    pub x_after: u128,
+    /// `Y` after the update and swap.
+    pub y_after: u128,
+}
+
+/// Result of a traced small-word run.
+#[derive(Debug, Clone)]
+pub struct SwTrace {
+    /// The computed GCD.
+    pub gcd: u128,
+    /// Per-iteration rows.
+    pub rows: Vec<SwRow>,
+}
+
+impl SwTrace {
+    /// Number of do-while iterations.
+    pub fn iterations(&self) -> u32 {
+        self.rows.len() as u32
+    }
+}
+
+fn rshift(v: u128) -> u128 {
+    if v == 0 {
+        0
+    } else {
+        v >> v.trailing_zeros()
+    }
+}
+
+/// Number of `d`-bit words needed for `v` (the paper's `lX`); 0 for `v = 0`.
+pub fn word_len(v: u128, d: u32) -> u32 {
+    if v == 0 {
+        0
+    } else {
+        (128 - v.leading_zeros()).div_ceil(d)
+    }
+}
+
+/// Top word `x1` of `v` under word size `d`.
+fn top_word(v: u128, d: u32) -> u128 {
+    let l = word_len(v, d);
+    v >> (d * (l - 1))
+}
+
+/// Top two words `x1x2` of `v` (requires at least 2 words).
+fn top_two_words(v: u128, d: u32) -> u128 {
+    let l = word_len(v, d);
+    debug_assert!(l >= 2);
+    v >> (d * (l - 2))
+}
+
+/// The paper's `approx(X, Y)` for an arbitrary word size `d`.
+/// Requires `x >= y > 0`. Returns `(α, β, case)`.
+pub fn approx_smallword(x: u128, y: u128, d: u32) -> (u128, u32, ApproxCase) {
+    debug_assert!(x >= y && y > 0);
+    let lx = word_len(x, d);
+    let ly = word_len(y, d);
+    if lx <= 2 {
+        return (x / y, 0, ApproxCase::Case1);
+    }
+    let x12 = top_two_words(x, d);
+    let x1 = top_word(x, d);
+    if ly == 1 {
+        return if x1 >= y {
+            (x1 / y, lx - 1, ApproxCase::Case2A)
+        } else {
+            (x12 / y, lx - 2, ApproxCase::Case2B)
+        };
+    }
+    let y12 = top_two_words(y, d);
+    let y1 = top_word(y, d);
+    if ly == 2 {
+        return if x12 >= y12 {
+            (x12 / y12, lx - 2, ApproxCase::Case3A)
+        } else {
+            (x12 / (y1 + 1), lx - 3, ApproxCase::Case3B)
+        };
+    }
+    if x12 > y12 {
+        (x12 / (y12 + 1), lx - ly, ApproxCase::Case4A)
+    } else if lx > ly {
+        (x12 / (y1 + 1), lx - ly - 1, ApproxCase::Case4B)
+    } else {
+        (1, 0, ApproxCase::Case4C)
+    }
+}
+
+/// Run `algo` on odd inputs `(x, y)` with word size `d`, recording each
+/// iteration. `d` only affects the Approximate variant.
+pub fn trace(algo: Algorithm, x: u128, y: u128, d: u32) -> SwTrace {
+    assert!(x & 1 == 1 && y & 1 == 1, "small-word runner expects odd inputs");
+    let (mut x, mut y) = if x >= y { (x, y) } else { (y, x) };
+    let mut rows = Vec::new();
+    let mut iter = 0u32;
+    while y != 0 {
+        iter += 1;
+        let (xb, yb) = (x, y);
+        let mut q = None;
+        let mut alpha = None;
+        let mut beta = None;
+        let mut case = None;
+        match algo {
+            Algorithm::Original => {
+                q = Some(x / y);
+                x %= y;
+                core::mem::swap(&mut x, &mut y);
+            }
+            Algorithm::Fast => {
+                let mut qv = x / y;
+                if qv % 2 == 0 {
+                    qv -= 1;
+                }
+                q = Some(qv);
+                x = rshift(x - y * qv);
+                if x < y {
+                    core::mem::swap(&mut x, &mut y);
+                }
+            }
+            Algorithm::Binary => {
+                if x % 2 == 0 {
+                    x /= 2;
+                } else if y % 2 == 0 {
+                    y /= 2;
+                } else {
+                    x = (x - y) / 2;
+                }
+                if x < y {
+                    core::mem::swap(&mut x, &mut y);
+                }
+            }
+            Algorithm::FastBinary => {
+                x = rshift(x - y);
+                if x < y {
+                    core::mem::swap(&mut x, &mut y);
+                }
+            }
+            Algorithm::Approximate => {
+                let (mut a, b, c) = approx_smallword(x, y, d);
+                let db = 1u128 << (d * b);
+                if b == 0 {
+                    if a % 2 == 0 {
+                        a -= 1;
+                    }
+                    x = rshift(x - y * a);
+                } else {
+                    x = rshift(x - y * a * db + y);
+                }
+                alpha = Some(a);
+                beta = Some(b);
+                case = Some(c);
+                if x < y {
+                    core::mem::swap(&mut x, &mut y);
+                }
+            }
+        }
+        rows.push(SwRow {
+            iteration: iter,
+            x_before: xb,
+            y_before: yb,
+            q,
+            alpha,
+            beta,
+            case,
+            x_after: x,
+            y_after: y,
+        });
+    }
+    SwTrace { gcd: x, rows }
+}
+
+/// Convenience: the GCD of two odd numbers under `algo` / `d`.
+pub fn gcd_smallword(algo: Algorithm, x: u128, y: u128, d: u32) -> u128 {
+    trace(algo, x, y, d).gcd
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's running example (Tables I-III).
+    const X: u128 = 1_043_915;
+    const Y: u128 = 768_955;
+
+    fn gcd_ref(mut a: u128, mut b: u128) -> u128 {
+        while b != 0 {
+            let t = a % b;
+            a = b;
+            b = t;
+        }
+        a
+    }
+
+    #[test]
+    fn table1_binary_runs_24_iterations() {
+        let t = trace(Algorithm::Binary, X, Y, 4);
+        assert_eq!(t.gcd, 5);
+        assert_eq!(t.iterations(), 24);
+    }
+
+    #[test]
+    fn table1_fast_binary_runs_16_iterations() {
+        let t = trace(Algorithm::FastBinary, X, Y, 4);
+        assert_eq!(t.gcd, 5);
+        assert_eq!(t.iterations(), 16);
+        // Row 2 of Table I: after the first iteration the pair is
+        // (1011,1011,1011,1011,1011 ; 0100,0011,0010,0001) = (768955, 17185).
+        assert_eq!((t.rows[0].x_after, t.rows[0].y_after), (768_955, 17_185));
+    }
+
+    #[test]
+    fn table2_original_runs_11_iterations() {
+        let t = trace(Algorithm::Original, X, Y, 4);
+        assert_eq!(t.gcd, 5);
+        assert_eq!(t.iterations(), 11);
+        // Quotient column of Table II: 1,2,1,3,1,10,1,83,1,4,2.
+        let qs: Vec<u128> = t.rows.iter().map(|r| r.q.unwrap()).collect();
+        assert_eq!(qs, vec![1, 2, 1, 3, 1, 10, 1, 83, 1, 4, 2]);
+    }
+
+    #[test]
+    fn table2_fast_runs_8_iterations() {
+        let t = trace(Algorithm::Fast, X, Y, 4);
+        assert_eq!(t.gcd, 5);
+        assert_eq!(t.iterations(), 8);
+        // Quotient column of Table II: 1,43,9,11,1,1,1,5.
+        let qs: Vec<u128> = t.rows.iter().map(|r| r.q.unwrap()).collect();
+        assert_eq!(qs, vec![1, 43, 9, 11, 1, 1, 1, 5]);
+    }
+
+    #[test]
+    fn table3_approximate_runs_9_iterations_with_paper_cases() {
+        let t = trace(Algorithm::Approximate, X, Y, 4);
+        assert_eq!(t.gcd, 5);
+        assert_eq!(t.iterations(), 9);
+        let cases: Vec<&str> = t.rows.iter().map(|r| r.case.unwrap().label()).collect();
+        assert_eq!(
+            cases,
+            vec!["4-A", "4-A", "4-A", "4-B", "4-A", "3-B", "1", "1", "1"]
+        );
+        let ab: Vec<(u128, u32)> = t
+            .rows
+            .iter()
+            .map(|r| (r.alpha.unwrap(), r.beta.unwrap()))
+            .collect();
+        assert_eq!(
+            ab,
+            vec![
+                (1, 0),
+                (2, 1),
+                (3, 0),
+                (7, 0),
+                (1, 0),
+                (3, 0),
+                (1, 0),
+                (11, 0),
+                (3, 0)
+            ]
+        );
+    }
+
+    #[test]
+    fn paper_approx_worked_examples() {
+        // §III Case examples, all with d = 4.
+        // Case 1: X = 223, Y = 45 -> (4, 0).
+        assert_eq!(approx_smallword(223, 45, 4), (4, 0, ApproxCase::Case1));
+        // Case 2-A: X = 2345, Y = 4 -> (2, 2).
+        assert_eq!(approx_smallword(2345, 4, 4), (2, 2, ApproxCase::Case2A));
+        // Case 2-B: X = 1234, Y = 12 -> (6, 1).
+        assert_eq!(approx_smallword(1234, 12, 4), (6, 1, ApproxCase::Case2B));
+        // Case 3-A: X = 2345, Y = 59 -> (2, 1).
+        assert_eq!(approx_smallword(2345, 59, 4), (2, 1, ApproxCase::Case3A));
+        // Case 3-B: X = 2345, Y = 231 -> (9, 0).
+        assert_eq!(approx_smallword(2345, 231, 4), (9, 0, ApproxCase::Case3B));
+        // Case 4-A: X = 54321, Y = 1234 -> (2, 1).
+        assert_eq!(approx_smallword(54321, 1234, 4), (2, 1, ApproxCase::Case4A));
+        // Case 4-B: X = 54321, Y = 4000 -> (13, 0).
+        assert_eq!(approx_smallword(54321, 4000, 4), (13, 0, ApproxCase::Case4B));
+        // §III intro example: X = 55555, Y = 1234 -> (2, 1).
+        assert_eq!(approx_smallword(55555, 1234, 4), (2, 1, ApproxCase::Case4A));
+    }
+
+    #[test]
+    fn all_variants_correct_for_many_d() {
+        let pairs = [(X, Y), (39, 9), (255, 255), (1 << 100 | 1, 3), (7, 7)];
+        for (a, b) in pairs {
+            let expect = gcd_ref(a, b);
+            for algo in Algorithm::ALL {
+                for d in [4u32, 8, 16, 32] {
+                    assert_eq!(
+                        gcd_smallword(algo, a, b, d),
+                        expect,
+                        "{} d={d} on ({a}, {b})",
+                        algo.name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn approx_bound_holds_for_all_d() {
+        let mut state = 0xdead_beef_1234_5678u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for d in [4u32, 8, 16, 32] {
+            for _ in 0..2000 {
+                let x = ((next() as u128) << 64 | next() as u128) >> (next() % 100);
+                let y = ((next() as u128) << 64 | next() as u128) >> (next() % 100);
+                if x == 0 || y == 0 {
+                    continue;
+                }
+                let (x, y) = if x >= y { (x, y) } else { (y, x) };
+                let (a, b, case) = approx_smallword(x, y, d);
+                let approx_q = a << (d * b);
+                assert!(a >= 1, "alpha >= 1: d={d} x={x:#x} y={y:#x} {case:?}");
+                assert!(
+                    approx_q <= x / y,
+                    "bound: d={d} x={x:#x} y={y:#x} {case:?} approx={approx_q:#x}"
+                );
+            }
+        }
+    }
+}

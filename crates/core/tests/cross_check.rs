@@ -1,0 +1,192 @@
+//! Cross-implementation property tests: the optimized multiword algorithms,
+//! the generic small-word oracle at d = 32, and the substrate's reference
+//! GCD must all agree — on arbitrary odd numbers and on RSA-shaped moduli.
+
+use bulkgcd_bigint::prime::random_prime;
+use bulkgcd_bigint::random::random_odd_bits;
+use bulkgcd_bigint::Nat;
+use bulkgcd_core::probe::{StatsProbe, TraceProbe};
+use bulkgcd_core::smallword;
+use bulkgcd_core::{gcd_nat, run, Algorithm, GcdOutcome, GcdPair, NoProbe, Termination};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #[test]
+    fn all_variants_agree_with_reference_u128(
+        a in any::<u128>().prop_map(|v| v | 1),
+        b in any::<u128>().prop_map(|v| v | 1),
+    ) {
+        let an = Nat::from_u128(a);
+        let bn = Nat::from_u128(b);
+        let expect = an.gcd_reference(&bn);
+        for algo in Algorithm::ALL {
+            prop_assert_eq!(&gcd_nat(algo, &an, &bn), &expect, "{}", algo.name());
+        }
+    }
+
+    #[test]
+    fn multiword_matches_smallword_oracle_at_d32(
+        a in any::<u128>().prop_map(|v| v | 1),
+        b in any::<u128>().prop_map(|v| v | 1),
+    ) {
+        // Identical iteration traces, not just identical results: the
+        // multiword Approximate Euclid must take exactly the same (α, β)
+        // decisions as the u128 oracle with d = 32.
+        let an = Nat::from_u128(a);
+        let bn = Nat::from_u128(b);
+        let sw = smallword::trace(Algorithm::Approximate, a, b, 32);
+        let mut pair = GcdPair::new(&an, &bn);
+        let mut tp = TraceProbe::default();
+        let out = run(Algorithm::Approximate, &mut pair, Termination::Full, &mut tp);
+        prop_assert_eq!(out, GcdOutcome::Gcd(Nat::from_u128(sw.gcd)));
+        prop_assert_eq!(tp.rows.len(), sw.rows.len());
+        for (mw, swr) in tp.rows.iter().zip(sw.rows.iter()) {
+            prop_assert_eq!(mw.x_after.to_u128(), Some(swr.x_after));
+            prop_assert_eq!(mw.y_after.to_u128(), Some(swr.y_after));
+            prop_assert_eq!(mw.step.alpha as u128, swr.alpha.unwrap());
+            prop_assert_eq!(mw.step.beta as u32, swr.beta.unwrap());
+            prop_assert_eq!(mw.step.case.unwrap(), swr.case.unwrap());
+        }
+    }
+
+    #[test]
+    fn binary_variants_match_smallword_traces(
+        a in any::<u128>().prop_map(|v| v | 1),
+        b in any::<u128>().prop_map(|v| v | 1),
+    ) {
+        for algo in [Algorithm::Binary, Algorithm::FastBinary, Algorithm::Original, Algorithm::Fast] {
+            let sw = smallword::trace(algo, a, b, 32);
+            let mut pair = GcdPair::new(&Nat::from_u128(a), &Nat::from_u128(b));
+            let mut sp = StatsProbe::default();
+            let out = run(algo, &mut pair, Termination::Full, &mut sp);
+            prop_assert_eq!(out, GcdOutcome::Gcd(Nat::from_u128(sw.gcd)), "{}", algo.name());
+            prop_assert_eq!(sp.stats.iterations, sw.iterations() as u64, "{}", algo.name());
+        }
+    }
+
+    #[test]
+    fn early_termination_consistent_with_full(
+        a in any::<u64>().prop_map(|v| (v | 1) as u128),
+        b in any::<u64>().prop_map(|v| (v | 1) as u128),
+    ) {
+        // With threshold 32 on 64-bit inputs: Early reports Coprime iff the
+        // true GCD has fewer than 32 bits... more precisely iff the GCD has
+        // < 32 bits (a shared >= 32-bit factor is always found).
+        let an = Nat::from_u128(a);
+        let bn = Nat::from_u128(b);
+        let g = an.gcd_reference(&bn);
+        for algo in Algorithm::ALL {
+            let mut pair = GcdPair::new(&an, &bn);
+            let out = run(algo, &mut pair, Termination::Early { threshold_bits: 32 }, &mut NoProbe);
+            match out {
+                GcdOutcome::Gcd(found) => prop_assert_eq!(&found, &g, "{}", algo.name()),
+                GcdOutcome::Coprime => prop_assert!(
+                    g.bit_len() < 32,
+                    "{}: claimed coprime but gcd has {} bits",
+                    algo.name(),
+                    g.bit_len()
+                ),
+            }
+        }
+    }
+}
+
+/// RSA-shaped inputs: products of two primes, with and without a shared one.
+#[test]
+fn rsa_moduli_shared_prime_detected_by_all_variants() {
+    let mut rng = StdRng::seed_from_u64(7);
+    for s in [128u64, 256] {
+        let half = s / 2;
+        let p = random_prime(&mut rng, half);
+        let q1 = random_prime(&mut rng, half);
+        let q2 = random_prime(&mut rng, half);
+        assert_ne!(q1, q2);
+        let n1 = p.mul(&q1);
+        let n2 = p.mul(&q2);
+        for algo in Algorithm::ALL {
+            let mut pair = GcdPair::new(&n1, &n2);
+            let out = run(
+                algo,
+                &mut pair,
+                Termination::Early {
+                    threshold_bits: half,
+                },
+                &mut NoProbe,
+            );
+            assert_eq!(out, GcdOutcome::Gcd(p.clone()), "{} s={s}", algo.name());
+        }
+    }
+}
+
+#[test]
+fn rsa_moduli_distinct_primes_coprime_under_early_termination() {
+    let mut rng = StdRng::seed_from_u64(8);
+    let half = 128u64;
+    let n1 = random_prime(&mut rng, half).mul(&random_prime(&mut rng, half));
+    let n2 = random_prime(&mut rng, half).mul(&random_prime(&mut rng, half));
+    for algo in Algorithm::ALL {
+        let mut pair = GcdPair::new(&n1, &n2);
+        let out = run(
+            algo,
+            &mut pair,
+            Termination::Early {
+                threshold_bits: half,
+            },
+            &mut NoProbe,
+        );
+        assert_eq!(out, GcdOutcome::Coprime, "{}", algo.name());
+    }
+}
+
+/// The §V claim that (B) and (E) have nearly identical iteration counts:
+/// on 512-bit RSA moduli the difference must be tiny.
+#[test]
+fn approximate_iteration_count_close_to_fast() {
+    let mut rng = StdRng::seed_from_u64(9);
+    let mut total_b = 0u64;
+    let mut total_e = 0u64;
+    let pairs = 12;
+    for _ in 0..pairs {
+        let n1 = random_prime(&mut rng, 256).mul(&random_prime(&mut rng, 256));
+        let n2 = random_prime(&mut rng, 256).mul(&random_prime(&mut rng, 256));
+        for (algo, total) in [
+            (Algorithm::Fast, &mut total_b),
+            (Algorithm::Approximate, &mut total_e),
+        ] {
+            let mut pair = GcdPair::new(&n1, &n2);
+            let mut sp = StatsProbe::default();
+            run(algo, &mut pair, Termination::Full, &mut sp);
+            *total += sp.stats.iterations;
+        }
+    }
+    let diff = total_e.abs_diff(total_b) as f64 / total_b as f64;
+    assert!(
+        diff < 0.01,
+        "E-B iteration gap {diff} too large: E={total_e} B={total_b}"
+    );
+}
+
+/// The §V claim that β > 0 is vanishingly rare for d = 32: across many
+/// random odd pairs the β>0 rate must be far below 1%.
+#[test]
+fn beta_nonzero_extremely_rare() {
+    let mut rng = StdRng::seed_from_u64(10);
+    let mut iters = 0u64;
+    let mut beta_nonzero = 0u64;
+    for _ in 0..60 {
+        let a = random_odd_bits(&mut rng, 512);
+        let b = random_odd_bits(&mut rng, 512);
+        let mut pair = GcdPair::new(&a, &b);
+        let mut sp = StatsProbe::default();
+        run(Algorithm::Approximate, &mut pair, Termination::Full, &mut sp);
+        iters += sp.stats.iterations;
+        beta_nonzero += sp.stats.beta_nonzero;
+    }
+    assert!(iters > 5_000, "expected substantial iteration volume");
+    assert!(
+        (beta_nonzero as f64) < iters as f64 * 0.001,
+        "beta>0 in {beta_nonzero}/{iters} iterations"
+    );
+}

@@ -1,0 +1,143 @@
+//! Per-iteration instruction cost model.
+//!
+//! Each do-while iteration of a Euclidean variant maps to a compute cost in
+//! warp-instructions (one warp-instruction = one instruction issued for a
+//! full warp) and a global-memory traffic volume in words. The constants
+//! are per-word instruction counts read off the §IV update loops — a
+//! multiply-subtract-shift pipeline step is a handful of machine
+//! instructions — plus fixed per-iteration overheads for `approx`, the
+//! comparison and loop control. The absolute values matter less than the
+//! *ratios*; the reproduction reports simulated time as such.
+
+use bulkgcd_core::StepKind;
+use bulkgcd_umm::gcd_trace::IterDesc;
+
+/// Instruction/traffic cost model, tunable for ablations.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CostModel {
+    /// Instructions per scanned word of the fused read-X/read-Y/write-X
+    /// multiply-subtract-shift pipeline (§IV): two 32-bit multiplies, an
+    /// add/sub chain, shifts and bookkeeping.
+    pub insts_per_scan_word: f64,
+    /// Instructions per scanned word of a plain halve/subtract pass
+    /// (Binary Euclid paths — no multiply).
+    pub insts_per_simple_word: f64,
+    /// Instructions for the 64-bit division inside `approx` (emulated in
+    /// software on CUDA devices; tens of instructions).
+    pub insts_div64: f64,
+    /// Fixed per-iteration overhead: loop control, length bookkeeping,
+    /// comparison, branching.
+    pub insts_iteration_overhead: f64,
+    /// Extra instructions when an iteration ends in `swap(X, Y)` (pointer
+    /// and register exchanges).
+    pub insts_swap: f64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel {
+            insts_per_scan_word: 8.0,
+            insts_per_simple_word: 5.0,
+            insts_div64: 48.0,
+            insts_iteration_overhead: 12.0,
+            insts_swap: 4.0,
+        }
+    }
+}
+
+impl CostModel {
+    /// Compute instructions one lane spends on iteration `it` (trip count
+    /// taken from the lane's own `lX`; the warp executor handles masking).
+    pub fn lane_instructions(&self, it: &IterDesc) -> f64 {
+        let words = it.lx.max(1) as f64;
+        let body = match it.kind {
+            StepKind::BinaryXEven | StepKind::BinaryYEven => {
+                words * self.insts_per_simple_word
+            }
+            StepKind::BinaryBothOdd | StepKind::FastBinarySub => {
+                words * self.insts_per_simple_word + words * 1.0 // extra borrow chain
+            }
+            StepKind::ApproxBetaZero => words * self.insts_per_scan_word + self.insts_div64,
+            StepKind::ApproxBetaPositive => {
+                // 4-pass variant plus the division.
+                words * self.insts_per_scan_word * 4.0 / 3.0 + self.insts_div64
+            }
+            StepKind::LehmerBatch => {
+                // Two single-limb linear combinations plus the divergent
+                // 64-bit cosequence loop (~30 division steps).
+                words * self.insts_per_scan_word * 2.0 + 30.0 * self.insts_div64
+            }
+            StepKind::OriginalMod | StepKind::FastQuotient => {
+                // Full multiword division: ~ one schoolbook pass per quotient
+                // word; dominated by words^2 for same-size operands is too
+                // pessimistic mid-run, so charge a multiword-div factor.
+                words * self.insts_per_scan_word * 6.0
+            }
+        };
+        body + self.insts_iteration_overhead + self.insts_swap
+    }
+
+    /// Global-memory words one lane moves in iteration `it` (§IV
+    /// accounting: 3 scans of `lX` words, 4 for the β>0 path, 2 for the
+    /// halve-only Binary paths, plus O(1) head/tail words).
+    pub fn lane_mem_words(&self, it: &IterDesc) -> u64 {
+        let words = it.lx.max(1) as u64;
+        let scans = match it.kind {
+            StepKind::BinaryXEven | StepKind::BinaryYEven => 2,
+            StepKind::ApproxBetaPositive | StepKind::LehmerBatch => 4,
+            _ => 3,
+        };
+        scans * words + 6 // head (approx) + tail (compare) words
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bulkgcd_core::StepKind;
+
+    fn it(kind: StepKind, lx: usize) -> IterDesc {
+        IterDesc {
+            kind,
+            lx,
+            ly: lx,
+            x_in_a: true,
+        }
+    }
+
+    #[test]
+    fn approximate_cheaper_than_exact_division_per_iteration() {
+        let m = CostModel::default();
+        let approx = m.lane_instructions(&it(StepKind::ApproxBetaZero, 32));
+        let exact = m.lane_instructions(&it(StepKind::FastQuotient, 32));
+        assert!(approx < exact);
+    }
+
+    #[test]
+    fn binary_iteration_cheapest_but_smallest_progress() {
+        let m = CostModel::default();
+        let bin = m.lane_instructions(&it(StepKind::BinaryBothOdd, 32));
+        let approx = m.lane_instructions(&it(StepKind::ApproxBetaZero, 32));
+        assert!(bin < approx);
+    }
+
+    #[test]
+    fn mem_words_match_section_iv() {
+        let m = CostModel::default();
+        assert_eq!(m.lane_mem_words(&it(StepKind::ApproxBetaZero, 32)), 3 * 32 + 6);
+        assert_eq!(
+            m.lane_mem_words(&it(StepKind::ApproxBetaPositive, 32)),
+            4 * 32 + 6
+        );
+        assert_eq!(m.lane_mem_words(&it(StepKind::BinaryXEven, 32)), 2 * 32 + 6);
+        assert_eq!(m.lane_mem_words(&it(StepKind::FastBinarySub, 32)), 3 * 32 + 6);
+    }
+
+    #[test]
+    fn costs_scale_with_operand_width() {
+        let m = CostModel::default();
+        let narrow = m.lane_instructions(&it(StepKind::ApproxBetaZero, 16));
+        let wide = m.lane_instructions(&it(StepKind::ApproxBetaZero, 128));
+        assert!(wide > narrow * 4.0);
+    }
+}

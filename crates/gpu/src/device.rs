@@ -1,0 +1,155 @@
+//! GPU device descriptions.
+//!
+//! The paper evaluates on a GeForce GTX 780 Ti (Kepler GK110B). We do not
+//! have that hardware, so the experiments run on a calibrated architectural
+//! simulator; this module carries the published specifications the cost
+//! model is calibrated against.
+
+/// Architectural parameters of a simulated CUDA device.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceConfig {
+    /// Marketing name, for report headers.
+    pub name: String,
+    /// Number of streaming multiprocessors (SMX units on Kepler).
+    pub sm_count: usize,
+    /// CUDA cores per SM.
+    pub cores_per_sm: usize,
+    /// Threads per warp (32 on every CUDA device to date).
+    pub warp_size: usize,
+    /// Core clock in GHz.
+    pub clock_ghz: f64,
+    /// Aggregate DRAM bandwidth in bytes per second.
+    pub mem_bandwidth_bytes_per_s: f64,
+    /// Global-memory access latency in cycles ("several hundred", §I).
+    pub mem_latency_cycles: u64,
+    /// Maximum resident warps per SM (occupancy ceiling).
+    pub max_resident_warps_per_sm: usize,
+    /// Size in bytes of one coalesced memory transaction (cache line).
+    pub transaction_bytes: u64,
+    /// Host-to-device transfer bandwidth (PCIe), bytes per second — used
+    /// for the §VII footnote that input transfer time is negligible.
+    pub pcie_bandwidth_bytes_per_s: f64,
+}
+
+impl DeviceConfig {
+    /// The paper's GPU: GeForce GTX 780 Ti (Kepler GK110B, 15 SMX × 192
+    /// cores, 928 MHz boost, 336 GB/s GDDR5, PCIe 3.0 x16).
+    pub fn gtx_780_ti() -> Self {
+        DeviceConfig {
+            name: "GeForce GTX 780 Ti (simulated)".to_string(),
+            sm_count: 15,
+            cores_per_sm: 192,
+            warp_size: 32,
+            clock_ghz: 0.928,
+            mem_bandwidth_bytes_per_s: 336.0e9,
+            mem_latency_cycles: 400,
+            max_resident_warps_per_sm: 64,
+            transaction_bytes: 128,
+            pcie_bandwidth_bytes_per_s: 12.0e9,
+        }
+    }
+
+    /// The GPU of Fujimoto's prior work \[19\]: GeForce GTX 285 (Tesla
+    /// generation, 30 SMs × 8 cores, 1.476 GHz shader clock, 159 GB/s).
+    pub fn gtx_285() -> Self {
+        DeviceConfig {
+            name: "GeForce GTX 285 (simulated)".to_string(),
+            sm_count: 30,
+            cores_per_sm: 8,
+            warp_size: 32,
+            clock_ghz: 1.476,
+            mem_bandwidth_bytes_per_s: 159.0e9,
+            mem_latency_cycles: 500,
+            max_resident_warps_per_sm: 32,
+            transaction_bytes: 64,
+            pcie_bandwidth_bytes_per_s: 6.0e9,
+        }
+    }
+
+    /// The GPU of Scharfglass et al. \[20\]: GeForce GTX 480 (Fermi GF100,
+    /// 15 SMs × 32 cores, 1.401 GHz shader clock, 177 GB/s).
+    pub fn gtx_480() -> Self {
+        DeviceConfig {
+            name: "GeForce GTX 480 (simulated)".to_string(),
+            sm_count: 15,
+            cores_per_sm: 32,
+            warp_size: 32,
+            clock_ghz: 1.401,
+            mem_bandwidth_bytes_per_s: 177.4e9,
+            mem_latency_cycles: 450,
+            max_resident_warps_per_sm: 48,
+            transaction_bytes: 128,
+            pcie_bandwidth_bytes_per_s: 8.0e9,
+        }
+    }
+
+    /// The GPU of White \[21\]: Tesla K20Xm (Kepler GK110, 14 SMX × 192
+    /// cores, 732 MHz, 250 GB/s ECC GDDR5).
+    pub fn tesla_k20xm() -> Self {
+        DeviceConfig {
+            name: "Tesla K20Xm (simulated)".to_string(),
+            sm_count: 14,
+            cores_per_sm: 192,
+            warp_size: 32,
+            clock_ghz: 0.732,
+            mem_bandwidth_bytes_per_s: 250.0e9,
+            mem_latency_cycles: 400,
+            max_resident_warps_per_sm: 64,
+            transaction_bytes: 128,
+            pcie_bandwidth_bytes_per_s: 10.0e9,
+        }
+    }
+
+    /// Warps a thread block of `block_size` threads occupies.
+    pub fn warps_per_block(&self, block_size: usize) -> usize {
+        block_size.div_ceil(self.warp_size)
+    }
+
+    /// Lanes of compute throughput per cycle, expressed in warps
+    /// (e.g. 192 cores / 32 = 6 warp-instructions per cycle per SMX).
+    pub fn warp_throughput_per_sm(&self) -> f64 {
+        self.cores_per_sm as f64 / self.warp_size as f64
+    }
+
+    /// DRAM bytes one SM can move per core cycle, assuming fair sharing.
+    pub fn bytes_per_cycle_per_sm(&self) -> f64 {
+        self.mem_bandwidth_bytes_per_s / (self.clock_ghz * 1e9) / self.sm_count as f64
+    }
+
+    /// Seconds to copy `bytes` over PCIe (the §VII transfer footnote).
+    pub fn host_transfer_seconds(&self, bytes: u64) -> f64 {
+        bytes as f64 / self.pcie_bandwidth_bytes_per_s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gtx_780_ti_shape() {
+        let d = DeviceConfig::gtx_780_ti();
+        assert_eq!(d.sm_count * d.cores_per_sm, 2880); // the card's 2880 cores
+        assert_eq!(d.warp_throughput_per_sm(), 6.0);
+        // ~24 bytes per cycle per SMX at 928 MHz / 336 GB/s.
+        let b = d.bytes_per_cycle_per_sm();
+        assert!((24.0..25.0).contains(&b), "{b}");
+    }
+
+    #[test]
+    fn warps_per_block_rounds_up() {
+        let d = DeviceConfig::gtx_780_ti();
+        assert_eq!(d.warps_per_block(64), 2);
+        assert_eq!(d.warps_per_block(65), 3);
+        assert_eq!(d.warps_per_block(1), 1);
+    }
+
+    #[test]
+    fn transfer_time_is_small() {
+        // §VII: 16K 4096-bit moduli transfer "in 0.002 seconds".
+        let d = DeviceConfig::gtx_780_ti();
+        let bytes = 16_384u64 * (4096 / 8);
+        let t = d.host_transfer_seconds(bytes);
+        assert!(t < 0.01, "transfer {t} s");
+    }
+}

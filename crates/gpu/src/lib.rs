@@ -1,0 +1,38 @@
+//! # bulkgcd-gpu
+//!
+//! A SIMT GPU simulator substituting for the paper's GeForce GTX 780 Ti.
+//!
+//! The paper's performance argument is architectural — iteration counts,
+//! branch divergence and memory coalescing decide GPU time — so the
+//! simulator models exactly those mechanisms and nothing more:
+//!
+//! * [`device`] — published specifications of the GTX 780 Ti (and the GTX
+//!   285 of the prior work), the calibration anchors;
+//! * [`cost`] — per-iteration instruction and traffic costs read off the
+//!   paper's §IV update loops;
+//! * [`warp`] — lockstep execution with divergence serialisation and
+//!   coalescing-aware transaction counting (including the buffer-parity
+//!   split caused by pointer swaps);
+//! * [`sched`] — SM scheduling with latency hiding
+//!   (`max(compute, memory)` per SM);
+//! * [`launch`] — end-to-end simulated bulk-GCD launches that also return
+//!   the exact per-pair outcomes (the algorithms really run — only the
+//!   *clock* is simulated).
+//!
+//! Reported times are **simulated**; the reproduction treats their shape
+//! (algorithm ordering, divergence effects, size scaling) as the result,
+//! not the absolute microseconds.
+
+#![warn(missing_docs)]
+
+pub mod cost;
+pub mod device;
+pub mod launch;
+pub mod sched;
+pub mod warp;
+
+pub use cost::CostModel;
+pub use device::DeviceConfig;
+pub use launch::{simulate_bulk_gcd, BulkGcdLaunch};
+pub use sched::{schedule, GpuReport};
+pub use warp::{execute_warp, WarpWork};

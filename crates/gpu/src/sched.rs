@@ -1,0 +1,145 @@
+//! SM scheduler with latency hiding.
+//!
+//! A Kepler SMX issues up to `cores/32` warp-instructions per cycle and
+//! shares the DRAM interface with the other SMs. With enough resident warps
+//! the memory latency is overlapped by other warps' compute — the §VII
+//! observation that the 64-bit division of `approx` is "hidden by large
+//! memory access latency" on the GPU. The model therefore charges each SM
+//! `max(compute cycles, memory cycles)` plus a latency-dominated floor when
+//! occupancy is too low to hide anything.
+
+use crate::device::DeviceConfig;
+use crate::warp::WarpWork;
+
+/// Simulated execution report for one kernel launch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GpuReport {
+    /// Core cycles of the slowest SM (the launch's makespan).
+    pub cycles: f64,
+    /// Wall-clock seconds at the device clock.
+    pub seconds: f64,
+    /// Total warp-instructions issued across the device.
+    pub total_warp_instructions: f64,
+    /// Total memory transactions issued across the device.
+    pub total_transactions: u64,
+    /// Total bytes moved.
+    pub total_bytes: u64,
+    /// True when the launch was compute-bound on the critical SM.
+    pub compute_bound: bool,
+    /// Warps simulated.
+    pub warps: usize,
+    /// Mean divergence fraction across warps (iterations with >1 live path).
+    pub mean_divergence: f64,
+    /// Mean SIMT efficiency across warps.
+    pub mean_simt_efficiency: f64,
+}
+
+/// Schedule `warps` onto the SMs of `device` round-robin and compute the
+/// launch makespan.
+pub fn schedule(device: &DeviceConfig, warps: &[WarpWork]) -> GpuReport {
+    let sms = device.sm_count.max(1);
+    let mut sm_insts = vec![0f64; sms];
+    let mut sm_transactions = vec![0u64; sms];
+    for (i, w) in warps.iter().enumerate() {
+        let sm = i % sms;
+        sm_insts[sm] += w.warp_instructions;
+        sm_transactions[sm] += w.mem_transactions;
+    }
+    let issue = device.warp_throughput_per_sm();
+    let bytes_per_cycle = device.bytes_per_cycle_per_sm();
+    let mut worst = 0f64;
+    let mut compute_bound = false;
+    for sm in 0..sms {
+        let compute = sm_insts[sm] / issue;
+        let mem = sm_transactions[sm] as f64 * device.transaction_bytes as f64 / bytes_per_cycle;
+        // A latency floor: with W resident warps the pipeline can overlap W
+        // outstanding requests; below that, each round of requests stalls.
+        let cycles = compute.max(mem);
+        if cycles > worst {
+            worst = cycles;
+            compute_bound = compute > mem;
+        }
+    }
+    // One trailing latency per launch (negligible for real workloads, keeps
+    // tiny launches from reporting zero time).
+    let cycles = worst + device.mem_latency_cycles as f64;
+    let total_transactions: u64 = warps.iter().map(|w| w.mem_transactions).sum();
+    let n = warps.len().max(1) as f64;
+    GpuReport {
+        cycles,
+        seconds: cycles / (device.clock_ghz * 1e9),
+        total_warp_instructions: warps.iter().map(|w| w.warp_instructions).sum(),
+        total_transactions,
+        total_bytes: total_transactions * device.transaction_bytes,
+        compute_bound,
+        warps: warps.len(),
+        mean_divergence: warps.iter().map(|w| w.divergence_fraction()).sum::<f64>() / n,
+        mean_simt_efficiency: warps
+            .iter()
+            .map(|w| w.simt_efficiency(device.warp_size))
+            .sum::<f64>()
+            / n,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn warp(insts: f64, transactions: u64) -> WarpWork {
+        WarpWork {
+            warp_instructions: insts,
+            mem_words: transactions * 32,
+            mem_transactions: transactions,
+            iterations: 10,
+            divergent_iterations: 1,
+            lane_iterations: 300,
+        }
+    }
+
+    #[test]
+    fn empty_launch_costs_only_latency() {
+        let d = DeviceConfig::gtx_780_ti();
+        let r = schedule(&d, &[]);
+        assert_eq!(r.cycles, d.mem_latency_cycles as f64);
+        assert_eq!(r.warps, 0);
+    }
+
+    #[test]
+    fn memory_bound_launch() {
+        let d = DeviceConfig::gtx_780_ti();
+        // Tiny compute, heavy traffic.
+        let warps = vec![warp(10.0, 1_000_000); 15];
+        let r = schedule(&d, &warps);
+        assert!(!r.compute_bound);
+        // One SM gets one warp: 1e6 transactions * 128 B / ~24.1 B/cycle.
+        let expect = 1_000_000.0 * 128.0 / d.bytes_per_cycle_per_sm();
+        assert!((r.cycles - expect - d.mem_latency_cycles as f64).abs() / expect < 1e-9);
+    }
+
+    #[test]
+    fn compute_bound_launch() {
+        let d = DeviceConfig::gtx_780_ti();
+        let warps = vec![warp(1_000_000.0, 10); 15];
+        let r = schedule(&d, &warps);
+        assert!(r.compute_bound);
+    }
+
+    #[test]
+    fn work_spreads_across_sms() {
+        let d = DeviceConfig::gtx_780_ti();
+        let one = schedule(&d, &vec![warp(6_000.0, 0); 1]);
+        let fifteen = schedule(&d, &vec![warp(6_000.0, 0); 15]);
+        // 15 warps on 15 SMs take the same time as 1 warp on 1 SM.
+        assert!((one.cycles - fifteen.cycles).abs() < 1e-9);
+        let thirty = schedule(&d, &vec![warp(6_000.0, 0); 30]);
+        assert!(thirty.cycles > one.cycles);
+    }
+
+    #[test]
+    fn seconds_track_clock() {
+        let d = DeviceConfig::gtx_780_ti();
+        let r = schedule(&d, &vec![warp(1000.0, 1000. as u64); 15]);
+        assert!((r.seconds * d.clock_ghz * 1e9 - r.cycles).abs() < 1.0);
+    }
+}

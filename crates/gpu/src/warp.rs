@@ -1,0 +1,199 @@
+//! SIMT warp execution: lockstep iterations, branch-divergence
+//! serialisation, and coalescing-aware memory traffic.
+//!
+//! All threads of a warp execute the same instruction each cycle (§VII:
+//! "CUDA architecture is based on SIMT"). When lanes take different
+//! branches of an `if-else`, the warp executes each taken path in turn with
+//! the other lanes masked — the reason Binary Euclid's three-way branch
+//! degrades on the GPU while Approximate Euclid's β>0 branch almost never
+//! executes.
+
+use crate::cost::CostModel;
+use bulkgcd_core::StepKind;
+use bulkgcd_umm::gcd_trace::IterDesc;
+
+/// Aggregate work of one warp over a bulk-GCD kernel.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct WarpWork {
+    /// Warp-instructions issued, including divergence serialisation.
+    pub warp_instructions: f64,
+    /// Global-memory words moved (sum over lanes).
+    pub mem_words: u64,
+    /// Coalesced memory transactions issued.
+    pub mem_transactions: u64,
+    /// Lockstep iterations executed (max over lanes).
+    pub iterations: u64,
+    /// Iterations in which more than one branch path was live.
+    pub divergent_iterations: u64,
+    /// GCD lane-iterations in total (sum over lanes; the work a perfect
+    /// MIMD machine would do).
+    pub lane_iterations: u64,
+}
+
+impl WarpWork {
+    /// Fraction of lockstep iterations that diverged.
+    pub fn divergence_fraction(&self) -> f64 {
+        if self.iterations == 0 {
+            0.0
+        } else {
+            self.divergent_iterations as f64 / self.iterations as f64
+        }
+    }
+
+    /// SIMT efficiency: lane-iterations / (iterations × warp size) — how
+    /// much of the lockstep machine was doing useful work.
+    pub fn simt_efficiency(&self, warp_size: usize) -> f64 {
+        if self.iterations == 0 {
+            1.0
+        } else {
+            self.lane_iterations as f64 / (self.iterations as f64 * warp_size as f64)
+        }
+    }
+}
+
+/// Execute one warp of lanes in lockstep. Each lane is the per-iteration
+/// descriptor sequence of one GCD (from [`bulkgcd_umm::gcd_trace::IterProbe`]).
+///
+/// `words_per_transaction` is how many 32-bit words one coalesced
+/// transaction carries (transaction bytes / 4).
+pub fn execute_warp(
+    lanes: &[Vec<IterDesc>],
+    cost: &CostModel,
+    words_per_transaction: u64,
+) -> WarpWork {
+    let mut work = WarpWork::default();
+    let max_iters = lanes.iter().map(|l| l.len()).max().unwrap_or(0);
+    work.iterations = max_iters as u64;
+    // Scratch: the distinct paths live this iteration.
+    let mut paths: Vec<StepKind> = Vec::with_capacity(4);
+    for i in 0..max_iters {
+        paths.clear();
+        let mut active = 0u64;
+        for lane in lanes {
+            if let Some(d) = lane.get(i) {
+                active += 1;
+                if !paths.contains(&d.kind) {
+                    paths.push(d.kind);
+                }
+            }
+        }
+        if active == 0 {
+            continue;
+        }
+        work.lane_iterations += active;
+        if paths.len() > 1 {
+            work.divergent_iterations += 1;
+        }
+        // Compute: each taken path executes serially; its duration is the
+        // slowest lane on that path (trip counts differ by lX).
+        for &path in &paths {
+            let mut path_insts = 0f64;
+            let mut max_lx = 0usize;
+            let mut parity_a = false;
+            let mut parity_b = false;
+            let mut path_words = 0u64;
+            for lane in lanes {
+                if let Some(d) = lane.get(i) {
+                    if d.kind == path {
+                        path_insts = path_insts.max(cost.lane_instructions(d));
+                        max_lx = max_lx.max(d.lx);
+                        path_words += cost.lane_mem_words(d);
+                        if d.x_in_a {
+                            parity_a = true;
+                        } else {
+                            parity_b = true;
+                        }
+                    }
+                }
+            }
+            work.warp_instructions += path_insts;
+            work.mem_words += path_words;
+            // Coalescing: the column-wise scan issues, per word-step and
+            // per live buffer parity (a warp mixing swapped and unswapped
+            // lanes touches two arrays), as many transactions as it takes
+            // to cover a full warp's words — 1 for 128-byte lines, 2 for
+            // the 64-byte transactions of older devices.
+            let parities = u64::from(parity_a) + u64::from(parity_b);
+            let scans: u64 = match path {
+                StepKind::BinaryXEven | StepKind::BinaryYEven => 2,
+                StepKind::ApproxBetaPositive | StepKind::LehmerBatch => 4,
+                _ => 3,
+            };
+            let per_step = (32u64).div_ceil(words_per_transaction.max(1));
+            // Head/tail O(1) accesses scatter across lanes: up to one
+            // transaction each for approx's 4 reads and the compare's 2.
+            work.mem_transactions += parities * scans * max_lx as u64 * per_step + 6;
+        }
+    }
+    work
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lane(kinds: &[(StepKind, usize)]) -> Vec<IterDesc> {
+        kinds
+            .iter()
+            .map(|&(kind, lx)| IterDesc {
+                kind,
+                lx,
+                ly: lx,
+                x_in_a: true,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn uniform_warp_pays_one_path() {
+        let cost = CostModel::default();
+        let l = lane(&[(StepKind::ApproxBetaZero, 32); 4]);
+        let lanes = vec![l.clone(), l.clone(), l];
+        let w = execute_warp(&lanes, &cost, 32);
+        assert_eq!(w.iterations, 4);
+        assert_eq!(w.divergent_iterations, 0);
+        let single = cost.lane_instructions(&lanes[0][0]);
+        assert!((w.warp_instructions - 4.0 * single).abs() < 1e-9);
+    }
+
+    #[test]
+    fn divergent_warp_pays_both_paths() {
+        let cost = CostModel::default();
+        let a = lane(&[(StepKind::BinaryXEven, 32)]);
+        let b = lane(&[(StepKind::BinaryBothOdd, 32)]);
+        let w = execute_warp(&[a.clone(), b.clone()], &cost, 32);
+        assert_eq!(w.divergent_iterations, 1);
+        let expect = cost.lane_instructions(&a[0]) + cost.lane_instructions(&b[0]);
+        assert!((w.warp_instructions - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ragged_lanes_mask_off() {
+        let cost = CostModel::default();
+        let long = lane(&[(StepKind::FastBinarySub, 16); 5]);
+        let short = lane(&[(StepKind::FastBinarySub, 16); 2]);
+        let w = execute_warp(&[long, short], &cost, 32);
+        assert_eq!(w.iterations, 5);
+        assert_eq!(w.lane_iterations, 7);
+        assert!(w.simt_efficiency(2) < 1.0);
+    }
+
+    #[test]
+    fn mixed_parity_doubles_scan_transactions() {
+        let cost = CostModel::default();
+        let mut a = lane(&[(StepKind::ApproxBetaZero, 32)]);
+        let mut b = lane(&[(StepKind::ApproxBetaZero, 32)]);
+        a[0].x_in_a = true;
+        b[0].x_in_a = false;
+        let same = execute_warp(&[a.clone(), a.clone()], &cost, 32);
+        let mixed = execute_warp(&[a, b], &cost, 32);
+        assert_eq!(same.mem_transactions, 3 * 32 + 6);
+        assert_eq!(mixed.mem_transactions, 2 * 3 * 32 + 6);
+    }
+
+    #[test]
+    fn empty_warp() {
+        let w = execute_warp(&[], &CostModel::default(), 32);
+        assert_eq!(w, WarpWork::default());
+    }
+}

@@ -1,0 +1,122 @@
+//! Property tests for the SIMT warp executor and the SM scheduler.
+
+use bulkgcd_core::StepKind;
+use bulkgcd_gpu::{execute_warp, schedule, CostModel, DeviceConfig, WarpWork};
+use bulkgcd_umm::gcd_trace::IterDesc;
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+fn kind() -> impl Strategy<Value = StepKind> {
+    prop_oneof![
+        Just(StepKind::BinaryXEven),
+        Just(StepKind::BinaryYEven),
+        Just(StepKind::BinaryBothOdd),
+        Just(StepKind::FastBinarySub),
+        Just(StepKind::ApproxBetaZero),
+        Just(StepKind::ApproxBetaPositive),
+        Just(StepKind::LehmerBatch),
+    ]
+}
+
+fn lane(max_iters: usize) -> impl Strategy<Value = Vec<IterDesc>> {
+    vec(
+        (kind(), 1usize..=64, any::<bool>()).prop_map(|(kind, lx, x_in_a)| IterDesc {
+            kind,
+            lx,
+            ly: lx,
+            x_in_a,
+        }),
+        0..=max_iters,
+    )
+}
+
+proptest! {
+    #[test]
+    fn warp_invariants(lanes in vec(lane(12), 0..=8)) {
+        let cost = CostModel::default();
+        let w = execute_warp(&lanes, &cost, 32);
+        let max_len = lanes.iter().map(|l| l.len()).max().unwrap_or(0) as u64;
+        let total: u64 = lanes.iter().map(|l| l.len() as u64).sum();
+        prop_assert_eq!(w.iterations, max_len);
+        prop_assert_eq!(w.lane_iterations, total);
+        prop_assert!(w.divergent_iterations <= w.iterations);
+        prop_assert!((0.0..=1.0).contains(&w.divergence_fraction()));
+        if !lanes.is_empty() {
+            prop_assert!(w.simt_efficiency(lanes.len()) <= 1.0 + 1e-9);
+        }
+        // Issued warp instructions dominate the single most expensive lane.
+        let best_lane: f64 = lanes
+            .iter()
+            .map(|l| l.iter().map(|d| cost.lane_instructions(d)).sum::<f64>())
+            .fold(0.0, f64::max);
+        prop_assert!(w.warp_instructions + 1e-6 >= best_lane);
+    }
+
+    #[test]
+    fn adding_a_lane_never_reduces_warp_cost(
+        lanes in vec(lane(8), 1..=6), extra in lane(8)
+    ) {
+        let cost = CostModel::default();
+        let base = execute_warp(&lanes, &cost, 32);
+        let mut bigger = lanes.clone();
+        bigger.push(extra);
+        let grown = execute_warp(&bigger, &cost, 32);
+        prop_assert!(grown.warp_instructions + 1e-9 >= base.warp_instructions);
+        prop_assert!(grown.mem_transactions >= base.mem_transactions);
+        prop_assert!(grown.iterations >= base.iterations);
+    }
+
+    #[test]
+    fn uniform_lanes_never_diverge(descs in lane(10), copies in 1usize..=8) {
+        let cost = CostModel::default();
+        let lanes: Vec<_> = (0..copies).map(|_| descs.clone()).collect();
+        let w = execute_warp(&lanes, &cost, 32);
+        prop_assert_eq!(w.divergent_iterations, 0);
+    }
+
+    #[test]
+    fn schedule_invariants(works in vec(
+        (0.0f64..1e6, 0u64..100_000).prop_map(|(insts, tx)| WarpWork {
+            warp_instructions: insts,
+            mem_words: tx * 32,
+            mem_transactions: tx,
+            iterations: 10,
+            divergent_iterations: 3,
+            lane_iterations: 200,
+        }),
+        0..=40,
+    )) {
+        let device = DeviceConfig::gtx_780_ti();
+        let r = schedule(&device, &works);
+        // Latency tail is always charged.
+        prop_assert!(r.cycles >= device.mem_latency_cycles as f64);
+        // Totals add up.
+        let insts: f64 = works.iter().map(|w| w.warp_instructions).sum();
+        let tx: u64 = works.iter().map(|w| w.mem_transactions).sum();
+        prop_assert!((r.total_warp_instructions - insts).abs() < 1e-6);
+        prop_assert_eq!(r.total_transactions, tx);
+        prop_assert_eq!(r.total_bytes, tx * device.transaction_bytes);
+        // The makespan is at least the average per-SM load.
+        let per_sm_insts = insts / device.sm_count as f64 / device.warp_throughput_per_sm();
+        prop_assert!(r.cycles + 1e-6 >= per_sm_insts);
+        prop_assert!((r.seconds * device.clock_ghz * 1e9 - r.cycles).abs() < 1.0);
+    }
+
+    #[test]
+    fn more_identical_warps_never_faster(
+        insts in 1.0f64..1e5, tx in 1u64..10_000, n in 1usize..=30
+    ) {
+        let device = DeviceConfig::gtx_780_ti();
+        let w = WarpWork {
+            warp_instructions: insts,
+            mem_words: tx * 32,
+            mem_transactions: tx,
+            iterations: 1,
+            divergent_iterations: 0,
+            lane_iterations: 32,
+        };
+        let small = schedule(&device, &vec![w.clone(); n]);
+        let large = schedule(&device, &vec![w; n * 2]);
+        prop_assert!(large.cycles + 1e-9 >= small.cycles);
+    }
+}

@@ -1,0 +1,120 @@
+//! Breaking a key once a factor is known (§I): given `gcd(n1, n2) = p`,
+//! both moduli factor as `n = p · (n/p)`, and the private exponent follows
+//! from the extended Euclidean algorithm:
+//! `d = e⁻¹ mod (p−1)(q−1)`.
+
+use crate::key::{PrivateKey, PublicKey};
+use bulkgcd_bigint::Nat;
+
+/// Errors when reconstructing a private key from a leaked factor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AttackError {
+    /// The claimed factor does not divide the modulus.
+    NotAFactor,
+    /// The factor is trivial (1 or n itself).
+    TrivialFactor,
+    /// `e` is not invertible modulo `(p−1)(q−1)` (not a valid RSA key).
+    ExponentNotInvertible,
+}
+
+impl core::fmt::Display for AttackError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            AttackError::NotAFactor => write!(f, "value does not divide the modulus"),
+            AttackError::TrivialFactor => write!(f, "factor is trivial (1 or n)"),
+            AttackError::ExponentNotInvertible => {
+                write!(f, "public exponent not invertible mod phi(n)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AttackError {}
+
+/// Split `n` into `(p, q)` given one non-trivial factor `p`.
+pub fn factor_modulus(n: &Nat, p: &Nat) -> Result<(Nat, Nat), AttackError> {
+    if p.is_zero() || p.is_one() || p == n {
+        return Err(AttackError::TrivialFactor);
+    }
+    let (q, r) = n.div_rem(p);
+    if !r.is_zero() {
+        return Err(AttackError::NotAFactor);
+    }
+    Ok((p.clone(), q))
+}
+
+/// Recover the full private key of `pk` from one leaked prime factor.
+pub fn recover_private_key(pk: &PublicKey, factor: &Nat) -> Result<PrivateKey, AttackError> {
+    let (p, q) = factor_modulus(&pk.n, factor)?;
+    let phi = p.sub(&Nat::one()).mul(&q.sub(&Nat::one()));
+    let d = pk
+        .e
+        .modinv(&phi)
+        .ok_or(AttackError::ExponentNotInvertible)?;
+    Ok(PrivateKey {
+        n: pk.n.clone(),
+        d,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::crypt::{decrypt, encrypt};
+    use crate::keygen::generate_keypair;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn recovered_key_decrypts() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let kp = generate_keypair(&mut rng, 128);
+        let m = Nat::from(987_654_321u32);
+        let c = encrypt(&kp.public, &m).unwrap();
+
+        let sk = recover_private_key(&kp.public, &kp.p).unwrap();
+        assert_eq!(decrypt(&sk, &c).unwrap(), m);
+        // Recovering via q gives the same functional key.
+        let sk2 = recover_private_key(&kp.public, &kp.q).unwrap();
+        assert_eq!(decrypt(&sk2, &c).unwrap(), m);
+        assert_eq!(sk.d, kp.private.d);
+    }
+
+    #[test]
+    fn factor_modulus_rejects_non_factor() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let kp = generate_keypair(&mut rng, 96);
+        let not_factor = Nat::from(12_345_679u32);
+        assert_eq!(
+            factor_modulus(&kp.public.n, &not_factor),
+            Err(AttackError::NotAFactor)
+        );
+    }
+
+    #[test]
+    fn factor_modulus_rejects_trivial() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let kp = generate_keypair(&mut rng, 96);
+        assert_eq!(
+            factor_modulus(&kp.public.n, &Nat::one()),
+            Err(AttackError::TrivialFactor)
+        );
+        assert_eq!(
+            factor_modulus(&kp.public.n, &kp.public.n.clone()),
+            Err(AttackError::TrivialFactor)
+        );
+        assert_eq!(
+            factor_modulus(&kp.public.n, &Nat::zero()),
+            Err(AttackError::TrivialFactor)
+        );
+    }
+
+    #[test]
+    fn factoring_recovers_both_primes() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let kp = generate_keypair(&mut rng, 128);
+        let (p, q) = factor_modulus(&kp.public.n, &kp.p).unwrap();
+        assert_eq!(p, kp.p);
+        assert_eq!(q, kp.q);
+    }
+}

@@ -1,0 +1,154 @@
+//! Synthetic key corpora — the stand-in for "encryption keys collected
+//! from the Web" (§I).
+//!
+//! A corpus is a set of public moduli, some fraction of which were produced
+//! by the broken generator of [`crate::keygen::WeakKeygen`]. Because the
+//! corpus is synthetic we also know the ground truth (which pairs share
+//! which prime), so scans can be verified exactly.
+
+use crate::key::{default_exponent, KeyPair};
+use crate::keygen::{generate_keypair, keypair_from_primes};
+use bulkgcd_bigint::prime::random_rsa_prime;
+use bulkgcd_bigint::Nat;
+use rand::Rng;
+
+/// A corpus of RSA keys with known ground truth.
+#[derive(Debug, Clone)]
+pub struct Corpus {
+    /// The keypairs (public moduli are what an attacker sees).
+    pub keys: Vec<KeyPair>,
+    /// Ground truth: indices of key pairs `(i, j)` with `i < j` sharing a
+    /// prime, together with that prime.
+    pub shared: Vec<(usize, usize, Nat)>,
+}
+
+impl Corpus {
+    /// The public moduli in index order.
+    pub fn moduli(&self) -> Vec<Nat> {
+        self.keys.iter().map(|k| k.public.n.clone()).collect()
+    }
+
+    /// Indices of keys that share a prime with any other key.
+    pub fn vulnerable_indices(&self) -> Vec<usize> {
+        let mut v: Vec<usize> = self
+            .shared
+            .iter()
+            .flat_map(|&(i, j, _)| [i, j])
+            .collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+}
+
+/// Build a corpus of `total` keys of `modulus_bits` bits, with
+/// `weak_pairs` planted pairs that each share a fresh prime. The planted
+/// pairs are disjoint (each vulnerable key shares with exactly one other),
+/// and their positions are shuffled into the corpus.
+pub fn build_corpus<R: Rng + ?Sized>(
+    rng: &mut R,
+    total: usize,
+    modulus_bits: u64,
+    weak_pairs: usize,
+) -> Corpus {
+    assert!(2 * weak_pairs <= total, "too many weak pairs for corpus size");
+    let half = modulus_bits / 2;
+    let e = default_exponent();
+    let mut keys = Vec::with_capacity(total);
+
+    // Planted weak pairs: n_i = p*q_i, n_j = p*q_j.
+    for _ in 0..weak_pairs {
+        let shared_prime = random_rsa_prime(rng, half);
+        loop {
+            let q1 = random_rsa_prime(rng, half);
+            let q2 = random_rsa_prime(rng, half);
+            let k1 = keypair_from_primes(shared_prime.clone(), q1, e.clone());
+            let k2 = keypair_from_primes(shared_prime.clone(), q2, e.clone());
+            if let (Some(k1), Some(k2)) = (k1, k2) {
+                if k1.public.n != k2.public.n {
+                    keys.push(k1);
+                    keys.push(k2);
+                    break;
+                }
+            }
+        }
+    }
+    // Fill the rest with properly generated keys.
+    while keys.len() < total {
+        keys.push(generate_keypair(rng, modulus_bits));
+    }
+
+    // Shuffle positions (Fisher-Yates over the key vector).
+    for i in (1..keys.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        keys.swap(i, j);
+    }
+
+    // Recompute ground truth from the shuffled corpus.
+    let mut shared = Vec::new();
+    for i in 0..keys.len() {
+        for j in i + 1..keys.len() {
+            let g = keys[i].public.n.gcd_reference(&keys[j].public.n);
+            if !g.is_one() {
+                shared.push((i, j, g));
+            }
+        }
+    }
+    Corpus { keys, shared }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn corpus_has_requested_shape() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let c = build_corpus(&mut rng, 10, 128, 2);
+        assert_eq!(c.keys.len(), 10);
+        assert_eq!(c.shared.len(), 2, "planted pairs are disjoint");
+        assert_eq!(c.vulnerable_indices().len(), 4);
+        for k in &c.keys {
+            assert_eq!(k.modulus_bits(), 128);
+        }
+    }
+
+    #[test]
+    fn ground_truth_factors_are_real_factors() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let c = build_corpus(&mut rng, 8, 96, 3);
+        for (i, j, p) in &c.shared {
+            assert!(c.keys[*i].public.n.rem(p).is_zero());
+            assert!(c.keys[*j].public.n.rem(p).is_zero());
+            assert_eq!(p.bit_len(), 48);
+        }
+    }
+
+    #[test]
+    fn corpus_without_weak_pairs_is_clean() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let c = build_corpus(&mut rng, 6, 96, 0);
+        assert!(c.shared.is_empty());
+        assert!(c.vulnerable_indices().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "too many weak pairs")]
+    fn oversubscribed_corpus_panics() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let _ = build_corpus(&mut rng, 3, 96, 2);
+    }
+
+    #[test]
+    fn moduli_accessor_matches_keys() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let c = build_corpus(&mut rng, 5, 96, 1);
+        let m = c.moduli();
+        assert_eq!(m.len(), 5);
+        for (k, n) in c.keys.iter().zip(&m) {
+            assert_eq!(&k.public.n, n);
+        }
+    }
+}

@@ -1,0 +1,123 @@
+//! Textbook RSA encryption and decryption (§I: `C = M^e mod n`,
+//! `M = C^d mod n`). No padding — this crate exists to demonstrate the
+//! attack, not to be used as a cryptosystem.
+
+use crate::key::{PrivateKey, PublicKey};
+use bulkgcd_bigint::Nat;
+
+/// Errors from encrypt/decrypt.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CryptError {
+    /// The message is not in `[0, n)`.
+    MessageOutOfRange,
+}
+
+impl core::fmt::Display for CryptError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            CryptError::MessageOutOfRange => write!(f, "message must satisfy 0 <= M < n"),
+        }
+    }
+}
+
+impl std::error::Error for CryptError {}
+
+/// Encrypt `m` under `pk`: `C = M^e mod n`. Requires `0 <= m < n`.
+pub fn encrypt(pk: &PublicKey, m: &Nat) -> Result<Nat, CryptError> {
+    if m.cmp(&pk.n) != core::cmp::Ordering::Less {
+        return Err(CryptError::MessageOutOfRange);
+    }
+    Ok(m.modpow(&pk.e, &pk.n))
+}
+
+/// Decrypt `c` under `sk`: `M = C^d mod n`. Requires `0 <= c < n`.
+pub fn decrypt(sk: &PrivateKey, c: &Nat) -> Result<Nat, CryptError> {
+    if c.cmp(&sk.n) != core::cmp::Ordering::Less {
+        return Err(CryptError::MessageOutOfRange);
+    }
+    Ok(c.modpow(&sk.d, &sk.n))
+}
+
+/// Encode a byte string as a `Nat` (big-endian), for demo messages.
+pub fn encode_message(bytes: &[u8]) -> Nat {
+    let mut n = Nat::zero();
+    for &b in bytes {
+        n = n.shl(8).add(&Nat::from(b as u32));
+    }
+    n
+}
+
+/// Decode a `Nat` back to bytes (inverse of [`encode_message`]).
+pub fn decode_message(n: &Nat) -> Vec<u8> {
+    let mut bytes = Vec::new();
+    let mut v = n.clone();
+    while !v.is_zero() {
+        bytes.push((v.low_u64() & 0xff) as u8);
+        v = v.shr(8);
+    }
+    bytes.reverse();
+    bytes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::keygen::generate_keypair;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn roundtrip() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let kp = generate_keypair(&mut rng, 128);
+        let m = Nat::from(123_456_789u32);
+        let c = encrypt(&kp.public, &m).unwrap();
+        assert_ne!(c, m);
+        assert_eq!(decrypt(&kp.private, &c).unwrap(), m);
+    }
+
+    #[test]
+    fn message_must_be_reduced() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let kp = generate_keypair(&mut rng, 96);
+        let too_big = kp.public.n.add(&Nat::one());
+        assert_eq!(
+            encrypt(&kp.public, &too_big),
+            Err(CryptError::MessageOutOfRange)
+        );
+        assert_eq!(
+            decrypt(&kp.private, &kp.private.n.clone()),
+            Err(CryptError::MessageOutOfRange)
+        );
+    }
+
+    #[test]
+    fn zero_and_one_fixed_points() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let kp = generate_keypair(&mut rng, 96);
+        assert!(encrypt(&kp.public, &Nat::zero()).unwrap().is_zero());
+        assert!(encrypt(&kp.public, &Nat::one()).unwrap().is_one());
+    }
+
+    #[test]
+    fn message_encoding_roundtrip() {
+        let msgs: [&[u8]; 4] = [b"", b"a", b"hello weak RSA", b"\x00\x01\x02"];
+        for m in msgs {
+            let n = encode_message(m);
+            // Leading zero bytes do not survive numeric encoding; the demo
+            // messages avoid them.
+            let stripped: Vec<u8> = m.iter().copied().skip_while(|&b| b == 0).collect();
+            assert_eq!(decode_message(&n), stripped);
+        }
+    }
+
+    #[test]
+    fn text_message_roundtrip_through_rsa() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let kp = generate_keypair(&mut rng, 256);
+        let m = encode_message(b"attack at dawn");
+        let c = encrypt(&kp.public, &m).unwrap();
+        let back = decrypt(&kp.private, &c).unwrap();
+        assert_eq!(decode_message(&back), b"attack at dawn");
+    }
+}

@@ -1,0 +1,92 @@
+//! RSA key material (textbook RSA, as in the paper's §I description).
+
+use bulkgcd_bigint::Nat;
+use core::fmt;
+
+/// An RSA public (encryption) key `(n, e)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PublicKey {
+    /// The modulus `n = p·q`.
+    pub n: Nat,
+    /// The public exponent `e`, coprime to `(p−1)(q−1)`.
+    pub e: Nat,
+}
+
+/// An RSA private (decryption) key `(n, d)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PrivateKey {
+    /// The modulus `n = p·q`.
+    pub n: Nat,
+    /// The private exponent `d = e⁻¹ mod (p−1)(q−1)`.
+    pub d: Nat,
+}
+
+/// A full keypair, including the prime factorisation (kept by the owner).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KeyPair {
+    /// The public half.
+    pub public: PublicKey,
+    /// The private half.
+    pub private: PrivateKey,
+    /// First prime factor.
+    pub p: Nat,
+    /// Second prime factor.
+    pub q: Nat,
+}
+
+impl KeyPair {
+    /// Modulus bit length (the "s" of an s-bit RSA key).
+    pub fn modulus_bits(&self) -> u64 {
+        self.public.n.bit_len()
+    }
+
+    /// Euler totient `(p−1)(q−1)`.
+    pub fn phi(&self) -> Nat {
+        let one = Nat::one();
+        self.p.sub(&one).mul(&self.q.sub(&one))
+    }
+}
+
+impl fmt::Display for PublicKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "PublicKey(n=0x{}, e={})", self.n.to_hex(), self.e)
+    }
+}
+
+/// The conventional public exponent `e = 65537`.
+pub fn default_exponent() -> Nat {
+    Nat::from(65_537u32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phi_of_known_factors() {
+        // p = 11, q = 13: n = 143, phi = 120.
+        let kp = KeyPair {
+            public: PublicKey {
+                n: Nat::from(143u32),
+                e: Nat::from(7u32),
+            },
+            private: PrivateKey {
+                n: Nat::from(143u32),
+                d: Nat::from(103u32),
+            },
+            p: Nat::from(11u32),
+            q: Nat::from(13u32),
+        };
+        assert_eq!(kp.phi(), Nat::from(120u32));
+        assert_eq!(kp.modulus_bits(), 8);
+    }
+
+    #[test]
+    fn display_public_key() {
+        let pk = PublicKey {
+            n: Nat::from(143u32),
+            e: Nat::from(7u32),
+        };
+        assert_eq!(format!("{pk}"), "PublicKey(n=0x8f, e=7)");
+    }
+}

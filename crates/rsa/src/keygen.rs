@@ -1,0 +1,188 @@
+//! RSA key generation — proper and deliberately broken.
+//!
+//! The paper's attack target is keys produced by "inappropriate
+//! implementation of a random prime number generator" that *share or reuse
+//! the same prime number* (§I). [`generate_keypair`] is the correct
+//! procedure; [`WeakKeygen`] models the broken one by maintaining a small
+//! pool of primes and re-drawing from it with a configurable probability —
+//! the synthetic stand-in for the keys Lenstra et al. harvested from the
+//! web.
+
+use crate::key::{default_exponent, KeyPair, PrivateKey, PublicKey};
+use bulkgcd_bigint::prime::random_rsa_prime;
+use bulkgcd_bigint::Nat;
+use rand::Rng;
+
+/// Generate one prime suitable for an RSA factor: `bits` wide and such that
+/// `gcd(p−1, e) = 1` so `e` is invertible mod `(p−1)(q−1)`.
+fn rsa_prime<R: Rng + ?Sized>(rng: &mut R, bits: u64, e: &Nat) -> Nat {
+    loop {
+        let p = random_rsa_prime(rng, bits);
+        if p.sub(&Nat::one()).gcd_reference(e).is_one() {
+            return p;
+        }
+    }
+}
+
+/// Assemble a keypair from two distinct primes.
+///
+/// Returns `None` if `p == q` or `e` is not invertible (callers regenerate).
+pub fn keypair_from_primes(p: Nat, q: Nat, e: Nat) -> Option<KeyPair> {
+    if p == q {
+        return None;
+    }
+    let n = p.mul(&q);
+    let phi = p.sub(&Nat::one()).mul(&q.sub(&Nat::one()));
+    let d = e.modinv(&phi)?;
+    Some(KeyPair {
+        public: PublicKey { n: n.clone(), e },
+        private: PrivateKey { n, d },
+        p,
+        q,
+    })
+}
+
+/// Generate a proper `modulus_bits`-bit RSA keypair with `e = 65537`.
+pub fn generate_keypair<R: Rng + ?Sized>(rng: &mut R, modulus_bits: u64) -> KeyPair {
+    assert!(modulus_bits >= 32, "modulus too small to be meaningful");
+    let half = modulus_bits / 2;
+    let e = default_exponent();
+    loop {
+        let p = rsa_prime(rng, half, &e);
+        let q = rsa_prime(rng, half, &e);
+        if let Some(kp) = keypair_from_primes(p, q, e.clone()) {
+            return kp;
+        }
+    }
+}
+
+/// A deliberately faulty key generator that reuses primes across keys.
+///
+/// With probability `reuse_probability` each prime is drawn from the pool
+/// of previously generated primes instead of fresh randomness — the failure
+/// mode behind real-world weak RSA keys.
+#[derive(Debug)]
+pub struct WeakKeygen {
+    /// Pool of primes already handed out.
+    pool: Vec<Nat>,
+    /// Probability that a requested prime is reused from the pool.
+    reuse_probability: f64,
+    /// Modulus width of generated keys.
+    modulus_bits: u64,
+}
+
+impl WeakKeygen {
+    /// New generator for `modulus_bits`-bit keys reusing primes with the
+    /// given probability (`0.0` = correct generator, `1.0` = always reuse
+    /// once the pool is non-empty).
+    pub fn new(modulus_bits: u64, reuse_probability: f64) -> Self {
+        assert!((0.0..=1.0).contains(&reuse_probability));
+        assert!(modulus_bits >= 32);
+        WeakKeygen {
+            pool: Vec::new(),
+            reuse_probability,
+            modulus_bits,
+        }
+    }
+
+    fn next_prime<R: Rng + ?Sized>(&mut self, rng: &mut R, e: &Nat) -> Nat {
+        if !self.pool.is_empty() && rng.gen_bool(self.reuse_probability) {
+            let i = rng.gen_range(0..self.pool.len());
+            return self.pool[i].clone();
+        }
+        let p = rsa_prime(rng, self.modulus_bits / 2, e);
+        self.pool.push(p.clone());
+        p
+    }
+
+    /// Generate the next (possibly weak) keypair.
+    pub fn generate<R: Rng + ?Sized>(&mut self, rng: &mut R) -> KeyPair {
+        let e = default_exponent();
+        loop {
+            let p = self.next_prime(rng, &e);
+            let q = self.next_prime(rng, &e);
+            if let Some(kp) = keypair_from_primes(p, q, e.clone()) {
+                return kp;
+            }
+        }
+    }
+
+    /// Number of distinct primes handed out so far.
+    pub fn pool_size(&self) -> usize {
+        self.pool.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn generated_keypair_is_well_formed() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let kp = generate_keypair(&mut rng, 128);
+        assert_eq!(kp.p.mul(&kp.q), kp.public.n);
+        assert_eq!(kp.modulus_bits(), 128);
+        assert_ne!(kp.p, kp.q);
+        // e*d == 1 mod phi
+        assert!(kp
+            .public
+            .e
+            .mul(&kp.private.d)
+            .rem(&kp.phi())
+            .is_one());
+    }
+
+    #[test]
+    fn prime_halves_have_exact_width() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let kp = generate_keypair(&mut rng, 192);
+        assert_eq!(kp.p.bit_len(), 96);
+        assert_eq!(kp.q.bit_len(), 96);
+    }
+
+    #[test]
+    fn keypair_from_equal_primes_rejected() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let p = random_rsa_prime(&mut rng, 40);
+        assert!(keypair_from_primes(p.clone(), p, default_exponent()).is_none());
+    }
+
+    #[test]
+    fn weak_keygen_reuses_primes() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut weak = WeakKeygen::new(96, 0.5);
+        let keys: Vec<_> = (0..12).map(|_| weak.generate(&mut rng)).collect();
+        // With reuse probability 0.5, 12 keys need far fewer than 24 primes.
+        assert!(weak.pool_size() < 24);
+        // At least one pair of keys must share a prime factor.
+        let mut shared = false;
+        for i in 0..keys.len() {
+            for j in i + 1..keys.len() {
+                let g = keys[i].public.n.gcd_reference(&keys[j].public.n);
+                if !g.is_one() {
+                    shared = true;
+                    // The GCD is a prime of key i — or the whole modulus when
+                    // both primes were reused (duplicate keys happen too).
+                    assert!(g == keys[i].p || g == keys[i].q || g == keys[i].public.n);
+                }
+            }
+        }
+        assert!(shared, "expected at least one shared prime at 50% reuse");
+    }
+
+    #[test]
+    fn weak_keygen_zero_probability_is_correct_generator() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut gen = WeakKeygen::new(96, 0.0);
+        let keys: Vec<_> = (0..6).map(|_| gen.generate(&mut rng)).collect();
+        for i in 0..keys.len() {
+            for j in i + 1..keys.len() {
+                assert!(keys[i].public.n.gcd_reference(&keys[j].public.n).is_one());
+            }
+        }
+        assert_eq!(gen.pool_size(), 12);
+    }
+}

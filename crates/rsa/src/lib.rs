@@ -1,0 +1,35 @@
+//! # bulkgcd-rsa
+//!
+//! Textbook RSA on the `bulkgcd-bigint` substrate — everything the weak-key
+//! attack of the paper needs from a cryptosystem:
+//!
+//! * [`keygen`] — proper keypair generation (Miller–Rabin primes, `e =
+//!   65537`) and [`keygen::WeakKeygen`], a deliberately faulty generator
+//!   that reuses primes across keys, modelling the broken generators behind
+//!   the weak keys Lenstra et al. found in the wild;
+//! * [`corpus`] — synthetic "keys collected from the Web" with planted
+//!   shared-prime pairs and exact ground truth;
+//! * [`crypt`] — `C = M^e mod n` / `M = C^d mod n`;
+//! * [`attack`] — factoring a modulus from a leaked shared prime and
+//!   recovering `d = e⁻¹ mod (p−1)(q−1)` by the extended Euclidean
+//!   algorithm, exactly as §I describes.
+//!
+//! This is *not* a production cryptosystem (no padding, no side-channel
+//! hardening) — it exists so the attack pipeline can be demonstrated and
+//! verified end to end.
+
+#![warn(missing_docs)]
+
+pub mod attack;
+pub mod corpus;
+pub mod crt;
+pub mod crypt;
+pub mod key;
+pub mod keygen;
+
+pub use attack::{factor_modulus, recover_private_key, AttackError};
+pub use crt::CrtPrivateKey;
+pub use corpus::{build_corpus, Corpus};
+pub use crypt::{decrypt, encrypt, CryptError};
+pub use key::{KeyPair, PrivateKey, PublicKey};
+pub use keygen::{generate_keypair, WeakKeygen};

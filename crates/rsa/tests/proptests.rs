@@ -1,0 +1,81 @@
+//! Property tests for the RSA layer, using a fixed pool of small primes so
+//! each case is cheap while still exercising arbitrary prime combinations
+//! and messages.
+
+use bulkgcd_bigint::Nat;
+use bulkgcd_rsa::crypt::{decode_message, encode_message};
+use bulkgcd_rsa::keygen::keypair_from_primes;
+use bulkgcd_rsa::{decrypt, encrypt, recover_private_key, CrtPrivateKey};
+use proptest::prelude::*;
+
+/// 16-bit primes p with gcd(p-1, 65537) = 1 (65537 is prime and > p-1,
+/// so the condition holds automatically for all of these).
+const PRIMES: &[u32] = &[
+    65521, 65519, 65497, 65479, 65449, 65447, 65437, 65423, 65419, 65413, 65407, 65393, 65381,
+    65371, 65357, 65353,
+];
+
+fn prime_pair() -> impl Strategy<Value = (Nat, Nat)> {
+    (0..PRIMES.len(), 0..PRIMES.len())
+        .prop_filter("distinct primes", |(i, j)| i != j)
+        .prop_map(|(i, j)| (Nat::from(PRIMES[i]), Nat::from(PRIMES[j])))
+}
+
+proptest! {
+    #[test]
+    fn encrypt_decrypt_roundtrip((p, q) in prime_pair(), m in any::<u32>()) {
+        let e = Nat::from(65_537u32);
+        let kp = keypair_from_primes(p, q, e).expect("valid primes");
+        let m = Nat::from(m).rem(&kp.public.n);
+        let c = encrypt(&kp.public, &m).unwrap();
+        prop_assert_eq!(decrypt(&kp.private, &c).unwrap(), m);
+    }
+
+    #[test]
+    fn recovery_from_either_factor_matches((p, q) in prime_pair()) {
+        let e = Nat::from(65_537u32);
+        let kp = keypair_from_primes(p.clone(), q.clone(), e).expect("valid primes");
+        let via_p = recover_private_key(&kp.public, &p).unwrap();
+        let via_q = recover_private_key(&kp.public, &q).unwrap();
+        prop_assert_eq!(&via_p.d, &kp.private.d);
+        prop_assert_eq!(&via_q.d, &kp.private.d);
+    }
+
+    #[test]
+    fn crt_decrypt_matches_plain((p, q) in prime_pair(), m in any::<u32>()) {
+        let e = Nat::from(65_537u32);
+        let kp = keypair_from_primes(p, q, e).expect("valid primes");
+        let crt = CrtPrivateKey::from_keypair(&kp);
+        let m = Nat::from(m).rem(&kp.public.n);
+        let c = encrypt(&kp.public, &m).unwrap();
+        prop_assert_eq!(crt.decrypt(&c), decrypt(&kp.private, &c).unwrap());
+    }
+
+    #[test]
+    fn ed_is_identity_on_all_residues((p, q) in prime_pair(), m in any::<u64>()) {
+        // Textbook RSA is a permutation of Z_n: m^(ed) = m for every m,
+        // including multiples of p or q.
+        let e = Nat::from(65_537u32);
+        let kp = keypair_from_primes(p, q, e).expect("valid primes");
+        let m = Nat::from_u64(m).rem(&kp.public.n);
+        let c = encrypt(&kp.public, &m).unwrap();
+        prop_assert_eq!(decrypt(&kp.private, &c).unwrap(), m);
+    }
+
+    #[test]
+    fn shared_prime_is_the_gcd((p, q1) in prime_pair(), qi in 0..PRIMES.len()) {
+        let q2 = Nat::from(PRIMES[qi]);
+        prop_assume!(q2 != p && q2 != q1);
+        let n1 = p.mul(&q1);
+        let n2 = p.mul(&q2);
+        prop_assert_eq!(n1.gcd_reference(&n2), p);
+    }
+
+    #[test]
+    fn message_bytes_roundtrip(bytes in proptest::collection::vec(1u8..=255, 0..24)) {
+        // Leading 0x00 bytes cannot survive numeric encoding, so draw
+        // non-zero bytes (the quickstart encodes ASCII text anyway).
+        let n = encode_message(&bytes);
+        prop_assert_eq!(decode_message(&n), bytes);
+    }
+}

@@ -1,0 +1,326 @@
+//! Warp-synchronized UMM traces of the bulk GCD algorithms (paper §VI).
+//!
+//! Each thread of a bulk runs one GCD; in SIMT execution the threads of a
+//! warp proceed in lock step through the same instruction sequence, with
+//! finished lanes (and lanes whose word-scan is shorter this iteration)
+//! masked off. This module reconstructs that step-aligned access pattern
+//! from per-iteration descriptors harvested by a [`bulkgcd_core::Probe`]:
+//!
+//! * iteration head — the `approx`/branch-decision reads of the top two
+//!   words of `X` and `Y` (4 aligned slots);
+//! * word scan — for each word `k` up to the warp's max `lX`, aligned slots
+//!   for *read X\[k\]*, *read Y\[k\]*, *write X\[k\]* and the β>0 extra read;
+//! * iteration tail — the `X < Y` comparison reads (2 aligned slots).
+//!
+//! Logical offsets place buffer A at `[0, cap)` and buffer B at
+//! `[cap, 2·cap)`; the pointer `swap(X, Y)` flips which buffer each
+//! thread's `X` lives in, which is one real source of divergence the
+//! paper's "semi-oblivious" argument glosses over — the simulation makes
+//! it measurable.
+
+use crate::trace::BulkTrace;
+use bulkgcd_core::{run, Algorithm, GcdPair, Probe, Step, StepKind, Termination};
+use bulkgcd_bigint::Nat;
+
+/// Per-iteration descriptor, enough to reconstruct the iteration's accesses.
+#[derive(Debug, Clone, Copy)]
+pub struct IterDesc {
+    /// Branch taken.
+    pub kind: StepKind,
+    /// `lX` before the update.
+    pub lx: usize,
+    /// `lY` before the update.
+    pub ly: usize,
+    /// Whether `X` lived in physical buffer A before the update.
+    pub x_in_a: bool,
+}
+
+/// Probe collecting [`IterDesc`]s.
+#[derive(Debug, Default, Clone)]
+pub struct IterProbe {
+    /// One descriptor per do-while iteration.
+    pub iters: Vec<IterDesc>,
+}
+
+impl Probe for IterProbe {
+    fn step(&mut self, pair: &GcdPair, step: &Step) {
+        // The probe fires after the update and swap; undo the swap to learn
+        // where X lived while the iteration's scan ran.
+        let after = pair.x_in_buffer_a();
+        let x_in_a = if step.swapped { !after } else { after };
+        self.iters.push(IterDesc {
+            kind: step.kind,
+            lx: step.lx_before,
+            ly: step.ly_before,
+            x_in_a,
+        });
+    }
+}
+
+/// Slots emitted per scanned word (read X, read Y, write X, β>0 extra read).
+const WORD_SLOTS: usize = 4;
+/// Slots for the iteration head (top-two-word reads of X and Y).
+const HEAD_SLOTS: usize = 4;
+/// Slots for the trailing `X < Y` comparison.
+const TAIL_SLOTS: usize = 2;
+
+fn emit_iteration(
+    trace: &mut crate::trace::ThreadTrace,
+    it: &IterDesc,
+    cap: usize,
+    max_lx: usize,
+) {
+    let (xb, yb) = if it.x_in_a { (0, cap) } else { (cap, 0) };
+    // Head: approx / branch decision reads x1, x2, y1, y2.
+    trace.read(xb + it.lx.saturating_sub(1));
+    trace.read(xb + it.lx.saturating_sub(2));
+    trace.read(yb + it.ly.saturating_sub(1));
+    trace.read(yb + it.ly.saturating_sub(2));
+    // Word scan, padded to the warp-wide max trip count.
+    for k in 0..max_lx {
+        let (reads_x, reads_y, writes_x, extra_y) = match it.kind {
+            StepKind::BinaryXEven => (k < it.lx, false, k < it.lx, false),
+            StepKind::BinaryYEven => (false, k < it.ly, false, false),
+            StepKind::ApproxBetaPositive => (k < it.lx, k < it.ly, k < it.lx, k < it.ly),
+            // Lehmer touches Y a second time (the second linear
+            // combination); the UMM prices reads and writes identically,
+            // so the extra slot models it.
+            StepKind::LehmerBatch => (k < it.lx, k < it.ly, k < it.lx, k < it.ly),
+            _ => (k < it.lx, k < it.ly, k < it.lx, false),
+        };
+        if reads_x {
+            trace.read(xb + k);
+        } else {
+            trace.idle();
+        }
+        if reads_y {
+            trace.read(yb + k);
+        } else {
+            trace.idle();
+        }
+        // BinaryYEven writes Y, everything else writes X (when active).
+        if it.kind == StepKind::BinaryYEven {
+            if k < it.ly {
+                trace.write(yb + k);
+            } else {
+                trace.idle();
+            }
+        } else if writes_x {
+            trace.write(xb + k);
+        } else {
+            trace.idle();
+        }
+        if extra_y {
+            trace.read(yb + k);
+        } else {
+            trace.idle();
+        }
+    }
+    // Tail: the X < Y comparison reads the top words (O(1) w.h.p., §IV).
+    trace.read(xb + it.lx.saturating_sub(1));
+    trace.read(yb + it.ly.saturating_sub(1));
+}
+
+fn emit_idle_iteration(trace: &mut crate::trace::ThreadTrace, max_lx: usize) {
+    for _ in 0..HEAD_SLOTS + max_lx * WORD_SLOTS + TAIL_SLOTS {
+        trace.idle();
+    }
+}
+
+/// Run `algo` on every input pair and reconstruct the warp-synchronized
+/// bulk trace **as a fully oblivious kernel would execute it**: every
+/// iteration scans the full `cap`-word buffers regardless of the live
+/// `lX`/`lY`, and the head/tail reads always touch the fixed top words.
+/// This is the paper's theoretical ideal (§VI: an oblivious algorithm's
+/// address at each time unit is input-independent): perfect coalescing,
+/// bought with `cap/lX`-fold redundant word traffic as the operands
+/// shrink. Comparing it against [`bulk_gcd_trace`] quantifies that trade.
+pub fn bulk_gcd_trace_oblivious(
+    algo: Algorithm,
+    inputs: &[(Nat, Nat)],
+    term: Termination,
+) -> BulkTrace {
+    let cap = inputs
+        .iter()
+        .map(|(a, b)| a.len().max(b.len()))
+        .max()
+        .unwrap_or(1)
+        .max(1);
+    let per_thread: Vec<Vec<IterDesc>> = inputs
+        .iter()
+        .map(|(a, b)| {
+            let mut pair = GcdPair::new(a, b);
+            let mut probe = IterProbe::default();
+            run(algo, &mut pair, term, &mut probe);
+            // Obliviousness: pretend every iteration scans the full
+            // buffers from a fixed pointer assignment.
+            for d in &mut probe.iters {
+                d.lx = cap;
+                d.ly = cap;
+                d.x_in_a = true;
+            }
+            probe.iters
+        })
+        .collect();
+    assemble(per_thread, cap, inputs.len())
+}
+
+/// Run `algo` on every input pair and reconstruct the warp-synchronized
+/// bulk trace. All pairs share one logical buffer capacity `cap` (words),
+/// taken from the widest input.
+pub fn bulk_gcd_trace(algo: Algorithm, inputs: &[(Nat, Nat)], term: Termination) -> BulkTrace {
+    let cap = inputs
+        .iter()
+        .map(|(a, b)| a.len().max(b.len()))
+        .max()
+        .unwrap_or(1)
+        .max(1);
+    // Harvest per-thread iteration descriptors.
+    let per_thread: Vec<Vec<IterDesc>> = inputs
+        .iter()
+        .map(|(a, b)| {
+            let mut pair = GcdPair::new(a, b);
+            let mut probe = IterProbe::default();
+            run(algo, &mut pair, term, &mut probe);
+            probe.iters
+        })
+        .collect();
+    assemble(per_thread, cap, inputs.len())
+}
+
+/// Align per-thread iteration descriptors into a step-synchronized bulk.
+fn assemble(per_thread: Vec<Vec<IterDesc>>, cap: usize, p: usize) -> BulkTrace {
+    let max_iters = per_thread.iter().map(|v| v.len()).max().unwrap_or(0);
+    let mut bulk = BulkTrace::with_threads(p);
+    for i in 0..max_iters {
+        // Warp-wide trip count this iteration (lanes past their last
+        // iteration are masked and contribute nothing).
+        let max_lx = per_thread
+            .iter()
+            .filter_map(|v| v.get(i))
+            .map(|d| d.lx)
+            .max()
+            .unwrap_or(0);
+        for (j, descs) in per_thread.iter().enumerate() {
+            match descs.get(i) {
+                Some(d) => emit_iteration(&mut bulk.threads[j], d, cap, max_lx),
+                None => emit_idle_iteration(&mut bulk.threads[j], max_lx),
+            }
+        }
+    }
+    bulk
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::Layout;
+    use crate::oblivious;
+    use crate::sim::{simulate, UmmConfig};
+    use bulkgcd_bigint::random::random_odd_bits;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn random_inputs(p: usize, bits: u64, seed: u64) -> Vec<(Nat, Nat)> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..p)
+            .map(|_| (random_odd_bits(&mut rng, bits), random_odd_bits(&mut rng, bits)))
+            .collect()
+    }
+
+    #[test]
+    fn traces_are_step_aligned() {
+        let inputs = random_inputs(8, 192, 1);
+        let bulk = bulk_gcd_trace(Algorithm::Approximate, &inputs, Termination::Full);
+        let len0 = bulk.threads[0].len();
+        for th in &bulk.threads {
+            assert_eq!(th.len(), len0, "all threads must be step-aligned");
+        }
+    }
+
+    #[test]
+    fn approximate_is_semi_oblivious() {
+        let inputs = random_inputs(16, 256, 2);
+        let bulk = bulk_gcd_trace(Algorithm::Approximate, &inputs, Termination::Full);
+        let r = oblivious::analyze(&bulk);
+        // The word-scan body dominates and involves at most the two swap
+        // buffers, so the near-uniform (<= 2 offsets) fraction must be high.
+        assert!(
+            r.near_uniform_fraction() > 0.8,
+            "near-uniform fraction {} too low",
+            r.near_uniform_fraction()
+        );
+    }
+
+    #[test]
+    fn column_wise_beats_row_wise_on_gcd_bulk() {
+        // The coalescing advantage shows once enough warps are in flight to
+        // hide the pipeline latency (Theorem 1 regime: p/w >= l); with only
+        // a couple of warps the `l - 1` term dominates both layouts.
+        let inputs = random_inputs(1024, 256, 3);
+        let bulk = bulk_gcd_trace(
+            Algorithm::Approximate,
+            &inputs,
+            Termination::Early { threshold_bits: 128 },
+        );
+        let cfg = UmmConfig::new(32, 32);
+        let col = simulate(&bulk, Layout::ColumnWise, cfg);
+        let row = simulate(&bulk, Layout::RowWise, cfg);
+        assert!(
+            col.time_units * 3 < row.time_units,
+            "column-wise {} vs row-wise {}",
+            col.time_units,
+            row.time_units
+        );
+        assert!(col.coalesced_fraction() > row.coalesced_fraction());
+    }
+
+    #[test]
+    fn fewer_iterations_means_shorter_trace() {
+        let inputs = random_inputs(8, 256, 4);
+        let e = bulk_gcd_trace(Algorithm::Approximate, &inputs, Termination::Full);
+        let d = bulk_gcd_trace(Algorithm::FastBinary, &inputs, Termination::Full);
+        let c = bulk_gcd_trace(Algorithm::Binary, &inputs, Termination::Full);
+        assert!(e.steps() < d.steps());
+        assert!(d.steps() < c.steps());
+    }
+
+    #[test]
+    fn early_termination_shortens_traces() {
+        let inputs = random_inputs(8, 256, 5);
+        let full = bulk_gcd_trace(Algorithm::Approximate, &inputs, Termination::Full);
+        let early = bulk_gcd_trace(
+            Algorithm::Approximate,
+            &inputs,
+            Termination::Early { threshold_bits: 128 },
+        );
+        assert!(early.steps() < full.steps());
+    }
+
+    #[test]
+    fn oblivious_variant_is_fully_uniform_but_does_more_work() {
+        let inputs = random_inputs(16, 256, 6);
+        let semi = bulk_gcd_trace(Algorithm::Approximate, &inputs, Termination::Full);
+        let obl = bulk_gcd_trace_oblivious(Algorithm::Approximate, &inputs, Termination::Full);
+        let semi_r = crate::oblivious::analyze(&semi);
+        let obl_r = crate::oblivious::analyze(&obl);
+        // Oblivious: every active step touches exactly one logical offset.
+        assert_eq!(obl_r.uniform_fraction(), 1.0);
+        assert!(semi_r.uniform_fraction() < 1.0);
+        // But it moves strictly more words (full-capacity scans).
+        assert!(obl.total_accesses() > semi.total_accesses());
+        // On the UMM, perfect coalescing can still lose overall when the
+        // redundant traffic outweighs the stage savings; just check both
+        // simulate cleanly and the oblivious one is fully coalesced.
+        let cfg = UmmConfig::new(32, 8);
+        let obl_sim = simulate(&obl, Layout::ColumnWise, cfg);
+        assert_eq!(obl_sim.coalesced_fraction(), 1.0);
+    }
+
+    #[test]
+    fn empty_input_bulk() {
+        let bulk = bulk_gcd_trace(Algorithm::Approximate, &[], Termination::Full);
+        assert_eq!(bulk.p(), 0);
+        assert_eq!(bulk.steps(), 0);
+    }
+}

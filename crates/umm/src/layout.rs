@@ -1,0 +1,83 @@
+//! Memory layouts for bulk execution (paper Fig. 3).
+//!
+//! A bulk execution runs `p` copies of a sequential algorithm, each working
+//! on its own logical array `b_j` of `n` words. The global-memory address of
+//! `b_j[i]` depends on the arrangement:
+//!
+//! * **column-wise** (the paper's choice): `addr(j, i) = i · p + j` — when
+//!   all threads touch the same logical offset `i` at the same time, the `p`
+//!   requests hit `p` consecutive addresses and coalesce perfectly;
+//! * **row-wise** (the naive arrangement): `addr(j, i) = j · n + i` — the
+//!   same access pattern scatters across `p` distinct address groups.
+
+/// How the `p` per-thread arrays are arranged in global memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Layout {
+    /// `b_j[i] ↦ i · p + j`: coalesced for lock-step bulk execution.
+    ColumnWise,
+    /// `b_j[i] ↦ j · n + i`: the cautionary baseline.
+    RowWise,
+}
+
+impl Layout {
+    /// Global address of logical word `offset` of thread `thread`, for a
+    /// bulk of `p` threads whose per-thread arrays have `n_words` words.
+    #[inline]
+    pub fn address(&self, thread: usize, offset: usize, p: usize, n_words: usize) -> usize {
+        debug_assert!(thread < p);
+        debug_assert!(offset < n_words);
+        match self {
+            Layout::ColumnWise => offset * p + thread,
+            Layout::RowWise => thread * n_words + offset,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn column_wise_is_fig3() {
+        // Fig. 3: p = 8 arrays of n = 4 words; b_j[i] at address i*8 + j.
+        let p = 8;
+        let n = 4;
+        assert_eq!(Layout::ColumnWise.address(0, 0, p, n), 0);
+        assert_eq!(Layout::ColumnWise.address(3, 0, p, n), 3);
+        assert_eq!(Layout::ColumnWise.address(0, 1, p, n), 8);
+        assert_eq!(Layout::ColumnWise.address(5, 2, p, n), 21);
+    }
+
+    #[test]
+    fn row_wise_scatters() {
+        let p = 8;
+        let n = 4;
+        assert_eq!(Layout::RowWise.address(0, 1, p, n), 1);
+        assert_eq!(Layout::RowWise.address(5, 2, p, n), 22);
+    }
+
+    #[test]
+    fn addresses_are_unique_per_layout() {
+        let p = 6;
+        let n = 5;
+        for layout in [Layout::ColumnWise, Layout::RowWise] {
+            let mut seen = std::collections::HashSet::new();
+            for j in 0..p {
+                for i in 0..n {
+                    assert!(seen.insert(layout.address(j, i, p, n)), "{layout:?}");
+                }
+            }
+            assert_eq!(seen.len(), p * n);
+        }
+    }
+
+    #[test]
+    fn same_offset_across_threads_is_contiguous_only_column_wise() {
+        let p = 4;
+        let n = 8;
+        let col: Vec<_> = (0..p).map(|j| Layout::ColumnWise.address(j, 3, p, n)).collect();
+        assert_eq!(col, vec![12, 13, 14, 15]);
+        let row: Vec<_> = (0..p).map(|j| Layout::RowWise.address(j, 3, p, n)).collect();
+        assert_eq!(row, vec![3, 11, 19, 27]);
+    }
+}

@@ -1,0 +1,33 @@
+//! # bulkgcd-umm
+//!
+//! The **Unified Memory Machine** (UMM) of Nakano et al. — the theoretical
+//! machine the paper uses to reason about GPU global-memory performance
+//! (§VI, Fig. 2/3, Theorem 1) — implemented as a discrete simulator.
+//!
+//! * [`sim`] — warps of width `w`, address groups, the `l`-stage memory
+//!   pipeline, round-robin dispatch, and time-unit accounting; validated
+//!   against the paper's Fig. 2 walkthrough and the Theorem 1 bound
+//!   `O(pt/w + lt)`.
+//! * [`layout`] — the column-wise arrangement of Fig. 3 (coalesced bulk
+//!   access) versus the naive row-wise baseline.
+//! * [`trace`] — step-aligned per-thread logical access traces with masked
+//!   (idle) lanes, the SIMT execution shape.
+//! * [`oblivious`] — quantifies the paper's "semi-oblivious" claim on real
+//!   traces.
+//! * [`gcd_trace`] — reconstructs warp-synchronized bulk traces of the five
+//!   Euclidean variants from `bulkgcd-core` probes.
+
+#![warn(missing_docs)]
+
+pub mod dmm;
+pub mod gcd_trace;
+pub mod layout;
+pub mod oblivious;
+pub mod sim;
+pub mod trace;
+
+pub use dmm::{simulate_dmm, DmmReport};
+pub use layout::Layout;
+pub use oblivious::{analyze, ObliviousReport};
+pub use sim::{simulate, UmmConfig, UmmReport};
+pub use trace::{Access, BulkTrace, ThreadTrace};

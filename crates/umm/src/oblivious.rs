@@ -1,0 +1,143 @@
+//! Obliviousness analysis (paper §VI).
+//!
+//! A sequential algorithm is *oblivious* when the address it accesses at
+//! each time unit is input-independent; a bulk of such an algorithm touches
+//! one logical offset per step across all threads, which is what makes the
+//! column-wise layout coalesce perfectly. The paper argues Approximate
+//! Euclid is *semi-oblivious*: the bulk may diverge in "few time units".
+//! This module quantifies that claim on real traces.
+
+use crate::trace::BulkTrace;
+
+/// Measured obliviousness of a bulk trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ObliviousReport {
+    /// Aligned steps inspected (length of the longest thread trace).
+    pub steps: usize,
+    /// Steps where every active thread touched the **same logical offset**
+    /// (the oblivious ideal; coalesced under column-wise layout).
+    pub uniform_steps: usize,
+    /// Steps where active threads touched at most two distinct offsets
+    /// (e.g. the same word of either of the two swap buffers).
+    pub near_uniform_steps: usize,
+    /// Steps with at least one active thread.
+    pub active_steps: usize,
+}
+
+impl ObliviousReport {
+    /// Fraction of active steps that were perfectly uniform.
+    pub fn uniform_fraction(&self) -> f64 {
+        if self.active_steps == 0 {
+            1.0
+        } else {
+            self.uniform_steps as f64 / self.active_steps as f64
+        }
+    }
+
+    /// Fraction of active steps with at most two distinct offsets.
+    pub fn near_uniform_fraction(&self) -> f64 {
+        if self.active_steps == 0 {
+            1.0
+        } else {
+            self.near_uniform_steps as f64 / self.active_steps as f64
+        }
+    }
+}
+
+/// Analyse how input-dependent the step-aligned addresses of `bulk` are.
+pub fn analyze(bulk: &BulkTrace) -> ObliviousReport {
+    let steps = bulk.steps();
+    let mut uniform = 0;
+    let mut near_uniform = 0;
+    let mut active = 0;
+    let mut offsets: Vec<usize> = Vec::with_capacity(4);
+    for t in 0..steps {
+        offsets.clear();
+        let mut any = false;
+        for th in &bulk.threads {
+            if let Some(Some(acc)) = th.accesses.get(t) {
+                any = true;
+                let o = acc.offset();
+                if !offsets.contains(&o) {
+                    offsets.push(o);
+                }
+            }
+        }
+        if !any {
+            continue;
+        }
+        active += 1;
+        if offsets.len() == 1 {
+            uniform += 1;
+            near_uniform += 1;
+        } else if offsets.len() == 2 {
+            near_uniform += 1;
+        }
+    }
+    ObliviousReport {
+        steps,
+        uniform_steps: uniform,
+        near_uniform_steps: near_uniform,
+        active_steps: active,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::BulkTrace;
+
+    #[test]
+    fn fully_oblivious_bulk_is_uniform() {
+        let mut b = BulkTrace::with_threads(4);
+        for th in &mut b.threads {
+            th.read(0);
+            th.write(1);
+            th.read(2);
+        }
+        let r = analyze(&b);
+        assert_eq!(r.active_steps, 3);
+        assert_eq!(r.uniform_steps, 3);
+        assert_eq!(r.uniform_fraction(), 1.0);
+    }
+
+    #[test]
+    fn divergent_step_detected() {
+        let mut b = BulkTrace::with_threads(3);
+        b.threads[0].read(0);
+        b.threads[1].read(5);
+        b.threads[2].read(9);
+        let r = analyze(&b);
+        assert_eq!(r.uniform_steps, 0);
+        assert_eq!(r.near_uniform_steps, 0);
+        assert_eq!(r.active_steps, 1);
+    }
+
+    #[test]
+    fn two_offsets_counts_as_near_uniform() {
+        let mut b = BulkTrace::with_threads(4);
+        for (j, th) in b.threads.iter_mut().enumerate() {
+            th.read(if j % 2 == 0 { 3 } else { 7 });
+        }
+        let r = analyze(&b);
+        assert_eq!(r.uniform_steps, 0);
+        assert_eq!(r.near_uniform_steps, 1);
+    }
+
+    #[test]
+    fn idle_lanes_do_not_break_uniformity() {
+        let mut b = BulkTrace::with_threads(3);
+        b.threads[0].read(4);
+        b.threads[1].idle();
+        b.threads[2].read(4);
+        let r = analyze(&b);
+        assert_eq!(r.uniform_steps, 1);
+    }
+
+    #[test]
+    fn empty_bulk() {
+        let r = analyze(&BulkTrace::with_threads(2));
+        assert_eq!(r.active_steps, 0);
+        assert_eq!(r.uniform_fraction(), 1.0);
+    }
+}

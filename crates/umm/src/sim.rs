@@ -1,0 +1,246 @@
+//! The UMM simulator (paper §VI, Fig. 2).
+//!
+//! The UMM with width `w` and latency `l` partitions memory into *address
+//! groups* `A[k] = {k·w, …, (k+1)·w − 1}` and serves requests through an
+//! `l`-stage pipeline. Threads are grouped into warps of `w`; warps are
+//! dispatched round-robin, and a dispatched warp's `w` requests occupy one
+//! pipeline stage **per distinct address group touched**. A round of
+//! dispatches that occupies `g` stages in total completes in `g + l − 1`
+//! time units (the pipeline overlaps the latency of consecutive stages).
+//!
+//! Bulk executions here are *step-aligned*: at step `t` every still-running
+//! thread issues its `t`-th logical access (this is exactly the lock-step
+//! SIMT execution the paper's bulk model assumes; a thread whose trace has
+//! ended issues nothing, and per the model a warp with no requests is not
+//! dispatched).
+
+use crate::layout::Layout;
+use crate::trace::BulkTrace;
+
+/// UMM machine parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UmmConfig {
+    /// Width `w`: threads per warp and words per address group.
+    pub width: usize,
+    /// Latency `l` of the memory pipeline, in time units.
+    pub latency: usize,
+}
+
+impl UmmConfig {
+    /// A new configuration. Both parameters must be at least 1.
+    pub fn new(width: usize, latency: usize) -> Self {
+        assert!(width >= 1 && latency >= 1);
+        UmmConfig { width, latency }
+    }
+}
+
+/// Outcome of simulating a bulk execution on the UMM.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UmmReport {
+    /// Total simulated time units.
+    pub time_units: u64,
+    /// Steps executed (length of the longest thread trace).
+    pub steps: u64,
+    /// Total warp dispatches.
+    pub warp_dispatches: u64,
+    /// Total pipeline stages occupied (= Σ distinct address groups per
+    /// dispatch). For perfectly coalesced traffic this equals
+    /// `warp_dispatches`.
+    pub stages_occupied: u64,
+    /// Dispatches whose requests all fell in a single address group.
+    pub coalesced_dispatches: u64,
+}
+
+impl UmmReport {
+    /// Fraction of dispatches that were perfectly coalesced.
+    pub fn coalesced_fraction(&self) -> f64 {
+        if self.warp_dispatches == 0 {
+            1.0
+        } else {
+            self.coalesced_dispatches as f64 / self.warp_dispatches as f64
+        }
+    }
+
+    /// The Theorem 1 upper bound `(p/w + l − 1) · t` for a fully oblivious,
+    /// column-wise bulk of `p` threads over `t` steps.
+    pub fn theorem1_bound(p: usize, steps: u64, cfg: UmmConfig) -> u64 {
+        let rounds_per_step = p.div_ceil(cfg.width) as u64;
+        (rounds_per_step + cfg.latency as u64 - 1) * steps
+    }
+}
+
+/// Simulate the bulk execution of `bulk` under `layout` on the UMM `cfg`.
+///
+/// Every step: all active threads issue one request; warps are dispatched
+/// round-robin; each dispatch occupies one pipeline stage per distinct
+/// address group among its live requests; the step completes after
+/// `stages + l − 1` time units.
+///
+/// ```
+/// use bulkgcd_umm::{simulate, BulkTrace, Layout, UmmConfig, UmmReport};
+///
+/// // An oblivious bulk: 64 threads each scanning offsets 0..8 in step.
+/// let mut bulk = BulkTrace::with_threads(64);
+/// for th in &mut bulk.threads {
+///     for i in 0..8 {
+///         th.read(i);
+///     }
+/// }
+/// let cfg = UmmConfig::new(32, 16);
+/// let col = simulate(&bulk, Layout::ColumnWise, cfg);
+/// // Column-wise coalesces perfectly and meets Theorem 1 exactly.
+/// assert_eq!(col.coalesced_fraction(), 1.0);
+/// assert_eq!(col.time_units, UmmReport::theorem1_bound(64, 8, cfg));
+/// // Row-wise scatters the same accesses across w-fold more groups.
+/// assert!(simulate(&bulk, Layout::RowWise, cfg).time_units > col.time_units);
+/// ```
+pub fn simulate(bulk: &BulkTrace, layout: Layout, cfg: UmmConfig) -> UmmReport {
+    let p = bulk.p();
+    let n_words = bulk.words_required().max(1);
+    let steps = bulk.steps();
+    let mut report = UmmReport {
+        time_units: 0,
+        steps: steps as u64,
+        warp_dispatches: 0,
+        stages_occupied: 0,
+        coalesced_dispatches: 0,
+    };
+    let mut groups = Vec::with_capacity(cfg.width);
+    for t in 0..steps {
+        let mut step_stages = 0u64;
+        let mut any = false;
+        for warp_start in (0..p).step_by(cfg.width) {
+            groups.clear();
+            for j in warp_start..(warp_start + cfg.width).min(p) {
+                if let Some(Some(acc)) = bulk.threads[j].accesses.get(t) {
+                    let addr = layout.address(j, acc.offset(), p, n_words);
+                    let group = addr / cfg.width;
+                    if !groups.contains(&group) {
+                        groups.push(group);
+                    }
+                }
+            }
+            if groups.is_empty() {
+                continue; // warp has no request: not dispatched (paper §VI)
+            }
+            any = true;
+            report.warp_dispatches += 1;
+            report.stages_occupied += groups.len() as u64;
+            step_stages += groups.len() as u64;
+            if groups.len() == 1 {
+                report.coalesced_dispatches += 1;
+            }
+        }
+        if any {
+            report.time_units += step_stages + cfg.latency as u64 - 1;
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Build a fully oblivious bulk: every thread performs the same `steps`
+    /// sequential offsets.
+    fn oblivious_bulk(p: usize, steps: usize) -> BulkTrace {
+        let mut b = BulkTrace::with_threads(p);
+        for th in &mut b.threads {
+            for i in 0..steps {
+                th.read(i);
+            }
+        }
+        b
+    }
+
+    #[test]
+    fn fig2_example_timing() {
+        // Paper Fig. 2 walkthrough: w = 4, l = 5. W(0)'s four requests span
+        // 3 address groups, W(1)'s span 1; all complete in
+        // 3 + 1 + 5 − 1 = 8 time units.
+        //
+        // ColumnWise with p = 8 maps (thread j, offset o) to o·8 + j, so
+        // offsets (0,0,1,2 | 1,1,1,1) give W(0) addresses {0,1,10,19}
+        // (groups 0,2,4 — three groups) and W(1) addresses {12,13,14,15}
+        // (group 3 — one group).
+        let cfg = UmmConfig::new(4, 5);
+        let mut b = BulkTrace::with_threads(8);
+        let offsets = [0usize, 0, 1, 2, 1, 1, 1, 1];
+        for (j, &o) in offsets.iter().enumerate() {
+            b.threads[j].read(o);
+        }
+        let r = simulate(&b, Layout::ColumnWise, cfg);
+        assert_eq!(r.warp_dispatches, 2);
+        assert_eq!(r.stages_occupied, 3 + 1);
+        assert_eq!(r.coalesced_dispatches, 1);
+        assert_eq!(r.time_units, 3 + 1 + 5 - 1);
+    }
+
+    #[test]
+    fn oblivious_column_wise_is_fully_coalesced() {
+        let cfg = UmmConfig::new(32, 100);
+        let r = simulate(&oblivious_bulk(128, 10), Layout::ColumnWise, cfg);
+        assert_eq!(r.coalesced_fraction(), 1.0);
+        // p/w = 4 dispatches per step, 1 stage each; per step 4 + 99.
+        assert_eq!(r.time_units, 10 * (4 + 99));
+        assert_eq!(r.time_units, UmmReport::theorem1_bound(128, 10, cfg));
+    }
+
+    #[test]
+    fn row_wise_pays_width_factor() {
+        let cfg = UmmConfig::new(32, 1);
+        let p = 128;
+        let steps = 8;
+        // Make each thread's array at least w words so row-wise scatters
+        // every warp across w distinct groups.
+        let mut b = BulkTrace::with_threads(p);
+        for th in &mut b.threads {
+            for i in 0..steps {
+                th.read(i * 5 % 40); // touches offsets < 40
+            }
+        }
+        let col = simulate(&b, Layout::ColumnWise, cfg);
+        let row = simulate(&b, Layout::RowWise, cfg);
+        // With l = 1, time == stages; row-wise should be ~w times slower.
+        assert_eq!(col.time_units * 32, row.time_units);
+    }
+
+    #[test]
+    fn ragged_traces_stop_dispatching_finished_warps() {
+        let cfg = UmmConfig::new(4, 2);
+        let mut b = BulkTrace::with_threads(8);
+        // Warp 0 threads run 3 steps; warp 1 threads run 1 step.
+        for j in 0..4 {
+            for i in 0..3 {
+                b.threads[j].read(i);
+            }
+        }
+        for j in 4..8 {
+            b.threads[j].read(0);
+        }
+        let r = simulate(&b, Layout::ColumnWise, cfg);
+        // step 0: both warps (2 stages); steps 1,2: warp 0 only (1 stage).
+        assert_eq!(r.warp_dispatches, 4);
+        assert_eq!(r.time_units, (2 + 1) + (1 + 1) + (1 + 1));
+    }
+
+    #[test]
+    fn empty_bulk_costs_nothing() {
+        let cfg = UmmConfig::new(8, 4);
+        let r = simulate(&BulkTrace::with_threads(16), Layout::ColumnWise, cfg);
+        assert_eq!(r.time_units, 0);
+        assert_eq!(r.coalesced_fraction(), 1.0);
+    }
+
+    #[test]
+    fn single_thread_bulk() {
+        let cfg = UmmConfig::new(32, 10);
+        let mut b = BulkTrace::with_threads(1);
+        b.threads[0].read(0);
+        b.threads[0].write(1);
+        let r = simulate(&b, Layout::ColumnWise, cfg);
+        assert_eq!(r.warp_dispatches, 2);
+        assert_eq!(r.time_units, 2 * (1 + 9));
+    }
+}

@@ -1,0 +1,167 @@
+//! Per-thread memory access traces.
+//!
+//! A sequential algorithm's memory behaviour is a sequence of *logical*
+//! accesses: at each time unit it touches one word of its working array, or
+//! none (paper §VI: an algorithm is *oblivious* if the address touched at
+//! time `i` is a function `a(i)` independent of the input). Bulk execution
+//! replays `p` such traces in lock step; a [`crate::layout::Layout`] maps
+//! logical offsets to global addresses.
+//!
+//! Traces may contain *idle* slots (`None`): in SIMT lock-step execution a
+//! masked-off lane issues no request at that time unit while its warp
+//! siblings do. Idle slots are what keeps the bulk step-aligned when threads
+//! have data-dependent trip counts.
+
+/// One logical access of a sequential algorithm.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Access {
+    /// Read the word at the logical offset.
+    Read(usize),
+    /// Write the word at the logical offset.
+    Write(usize),
+}
+
+impl Access {
+    /// The logical word offset, regardless of direction.
+    #[inline]
+    pub fn offset(&self) -> usize {
+        match *self {
+            Access::Read(o) | Access::Write(o) => o,
+        }
+    }
+}
+
+/// The access trace of one thread of a bulk execution. `None` entries are
+/// idle time units (the lane was masked off).
+#[derive(Debug, Clone, Default)]
+pub struct ThreadTrace {
+    /// Logical accesses in program order; `None` = idle slot.
+    pub accesses: Vec<Option<Access>>,
+}
+
+impl ThreadTrace {
+    /// An empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record a read of logical word `offset`.
+    pub fn read(&mut self, offset: usize) {
+        self.accesses.push(Some(Access::Read(offset)));
+    }
+
+    /// Record a write of logical word `offset`.
+    pub fn write(&mut self, offset: usize) {
+        self.accesses.push(Some(Access::Write(offset)));
+    }
+
+    /// Record an idle time unit (lane masked off).
+    pub fn idle(&mut self) {
+        self.accesses.push(None);
+    }
+
+    /// Number of time units (accesses plus idles).
+    pub fn len(&self) -> usize {
+        self.accesses.len()
+    }
+
+    /// True when no time unit was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.accesses.is_empty()
+    }
+
+    /// Number of real (non-idle) accesses.
+    pub fn access_count(&self) -> usize {
+        self.accesses.iter().flatten().count()
+    }
+
+    /// Highest logical offset touched plus one (the array size this trace
+    /// needs), or 0 for an empty trace.
+    pub fn words_required(&self) -> usize {
+        self.accesses
+            .iter()
+            .flatten()
+            .map(|a| a.offset() + 1)
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// A whole bulk execution: one trace per thread.
+#[derive(Debug, Clone, Default)]
+pub struct BulkTrace {
+    /// Per-thread traces (thread `j` at index `j`).
+    pub threads: Vec<ThreadTrace>,
+}
+
+impl BulkTrace {
+    /// Bulk with `p` empty threads.
+    pub fn with_threads(p: usize) -> Self {
+        BulkTrace {
+            threads: vec![ThreadTrace::new(); p],
+        }
+    }
+
+    /// Number of threads `p`.
+    pub fn p(&self) -> usize {
+        self.threads.len()
+    }
+
+    /// Length of the longest thread trace (the bulk's step count).
+    pub fn steps(&self) -> usize {
+        self.threads.iter().map(|t| t.len()).max().unwrap_or(0)
+    }
+
+    /// Words each per-thread array must hold (max over threads).
+    pub fn words_required(&self) -> usize {
+        self.threads
+            .iter()
+            .map(|t| t.words_required())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Total real accesses across all threads.
+    pub fn total_accesses(&self) -> u64 {
+        self.threads.iter().map(|t| t.access_count() as u64).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_records_in_order() {
+        let mut t = ThreadTrace::new();
+        t.read(3);
+        t.idle();
+        t.write(5);
+        assert_eq!(
+            t.accesses,
+            vec![Some(Access::Read(3)), None, Some(Access::Write(5))]
+        );
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.access_count(), 2);
+        assert_eq!(t.words_required(), 6);
+    }
+
+    #[test]
+    fn empty_trace() {
+        let t = ThreadTrace::new();
+        assert!(t.is_empty());
+        assert_eq!(t.words_required(), 0);
+    }
+
+    #[test]
+    fn bulk_dimensions() {
+        let mut b = BulkTrace::with_threads(3);
+        b.threads[0].read(0);
+        b.threads[0].read(1);
+        b.threads[2].write(9);
+        assert_eq!(b.p(), 3);
+        assert_eq!(b.steps(), 2);
+        assert_eq!(b.words_required(), 10);
+        assert_eq!(b.total_accesses(), 3);
+    }
+}

@@ -1,0 +1,125 @@
+//! Property tests for the UMM/DMM simulators: structural invariants that
+//! must hold for *any* bulk trace, not just the ones the unit tests pick.
+
+use bulkgcd_umm::sim::UmmConfig;
+use bulkgcd_umm::{analyze, simulate, simulate_dmm, BulkTrace, Layout};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+/// Strategy: a random bulk of up to `p` threads, each with up to `steps`
+/// accesses over offsets < `words` (with idle gaps).
+fn bulk(p: usize, steps: usize, words: usize) -> impl Strategy<Value = BulkTrace> {
+    vec(
+        vec(prop_oneof![
+            (0..words).prop_map(Some),
+            Just(None),
+        ], 0..=steps),
+        1..=p,
+    )
+    .prop_map(|threads| {
+        let mut b = BulkTrace::with_threads(threads.len());
+        for (th, accs) in b.threads.iter_mut().zip(threads) {
+            for a in accs {
+                match a {
+                    Some(o) => th.read(o),
+                    None => th.idle(),
+                }
+            }
+        }
+        b
+    })
+}
+
+fn cfg() -> impl Strategy<Value = UmmConfig> {
+    (1usize..=64, 1usize..=32).prop_map(|(w, l)| UmmConfig::new(w, l))
+}
+
+proptest! {
+    #[test]
+    fn umm_structural_invariants(b in bulk(24, 12, 40), cfg in cfg(), layout_row in any::<bool>()) {
+        let layout = if layout_row { Layout::RowWise } else { Layout::ColumnWise };
+        let r = simulate(&b, layout, cfg);
+        // Each dispatch occupies at least one and at most w stages.
+        prop_assert!(r.stages_occupied >= r.warp_dispatches);
+        prop_assert!(r.stages_occupied <= r.warp_dispatches * cfg.width as u64);
+        prop_assert!(r.coalesced_dispatches <= r.warp_dispatches);
+        // Time accounts all stages plus at most (l-1) per step.
+        prop_assert!(r.time_units >= r.stages_occupied);
+        prop_assert!(
+            r.time_units <= r.stages_occupied + r.steps * (cfg.latency as u64 - 1)
+        );
+    }
+
+    #[test]
+    fn umm_time_monotone_in_latency(b in bulk(16, 8, 20), w in 1usize..=32) {
+        let lo = simulate(&b, Layout::ColumnWise, UmmConfig::new(w, 1));
+        let hi = simulate(&b, Layout::ColumnWise, UmmConfig::new(w, 20));
+        prop_assert!(hi.time_units >= lo.time_units);
+        // Stage counts do not depend on latency.
+        prop_assert_eq!(hi.stages_occupied, lo.stages_occupied);
+    }
+
+    #[test]
+    fn dmm_structural_invariants(b in bulk(24, 12, 40), cfg in cfg(), layout_row in any::<bool>()) {
+        let layout = if layout_row { Layout::RowWise } else { Layout::ColumnWise };
+        let r = simulate_dmm(&b, layout, cfg);
+        prop_assert!(r.stages_occupied >= r.warp_dispatches);
+        prop_assert!(r.stages_occupied <= r.warp_dispatches * cfg.width as u64);
+        prop_assert!(r.conflict_free_dispatches <= r.warp_dispatches);
+        prop_assert!(r.time_units >= r.stages_occupied);
+    }
+
+    #[test]
+    fn dmm_never_slower_than_worst_case_serialisation(b in bulk(16, 8, 20), w in 1usize..=16) {
+        // Bank conflicts serialise at most w-fold, so stages are bounded by
+        // the number of requests.
+        let cfg = UmmConfig::new(w, 1);
+        let r = simulate_dmm(&b, Layout::ColumnWise, cfg);
+        prop_assert!(r.stages_occupied <= b.total_accesses().max(1));
+    }
+
+    #[test]
+    fn oblivious_analysis_fractions_ordered(b in bulk(16, 10, 12)) {
+        let r = analyze(&b);
+        prop_assert!(r.uniform_steps <= r.near_uniform_steps);
+        prop_assert!(r.near_uniform_steps <= r.active_steps);
+        prop_assert!(r.active_steps <= r.steps);
+        prop_assert!((0.0..=1.0).contains(&r.uniform_fraction()));
+        prop_assert!(r.uniform_fraction() <= r.near_uniform_fraction());
+    }
+
+    #[test]
+    fn single_thread_bulk_is_trivially_uniform(
+        offsets in vec(0usize..50, 1..30)
+    ) {
+        let mut b = BulkTrace::with_threads(1);
+        for &o in &offsets {
+            b.threads[0].read(o);
+        }
+        let r = analyze(&b);
+        prop_assert_eq!(r.uniform_fraction(), 1.0);
+        // One thread = one request per step = always coalesced.
+        let sim = simulate(&b, Layout::ColumnWise, UmmConfig::new(32, 4));
+        prop_assert_eq!(sim.coalesced_fraction(), 1.0);
+    }
+
+    #[test]
+    fn uniform_bulk_meets_theorem1_exactly(
+        k in 1usize..=8, steps in 1usize..=16, w in 1usize..=32, l in 1usize..=16
+    ) {
+        // Theorem 1 assumes p is a multiple of w (full, aligned warps).
+        let p = k * w;
+        let mut b = BulkTrace::with_threads(p);
+        for th in &mut b.threads {
+            for i in 0..steps {
+                th.read(i);
+            }
+        }
+        let cfg = UmmConfig::new(w, l);
+        let r = simulate(&b, Layout::ColumnWise, cfg);
+        prop_assert_eq!(
+            r.time_units,
+            bulkgcd_umm::UmmReport::theorem1_bound(p, steps as u64, cfg)
+        );
+    }
+}

@@ -1,0 +1,60 @@
+//! Quickstart: break a weak RSA key pair with one GCD.
+//!
+//! Two RSA keys whose generators reused a prime are both factored by a
+//! single GCD computation (paper §I), after which the private keys follow
+//! from the extended Euclidean algorithm and the intercepted ciphertext
+//! falls out.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use bulk_gcd::prelude::*;
+use bulk_gcd::rsa::keygen::keypair_from_primes;
+use bulk_gcd::rsa::crypt::{decode_message, encode_message};
+use bulk_gcd::bigint::prime::random_rsa_prime;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(2015);
+    let bits = 512; // modulus size; primes are bits/2
+
+    // A careless generator reuses the prime p across two keypairs.
+    println!("Generating two {bits}-bit RSA keys that share a prime ...");
+    let e = Nat::from(65_537u32);
+    let (alice, bob) = loop {
+        let p_shared = random_rsa_prime(&mut rng, bits / 2);
+        let qa = random_rsa_prime(&mut rng, bits / 2);
+        let qb = random_rsa_prime(&mut rng, bits / 2);
+        match (
+            keypair_from_primes(p_shared.clone(), qa, e.clone()),
+            keypair_from_primes(p_shared, qb, e.clone()),
+        ) {
+            (Some(a), Some(b)) => break (a, b),
+            _ => continue,
+        }
+    };
+    println!("  Alice n = 0x{}", alice.public.n.to_hex());
+    println!("  Bob   n = 0x{}", bob.public.n.to_hex());
+
+    // Bob encrypts a message to Alice; Eve intercepts the ciphertext.
+    let message = b"the cafeteria coffee is a war crime";
+    let m = encode_message(message);
+    let c = encrypt(&alice.public, &m).expect("message fits the modulus");
+    println!("\nIntercepted ciphertext: 0x{}", c.to_hex());
+
+    // Eve only holds the two PUBLIC keys. One Approximate-Euclid GCD:
+    let g = gcd_nat(Algorithm::Approximate, &alice.public.n, &bob.public.n);
+    assert!(!g.is_one(), "keys turned out not to share a prime?");
+    println!("\ngcd(n_alice, n_bob) = 0x{} ({} bits)", g.to_hex(), g.bit_len());
+
+    // Factor Alice's modulus and recover her private key.
+    let sk = recover_private_key(&alice.public, &g).expect("gcd is a proper factor");
+    let recovered = decrypt(&sk, &c).expect("ciphertext is reduced");
+    let plaintext = decode_message(&recovered);
+    println!(
+        "Recovered plaintext: {:?}",
+        String::from_utf8_lossy(&plaintext)
+    );
+    assert_eq!(plaintext, message);
+    println!("\nBoth keys are broken; never share primes.");
+}

@@ -1,0 +1,87 @@
+//! Walkthrough of the paper's running example (Tables I–III).
+//!
+//! Traces all five Euclidean variants on X = 1111,1110,1101,1100,1011
+//! (1043915) and Y = 1011,1011,1011,1011,1011 (768955) with 4-bit words,
+//! printing the same binary-grouped notation the paper uses.
+//!
+//! Run with: `cargo run --example trace_walkthrough`
+
+use bulk_gcd::core::smallword::{trace, SwTrace};
+use bulk_gcd::core::Algorithm;
+use bulk_gcd::prelude::*;
+
+const X: u128 = 1_043_915;
+const Y: u128 = 768_955;
+
+fn grouped(v: u128) -> String {
+    Nat::from_u128(v).to_binary_grouped()
+}
+
+fn print_trace(title: &str, t: &SwTrace, show_q: bool, show_case: bool) {
+    println!("--- {title}: {} iterations ---", t.iterations());
+    for row in &t.rows {
+        let mut annot = String::new();
+        if show_q {
+            if let Some(q) = row.q {
+                annot = format!("  Q={q}");
+            }
+        }
+        if show_case {
+            if let (Some(a), Some(b), Some(c)) = (row.alpha, row.beta, row.case) {
+                annot = format!("  case {}  (alpha,beta)=({a},{b})", c.label());
+            }
+        }
+        println!(
+            "{:>3}: X={:<30} Y={:<26}{annot}",
+            row.iteration,
+            grouped(row.x_after),
+            if row.y_after == 0 {
+                "0".to_string()
+            } else {
+                grouped(row.y_after)
+            },
+        );
+    }
+    println!("GCD = {} ({})\n", grouped(t.gcd), t.gcd);
+}
+
+fn main() {
+    println!(
+        "Paper running example: X = {} ({X}), Y = {} ({Y}), d = 4\n",
+        grouped(X),
+        grouped(Y)
+    );
+
+    let binary = trace(Algorithm::Binary, X, Y, 4);
+    let fast_binary = trace(Algorithm::FastBinary, X, Y, 4);
+    let original = trace(Algorithm::Original, X, Y, 4);
+    let fast = trace(Algorithm::Fast, X, Y, 4);
+    let approximate = trace(Algorithm::Approximate, X, Y, 4);
+
+    print_trace("Table I left: Binary Euclidean", &binary, false, false);
+    print_trace("Table I right: Fast Binary Euclidean", &fast_binary, false, false);
+    print_trace("Table II left: Original Euclidean", &original, true, false);
+    print_trace("Table II right: Fast Euclidean", &fast, true, false);
+    print_trace("Table III: Approximate Euclidean", &approximate, false, true);
+
+    println!("Iteration counts (paper: 24 / 16 / 11 / 8 / 9):");
+    println!(
+        "  Binary {}  FastBinary {}  Original {}  Fast {}  Approximate {}",
+        binary.iterations(),
+        fast_binary.iterations(),
+        original.iterations(),
+        fast.iterations(),
+        approximate.iterations()
+    );
+    assert_eq!(
+        (
+            binary.iterations(),
+            fast_binary.iterations(),
+            original.iterations(),
+            fast.iterations(),
+            approximate.iterations()
+        ),
+        (24, 16, 11, 8, 9)
+    );
+    assert!(binary.gcd == 5 && approximate.gcd == 5);
+}

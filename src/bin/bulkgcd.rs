@@ -1,0 +1,365 @@
+//! `bulkgcd` — command-line weak-RSA-key scanner.
+//!
+//! ```text
+//! bulkgcd gen   --keys 64 --bits 512 --weak-pairs 3 --out corpus.txt
+//! bulkgcd scan  corpus.txt [--engine cpu|gpu|blocks|batch] [--algo E] [--full]
+//! bulkgcd check corpus.txt <modulus-hex>
+//! bulkgcd gcd   <x-hex> <y-hex> [--algo A|B|C|D|E|lehmer] [--stats]
+//! ```
+//!
+//! Corpus files hold one hexadecimal modulus per line; `#` starts a comment.
+
+use bulk_gcd::prelude::*;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::io::Write;
+use std::process::ExitCode;
+
+fn algo_from_flag(s: &str) -> Option<Algorithm> {
+    match s.to_ascii_uppercase().as_str() {
+        "A" | "ORIGINAL" => Some(Algorithm::Original),
+        "B" | "FAST" => Some(Algorithm::Fast),
+        "C" | "BINARY" => Some(Algorithm::Binary),
+        "D" | "FASTBINARY" | "FAST-BINARY" => Some(Algorithm::FastBinary),
+        "E" | "APPROX" | "APPROXIMATE" => Some(Algorithm::Approximate),
+        _ => None,
+    }
+}
+
+struct Args {
+    positional: Vec<String>,
+    flags: Vec<(String, Option<String>)>,
+}
+
+impl Args {
+    fn parse(argv: &[String]) -> Args {
+        let mut positional = Vec::new();
+        let mut flags = Vec::new();
+        let mut i = 0;
+        while i < argv.len() {
+            let a = &argv[i];
+            if let Some(name) = a.strip_prefix("--") {
+                // A flag consumes the next token as its value unless the
+                // next token is another flag or missing.
+                let value = argv.get(i + 1).filter(|v| !v.starts_with("--"));
+                if let Some(v) = value {
+                    flags.push((name.to_string(), Some(v.clone())));
+                    i += 2;
+                } else {
+                    flags.push((name.to_string(), None));
+                    i += 1;
+                }
+            } else {
+                positional.push(a.clone());
+                i += 1;
+            }
+        }
+        Args { positional, flags }
+    }
+
+    fn get(&self, name: &str) -> Option<&str> {
+        self.flags
+            .iter()
+            .find(|(n, _)| n == name)
+            .and_then(|(_, v)| v.as_deref())
+    }
+
+    fn has(&self, name: &str) -> bool {
+        self.flags.iter().any(|(n, _)| n == name)
+    }
+
+    fn get_parse<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("invalid value for --{name}: {v:?}")),
+        }
+    }
+}
+
+fn read_corpus(path: &str) -> Result<Vec<Nat>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let mut moduli = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let n = Nat::from_hex(line)
+            .map_err(|e| format!("{path}:{}: {e}", lineno + 1))?;
+        if n.is_zero() {
+            return Err(format!("{path}:{}: zero modulus", lineno + 1));
+        }
+        moduli.push(n);
+    }
+    Ok(moduli)
+}
+
+fn cmd_gen(args: &Args) -> Result<(), String> {
+    let keys: usize = args.get_parse("keys", 64)?;
+    let bits: u64 = args.get_parse("bits", 512)?;
+    let weak_pairs: usize = args.get_parse("weak-pairs", 2)?;
+    let seed: u64 = args.get_parse("seed", 42)?;
+    if 2 * weak_pairs > keys {
+        return Err("--weak-pairs must be at most keys/2".into());
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    eprintln!("generating {keys} keys of {bits} bits with {weak_pairs} weak pairs ...");
+    let corpus = build_corpus(&mut rng, keys, bits, weak_pairs);
+    let mut out: Box<dyn Write> = match args.get("out") {
+        Some(path) => Box::new(
+            std::fs::File::create(path).map_err(|e| format!("creating {path}: {e}"))?,
+        ),
+        None => Box::new(std::io::stdout().lock()),
+    };
+    writeln!(out, "# bulkgcd corpus: {keys} keys, {bits} bits, seed {seed}").unwrap();
+    for k in &corpus.keys {
+        writeln!(out, "{}", k.public.n.to_hex()).unwrap();
+    }
+    if let Some(path) = args.get("truth") {
+        let mut t = std::fs::File::create(path).map_err(|e| format!("creating {path}: {e}"))?;
+        writeln!(t, "# i j shared-prime-hex").unwrap();
+        for (i, j, p) in &corpus.shared {
+            writeln!(t, "{i} {j} {}", p.to_hex()).unwrap();
+        }
+        eprintln!("ground truth written to {path}");
+    }
+    eprintln!(
+        "done; {} vulnerable keys among {}",
+        corpus.vulnerable_indices().len(),
+        keys
+    );
+    Ok(())
+}
+
+fn cmd_scan(args: &Args) -> Result<(), String> {
+    let path = args
+        .positional
+        .get(1)
+        .ok_or("usage: bulkgcd scan <corpus-file> [--engine cpu|gpu|blocks|batch]")?;
+    let moduli = read_corpus(path)?;
+    let algo = match args.get("algo") {
+        None => Algorithm::Approximate,
+        Some(s) => algo_from_flag(s).ok_or_else(|| format!("unknown algorithm {s:?}"))?,
+    };
+    let early = !args.has("full");
+    let engine = args.get("engine").unwrap_or("cpu");
+    eprintln!(
+        "scanning {} moduli ({} pairs) with {} [{engine}] ...",
+        moduli.len(),
+        moduli.len() * moduli.len().saturating_sub(1) / 2,
+        algo.name()
+    );
+    let findings: Vec<Finding> = match engine {
+        "cpu" => {
+            let rep = scan_cpu(&moduli, algo, early);
+            eprintln!(
+                "cpu scan: {:.3} s ({:.2} us/GCD)",
+                rep.elapsed.as_secs_f64(),
+                rep.elapsed.as_secs_f64() * 1e6 / rep.pairs_scanned.max(1) as f64
+            );
+            rep.findings
+        }
+        "gpu" => {
+            let rep = scan_gpu_sim(
+                &moduli,
+                algo,
+                early,
+                &DeviceConfig::gtx_780_ti(),
+                &CostModel::default(),
+                4096,
+            );
+            eprintln!(
+                "simulated GPU scan: {:.6} s simulated ({:.3} us/GCD)",
+                rep.simulated_seconds.unwrap_or(0.0),
+                rep.simulated_seconds.unwrap_or(0.0) * 1e6 / rep.pairs_scanned.max(1) as f64
+            );
+            rep.findings
+        }
+        "blocks" => {
+            let r = (0..=6)
+                .rev()
+                .map(|k| 1usize << k)
+                .find(|r| moduli.len() % r == 0)
+                .unwrap_or(1);
+            let rep = scan_gpu_blocks(
+                &moduli,
+                algo,
+                early,
+                &DeviceConfig::gtx_780_ti(),
+                &CostModel::default(),
+                r,
+            );
+            eprintln!(
+                "simulated GPU block launch (r = {r}, {} blocks): {:.6} s simulated, SIMT eff {:.1}%",
+                rep.blocks,
+                rep.gpu.seconds,
+                rep.gpu.mean_simt_efficiency * 100.0
+            );
+            rep.findings
+        }
+        "batch" => {
+            let t0 = std::time::Instant::now();
+            let gcds = batch_gcd(&moduli);
+            eprintln!("batch GCD: {:.3} s", t0.elapsed().as_secs_f64());
+            // Batch GCD reports per-modulus factors; synthesize pairwise
+            // findings for vulnerable moduli by pairing equal factors.
+            let mut findings = Vec::new();
+            for i in 0..moduli.len() {
+                if gcds[i].is_one() {
+                    continue;
+                }
+                for j in i + 1..moduli.len() {
+                    if !gcds[j].is_one() {
+                        let g = moduli[i].gcd_reference(&moduli[j]);
+                        if !g.is_one() {
+                            findings.push(Finding { i, j, factor: g });
+                        }
+                    }
+                }
+            }
+            findings
+        }
+        other => return Err(format!("unknown engine {other:?}")),
+    };
+    if findings.is_empty() {
+        println!("no shared factors found");
+    }
+    for f in &findings {
+        println!("{} {} {}", f.i, f.j, f.factor.to_hex());
+    }
+    Ok(())
+}
+
+fn cmd_check(args: &Args) -> Result<(), String> {
+    let path = args
+        .positional
+        .get(1)
+        .ok_or("usage: bulkgcd check <corpus-file> <modulus-hex>")?;
+    let hex = args
+        .positional
+        .get(2)
+        .ok_or("usage: bulkgcd check <corpus-file> <modulus-hex>")?;
+    let n = Nat::from_hex(hex).map_err(|e| e.to_string())?;
+    let moduli = read_corpus(path)?;
+    let idx = CorpusIndex::from_moduli(&moduli);
+    let g = idx.shared_factor(&n);
+    if g.is_one() {
+        println!("clean: no factor shared with the {} indexed moduli", idx.len());
+    } else {
+        println!("WEAK: shares factor {}", g.to_hex());
+        return Ok(());
+    }
+    Ok(())
+}
+
+fn cmd_break(args: &Args) -> Result<(), String> {
+    let path = args
+        .positional
+        .get(1)
+        .ok_or("usage: bulkgcd break <corpus-file> [--exponent E]")?;
+    let moduli = read_corpus(path)?;
+    let e_val: u64 = match args.get("exponent") {
+        None => 65_537,
+        Some(v) => v.parse().map_err(|_| format!("invalid --exponent {v:?}"))?,
+    };
+    let e = Nat::from_u64(e_val);
+    let keys: Vec<PublicKey> = moduli
+        .iter()
+        .map(|n| PublicKey {
+            n: n.clone(),
+            e: e.clone(),
+        })
+        .collect();
+    let report = break_weak_keys(&keys, Algorithm::Approximate);
+    eprintln!(
+        "scanned {} pairs in {:.3} s; {} shared-factor pairs; {} keys broken",
+        report.scan.pairs_scanned,
+        report.scan.elapsed.as_secs_f64(),
+        report.scan.findings.len(),
+        report.broken.len()
+    );
+    if report.broken.is_empty() {
+        println!("no keys broken");
+    }
+    for b in &report.broken {
+        println!("{} {} {}", b.index, b.factor.to_hex(), b.private.d.to_hex());
+    }
+    Ok(())
+}
+
+fn cmd_gcd(args: &Args) -> Result<(), String> {
+    let x = args
+        .positional
+        .get(1)
+        .ok_or("usage: bulkgcd gcd <x-hex> <y-hex>")?;
+    let y = args
+        .positional
+        .get(2)
+        .ok_or("usage: bulkgcd gcd <x-hex> <y-hex>")?;
+    let x = Nat::from_hex(x).map_err(|e| format!("x: {e}"))?;
+    let y = Nat::from_hex(y).map_err(|e| format!("y: {e}"))?;
+    let algo_flag = args.get("algo").unwrap_or("E");
+    let g = if algo_flag.eq_ignore_ascii_case("lehmer") {
+        lehmer_gcd_nat(&x, &y)
+    } else {
+        let algo = algo_from_flag(algo_flag).ok_or_else(|| format!("unknown algorithm {algo_flag:?}"))?;
+        if args.has("stats") && !x.is_zero() && !y.is_zero() {
+            let (xo, _) = x.rshift();
+            let (yo, _) = y.rshift();
+            let mut pair = GcdPair::new(&xo, &yo);
+            let mut probe = StatsProbe::default();
+            run(algo, &mut pair, Termination::Full, &mut probe);
+            eprintln!(
+                "iterations: {}  beta>0: {}  mem-ops: {}  swaps: {}",
+                probe.stats.iterations,
+                probe.stats.beta_nonzero,
+                probe.stats.mem_ops,
+                probe.stats.swaps
+            );
+        }
+        gcd_nat(algo, &x, &y)
+    };
+    println!("{}", g.to_hex());
+    Ok(())
+}
+
+fn usage() -> String {
+    "bulkgcd — weak-RSA-key scanner (reproduction of Fujita/Nakano/Ito, IPDPSW 2015)
+
+USAGE:
+  bulkgcd gen   [--keys N] [--bits B] [--weak-pairs W] [--seed S] [--out FILE] [--truth FILE]
+  bulkgcd scan  <corpus-file> [--engine cpu|gpu|blocks|batch] [--algo A..E] [--full]
+  bulkgcd check <corpus-file> <modulus-hex>
+  bulkgcd break <corpus-file> [--exponent E]   # prints: index factor-hex d-hex
+  bulkgcd gcd   <x-hex> <y-hex> [--algo A|B|C|D|E|lehmer] [--stats]
+
+Corpus files: one hex modulus per line, '#' comments."
+        .to_string()
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = Args::parse(&argv);
+    let result = match args.positional.first().map(|s| s.as_str()) {
+        Some("gen") => cmd_gen(&args),
+        Some("scan") => cmd_scan(&args),
+        Some("check") => cmd_check(&args),
+        Some("break") => cmd_break(&args),
+        Some("gcd") => cmd_gcd(&args),
+        Some("help") | None => {
+            println!("{}", usage());
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command {other:?}\n\n{}", usage())),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

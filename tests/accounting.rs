@@ -1,0 +1,134 @@
+//! Cross-crate accounting consistency: three independent implementations
+//! of the §IV memory-operation model — the core probe counters, the UMM
+//! trace generator, and the GPU cost model — must agree with each other
+//! (up to their documented O(1)-per-iteration differences).
+
+use bulk_gcd::prelude::*;
+use bulk_gcd::umm::gcd_trace::{bulk_gcd_trace, IterProbe};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn random_pair(bits: u64, seed: u64) -> (Nat, Nat) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (
+        bulk_gcd::bigint::random::random_odd_bits(&mut rng, bits),
+        bulk_gcd::bigint::random::random_odd_bits(&mut rng, bits),
+    )
+}
+
+/// The stats probe's word count and the GPU cost model's word count follow
+/// the same §IV law, differing only by the fixed head/tail words per
+/// iteration.
+#[test]
+fn stats_probe_and_gpu_cost_model_agree() {
+    let cost = CostModel::default();
+    for algo in [Algorithm::Binary, Algorithm::FastBinary, Algorithm::Approximate] {
+        let (a, b) = random_pair(384, 17);
+        let mut pair = GcdPair::new(&a, &b);
+        let mut stats = StatsProbe::default();
+        let mut iters = IterProbe::default();
+        // Run twice deterministically to collect both probe views.
+        run(algo, &mut pair, Termination::Full, &mut stats);
+        pair.load(&a, &b);
+        run(algo, &mut pair, Termination::Full, &mut iters);
+
+        let probe_words = stats.stats.mem_ops;
+        let cost_words: u64 = iters.iters.iter().map(|d| cost.lane_mem_words(d)).sum();
+        let fixed_overhead = 6 * stats.stats.iterations; // head/tail words
+        assert_eq!(
+            cost_words,
+            probe_words + fixed_overhead,
+            "{}: cost model vs probe",
+            algo.name()
+        );
+    }
+}
+
+/// The UMM trace contains exactly the accesses its reconstruction rules
+/// promise: per iteration, a 4-slot head, the per-kind scan accesses
+/// (reading only the *live* `lY` words of Y, slightly tighter than the
+/// probe's 3·lX upper-bound model), and a 2-slot compare tail.
+#[test]
+fn umm_trace_access_count_matches_probe() {
+    use bulk_gcd::core::StepKind;
+    for algo in [Algorithm::FastBinary, Algorithm::Approximate, Algorithm::Binary] {
+        let (a, b) = random_pair(256, 23);
+        let mut pair = GcdPair::new(&a, &b);
+        let mut iters = IterProbe::default();
+        run(algo, &mut pair, Termination::Full, &mut iters);
+
+        let expect: u64 = iters
+            .iters
+            .iter()
+            .map(|d| {
+                let (lx, ly) = (d.lx as u64, d.ly as u64);
+                let scan = match d.kind {
+                    StepKind::BinaryXEven => 2 * lx,
+                    StepKind::BinaryYEven => 2 * ly,
+                    StepKind::ApproxBetaPositive | StepKind::LehmerBatch => 2 * lx + 2 * ly,
+                    _ => 2 * lx + ly,
+                };
+                scan + 6 // head (4) + tail (2)
+            })
+            .sum();
+        let bulk = bulk_gcd_trace(algo, &[(a, b)], Termination::Full);
+        assert_eq!(
+            bulk.total_accesses(),
+            expect,
+            "{}: UMM trace vs descriptor reconstruction",
+            algo.name()
+        );
+    }
+}
+
+/// The GCD is invariant across every iteration of every algorithm: each
+/// recorded intermediate pair has the same gcd as the inputs. This is the
+/// strongest single correctness invariant the trace probe can check.
+#[test]
+fn gcd_invariant_preserved_through_all_iterations() {
+    for algo in Algorithm::ALL {
+        let (a, b) = random_pair(192, 31);
+        let g = a.gcd_reference(&b);
+        let mut pair = GcdPair::new(&a, &b);
+        let mut tp = TraceProbe::default();
+        run(algo, &mut pair, Termination::Full, &mut tp);
+        for row in &tp.rows {
+            assert_eq!(
+                row.x_after.gcd_reference(&row.y_after),
+                g,
+                "{} iteration {}",
+                algo.name(),
+                row.iteration
+            );
+        }
+    }
+}
+
+/// Operand bit lengths never increase within an iteration (X shrinks or
+/// the pair swaps), so the trace is monotone in max(X, Y).
+#[test]
+fn operand_magnitude_monotone() {
+    for algo in Algorithm::ALL {
+        let (a, b) = random_pair(192, 37);
+        let mut pair = GcdPair::new(&a, &b);
+        let mut tp = TraceProbe::default();
+        run(algo, &mut pair, Termination::Full, &mut tp);
+        let mut prev_max = if a >= b { a.clone() } else { b.clone() };
+        for row in &tp.rows {
+            let cur_max = if row.x_after >= row.y_after {
+                row.x_after.clone()
+            } else {
+                row.y_after.clone()
+            };
+            assert!(
+                cur_max <= prev_max,
+                "{} iteration {}: {} > {}",
+                algo.name(),
+                row.iteration,
+                cur_max.to_hex(),
+                prev_max.to_hex()
+            );
+            prev_max = cur_max;
+        }
+    }
+}

@@ -1,0 +1,227 @@
+//! Integration tests for the `bulkgcd` command-line tool, driving the real
+//! binary end to end through temp files.
+
+use std::process::Command;
+
+fn bulkgcd() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_bulkgcd"))
+}
+
+fn tempdir() -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "bulkgcd-cli-test-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn help_prints_usage() {
+    let out = bulkgcd().arg("help").output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("USAGE"));
+    assert!(text.contains("scan"));
+}
+
+#[test]
+fn unknown_command_fails() {
+    let out = bulkgcd().arg("frobnicate").output().unwrap();
+    assert!(!out.status.success());
+}
+
+#[test]
+fn gcd_command_matches_reference() {
+    // gcd(1043915, 768955) = 5: fedcb / bbbbb in hex... use hex inputs.
+    let out = bulkgcd()
+        .args(["gcd", "0xfedcb", "0xbbbbb"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    assert_eq!(String::from_utf8_lossy(&out.stdout).trim(), "5");
+}
+
+#[test]
+fn gcd_with_lehmer_and_stats() {
+    let out = bulkgcd()
+        .args(["gcd", "0xfedcb", "0xbbbbb", "--algo", "lehmer"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    assert_eq!(String::from_utf8_lossy(&out.stdout).trim(), "5");
+
+    let out = bulkgcd()
+        .args(["gcd", "0xfedcb", "0xbbbbb", "--algo", "E", "--stats"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("iterations:"));
+}
+
+#[test]
+fn gen_scan_check_pipeline() {
+    let dir = tempdir();
+    let corpus = dir.join("corpus.txt");
+    let truth = dir.join("truth.txt");
+
+    // Generate a small weak corpus.
+    let out = bulkgcd()
+        .args([
+            "gen",
+            "--keys",
+            "12",
+            "--bits",
+            "128",
+            "--weak-pairs",
+            "2",
+            "--seed",
+            "7",
+            "--out",
+            corpus.to_str().unwrap(),
+            "--truth",
+            truth.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    // Scan it on every engine; findings must match the ground truth.
+    let truth_text = std::fs::read_to_string(&truth).unwrap();
+    let expected: Vec<(String, String, String)> = truth_text
+        .lines()
+        .filter(|l| !l.starts_with('#') && !l.trim().is_empty())
+        .map(|l| {
+            let mut it = l.split_whitespace();
+            (
+                it.next().unwrap().to_string(),
+                it.next().unwrap().to_string(),
+                it.next().unwrap().to_string(),
+            )
+        })
+        .collect();
+    assert_eq!(expected.len(), 2);
+
+    for engine in ["cpu", "gpu", "blocks", "batch"] {
+        let out = bulkgcd()
+            .args(["scan", corpus.to_str().unwrap(), "--engine", engine])
+            .output()
+            .unwrap();
+        assert!(
+            out.status.success(),
+            "engine {engine}: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let findings: Vec<(String, String, String)> = String::from_utf8_lossy(&out.stdout)
+            .lines()
+            .map(|l| {
+                let mut it = l.split_whitespace();
+                (
+                    it.next().unwrap().to_string(),
+                    it.next().unwrap().to_string(),
+                    it.next().unwrap().to_string(),
+                )
+            })
+            .collect();
+        assert_eq!(findings, expected, "engine {engine}");
+    }
+
+    // Incremental check: a fresh modulus sharing a prime with the corpus.
+    let factor_hex = &expected[0].2;
+    // Build a new modulus = shared prime * some odd cofactor (not prime,
+    // but the index only computes a GCD, so any cofactor works).
+    let p = bulk_gcd::prelude::Nat::from_hex(factor_hex).unwrap();
+    let weak_n = p.mul(&bulk_gcd::prelude::Nat::from(0xffff_fffbu32));
+    let out = bulkgcd()
+        .args(["check", corpus.to_str().unwrap(), &weak_n.to_hex()])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("WEAK"));
+
+    // And a clean one.
+    let out = bulkgcd()
+        .args(["check", corpus.to_str().unwrap(), "0xffffffffffffffc5"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("clean"));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn break_recovers_working_private_exponents() {
+    use bulk_gcd::prelude::*;
+    let dir = tempdir();
+    let corpus = dir.join("corpus.txt");
+    let out = bulkgcd()
+        .args([
+            "gen", "--keys", "8", "--bits", "128", "--weak-pairs", "1", "--seed", "11", "--out",
+            corpus.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+
+    let out = bulkgcd()
+        .args(["break", corpus.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let broken: Vec<(usize, Nat, Nat)> = stdout
+        .lines()
+        .map(|l| {
+            let mut it = l.split_whitespace();
+            (
+                it.next().unwrap().parse().unwrap(),
+                Nat::from_hex(it.next().unwrap()).unwrap(),
+                Nat::from_hex(it.next().unwrap()).unwrap(),
+            )
+        })
+        .collect();
+    assert_eq!(broken.len(), 2, "one weak pair breaks two keys");
+
+    // Verify each recovered d against the corpus moduli: e*d = 1 mod phi,
+    // equivalently (m^e)^d = m for a test message.
+    let moduli: Vec<Nat> = std::fs::read_to_string(&corpus)
+        .unwrap()
+        .lines()
+        .filter(|l| !l.starts_with('#') && !l.trim().is_empty())
+        .map(|l| Nat::from_hex(l.trim()).unwrap())
+        .collect();
+    for (idx, factor, d) in &broken {
+        let n = &moduli[*idx];
+        assert!(n.rem(factor).is_zero(), "factor divides modulus");
+        let m = Nat::from(0xabcdu32);
+        let c = m.modpow(&Nat::from(65_537u32), n);
+        assert_eq!(c.modpow(d, n), m, "recovered d decrypts for key {idx}");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn scan_missing_file_errors() {
+    let out = bulkgcd()
+        .args(["scan", "/nonexistent/corpus.txt"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("error"));
+}
+
+#[test]
+fn corpus_parse_error_reports_line() {
+    let dir = tempdir();
+    let corpus = dir.join("bad.txt");
+    std::fs::write(&corpus, "abc123\nnot-hex!\n").unwrap();
+    let out = bulkgcd()
+        .args(["scan", corpus.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains(":2"));
+    std::fs::remove_dir_all(&dir).ok();
+}

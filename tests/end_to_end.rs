@@ -1,0 +1,135 @@
+//! Cross-crate integration: the full weak-key attack pipeline, with the
+//! CPU scan, the simulated-GPU scan and the batch-GCD baseline all agreeing
+//! with the planted ground truth, and every recovered key proven by a
+//! decryption round-trip.
+
+use bulk_gcd::prelude::*;
+use bulk_gcd::rsa::crypt::{decode_message, encode_message};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn corpus_attack_three_engines_agree() {
+    let mut rng = StdRng::seed_from_u64(100);
+    let corpus = build_corpus(&mut rng, 24, 128, 4);
+    let moduli = corpus.moduli();
+
+    let cpu = scan_cpu(&moduli, Algorithm::Approximate, true);
+    let gpu = scan_gpu_sim(
+        &moduli,
+        Algorithm::Approximate,
+        true,
+        &DeviceConfig::gtx_780_ti(),
+        &CostModel::default(),
+        64,
+    );
+    let batch = batch_gcd(&moduli);
+
+    // Engines agree with each other.
+    assert_eq!(cpu.findings, gpu.findings);
+    // ... and with the ground truth.
+    assert_eq!(cpu.findings.len(), corpus.shared.len());
+    for (f, (i, j, p)) in cpu.findings.iter().zip(&corpus.shared) {
+        assert_eq!((f.i, f.j), (*i, *j));
+        assert_eq!(&f.factor, p);
+    }
+    // Batch GCD flags exactly the vulnerable indices.
+    let batch_vulnerable: Vec<usize> = batch
+        .iter()
+        .enumerate()
+        .filter(|(_, g)| !g.is_one())
+        .map(|(i, _)| i)
+        .collect();
+    assert_eq!(batch_vulnerable, corpus.vulnerable_indices());
+    // The GPU scan had a positive simulated cost.
+    assert!(gpu.simulated_seconds.unwrap() > 0.0);
+}
+
+#[test]
+fn recovered_keys_decrypt_intercepted_traffic() {
+    let mut rng = StdRng::seed_from_u64(101);
+    let corpus = build_corpus(&mut rng, 12, 128, 2);
+    let publics: Vec<PublicKey> = corpus.keys.iter().map(|k| k.public.clone()).collect();
+
+    // Intercept one ciphertext per key before the attack.
+    let secret = b"pq shared";
+    let m = encode_message(secret);
+    let ciphertexts: Vec<_> = publics
+        .iter()
+        .map(|pk| encrypt(pk, &m).unwrap())
+        .collect();
+
+    let report = break_weak_keys(&publics, Algorithm::Approximate);
+    assert_eq!(
+        report.broken.iter().map(|b| b.index).collect::<Vec<_>>(),
+        corpus.vulnerable_indices()
+    );
+    for b in &report.broken {
+        let back = decrypt(&b.private, &ciphertexts[b.index]).unwrap();
+        assert_eq!(decode_message(&back), secret);
+    }
+}
+
+#[test]
+fn every_algorithm_drives_the_pipeline() {
+    let mut rng = StdRng::seed_from_u64(102);
+    let corpus = build_corpus(&mut rng, 8, 128, 1);
+    let publics: Vec<PublicKey> = corpus.keys.iter().map(|k| k.public.clone()).collect();
+    for algo in Algorithm::ALL {
+        let report = break_weak_keys(&publics, algo);
+        assert_eq!(report.broken.len(), 2, "{}", algo.name());
+    }
+}
+
+#[test]
+fn weak_keygen_corpus_is_breakable_at_observed_rate() {
+    // Keys from the faulty generator (20% prime reuse) must yield shared
+    // pairs that the scan finds; a clean generator must yield none.
+    let mut rng = StdRng::seed_from_u64(103);
+    let mut weak = WeakKeygen::new(128, 0.35);
+    let keys: Vec<KeyPair> = (0..16).map(|_| weak.generate(&mut rng)).collect();
+    let moduli: Vec<Nat> = keys.iter().map(|k| k.public.n.clone()).collect();
+    let rep = scan_cpu(&moduli, Algorithm::Approximate, true);
+    assert!(
+        !rep.findings.is_empty(),
+        "35% reuse over 16 keys should produce at least one shared pair"
+    );
+    // Every finding is consistent with the true factorisations.
+    for f in &rep.findings {
+        let k = &keys[f.i];
+        assert!(
+            f.factor == k.p || f.factor == k.q || f.factor == k.public.n,
+            "factor must be a prime of key {} or the whole modulus",
+            f.i
+        );
+    }
+}
+
+#[test]
+fn umm_and_gpu_models_agree_on_algorithm_ordering() {
+    use bulk_gcd::umm::gcd_trace::bulk_gcd_trace;
+    let mut rng = StdRng::seed_from_u64(104);
+    let inputs: Vec<(Nat, Nat)> = (0..32)
+        .map(|_| {
+            (
+                bulk_gcd::bigint::random::random_odd_bits(&mut rng, 256),
+                bulk_gcd::bigint::random::random_odd_bits(&mut rng, 256),
+            )
+        })
+        .collect();
+    let term = Termination::Early { threshold_bits: 128 };
+    let device = DeviceConfig::gtx_780_ti();
+    let cost = CostModel::default();
+    let cfg = UmmConfig::new(32, 64);
+
+    let mut gpu_times = Vec::new();
+    let mut umm_times = Vec::new();
+    for algo in [Algorithm::Binary, Algorithm::FastBinary, Algorithm::Approximate] {
+        gpu_times.push(simulate_bulk_gcd(&device, &cost, algo, &inputs, term).report.seconds);
+        let bulk = bulk_gcd_trace(algo, &inputs, term);
+        umm_times.push(simulate(&bulk, Layout::ColumnWise, cfg).time_units);
+    }
+    // Both models: Approximate < FastBinary < Binary.
+    assert!(gpu_times[2] < gpu_times[1] && gpu_times[1] < gpu_times[0]);
+    assert!(umm_times[2] < umm_times[1] && umm_times[1] < umm_times[0]);
+}

@@ -1,0 +1,121 @@
+//! Full-size stress tests: the paper's actual operand sizes (up to
+//! 4096-bit RSA moduli), run end to end through every algorithm and both
+//! termination modes. Kept to a handful of pairs so the debug-build suite
+//! stays quick.
+
+use bulk_gcd::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn odd_pair(bits: u64, seed: u64) -> (Nat, Nat) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (
+        bulk_gcd::bigint::random::random_odd_bits(&mut rng, bits),
+        bulk_gcd::bigint::random::random_odd_bits(&mut rng, bits),
+    )
+}
+
+#[test]
+fn all_algorithms_agree_at_2048_bits() {
+    let (a, b) = odd_pair(2048, 1);
+    let reference = gcd_nat(Algorithm::FastBinary, &a, &b);
+    for algo in Algorithm::ALL {
+        assert_eq!(gcd_nat(algo, &a, &b), reference, "{}", algo.name());
+    }
+    assert_eq!(lehmer_gcd_nat(&a, &b), reference, "Lehmer");
+}
+
+#[test]
+fn approximate_handles_4096_bits() {
+    let (a, b) = odd_pair(4096, 2);
+    let mut pair = GcdPair::new(&a, &b);
+    let mut sp = StatsProbe::default();
+    let out = run(Algorithm::Approximate, &mut pair, Termination::Full, &mut sp);
+    match out {
+        GcdOutcome::Gcd(g) => {
+            assert!(a.rem(&g).is_zero() && b.rem(&g).is_zero());
+        }
+        GcdOutcome::Coprime => unreachable!(),
+    }
+    // Table IV: ~1523 iterations for 4096-bit non-terminate (E).
+    assert!(
+        (1300..1800).contains(&sp.stats.iterations),
+        "iterations {}",
+        sp.stats.iterations
+    );
+}
+
+#[test]
+fn planted_shared_prime_found_at_2048_bits() {
+    // Build two 2048-bit moduli sharing a 1024-bit odd "prime-like" factor.
+    // (A genuine 1024-bit prime is slow to mint in debug builds; the GCD
+    // path only needs oddness, so an odd random factor exercises the same
+    // arithmetic.)
+    let mut rng = StdRng::seed_from_u64(3);
+    let p = bulk_gcd::bigint::random::random_odd_bits(&mut rng, 1024);
+    let q1 = bulk_gcd::bigint::random::random_odd_bits(&mut rng, 1024);
+    let q2 = bulk_gcd::bigint::random::random_odd_bits(&mut rng, 1024);
+    let n1 = p.mul(&q1);
+    let n2 = p.mul(&q2);
+    for algo in [Algorithm::Approximate, Algorithm::FastBinary] {
+        let mut pair = GcdPair::new(&n1, &n2);
+        let out = run(
+            algo,
+            &mut pair,
+            Termination::Early { threshold_bits: 1024 },
+            &mut NoProbe,
+        );
+        // gcd(n1, n2) is a multiple of p (random cofactors may share more).
+        match out {
+            GcdOutcome::Gcd(g) => assert!(g.rem(&p).is_zero(), "{}", algo.name()),
+            GcdOutcome::Coprime => panic!("{}: missed planted factor", algo.name()),
+        }
+    }
+}
+
+#[test]
+fn iteration_counts_scale_linearly_in_s() {
+    // Table IV's law: iterations ~ c * s. Measure (E) at 512 and 2048 and
+    // check the 4x ratio within 10%.
+    let count = |bits: u64, seed: u64| -> u64 {
+        let (a, b) = odd_pair(bits, seed);
+        let mut pair = GcdPair::new(&a, &b);
+        let mut sp = StatsProbe::default();
+        run(Algorithm::Approximate, &mut pair, Termination::Full, &mut sp);
+        sp.stats.iterations
+    };
+    let small: u64 = (0..6).map(|s| count(512, 100 + s)).sum();
+    let large: u64 = (0..6).map(|s| count(2048, 200 + s)).sum();
+    let ratio = large as f64 / small as f64;
+    assert!((3.5..4.5).contains(&ratio), "scaling ratio {ratio}");
+}
+
+#[test]
+fn mixed_width_corpus_scan() {
+    // A corpus with different modulus sizes must still scan correctly
+    // (per-pair early threshold uses the smaller operand's width).
+    let mut rng = StdRng::seed_from_u64(4);
+    let p = bulk_gcd::bigint::prime::random_rsa_prime(&mut rng, 64);
+    let moduli = vec![
+        p.mul(&bulk_gcd::bigint::prime::random_rsa_prime(&mut rng, 64)), // 128-bit
+        generate_keypair(&mut rng, 192).public.n,                        // 192-bit
+        p.mul(&bulk_gcd::bigint::prime::random_rsa_prime(&mut rng, 128)), // 192-bit sharing p
+        generate_keypair(&mut rng, 128).public.n,
+    ];
+    let rep = scan_cpu(&moduli, Algorithm::Approximate, true);
+    assert_eq!(rep.findings.len(), 1);
+    assert_eq!((rep.findings[0].i, rep.findings[0].j), (0, 2));
+    assert_eq!(rep.findings[0].factor, p);
+
+    // The simulated-GPU scan must agree even though its launches batch
+    // pairs of different widths (it must take the smallest threshold).
+    let gpu = scan_gpu_sim(
+        &moduli,
+        Algorithm::Approximate,
+        true,
+        &DeviceConfig::gtx_780_ti(),
+        &CostModel::default(),
+        3, // tiny launches force mixed-width batches
+    );
+    assert_eq!(gpu.findings, rep.findings);
+}
