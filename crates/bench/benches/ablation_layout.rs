@@ -15,7 +15,9 @@ fn bench_layout(c: &mut Criterion) {
     let bulk = bulk_gcd_trace(
         Algorithm::Approximate,
         &inputs,
-        Termination::Early { threshold_bits: 256 },
+        Termination::Early {
+            threshold_bits: 256,
+        },
     );
     let cfg = UmmConfig::new(32, 32);
 

@@ -19,7 +19,13 @@ fn bench_substrate(c: &mut Criterion) {
         group.bench_function(BenchmarkId::from_parameter(bits), |b| {
             b.iter_batched(
                 || x.limbs().to_vec(),
-                |mut xs| black_box(ops::fused_submul_rshift(&mut xs, y.limbs(), 0xdead_beef | 1)),
+                |mut xs| {
+                    black_box(ops::fused_submul_rshift(
+                        &mut xs,
+                        y.limbs(),
+                        0xdead_beef | 1,
+                    ))
+                },
                 criterion::BatchSize::SmallInput,
             )
         });

@@ -1,0 +1,104 @@
+//! Scan-pipeline throughput: the arena-backed zero-allocation CPU scan
+//! against the pre-refactor per-block-workspace path, and the parallel
+//! simulated-GPU scan against its serial reference, across corpus sizes.
+//!
+//! Run: `cargo bench -p bulkgcd-bench --bench scan_throughput`
+
+use bulkgcd_bigint::Nat;
+use bulkgcd_bulk::group_size_for;
+use bulkgcd_bulk::{scan_cpu_arena, scan_gpu_sim, scan_gpu_sim_serial, GroupedPairs, ModuliArena};
+use bulkgcd_core::{run, Algorithm, GcdOutcome, GcdPair, NoProbe, Termination};
+use bulkgcd_gpu::{CostModel, DeviceConfig};
+use bulkgcd_rsa::build_corpus;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rayon::prelude::*;
+
+const BITS: u64 = 128;
+const SIZES: [usize; 3] = [16, 32, 64];
+
+fn moduli_of(m: usize) -> Vec<Nat> {
+    let mut rng = StdRng::seed_from_u64(0x5ca9 ^ m as u64);
+    build_corpus(&mut rng, m, BITS, 2).moduli()
+}
+
+/// The pre-refactor CPU scan: one fresh workspace and findings vector per
+/// §VI block, operands loaded from owned `Nat`s, allocating `run`.
+fn scan_cpu_prerefactor(moduli: &[Nat], algo: Algorithm, early: bool) -> usize {
+    let m = moduli.len();
+    let grid = GroupedPairs::new(m, group_size_for(m));
+    let blocks: Vec<_> = grid.blocks().collect();
+    let findings: Vec<(usize, usize, Nat)> = blocks
+        .par_iter()
+        .map(|&b| {
+            let mut pair = GcdPair::with_capacity(1);
+            let mut found = Vec::new();
+            for (i, j) in grid.block_pairs(b) {
+                let (a, c) = (&moduli[i], &moduli[j]);
+                pair.load(a, c);
+                let term = if early {
+                    Termination::Early {
+                        threshold_bits: a.bit_len().min(c.bit_len()) / 2,
+                    }
+                } else {
+                    Termination::Full
+                };
+                if let GcdOutcome::Gcd(g) = run(algo, &mut pair, term, &mut NoProbe) {
+                    if !g.is_one() {
+                        found.push((i, j, g));
+                    }
+                }
+            }
+            found
+        })
+        .flatten()
+        .collect();
+    findings.len()
+}
+
+fn bench_cpu_scan(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scan_cpu");
+    group.sample_size(10);
+    for &m in &SIZES {
+        let moduli = moduli_of(m);
+        let arena = ModuliArena::from_moduli(&moduli);
+        group.bench_function(BenchmarkId::new("arena", m), |b| {
+            b.iter(|| {
+                scan_cpu_arena(&arena, Algorithm::Approximate, true)
+                    .findings
+                    .len()
+            })
+        });
+        group.bench_function(BenchmarkId::new("prerefactor", m), |b| {
+            b.iter(|| scan_cpu_prerefactor(&moduli, Algorithm::Approximate, true))
+        });
+    }
+    group.finish();
+}
+
+fn bench_gpu_sim_scan(c: &mut Criterion) {
+    let device = DeviceConfig::gtx_780_ti();
+    let cost = CostModel::default();
+    let mut group = c.benchmark_group("scan_gpu_sim");
+    group.sample_size(10);
+    for &m in &SIZES {
+        let moduli = moduli_of(m);
+        group.bench_function(BenchmarkId::new("parallel", m), |b| {
+            b.iter(|| {
+                scan_gpu_sim(&moduli, Algorithm::Approximate, true, &device, &cost, 64)
+                    .simulated_seconds
+            })
+        });
+        group.bench_function(BenchmarkId::new("serial", m), |b| {
+            b.iter(|| {
+                scan_gpu_sim_serial(&moduli, Algorithm::Approximate, true, &device, &cost, 64)
+                    .simulated_seconds
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cpu_scan, bench_gpu_sim_scan);
+criterion_main!(benches);

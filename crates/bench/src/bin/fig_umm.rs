@@ -78,7 +78,11 @@ fn main() {
             threshold_bits: bits / 2,
         };
         let cfg = UmmConfig::new(32, 32);
-        for algo in [Algorithm::Binary, Algorithm::FastBinary, Algorithm::Approximate] {
+        for algo in [
+            Algorithm::Binary,
+            Algorithm::FastBinary,
+            Algorithm::Approximate,
+        ] {
             let bulk = bulk_gcd_trace(algo, &inputs, term);
             let col = simulate(&bulk, Layout::ColumnWise, cfg);
             let row = simulate(&bulk, Layout::RowWise, cfg);

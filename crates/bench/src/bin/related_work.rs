@@ -6,14 +6,18 @@
 
 use bulkgcd_bench::{rsa_modulus_pairs, Options};
 use bulkgcd_core::{Algorithm, Termination};
-use bulkgcd_gpu::{simulate_bulk_gcd, CostModel, DeviceConfig};
+use bulkgcd_gpu::{simulate_bulk_gcd_pairs, CostModel, DeviceConfig};
 
 /// Published per-1024-bit-GCD times the paper compares against (§I).
 const LITERATURE: &[(&str, &str, f64)] = &[
     ("Fujimoto [19], 2009", "GeForce GTX 285", 10.9),
     ("Scharfglass et al. [20], 2012", "GeForce GTX 480", 10.02),
     ("White [21], 2013", "Tesla K20Xm", 3.15),
-    ("Fujita et al. (the paper), 2015", "GeForce GTX 780 Ti", 0.346),
+    (
+        "Fujita et al. (the paper), 2015",
+        "GeForce GTX 780 Ti",
+        0.346,
+    ),
 ];
 
 fn main() {
@@ -36,7 +40,7 @@ fn main() {
     // Our Approximate Euclid on the simulated 780 Ti, and — as a bonus —
     // Binary Euclid on the simulated GTX 285 to sanity-check the simulator
     // against Fujimoto's generation of hardware.
-    let ours = simulate_bulk_gcd(
+    let ours = simulate_bulk_gcd_pairs(
         &DeviceConfig::gtx_780_ti(),
         &cost,
         Algorithm::Approximate,
@@ -49,7 +53,7 @@ fn main() {
         "GTX 780 Ti (simulated)",
         ours.per_gcd_seconds * 1e6
     );
-    let fujimoto_like = simulate_bulk_gcd(
+    let fujimoto_like = simulate_bulk_gcd_pairs(
         &DeviceConfig::gtx_285(),
         &cost,
         Algorithm::Binary,
@@ -64,7 +68,7 @@ fn main() {
     );
     // The other two prior results, each on its own simulated device
     // (both used Binary-Euclid-style kernels).
-    let scharfglass_like = simulate_bulk_gcd(
+    let scharfglass_like = simulate_bulk_gcd_pairs(
         &DeviceConfig::gtx_480(),
         &cost,
         Algorithm::Binary,
@@ -77,7 +81,7 @@ fn main() {
         "GTX 480 (simulated)",
         scharfglass_like.per_gcd_seconds * 1e6
     );
-    let white_like = simulate_bulk_gcd(
+    let white_like = simulate_bulk_gcd_pairs(
         &DeviceConfig::tesla_k20xm(),
         &cost,
         Algorithm::Binary,

@@ -1,0 +1,175 @@
+//! Machine-readable scan-throughput benchmark: `BENCH_scan.json`.
+//!
+//! Measures pairs/second for the arena-backed CPU scan (against the
+//! pre-refactor per-block path) and the parallel simulated-GPU scan
+//! (against its serial reference) across corpus sizes, and writes one JSON
+//! report for tooling to diff across commits.
+//!
+//! Run: `cargo run --release -p bulkgcd-bench --bin scan_bench --
+//!       [--sizes 16,32,64] [--bits 128] [--reps 3] [--out BENCH_scan.json]`
+
+use bulkgcd_bench::Options;
+use bulkgcd_bigint::Nat;
+use bulkgcd_bulk::{
+    group_size_for, scan_cpu_arena, scan_gpu_sim_arena, scan_gpu_sim_serial, GroupedPairs,
+    ModuliArena,
+};
+use bulkgcd_core::{run, Algorithm, GcdOutcome, GcdPair, NoProbe, Termination};
+use bulkgcd_gpu::{CostModel, DeviceConfig};
+use bulkgcd_rsa::build_corpus;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rayon::prelude::*;
+use std::time::Instant;
+
+/// The pre-refactor CPU scan (one workspace per block, owned-`Nat` loads,
+/// allocating `run`) — the baseline the arena path must not regress below.
+fn scan_cpu_prerefactor(moduli: &[Nat], algo: Algorithm, early: bool) -> usize {
+    let m = moduli.len();
+    let grid = GroupedPairs::new(m, group_size_for(m));
+    let blocks: Vec<_> = grid.blocks().collect();
+    let findings: Vec<(usize, usize, Nat)> = blocks
+        .par_iter()
+        .map(|&b| {
+            let mut pair = GcdPair::with_capacity(1);
+            let mut found = Vec::new();
+            for (i, j) in grid.block_pairs(b) {
+                let (a, c) = (&moduli[i], &moduli[j]);
+                pair.load(a, c);
+                let term = if early {
+                    Termination::Early {
+                        threshold_bits: a.bit_len().min(c.bit_len()) / 2,
+                    }
+                } else {
+                    Termination::Full
+                };
+                if let GcdOutcome::Gcd(g) = run(algo, &mut pair, term, &mut NoProbe) {
+                    if !g.is_one() {
+                        found.push((i, j, g));
+                    }
+                }
+            }
+            found
+        })
+        .flatten()
+        .collect();
+    findings.len()
+}
+
+/// Best-of-`reps` wall seconds for `f` (one warmup call first).
+fn best_seconds<F: FnMut() -> usize>(reps: usize, mut f: F) -> (f64, usize) {
+    let sink = f();
+    let mut best = f64::INFINITY;
+    for _ in 0..reps.max(1) {
+        let start = Instant::now();
+        let got = std::hint::black_box(f());
+        best = best.min(start.elapsed().as_secs_f64());
+        assert_eq!(got, sink, "non-deterministic scan result");
+    }
+    (best, sink)
+}
+
+fn json_f64(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x:.9}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn main() {
+    let opts = Options::from_env();
+    let sizes = opts.get_list("sizes", &[16, 32, 64]);
+    if sizes.is_empty() {
+        eprintln!("error: --sizes needs a comma-separated list of corpus sizes (e.g. 16,32,64)");
+        std::process::exit(2);
+    }
+    let bits: u64 = opts.get("bits", 128);
+    let reps: usize = opts.get("reps", 3);
+    let out: String = opts.get("out", "BENCH_scan.json".to_string());
+    let launch_pairs: usize = opts.get("launch-pairs", 256);
+    let device = DeviceConfig::gtx_780_ti();
+    let cost = CostModel::default();
+    let algo = Algorithm::Approximate;
+
+    let mut rows = Vec::new();
+    for &m in &sizes {
+        let m = m as usize;
+        let mut rng = StdRng::seed_from_u64(0x5ca9 ^ m as u64);
+        let moduli = build_corpus(&mut rng, m, bits, 2).moduli();
+        let arena = ModuliArena::from_moduli(&moduli);
+        let pairs = (m * (m - 1) / 2) as f64;
+
+        let (cpu_s, cpu_found) =
+            best_seconds(reps, || scan_cpu_arena(&arena, algo, true).findings.len());
+        let (base_s, base_found) = best_seconds(reps, || scan_cpu_prerefactor(&moduli, algo, true));
+        assert_eq!(cpu_found, base_found, "arena and baseline disagree");
+
+        let (gpu_s, _) = best_seconds(reps, || {
+            scan_gpu_sim_arena(&arena, algo, true, &device, &cost, launch_pairs)
+                .findings
+                .len()
+        });
+        let par = scan_gpu_sim_arena(&arena, algo, true, &device, &cost, launch_pairs);
+        let ser = scan_gpu_sim_serial(&moduli, algo, true, &device, &cost, launch_pairs);
+        let par_sim = par.simulated_seconds.unwrap_or(0.0);
+        let ser_sim = ser.simulated_seconds.unwrap_or(0.0);
+        let parallel_matches_serial =
+            par.findings == ser.findings && (par_sim - ser_sim).abs() <= 1e-12 * ser_sim.max(1.0);
+
+        eprintln!(
+            "m={m}: cpu {:.0} pairs/s (baseline {:.0}, x{:.2}), gpu-sim host {:.0} pairs/s, \
+             simulated {:.3e} s, parallel==serial: {parallel_matches_serial}",
+            pairs / cpu_s,
+            pairs / base_s,
+            base_s / cpu_s,
+            pairs / gpu_s,
+            par_sim,
+        );
+
+        rows.push(format!(
+            concat!(
+                "    {{\"m\": {m}, \"pairs\": {pairs}, \"findings\": {found},\n",
+                "     \"cpu_arena_seconds\": {cpu_s}, \"cpu_arena_pairs_per_sec\": {cpu_tp},\n",
+                "     \"cpu_prerefactor_seconds\": {base_s}, \"cpu_prerefactor_pairs_per_sec\": {base_tp},\n",
+                "     \"cpu_arena_speedup\": {speedup},\n",
+                "     \"gpu_sim_host_seconds\": {gpu_s}, \"gpu_sim_host_pairs_per_sec\": {gpu_tp},\n",
+                "     \"gpu_sim_simulated_seconds\": {sim}, \"gpu_sim_parallel_matches_serial\": {ok}}}"
+            ),
+            m = m,
+            pairs = pairs as u64,
+            found = cpu_found,
+            cpu_s = json_f64(cpu_s),
+            cpu_tp = json_f64(pairs / cpu_s),
+            base_s = json_f64(base_s),
+            base_tp = json_f64(pairs / base_s),
+            speedup = json_f64(base_s / cpu_s),
+            gpu_s = json_f64(gpu_s),
+            gpu_tp = json_f64(pairs / gpu_s),
+            sim = json_f64(par_sim),
+            ok = parallel_matches_serial,
+        ));
+    }
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"scan_throughput\",\n",
+            "  \"algorithm\": \"{algo}\",\n",
+            "  \"bits\": {bits},\n",
+            "  \"early_termination\": true,\n",
+            "  \"launch_pairs\": {lp},\n",
+            "  \"reps\": {reps},\n",
+            "  \"rows\": [\n{rows}\n  ]\n",
+            "}}\n"
+        ),
+        algo = algo.tag(),
+        bits = bits,
+        lp = launch_pairs,
+        reps = reps,
+        rows = rows.join(",\n"),
+    );
+    std::fs::write(&out, &json).expect("write BENCH_scan.json");
+    println!("{json}");
+    eprintln!("wrote {out}");
+}

@@ -12,7 +12,7 @@
 
 use bulkgcd_bench::{cpu_seconds_per_gcd, rsa_modulus_pairs, Options};
 use bulkgcd_core::{Algorithm, Termination};
-use bulkgcd_gpu::{simulate_bulk_gcd, CostModel, DeviceConfig};
+use bulkgcd_gpu::{simulate_bulk_gcd_pairs, CostModel, DeviceConfig};
 
 /// Paper Table V (microseconds per GCD): (bits, tag, cpu_non, cpu_early,
 /// gpu_non, gpu_early).
@@ -49,11 +49,18 @@ fn main() {
     let sizes = opts.get_list("bits", &[512, 1024]);
     let device = DeviceConfig::gtx_780_ti();
     let cost = CostModel::default();
-    let algos = [Algorithm::Binary, Algorithm::FastBinary, Algorithm::Approximate];
+    let algos = [
+        Algorithm::Binary,
+        Algorithm::FastBinary,
+        Algorithm::Approximate,
+    ];
 
     println!("TABLE V. The performance of Euclidean algorithms: one GCD computing");
     println!("time in microseconds ({pairs_n} sampled pairs per size; paper used all");
-    println!("pairs of 16K moduli). CPU = measured on this host; GPU = simulated {}.", device.name);
+    println!(
+        "pairs of 16K moduli). CPU = measured on this host; GPU = simulated {}.",
+        device.name
+    );
 
     for &bits in &sizes {
         let pairs = rsa_modulus_pairs(pairs_n, bits, 55);
@@ -68,16 +75,18 @@ fn main() {
             "{:<6} {:<12} {:>10} {:>9} | {:>10} {:>9} | {:>9} {:>9}",
             "mode", "algorithm", "CPU us", "(paper)", "GPU us", "(paper)", "CPU/GPU", "(paper)"
         );
-        for (mode, term, early_mode) in [
-            ("non", Termination::Full, false),
-            ("early", early, true),
-        ] {
+        for (mode, term, early_mode) in [("non", Termination::Full, false), ("early", early, true)]
+        {
             for algo in algos {
                 let cpu_us = cpu_seconds_per_gcd(algo, &pairs, term) * 1e6;
-                let launch = simulate_bulk_gcd(&device, &cost, algo, &gpu_pairs, term);
+                let launch = simulate_bulk_gcd_pairs(&device, &cost, algo, &gpu_pairs, term);
                 let gpu_us = launch.per_gcd_seconds * 1e6;
                 let (pc_n, pc_e, pg_n, pg_e) = paper(bits, algo.tag());
-                let (pc, pg) = if early_mode { (pc_e, pg_e) } else { (pc_n, pg_n) };
+                let (pc, pg) = if early_mode {
+                    (pc_e, pg_e)
+                } else {
+                    (pc_n, pg_n)
+                };
                 println!(
                     "{:<6} {:<12} {:>10.2} {:>9.1} | {:>10.3} {:>9.3} | {:>9.1} {:>9.1}",
                     mode,

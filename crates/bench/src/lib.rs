@@ -28,7 +28,12 @@ pub fn odd_pairs(n: usize, bits: u64, seed: u64) -> Vec<(Nat, Nat)> {
     use bulkgcd_bigint::random::random_odd_bits;
     let mut rng = StdRng::seed_from_u64(seed ^ (bits << 1));
     (0..n)
-        .map(|_| (random_odd_bits(&mut rng, bits), random_odd_bits(&mut rng, bits)))
+        .map(|_| {
+            (
+                random_odd_bits(&mut rng, bits),
+                random_odd_bits(&mut rng, bits),
+            )
+        })
         .collect()
 }
 

@@ -3,8 +3,8 @@
 //! backend for modular exponentiation and as an ablation target: the
 //! benches compare Montgomery vs Barrett vs plain division.
 
-use crate::nat::Nat;
 use crate::limb::LIMB_BITS;
+use crate::nat::Nat;
 
 /// Precomputed Barrett context for a fixed modulus `n > 1`.
 ///
@@ -80,7 +80,14 @@ mod tests {
     fn reduce_matches_rem_small() {
         let n = Nat::from(1_000_003u32);
         let ctx = Barrett::new(&n);
-        for x in [0u128, 1, 999_999, 1_000_003, 123_456_789_012, 1_000_002u128 * 1_000_002] {
+        for x in [
+            0u128,
+            1,
+            999_999,
+            1_000_003,
+            123_456_789_012,
+            1_000_002u128 * 1_000_002,
+        ] {
             let xn = Nat::from_u128(x);
             assert_eq!(ctx.reduce(&xn), xn.rem(&n), "x={x}");
         }

@@ -74,10 +74,7 @@ mod tests {
 
     #[test]
     fn leading_zeros_ignored_on_parse() {
-        assert_eq!(
-            Nat::from_bytes_be(&[0, 0, 1, 2]),
-            Nat::from(0x0102u32)
-        );
+        assert_eq!(Nat::from_bytes_be(&[0, 0, 1, 2]), Nat::from(0x0102u32));
         assert_eq!(Nat::from_bytes_be(&[0, 0]), Nat::zero());
         assert_eq!(Nat::from_bytes_be(&[]), Nat::zero());
     }

@@ -39,7 +39,10 @@ impl Nat {
 
     /// Parse a hexadecimal string (optional `0x` prefix, `_` separators allowed).
     pub fn from_hex(s: &str) -> Result<Nat, ParseNatError> {
-        let s = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")).unwrap_or(s);
+        let s = s
+            .strip_prefix("0x")
+            .or_else(|| s.strip_prefix("0X"))
+            .unwrap_or(s);
         let mut digits = Vec::new();
         for c in s.chars() {
             if c == '_' {

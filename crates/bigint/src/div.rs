@@ -73,9 +73,7 @@ pub fn div_rem_slices(a: &[Limb], b: &[Limb]) -> (Vec<Limb>, Vec<Limb>) {
             (num / v_hi as u64, num % v_hi as u64)
         };
         // qhat can overestimate by at most 2; fix it here.
-        while rhat < 1 << LIMB_BITS
-            && qhat * v_next as u64 > ((rhat << LIMB_BITS) | u0)
-        {
+        while rhat < 1 << LIMB_BITS && qhat * v_next as u64 > ((rhat << LIMB_BITS) | u0) {
             qhat -= 1;
             rhat += v_hi as u64;
         }
@@ -164,7 +162,10 @@ mod tests {
     fn multi_limb_divisor() {
         check(u128::MAX, 0x1_0000_0001);
         check(u128::MAX, 0xffff_ffff_ffff_ffff);
-        check(0x0123_4567_89ab_cdef_0123_4567_89ab_cdef, 0x1111_1111_1111_1111);
+        check(
+            0x0123_4567_89ab_cdef_0123_4567_89ab_cdef,
+            0x1111_1111_1111_1111,
+        );
         check(1 << 127, (1 << 96) + 12345);
     }
 

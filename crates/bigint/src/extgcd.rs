@@ -233,7 +233,10 @@ mod tests {
         assert!(!five.sub(&five).negative, "zero is non-negative");
         let neg2 = three.sub(&five);
         assert_eq!(neg2.rem_euclid(&Nat::from(7u32)), Nat::from(5u32));
-        assert_eq!(neg2.mul_nat(&Nat::from(3u32)).rem_euclid(&Nat::from(7u32)), Nat::from(1u32));
+        assert_eq!(
+            neg2.mul_nat(&Nat::from(3u32)).rem_euclid(&Nat::from(7u32)),
+            Nat::from(1u32)
+        );
     }
 
     #[test]

@@ -190,7 +190,9 @@ mod tests {
     fn karatsuba_matches_schoolbook() {
         // Build operands long enough to take the Karatsuba path.
         let n = KARATSUBA_CUTOFF * 3 + 5;
-        let a: Vec<Limb> = (0..n).map(|i| (i as u32).wrapping_mul(0x9e37_79b9) | 1).collect();
+        let a: Vec<Limb> = (0..n)
+            .map(|i| (i as u32).wrapping_mul(0x9e37_79b9) | 1)
+            .collect();
         let b: Vec<Limb> = (0..n - 7)
             .map(|i| (i as u32).wrapping_mul(0x85eb_ca6b) ^ 0xdead)
             .collect();

@@ -35,6 +35,14 @@ impl Nat {
         }
     }
 
+    /// Build from a possibly unnormalized little-endian limb slice (alias of
+    /// [`Nat::from_limbs`], named for the arena load paths that hand out raw
+    /// fixed-stride slices with high zero padding).
+    #[inline]
+    pub fn from_limb_slice(limbs: &[Limb]) -> Self {
+        Nat::from_limbs(limbs)
+    }
+
     /// Build from a `u64`.
     pub fn from_u64(v: u64) -> Self {
         Nat::from_limbs(&[v as Limb, (v >> LIMB_BITS) as Limb])
@@ -73,6 +81,14 @@ impl Nat {
     /// The normalized little-endian limbs (empty for zero).
     #[inline]
     pub fn limbs(&self) -> &[Limb] {
+        &self.limbs
+    }
+
+    /// Borrow the value as a little-endian limb slice (alias of
+    /// [`Nat::limbs`]; the borrow-based counterpart of [`Nat::into_limbs`],
+    /// used by the zero-allocation scan paths).
+    #[inline]
+    pub fn as_limbs(&self) -> &[Limb] {
         &self.limbs
     }
 
@@ -202,7 +218,6 @@ impl Nat {
             Some(r) => (self.shr(r), r),
         }
     }
-
 }
 
 impl PartialOrd for Nat {

@@ -75,7 +75,14 @@ pub fn small_factor(n: &Nat) -> Option<u32> {
 
 /// One Miller–Rabin round for witness `a` against odd `n > 2`,
 /// with `n - 1 = 2^s * d` precomputed. Returns true if `n` passes.
-fn miller_rabin_round(mont: &Montgomery, n: &Nat, n_minus_1: &Nat, d: &Nat, s: u64, a: &Nat) -> bool {
+fn miller_rabin_round(
+    mont: &Montgomery,
+    n: &Nat,
+    n_minus_1: &Nat,
+    d: &Nat,
+    s: u64,
+    a: &Nat,
+) -> bool {
     let mut x = mont.pow(a, d);
     if x.is_one() || x == *n_minus_1 {
         return true;
@@ -186,12 +193,18 @@ mod tests {
     fn small_numbers_classified() {
         let mut r = rng();
         let primes = [2u32, 3, 5, 7, 11, 97, 7919, 65537];
-        let composites = [0u32, 1, 4, 9, 15, 91, 561 /* Carmichael */, 6601, 62745];
+        let composites = [
+            0u32, 1, 4, 9, 15, 91, 561, /* Carmichael */
+            6601, 62745,
+        ];
         for p in primes {
             assert!(is_probable_prime(&Nat::from(p), &mut r), "{p} is prime");
         }
         for c in composites {
-            assert!(!is_probable_prime(&Nat::from(c), &mut r), "{c} is composite");
+            assert!(
+                !is_probable_prime(&Nat::from(c), &mut r),
+                "{c} is composite"
+            );
         }
     }
 

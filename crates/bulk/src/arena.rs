@@ -1,0 +1,212 @@
+//! [`ModuliArena`]: the whole corpus in one contiguous limb buffer.
+//!
+//! An all-pairs scan reads every modulus `m − 1` times; materialising each
+//! read as an owned [`Nat`] clone (the previous design) put a heap
+//! allocation on the hot path per pair. The arena instead stores all `m`
+//! moduli in a single `Vec<u32>` at a fixed stride (the widest modulus,
+//! high-zero padded) and hands out borrowed limb slices, so loading a pair
+//! into a [`GcdPair`](bulkgcd_core::GcdPair) workspace copies limbs but
+//! never allocates.
+//!
+//! The backing buffer is **row-wise** in the sense of paper Fig. 3
+//! ([`Layout::RowWise`]): modulus `j`'s limb `i` lives at `j · stride + i`,
+//! the natural host layout for handing out per-modulus slices. For a
+//! device-style upload the arena can also emit the paper's **column-wise**
+//! arrangement (`i · m + j`, [`Layout::ColumnWise`]), the coalescing-friendly
+//! ordering of `bulkgcd_umm`.
+
+use bulkgcd_bigint::{Limb, Nat};
+use bulkgcd_umm::Layout;
+
+/// A corpus of moduli packed into one fixed-stride limb buffer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModuliArena {
+    /// Row-wise backing store: modulus `j` at `j * stride .. (j + 1) * stride`.
+    limbs: Vec<Limb>,
+    /// Limbs per modulus (width of the widest modulus, at least 1).
+    stride: usize,
+    /// Number of moduli.
+    m: usize,
+    /// Cached significant-bit counts, one per modulus (drives the §V
+    /// early-termination threshold without touching the limb data).
+    bit_lens: Vec<u64>,
+}
+
+impl ModuliArena {
+    /// Pack `moduli` into a fresh arena. The stride is the limb count of
+    /// the widest modulus (minimum 1); narrower moduli are high-zero padded.
+    pub fn from_moduli(moduli: &[Nat]) -> Self {
+        let stride = moduli.iter().map(Nat::len).max().unwrap_or(0).max(1);
+        let mut limbs = vec![0 as Limb; moduli.len() * stride];
+        for (row, n) in limbs.chunks_exact_mut(stride).zip(moduli) {
+            row[..n.len()].copy_from_slice(n.as_limbs());
+        }
+        ModuliArena {
+            limbs,
+            stride,
+            m: moduli.len(),
+            bit_lens: moduli.iter().map(Nat::bit_len).collect(),
+        }
+    }
+
+    /// Number of moduli.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.m
+    }
+
+    /// True when the arena holds no moduli.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.m == 0
+    }
+
+    /// Limbs per modulus row (fixed for the whole corpus).
+    #[inline]
+    pub fn stride(&self) -> usize {
+        self.stride
+    }
+
+    /// Modulus `i` as a borrowed little-endian limb slice of exactly
+    /// [`stride`](Self::stride) limbs (high-zero padded).
+    #[inline]
+    pub fn limbs(&self, i: usize) -> &[Limb] {
+        &self.limbs[i * self.stride..(i + 1) * self.stride]
+    }
+
+    /// Significant bits of modulus `i` (cached at construction).
+    #[inline]
+    pub fn bit_len(&self, i: usize) -> u64 {
+        self.bit_lens[i]
+    }
+
+    /// Rebuild modulus `i` as an owned [`Nat`] (allocates; for findings and
+    /// interop, not for the scan hot loop).
+    pub fn nat(&self, i: usize) -> Nat {
+        Nat::from_limb_slice(self.limbs(i))
+    }
+
+    /// The whole row-wise backing buffer (`m · stride` limbs).
+    #[inline]
+    pub fn as_limbs(&self) -> &[Limb] {
+        &self.limbs
+    }
+
+    /// The corpus re-arranged column-wise (paper Fig. 3): limb `i` of
+    /// modulus `j` at address `i · m + j`, the coalescing-friendly ordering
+    /// a real device upload would use. Allocates a fresh buffer.
+    pub fn column_wise(&self) -> Vec<Limb> {
+        let mut out = vec![0 as Limb; self.limbs.len()];
+        for j in 0..self.m {
+            let row = self.limbs(j);
+            for (i, &w) in row.iter().enumerate() {
+                out[Layout::ColumnWise.address(j, i, self.m, self.stride)] = w;
+            }
+        }
+        out
+    }
+
+    /// Limb `offset` of modulus `thread` under `layout`, addressed exactly
+    /// as [`Layout::address`] with `p = m`, `n_words = stride`. Row-wise
+    /// reads hit the backing buffer directly; column-wise answers what the
+    /// transposed upload of [`column_wise`](Self::column_wise) would hold
+    /// at that address's logical coordinates.
+    #[inline]
+    pub fn limb_at(&self, layout: Layout, thread: usize, offset: usize) -> Limb {
+        match layout {
+            Layout::RowWise => {
+                self.limbs[Layout::RowWise.address(thread, offset, self.m, self.stride)]
+            }
+            // Same value, different physical address: the arena stores
+            // row-wise, so resolve the logical coordinates directly.
+            Layout::ColumnWise => self.limbs(thread)[offset],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bulkgcd_bigint::ops;
+
+    fn nat(v: u128) -> Nat {
+        Nat::from_u128(v)
+    }
+
+    #[test]
+    fn roundtrips_moduli_of_mixed_widths() {
+        let moduli = vec![
+            nat(0xffff_ffff_ffff_ffff_ffff_ffff), // 3 limbs
+            nat(5),                               // 1 limb
+            Nat::zero(),                          // 0 limbs
+            nat(1u128 << 100),                    // 4 limbs
+        ];
+        let arena = ModuliArena::from_moduli(&moduli);
+        assert_eq!(arena.len(), 4);
+        assert_eq!(arena.stride(), 4);
+        for (i, n) in moduli.iter().enumerate() {
+            assert_eq!(&arena.nat(i), n, "modulus {i}");
+            assert_eq!(arena.bit_len(i), n.bit_len(), "modulus {i}");
+            assert_eq!(arena.limbs(i).len(), 4);
+            assert_eq!(ops::normalized_len(arena.limbs(i)), n.len());
+        }
+    }
+
+    #[test]
+    fn empty_arena() {
+        let arena = ModuliArena::from_moduli(&[]);
+        assert!(arena.is_empty());
+        assert_eq!(arena.stride(), 1);
+        assert!(arena.as_limbs().is_empty());
+        assert!(arena.column_wise().is_empty());
+    }
+
+    #[test]
+    fn row_wise_backing_matches_layout_addressing() {
+        let moduli = vec![nat(0x1_0000_0002), nat(3), nat(0xdead_beef_cafe)];
+        let arena = ModuliArena::from_moduli(&moduli);
+        for j in 0..arena.len() {
+            for i in 0..arena.stride() {
+                let addr = Layout::RowWise.address(j, i, arena.len(), arena.stride());
+                assert_eq!(arena.as_limbs()[addr], arena.limbs(j)[i]);
+                assert_eq!(arena.limb_at(Layout::RowWise, j, i), arena.limbs(j)[i]);
+            }
+        }
+    }
+
+    #[test]
+    fn column_wise_is_fig3_transpose() {
+        let moduli = vec![nat(0x1111_2222_3333), nat(0x4444_5555_6666), nat(7)];
+        let arena = ModuliArena::from_moduli(&moduli);
+        let col = arena.column_wise();
+        assert_eq!(col.len(), arena.as_limbs().len());
+        for j in 0..arena.len() {
+            for i in 0..arena.stride() {
+                assert_eq!(
+                    col[Layout::ColumnWise.address(j, i, arena.len(), arena.stride())],
+                    arena.limbs(j)[i],
+                    "modulus {j} limb {i}"
+                );
+                assert_eq!(arena.limb_at(Layout::ColumnWise, j, i), arena.limbs(j)[i]);
+            }
+        }
+    }
+
+    #[test]
+    fn borrowed_slices_load_into_gcd_pair() {
+        use bulkgcd_core::{run_in_place, Algorithm, GcdPair, GcdStatus, NoProbe, Termination};
+        let p = 0xffff_fffbu128;
+        let moduli = vec![nat(p * 4_294_967_311), nat(p * 4_294_967_357)];
+        let arena = ModuliArena::from_moduli(&moduli);
+        let mut pair = GcdPair::with_capacity(arena.stride());
+        pair.load_from_limbs(arena.limbs(0), arena.limbs(1));
+        let status = run_in_place(
+            Algorithm::Approximate,
+            &mut pair,
+            Termination::Full,
+            &mut NoProbe,
+        );
+        assert_eq!(status, GcdStatus::Done);
+        assert_eq!(pair.x_nat(), nat(p));
+    }
+}

@@ -246,10 +246,7 @@ mod tests {
         moduli.push(shared.mul(&random_rsa_prime(&mut rng, 48)));
         assert_eq!(batch_gcd_parallel(&moduli), batch_gcd(&moduli));
         assert_eq!(batch_gcd_parallel(&[]), batch_gcd(&[]));
-        assert_eq!(
-            batch_gcd_parallel(&[nat(15)]),
-            batch_gcd(&[nat(15)])
-        );
+        assert_eq!(batch_gcd_parallel(&[nat(15)]), batch_gcd(&[nat(15)]));
     }
 
     #[test]

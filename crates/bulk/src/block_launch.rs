@@ -74,11 +74,7 @@ pub fn scan_gpu_blocks(
                 lane.extend(probe.iters);
                 if let GcdOutcome::Gcd(g) = out {
                     if !g.is_one() {
-                        findings.push(Finding {
-                            i,
-                            j,
-                            factor: g,
-                        });
+                        findings.push(Finding { i, j, factor: g });
                     }
                 }
             }
@@ -94,7 +90,11 @@ pub fn scan_gpu_blocks(
     BlockLaunchReport {
         findings,
         pairs_scanned: pairs,
-        per_gcd_seconds: if pairs == 0 { 0.0 } else { gpu.seconds / pairs as f64 },
+        per_gcd_seconds: if pairs == 0 {
+            0.0
+        } else {
+            gpu.seconds / pairs as f64
+        },
         gpu,
         blocks,
     }

@@ -10,7 +10,7 @@
 
 use bulkgcd_bigint::Nat;
 use bulkgcd_core::{Algorithm, Termination};
-use bulkgcd_gpu::{simulate_bulk_gcd, CostModel, DeviceConfig};
+use bulkgcd_gpu::{simulate_bulk_gcd_pairs, CostModel, DeviceConfig};
 
 /// Projected cost of scanning all pairs of a corpus of `m` moduli.
 #[derive(Debug, Clone)]
@@ -42,7 +42,7 @@ pub fn estimate_full_scan(
     term: Termination,
 ) -> ScanEstimate {
     assert!(!sample_pairs.is_empty(), "need at least one sampled pair");
-    let launch = simulate_bulk_gcd(device, cost, algo, sample_pairs, term);
+    let launch = simulate_bulk_gcd_pairs(device, cost, algo, sample_pairs, term);
     let pairs = m * m.saturating_sub(1) / 2;
     let per_gcd = launch.per_gcd_seconds;
     ScanEstimate {
@@ -64,7 +64,12 @@ mod tests {
     fn sample(n: usize, bits: u64) -> Vec<(Nat, Nat)> {
         let mut rng = StdRng::seed_from_u64(1);
         (0..n)
-            .map(|_| (random_odd_bits(&mut rng, bits), random_odd_bits(&mut rng, bits)))
+            .map(|_| {
+                (
+                    random_odd_bits(&mut rng, bits),
+                    random_odd_bits(&mut rng, bits),
+                )
+            })
             .collect()
     }
 
@@ -73,9 +78,20 @@ mod tests {
         let device = DeviceConfig::gtx_780_ti();
         let cost = CostModel::default();
         let s = sample(64, 256);
-        let term = Termination::Early { threshold_bits: 128 };
-        let small = estimate_full_scan(&device, &cost, Algorithm::Approximate, &s, 1_000, 256, term);
-        let large = estimate_full_scan(&device, &cost, Algorithm::Approximate, &s, 10_000, 256, term);
+        let term = Termination::Early {
+            threshold_bits: 128,
+        };
+        let small =
+            estimate_full_scan(&device, &cost, Algorithm::Approximate, &s, 1_000, 256, term);
+        let large = estimate_full_scan(
+            &device,
+            &cost,
+            Algorithm::Approximate,
+            &s,
+            10_000,
+            256,
+            term,
+        );
         assert_eq!(small.pairs, 1_000 * 999 / 2);
         assert_eq!(large.pairs, 10_000 * 9_999 / 2);
         let ratio = large.total_seconds / small.total_seconds;
@@ -96,7 +112,9 @@ mod tests {
             &s,
             16_384,
             1024,
-            Termination::Early { threshold_bits: 512 },
+            Termination::Early {
+                threshold_bits: 512,
+            },
         );
         assert!(est.transfer_seconds < 0.01);
         assert!(

@@ -3,16 +3,21 @@
 //! All-pairs weak-RSA-key scanning — the orchestration layer of the
 //! reproduction:
 //!
+//! * [`arena`] — the whole corpus packed into one contiguous fixed-stride
+//!   limb buffer ([`ModuliArena`]), handing out borrowed operand slices so
+//!   the scans allocate nothing per pair;
 //! * [`pairing`] — the paper's §VI group/block decomposition of the
 //!   `m(m−1)/2` pairs, with exact-coverage guarantees;
-//! * [`scan`] — the multithreaded CPU scan (rayon) and the same scan priced
-//!   on the simulated GPU, producing identical findings;
+//! * [`scan`] — the multithreaded CPU scan (rayon, worker-local scratch)
+//!   and the same scan priced on the simulated GPU with parallel launches,
+//!   producing identical findings;
 //! * [`batch`] — the product/remainder-tree **batch GCD** baseline
 //!   (the pre-existing attack the paper competes with);
 //! * [`pipeline`] — scan → factor → private-key recovery, end to end.
 
 #![warn(missing_docs)]
 
+pub mod arena;
 pub mod batch;
 pub mod block_launch;
 pub mod estimate;
@@ -21,10 +26,14 @@ pub mod pairing;
 pub mod pipeline;
 pub mod scan;
 
+pub use arena::ModuliArena;
 pub use batch::{batch_gcd, batch_gcd_parallel, ProductTree};
 pub use block_launch::{scan_gpu_blocks, BlockLaunchReport};
 pub use estimate::{estimate_full_scan, ScanEstimate};
 pub use incremental::CorpusIndex;
-pub use pairing::{BlockId, GroupedPairs};
+pub use pairing::{group_size_for, BlockId, GroupedPairs};
 pub use pipeline::{break_weak_keys, recover_keys, BreakReport, BrokenKey};
-pub use scan::{scan_cpu, scan_gpu_sim, Finding, ScanReport};
+pub use scan::{
+    combine_terminations, scan_block_into, scan_cpu, scan_cpu_arena, scan_gpu_sim,
+    scan_gpu_sim_arena, scan_gpu_sim_serial, Finding, ScanReport,
+};

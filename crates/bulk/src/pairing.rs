@@ -6,6 +6,23 @@
 //! strict upper triangle within the group. Together the `(m/r)²` blocks
 //! cover all `m(m−1)/2` unordered pairs exactly once.
 
+/// Pick the group size `r` for an `m`-modulus corpus: the largest power of
+/// two ≤ 64 (the paper's `r = 64` threads per block) that divides `m`,
+/// falling back to 1 for indivisible (e.g. prime) corpus sizes.
+///
+/// `m = 0` returns 1 — every `r` divides 0, but a degenerate corpus gets
+/// the degenerate decomposition, not 64 empty groups.
+pub fn group_size_for(m: usize) -> usize {
+    if m == 0 {
+        return 1;
+    }
+    (0..=6)
+        .rev()
+        .map(|k| 1usize << k)
+        .find(|r| m.is_multiple_of(*r))
+        .unwrap_or(1)
+}
+
 /// The group/block decomposition for `m` moduli in groups of `r`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct GroupedPairs {
@@ -29,7 +46,10 @@ impl GroupedPairs {
     /// a multiple of `r` if necessary, as a real launch would).
     pub fn new(m: usize, r: usize) -> Self {
         assert!(r >= 1, "group size must be positive");
-        assert!(m.is_multiple_of(r), "paper's decomposition needs r | m (pad the corpus)");
+        assert!(
+            m.is_multiple_of(r),
+            "paper's decomposition needs r | m (pad the corpus)"
+        );
         GroupedPairs { m, r }
     }
 
@@ -52,33 +72,44 @@ impl GroupedPairs {
     }
 
     /// The (global-index) pairs covered by thread `k` of block `b`, in the
-    /// order the paper's kernel visits them.
-    pub fn thread_pairs(&self, b: BlockId, k: usize) -> Vec<(usize, usize)> {
+    /// order the paper's kernel visits them — as a non-allocating iterator
+    /// (the scan hot loops enumerate pairs through this).
+    pub fn thread_pair_iter(&self, b: BlockId, k: usize) -> impl Iterator<Item = (usize, usize)> {
         assert!(k < self.r);
         let ik = b.i * self.r + k;
-        let mut out = Vec::new();
-        if b.i < b.j {
-            for u in 0..self.r {
-                out.push((ik, b.j * self.r + u));
-            }
+        let (base, range) = if b.i < b.j {
+            (b.j * self.r, 0..self.r)
         } else if b.i == b.j {
-            for u in k + 1..self.r {
-                out.push((ik, b.i * self.r + u));
-            }
-        }
-        out
+            (b.i * self.r, k + 1..self.r)
+        } else {
+            (0, 0..0) // blocks below the diagonal exit at once
+        };
+        range.map(move |u| (ik, base + u))
     }
 
-    /// All pairs covered by block `b` (all `r` threads).
+    /// The pairs of thread `k` of block `b`, collected (allocating
+    /// convenience over [`thread_pair_iter`](Self::thread_pair_iter)).
+    pub fn thread_pairs(&self, b: BlockId, k: usize) -> Vec<(usize, usize)> {
+        self.thread_pair_iter(b, k).collect()
+    }
+
+    /// All pairs covered by block `b` (all `r` threads), as a
+    /// non-allocating iterator.
+    pub fn block_pair_iter(&self, b: BlockId) -> impl Iterator<Item = (usize, usize)> {
+        let grid = *self;
+        (0..self.r).flat_map(move |k| grid.thread_pair_iter(b, k))
+    }
+
+    /// All pairs covered by block `b`, collected (allocating convenience
+    /// over [`block_pair_iter`](Self::block_pair_iter)).
     pub fn block_pairs(&self, b: BlockId) -> Vec<(usize, usize)> {
-        (0..self.r)
-            .flat_map(|k| self.thread_pairs(b, k))
-            .collect()
+        self.block_pair_iter(b).collect()
     }
 
     /// Every unordered pair, enumerated block by block (the §VI schedule).
     pub fn all_pairs(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
-        self.blocks().flat_map(move |b| self.block_pairs(b))
+        let grid = *self;
+        self.blocks().flat_map(move |b| grid.block_pair_iter(b))
     }
 }
 
@@ -144,5 +175,66 @@ mod tests {
     #[should_panic(expected = "r | m")]
     fn indivisible_m_rejected() {
         let _ = GroupedPairs::new(10, 3);
+    }
+
+    #[test]
+    fn group_size_degenerate_corpora() {
+        assert_eq!(group_size_for(0), 1);
+        assert_eq!(group_size_for(1), 1);
+    }
+
+    #[test]
+    fn group_size_prime_m_falls_back_to_one_or_two() {
+        // Odd primes share no factor with any power of two.
+        for m in [3usize, 7, 13, 97, 1009] {
+            assert_eq!(group_size_for(m), 1, "m={m}");
+        }
+        // 2 is prime but itself a power of two.
+        assert_eq!(group_size_for(2), 2);
+    }
+
+    #[test]
+    fn group_size_multiples_of_64_use_paper_r() {
+        for m in [64usize, 128, 192, 4096, 64 * 1000] {
+            assert_eq!(group_size_for(m), 64, "m={m}");
+        }
+    }
+
+    #[test]
+    fn group_size_is_largest_dividing_power_of_two() {
+        assert_eq!(group_size_for(96), 32); // 96 = 2^5 · 3
+        assert_eq!(group_size_for(12), 4);
+        assert_eq!(group_size_for(10), 2);
+        assert_eq!(group_size_for(6), 2);
+        for m in 1..200usize {
+            let r = group_size_for(m);
+            assert!(
+                r.is_power_of_two() && r <= 64 && m.is_multiple_of(r),
+                "m={m} r={r}"
+            );
+            // maximality among powers of two ≤ 64
+            for k in 0..=6 {
+                let cand = 1usize << k;
+                if cand > r {
+                    assert!(!m.is_multiple_of(cand), "m={m}: {cand} also divides");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pair_iterators_match_collected_forms() {
+        let g = GroupedPairs::new(12, 4);
+        for b in g.blocks() {
+            assert_eq!(g.block_pair_iter(b).collect::<Vec<_>>(), g.block_pairs(b));
+            for k in 0..g.r {
+                assert_eq!(
+                    g.thread_pair_iter(b, k).collect::<Vec<_>>(),
+                    g.thread_pairs(b, k)
+                );
+            }
+        }
+        // Below-diagonal blocks cover nothing.
+        assert_eq!(g.block_pair_iter(BlockId { i: 2, j: 0 }).count(), 0);
     }
 }

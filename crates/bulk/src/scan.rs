@@ -1,16 +1,23 @@
 //! All-pairs weak-key scans.
 //!
-//! * [`scan_cpu`] — the multithreaded host scan (rayon over §VI blocks,
-//!   one reusable [`GcdPair`] workspace per worker);
+//! * [`scan_cpu`] — the multithreaded host scan: rayon workers walk
+//!   contiguous runs of §VI blocks, each with one reusable
+//!   [`GcdPair`] workspace and one findings vector for its whole run, and
+//!   read operands straight out of a [`ModuliArena`] — zero per-pair heap
+//!   allocations in the steady state;
 //! * [`scan_gpu_sim`] — the same scan priced on the simulated GPU, batched
-//!   into kernel launches like the paper's runs.
+//!   into kernel launches like the paper's runs; launches are dispatched
+//!   across rayon workers and merged in launch order, so findings and
+//!   simulated seconds are identical to the serial reference
+//!   ([`scan_gpu_sim_serial`]).
 //!
 //! Both produce identical findings; only the clock differs.
 
-use crate::pairing::GroupedPairs;
-use bulkgcd_bigint::Nat;
-use bulkgcd_core::{run, Algorithm, GcdOutcome, GcdPair, NoProbe, Termination};
-use bulkgcd_gpu::{simulate_bulk_gcd, BulkGcdLaunch, CostModel, DeviceConfig};
+use crate::arena::ModuliArena;
+use crate::pairing::{group_size_for, BlockId, GroupedPairs};
+use bulkgcd_bigint::{Limb, Nat};
+use bulkgcd_core::{run_in_place, Algorithm, GcdOutcome, GcdPair, GcdStatus, NoProbe, Termination};
+use bulkgcd_gpu::{simulate_bulk_gcd, CostModel, DeviceConfig};
 use rayon::prelude::*;
 use std::time::{Duration, Instant};
 
@@ -39,19 +46,84 @@ pub struct ScanReport {
     pub simulated_seconds: Option<f64>,
 }
 
-fn termination_for(a: &Nat, b: &Nat, early: bool) -> Termination {
+#[inline]
+fn termination_for(arena: &ModuliArena, i: usize, j: usize, early: bool) -> Termination {
     if early {
         // s/2 where s is the modulus width: a shared prime has s/2 bits.
         Termination::Early {
-            threshold_bits: a.bit_len().min(b.bit_len()) / 2,
+            threshold_bits: arena.bit_len(i).min(arena.bit_len(j)) / 2,
         }
     } else {
         Termination::Full
     }
 }
 
+/// Fold per-pair termination settings into the single setting a simulated
+/// kernel launch applies to every lane.
+///
+/// The fold is conservative in both directions: any [`Termination::Full`]
+/// pair forces the whole launch to `Full` (an early threshold from some
+/// *other* pair must never cut a full run short), and a batch of
+/// [`Termination::Early`] pairs of mixed widths takes the **smallest**
+/// threshold (extra iterations for the wider pairs, never a missed factor).
+/// An empty batch gets `Full`.
+pub fn combine_terminations(terms: impl IntoIterator<Item = Termination>) -> Termination {
+    terms
+        .into_iter()
+        .reduce(|acc, t| match (acc, t) {
+            (
+                Termination::Early { threshold_bits: x },
+                Termination::Early { threshold_bits: y },
+            ) => Termination::Early {
+                threshold_bits: x.min(y),
+            },
+            // Full on either side wins: never narrow a Full pair.
+            (Termination::Full, _) | (_, Termination::Full) => Termination::Full,
+        })
+        .unwrap_or(Termination::Full)
+}
+
+/// Scan one §VI block of `grid` against `arena`, appending findings to
+/// `found`. `pair` is caller-provided scratch (reused across blocks by the
+/// scan workers); after warmup the loop performs **no heap allocations**
+/// except when a finding is actually pushed — the property the root
+/// crate's allocation-counting test pins down.
+pub fn scan_block_into(
+    arena: &ModuliArena,
+    grid: &GroupedPairs,
+    block: BlockId,
+    algo: Algorithm,
+    early: bool,
+    pair: &mut GcdPair,
+    found: &mut Vec<Finding>,
+) {
+    for (i, j) in grid.block_pair_iter(block) {
+        pair.load_from_limbs(arena.limbs(i), arena.limbs(j));
+        let term = termination_for(arena, i, j, early);
+        if run_in_place(algo, pair, term, &mut NoProbe) == GcdStatus::Done && !pair.gcd_is_one() {
+            found.push(Finding {
+                i,
+                j,
+                factor: pair.x_nat(),
+            });
+        }
+    }
+}
+
+fn empty_report(start: Instant, simulated: Option<f64>) -> ScanReport {
+    ScanReport {
+        findings: Vec::new(),
+        pairs_scanned: 0,
+        elapsed: start.elapsed(),
+        simulated_seconds: simulated,
+    }
+}
+
 /// Scan all pairs of `moduli` on the CPU with `algo`, using every rayon
 /// worker. `early` enables the §V early termination (recommended).
+///
+/// Packs the corpus into a [`ModuliArena`] first; use [`scan_cpu_arena`]
+/// to reuse an arena across scans.
 ///
 /// ```
 /// use bulkgcd_bigint::Nat;
@@ -70,40 +142,33 @@ fn termination_for(a: &Nat, b: &Nat, early: bool) -> Termination {
 /// assert_eq!(report.findings[0].factor, Nat::from_u64(101));
 /// ```
 pub fn scan_cpu(moduli: &[Nat], algo: Algorithm, early: bool) -> ScanReport {
+    let arena = ModuliArena::from_moduli(moduli);
+    scan_cpu_arena(&arena, algo, early)
+}
+
+/// [`scan_cpu`] over a pre-packed [`ModuliArena`].
+///
+/// Each rayon worker takes a contiguous run of §VI blocks with one
+/// [`GcdPair`] workspace and one findings vector for the whole run
+/// (worker-local scratch, not per-block), reading operands straight from
+/// the arena.
+pub fn scan_cpu_arena(arena: &ModuliArena, algo: Algorithm, early: bool) -> ScanReport {
     let start = Instant::now();
-    let m = moduli.len();
+    let m = arena.len();
     if m < 2 {
-        return ScanReport {
-            findings: Vec::new(),
-            pairs_scanned: 0,
-            elapsed: start.elapsed(),
-            simulated_seconds: None,
-        };
+        return empty_report(start, None);
     }
-    // Group size: the paper uses r = 64 threads per block; any r | m works.
-    // Use the largest power of two <= 64 dividing m, falling back to 1.
-    let r = (0..=6)
-        .rev()
-        .map(|k| 1usize << k)
-        .find(|r| m.is_multiple_of(*r))
-        .unwrap_or(1);
-    let grid = GroupedPairs::new(m, r);
-    let blocks: Vec<_> = grid.blocks().collect();
+    let grid = GroupedPairs::new(m, group_size_for(m));
+    let blocks: Vec<BlockId> = grid.blocks().collect();
+    let workers = rayon::current_num_threads().max(1);
+    let run_len = blocks.len().div_ceil(workers).max(1);
     let mut findings: Vec<Finding> = blocks
-        .par_iter()
-        .map(|&b| {
-            // One reusable workspace per block task (worker-local reuse).
-            let mut pair = GcdPair::with_capacity(1);
+        .par_chunks(run_len)
+        .map(|run| {
+            let mut pair = GcdPair::with_capacity(arena.stride());
             let mut found = Vec::new();
-            for (i, j) in grid.block_pairs(b) {
-                let (a, c) = (&moduli[i], &moduli[j]);
-                pair.load(a, c);
-                let term = termination_for(a, c, early);
-                if let GcdOutcome::Gcd(g) = run(algo, &mut pair, term, &mut NoProbe) {
-                    if !g.is_one() {
-                        found.push(Finding { i, j, factor: g });
-                    }
-                }
+            for &b in run {
+                scan_block_into(arena, &grid, b, algo, early, &mut pair, &mut found);
             }
             found
         })
@@ -118,90 +183,53 @@ pub fn scan_cpu(moduli: &[Nat], algo: Algorithm, early: bool) -> ScanReport {
     }
 }
 
-/// Scan all pairs of `moduli` on the simulated GPU.
-///
-/// Pairs are enumerated in the §VI block order and submitted in launches of
-/// `launch_pairs` lanes (bounded memory). Findings are exact; the simulated
-/// seconds accumulate across launches.
-pub fn scan_gpu_sim(
-    moduli: &[Nat],
+/// Simulate one kernel launch over the index pairs in `lanes`, borrowing
+/// operands from the arena. Returns the launch's findings (in lane order)
+/// and its simulated seconds.
+fn simulate_launch(
+    arena: &ModuliArena,
+    lanes: &[(usize, usize)],
     algo: Algorithm,
     early: bool,
     device: &DeviceConfig,
     cost: &CostModel,
-    launch_pairs: usize,
-) -> ScanReport {
-    let start = Instant::now();
-    let m = moduli.len();
-    if m < 2 {
-        return ScanReport {
-            findings: Vec::new(),
-            pairs_scanned: 0,
-            elapsed: start.elapsed(),
-            simulated_seconds: Some(0.0),
-        };
-    }
-    let r = (0..=6)
-        .rev()
-        .map(|k| 1usize << k)
-        .find(|r| m.is_multiple_of(*r))
-        .unwrap_or(1);
-    let grid = GroupedPairs::new(m, r);
-    let early_term = |a: &Nat, b: &Nat| termination_for(a, b, early);
-
-    let mut findings = Vec::new();
-    let mut simulated = 0f64;
-    let mut batch_idx: Vec<(usize, usize)> = Vec::with_capacity(launch_pairs);
-    let mut batch: Vec<(Nat, Nat)> = Vec::with_capacity(launch_pairs);
-    let flush = |batch_idx: &mut Vec<(usize, usize)>,
-                     batch: &mut Vec<(Nat, Nat)>,
-                     findings: &mut Vec<Finding>,
-                     simulated: &mut f64| {
-        if batch.is_empty() {
-            return;
-        }
-        // One termination setting per launch: take the *smallest* per-pair
-        // threshold so a mixed-width batch can never stop before a pair's
-        // own shared-prime size (conservative: extra iterations for the
-        // wider pairs, never a missed factor).
-        let term = batch
+) -> (Vec<Finding>, f64) {
+    let term = combine_terminations(
+        lanes
             .iter()
-            .map(|(a, b)| early_term(a, b))
-            .reduce(|acc, t| match (acc, t) {
-                (
-                    Termination::Early { threshold_bits: x },
-                    Termination::Early { threshold_bits: y },
-                ) => Termination::Early {
-                    threshold_bits: x.min(y),
-                },
-                _ => Termination::Full,
-            })
-            .unwrap_or(Termination::Full);
-        let launch: BulkGcdLaunch = simulate_bulk_gcd(device, cost, algo, batch, term);
-        *simulated += launch.report.seconds;
-        for ((i, j), out) in batch_idx.iter().zip(&launch.outcomes) {
-            if let GcdOutcome::Gcd(g) = out {
-                if !g.is_one() {
-                    findings.push(Finding {
-                        i: *i,
-                        j: *j,
-                        factor: g.clone(),
-                    });
-                }
+            .map(|&(i, j)| termination_for(arena, i, j, early)),
+    );
+    let inputs: Vec<(&[Limb], &[Limb])> = lanes
+        .iter()
+        .map(|&(i, j)| (arena.limbs(i), arena.limbs(j)))
+        .collect();
+    let launch = simulate_bulk_gcd(device, cost, algo, &inputs, term);
+    let mut found = Vec::new();
+    for (&(i, j), out) in lanes.iter().zip(&launch.outcomes) {
+        if let GcdOutcome::Gcd(g) = out {
+            if !g.is_one() {
+                found.push(Finding {
+                    i,
+                    j,
+                    factor: g.clone(),
+                });
             }
         }
-        batch_idx.clear();
-        batch.clear();
-    };
-
-    for (i, j) in grid.all_pairs() {
-        batch_idx.push((i, j));
-        batch.push((moduli[i].clone(), moduli[j].clone()));
-        if batch.len() == launch_pairs {
-            flush(&mut batch_idx, &mut batch, &mut findings, &mut simulated);
-        }
     }
-    flush(&mut batch_idx, &mut batch, &mut findings, &mut simulated);
+    (found, launch.report.seconds)
+}
+
+fn merge_launches(
+    start: Instant,
+    grid: &GroupedPairs,
+    results: Vec<(Vec<Finding>, f64)>,
+) -> ScanReport {
+    let mut findings = Vec::new();
+    let mut simulated = 0f64;
+    for (found, seconds) in results {
+        findings.extend(found);
+        simulated += seconds;
+    }
     findings.sort_by_key(|f| (f.i, f.j));
     ScanReport {
         findings,
@@ -211,17 +239,83 @@ pub fn scan_gpu_sim(
     }
 }
 
+/// Scan all pairs of `moduli` on the simulated GPU.
+///
+/// Pairs are enumerated in the §VI block order and submitted in launches of
+/// `launch_pairs` lanes (bounded memory), borrowed from a [`ModuliArena`]
+/// without cloning. Launches run concurrently across rayon workers; the
+/// merge is in launch order, so findings and summed simulated seconds are
+/// identical to [`scan_gpu_sim_serial`]. Findings are exact.
+pub fn scan_gpu_sim(
+    moduli: &[Nat],
+    algo: Algorithm,
+    early: bool,
+    device: &DeviceConfig,
+    cost: &CostModel,
+    launch_pairs: usize,
+) -> ScanReport {
+    let arena = ModuliArena::from_moduli(moduli);
+    scan_gpu_sim_arena(&arena, algo, early, device, cost, launch_pairs)
+}
+
+/// [`scan_gpu_sim`] over a pre-packed [`ModuliArena`].
+pub fn scan_gpu_sim_arena(
+    arena: &ModuliArena,
+    algo: Algorithm,
+    early: bool,
+    device: &DeviceConfig,
+    cost: &CostModel,
+    launch_pairs: usize,
+) -> ScanReport {
+    let start = Instant::now();
+    if arena.len() < 2 {
+        return empty_report(start, Some(0.0));
+    }
+    let grid = GroupedPairs::new(arena.len(), group_size_for(arena.len()));
+    let all: Vec<(usize, usize)> = grid.all_pairs().collect();
+    let results: Vec<(Vec<Finding>, f64)> = all
+        .par_chunks(launch_pairs.max(1))
+        .map(|lanes| simulate_launch(arena, lanes, algo, early, device, cost))
+        .collect();
+    merge_launches(start, &grid, results)
+}
+
+/// Serial reference for [`scan_gpu_sim`]: same launches, same order, one
+/// after another on the calling thread. The parallel scan must match this
+/// byte for byte (findings) and launch for launch (simulated seconds are
+/// summed in the same order, so even the floating-point sum is identical).
+pub fn scan_gpu_sim_serial(
+    moduli: &[Nat],
+    algo: Algorithm,
+    early: bool,
+    device: &DeviceConfig,
+    cost: &CostModel,
+    launch_pairs: usize,
+) -> ScanReport {
+    let start = Instant::now();
+    let arena = ModuliArena::from_moduli(moduli);
+    if arena.len() < 2 {
+        return empty_report(start, Some(0.0));
+    }
+    let grid = GroupedPairs::new(arena.len(), group_size_for(arena.len()));
+    let all: Vec<(usize, usize)> = grid.all_pairs().collect();
+    let results: Vec<(Vec<Finding>, f64)> = all
+        .chunks(launch_pairs.max(1))
+        .map(|lanes| simulate_launch(&arena, lanes, algo, early, device, cost))
+        .collect();
+    merge_launches(start, &grid, results)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use bulkgcd_bigint::prime::random_prime;
+    use bulkgcd_bigint::random::random_odd_bits;
     use bulkgcd_rsa::build_corpus;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
-    fn check_findings_match_ground_truth(
-        findings: &[Finding],
-        corpus: &bulkgcd_rsa::Corpus,
-    ) {
+    fn check_findings_match_ground_truth(findings: &[Finding], corpus: &bulkgcd_rsa::Corpus) {
         assert_eq!(findings.len(), corpus.shared.len());
         for (f, (i, j, p)) in findings.iter().zip(&corpus.shared) {
             assert_eq!((f.i, f.j), (*i, *j));
@@ -272,6 +366,95 @@ mod tests {
     }
 
     #[test]
+    fn parallel_gpu_sim_matches_serial_reference() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let corpus = build_corpus(&mut rng, 12, 128, 3);
+        let moduli = corpus.moduli();
+        let device = DeviceConfig::gtx_780_ti();
+        let cost = CostModel::default();
+        for launch_pairs in [1usize, 7, 32, 1000] {
+            let par = scan_gpu_sim(
+                &moduli,
+                Algorithm::Approximate,
+                true,
+                &device,
+                &cost,
+                launch_pairs,
+            );
+            let ser = scan_gpu_sim_serial(
+                &moduli,
+                Algorithm::Approximate,
+                true,
+                &device,
+                &cost,
+                launch_pairs,
+            );
+            assert_eq!(par.findings, ser.findings, "launch_pairs={launch_pairs}");
+            assert_eq!(par.pairs_scanned, ser.pairs_scanned);
+            let (ps, ss) = (
+                par.simulated_seconds.unwrap(),
+                ser.simulated_seconds.unwrap(),
+            );
+            assert!(
+                (ps - ss).abs() <= 1e-12 * ss.max(1.0),
+                "launch_pairs={launch_pairs}: parallel {ps} vs serial {ss}"
+            );
+        }
+    }
+
+    #[test]
+    fn combine_terminations_folds_conservatively() {
+        let e = |bits| Termination::Early {
+            threshold_bits: bits,
+        };
+        // Mixed widths: smallest threshold wins.
+        assert_eq!(combine_terminations([e(64), e(48), e(64)]), e(48));
+        // Any Full pair pins the whole launch to Full, in either fold order.
+        assert_eq!(
+            combine_terminations([e(64), Termination::Full, e(48)]),
+            Termination::Full
+        );
+        assert_eq!(
+            combine_terminations([Termination::Full, e(64)]),
+            Termination::Full
+        );
+        assert_eq!(
+            combine_terminations([e(64), Termination::Full]),
+            Termination::Full
+        );
+        // Degenerate batches.
+        assert_eq!(combine_terminations([]), Termination::Full);
+        assert_eq!(combine_terminations([Termination::Full]), Termination::Full);
+        assert_eq!(combine_terminations([e(10)]), e(10));
+    }
+
+    #[test]
+    fn mixed_width_batch_still_finds_shared_factor() {
+        // Regression for the per-launch termination fold: a batch mixing
+        // modulus widths must take the narrowest pair's threshold, so the
+        // wide pair's shared factor survives early termination.
+        let mut rng = StdRng::seed_from_u64(8);
+        let p = random_prime(&mut rng, 64);
+        let wide_a = p.mul(&random_prime(&mut rng, 64)); // 128-bit, shares p
+        let wide_b = p.mul(&random_prime(&mut rng, 64));
+        let moduli = vec![
+            wide_a,
+            random_odd_bits(&mut rng, 96), // narrower lanes in the same launch
+            random_odd_bits(&mut rng, 96),
+            wide_b,
+        ];
+        let device = DeviceConfig::gtx_780_ti();
+        let cost = CostModel::default();
+        // One launch covering all pairs (launch_pairs > m(m-1)/2).
+        let gpu = scan_gpu_sim(&moduli, Algorithm::Approximate, true, &device, &cost, 64);
+        let cpu = scan_cpu(&moduli, Algorithm::Approximate, true);
+        assert_eq!(gpu.findings, cpu.findings);
+        assert_eq!(gpu.findings.len(), 1);
+        assert_eq!((gpu.findings[0].i, gpu.findings[0].j), (0, 3));
+        assert_eq!(gpu.findings[0].factor, p);
+    }
+
+    #[test]
     fn clean_corpus_yields_no_findings() {
         let mut rng = StdRng::seed_from_u64(4);
         let corpus = build_corpus(&mut rng, 8, 96, 0);
@@ -294,5 +477,17 @@ mod tests {
         let rep = scan_cpu(&corpus.moduli(), Algorithm::Approximate, true);
         assert_eq!(rep.pairs_scanned, 21);
         check_findings_match_ground_truth(&rep.findings, &corpus);
+    }
+
+    #[test]
+    fn arena_scan_matches_slice_scan() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let corpus = build_corpus(&mut rng, 8, 128, 2);
+        let moduli = corpus.moduli();
+        let arena = ModuliArena::from_moduli(&moduli);
+        let via_arena = scan_cpu_arena(&arena, Algorithm::Approximate, true);
+        let via_slice = scan_cpu(&moduli, Algorithm::Approximate, true);
+        assert_eq!(via_arena.findings, via_slice.findings);
+        assert_eq!(via_arena.pairs_scanned, via_slice.pairs_scanned);
     }
 }

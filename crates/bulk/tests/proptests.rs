@@ -14,9 +14,8 @@ const SMALL_PRIMES: &[u32] = &[
 ];
 
 fn composite() -> impl Strategy<Value = Nat> {
-    (0..SMALL_PRIMES.len(), 0..SMALL_PRIMES.len()).prop_map(|(i, j)| {
-        Nat::from(SMALL_PRIMES[i]).mul(&Nat::from(SMALL_PRIMES[j]))
-    })
+    (0..SMALL_PRIMES.len(), 0..SMALL_PRIMES.len())
+        .prop_map(|(i, j)| Nat::from(SMALL_PRIMES[i]).mul(&Nat::from(SMALL_PRIMES[j])))
 }
 
 proptest! {

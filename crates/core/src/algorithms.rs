@@ -58,6 +58,22 @@ impl GcdOutcome {
     }
 }
 
+/// Result of a GCD run that leaves its answer *in the workspace* instead of
+/// allocating — the bulk-scan hot-loop counterpart of [`GcdOutcome`].
+///
+/// After [`run_in_place`] returns [`GcdStatus::Done`], `X` holds the GCD:
+/// inspect it with [`GcdPair::gcd_is_one`] / [`GcdPair::x`], or extract it
+/// with [`GcdPair::write_gcd_into`] (borrowed) or [`GcdPair::x_nat`]
+/// (allocating, for the rare finding that must outlive the workspace).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GcdStatus {
+    /// `Y` reached zero: `X` holds the GCD.
+    Done,
+    /// Early termination fired: the inputs share no factor of at least
+    /// `threshold_bits` bits (for RSA moduli: they are coprime).
+    EarlyCoprime,
+}
+
 /// Identifier for the five variants, in the paper's (A)–(E) order.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Algorithm {
@@ -106,26 +122,43 @@ impl Algorithm {
     }
 
     /// Run this variant on a loaded pair. See [`run`].
-    pub fn run<P: Probe>(&self, pair: &mut GcdPair, term: Termination, probe: &mut P) -> GcdOutcome {
+    pub fn run<P: Probe>(
+        &self,
+        pair: &mut GcdPair,
+        term: Termination,
+        probe: &mut P,
+    ) -> GcdOutcome {
         run(*self, pair, term, probe)
     }
 }
 
 #[inline]
-fn finished(pair: &GcdPair, term: Termination) -> Option<GcdOutcome> {
+fn finished(pair: &GcdPair, term: Termination) -> Option<GcdStatus> {
     if pair.y_is_zero() {
-        return Some(GcdOutcome::Gcd(pair.x_nat()));
+        return Some(GcdStatus::Done);
     }
     if let Termination::Early { threshold_bits } = term {
         if pair.y_bits() < threshold_bits {
-            return Some(GcdOutcome::Coprime);
+            return Some(GcdStatus::EarlyCoprime);
         }
     }
     None
 }
 
+#[inline]
+fn status_to_outcome(status: GcdStatus, pair: &GcdPair) -> GcdOutcome {
+    match status {
+        GcdStatus::Done => GcdOutcome::Gcd(pair.x_nat()),
+        GcdStatus::EarlyCoprime => GcdOutcome::Coprime,
+    }
+}
+
 /// (A) Original Euclidean algorithm: `X ← X mod Y; swap(X, Y)`.
-pub fn original_euclid<P: Probe>(pair: &mut GcdPair, term: Termination, probe: &mut P) -> GcdOutcome {
+fn original_euclid_loop<P: Probe>(
+    pair: &mut GcdPair,
+    term: Termination,
+    probe: &mut P,
+) -> GcdStatus {
     loop {
         if let Some(out) = finished(pair, term) {
             return out;
@@ -151,7 +184,7 @@ pub fn original_euclid<P: Probe>(pair: &mut GcdPair, term: Termination, probe: &
 
 /// (B) Fast Euclidean algorithm: exact quotient forced odd, then
 /// `X ← rshift(X − Q·Y)`.
-pub fn fast_euclid<P: Probe>(pair: &mut GcdPair, term: Termination, probe: &mut P) -> GcdOutcome {
+fn fast_euclid_loop<P: Probe>(pair: &mut GcdPair, term: Termination, probe: &mut P) -> GcdStatus {
     loop {
         if let Some(out) = finished(pair, term) {
             return out;
@@ -182,7 +215,7 @@ pub fn fast_euclid<P: Probe>(pair: &mut GcdPair, term: Termination, probe: &mut 
 
 /// (C) Binary Euclidean algorithm: halve whichever operand is even, else
 /// `X ← (X − Y)/2`.
-pub fn binary_euclid<P: Probe>(pair: &mut GcdPair, term: Termination, probe: &mut P) -> GcdOutcome {
+fn binary_euclid_loop<P: Probe>(pair: &mut GcdPair, term: Termination, probe: &mut P) -> GcdStatus {
     loop {
         if let Some(out) = finished(pair, term) {
             return out;
@@ -216,11 +249,11 @@ pub fn binary_euclid<P: Probe>(pair: &mut GcdPair, term: Termination, probe: &mu
 }
 
 /// (D) Fast Binary Euclidean algorithm: `X ← rshift(X − Y)`.
-pub fn fast_binary_euclid<P: Probe>(
+fn fast_binary_euclid_loop<P: Probe>(
     pair: &mut GcdPair,
     term: Termination,
     probe: &mut P,
-) -> GcdOutcome {
+) -> GcdStatus {
     loop {
         if let Some(out) = finished(pair, term) {
             return out;
@@ -250,11 +283,11 @@ pub fn fast_binary_euclid<P: Probe>(
 /// one 64-bit division; with β = 0 (overwhelmingly likely, §V) it performs
 /// the fused `X ← rshift(X − α·Y)` with α forced odd, otherwise the rare
 /// `X ← rshift(X − Y·α·D^β + Y)`.
-pub fn approximate_euclid<P: Probe>(
+fn approximate_euclid_loop<P: Probe>(
     pair: &mut GcdPair,
     term: Termination,
     probe: &mut P,
-) -> GcdOutcome {
+) -> GcdStatus {
     loop {
         if let Some(out) = finished(pair, term) {
             return out;
@@ -302,21 +335,81 @@ pub fn approximate_euclid<P: Probe>(
     }
 }
 
+/// (A) Original Euclidean algorithm: `X ← X mod Y; swap(X, Y)`.
+pub fn original_euclid<P: Probe>(
+    pair: &mut GcdPair,
+    term: Termination,
+    probe: &mut P,
+) -> GcdOutcome {
+    let status = original_euclid_loop(pair, term, probe);
+    status_to_outcome(status, pair)
+}
+
+/// (B) Fast Euclidean algorithm: exact quotient forced odd, then
+/// `X ← rshift(X − Q·Y)`.
+pub fn fast_euclid<P: Probe>(pair: &mut GcdPair, term: Termination, probe: &mut P) -> GcdOutcome {
+    let status = fast_euclid_loop(pair, term, probe);
+    status_to_outcome(status, pair)
+}
+
+/// (C) Binary Euclidean algorithm: halve whichever operand is even, else
+/// `X ← (X − Y)/2`.
+pub fn binary_euclid<P: Probe>(pair: &mut GcdPair, term: Termination, probe: &mut P) -> GcdOutcome {
+    let status = binary_euclid_loop(pair, term, probe);
+    status_to_outcome(status, pair)
+}
+
+/// (D) Fast Binary Euclidean algorithm: `X ← rshift(X − Y)`.
+pub fn fast_binary_euclid<P: Probe>(
+    pair: &mut GcdPair,
+    term: Termination,
+    probe: &mut P,
+) -> GcdOutcome {
+    let status = fast_binary_euclid_loop(pair, term, probe);
+    status_to_outcome(status, pair)
+}
+
+/// (E) Approximate Euclidean algorithm — the paper's contribution (§III).
+pub fn approximate_euclid<P: Probe>(
+    pair: &mut GcdPair,
+    term: Termination,
+    probe: &mut P,
+) -> GcdOutcome {
+    let status = approximate_euclid_loop(pair, term, probe);
+    status_to_outcome(status, pair)
+}
+
+/// Run `algo` on a loaded pair without allocating for the result: the
+/// bulk-scan hot-loop entry point (inputs must be odd, as everywhere).
+///
+/// On [`GcdStatus::Done`] the GCD is left in the pair's `X` buffer; check
+/// [`GcdPair::gcd_is_one`] and, for the rare finding, extract it with
+/// [`GcdPair::x_nat`] or copy it out with [`GcdPair::write_gcd_into`].
+pub fn run_in_place<P: Probe>(
+    algo: Algorithm,
+    pair: &mut GcdPair,
+    term: Termination,
+    probe: &mut P,
+) -> GcdStatus {
+    match algo {
+        Algorithm::Original => original_euclid_loop(pair, term, probe),
+        Algorithm::Fast => fast_euclid_loop(pair, term, probe),
+        Algorithm::Binary => binary_euclid_loop(pair, term, probe),
+        Algorithm::FastBinary => fast_binary_euclid_loop(pair, term, probe),
+        Algorithm::Approximate => approximate_euclid_loop(pair, term, probe),
+    }
+}
+
 /// Run `algo` on a loaded pair (inputs must be odd; use [`gcd_nat`] for
-/// arbitrary inputs).
+/// arbitrary inputs). Allocating wrapper over [`run_in_place`].
 pub fn run<P: Probe>(
     algo: Algorithm,
     pair: &mut GcdPair,
     term: Termination,
     probe: &mut P,
 ) -> GcdOutcome {
-    match algo {
-        Algorithm::Original => original_euclid(pair, term, probe),
-        Algorithm::Fast => fast_euclid(pair, term, probe),
-        Algorithm::Binary => binary_euclid(pair, term, probe),
-        Algorithm::FastBinary => fast_binary_euclid(pair, term, probe),
-        Algorithm::Approximate => approximate_euclid(pair, term, probe),
-    }
+    let status = run_in_place(algo, pair, term, probe);
+    status_to_outcome(status, pair)
 }
 
 /// General-input GCD with any of the five variants.
@@ -488,6 +581,52 @@ mod tests {
             approximate < fast_binary,
             "approximate {approximate} >= fast binary {fast_binary}"
         );
+    }
+
+    #[test]
+    fn run_in_place_leaves_gcd_in_x() {
+        let p = 0xffff_fffbu128;
+        let a = nat(p * 4_294_967_311);
+        let b = nat(p * 4_294_967_357);
+        for algo in Algorithm::ALL {
+            let mut pair = GcdPair::new(&a, &b);
+            let status = run_in_place(algo, &mut pair, Termination::Full, &mut NoProbe);
+            assert_eq!(status, GcdStatus::Done, "{}", algo.name());
+            assert!(!pair.gcd_is_one(), "{}", algo.name());
+            assert_eq!(pair.x_nat(), nat(p), "{}", algo.name());
+            let mut dest = [0u32; 4];
+            let used = pair.write_gcd_into(&mut dest);
+            assert_eq!(used, 1);
+            assert_eq!(Nat::from_limb_slice(&dest), nat(p), "{}", algo.name());
+        }
+    }
+
+    #[test]
+    fn run_in_place_early_coprime() {
+        let a = nat(0xffff_ffff_ffff_fff1);
+        let b = nat(0xffff_ffff_ffff_fceb);
+        for algo in Algorithm::ALL {
+            let mut pair = GcdPair::new(&a, &b);
+            let status = run_in_place(
+                algo,
+                &mut pair,
+                Termination::Early { threshold_bits: 32 },
+                &mut NoProbe,
+            );
+            assert_eq!(status, GcdStatus::EarlyCoprime, "{}", algo.name());
+        }
+    }
+
+    #[test]
+    fn run_in_place_coprime_full_run_reports_gcd_one() {
+        let a = nat((1 << 89) - 1);
+        let b = nat((1 << 61) - 1);
+        for algo in Algorithm::ALL {
+            let mut pair = GcdPair::new(&a, &b);
+            let status = run_in_place(algo, &mut pair, Termination::Full, &mut NoProbe);
+            assert_eq!(status, GcdStatus::Done, "{}", algo.name());
+            assert!(pair.gcd_is_one(), "{}", algo.name());
+        }
     }
 
     #[test]

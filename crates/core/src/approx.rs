@@ -306,7 +306,7 @@ mod tests {
     fn every_case_reachable_at_d32() {
         use bulkgcd_bigint::Nat;
         let limbs = |v: &[u32]| Nat::from_limbs(v); // little-endian
-        // (X limbs, Y limbs, expected case), most significant last.
+                                                    // (X limbs, Y limbs, expected case), most significant last.
         let cases: Vec<(Vec<u32>, Vec<u32>, ApproxCase)> = vec![
             // Case 1: lX <= 2.
             (vec![5, 9], vec![3], ApproxCase::Case1),

@@ -12,9 +12,9 @@
 //! obliviousness on SIMT hardware — Lehmer's inner loop is wildly
 //! divergent).
 
+use crate::algorithms::{GcdOutcome, Termination};
 use crate::operand::GcdPair;
 use crate::probe::{Probe, Step, StepKind};
-use crate::algorithms::{GcdOutcome, Termination};
 use bulkgcd_bigint::Nat;
 
 /// Largest coefficient magnitude allowed in the cosequence; staying below

@@ -44,8 +44,8 @@ pub mod operand;
 pub mod probe;
 pub mod smallword;
 
-pub use algorithms::{gcd_nat, run, Algorithm, GcdOutcome, Termination};
-pub use lehmer::{lehmer_euclid, lehmer_gcd_nat};
+pub use algorithms::{gcd_nat, run, run_in_place, Algorithm, GcdOutcome, GcdStatus, Termination};
 pub use approx::{approx, Approx, ApproxCase};
+pub use lehmer::{lehmer_euclid, lehmer_gcd_nat};
 pub use operand::GcdPair;
 pub use probe::{NoProbe, Probe, RunStats, StatsProbe, Step, StepKind, TraceProbe};

@@ -34,6 +34,9 @@ pub struct GcdPair {
     /// changes which global array a thread scans, which is one source of
     /// the "semi"-obliviousness of §VI.
     x_is_buffer_a: bool,
+    /// Reusable workspace for the rare β > 0 update, so the steady-state
+    /// bulk hot loop performs no heap allocation per pair.
+    scratch: Vec<Limb>,
 }
 
 impl GcdPair {
@@ -45,6 +48,7 @@ impl GcdPair {
             lx: 0,
             ly: 0,
             x_is_buffer_a: true,
+            scratch: Vec::new(),
         }
     }
 
@@ -57,22 +61,32 @@ impl GcdPair {
     /// value in `X`. The buffers are fully reused across calls (bulk
     /// execution reuses one workspace per thread).
     pub fn load(&mut self, a: &Nat, b: &Nat) {
-        let need = a.len().max(b.len()).max(1);
+        self.load_from_limbs(a.as_limbs(), b.as_limbs());
+    }
+
+    /// Load two values from raw little-endian limb slices, e.g. fixed-stride
+    /// rows of a moduli arena. The slices may carry high zero padding (they
+    /// are normalized here); nothing is allocated unless the operands exceed
+    /// the current buffer capacity.
+    pub fn load_from_limbs(&mut self, a: &[Limb], b: &[Limb]) {
+        let la = ops::normalized_len(a);
+        let lb = ops::normalized_len(b);
+        let (hi, lhi, lo, llo) = if ops::cmp(&a[..la], &b[..lb]) == core::cmp::Ordering::Less {
+            (b, lb, a, la)
+        } else {
+            (a, la, b, lb)
+        };
+        let need = lhi.max(1);
         if self.x.len() < need {
             self.x.resize(need, 0);
             self.y.resize(need, 0);
         }
-        let (hi, lo) = if a.cmp(b) == core::cmp::Ordering::Less {
-            (b, a)
-        } else {
-            (a, b)
-        };
         self.x.fill(0);
         self.y.fill(0);
-        self.x[..hi.len()].copy_from_slice(hi.limbs());
-        self.y[..lo.len()].copy_from_slice(lo.limbs());
-        self.lx = hi.len();
-        self.ly = lo.len();
+        self.x[..lhi].copy_from_slice(&hi[..lhi]);
+        self.y[..llo].copy_from_slice(&lo[..llo]);
+        self.lx = lhi;
+        self.ly = llo;
         self.x_is_buffer_a = true;
     }
 
@@ -110,6 +124,30 @@ impl GcdPair {
     /// `X` as an owned `Nat`.
     pub fn x_nat(&self) -> Nat {
         Nat::from_limbs(self.x())
+    }
+
+    /// Non-allocating outcome path: copy the GCD (held in `X` once a full
+    /// run drove `Y` to zero) into `dest`, zeroing the remainder of `dest`.
+    /// Returns the number of significant limbs written.
+    ///
+    /// Panics if `dest` is shorter than the GCD.
+    pub fn write_gcd_into(&self, dest: &mut [Limb]) -> usize {
+        assert!(
+            dest.len() >= self.lx,
+            "write_gcd_into: destination holds {} limbs, gcd needs {}",
+            dest.len(),
+            self.lx
+        );
+        dest[..self.lx].copy_from_slice(self.x());
+        dest[self.lx..].fill(0);
+        self.lx
+    }
+
+    /// True when `X == 1` — after a full run, "the pair is coprime" —
+    /// answerable from the length register and one word (no allocation).
+    #[inline]
+    pub fn gcd_is_one(&self) -> bool {
+        self.lx == 1 && self.x[0] == 1
     }
 
     /// `Y` as an owned `Nat`.
@@ -222,7 +260,10 @@ impl GcdPair {
     /// Euclid β = 0 update, fused single pass per §IV).
     /// Returns the number of bits stripped.
     pub fn x_submul_rshift(&mut self, alpha: Limb) -> u64 {
-        debug_assert!(alpha & 1 == 1, "alpha must be odd so the difference is even");
+        debug_assert!(
+            alpha & 1 == 1,
+            "alpha must be odd so the difference is even"
+        );
         let (lx, r) = ops::fused_submul_rshift(&mut self.x[..self.lx], &self.y[..self.ly], alpha);
         self.lx = lx;
         r
@@ -234,15 +275,21 @@ impl GcdPair {
     /// that way in the probes regardless of the internal pass structure.
     pub fn x_submul_shifted_rshift(&mut self, alpha: Limb, beta: usize) -> u64 {
         debug_assert!(beta > 0);
-        // t = α·Y << (32β)
-        let mut t = vec![0; self.ly + beta + 1];
+        // t = α·Y << (32β), built in the reusable scratch buffer (the bulk
+        // hot loop must not allocate per pair).
+        let tn = self.ly + beta + 1;
+        if self.scratch.len() < tn {
+            self.scratch.resize(tn, 0);
+        }
+        let t = &mut self.scratch[..tn];
+        t.fill(0);
         let carry =
             bulkgcd_bigint::mul::mul_limb(&mut t[beta..beta + self.ly], &self.y[..self.ly], alpha);
         t[beta + self.ly] = carry;
         // t -= Y  (α·D^β ≥ 2 so t > Y)
-        let borrow = ops::sub_assign(&mut t, &self.y[..self.ly]);
+        let borrow = ops::sub_assign(t, &self.y[..self.ly]);
         debug_assert_eq!(borrow, 0);
-        let tn = ops::normalized_len(&t);
+        let tn = ops::normalized_len(t);
         // X -= t
         let borrow = ops::sub_assign(&mut self.x[..self.lx], &t[..tn]);
         debug_assert_eq!(borrow, 0, "approx guarantees alpha*D^beta <= X div Y");

@@ -11,8 +11,8 @@
 //! 2. acting as an independent oracle: with `d = 32` its iteration traces
 //!    must agree with the optimized multiword implementation.
 
-use crate::approx::ApproxCase;
 use crate::algorithms::Algorithm;
+use crate::approx::ApproxCase;
 
 /// One recorded iteration of a small-word run.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -122,7 +122,10 @@ pub fn approx_smallword(x: u128, y: u128, d: u32) -> (u128, u32, ApproxCase) {
 /// Run `algo` on odd inputs `(x, y)` with word size `d`, recording each
 /// iteration. `d` only affects the Approximate variant.
 pub fn trace(algo: Algorithm, x: u128, y: u128, d: u32) -> SwTrace {
-    assert!(x & 1 == 1 && y & 1 == 1, "small-word runner expects odd inputs");
+    assert!(
+        x & 1 == 1 && y & 1 == 1,
+        "small-word runner expects odd inputs"
+    );
     let (mut x, mut y) = if x >= y { (x, y) } else { (y, x) };
     let mut rows = Vec::new();
     let mut iter = 0u32;
@@ -308,7 +311,10 @@ mod tests {
         // Case 4-A: X = 54321, Y = 1234 -> (2, 1).
         assert_eq!(approx_smallword(54321, 1234, 4), (2, 1, ApproxCase::Case4A));
         // Case 4-B: X = 54321, Y = 4000 -> (13, 0).
-        assert_eq!(approx_smallword(54321, 4000, 4), (13, 0, ApproxCase::Case4B));
+        assert_eq!(
+            approx_smallword(54321, 4000, 4),
+            (13, 0, ApproxCase::Case4B)
+        );
         // §III intro example: X = 55555, Y = 1234 -> (2, 1).
         assert_eq!(approx_smallword(55555, 1234, 4), (2, 1, ApproxCase::Case4A));
     }

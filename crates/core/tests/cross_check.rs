@@ -180,7 +180,12 @@ fn beta_nonzero_extremely_rare() {
         let b = random_odd_bits(&mut rng, 512);
         let mut pair = GcdPair::new(&a, &b);
         let mut sp = StatsProbe::default();
-        run(Algorithm::Approximate, &mut pair, Termination::Full, &mut sp);
+        run(
+            Algorithm::Approximate,
+            &mut pair,
+            Termination::Full,
+            &mut sp,
+        );
         iters += sp.stats.iterations;
         beta_nonzero += sp.stats.beta_nonzero;
     }

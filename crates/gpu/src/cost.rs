@@ -51,9 +51,7 @@ impl CostModel {
     pub fn lane_instructions(&self, it: &IterDesc) -> f64 {
         let words = it.lx.max(1) as f64;
         let body = match it.kind {
-            StepKind::BinaryXEven | StepKind::BinaryYEven => {
-                words * self.insts_per_simple_word
-            }
+            StepKind::BinaryXEven | StepKind::BinaryYEven => words * self.insts_per_simple_word,
             StepKind::BinaryBothOdd | StepKind::FastBinarySub => {
                 words * self.insts_per_simple_word + words * 1.0 // extra borrow chain
             }
@@ -124,13 +122,19 @@ mod tests {
     #[test]
     fn mem_words_match_section_iv() {
         let m = CostModel::default();
-        assert_eq!(m.lane_mem_words(&it(StepKind::ApproxBetaZero, 32)), 3 * 32 + 6);
+        assert_eq!(
+            m.lane_mem_words(&it(StepKind::ApproxBetaZero, 32)),
+            3 * 32 + 6
+        );
         assert_eq!(
             m.lane_mem_words(&it(StepKind::ApproxBetaPositive, 32)),
             4 * 32 + 6
         );
         assert_eq!(m.lane_mem_words(&it(StepKind::BinaryXEven, 32)), 2 * 32 + 6);
-        assert_eq!(m.lane_mem_words(&it(StepKind::FastBinarySub, 32)), 3 * 32 + 6);
+        assert_eq!(
+            m.lane_mem_words(&it(StepKind::FastBinarySub, 32)),
+            3 * 32 + 6
+        );
     }
 
     #[test]

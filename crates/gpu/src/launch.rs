@@ -11,7 +11,7 @@ use crate::cost::CostModel;
 use crate::device::DeviceConfig;
 use crate::sched::{schedule, GpuReport};
 use crate::warp::{execute_warp, WarpWork};
-use bulkgcd_bigint::Nat;
+use bulkgcd_bigint::{Limb, Nat};
 use bulkgcd_core::{run, Algorithm, GcdOutcome, GcdPair, Termination};
 use bulkgcd_umm::gcd_trace::IterProbe;
 
@@ -30,20 +30,23 @@ pub struct BulkGcdLaunch {
 
 /// Simulate running `algo` over all `inputs` pairs on `device`.
 ///
-/// Lanes are packed into warps in input order, `warp_size` lanes each.
+/// Operands are borrowed little-endian limb slices — the host-side arena
+/// hands these out without cloning (high zero padding is fine; the load
+/// normalizes). Lanes are packed into warps in input order, `warp_size`
+/// lanes each.
 pub fn simulate_bulk_gcd(
     device: &DeviceConfig,
     cost: &CostModel,
     algo: Algorithm,
-    inputs: &[(Nat, Nat)],
+    inputs: &[(&[Limb], &[Limb])],
     term: Termination,
 ) -> BulkGcdLaunch {
     let mut outcomes = Vec::with_capacity(inputs.len());
     let mut lanes: Vec<Vec<bulkgcd_umm::gcd_trace::IterDesc>> = Vec::with_capacity(inputs.len());
     let mut total_iterations = 0u64;
     let mut pair = GcdPair::with_capacity(1);
-    for (a, b) in inputs {
-        pair.load(a, b);
+    for &(a, b) in inputs {
+        pair.load_from_limbs(a, b);
         let mut probe = IterProbe::default();
         outcomes.push(run(algo, &mut pair, term, &mut probe));
         total_iterations += probe.iters.len() as u64;
@@ -66,6 +69,22 @@ pub fn simulate_bulk_gcd(
         per_gcd_seconds,
         total_iterations,
     }
+}
+
+/// Convenience wrapper over [`simulate_bulk_gcd`] for owned [`Nat`] pairs
+/// (benches, examples, tests). Borrows each pair's limbs; nothing is cloned.
+pub fn simulate_bulk_gcd_pairs(
+    device: &DeviceConfig,
+    cost: &CostModel,
+    algo: Algorithm,
+    inputs: &[(Nat, Nat)],
+    term: Termination,
+) -> BulkGcdLaunch {
+    let slices: Vec<(&[Limb], &[Limb])> = inputs
+        .iter()
+        .map(|(a, b)| (a.as_limbs(), b.as_limbs()))
+        .collect();
+    simulate_bulk_gcd(device, cost, algo, &slices, term)
 }
 
 #[cfg(test)]
@@ -92,7 +111,7 @@ mod tests {
     fn outcomes_are_exact() {
         let d = DeviceConfig::gtx_780_ti();
         let inputs = random_inputs(70, 128, 1);
-        let launch = simulate_bulk_gcd(
+        let launch = simulate_bulk_gcd_pairs(
             &d,
             &CostModel::default(),
             Algorithm::Approximate,
@@ -115,7 +134,7 @@ mod tests {
         let p = random_prime(&mut rng, 64);
         let n1 = p.mul(&random_prime(&mut rng, 64));
         let n2 = p.mul(&random_prime(&mut rng, 64));
-        let launch = simulate_bulk_gcd(
+        let launch = simulate_bulk_gcd_pairs(
             &d,
             &CostModel::default(),
             Algorithm::Approximate,
@@ -130,9 +149,16 @@ mod tests {
         let d = DeviceConfig::gtx_780_ti();
         let cost = CostModel::default();
         let inputs = random_inputs(64, 512, 3);
-        let e = simulate_bulk_gcd(&d, &cost, Algorithm::Approximate, &inputs, Termination::Full);
-        let c = simulate_bulk_gcd(&d, &cost, Algorithm::Binary, &inputs, Termination::Full);
-        let dd = simulate_bulk_gcd(&d, &cost, Algorithm::FastBinary, &inputs, Termination::Full);
+        let e = simulate_bulk_gcd_pairs(
+            &d,
+            &cost,
+            Algorithm::Approximate,
+            &inputs,
+            Termination::Full,
+        );
+        let c = simulate_bulk_gcd_pairs(&d, &cost, Algorithm::Binary, &inputs, Termination::Full);
+        let dd =
+            simulate_bulk_gcd_pairs(&d, &cost, Algorithm::FastBinary, &inputs, Termination::Full);
         assert!(
             e.report.seconds < dd.report.seconds && dd.report.seconds < c.report.seconds,
             "E={} D={} C={}",
@@ -147,8 +173,14 @@ mod tests {
         let d = DeviceConfig::gtx_780_ti();
         let cost = CostModel::default();
         let inputs = random_inputs(32, 256, 4);
-        let e = simulate_bulk_gcd(&d, &cost, Algorithm::Approximate, &inputs, Termination::Full);
-        let c = simulate_bulk_gcd(&d, &cost, Algorithm::Binary, &inputs, Termination::Full);
+        let e = simulate_bulk_gcd_pairs(
+            &d,
+            &cost,
+            Algorithm::Approximate,
+            &inputs,
+            Termination::Full,
+        );
+        let c = simulate_bulk_gcd_pairs(&d, &cost, Algorithm::Binary, &inputs, Termination::Full);
         assert!(
             c.report.mean_divergence > e.report.mean_divergence,
             "C divergence {} vs E {}",
@@ -162,13 +194,21 @@ mod tests {
         let d = DeviceConfig::gtx_780_ti();
         let cost = CostModel::default();
         let inputs = random_inputs(32, 256, 5);
-        let full = simulate_bulk_gcd(&d, &cost, Algorithm::Approximate, &inputs, Termination::Full);
-        let early = simulate_bulk_gcd(
+        let full = simulate_bulk_gcd_pairs(
             &d,
             &cost,
             Algorithm::Approximate,
             &inputs,
-            Termination::Early { threshold_bits: 128 },
+            Termination::Full,
+        );
+        let early = simulate_bulk_gcd_pairs(
+            &d,
+            &cost,
+            Algorithm::Approximate,
+            &inputs,
+            Termination::Early {
+                threshold_bits: 128,
+            },
         );
         assert!(early.report.seconds < full.report.seconds);
         assert!(early.total_iterations < full.total_iterations);
@@ -182,12 +222,14 @@ mod tests {
         let d = DeviceConfig::gtx_780_ti();
         let cost = CostModel::default();
         let inputs = random_inputs(256, 1024, 6);
-        let launch = simulate_bulk_gcd(
+        let launch = simulate_bulk_gcd_pairs(
             &d,
             &cost,
             Algorithm::Approximate,
             &inputs,
-            Termination::Early { threshold_bits: 512 },
+            Termination::Early {
+                threshold_bits: 512,
+            },
         );
         let us = launch.per_gcd_seconds * 1e6;
         assert!(
@@ -199,7 +241,7 @@ mod tests {
     #[test]
     fn empty_launch() {
         let d = DeviceConfig::gtx_780_ti();
-        let launch = simulate_bulk_gcd(
+        let launch = simulate_bulk_gcd_pairs(
             &d,
             &CostModel::default(),
             Algorithm::Approximate,

@@ -33,6 +33,6 @@ pub mod warp;
 
 pub use cost::CostModel;
 pub use device::DeviceConfig;
-pub use launch::{simulate_bulk_gcd, BulkGcdLaunch};
+pub use launch::{simulate_bulk_gcd, simulate_bulk_gcd_pairs, BulkGcdLaunch};
 pub use sched::{schedule, GpuReport};
 pub use warp::{execute_warp, WarpWork};

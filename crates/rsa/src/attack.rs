@@ -47,14 +47,10 @@ pub fn factor_modulus(n: &Nat, p: &Nat) -> Result<(Nat, Nat), AttackError> {
 pub fn recover_private_key(pk: &PublicKey, factor: &Nat) -> Result<PrivateKey, AttackError> {
     let (p, q) = factor_modulus(&pk.n, factor)?;
     let phi = p.sub(&Nat::one()).mul(&q.sub(&Nat::one()));
-    let d = pk
-        .e
-        .modinv(&phi)
-        .ok_or(AttackError::ExponentNotInvertible)?;
-    Ok(PrivateKey {
-        n: pk.n.clone(),
-        d,
-    })
+    let d =
+        pk.e.modinv(&phi)
+            .ok_or(AttackError::ExponentNotInvertible)?;
+    Ok(PrivateKey { n: pk.n.clone(), d })
 }
 
 #[cfg(test)]

@@ -30,11 +30,7 @@ impl Corpus {
 
     /// Indices of keys that share a prime with any other key.
     pub fn vulnerable_indices(&self) -> Vec<usize> {
-        let mut v: Vec<usize> = self
-            .shared
-            .iter()
-            .flat_map(|&(i, j, _)| [i, j])
-            .collect();
+        let mut v: Vec<usize> = self.shared.iter().flat_map(|&(i, j, _)| [i, j]).collect();
         v.sort_unstable();
         v.dedup();
         v
@@ -51,7 +47,10 @@ pub fn build_corpus<R: Rng + ?Sized>(
     modulus_bits: u64,
     weak_pairs: usize,
 ) -> Corpus {
-    assert!(2 * weak_pairs <= total, "too many weak pairs for corpus size");
+    assert!(
+        2 * weak_pairs <= total,
+        "too many weak pairs for corpus size"
+    );
     let half = modulus_bits / 2;
     let e = default_exponent();
     let mut keys = Vec::with_capacity(total);

@@ -127,12 +127,7 @@ mod tests {
         assert_eq!(kp.modulus_bits(), 128);
         assert_ne!(kp.p, kp.q);
         // e*d == 1 mod phi
-        assert!(kp
-            .public
-            .e
-            .mul(&kp.private.d)
-            .rem(&kp.phi())
-            .is_one());
+        assert!(kp.public.e.mul(&kp.private.d).rem(&kp.phi()).is_one());
     }
 
     #[test]

@@ -28,8 +28,8 @@ pub mod key;
 pub mod keygen;
 
 pub use attack::{factor_modulus, recover_private_key, AttackError};
-pub use crt::CrtPrivateKey;
 pub use corpus::{build_corpus, Corpus};
+pub use crt::CrtPrivateKey;
 pub use crypt::{decrypt, encrypt, CryptError};
 pub use key::{KeyPair, PrivateKey, PublicKey};
 pub use keygen::{generate_keypair, WeakKeygen};

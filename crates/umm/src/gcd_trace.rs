@@ -19,8 +19,8 @@
 //! it measurable.
 
 use crate::trace::BulkTrace;
-use bulkgcd_core::{run, Algorithm, GcdPair, Probe, Step, StepKind, Termination};
 use bulkgcd_bigint::Nat;
+use bulkgcd_core::{run, Algorithm, GcdPair, Probe, Step, StepKind, Termination};
 
 /// Per-iteration descriptor, enough to reconstruct the iteration's accesses.
 #[derive(Debug, Clone, Copy)]
@@ -64,12 +64,7 @@ const HEAD_SLOTS: usize = 4;
 /// Slots for the trailing `X < Y` comparison.
 const TAIL_SLOTS: usize = 2;
 
-fn emit_iteration(
-    trace: &mut crate::trace::ThreadTrace,
-    it: &IterDesc,
-    cap: usize,
-    max_lx: usize,
-) {
+fn emit_iteration(trace: &mut crate::trace::ThreadTrace, it: &IterDesc, cap: usize, max_lx: usize) {
     let (xb, yb) = if it.x_in_a { (0, cap) } else { (cap, 0) };
     // Head: approx / branch decision reads x1, x2, y1, y2.
     trace.read(xb + it.lx.saturating_sub(1));
@@ -224,7 +219,12 @@ mod tests {
     fn random_inputs(p: usize, bits: u64, seed: u64) -> Vec<(Nat, Nat)> {
         let mut rng = StdRng::seed_from_u64(seed);
         (0..p)
-            .map(|_| (random_odd_bits(&mut rng, bits), random_odd_bits(&mut rng, bits)))
+            .map(|_| {
+                (
+                    random_odd_bits(&mut rng, bits),
+                    random_odd_bits(&mut rng, bits),
+                )
+            })
             .collect()
     }
 
@@ -261,7 +261,9 @@ mod tests {
         let bulk = bulk_gcd_trace(
             Algorithm::Approximate,
             &inputs,
-            Termination::Early { threshold_bits: 128 },
+            Termination::Early {
+                threshold_bits: 128,
+            },
         );
         let cfg = UmmConfig::new(32, 32);
         let col = simulate(&bulk, Layout::ColumnWise, cfg);
@@ -292,7 +294,9 @@ mod tests {
         let early = bulk_gcd_trace(
             Algorithm::Approximate,
             &inputs,
-            Termination::Early { threshold_bits: 128 },
+            Termination::Early {
+                threshold_bits: 128,
+            },
         );
         assert!(early.steps() < full.steps());
     }

@@ -75,9 +75,13 @@ mod tests {
     fn same_offset_across_threads_is_contiguous_only_column_wise() {
         let p = 4;
         let n = 8;
-        let col: Vec<_> = (0..p).map(|j| Layout::ColumnWise.address(j, 3, p, n)).collect();
+        let col: Vec<_> = (0..p)
+            .map(|j| Layout::ColumnWise.address(j, 3, p, n))
+            .collect();
         assert_eq!(col, vec![12, 13, 14, 15]);
-        let row: Vec<_> = (0..p).map(|j| Layout::RowWise.address(j, 3, p, n)).collect();
+        let row: Vec<_> = (0..p)
+            .map(|j| Layout::RowWise.address(j, 3, p, n))
+            .collect();
         assert_eq!(row, vec![3, 11, 19, 27]);
     }
 }

@@ -10,10 +10,10 @@ use proptest::prelude::*;
 /// accesses over offsets < `words` (with idle gaps).
 fn bulk(p: usize, steps: usize, words: usize) -> impl Strategy<Value = BulkTrace> {
     vec(
-        vec(prop_oneof![
-            (0..words).prop_map(Some),
-            Just(None),
-        ], 0..=steps),
+        vec(
+            prop_oneof![(0..words).prop_map(Some), Just(None),],
+            0..=steps,
+        ),
         1..=p,
     )
     .prop_map(|threads| {

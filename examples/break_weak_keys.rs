@@ -73,7 +73,10 @@ fn main() {
     // --- Break every vulnerable key ---
     let publics: Vec<_> = corpus.keys.iter().map(|k| k.public.clone()).collect();
     let report = break_weak_keys(&publics, Algorithm::Approximate);
-    println!("\nBroken keys   : {:?}", report.broken.iter().map(|b| b.index).collect::<Vec<_>>());
+    println!(
+        "\nBroken keys   : {:?}",
+        report.broken.iter().map(|b| b.index).collect::<Vec<_>>()
+    );
     assert_eq!(
         report.broken.iter().map(|b| b.index).collect::<Vec<_>>(),
         vulnerable

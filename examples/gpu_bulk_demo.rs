@@ -8,8 +8,8 @@
 //!
 //! Run with: `cargo run --release --example gpu_bulk_demo -- [pairs] [bits]`
 
-use bulk_gcd::prelude::*;
 use bulk_gcd::bigint::random::random_odd_bits;
+use bulk_gcd::prelude::*;
 use bulk_gcd::umm::gcd_trace::bulk_gcd_trace;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -20,9 +20,17 @@ fn main() {
     let bits: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(1024);
     let mut rng = StdRng::seed_from_u64(11);
 
-    println!("Bulk of {pairs} random {bits}-bit odd pairs, early termination at {} bits\n", bits / 2);
+    println!(
+        "Bulk of {pairs} random {bits}-bit odd pairs, early termination at {} bits\n",
+        bits / 2
+    );
     let inputs: Vec<(Nat, Nat)> = (0..pairs)
-        .map(|_| (random_odd_bits(&mut rng, bits), random_odd_bits(&mut rng, bits)))
+        .map(|_| {
+            (
+                random_odd_bits(&mut rng, bits),
+                random_odd_bits(&mut rng, bits),
+            )
+        })
         .collect();
     let term = Termination::Early {
         threshold_bits: bits / 2,
@@ -35,8 +43,12 @@ fn main() {
         "{:<28} {:>10} {:>10} {:>9} {:>10} {:>12}",
         "algorithm", "iters", "diverge%", "SIMT%", "MB moved", "us/GCD (sim)"
     );
-    for algo in [Algorithm::Binary, Algorithm::FastBinary, Algorithm::Approximate] {
-        let launch = simulate_bulk_gcd(&device, &cost, algo, &inputs, term);
+    for algo in [
+        Algorithm::Binary,
+        Algorithm::FastBinary,
+        Algorithm::Approximate,
+    ] {
+        let launch = simulate_bulk_gcd_pairs(&device, &cost, algo, &inputs, term);
         println!(
             "{:<28} {:>10} {:>9.1}% {:>8.1}% {:>10.2} {:>12.3}",
             algo.name().replace(" Euclidean algorithm", ""),
@@ -55,7 +67,11 @@ fn main() {
         "algorithm", "steps", "col-wise time", "row-wise time", "uniform%"
     );
     let subset = &inputs[..pairs.min(64)];
-    for algo in [Algorithm::Binary, Algorithm::FastBinary, Algorithm::Approximate] {
+    for algo in [
+        Algorithm::Binary,
+        Algorithm::FastBinary,
+        Algorithm::Approximate,
+    ] {
         let bulk = bulk_gcd_trace(algo, subset, term);
         let col = simulate(&bulk, Layout::ColumnWise, cfg);
         let row = simulate(&bulk, Layout::RowWise, cfg);

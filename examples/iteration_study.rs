@@ -10,11 +10,7 @@ use bulk_gcd::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-fn mean_iterations(
-    algo: Algorithm,
-    pairs: &[(Nat, Nat)],
-    term: Termination,
-) -> (f64, u64, u64) {
+fn mean_iterations(algo: Algorithm, pairs: &[(Nat, Nat)], term: Termination) -> (f64, u64, u64) {
     let mut total = 0u64;
     let mut beta_nonzero = 0u64;
     let mut workspace = GcdPair::with_capacity(1);
@@ -58,8 +54,7 @@ fn main() {
         let mut e_mean = (0.0, 0.0);
         let mut b_mean = (0.0, 0.0);
         for algo in Algorithm::ALL {
-            let (full, _, beta_full) =
-                mean_iterations(algo, &pairs, Termination::Full);
+            let (full, _, beta_full) = mean_iterations(algo, &pairs, Termination::Full);
             let (early, total_early, beta_early) = mean_iterations(
                 algo,
                 &pairs,

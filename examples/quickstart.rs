@@ -7,10 +7,10 @@
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use bulk_gcd::prelude::*;
-use bulk_gcd::rsa::keygen::keypair_from_primes;
-use bulk_gcd::rsa::crypt::{decode_message, encode_message};
 use bulk_gcd::bigint::prime::random_rsa_prime;
+use bulk_gcd::prelude::*;
+use bulk_gcd::rsa::crypt::{decode_message, encode_message};
+use bulk_gcd::rsa::keygen::keypair_from_primes;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -45,7 +45,11 @@ fn main() {
     // Eve only holds the two PUBLIC keys. One Approximate-Euclid GCD:
     let g = gcd_nat(Algorithm::Approximate, &alice.public.n, &bob.public.n);
     assert!(!g.is_one(), "keys turned out not to share a prime?");
-    println!("\ngcd(n_alice, n_bob) = 0x{} ({} bits)", g.to_hex(), g.bit_len());
+    println!(
+        "\ngcd(n_alice, n_bob) = 0x{} ({} bits)",
+        g.to_hex(),
+        g.bit_len()
+    );
 
     // Factor Alice's modulus and recover her private key.
     let sk = recover_private_key(&alice.public, &g).expect("gcd is a proper factor");

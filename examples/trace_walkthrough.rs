@@ -59,10 +59,20 @@ fn main() {
     let approximate = trace(Algorithm::Approximate, X, Y, 4);
 
     print_trace("Table I left: Binary Euclidean", &binary, false, false);
-    print_trace("Table I right: Fast Binary Euclidean", &fast_binary, false, false);
+    print_trace(
+        "Table I right: Fast Binary Euclidean",
+        &fast_binary,
+        false,
+        false,
+    );
     print_trace("Table II left: Original Euclidean", &original, true, false);
     print_trace("Table II right: Fast Euclidean", &fast, true, false);
-    print_trace("Table III: Approximate Euclidean", &approximate, false, true);
+    print_trace(
+        "Table III: Approximate Euclidean",
+        &approximate,
+        false,
+        true,
+    );
 
     println!("Iteration counts (paper: 24 / 16 / 11 / 8 / 9):");
     println!(

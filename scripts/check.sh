@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Offline-friendly pre-merge gate: formatting, lints, and the tier-1 tests.
+# All dependencies are vendored under vendor/, so no network is needed.
+#
+# Usage: scripts/check.sh [--no-clippy] [--no-fmt]
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+run_fmt=1
+run_clippy=1
+for arg in "$@"; do
+    case "$arg" in
+        --no-fmt) run_fmt=0 ;;
+        --no-clippy) run_clippy=0 ;;
+        *) echo "unknown option: $arg" >&2; exit 2 ;;
+    esac
+done
+
+if [ "$run_fmt" = 1 ]; then
+    echo "== cargo fmt --check"
+    cargo fmt --all --check
+fi
+
+if [ "$run_clippy" = 1 ]; then
+    echo "== cargo clippy --all-targets -- -D warnings"
+    cargo clippy --workspace --all-targets -- -D warnings
+fi
+
+echo "== tier-1: cargo build --release && cargo test -q"
+cargo build --release
+cargo test -q
+
+echo "OK"

@@ -87,8 +87,7 @@ fn read_corpus(path: &str) -> Result<Vec<Nat>, String> {
         if line.is_empty() {
             continue;
         }
-        let n = Nat::from_hex(line)
-            .map_err(|e| format!("{path}:{}: {e}", lineno + 1))?;
+        let n = Nat::from_hex(line).map_err(|e| format!("{path}:{}: {e}", lineno + 1))?;
         if n.is_zero() {
             return Err(format!("{path}:{}: zero modulus", lineno + 1));
         }
@@ -109,12 +108,16 @@ fn cmd_gen(args: &Args) -> Result<(), String> {
     eprintln!("generating {keys} keys of {bits} bits with {weak_pairs} weak pairs ...");
     let corpus = build_corpus(&mut rng, keys, bits, weak_pairs);
     let mut out: Box<dyn Write> = match args.get("out") {
-        Some(path) => Box::new(
-            std::fs::File::create(path).map_err(|e| format!("creating {path}: {e}"))?,
-        ),
+        Some(path) => {
+            Box::new(std::fs::File::create(path).map_err(|e| format!("creating {path}: {e}"))?)
+        }
         None => Box::new(std::io::stdout().lock()),
     };
-    writeln!(out, "# bulkgcd corpus: {keys} keys, {bits} bits, seed {seed}").unwrap();
+    writeln!(
+        out,
+        "# bulkgcd corpus: {keys} keys, {bits} bits, seed {seed}"
+    )
+    .unwrap();
     for k in &corpus.keys {
         writeln!(out, "{}", k.public.n.to_hex()).unwrap();
     }
@@ -179,11 +182,7 @@ fn cmd_scan(args: &Args) -> Result<(), String> {
             rep.findings
         }
         "blocks" => {
-            let r = (0..=6)
-                .rev()
-                .map(|k| 1usize << k)
-                .find(|r| moduli.len() % r == 0)
-                .unwrap_or(1);
+            let r = group_size_for(moduli.len());
             let rep = scan_gpu_blocks(
                 &moduli,
                 algo,
@@ -247,7 +246,10 @@ fn cmd_check(args: &Args) -> Result<(), String> {
     let idx = CorpusIndex::from_moduli(&moduli);
     let g = idx.shared_factor(&n);
     if g.is_one() {
-        println!("clean: no factor shared with the {} indexed moduli", idx.len());
+        println!(
+            "clean: no factor shared with the {} indexed moduli",
+            idx.len()
+        );
     } else {
         println!("WEAK: shares factor {}", g.to_hex());
         return Ok(());
@@ -305,7 +307,8 @@ fn cmd_gcd(args: &Args) -> Result<(), String> {
     let g = if algo_flag.eq_ignore_ascii_case("lehmer") {
         lehmer_gcd_nat(&x, &y)
     } else {
-        let algo = algo_from_flag(algo_flag).ok_or_else(|| format!("unknown algorithm {algo_flag:?}"))?;
+        let algo =
+            algo_from_flag(algo_flag).ok_or_else(|| format!("unknown algorithm {algo_flag:?}"))?;
         if args.has("stats") && !x.is_zero() && !y.is_zero() {
             let (xo, _) = x.rshift();
             let (yo, _) = y.rshift();

@@ -43,15 +43,16 @@ pub use bulkgcd_umm as umm;
 pub mod prelude {
     pub use bulkgcd_bigint::{Barrett, Montgomery, Nat};
     pub use bulkgcd_bulk::{
-        batch_gcd, batch_gcd_parallel, break_weak_keys, estimate_full_scan, scan_cpu,
-        scan_gpu_blocks, scan_gpu_sim, BreakReport, CorpusIndex, Finding, GroupedPairs,
+        batch_gcd, batch_gcd_parallel, break_weak_keys, estimate_full_scan, group_size_for,
+        scan_cpu, scan_cpu_arena, scan_gpu_blocks, scan_gpu_sim, scan_gpu_sim_arena,
+        scan_gpu_sim_serial, BreakReport, CorpusIndex, Finding, GroupedPairs, ModuliArena,
         ScanReport,
     };
     pub use bulkgcd_core::{
         gcd_nat, lehmer_gcd_nat, run, Algorithm, GcdOutcome, GcdPair, NoProbe, StatsProbe,
         Termination, TraceProbe,
     };
-    pub use bulkgcd_gpu::{simulate_bulk_gcd, CostModel, DeviceConfig};
+    pub use bulkgcd_gpu::{simulate_bulk_gcd, simulate_bulk_gcd_pairs, CostModel, DeviceConfig};
     pub use bulkgcd_rsa::{
         build_corpus, decrypt, encrypt, generate_keypair, recover_private_key, Corpus,
         CrtPrivateKey, KeyPair, PublicKey, WeakKeygen,

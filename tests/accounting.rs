@@ -22,7 +22,11 @@ fn random_pair(bits: u64, seed: u64) -> (Nat, Nat) {
 #[test]
 fn stats_probe_and_gpu_cost_model_agree() {
     let cost = CostModel::default();
-    for algo in [Algorithm::Binary, Algorithm::FastBinary, Algorithm::Approximate] {
+    for algo in [
+        Algorithm::Binary,
+        Algorithm::FastBinary,
+        Algorithm::Approximate,
+    ] {
         let (a, b) = random_pair(384, 17);
         let mut pair = GcdPair::new(&a, &b);
         let mut stats = StatsProbe::default();
@@ -51,7 +55,11 @@ fn stats_probe_and_gpu_cost_model_agree() {
 #[test]
 fn umm_trace_access_count_matches_probe() {
     use bulk_gcd::core::StepKind;
-    for algo in [Algorithm::FastBinary, Algorithm::Approximate, Algorithm::Binary] {
+    for algo in [
+        Algorithm::FastBinary,
+        Algorithm::Approximate,
+        Algorithm::Binary,
+    ] {
         let (a, b) = random_pair(256, 23);
         let mut pair = GcdPair::new(&a, &b);
         let mut iters = IterProbe::default();

@@ -1,0 +1,89 @@
+//! Proof of the zero-allocation scan hot loop: a counting global allocator
+//! wraps the system allocator, and the steady-state CPU scan loop (the
+//! per-worker [`scan_block_into`] used by `scan_cpu`) must perform **zero**
+//! heap allocations after its warmup pass on a clean corpus.
+//!
+//! This file holds exactly one `#[test]` on purpose: the counter is global,
+//! so a sibling test allocating on another harness thread would race it.
+
+use bulkgcd_bulk::{group_size_for, scan_block_into, GroupedPairs, ModuliArena};
+use bulkgcd_core::{Algorithm, GcdPair};
+use bulkgcd_rsa::build_corpus;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAlloc;
+
+static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+fn allocations() -> u64 {
+    ALLOC_CALLS.load(Ordering::Relaxed)
+}
+
+#[test]
+fn steady_state_scan_hot_loop_allocates_nothing() {
+    // A clean corpus (no planted factors): every pair is coprime, so the
+    // findings vector is never pushed to and the loop's only legitimate
+    // allocation source is out of the picture.
+    let mut rng = StdRng::seed_from_u64(42);
+    let corpus = build_corpus(&mut rng, 16, 256, 0);
+    let moduli = corpus.moduli();
+    let arena = ModuliArena::from_moduli(&moduli);
+    let grid = GroupedPairs::new(arena.len(), group_size_for(arena.len()));
+    let blocks: Vec<_> = grid.blocks().collect();
+
+    for algo in [Algorithm::Approximate, Algorithm::FastBinary] {
+        for early in [true, false] {
+            // Worker-local scratch, exactly as scan_cpu's workers hold it.
+            let mut pair = GcdPair::with_capacity(arena.stride());
+            let mut found = Vec::new();
+
+            // Warmup: first pass sizes the workspace buffers (X, Y, and the
+            // β>0 scratch) for this corpus width.
+            for &b in &blocks {
+                scan_block_into(&arena, &grid, b, algo, early, &mut pair, &mut found);
+            }
+            assert!(found.is_empty(), "clean corpus must yield no findings");
+
+            // Steady state: the full all-pairs sweep again, now warmed.
+            let before = allocations();
+            for &b in &blocks {
+                scan_block_into(&arena, &grid, b, algo, early, &mut pair, &mut found);
+            }
+            let after = allocations();
+            assert!(found.is_empty());
+            assert_eq!(
+                after - before,
+                0,
+                "steady-state scan loop allocated ({:?}, early={early})",
+                algo
+            );
+        }
+    }
+}

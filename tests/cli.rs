@@ -85,7 +85,11 @@ fn gen_scan_check_pipeline() {
         ])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
 
     // Scan it on every engine; findings must match the ground truth.
     let truth_text = std::fs::read_to_string(&truth).unwrap();
@@ -158,7 +162,16 @@ fn break_recovers_working_private_exponents() {
     let corpus = dir.join("corpus.txt");
     let out = bulkgcd()
         .args([
-            "gen", "--keys", "8", "--bits", "128", "--weak-pairs", "1", "--seed", "11", "--out",
+            "gen",
+            "--keys",
+            "8",
+            "--bits",
+            "128",
+            "--weak-pairs",
+            "1",
+            "--seed",
+            "11",
+            "--out",
             corpus.to_str().unwrap(),
         ])
         .output()
@@ -169,7 +182,11 @@ fn break_recovers_working_private_exponents() {
         .args(["break", corpus.to_str().unwrap()])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     let broken: Vec<(usize, Nat, Nat)> = stdout
         .lines()

@@ -54,10 +54,7 @@ fn recovered_keys_decrypt_intercepted_traffic() {
     // Intercept one ciphertext per key before the attack.
     let secret = b"pq shared";
     let m = encode_message(secret);
-    let ciphertexts: Vec<_> = publics
-        .iter()
-        .map(|pk| encrypt(pk, &m).unwrap())
-        .collect();
+    let ciphertexts: Vec<_> = publics.iter().map(|pk| encrypt(pk, &m).unwrap()).collect();
 
     let report = break_weak_keys(&publics, Algorithm::Approximate);
     assert_eq!(
@@ -117,15 +114,25 @@ fn umm_and_gpu_models_agree_on_algorithm_ordering() {
             )
         })
         .collect();
-    let term = Termination::Early { threshold_bits: 128 };
+    let term = Termination::Early {
+        threshold_bits: 128,
+    };
     let device = DeviceConfig::gtx_780_ti();
     let cost = CostModel::default();
     let cfg = UmmConfig::new(32, 64);
 
     let mut gpu_times = Vec::new();
     let mut umm_times = Vec::new();
-    for algo in [Algorithm::Binary, Algorithm::FastBinary, Algorithm::Approximate] {
-        gpu_times.push(simulate_bulk_gcd(&device, &cost, algo, &inputs, term).report.seconds);
+    for algo in [
+        Algorithm::Binary,
+        Algorithm::FastBinary,
+        Algorithm::Approximate,
+    ] {
+        gpu_times.push(
+            simulate_bulk_gcd_pairs(&device, &cost, algo, &inputs, term)
+                .report
+                .seconds,
+        );
         let bulk = bulk_gcd_trace(algo, &inputs, term);
         umm_times.push(simulate(&bulk, Layout::ColumnWise, cfg).time_units);
     }

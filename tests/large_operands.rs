@@ -30,7 +30,12 @@ fn approximate_handles_4096_bits() {
     let (a, b) = odd_pair(4096, 2);
     let mut pair = GcdPair::new(&a, &b);
     let mut sp = StatsProbe::default();
-    let out = run(Algorithm::Approximate, &mut pair, Termination::Full, &mut sp);
+    let out = run(
+        Algorithm::Approximate,
+        &mut pair,
+        Termination::Full,
+        &mut sp,
+    );
     match out {
         GcdOutcome::Gcd(g) => {
             assert!(a.rem(&g).is_zero() && b.rem(&g).is_zero());
@@ -62,7 +67,9 @@ fn planted_shared_prime_found_at_2048_bits() {
         let out = run(
             algo,
             &mut pair,
-            Termination::Early { threshold_bits: 1024 },
+            Termination::Early {
+                threshold_bits: 1024,
+            },
             &mut NoProbe,
         );
         // gcd(n1, n2) is a multiple of p (random cofactors may share more).
@@ -81,7 +88,12 @@ fn iteration_counts_scale_linearly_in_s() {
         let (a, b) = odd_pair(bits, seed);
         let mut pair = GcdPair::new(&a, &b);
         let mut sp = StatsProbe::default();
-        run(Algorithm::Approximate, &mut pair, Termination::Full, &mut sp);
+        run(
+            Algorithm::Approximate,
+            &mut pair,
+            Termination::Full,
+            &mut sp,
+        );
         sp.stats.iterations
     };
     let small: u64 = (0..6).map(|s| count(512, 100 + s)).sum();

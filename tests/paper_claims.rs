@@ -100,7 +100,12 @@ fn beta_positive_never_fires_at_test_scale() {
         let b = bulk_gcd::bigint::random::random_odd_bits(&mut rng, 384);
         ws.load(&a, &b);
         let mut probe = StatsProbe::default();
-        run(Algorithm::Approximate, &mut ws, Termination::Full, &mut probe);
+        run(
+            Algorithm::Approximate,
+            &mut ws,
+            Termination::Full,
+            &mut probe,
+        );
         iters += probe.stats.iterations;
         beta += probe.stats.beta_nonzero;
     }
@@ -125,13 +130,19 @@ fn table_5_gpu_ordering_and_divergence() {
     let device = DeviceConfig::gtx_780_ti();
     let cost = CostModel::default();
     let term = Termination::Early { threshold_bits: 96 };
-    let e = simulate_bulk_gcd(&device, &cost, Algorithm::Approximate, &inputs, term);
-    let d = simulate_bulk_gcd(&device, &cost, Algorithm::FastBinary, &inputs, term);
-    let c = simulate_bulk_gcd(&device, &cost, Algorithm::Binary, &inputs, term);
+    let e = simulate_bulk_gcd_pairs(&device, &cost, Algorithm::Approximate, &inputs, term);
+    let d = simulate_bulk_gcd_pairs(&device, &cost, Algorithm::FastBinary, &inputs, term);
+    let c = simulate_bulk_gcd_pairs(&device, &cost, Algorithm::Binary, &inputs, term);
     assert!(e.per_gcd_seconds < d.per_gcd_seconds);
     assert!(d.per_gcd_seconds < c.per_gcd_seconds);
-    assert!(c.report.mean_divergence > 0.5, "Binary should diverge heavily");
-    assert!(e.report.mean_divergence < 0.05, "Approximate should not diverge");
+    assert!(
+        c.report.mean_divergence > 0.5,
+        "Binary should diverge heavily"
+    );
+    assert!(
+        e.report.mean_divergence < 0.05,
+        "Approximate should not diverge"
+    );
 }
 
 /// Theorem 1: a fully oblivious column-wise bulk meets its exact bound.

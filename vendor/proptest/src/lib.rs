@@ -1,0 +1,180 @@
+//! Offline, API-compatible subset of `proptest`.
+//!
+//! The build environment has no network access, so the workspace vendors the
+//! slice of `proptest` it actually uses: the [`proptest!`] macro, integer /
+//! float range strategies, `any::<T>()`, [`strategy::Just`], tuple
+//! strategies, [`collection::vec`], `prop_map` / `prop_filter`,
+//! [`prop_oneof!`], and the `prop_assert*` macros.
+//!
+//! Differences from upstream, deliberately accepted:
+//!
+//! * **no shrinking** — a failing case panics with the generated inputs via
+//!   the ordinary assertion message instead of a minimized counterexample;
+//! * **fixed deterministic seeding** — each test function derives its RNG
+//!   seed from its own name, so runs are reproducible; set
+//!   `PROPTEST_CASES` to change the number of cases (default 64).
+
+#![warn(missing_docs)]
+
+pub mod strategy;
+pub mod test_runner;
+
+/// Collection strategies (`proptest::collection`).
+pub mod collection {
+    use crate::strategy::{SizeRange, Strategy, VecStrategy};
+
+    /// Strategy for a `Vec` whose length is drawn from `size` and whose
+    /// elements are drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+/// Support for `any::<T>()` (`proptest::arbitrary`).
+pub mod arbitrary {
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+
+    /// Types with a canonical "anything" strategy.
+    pub trait Arbitrary: Sized {
+        /// Sample an arbitrary value (edge-case biased).
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    // Bias towards boundary values, as upstream does.
+                    match rng.gen_range(0u32..10) {
+                        0 => 0,
+                        1 => 1,
+                        2 => <$t>::MAX,
+                        _ => rng.gen(),
+                    }
+                }
+            }
+        )*};
+    }
+    impl_arbitrary_int!(u8, u16, u32, u64, u128, usize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.gen()
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.gen()
+        }
+    }
+}
+
+/// The common imports (`proptest::prelude`).
+pub mod prelude {
+    pub use crate::arbitrary::Arbitrary;
+    pub use crate::strategy::{any, BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::TestRng;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Run one property-test function body: the machinery behind [`proptest!`].
+///
+/// Not part of the public API surface of upstream proptest; used by the
+/// macro expansion only.
+pub fn run_property_test<F>(name: &str, mut case: F)
+where
+    F: FnMut(&mut test_runner::TestRng) -> Result<(), test_runner::Rejected>,
+{
+    let cases: u32 = std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(64);
+    let mut rng = test_runner::TestRng::for_test(name);
+    let mut accepted = 0u32;
+    let mut rejected = 0u32;
+    while accepted < cases {
+        match case(&mut rng) {
+            Ok(()) => accepted += 1,
+            Err(_) => {
+                rejected += 1;
+                assert!(
+                    rejected < 10_000 * cases.max(1),
+                    "proptest {name}: too many rejected cases ({rejected}) — \
+                     filter or assume is too strict"
+                );
+            }
+        }
+    }
+}
+
+/// The `proptest!` macro: each contained `fn name(bindings in strategies)`
+/// becomes an ordinary `#[test]` running `PROPTEST_CASES` random cases.
+#[macro_export]
+macro_rules! proptest {
+    ($(
+        $(#[$attr:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$attr])*
+        fn $name() {
+            $crate::run_property_test(stringify!($name), |__rng| {
+                $(
+                    let $pat = match $crate::strategy::Strategy::generate(&($strat), __rng) {
+                        ::core::option::Option::Some(v) => v,
+                        ::core::option::Option::None => {
+                            return ::core::result::Result::Err($crate::test_runner::Rejected)
+                        }
+                    };
+                )+
+                $body
+                ::core::result::Result::Ok(())
+            });
+        }
+    )*};
+}
+
+/// `prop_assert!`: like `assert!` (panics; no shrinking in this subset).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { ::core::assert!($($tt)*) };
+}
+
+/// `prop_assert_eq!`: like `assert_eq!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { ::core::assert_eq!($($tt)*) };
+}
+
+/// `prop_assert_ne!`: like `assert_ne!`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { ::core::assert_ne!($($tt)*) };
+}
+
+/// `prop_assume!`: reject the current case (it does not count towards the
+/// case budget) when the condition does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(, $($fmt:tt)*)?) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::Rejected);
+        }
+    };
+}
+
+/// `prop_oneof!`: choose uniformly between strategies of a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}

@@ -1,0 +1,310 @@
+//! The [`Strategy`] trait and the combinators used by this workspace.
+
+use crate::arbitrary::Arbitrary;
+use crate::test_runner::TestRng;
+use core::ops::{Range, RangeFrom, RangeInclusive};
+use rand::Rng;
+
+/// A generator of random values. `generate` returns `None` when the drawn
+/// value was rejected by a filter; the runner retries with fresh randomness.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draw one value (or `None` on filter rejection).
+    fn generate(&self, rng: &mut TestRng) -> Option<Self::Value>;
+
+    /// Transform generated values.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { base: self, f }
+    }
+
+    /// Reject generated values failing `f` (`whence` labels the filter in
+    /// upstream diagnostics; unused here).
+    fn prop_filter<F: Fn(&Self::Value) -> bool>(
+        self,
+        whence: impl Into<String>,
+        f: F,
+    ) -> Filter<Self, F>
+    where
+        Self: Sized,
+    {
+        let _ = whence.into();
+        Filter { base: self, f }
+    }
+
+    /// Type-erase the strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Box::new(self))
+    }
+}
+
+/// `prop_map` combinator.
+pub struct Map<S, F> {
+    base: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> Option<O> {
+        self.base.generate(rng).map(&self.f)
+    }
+}
+
+/// `prop_filter` combinator.
+pub struct Filter<S, F> {
+    base: S,
+    f: F,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+        self.base.generate(rng).filter(|v| (self.f)(v))
+    }
+}
+
+/// A strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> Option<T> {
+        Some(self.0.clone())
+    }
+}
+
+/// A type-erased strategy (`proptest::strategy::BoxedStrategy`).
+pub struct BoxedStrategy<V>(Box<dyn DynStrategy<V>>);
+
+trait DynStrategy<V> {
+    fn generate_dyn(&self, rng: &mut TestRng) -> Option<V>;
+}
+
+impl<S: Strategy> DynStrategy<S::Value> for S {
+    fn generate_dyn(&self, rng: &mut TestRng) -> Option<S::Value> {
+        self.generate(rng)
+    }
+}
+
+impl<V> Strategy for BoxedStrategy<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> Option<V> {
+        self.0.generate_dyn(rng)
+    }
+}
+
+/// Uniform choice between boxed strategies (`prop_oneof!`).
+pub struct Union<V> {
+    options: Vec<BoxedStrategy<V>>,
+}
+
+impl<V> Union<V> {
+    /// Build from the (non-empty) list of options.
+    pub fn new(options: Vec<BoxedStrategy<V>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+        Union { options }
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> Option<V> {
+        let i = rng.gen_range(0..self.options.len());
+        self.options[i].generate(rng)
+    }
+}
+
+/// `any::<T>()`: the canonical strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(core::marker::PhantomData)
+}
+
+/// Strategy returned by [`any`].
+pub struct Any<T>(core::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> Option<T> {
+        Some(T::arbitrary(rng))
+    }
+}
+
+macro_rules! impl_range_strategies {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> Option<$t> {
+                Some(rng.gen_range(self.clone()))
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> Option<$t> {
+                Some(rng.gen_range(self.clone()))
+            }
+        }
+        impl Strategy for RangeFrom<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> Option<$t> {
+                Some(rng.gen_range(self.clone()))
+            }
+        }
+    )*};
+}
+impl_range_strategies!(u8, u16, u32, u64, u128, usize, f64);
+
+macro_rules! impl_tuple_strategy {
+    ($($S:ident/$idx:tt),+) => {
+        impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+            type Value = ($($S::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Option<Self::Value> {
+                Some(($(self.$idx.generate(rng)?,)+))
+            }
+        }
+    };
+}
+impl_tuple_strategy!(A / 0, B / 1);
+impl_tuple_strategy!(A / 0, B / 1, C / 2);
+impl_tuple_strategy!(A / 0, B / 1, C / 2, D / 3);
+impl_tuple_strategy!(A / 0, B / 1, C / 2, D / 3, E / 4);
+
+/// Length specification for [`crate::collection::vec`].
+#[derive(Debug, Clone)]
+pub struct SizeRange {
+    min: usize,
+    max: usize, // inclusive
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { min: n, max: n }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        SizeRange {
+            min: r.start,
+            max: r.end - 1,
+        }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        assert!(r.start() <= r.end(), "empty size range");
+        SizeRange {
+            min: *r.start(),
+            max: *r.end(),
+        }
+    }
+}
+
+/// Strategy returned by [`crate::collection::vec`].
+pub struct VecStrategy<S> {
+    pub(crate) element: S,
+    pub(crate) size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Option<Vec<S::Value>> {
+        let len = rng.gen_range(self.size.min..=self.size.max);
+        let mut out = Vec::with_capacity(len);
+        for _ in 0..len {
+            // Retry element-level filter rejections locally a few times
+            // before rejecting the whole vector.
+            let mut tries = 0;
+            loop {
+                if let Some(v) = self.element.generate(rng) {
+                    out.push(v);
+                    break;
+                }
+                tries += 1;
+                if tries > 100 {
+                    return None;
+                }
+            }
+        }
+        Some(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collection::vec;
+
+    fn rng() -> TestRng {
+        TestRng::for_test("strategy_unit_tests")
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let a = (3u64..9).generate(&mut r).unwrap();
+            assert!((3..9).contains(&a));
+            let b = (1usize..=6).generate(&mut r).unwrap();
+            assert!((1..=6).contains(&b));
+            let c = (1u128..).generate(&mut r).unwrap();
+            assert!(c >= 1);
+            let f = (0.0f64..1e6).generate(&mut r).unwrap();
+            assert!((0.0..1e6).contains(&f));
+        }
+    }
+
+    #[test]
+    fn map_filter_compose() {
+        let mut r = rng();
+        let s = (0u32..100)
+            .prop_map(|x| x * 2)
+            .prop_filter("even>50", |&x| x > 50);
+        let mut accepted = 0;
+        for _ in 0..200 {
+            if let Some(v) = s.generate(&mut r) {
+                assert!(v > 50 && v % 2 == 0);
+                accepted += 1;
+            }
+        }
+        assert!(accepted > 0);
+    }
+
+    #[test]
+    fn vec_and_tuple_shapes() {
+        let mut r = rng();
+        let s = vec(
+            (any::<u32>(), 0usize..4).prop_map(|(a, b)| a as usize + b),
+            2..=5,
+        );
+        for _ in 0..50 {
+            let v = s.generate(&mut r).unwrap();
+            assert!((2..=5).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn union_hits_all_options() {
+        let mut r = rng();
+        let s = Union::new(vec![
+            Just(1u8).boxed(),
+            Just(2u8).boxed(),
+            Just(3u8).boxed(),
+        ]);
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            seen[s.generate(&mut r).unwrap() as usize] = true;
+        }
+        assert!(seen[1] && seen[2] && seen[3]);
+    }
+}

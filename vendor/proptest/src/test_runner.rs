@@ -1,0 +1,43 @@
+//! The deterministic RNG and rejection marker used by [`crate::proptest!`].
+
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+
+/// Marker for a rejected test case (`prop_assume!` / filter miss).
+#[derive(Debug)]
+pub struct Rejected;
+
+/// The RNG handed to strategies: deterministic per test name.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    inner: StdRng,
+}
+
+impl TestRng {
+    /// Seed from a test name (FNV-1a over the name, xored with an optional
+    /// `PROPTEST_SEED` environment override).
+    pub fn for_test(name: &str) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        if let Ok(s) = std::env::var("PROPTEST_SEED") {
+            if let Ok(extra) = s.parse::<u64>() {
+                h ^= extra;
+            }
+        }
+        TestRng {
+            inner: StdRng::seed_from_u64(h),
+        }
+    }
+}
+
+impl RngCore for TestRng {
+    fn next_u32(&mut self) -> u32 {
+        self.inner.next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+}

@@ -1,0 +1,333 @@
+//! Offline, API-compatible subset of `rayon`.
+//!
+//! The build environment has no network access, so the workspace vendors the
+//! slice of `rayon` it actually uses: `par_iter()` / `par_chunks()` over
+//! slices, the `enumerate` / `zip` / `map` / `map_init` adaptors, and
+//! order-preserving `collect`. Execution is real parallelism — the input is
+//! split into one contiguous chunk per available core and mapped on scoped
+//! `std::thread`s — but work-stealing, splitting heuristics, and the global
+//! pool of upstream rayon are intentionally absent.
+//!
+//! Semantics relied upon by this workspace and preserved here:
+//!
+//! * `collect::<Vec<_>>()` preserves input order;
+//! * `map_init`'s `init` closure runs once per worker (per contiguous
+//!   chunk), not once per item, so per-worker scratch state is genuinely
+//!   reused across the items of a chunk.
+
+#![warn(missing_docs)]
+
+use std::num::NonZeroUsize;
+use std::sync::OnceLock;
+
+/// Number of worker threads used for parallel operations (the number of
+/// available cores, overridable with `RAYON_NUM_THREADS`).
+pub fn current_num_threads() -> usize {
+    static N: OnceLock<usize> = OnceLock::new();
+    *N.get_or_init(|| {
+        if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
+            if let Ok(n) = v.parse::<usize>() {
+                if n >= 1 {
+                    return n;
+                }
+            }
+        }
+        std::thread::available_parallelism()
+            .map(NonZeroUsize::get)
+            .unwrap_or(1)
+    })
+}
+
+/// The public traits, mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use crate::iter::{IntoParallelRefIterator, ParallelIterator, ParallelSlice};
+}
+
+/// Parallel iterator machinery.
+pub mod iter {
+    use super::current_num_threads;
+
+    /// A materialized parallel iterator: the items to process, in order.
+    pub struct ParIter<I> {
+        items: Vec<I>,
+    }
+
+    /// A lazy order-preserving parallel map.
+    pub struct Map<I, F> {
+        items: Vec<I>,
+        f: F,
+    }
+
+    /// A lazy parallel map with once-per-worker state.
+    pub struct MapInit<I, INIT, F> {
+        items: Vec<I>,
+        init: INIT,
+        f: F,
+    }
+
+    /// Slice entry points (`rayon::iter::ParallelSlice` + `par_iter`).
+    pub trait ParallelSlice<T: Sync> {
+        /// Parallel iterator over non-overlapping chunks of `size` elements
+        /// (the last chunk may be shorter).
+        fn par_chunks(&self, size: usize) -> ParIter<&[T]>;
+    }
+
+    impl<T: Sync> ParallelSlice<T> for [T] {
+        fn par_chunks(&self, size: usize) -> ParIter<&[T]> {
+            assert!(size > 0, "par_chunks: chunk size must be positive");
+            ParIter {
+                items: self.chunks(size).collect(),
+            }
+        }
+    }
+
+    /// `par_iter()` on `&Vec<T>` / `&[T]` (`rayon::iter::IntoParallelRefIterator`).
+    pub trait IntoParallelRefIterator<'a> {
+        /// The per-item reference type.
+        type Item: 'a;
+        /// A parallel iterator over borrowed items.
+        fn par_iter(&'a self) -> ParIter<Self::Item>;
+    }
+
+    impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+        type Item = &'a T;
+        fn par_iter(&'a self) -> ParIter<&'a T> {
+            ParIter {
+                items: self.iter().collect(),
+            }
+        }
+    }
+
+    impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+        type Item = &'a T;
+        fn par_iter(&'a self) -> ParIter<&'a T> {
+            ParIter {
+                items: self.iter().collect(),
+            }
+        }
+    }
+
+    impl<I> ParIter<I> {
+        /// Pair every item with its index, preserving order.
+        pub fn enumerate(self) -> ParIter<(usize, I)> {
+            ParIter {
+                items: self.items.into_iter().enumerate().collect(),
+            }
+        }
+
+        /// Zip with a sequential iterable (truncates to the shorter side).
+        pub fn zip<B: IntoIterator>(self, other: B) -> ParIter<(I, B::Item)> {
+            ParIter {
+                items: self.items.into_iter().zip(other).collect(),
+            }
+        }
+
+        /// Order-preserving parallel map.
+        pub fn map<R, F: Fn(I) -> R + Sync>(self, f: F) -> Map<I, F> {
+            Map {
+                items: self.items,
+                f,
+            }
+        }
+
+        /// Order-preserving parallel map with once-per-worker scratch state.
+        pub fn map_init<S, R, INIT, F>(self, init: INIT, f: F) -> MapInit<I, INIT, F>
+        where
+            INIT: Fn() -> S + Sync,
+            F: Fn(&mut S, I) -> R + Sync,
+        {
+            MapInit {
+                items: self.items,
+                init,
+                f,
+            }
+        }
+    }
+
+    /// Execute `f` over `items` on one scoped thread per contiguous chunk,
+    /// preserving order. `state` is built once per chunk.
+    fn run_chunked<I, S, R>(
+        items: Vec<I>,
+        init: &(impl Fn() -> S + Sync),
+        f: &(impl Fn(&mut S, I) -> R + Sync),
+    ) -> Vec<R>
+    where
+        I: Send,
+        R: Send,
+    {
+        let n = items.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let workers = current_num_threads().min(n);
+        if workers <= 1 {
+            let mut state = init();
+            return items.into_iter().map(|it| f(&mut state, it)).collect();
+        }
+        let chunk_len = n.div_ceil(workers);
+        let mut chunks: Vec<Vec<I>> = Vec::with_capacity(workers);
+        let mut items = items.into_iter();
+        loop {
+            let chunk: Vec<I> = items.by_ref().take(chunk_len).collect();
+            if chunk.is_empty() {
+                break;
+            }
+            chunks.push(chunk);
+        }
+        let outputs: Vec<Vec<R>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = chunks
+                .into_iter()
+                .map(|chunk| {
+                    scope.spawn(move || {
+                        let mut state = init();
+                        chunk
+                            .into_iter()
+                            .map(|it| f(&mut state, it))
+                            .collect::<Vec<R>>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("rayon (vendored): worker panicked"))
+                .collect()
+        });
+        outputs.into_iter().flatten().collect()
+    }
+
+    /// Terminal operations shared by the adaptors (`rayon::ParallelIterator`).
+    pub trait ParallelIterator {
+        /// The produced item type.
+        type Output;
+
+        /// Execute in parallel, yielding outputs in input order.
+        fn run(self) -> Vec<Self::Output>;
+
+        /// Execute and collect (order-preserving).
+        fn collect<C: FromIterator<Self::Output>>(self) -> C
+        where
+            Self: Sized,
+        {
+            self.run().into_iter().collect()
+        }
+
+        /// Execute, then flatten one level (order-preserving).
+        fn flatten(self) -> ParIter<<Self::Output as IntoIterator>::Item>
+        where
+            Self: Sized,
+            Self::Output: IntoIterator,
+        {
+            ParIter {
+                items: self.run().into_iter().flatten().collect(),
+            }
+        }
+    }
+
+    impl<I: Send> ParallelIterator for ParIter<I> {
+        type Output = I;
+        fn run(self) -> Vec<I> {
+            self.items
+        }
+    }
+
+    impl<I, R, F> ParallelIterator for Map<I, F>
+    where
+        I: Send,
+        R: Send,
+        F: Fn(I) -> R + Sync,
+    {
+        type Output = R;
+        fn run(self) -> Vec<R> {
+            let f = self.f;
+            run_chunked(self.items, &|| (), &|(), it| f(it))
+        }
+    }
+
+    impl<I, S, R, INIT, F> ParallelIterator for MapInit<I, INIT, F>
+    where
+        I: Send,
+        R: Send,
+        INIT: Fn() -> S + Sync,
+        F: Fn(&mut S, I) -> R + Sync,
+    {
+        type Output = R;
+        fn run(self) -> Vec<R> {
+            run_chunked(self.items, &self.init, &self.f)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v: Vec<u64> = (0..1000).collect();
+        let out: Vec<u64> = v.par_iter().map(|x| x * 2).collect();
+        assert_eq!(out, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_chunks_matches_sequential() {
+        let v: Vec<u32> = (0..10).collect();
+        let sums: Vec<u32> = v.par_chunks(3).map(|c| c.iter().sum()).collect();
+        assert_eq!(sums, vec![3, 12, 21, 9]);
+    }
+
+    #[test]
+    fn enumerate_and_zip() {
+        let v = vec!["a", "b", "c"];
+        let w = vec![10, 20, 30];
+        let out: Vec<(usize, (&&str, i32))> = v
+            .par_iter()
+            .zip(w)
+            .enumerate()
+            .map(|(i, (s, n))| (i, (s, n)))
+            .collect();
+        assert_eq!(out[2], (2, (&"c", 30)));
+    }
+
+    #[test]
+    fn map_init_runs_init_once_per_worker() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let inits = AtomicUsize::new(0);
+        let v: Vec<u32> = (0..1000).collect();
+        let out: Vec<u32> = v
+            .par_iter()
+            .map_init(
+                || {
+                    inits.fetch_add(1, Ordering::SeqCst);
+                    0u32
+                },
+                |acc, x| {
+                    *acc += 1;
+                    // State is exercised; output stays the item.
+                    if *acc > 0 {
+                        *x
+                    } else {
+                        unreachable!()
+                    }
+                },
+            )
+            .collect();
+        assert_eq!(out, v);
+        let n = inits.load(Ordering::SeqCst);
+        assert!(n >= 1 && n <= super::current_num_threads());
+    }
+
+    #[test]
+    fn flatten_preserves_order() {
+        let v: Vec<usize> = (0..8).collect();
+        let out: Vec<usize> = v.par_iter().map(|&x| vec![x; x % 3]).flatten().collect();
+        let expect: Vec<usize> = (0..8).flat_map(|x| vec![x; x % 3]).collect();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn empty_input() {
+        let v: Vec<u32> = Vec::new();
+        let out: Vec<u32> = v.par_iter().map(|x| *x).collect();
+        assert!(out.is_empty());
+    }
+}
