@@ -62,7 +62,7 @@ fn bench_cpu_scan(c: &mut Criterion) {
     group.sample_size(10);
     for &m in &SIZES {
         let moduli = moduli_of(m);
-        let arena = ModuliArena::from_moduli(&moduli);
+        let arena = ModuliArena::try_from_moduli(&moduli).unwrap();
         group.bench_function(BenchmarkId::new("arena", m), |b| {
             b.iter(|| {
                 scan_cpu_arena(&arena, Algorithm::Approximate, true)
@@ -87,12 +87,14 @@ fn bench_gpu_sim_scan(c: &mut Criterion) {
         group.bench_function(BenchmarkId::new("parallel", m), |b| {
             b.iter(|| {
                 scan_gpu_sim(&moduli, Algorithm::Approximate, true, &device, &cost, 64)
+                    .unwrap()
                     .simulated_seconds
             })
         });
         group.bench_function(BenchmarkId::new("serial", m), |b| {
             b.iter(|| {
                 scan_gpu_sim_serial(&moduli, Algorithm::Approximate, true, &device, &cost, 64)
+                    .unwrap()
                     .simulated_seconds
             })
         });

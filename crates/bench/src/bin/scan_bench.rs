@@ -7,15 +7,21 @@
 //!
 //! Run: `cargo run --release -p bulkgcd-bench --bin scan_bench --
 //!       [--sizes 16,32,64] [--bits 128] [--reps 3] [--out BENCH_scan.json]`
+//!
+//! Fault-injection smoke mode (used by `scripts/check.sh`): `--inject-faults
+//! [--resume] [--fault-seed N]` runs the resumable scan under a seeded
+//! fault plan — transient faults retried, persistent faults degraded to the
+//! CPU path, kills resumed from the journal (with `--resume`) — and checks
+//! the findings against an uninterrupted fault-free scan.
 
 use bulkgcd_bench::Options;
 use bulkgcd_bigint::Nat;
 use bulkgcd_bulk::{
-    group_size_for, scan_cpu_arena, scan_gpu_sim_arena, scan_gpu_sim_serial, GroupedPairs,
-    ModuliArena,
+    group_size_for, scan_cpu_arena, scan_gpu_sim_arena, scan_gpu_sim_resumable,
+    scan_gpu_sim_serial, FaultPlan, GroupedPairs, ModuliArena, ScanError, ScanJournal,
 };
 use bulkgcd_core::{run, Algorithm, GcdOutcome, GcdPair, NoProbe, Termination};
-use bulkgcd_gpu::{CostModel, DeviceConfig};
+use bulkgcd_gpu::{CostModel, DeviceConfig, RetryPolicy};
 use bulkgcd_rsa::build_corpus;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -77,8 +83,88 @@ fn json_f64(x: f64) -> String {
     }
 }
 
+/// The `--inject-faults` smoke run: drive the resumable scan through a
+/// seeded fault plan and prove it lands on the fault-free findings.
+fn fault_smoke(opts: &Options) {
+    let m: usize = opts.get("keys", 24);
+    let bits: u64 = opts.get("bits", 128);
+    let launch_pairs: usize = opts.get("launch-pairs", 16);
+    // The default seed's plan covers all three fault kinds: kills at
+    // launch boundaries, retried transients and persistent→CPU fallbacks.
+    let seed: u64 = opts.get("fault-seed", 7);
+    let resume = opts.has("resume");
+    let device = DeviceConfig::gtx_780_ti();
+    let cost = CostModel::default();
+    let policy = RetryPolicy::default();
+    let algo = Algorithm::Approximate;
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let moduli = build_corpus(&mut rng, m, bits, 2).moduli();
+    let arena = ModuliArena::try_from_moduli(&moduli).expect("corpus is non-degenerate");
+    let launches = ((m * (m - 1) / 2) as u64).div_ceil(launch_pairs as u64);
+    let baseline = scan_gpu_sim_arena(&arena, algo, true, &device, &cost, launch_pairs);
+
+    let mut plan = FaultPlan::seeded(seed, launches);
+    eprintln!(
+        "fault smoke: {m} keys, {launches} launches, {} faulted ({} kills), resume={resume}",
+        plan.len(),
+        plan.kill_launches().count(),
+    );
+    let mut journal = ScanJournal::in_memory();
+    let mut crashes = 0u32;
+    let report = loop {
+        match scan_gpu_sim_resumable(
+            &arena,
+            algo,
+            true,
+            &device,
+            &cost,
+            launch_pairs,
+            &mut journal,
+            &plan,
+            &policy,
+        ) {
+            Ok(rep) => break rep,
+            Err(ScanError::Interrupted { launch }) if resume => {
+                // The process "crashed" at this launch boundary; a restart
+                // sees the same journal but the crash does not recur.
+                crashes += 1;
+                plan = plan.without_kill_at(launch);
+                eprintln!("  killed at launch {launch}; resuming from journal");
+            }
+            Err(e) => {
+                eprintln!("error: fault smoke failed: {e} (rerun with --resume?)");
+                std::process::exit(1);
+            }
+        }
+    };
+
+    assert_eq!(
+        report.scan.findings, baseline.findings,
+        "resumed scan must reproduce the fault-free findings"
+    );
+    let s = &report.stats;
+    eprintln!(
+        "  survived {crashes} crash(es): {}/{} launches resumed from journal, \
+         {} retried attempts, {} CPU fallbacks, {:?} total backoff",
+        s.resumed_launches,
+        s.total_launches,
+        s.retried_attempts,
+        s.cpu_fallback_launches,
+        s.backoff,
+    );
+    println!(
+        "fault smoke OK: {} findings match the fault-free scan",
+        report.scan.findings.len()
+    );
+}
+
 fn main() {
     let opts = Options::from_env();
+    if opts.has("inject-faults") {
+        fault_smoke(&opts);
+        return;
+    }
     let sizes = opts.get_list("sizes", &[16, 32, 64]);
     if sizes.is_empty() {
         eprintln!("error: --sizes needs a comma-separated list of corpus sizes (e.g. 16,32,64)");
@@ -97,7 +183,7 @@ fn main() {
         let m = m as usize;
         let mut rng = StdRng::seed_from_u64(0x5ca9 ^ m as u64);
         let moduli = build_corpus(&mut rng, m, bits, 2).moduli();
-        let arena = ModuliArena::from_moduli(&moduli);
+        let arena = ModuliArena::try_from_moduli(&moduli).expect("bench corpus is non-degenerate");
         let pairs = (m * (m - 1) / 2) as f64;
 
         let (cpu_s, cpu_found) =
@@ -111,7 +197,8 @@ fn main() {
                 .len()
         });
         let par = scan_gpu_sim_arena(&arena, algo, true, &device, &cost, launch_pairs);
-        let ser = scan_gpu_sim_serial(&moduli, algo, true, &device, &cost, launch_pairs);
+        let ser = scan_gpu_sim_serial(&moduli, algo, true, &device, &cost, launch_pairs)
+            .expect("bench corpus is non-degenerate");
         let par_sim = par.simulated_seconds.unwrap_or(0.0);
         let ser_sim = ser.simulated_seconds.unwrap_or(0.0);
         let parallel_matches_serial =

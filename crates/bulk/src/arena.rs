@@ -15,8 +15,45 @@
 //! arrangement (`i · m + j`, [`Layout::ColumnWise`]), the coalescing-friendly
 //! ordering of `bulkgcd_umm`.
 
-use bulkgcd_bigint::{Limb, Nat};
+use bulkgcd_bigint::{ops, Limb, Nat};
 use bulkgcd_umm::Layout;
+use std::fmt;
+
+/// Why a [`ModuliArena`] could not be built from a corpus.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArenaError {
+    /// The corpus holds no moduli at all — there is nothing to scan, and a
+    /// degenerate arena would only defer the surprise to the scan layer.
+    EmptyCorpus,
+    /// `moduli × stride` limbs exceed what one contiguous buffer may hold.
+    WidthOverflow {
+        /// Number of moduli in the corpus.
+        moduli: usize,
+        /// Limbs per modulus (width of the widest modulus).
+        stride: usize,
+        /// The limit that was exceeded.
+        max_limbs: usize,
+    },
+}
+
+impl fmt::Display for ArenaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArenaError::EmptyCorpus => write!(f, "corpus holds no moduli"),
+            ArenaError::WidthOverflow {
+                moduli,
+                stride,
+                max_limbs,
+            } => write!(
+                f,
+                "corpus does not fit one arena: {moduli} moduli x {stride} limbs \
+                 exceeds {max_limbs} limbs"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ArenaError {}
 
 /// A corpus of moduli packed into one fixed-stride limb buffer.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -33,20 +70,50 @@ pub struct ModuliArena {
 }
 
 impl ModuliArena {
+    /// The most limbs one arena buffer may hold (the allocator's hard
+    /// ceiling for a single contiguous allocation).
+    pub const MAX_TOTAL_LIMBS: usize = isize::MAX as usize / std::mem::size_of::<Limb>();
+
     /// Pack `moduli` into a fresh arena. The stride is the limb count of
     /// the widest modulus (minimum 1); narrower moduli are high-zero padded.
-    pub fn from_moduli(moduli: &[Nat]) -> Self {
+    ///
+    /// Fails with [`ArenaError::EmptyCorpus`] for an empty slice and
+    /// [`ArenaError::WidthOverflow`] when `moduli.len() × stride` would
+    /// exceed a single allocation ([`Self::MAX_TOTAL_LIMBS`]).
+    pub fn try_from_moduli(moduli: &[Nat]) -> Result<Self, ArenaError> {
+        Self::try_from_moduli_capped(moduli, Self::MAX_TOTAL_LIMBS)
+    }
+
+    /// [`try_from_moduli`](Self::try_from_moduli) with an explicit limb
+    /// budget — the overflow guard made testable (and a hook for callers
+    /// that want to bound scan memory below the allocator's ceiling).
+    pub fn try_from_moduli_capped(
+        moduli: &[Nat],
+        max_total_limbs: usize,
+    ) -> Result<Self, ArenaError> {
+        if moduli.is_empty() {
+            return Err(ArenaError::EmptyCorpus);
+        }
         let stride = moduli.iter().map(Nat::len).max().unwrap_or(0).max(1);
-        let mut limbs = vec![0 as Limb; moduli.len() * stride];
+        let total = moduli
+            .len()
+            .checked_mul(stride)
+            .filter(|&t| t <= max_total_limbs)
+            .ok_or(ArenaError::WidthOverflow {
+                moduli: moduli.len(),
+                stride,
+                max_limbs: max_total_limbs,
+            })?;
+        let mut limbs = vec![0 as Limb; total];
         for (row, n) in limbs.chunks_exact_mut(stride).zip(moduli) {
             row[..n.len()].copy_from_slice(n.as_limbs());
         }
-        ModuliArena {
+        Ok(ModuliArena {
             limbs,
             stride,
             m: moduli.len(),
             bit_lens: moduli.iter().map(Nat::bit_len).collect(),
-        }
+        })
     }
 
     /// Number of moduli.
@@ -72,6 +139,15 @@ impl ModuliArena {
     #[inline]
     pub fn limbs(&self, i: usize) -> &[Limb] {
         &self.limbs[i * self.stride..(i + 1) * self.stride]
+    }
+
+    /// Modulus `i` with high-zero padding trimmed: the slice a canonical
+    /// [`Nat`] of the same value would hold. Lets the scan compare a GCD
+    /// against a modulus (the duplicate-modulus check) without allocating.
+    #[inline]
+    pub fn limbs_trimmed(&self, i: usize) -> &[Limb] {
+        let row = self.limbs(i);
+        &row[..ops::normalized_len(row)]
     }
 
     /// Significant bits of modulus `i` (cached at construction).
@@ -141,7 +217,7 @@ mod tests {
             Nat::zero(),                          // 0 limbs
             nat(1u128 << 100),                    // 4 limbs
         ];
-        let arena = ModuliArena::from_moduli(&moduli);
+        let arena = ModuliArena::try_from_moduli(&moduli).unwrap();
         assert_eq!(arena.len(), 4);
         assert_eq!(arena.stride(), 4);
         for (i, n) in moduli.iter().enumerate() {
@@ -153,18 +229,45 @@ mod tests {
     }
 
     #[test]
-    fn empty_arena() {
-        let arena = ModuliArena::from_moduli(&[]);
-        assert!(arena.is_empty());
-        assert_eq!(arena.stride(), 1);
-        assert!(arena.as_limbs().is_empty());
-        assert!(arena.column_wise().is_empty());
+    fn empty_corpus_is_rejected() {
+        assert_eq!(
+            ModuliArena::try_from_moduli(&[]).unwrap_err(),
+            ArenaError::EmptyCorpus
+        );
+    }
+
+    #[test]
+    fn oversized_corpus_is_rejected() {
+        // Two 3-limb moduli need 6 limbs; a 5-limb budget must refuse
+        // rather than assert or abort on allocation.
+        let moduli = vec![nat(1u128 << 80), nat(3)];
+        let err = ModuliArena::try_from_moduli_capped(&moduli, 5).unwrap_err();
+        assert_eq!(
+            err,
+            ArenaError::WidthOverflow {
+                moduli: 2,
+                stride: 3,
+                max_limbs: 5
+            }
+        );
+        assert!(err.to_string().contains("does not fit"));
+        // The same corpus fits the real ceiling.
+        assert!(ModuliArena::try_from_moduli(&moduli).is_ok());
+    }
+
+    #[test]
+    fn trimmed_limbs_drop_padding_only() {
+        let moduli = vec![nat(1u128 << 80), nat(3), Nat::zero()];
+        let arena = ModuliArena::try_from_moduli(&moduli).unwrap();
+        for (i, n) in moduli.iter().enumerate() {
+            assert_eq!(arena.limbs_trimmed(i), n.as_limbs(), "modulus {i}");
+        }
     }
 
     #[test]
     fn row_wise_backing_matches_layout_addressing() {
         let moduli = vec![nat(0x1_0000_0002), nat(3), nat(0xdead_beef_cafe)];
-        let arena = ModuliArena::from_moduli(&moduli);
+        let arena = ModuliArena::try_from_moduli(&moduli).unwrap();
         for j in 0..arena.len() {
             for i in 0..arena.stride() {
                 let addr = Layout::RowWise.address(j, i, arena.len(), arena.stride());
@@ -177,7 +280,7 @@ mod tests {
     #[test]
     fn column_wise_is_fig3_transpose() {
         let moduli = vec![nat(0x1111_2222_3333), nat(0x4444_5555_6666), nat(7)];
-        let arena = ModuliArena::from_moduli(&moduli);
+        let arena = ModuliArena::try_from_moduli(&moduli).unwrap();
         let col = arena.column_wise();
         assert_eq!(col.len(), arena.as_limbs().len());
         for j in 0..arena.len() {
@@ -197,7 +300,7 @@ mod tests {
         use bulkgcd_core::{run_in_place, Algorithm, GcdPair, GcdStatus, NoProbe, Termination};
         let p = 0xffff_fffbu128;
         let moduli = vec![nat(p * 4_294_967_311), nat(p * 4_294_967_357)];
-        let arena = ModuliArena::from_moduli(&moduli);
+        let arena = ModuliArena::try_from_moduli(&moduli).unwrap();
         let mut pair = GcdPair::with_capacity(arena.stride());
         pair.load_from_limbs(arena.limbs(0), arena.limbs(1));
         let status = run_in_place(

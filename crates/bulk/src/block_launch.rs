@@ -9,7 +9,7 @@
 //! does not pay. This module prices that exact shape.
 
 use crate::pairing::GroupedPairs;
-use crate::scan::Finding;
+use crate::scan::{Finding, FindingKind};
 use bulkgcd_bigint::Nat;
 use bulkgcd_core::{run, Algorithm, GcdOutcome, GcdPair, Termination};
 use bulkgcd_gpu::{execute_warp, schedule, CostModel, DeviceConfig, GpuReport, WarpWork};
@@ -74,7 +74,17 @@ pub fn scan_gpu_blocks(
                 lane.extend(probe.iters);
                 if let GcdOutcome::Gcd(g) = out {
                     if !g.is_one() {
-                        findings.push(Finding { i, j, factor: g });
+                        let kind = if g == moduli[i] || g == moduli[j] {
+                            FindingKind::DuplicateModulus
+                        } else {
+                            FindingKind::SharedPrime
+                        };
+                        findings.push(Finding {
+                            i,
+                            j,
+                            kind,
+                            factor: g,
+                        });
                     }
                 }
             }
@@ -113,7 +123,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         let corpus = build_corpus(&mut rng, 16, 128, 2);
         let moduli = corpus.moduli();
-        let cpu = scan_cpu(&moduli, Algorithm::Approximate, true);
+        let cpu = scan_cpu(&moduli, Algorithm::Approximate, true).unwrap();
         let blk = scan_gpu_blocks(
             &moduli,
             Algorithm::Approximate,
@@ -160,7 +170,8 @@ mod tests {
         let device = DeviceConfig::gtx_780_ti();
         let cost = CostModel::default();
         let blk = scan_gpu_blocks(&moduli, Algorithm::Approximate, true, &device, &cost, 4);
-        let flat = scan_gpu_sim(&moduli, Algorithm::Approximate, true, &device, &cost, 1024);
+        let flat =
+            scan_gpu_sim(&moduli, Algorithm::Approximate, true, &device, &cost, 1024).unwrap();
         let flat_s = flat.simulated_seconds.unwrap();
         // Same work, same device: within a small factor of each other
         // (the block shape pays raggedness, the flat shape pays nothing).

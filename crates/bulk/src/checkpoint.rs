@@ -1,0 +1,647 @@
+//! Append-only checkpoint journal for resumable scans.
+//!
+//! A full all-pairs sweep of a real corpus takes hours; a crash near the
+//! end must not force a restart from pair zero. The scan driver
+//! ([`scan_gpu_sim_resumable`](crate::scan::scan_gpu_sim_resumable))
+//! commits each completed launch to a [`ScanJournal`] — launch index,
+//! simulated seconds, CPU-fallback flag, and the launch's findings — and on
+//! resume skips every launch the journal already holds. Because the final
+//! report is always merged **from the journal**, a resumed run reduces to
+//! exactly the records an uninterrupted run would have written, making the
+//! resume-equals-rerun property testable byte for byte.
+//!
+//! # Journal format (version 1)
+//!
+//! A plain-text, line-oriented, append-only file. No external
+//! serialization crates are used; every value round-trips exactly:
+//!
+//! ```text
+//! bulkgcd-scan-journal v1
+//! H fp=<fnv1a64 hex16> m=<moduli> stride=<limbs> algo=<tag> early=<0|1> launch_pairs=<lanes> launches=<count>
+//! L <launch> sim=<f64-bits hex16> fb=<0|1> n=<findings> <i>,<j>,<S|D>,<factor-hex> ...
+//! D
+//! ```
+//!
+//! * the magic line pins the format version;
+//! * `H` binds the journal to one scan configuration: a corpus fingerprint
+//!   (FNV-1a-64 over the arena's dimensions and limb bytes) plus the
+//!   algorithm, termination mode and launch width — resuming with *any*
+//!   different configuration is refused with [`JournalError::Mismatch`]
+//!   rather than silently merging incompatible findings;
+//! * one `L` line per completed launch. Simulated seconds are stored as
+//!   the `f64` bit pattern in hex (`to_bits`), not decimal, so the resumed
+//!   sum is bitwise identical; factors are lower-case hex;
+//! * `D` marks the scan complete.
+//!
+//! Records are flushed line-at-a-time, so a crash can only tear the final
+//! line. [`ScanJournal::open`] tolerates exactly that: bytes after the
+//! last `\n` are dropped (the interrupted launch is simply re-run), while
+//! a malformed *complete* line is real corruption and is reported as
+//! [`JournalError::Corrupt`].
+
+use crate::arena::ModuliArena;
+use crate::scan::{Finding, FindingKind};
+use bulkgcd_bigint::Nat;
+use bulkgcd_core::Algorithm;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::fs::{File, OpenOptions};
+use std::io::{self, Write};
+use std::path::Path;
+
+/// First line of every journal file.
+const MAGIC: &str = "bulkgcd-scan-journal v1";
+
+/// Why a journal could not be used.
+#[derive(Debug)]
+pub enum JournalError {
+    /// The journal file could not be read or appended to.
+    Io(io::Error),
+    /// A complete line of the journal failed to parse. (A torn *final*
+    /// line — no trailing newline — is not corruption; it is dropped.)
+    Corrupt {
+        /// 1-based line number of the offending line.
+        line: usize,
+        /// What was wrong with it.
+        reason: String,
+    },
+    /// The journal was written by a different scan configuration and must
+    /// not be resumed with this one.
+    Mismatch {
+        /// The header field that differs.
+        field: &'static str,
+        /// The journal's value.
+        journal: String,
+        /// The current run's value.
+        run: String,
+    },
+}
+
+impl fmt::Display for JournalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JournalError::Io(e) => write!(f, "journal I/O: {e}"),
+            JournalError::Corrupt { line, reason } => {
+                write!(f, "journal corrupt at line {line}: {reason}")
+            }
+            JournalError::Mismatch {
+                field,
+                journal,
+                run,
+            } => write!(
+                f,
+                "journal belongs to a different scan ({field}: journal has {journal}, \
+                 this run has {run}); delete it or rerun with the original settings"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for JournalError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            JournalError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for JournalError {
+    fn from(e: io::Error) -> Self {
+        JournalError::Io(e)
+    }
+}
+
+/// FNV-1a-64 over the arena's shape and limb bytes: cheap, dependency-free,
+/// and sensitive to any reordering or edit of the corpus.
+pub fn corpus_fingerprint(arena: &ModuliArena) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(PRIME);
+        }
+    };
+    eat(&(arena.len() as u64).to_le_bytes());
+    eat(&(arena.stride() as u64).to_le_bytes());
+    for i in 0..arena.len() {
+        for &limb in arena.limbs(i) {
+            eat(&limb.to_le_bytes());
+        }
+    }
+    h
+}
+
+/// The configuration a journal is bound to. Two runs may share a journal
+/// only if every field matches.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JournalHeader {
+    /// [`corpus_fingerprint`] of the arena.
+    pub fingerprint: u64,
+    /// Number of moduli in the corpus.
+    pub moduli: usize,
+    /// Arena stride in limbs.
+    pub stride: usize,
+    /// The GCD algorithm's paper tag (e.g. `(E)`).
+    pub algo: String,
+    /// Whether §V early termination was enabled.
+    pub early: bool,
+    /// Lanes per simulated kernel launch.
+    pub launch_pairs: usize,
+    /// Total launches the scan needs (`ceil(m(m-1)/2 / launch_pairs)`).
+    pub launches: u64,
+}
+
+impl JournalHeader {
+    /// The header for a scan of `arena` with the given settings.
+    pub fn for_scan(
+        arena: &ModuliArena,
+        algo: Algorithm,
+        early: bool,
+        launch_pairs: usize,
+    ) -> Self {
+        let m = arena.len() as u64;
+        let total_pairs = m * m.saturating_sub(1) / 2;
+        JournalHeader {
+            fingerprint: corpus_fingerprint(arena),
+            moduli: arena.len(),
+            stride: arena.stride(),
+            algo: algo.tag().to_string(),
+            early,
+            launch_pairs,
+            launches: total_pairs.div_ceil(launch_pairs.max(1) as u64),
+        }
+    }
+
+    fn to_line(&self) -> String {
+        format!(
+            "H fp={:016x} m={} stride={} algo={} early={} launch_pairs={} launches={}",
+            self.fingerprint,
+            self.moduli,
+            self.stride,
+            self.algo,
+            u8::from(self.early),
+            self.launch_pairs,
+            self.launches,
+        )
+    }
+}
+
+/// One committed launch: everything needed to reproduce its contribution
+/// to the final [`ScanReport`](crate::scan::ScanReport).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LaunchRecord {
+    /// The launch index within the scan's launch sequence.
+    pub launch: u64,
+    /// Simulated device seconds (0.0 for a CPU-fallback launch).
+    pub simulated_seconds: f64,
+    /// Whether the launch was degraded to the host path.
+    pub cpu_fallback: bool,
+    /// The launch's findings, in lane order.
+    pub findings: Vec<Finding>,
+}
+
+impl LaunchRecord {
+    fn to_line(&self) -> String {
+        let mut line = format!(
+            "L {} sim={:016x} fb={} n={}",
+            self.launch,
+            self.simulated_seconds.to_bits(),
+            u8::from(self.cpu_fallback),
+            self.findings.len(),
+        );
+        for f in &self.findings {
+            let kind = match f.kind {
+                FindingKind::SharedPrime => 'S',
+                FindingKind::DuplicateModulus => 'D',
+            };
+            line.push_str(&format!(" {},{},{},{}", f.i, f.j, kind, f.factor.to_hex()));
+        }
+        line
+    }
+}
+
+/// The append-only checkpoint journal.
+///
+/// Backed by a file ([`open`](Self::open)) for real crash tolerance, or by
+/// nothing ([`in_memory`](Self::in_memory)) when tests only need the
+/// resume semantics. Records live in launch-index order regardless of the
+/// order they were committed in, which is what makes the parallel driver's
+/// merge deterministic.
+#[derive(Debug)]
+pub struct ScanJournal {
+    file: Option<File>,
+    header: Option<JournalHeader>,
+    records: BTreeMap<u64, LaunchRecord>,
+    done: bool,
+}
+
+impl ScanJournal {
+    /// A journal with no backing file: resume semantics without I/O.
+    pub fn in_memory() -> Self {
+        ScanJournal {
+            file: None,
+            header: None,
+            records: BTreeMap::new(),
+            done: false,
+        }
+    }
+
+    /// Open (or create) the journal at `path`, replaying any prior run's
+    /// records. A torn final line — the signature of a crash mid-append —
+    /// is dropped; that launch will simply be re-executed.
+    pub fn open(path: &Path) -> Result<Self, JournalError> {
+        let mut journal = ScanJournal::in_memory();
+        if path.exists() {
+            journal.replay(&std::fs::read(path)?)?;
+        }
+        journal.file = Some(OpenOptions::new().create(true).append(true).open(path)?);
+        Ok(journal)
+    }
+
+    fn replay(&mut self, bytes: &[u8]) -> Result<(), JournalError> {
+        // Torn-tail tolerance: only bytes up to the last '\n' are a
+        // committed prefix; anything after it is a half-written line.
+        let committed = match bytes.iter().rposition(|&b| b == b'\n') {
+            Some(pos) => &bytes[..=pos],
+            None => return Ok(()), // no complete line yet: fresh journal
+        };
+        let text = std::str::from_utf8(committed).map_err(|e| JournalError::Corrupt {
+            line: 0,
+            reason: format!("not UTF-8: {e}"),
+        })?;
+        for (idx, line) in text.lines().enumerate() {
+            let lineno = idx + 1;
+            let corrupt = |reason: String| JournalError::Corrupt {
+                line: lineno,
+                reason,
+            };
+            if idx == 0 {
+                if line != MAGIC {
+                    return Err(corrupt(format!("expected `{MAGIC}`, found `{line}`")));
+                }
+                continue;
+            }
+            match line.as_bytes().first() {
+                Some(b'H') => self.header = Some(parse_header(line, lineno)?),
+                Some(b'L') => {
+                    if self.header.is_none() {
+                        return Err(corrupt("launch record before header".into()));
+                    }
+                    let rec = parse_record(line, lineno)?;
+                    self.records.insert(rec.launch, rec);
+                }
+                Some(b'D') => self.done = true,
+                _ => return Err(corrupt(format!("unknown record `{line}`"))),
+            }
+        }
+        Ok(())
+    }
+
+    fn append(&mut self, line: &str) -> Result<(), JournalError> {
+        if let Some(file) = &mut self.file {
+            file.write_all(line.as_bytes())?;
+            file.write_all(b"\n")?;
+            file.flush()?;
+        }
+        Ok(())
+    }
+
+    /// Bind the journal to `header`, or verify it is already bound to an
+    /// identical one. Field-by-field mismatches are reported so the caller
+    /// knows *what* diverged (corpus edits show up as `fingerprint`).
+    pub fn check_compatible(&mut self, header: &JournalHeader) -> Result<(), JournalError> {
+        match &self.header {
+            None => {
+                self.append(MAGIC)?;
+                self.append(&header.to_line())?;
+                self.header = Some(header.clone());
+                Ok(())
+            }
+            Some(existing) => {
+                let mismatch = |field: &'static str, journal: String, run: String| {
+                    Err(JournalError::Mismatch {
+                        field,
+                        journal,
+                        run,
+                    })
+                };
+                if existing.fingerprint != header.fingerprint {
+                    return mismatch(
+                        "fingerprint",
+                        format!("{:016x}", existing.fingerprint),
+                        format!("{:016x}", header.fingerprint),
+                    );
+                }
+                if existing.moduli != header.moduli {
+                    return mismatch(
+                        "moduli",
+                        existing.moduli.to_string(),
+                        header.moduli.to_string(),
+                    );
+                }
+                if existing.stride != header.stride {
+                    return mismatch(
+                        "stride",
+                        existing.stride.to_string(),
+                        header.stride.to_string(),
+                    );
+                }
+                if existing.algo != header.algo {
+                    return mismatch("algo", existing.algo.clone(), header.algo.clone());
+                }
+                if existing.early != header.early {
+                    return mismatch(
+                        "early",
+                        existing.early.to_string(),
+                        header.early.to_string(),
+                    );
+                }
+                if existing.launch_pairs != header.launch_pairs {
+                    return mismatch(
+                        "launch_pairs",
+                        existing.launch_pairs.to_string(),
+                        header.launch_pairs.to_string(),
+                    );
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Whether launch `launch` is already committed.
+    pub fn completed(&self, launch: u64) -> bool {
+        self.records.contains_key(&launch)
+    }
+
+    /// Number of committed launches.
+    pub fn committed(&self) -> u64 {
+        self.records.len() as u64
+    }
+
+    /// Whether the scan this journal tracks ran to completion.
+    pub fn is_done(&self) -> bool {
+        self.done
+    }
+
+    /// The header the journal is bound to, if any run has started.
+    pub fn header(&self) -> Option<&JournalHeader> {
+        self.header.as_ref()
+    }
+
+    /// Commit one completed launch. The line is flushed before this
+    /// returns, so a crash immediately after cannot lose the launch.
+    pub fn record(&mut self, record: LaunchRecord) -> Result<(), JournalError> {
+        self.append(&record.to_line())?;
+        self.records.insert(record.launch, record);
+        Ok(())
+    }
+
+    /// Mark the scan complete. Idempotent.
+    pub fn mark_done(&mut self) -> Result<(), JournalError> {
+        if !self.done {
+            self.append("D")?;
+            self.done = true;
+        }
+        Ok(())
+    }
+
+    /// Committed records in launch-index order — the merge order every
+    /// run (interrupted or not) reduces the scan in.
+    pub fn records(&self) -> impl Iterator<Item = &LaunchRecord> {
+        self.records.values()
+    }
+}
+
+fn field<'a>(line: &'a str, key: &str, lineno: usize) -> Result<&'a str, JournalError> {
+    let prefix = format!("{key}=");
+    line.split_ascii_whitespace()
+        .find_map(|tok| tok.strip_prefix(&prefix))
+        .ok_or_else(|| JournalError::Corrupt {
+            line: lineno,
+            reason: format!("missing field `{key}`"),
+        })
+}
+
+fn parse_num<T: std::str::FromStr>(s: &str, what: &str, lineno: usize) -> Result<T, JournalError>
+where
+    T::Err: fmt::Display,
+{
+    s.parse().map_err(|e| JournalError::Corrupt {
+        line: lineno,
+        reason: format!("bad {what} `{s}`: {e}"),
+    })
+}
+
+fn parse_hex_u64(s: &str, what: &str, lineno: usize) -> Result<u64, JournalError> {
+    u64::from_str_radix(s, 16).map_err(|e| JournalError::Corrupt {
+        line: lineno,
+        reason: format!("bad {what} `{s}`: {e}"),
+    })
+}
+
+fn parse_header(line: &str, lineno: usize) -> Result<JournalHeader, JournalError> {
+    Ok(JournalHeader {
+        fingerprint: parse_hex_u64(field(line, "fp", lineno)?, "fingerprint", lineno)?,
+        moduli: parse_num(field(line, "m", lineno)?, "moduli count", lineno)?,
+        stride: parse_num(field(line, "stride", lineno)?, "stride", lineno)?,
+        algo: field(line, "algo", lineno)?.to_string(),
+        early: field(line, "early", lineno)? == "1",
+        launch_pairs: parse_num(field(line, "launch_pairs", lineno)?, "launch_pairs", lineno)?,
+        launches: parse_num(field(line, "launches", lineno)?, "launches", lineno)?,
+    })
+}
+
+fn parse_record(line: &str, lineno: usize) -> Result<LaunchRecord, JournalError> {
+    let corrupt = |reason: String| JournalError::Corrupt {
+        line: lineno,
+        reason,
+    };
+    let mut toks = line.split_ascii_whitespace();
+    toks.next(); // the leading "L"
+    let launch = parse_num(
+        toks.next()
+            .ok_or_else(|| corrupt("missing launch index".into()))?,
+        "launch index",
+        lineno,
+    )?;
+    let sim_bits = parse_hex_u64(field(line, "sim", lineno)?, "sim bits", lineno)?;
+    let cpu_fallback = field(line, "fb", lineno)? == "1";
+    let n: usize = parse_num(field(line, "n", lineno)?, "finding count", lineno)?;
+    let mut findings = Vec::with_capacity(n);
+    // Findings are the tokens after the fixed fields (launch, sim, fb, n).
+    for tok in toks.skip(3) {
+        let mut parts = tok.split(',');
+        let mut next = |what: &str| {
+            parts.next().ok_or_else(|| JournalError::Corrupt {
+                line: lineno,
+                reason: format!("finding `{tok}` missing {what}"),
+            })
+        };
+        let i = parse_num(next("i")?, "finding index i", lineno)?;
+        let j = parse_num(next("j")?, "finding index j", lineno)?;
+        let kind = match next("kind")? {
+            "S" => FindingKind::SharedPrime,
+            "D" => FindingKind::DuplicateModulus,
+            other => return Err(corrupt(format!("unknown finding kind `{other}`"))),
+        };
+        let factor = Nat::from_hex(next("factor")?).map_err(|e| JournalError::Corrupt {
+            line: lineno,
+            reason: format!("bad factor hex in `{tok}`: {e}"),
+        })?;
+        findings.push(Finding { i, j, kind, factor });
+    }
+    if findings.len() != n {
+        return Err(corrupt(format!(
+            "finding count mismatch: header says {n}, line has {}",
+            findings.len()
+        )));
+    }
+    Ok(LaunchRecord {
+        launch,
+        simulated_seconds: f64::from_bits(sim_bits),
+        cpu_fallback,
+        findings,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_record() -> LaunchRecord {
+        LaunchRecord {
+            launch: 3,
+            simulated_seconds: 0.1 + 0.2, // a value decimal printing would mangle
+            cpu_fallback: false,
+            findings: vec![
+                Finding {
+                    i: 1,
+                    j: 4,
+                    kind: FindingKind::SharedPrime,
+                    factor: Nat::from_u64(0xdead_beef),
+                },
+                Finding {
+                    i: 2,
+                    j: 5,
+                    kind: FindingKind::DuplicateModulus,
+                    factor: Nat::from_u64(77),
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn record_line_roundtrips_exactly() {
+        let rec = sample_record();
+        let parsed = parse_record(&rec.to_line(), 1).unwrap();
+        assert_eq!(parsed, rec);
+        // f64 bits survive: bitwise, not approximately.
+        assert_eq!(
+            parsed.simulated_seconds.to_bits(),
+            rec.simulated_seconds.to_bits()
+        );
+    }
+
+    #[test]
+    fn header_line_roundtrips() {
+        let header = JournalHeader {
+            fingerprint: 0x0123_4567_89ab_cdef,
+            moduli: 128,
+            stride: 8,
+            algo: "(E)".to_string(),
+            early: true,
+            launch_pairs: 64,
+            launches: 127,
+        };
+        assert_eq!(parse_header(&header.to_line(), 1).unwrap(), header);
+    }
+
+    #[test]
+    fn journal_file_replays_and_tolerates_torn_tail() {
+        let dir = std::env::temp_dir().join("bulkgcd-journal-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("torn-{}.journal", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+
+        let header = JournalHeader {
+            fingerprint: 42,
+            moduli: 4,
+            stride: 2,
+            algo: "(E)".to_string(),
+            early: false,
+            launch_pairs: 2,
+            launches: 3,
+        };
+        let rec = sample_record();
+        {
+            let mut j = ScanJournal::open(&path).unwrap();
+            j.check_compatible(&header).unwrap();
+            j.record(rec.clone()).unwrap();
+        }
+        // Simulate a crash mid-append: a trailing half-written line.
+        {
+            use std::io::Write;
+            let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+            f.write_all(b"L 4 sim=0000").unwrap();
+        }
+        let j = ScanJournal::open(&path).unwrap();
+        assert_eq!(j.header(), Some(&header));
+        assert!(j.completed(3));
+        assert!(!j.completed(4), "torn record must not count as committed");
+        assert!(!j.is_done());
+        assert_eq!(j.records().cloned().collect::<Vec<_>>(), vec![rec]);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn mismatched_header_is_refused() {
+        let mut j = ScanJournal::in_memory();
+        let header = JournalHeader {
+            fingerprint: 1,
+            moduli: 4,
+            stride: 2,
+            algo: "(E)".to_string(),
+            early: false,
+            launch_pairs: 2,
+            launches: 3,
+        };
+        j.check_compatible(&header).unwrap();
+        let mut other = header.clone();
+        other.fingerprint = 2;
+        match j.check_compatible(&other) {
+            Err(JournalError::Mismatch { field, .. }) => assert_eq!(field, "fingerprint"),
+            other => panic!("expected fingerprint mismatch, got {other:?}"),
+        }
+        let mut other = header.clone();
+        other.launch_pairs = 99;
+        match j.check_compatible(&other) {
+            Err(JournalError::Mismatch { field, .. }) => assert_eq!(field, "launch_pairs"),
+            other => panic!("expected launch_pairs mismatch, got {other:?}"),
+        }
+        // The original header still matches.
+        j.check_compatible(&header).unwrap();
+    }
+
+    #[test]
+    fn corrupt_complete_line_is_an_error() {
+        let mut j = ScanJournal::in_memory();
+        let bytes =
+            format!("{MAGIC}\nH fp=zz m=1 stride=1 algo=(E) early=0 launch_pairs=1 launches=0\n");
+        match j.replay(bytes.as_bytes()) {
+            Err(JournalError::Corrupt { line, .. }) => assert_eq!(line, 2),
+            other => panic!("expected corruption at line 2, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn mark_done_is_idempotent() {
+        let mut j = ScanJournal::in_memory();
+        assert!(!j.is_done());
+        j.mark_done().unwrap();
+        j.mark_done().unwrap();
+        assert!(j.is_done());
+    }
+}

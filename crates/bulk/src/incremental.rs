@@ -8,6 +8,22 @@
 
 use crate::batch::ProductTree;
 use bulkgcd_bigint::Nat;
+use std::fmt;
+
+/// A zero modulus offered to the index. `gcd(0, n) = n` would make it
+/// "share a factor" with every key; a key service must refuse it at the
+/// door instead of poisoning the product tree (a zero leaf zeroes the
+/// root, breaking every later check).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ZeroModulus;
+
+impl fmt::Display for ZeroModulus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "candidate modulus is zero")
+    }
+}
+
+impl std::error::Error for ZeroModulus {}
 
 /// A corpus index supporting O(log-ish) shared-prime checks against all
 /// previously registered moduli.
@@ -24,14 +40,18 @@ impl CorpusIndex {
         Self::default()
     }
 
-    /// Index over an initial corpus.
-    pub fn from_moduli(moduli: &[Nat]) -> Self {
+    /// Index over an initial corpus. Refuses a corpus containing a zero
+    /// modulus, for the same reason [`Self::insert`] does.
+    pub fn from_moduli(moduli: &[Nat]) -> Result<Self, ZeroModulus> {
+        if moduli.iter().any(Nat::is_zero) {
+            return Err(ZeroModulus);
+        }
         let mut idx = CorpusIndex {
             moduli: moduli.to_vec(),
             tree: None,
         };
         idx.rebuild();
-        idx
+        Ok(idx)
     }
 
     fn rebuild(&mut self) {
@@ -54,26 +74,34 @@ impl CorpusIndex {
 
     /// Check a candidate modulus against everything indexed: returns
     /// `gcd(n, P mod n)` — a value > 1 exactly when `n` shares a factor
-    /// with (or equals) some indexed modulus.
-    pub fn shared_factor(&self, n: &Nat) -> Nat {
-        assert!(!n.is_zero(), "candidate modulus must be positive");
+    /// with (or equals) some indexed modulus. A zero candidate is refused
+    /// ([`ZeroModulus`]) rather than asserted away.
+    pub fn shared_factor(&self, n: &Nat) -> Result<Nat, ZeroModulus> {
+        if n.is_zero() {
+            return Err(ZeroModulus);
+        }
         let Some(tree) = &self.tree else {
-            return Nat::one();
+            return Ok(Nat::one());
         };
         let r = tree.root().rem(n);
         if r.is_zero() {
             // n divides the product: n itself is (a product of) shared
             // primes — the duplicate-modulus case.
-            return n.clone();
+            return Ok(n.clone());
         }
-        r.gcd_reference(n)
+        Ok(r.gcd_reference(n))
     }
 
     /// Register a new modulus (call [`Self::commit`] when done inserting).
-    pub fn insert(&mut self, n: Nat) {
-        assert!(!n.is_zero());
+    /// A zero modulus is refused — indexing one would zero the product
+    /// tree's root and break every later check.
+    pub fn insert(&mut self, n: Nat) -> Result<(), ZeroModulus> {
+        if n.is_zero() {
+            return Err(ZeroModulus);
+        }
         self.moduli.push(n);
         self.tree = None;
+        Ok(())
     }
 
     /// Rebuild the tree after a batch of [`Self::insert`]s.
@@ -82,18 +110,19 @@ impl CorpusIndex {
     }
 
     /// Check-then-insert in one step: returns the shared factor (1 when
-    /// clean) and registers the modulus either way.
+    /// clean) and registers the modulus either way. A zero modulus is
+    /// refused and the index is left untouched.
     ///
     /// Note: rebuilding per key is O(m) multiplications; batch inserts and
     /// a single [`Self::commit`] when throughput matters.
-    pub fn check_and_insert(&mut self, n: &Nat) -> Nat {
+    pub fn check_and_insert(&mut self, n: &Nat) -> Result<Nat, ZeroModulus> {
         if self.tree.is_none() && !self.moduli.is_empty() {
             self.rebuild();
         }
-        let g = self.shared_factor(n);
-        self.insert(n.clone());
+        let g = self.shared_factor(n)?;
+        self.insert(n.clone())?;
         self.commit();
-        g
+        Ok(g)
     }
 }
 
@@ -112,36 +141,37 @@ mod tests {
     fn empty_index_reports_clean() {
         let idx = CorpusIndex::new();
         assert!(idx.is_empty());
-        assert!(idx.shared_factor(&nat(101 * 103)).is_one());
+        assert!(idx.shared_factor(&nat(101 * 103)).unwrap().is_one());
     }
 
     #[test]
     fn detects_shared_prime_with_indexed_modulus() {
-        let idx = CorpusIndex::from_moduli(&[nat(101 * 211), nat(103 * 223), nat(107 * 227)]);
+        let idx =
+            CorpusIndex::from_moduli(&[nat(101 * 211), nat(103 * 223), nat(107 * 227)]).unwrap();
         assert_eq!(idx.len(), 3);
         // Candidate shares 103 with the second modulus.
-        assert_eq!(idx.shared_factor(&nat(103 * 229)), nat(103));
+        assert_eq!(idx.shared_factor(&nat(103 * 229)).unwrap(), nat(103));
         // Clean candidate.
-        assert!(idx.shared_factor(&nat(109 * 233)).is_one());
+        assert!(idx.shared_factor(&nat(109 * 233)).unwrap().is_one());
     }
 
     #[test]
     fn duplicate_modulus_detected() {
         let n = nat(101 * 211);
-        let idx = CorpusIndex::from_moduli(&[n.clone(), nat(103 * 223)]);
-        assert_eq!(idx.shared_factor(&n), n);
+        let idx = CorpusIndex::from_moduli(&[n.clone(), nat(103 * 223)]).unwrap();
+        assert_eq!(idx.shared_factor(&n).unwrap(), n);
     }
 
     #[test]
     fn check_and_insert_stream() {
         let mut idx = CorpusIndex::new();
-        assert!(idx.check_and_insert(&nat(101 * 211)).is_one());
-        assert!(idx.check_and_insert(&nat(103 * 223)).is_one());
+        assert!(idx.check_and_insert(&nat(101 * 211)).unwrap().is_one());
+        assert!(idx.check_and_insert(&nat(103 * 223)).unwrap().is_one());
         // Third key reuses 101.
-        assert_eq!(idx.check_and_insert(&nat(101 * 227)), nat(101));
+        assert_eq!(idx.check_and_insert(&nat(101 * 227)).unwrap(), nat(101));
         assert_eq!(idx.len(), 3);
         // Fourth key reuses 227 from the third.
-        assert_eq!(idx.check_and_insert(&nat(227 * 229)), nat(227));
+        assert_eq!(idx.check_and_insert(&nat(227 * 229)).unwrap(), nat(227));
     }
 
     #[test]
@@ -153,17 +183,30 @@ mod tests {
             shared.mul(&random_rsa_prime(&mut rng, 48)),
             random_rsa_prime(&mut rng, 48).mul(&random_rsa_prime(&mut rng, 48)),
         ];
-        let idx = CorpusIndex::from_moduli(&moduli);
+        let idx = CorpusIndex::from_moduli(&moduli).unwrap();
         let candidate = shared.mul(&random_rsa_prime(&mut rng, 48));
-        assert_eq!(idx.shared_factor(&candidate), shared);
+        assert_eq!(idx.shared_factor(&candidate).unwrap(), shared);
     }
 
     #[test]
     fn insert_without_commit_then_query_rebuilds() {
         let mut idx = CorpusIndex::new();
-        idx.insert(nat(101 * 211));
-        idx.insert(nat(103 * 223));
+        idx.insert(nat(101 * 211)).unwrap();
+        idx.insert(nat(103 * 223)).unwrap();
         idx.commit();
-        assert_eq!(idx.shared_factor(&nat(211 * 9973)), nat(211));
+        assert_eq!(idx.shared_factor(&nat(211 * 9973)).unwrap(), nat(211));
+    }
+
+    #[test]
+    fn zero_moduli_are_refused_not_asserted() {
+        let mut idx = CorpusIndex::from_moduli(&[nat(101 * 211)]).unwrap();
+        assert_eq!(idx.shared_factor(&Nat::default()), Err(ZeroModulus));
+        assert_eq!(idx.insert(Nat::default()), Err(ZeroModulus));
+        assert_eq!(idx.check_and_insert(&Nat::default()), Err(ZeroModulus));
+        assert_eq!(idx.len(), 1, "refused moduli must not be registered");
+        assert_eq!(
+            CorpusIndex::from_moduli(&[nat(3), Nat::default()]).err(),
+            Some(ZeroModulus)
+        );
     }
 }

@@ -13,27 +13,38 @@
 //!   producing identical findings;
 //! * [`batch`] — the product/remainder-tree **batch GCD** baseline
 //!   (the pre-existing attack the paper competes with);
-//! * [`pipeline`] — scan → factor → private-key recovery, end to end.
+//! * [`pipeline`] — scan → factor → private-key recovery, end to end;
+//! * [`checkpoint`] — the append-only scan journal: launches commit as
+//!   they complete, so a killed scan resumes mid-corpus and provably
+//!   reproduces the uninterrupted run's findings;
+//! * [`fault`] — deterministic fault plans (transient/persistent launch
+//!   faults, process kills at launch boundaries) that drive the
+//!   fault-tolerance test suite.
 
 #![warn(missing_docs)]
 
 pub mod arena;
 pub mod batch;
 pub mod block_launch;
+pub mod checkpoint;
 pub mod estimate;
+pub mod fault;
 pub mod incremental;
 pub mod pairing;
 pub mod pipeline;
 pub mod scan;
 
-pub use arena::ModuliArena;
+pub use arena::{ArenaError, ModuliArena};
 pub use batch::{batch_gcd, batch_gcd_parallel, ProductTree};
 pub use block_launch::{scan_gpu_blocks, BlockLaunchReport};
+pub use checkpoint::{corpus_fingerprint, JournalError, JournalHeader, LaunchRecord, ScanJournal};
 pub use estimate::{estimate_full_scan, ScanEstimate};
-pub use incremental::CorpusIndex;
+pub use fault::{FaultPlan, FaultSpec};
+pub use incremental::{CorpusIndex, ZeroModulus};
 pub use pairing::{group_size_for, BlockId, GroupedPairs};
 pub use pipeline::{break_weak_keys, recover_keys, BreakReport, BrokenKey};
 pub use scan::{
     combine_terminations, scan_block_into, scan_cpu, scan_cpu_arena, scan_gpu_sim,
-    scan_gpu_sim_arena, scan_gpu_sim_serial, Finding, ScanReport,
+    scan_gpu_sim_arena, scan_gpu_sim_resumable, scan_gpu_sim_serial, FaultStats, Finding,
+    FindingKind, ResumableReport, ScanError, ScanReport,
 };

@@ -4,7 +4,7 @@
 //! given a pile of public keys, find shared-prime pairs by bulk GCD and
 //! output working private keys for every vulnerable modulus.
 
-use crate::scan::{scan_cpu, Finding, ScanReport};
+use crate::scan::{scan_cpu, Finding, ScanError, ScanReport};
 use bulkgcd_core::Algorithm;
 use bulkgcd_rsa::{recover_private_key, PrivateKey, PublicKey};
 
@@ -57,11 +57,14 @@ pub fn recover_keys(keys: &[PublicKey], findings: &[Finding]) -> Vec<BrokenKey> 
 
 /// Scan all pairs of `keys` on the CPU with `algo` (early termination on)
 /// and recover a private key for every vulnerable modulus.
-pub fn break_weak_keys(keys: &[PublicKey], algo: Algorithm) -> BreakReport {
+///
+/// An empty key list is a corpus the arena refuses to pack, reported as
+/// [`ScanError::Arena`] rather than a panic.
+pub fn break_weak_keys(keys: &[PublicKey], algo: Algorithm) -> Result<BreakReport, ScanError> {
     let moduli: Vec<_> = keys.iter().map(|k| k.n.clone()).collect();
-    let scan = scan_cpu(&moduli, algo, true);
+    let scan = scan_cpu(&moduli, algo, true)?;
     let broken = recover_keys(keys, &scan.findings);
-    BreakReport { scan, broken }
+    Ok(BreakReport { scan, broken })
 }
 
 #[cfg(test)]
@@ -77,7 +80,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         let corpus = build_corpus(&mut rng, 10, 128, 2);
         let publics: Vec<_> = corpus.keys.iter().map(|k| k.public.clone()).collect();
-        let report = break_weak_keys(&publics, Algorithm::Approximate);
+        let report = break_weak_keys(&publics, Algorithm::Approximate).unwrap();
 
         let vulnerable = corpus.vulnerable_indices();
         assert_eq!(
@@ -99,7 +102,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(2);
         let corpus = build_corpus(&mut rng, 8, 128, 1);
         let publics: Vec<_> = corpus.keys.iter().map(|k| k.public.clone()).collect();
-        let report = break_weak_keys(&publics, Algorithm::FastBinary);
+        let report = break_weak_keys(&publics, Algorithm::FastBinary).unwrap();
         assert_eq!(report.broken.len(), 2);
         assert_eq!(report.scan.findings.len(), 1);
     }
@@ -109,7 +112,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         let corpus = build_corpus(&mut rng, 6, 96, 0);
         let publics: Vec<_> = corpus.keys.iter().map(|k| k.public.clone()).collect();
-        let report = break_weak_keys(&publics, Algorithm::Approximate);
+        let report = break_weak_keys(&publics, Algorithm::Approximate).unwrap();
         assert!(report.broken.is_empty());
         assert_eq!(report.scan.pairs_scanned, 15);
     }
@@ -121,7 +124,7 @@ mod tests {
         let kp = generate_keypair(&mut rng, 96);
         let other = generate_keypair(&mut rng, 96);
         let keys = vec![kp.public.clone(), kp.public.clone(), other.public.clone()];
-        let report = break_weak_keys(&keys, Algorithm::Approximate);
+        let report = break_weak_keys(&keys, Algorithm::Approximate).unwrap();
         // The duplicate pair is found (gcd = n), but n is not a proper
         // factor, so no key is recovered from it.
         assert_eq!(report.scan.findings.len(), 1);

@@ -13,13 +13,29 @@
 //!
 //! Both produce identical findings; only the clock differs.
 
-use crate::arena::ModuliArena;
+use crate::arena::{ArenaError, ModuliArena};
+use crate::checkpoint::{JournalError, JournalHeader, LaunchRecord, ScanJournal};
+use crate::fault::FaultPlan;
 use crate::pairing::{group_size_for, BlockId, GroupedPairs};
 use bulkgcd_bigint::{Limb, Nat};
 use bulkgcd_core::{run_in_place, Algorithm, GcdOutcome, GcdPair, GcdStatus, NoProbe, Termination};
-use bulkgcd_gpu::{simulate_bulk_gcd, CostModel, DeviceConfig};
+use bulkgcd_gpu::{
+    simulate_bulk_gcd, simulate_bulk_gcd_retry, CostModel, DeviceConfig, RetryPolicy,
+};
 use rayon::prelude::*;
+use std::fmt;
 use std::time::{Duration, Instant};
+
+/// What a finding means for the two moduli involved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FindingKind {
+    /// A proper shared factor: `1 < gcd < n_i, n_j`. Both keys factor.
+    SharedPrime,
+    /// `gcd(n_i, n_j) == n_i` (or `n_j`) — the moduli are duplicates (or
+    /// one divides the other). The pair is vulnerable but GCD alone cannot
+    /// split either modulus, so it must not be reported as a shared prime.
+    DuplicateModulus,
+}
 
 /// A pair of moduli found to share a factor.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -28,6 +44,8 @@ pub struct Finding {
     pub i: usize,
     /// Index of the second modulus.
     pub j: usize,
+    /// What the factor means (proper shared prime vs duplicate modulus).
+    pub kind: FindingKind,
     /// The shared factor (`gcd(n_i, n_j)`, > 1).
     pub factor: Nat,
 }
@@ -39,11 +57,84 @@ pub struct ScanReport {
     pub findings: Vec<Finding>,
     /// Unordered pairs examined.
     pub pairs_scanned: u64,
+    /// Findings of kind [`FindingKind::DuplicateModulus`].
+    pub duplicate_pairs: u64,
     /// Wall-clock time of the scan (host time; for the GPU scan this is
     /// the simulation's own runtime, not the simulated device time).
     pub elapsed: Duration,
     /// Simulated device seconds (GPU scans only).
     pub simulated_seconds: Option<f64>,
+}
+
+/// Why a scan did not produce a report.
+#[derive(Debug)]
+pub enum ScanError {
+    /// The corpus could not be packed into a [`ModuliArena`].
+    Arena(ArenaError),
+    /// The checkpoint journal rejected the run (I/O failure, corruption,
+    /// or a journal written by a different scan configuration).
+    Journal(JournalError),
+    /// An injected kill fired at a launch boundary: the scan stopped as a
+    /// crashed process would, leaving the journal resumable. Only
+    /// [`scan_gpu_sim_resumable`] with a killing [`FaultPlan`] returns this.
+    Interrupted {
+        /// The launch boundary the kill fired at (not yet executed).
+        launch: u64,
+    },
+}
+
+impl fmt::Display for ScanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScanError::Arena(e) => write!(f, "corpus rejected: {e}"),
+            ScanError::Journal(e) => write!(f, "checkpoint journal: {e}"),
+            ScanError::Interrupted { launch } => write!(
+                f,
+                "scan killed at launch boundary {launch}; resume it from the journal"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ScanError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ScanError::Arena(e) => Some(e),
+            ScanError::Journal(e) => Some(e),
+            ScanError::Interrupted { .. } => None,
+        }
+    }
+}
+
+impl From<ArenaError> for ScanError {
+    fn from(e: ArenaError) -> Self {
+        ScanError::Arena(e)
+    }
+}
+
+impl From<JournalError> for ScanError {
+    fn from(e: JournalError) -> Self {
+        ScanError::Journal(e)
+    }
+}
+
+/// Classify a non-trivial GCD: a factor equal to either modulus marks a
+/// duplicate (or dividing) modulus, anything else is a proper shared prime.
+/// Compares borrowed limb slices — no allocation on the scan path.
+#[inline]
+fn kind_of(arena: &ModuliArena, i: usize, j: usize, factor: &Nat) -> FindingKind {
+    if factor.as_limbs() == arena.limbs_trimmed(i) || factor.as_limbs() == arena.limbs_trimmed(j) {
+        FindingKind::DuplicateModulus
+    } else {
+        FindingKind::SharedPrime
+    }
+}
+
+fn count_duplicates(findings: &[Finding]) -> u64 {
+    findings
+        .iter()
+        .filter(|f| f.kind == FindingKind::DuplicateModulus)
+        .count() as u64
 }
 
 #[inline]
@@ -101,10 +192,12 @@ pub fn scan_block_into(
         pair.load_from_limbs(arena.limbs(i), arena.limbs(j));
         let term = termination_for(arena, i, j, early);
         if run_in_place(algo, pair, term, &mut NoProbe) == GcdStatus::Done && !pair.gcd_is_one() {
+            let factor = pair.x_nat();
             found.push(Finding {
                 i,
                 j,
-                factor: pair.x_nat(),
+                kind: kind_of(arena, i, j, &factor),
+                factor,
             });
         }
     }
@@ -114,6 +207,7 @@ fn empty_report(start: Instant, simulated: Option<f64>) -> ScanReport {
     ScanReport {
         findings: Vec::new(),
         pairs_scanned: 0,
+        duplicate_pairs: 0,
         elapsed: start.elapsed(),
         simulated_seconds: simulated,
     }
@@ -122,8 +216,9 @@ fn empty_report(start: Instant, simulated: Option<f64>) -> ScanReport {
 /// Scan all pairs of `moduli` on the CPU with `algo`, using every rayon
 /// worker. `early` enables the §V early termination (recommended).
 ///
-/// Packs the corpus into a [`ModuliArena`] first; use [`scan_cpu_arena`]
-/// to reuse an arena across scans.
+/// Packs the corpus into a [`ModuliArena`] first — an empty or oversized
+/// corpus is reported as [`ScanError::Arena`] instead of panicking; use
+/// [`scan_cpu_arena`] to reuse an arena across scans.
 ///
 /// ```
 /// use bulkgcd_bigint::Nat;
@@ -136,14 +231,14 @@ fn empty_report(start: Instant, simulated: Option<f64>) -> ScanReport {
 ///     Nat::from_u64(101 * 223),
 ///     Nat::from_u64(103 * 227),
 /// ];
-/// let report = scan_cpu(&moduli, Algorithm::Approximate, false);
+/// let report = scan_cpu(&moduli, Algorithm::Approximate, false).unwrap();
 /// assert_eq!(report.pairs_scanned, 3);
 /// assert_eq!(report.findings.len(), 1);
 /// assert_eq!(report.findings[0].factor, Nat::from_u64(101));
 /// ```
-pub fn scan_cpu(moduli: &[Nat], algo: Algorithm, early: bool) -> ScanReport {
-    let arena = ModuliArena::from_moduli(moduli);
-    scan_cpu_arena(&arena, algo, early)
+pub fn scan_cpu(moduli: &[Nat], algo: Algorithm, early: bool) -> Result<ScanReport, ScanError> {
+    let arena = ModuliArena::try_from_moduli(moduli)?;
+    Ok(scan_cpu_arena(&arena, algo, early))
 }
 
 /// [`scan_cpu`] over a pre-packed [`ModuliArena`].
@@ -176,11 +271,44 @@ pub fn scan_cpu_arena(arena: &ModuliArena, algo: Algorithm, early: bool) -> Scan
         .collect();
     findings.sort_by_key(|f| (f.i, f.j));
     ScanReport {
+        duplicate_pairs: count_duplicates(&findings),
         findings,
         pairs_scanned: grid.total_pairs(),
         elapsed: start.elapsed(),
         simulated_seconds: None,
     }
+}
+
+/// The per-launch termination: the conservative fold of the lanes'
+/// per-pair settings (what a real kernel launch applies to every lane).
+fn launch_termination(arena: &ModuliArena, lanes: &[(usize, usize)], early: bool) -> Termination {
+    combine_terminations(
+        lanes
+            .iter()
+            .map(|&(i, j)| termination_for(arena, i, j, early)),
+    )
+}
+
+/// Harvest findings (with kinds) from a launch's per-lane outcomes.
+fn findings_from_outcomes(
+    arena: &ModuliArena,
+    lanes: &[(usize, usize)],
+    outcomes: &[GcdOutcome],
+) -> Vec<Finding> {
+    let mut found = Vec::new();
+    for (&(i, j), out) in lanes.iter().zip(outcomes) {
+        if let GcdOutcome::Gcd(g) = out {
+            if !g.is_one() {
+                found.push(Finding {
+                    i,
+                    j,
+                    kind: kind_of(arena, i, j, g),
+                    factor: g.clone(),
+                });
+            }
+        }
+    }
+    found
 }
 
 /// Simulate one kernel launch over the index pairs in `lanes`, borrowing
@@ -194,28 +322,13 @@ fn simulate_launch(
     device: &DeviceConfig,
     cost: &CostModel,
 ) -> (Vec<Finding>, f64) {
-    let term = combine_terminations(
-        lanes
-            .iter()
-            .map(|&(i, j)| termination_for(arena, i, j, early)),
-    );
+    let term = launch_termination(arena, lanes, early);
     let inputs: Vec<(&[Limb], &[Limb])> = lanes
         .iter()
         .map(|&(i, j)| (arena.limbs(i), arena.limbs(j)))
         .collect();
     let launch = simulate_bulk_gcd(device, cost, algo, &inputs, term);
-    let mut found = Vec::new();
-    for (&(i, j), out) in lanes.iter().zip(&launch.outcomes) {
-        if let GcdOutcome::Gcd(g) = out {
-            if !g.is_one() {
-                found.push(Finding {
-                    i,
-                    j,
-                    factor: g.clone(),
-                });
-            }
-        }
-    }
+    let found = findings_from_outcomes(arena, lanes, &launch.outcomes);
     (found, launch.report.seconds)
 }
 
@@ -232,6 +345,7 @@ fn merge_launches(
     }
     findings.sort_by_key(|f| (f.i, f.j));
     ScanReport {
+        duplicate_pairs: count_duplicates(&findings),
         findings,
         pairs_scanned: grid.total_pairs(),
         elapsed: start.elapsed(),
@@ -253,9 +367,16 @@ pub fn scan_gpu_sim(
     device: &DeviceConfig,
     cost: &CostModel,
     launch_pairs: usize,
-) -> ScanReport {
-    let arena = ModuliArena::from_moduli(moduli);
-    scan_gpu_sim_arena(&arena, algo, early, device, cost, launch_pairs)
+) -> Result<ScanReport, ScanError> {
+    let arena = ModuliArena::try_from_moduli(moduli)?;
+    Ok(scan_gpu_sim_arena(
+        &arena,
+        algo,
+        early,
+        device,
+        cost,
+        launch_pairs,
+    ))
 }
 
 /// [`scan_gpu_sim`] over a pre-packed [`ModuliArena`].
@@ -291,11 +412,11 @@ pub fn scan_gpu_sim_serial(
     device: &DeviceConfig,
     cost: &CostModel,
     launch_pairs: usize,
-) -> ScanReport {
+) -> Result<ScanReport, ScanError> {
     let start = Instant::now();
-    let arena = ModuliArena::from_moduli(moduli);
+    let arena = ModuliArena::try_from_moduli(moduli)?;
     if arena.len() < 2 {
-        return empty_report(start, Some(0.0));
+        return Ok(empty_report(start, Some(0.0)));
     }
     let grid = GroupedPairs::new(arena.len(), group_size_for(arena.len()));
     let all: Vec<(usize, usize)> = grid.all_pairs().collect();
@@ -303,7 +424,210 @@ pub fn scan_gpu_sim_serial(
         .chunks(launch_pairs.max(1))
         .map(|lanes| simulate_launch(&arena, lanes, algo, early, device, cost))
         .collect();
-    merge_launches(start, &grid, results)
+    Ok(merge_launches(start, &grid, results))
+}
+
+/// Bookkeeping from one fault-tolerant scan run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FaultStats {
+    /// Launches the whole scan needs.
+    pub total_launches: u64,
+    /// Launches restored from the journal instead of re-executed.
+    pub resumed_launches: u64,
+    /// Launches executed (successfully) by this run.
+    pub executed_launches: u64,
+    /// Retry attempts beyond each launch's first (transient faults).
+    pub retried_attempts: u64,
+    /// Launches that exhausted the device and fell back to the CPU path.
+    pub cpu_fallback_launches: u64,
+    /// Total backoff a production driver would have slept between retries.
+    pub backoff: Duration,
+}
+
+/// A [`ScanReport`] plus the fault-tolerance bookkeeping of the run that
+/// produced it.
+#[derive(Debug, Clone)]
+pub struct ResumableReport {
+    /// The scan outcome — findings identical to an uninterrupted
+    /// [`scan_gpu_sim_arena`] run over the same corpus.
+    pub scan: ScanReport,
+    /// Resume/retry/fallback accounting for this run.
+    pub stats: FaultStats,
+}
+
+/// Execute one launch under fault injection: retry transient faults per
+/// `policy`, and degrade to the CPU path (same lanes, same per-launch
+/// termination — so byte-identical findings) when the device gives up.
+#[allow(clippy::too_many_arguments)]
+fn execute_resumable_launch(
+    arena: &ModuliArena,
+    lanes: &[(usize, usize)],
+    algo: Algorithm,
+    early: bool,
+    device: &DeviceConfig,
+    cost: &CostModel,
+    launch: u64,
+    plan: &FaultPlan,
+    policy: &RetryPolicy,
+) -> (LaunchRecord, u64, Duration) {
+    let term = launch_termination(arena, lanes, early);
+    let inputs: Vec<(&[Limb], &[Limb])> = lanes
+        .iter()
+        .map(|&(i, j)| (arena.limbs(i), arena.limbs(j)))
+        .collect();
+    let (result, outcome) =
+        simulate_bulk_gcd_retry(device, cost, algo, &inputs, term, launch, plan, policy);
+    let retried = u64::from(outcome.attempts.saturating_sub(1));
+    let record = match result {
+        Ok(done) => LaunchRecord {
+            launch,
+            simulated_seconds: done.report.seconds,
+            cpu_fallback: false,
+            findings: findings_from_outcomes(arena, lanes, &done.outcomes),
+        },
+        // Graceful degradation: the device refuses this launch, so its
+        // block of lanes runs on the host. Identical termination settings
+        // make the findings byte-identical; only the simulated clock is
+        // lost (a fallback launch contributes no device seconds).
+        Err(_) => {
+            let mut pair = GcdPair::with_capacity(arena.stride());
+            let mut found = Vec::new();
+            for &(i, j) in lanes {
+                pair.load_from_limbs(arena.limbs(i), arena.limbs(j));
+                if run_in_place(algo, &mut pair, term, &mut NoProbe) == GcdStatus::Done
+                    && !pair.gcd_is_one()
+                {
+                    let factor = pair.x_nat();
+                    found.push(Finding {
+                        i,
+                        j,
+                        kind: kind_of(arena, i, j, &factor),
+                        factor,
+                    });
+                }
+            }
+            LaunchRecord {
+                launch,
+                simulated_seconds: 0.0,
+                cpu_fallback: true,
+                findings: found,
+            }
+        }
+    };
+    (record, retried, outcome.backoff)
+}
+
+/// Fault-tolerant, resumable variant of [`scan_gpu_sim_arena`].
+///
+/// Progress is committed to `journal` one launch at a time, in launch
+/// order, so a run that dies at any launch boundary can be resumed by
+/// calling this again with the reopened journal: completed launches are
+/// skipped and the final report — merged from the journal — is
+/// byte-identical (findings, order, kinds, and, absent CPU fallbacks, the
+/// simulated-seconds sum) to the uninterrupted run's.
+///
+/// Faults are injected from `plan` (use [`FaultPlan::none`] in production):
+/// transient launch faults are retried with exponential backoff under
+/// `policy`, persistently failing launches fall back to the CPU path
+/// instead of aborting the scan, and an injected kill stops the run at the
+/// launch boundary with [`ScanError::Interrupted`] — exactly what a crash
+/// would leave behind, minus the crash.
+#[allow(clippy::too_many_arguments)]
+pub fn scan_gpu_sim_resumable(
+    arena: &ModuliArena,
+    algo: Algorithm,
+    early: bool,
+    device: &DeviceConfig,
+    cost: &CostModel,
+    launch_pairs: usize,
+    journal: &mut ScanJournal,
+    plan: &FaultPlan,
+    policy: &RetryPolicy,
+) -> Result<ResumableReport, ScanError> {
+    let start = Instant::now();
+    let header = JournalHeader::for_scan(arena, algo, early, launch_pairs);
+    journal.check_compatible(&header)?;
+    if arena.len() < 2 {
+        journal.mark_done()?;
+        return Ok(ResumableReport {
+            scan: empty_report(start, Some(0.0)),
+            stats: FaultStats::default(),
+        });
+    }
+
+    let grid = GroupedPairs::new(arena.len(), group_size_for(arena.len()));
+    let all: Vec<(usize, usize)> = grid.all_pairs().collect();
+    let chunks: Vec<&[(usize, usize)]> = all.chunks(launch_pairs.max(1)).collect();
+    debug_assert_eq!(chunks.len() as u64, header.launches);
+
+    let pending: Vec<u64> = (0..header.launches)
+        .filter(|&l| !journal.completed(l))
+        .collect();
+    let mut stats = FaultStats {
+        total_launches: header.launches,
+        resumed_launches: header.launches - pending.len() as u64,
+        ..FaultStats::default()
+    };
+
+    // An injected kill at launch k stops the run at that boundary: work
+    // before it commits, nothing at or after it runs — the journal looks
+    // exactly like a crashed process's.
+    let kill_pos = pending.iter().position(|&l| plan.kills(l));
+    let to_run = match kill_pos {
+        Some(p) => &pending[..p],
+        None => &pending[..],
+    };
+
+    let results: Vec<(LaunchRecord, u64, Duration)> = to_run
+        .par_iter()
+        .map(|&l| {
+            execute_resumable_launch(
+                arena,
+                chunks[l as usize],
+                algo,
+                early,
+                device,
+                cost,
+                l,
+                plan,
+                policy,
+            )
+        })
+        .collect();
+    for (record, retried, backoff) in results {
+        stats.executed_launches += 1;
+        stats.retried_attempts += retried;
+        stats.backoff += backoff;
+        if record.cpu_fallback {
+            stats.cpu_fallback_launches += 1;
+        }
+        journal.record(record)?;
+    }
+
+    if let Some(p) = kill_pos {
+        return Err(ScanError::Interrupted { launch: pending[p] });
+    }
+    journal.mark_done()?;
+
+    // The report is merged from the journal — not from this run's results —
+    // so resumed and uninterrupted runs reduce the same records the same way.
+    let mut findings = Vec::new();
+    let mut simulated = 0f64;
+    for record in journal.records() {
+        findings.extend_from_slice(&record.findings);
+        simulated += record.simulated_seconds;
+    }
+    findings.sort_by_key(|f| (f.i, f.j));
+    Ok(ResumableReport {
+        scan: ScanReport {
+            duplicate_pairs: count_duplicates(&findings),
+            findings,
+            pairs_scanned: grid.total_pairs(),
+            elapsed: start.elapsed(),
+            simulated_seconds: Some(simulated),
+        },
+        stats,
+    })
 }
 
 #[cfg(test)]
@@ -328,7 +652,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         let corpus = build_corpus(&mut rng, 16, 128, 3);
         for early in [false, true] {
-            let rep = scan_cpu(&corpus.moduli(), Algorithm::Approximate, early);
+            let rep = scan_cpu(&corpus.moduli(), Algorithm::Approximate, early).unwrap();
             assert_eq!(rep.pairs_scanned, 16 * 15 / 2);
             check_findings_match_ground_truth(&rep.findings, &corpus);
         }
@@ -339,9 +663,9 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(2);
         let corpus = build_corpus(&mut rng, 8, 128, 2);
         let moduli = corpus.moduli();
-        let reference = scan_cpu(&moduli, Algorithm::Approximate, true);
+        let reference = scan_cpu(&moduli, Algorithm::Approximate, true).unwrap();
         for algo in Algorithm::ALL {
-            let rep = scan_cpu(&moduli, algo, true);
+            let rep = scan_cpu(&moduli, algo, true).unwrap();
             assert_eq!(rep.findings, reference.findings, "{}", algo.name());
         }
     }
@@ -351,7 +675,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         let corpus = build_corpus(&mut rng, 12, 128, 2);
         let moduli = corpus.moduli();
-        let cpu = scan_cpu(&moduli, Algorithm::Approximate, true);
+        let cpu = scan_cpu(&moduli, Algorithm::Approximate, true).unwrap();
         let gpu = scan_gpu_sim(
             &moduli,
             Algorithm::Approximate,
@@ -359,7 +683,8 @@ mod tests {
             &DeviceConfig::gtx_780_ti(),
             &CostModel::default(),
             32,
-        );
+        )
+        .unwrap();
         assert_eq!(cpu.findings, gpu.findings);
         assert_eq!(cpu.pairs_scanned, gpu.pairs_scanned);
         assert!(gpu.simulated_seconds.unwrap() > 0.0);
@@ -380,7 +705,8 @@ mod tests {
                 &device,
                 &cost,
                 launch_pairs,
-            );
+            )
+            .unwrap();
             let ser = scan_gpu_sim_serial(
                 &moduli,
                 Algorithm::Approximate,
@@ -388,7 +714,8 @@ mod tests {
                 &device,
                 &cost,
                 launch_pairs,
-            );
+            )
+            .unwrap();
             assert_eq!(par.findings, ser.findings, "launch_pairs={launch_pairs}");
             assert_eq!(par.pairs_scanned, ser.pairs_scanned);
             let (ps, ss) = (
@@ -446,8 +773,8 @@ mod tests {
         let device = DeviceConfig::gtx_780_ti();
         let cost = CostModel::default();
         // One launch covering all pairs (launch_pairs > m(m-1)/2).
-        let gpu = scan_gpu_sim(&moduli, Algorithm::Approximate, true, &device, &cost, 64);
-        let cpu = scan_cpu(&moduli, Algorithm::Approximate, true);
+        let gpu = scan_gpu_sim(&moduli, Algorithm::Approximate, true, &device, &cost, 64).unwrap();
+        let cpu = scan_cpu(&moduli, Algorithm::Approximate, true).unwrap();
         assert_eq!(gpu.findings, cpu.findings);
         assert_eq!(gpu.findings.len(), 1);
         assert_eq!((gpu.findings[0].i, gpu.findings[0].j), (0, 3));
@@ -458,15 +785,19 @@ mod tests {
     fn clean_corpus_yields_no_findings() {
         let mut rng = StdRng::seed_from_u64(4);
         let corpus = build_corpus(&mut rng, 8, 96, 0);
-        let rep = scan_cpu(&corpus.moduli(), Algorithm::Approximate, true);
+        let rep = scan_cpu(&corpus.moduli(), Algorithm::Approximate, true).unwrap();
         assert!(rep.findings.is_empty());
     }
 
     #[test]
     fn degenerate_corpora() {
-        let rep = scan_cpu(&[], Algorithm::Approximate, true);
-        assert_eq!(rep.pairs_scanned, 0);
-        let rep = scan_cpu(&[Nat::from(15u32)], Algorithm::Approximate, true);
+        // An empty corpus cannot be packed into an arena: a structured
+        // error, not a panic (and not a silent empty report).
+        match scan_cpu(&[], Algorithm::Approximate, true) {
+            Err(ScanError::Arena(ArenaError::EmptyCorpus)) => {}
+            other => panic!("expected EmptyCorpus, got {other:?}"),
+        }
+        let rep = scan_cpu(&[Nat::from(15u32)], Algorithm::Approximate, true).unwrap();
         assert_eq!(rep.pairs_scanned, 0);
     }
 
@@ -474,7 +805,7 @@ mod tests {
     fn odd_corpus_size_uses_group_size_one() {
         let mut rng = StdRng::seed_from_u64(5);
         let corpus = build_corpus(&mut rng, 7, 96, 1);
-        let rep = scan_cpu(&corpus.moduli(), Algorithm::Approximate, true);
+        let rep = scan_cpu(&corpus.moduli(), Algorithm::Approximate, true).unwrap();
         assert_eq!(rep.pairs_scanned, 21);
         check_findings_match_ground_truth(&rep.findings, &corpus);
     }
@@ -484,10 +815,329 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(6);
         let corpus = build_corpus(&mut rng, 8, 128, 2);
         let moduli = corpus.moduli();
-        let arena = ModuliArena::from_moduli(&moduli);
+        let arena = ModuliArena::try_from_moduli(&moduli).unwrap();
         let via_arena = scan_cpu_arena(&arena, Algorithm::Approximate, true);
-        let via_slice = scan_cpu(&moduli, Algorithm::Approximate, true);
+        let via_slice = scan_cpu(&moduli, Algorithm::Approximate, true).unwrap();
         assert_eq!(via_arena.findings, via_slice.findings);
         assert_eq!(via_arena.pairs_scanned, via_slice.pairs_scanned);
+    }
+
+    #[test]
+    fn oversized_corpus_is_a_scan_error() {
+        // Width overflow propagates through the scan entry point as a
+        // structured ScanError::Arena, exercised here via the capped
+        // constructor the scan would hit at real isize::MAX scale.
+        let moduli = vec![Nat::from_u64(u64::MAX), Nat::from_u64(u64::MAX - 4)];
+        match ModuliArena::try_from_moduli_capped(&moduli, 3).map_err(ScanError::from) {
+            Err(ScanError::Arena(ArenaError::WidthOverflow { moduli: m, .. })) => {
+                assert_eq!(m, 2)
+            }
+            other => panic!("expected WidthOverflow, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn duplicate_moduli_classified_and_counted() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let corpus = build_corpus(&mut rng, 6, 128, 1);
+        let mut moduli = corpus.moduli();
+        // Plant a duplicate pair alongside the planted shared-prime pair.
+        let dup = moduli[1].clone();
+        moduli.push(dup);
+        let rep = scan_cpu(&moduli, Algorithm::Approximate, true).unwrap();
+        assert_eq!(rep.duplicate_pairs, 1);
+        let dups: Vec<_> = rep
+            .findings
+            .iter()
+            .filter(|f| f.kind == FindingKind::DuplicateModulus)
+            .collect();
+        assert_eq!(dups.len(), 1);
+        assert_eq!((dups[0].i, dups[0].j), (1, 6));
+        assert_eq!(
+            dups[0].factor, moduli[1],
+            "duplicate finding carries gcd = n"
+        );
+        // The planted shared-prime pair is still classified as such.
+        assert!(rep
+            .findings
+            .iter()
+            .any(|f| f.kind == FindingKind::SharedPrime));
+        // The GPU path classifies identically.
+        let gpu = scan_gpu_sim(
+            &moduli,
+            Algorithm::Approximate,
+            true,
+            &DeviceConfig::gtx_780_ti(),
+            &CostModel::default(),
+            16,
+        )
+        .unwrap();
+        assert_eq!(gpu.findings, rep.findings);
+        assert_eq!(gpu.duplicate_pairs, 1);
+    }
+
+    /// The uninterrupted resumable run, fault-free: the reference every
+    /// fault scenario must reproduce byte for byte.
+    fn fault_free_reference(
+        arena: &ModuliArena,
+        launch_pairs: usize,
+    ) -> (ScanReport, ResumableReport) {
+        let device = DeviceConfig::gtx_780_ti();
+        let cost = CostModel::default();
+        let plain = scan_gpu_sim_arena(
+            arena,
+            Algorithm::Approximate,
+            true,
+            &device,
+            &cost,
+            launch_pairs,
+        );
+        let mut journal = ScanJournal::in_memory();
+        let resumable = scan_gpu_sim_resumable(
+            arena,
+            Algorithm::Approximate,
+            true,
+            &device,
+            &cost,
+            launch_pairs,
+            &mut journal,
+            &FaultPlan::none(),
+            &RetryPolicy::default(),
+        )
+        .unwrap();
+        (plain, resumable)
+    }
+
+    #[test]
+    fn fault_free_resumable_matches_plain_gpu_scan() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let corpus = build_corpus(&mut rng, 12, 128, 3);
+        let arena = ModuliArena::try_from_moduli(&corpus.moduli()).unwrap();
+        let (plain, resumable) = fault_free_reference(&arena, 7);
+        assert_eq!(resumable.scan.findings, plain.findings);
+        assert_eq!(resumable.scan.pairs_scanned, plain.pairs_scanned);
+        assert_eq!(
+            resumable.scan.simulated_seconds.unwrap().to_bits(),
+            plain.simulated_seconds.unwrap().to_bits(),
+            "launch-order merge must make even the f64 sum identical"
+        );
+        assert_eq!(
+            resumable.stats.executed_launches,
+            resumable.stats.total_launches
+        );
+        assert_eq!(resumable.stats.resumed_launches, 0);
+        assert_eq!(resumable.stats.cpu_fallback_launches, 0);
+    }
+
+    #[test]
+    fn kill_and_resume_reproduces_uninterrupted_run_at_every_boundary() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let corpus = build_corpus(&mut rng, 10, 128, 2);
+        let arena = ModuliArena::try_from_moduli(&corpus.moduli()).unwrap();
+        let launch_pairs = 6;
+        let (_, reference) = fault_free_reference(&arena, launch_pairs);
+        let device = DeviceConfig::gtx_780_ti();
+        let cost = CostModel::default();
+        let total = reference.stats.total_launches;
+        assert!(
+            total > 2,
+            "need several launches to make the test meaningful"
+        );
+
+        for kill_at in 0..total {
+            let plan = FaultPlan::none().with_kill(kill_at);
+            let mut journal = ScanJournal::in_memory();
+            let interrupted = scan_gpu_sim_resumable(
+                &arena,
+                Algorithm::Approximate,
+                true,
+                &device,
+                &cost,
+                launch_pairs,
+                &mut journal,
+                &plan,
+                &RetryPolicy::default(),
+            );
+            match interrupted {
+                Err(ScanError::Interrupted { launch }) => assert_eq!(launch, kill_at),
+                other => panic!("kill at {kill_at}: expected Interrupted, got {other:?}"),
+            }
+            assert_eq!(
+                journal.committed(),
+                kill_at,
+                "exactly the pre-kill prefix commits"
+            );
+            assert!(!journal.is_done());
+
+            // Resume with the fired kill dropped: the run completes and is
+            // byte-identical to the uninterrupted reference.
+            let resumed = scan_gpu_sim_resumable(
+                &arena,
+                Algorithm::Approximate,
+                true,
+                &device,
+                &cost,
+                launch_pairs,
+                &mut journal,
+                &plan.clone().without_kill_at(kill_at),
+                &RetryPolicy::default(),
+            )
+            .unwrap();
+            assert!(journal.is_done());
+            assert_eq!(
+                resumed.scan.findings, reference.scan.findings,
+                "kill at {kill_at}"
+            );
+            assert_eq!(resumed.scan.duplicate_pairs, reference.scan.duplicate_pairs);
+            assert_eq!(
+                resumed.scan.simulated_seconds.unwrap().to_bits(),
+                reference.scan.simulated_seconds.unwrap().to_bits(),
+                "kill at {kill_at}: resumed f64 sum must be bitwise identical"
+            );
+            assert_eq!(resumed.stats.resumed_launches, kill_at);
+            assert_eq!(resumed.stats.executed_launches, total - kill_at);
+        }
+    }
+
+    #[test]
+    fn transient_faults_are_retried_and_change_nothing() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let corpus = build_corpus(&mut rng, 10, 128, 2);
+        let arena = ModuliArena::try_from_moduli(&corpus.moduli()).unwrap();
+        let (_, reference) = fault_free_reference(&arena, 6);
+        let device = DeviceConfig::gtx_780_ti();
+        let cost = CostModel::default();
+        // Two launches hiccup: 2 and 1 failing attempts, all within the
+        // default 4-attempt budget.
+        let plan = FaultPlan::none().with_transient(0, 2).with_transient(2, 1);
+        let mut journal = ScanJournal::in_memory();
+        let rep = scan_gpu_sim_resumable(
+            &arena,
+            Algorithm::Approximate,
+            true,
+            &device,
+            &cost,
+            6,
+            &mut journal,
+            &plan,
+            &RetryPolicy::default(),
+        )
+        .unwrap();
+        assert_eq!(rep.scan.findings, reference.scan.findings);
+        assert_eq!(
+            rep.scan.simulated_seconds.unwrap().to_bits(),
+            reference.scan.simulated_seconds.unwrap().to_bits()
+        );
+        assert_eq!(rep.stats.retried_attempts, 3);
+        assert_eq!(rep.stats.cpu_fallback_launches, 0);
+        assert!(
+            rep.stats.backoff > Duration::ZERO,
+            "backoff must be accounted"
+        );
+    }
+
+    #[test]
+    fn persistent_fault_degrades_to_cpu_with_identical_findings() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let corpus = build_corpus(&mut rng, 10, 128, 3);
+        let arena = ModuliArena::try_from_moduli(&corpus.moduli()).unwrap();
+        let (_, reference) = fault_free_reference(&arena, 5);
+        let device = DeviceConfig::gtx_780_ti();
+        let cost = CostModel::default();
+        let total = reference.stats.total_launches;
+        // Every launch persistently fails in turn; findings never change.
+        for bad in 0..total {
+            let plan = FaultPlan::none().with_persistent(bad);
+            let mut journal = ScanJournal::in_memory();
+            let rep = scan_gpu_sim_resumable(
+                &arena,
+                Algorithm::Approximate,
+                true,
+                &device,
+                &cost,
+                5,
+                &mut journal,
+                &plan,
+                &RetryPolicy::default(),
+            )
+            .unwrap();
+            assert_eq!(
+                rep.scan.findings, reference.scan.findings,
+                "persistent at {bad}"
+            );
+            assert_eq!(rep.stats.cpu_fallback_launches, 1);
+            // The fallback launch contributes no simulated device seconds.
+            assert!(
+                rep.scan.simulated_seconds.unwrap() <= reference.scan.simulated_seconds.unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn exhausted_retries_also_degrade_to_cpu() {
+        let mut rng = StdRng::seed_from_u64(14);
+        let corpus = build_corpus(&mut rng, 8, 128, 2);
+        let arena = ModuliArena::try_from_moduli(&corpus.moduli()).unwrap();
+        let (_, reference) = fault_free_reference(&arena, 6);
+        let device = DeviceConfig::gtx_780_ti();
+        let cost = CostModel::default();
+        // 10 transient failures >> the 4-attempt budget: fallback, not loop.
+        let plan = FaultPlan::none().with_transient(1, 10);
+        let mut journal = ScanJournal::in_memory();
+        let rep = scan_gpu_sim_resumable(
+            &arena,
+            Algorithm::Approximate,
+            true,
+            &device,
+            &cost,
+            6,
+            &mut journal,
+            &plan,
+            &RetryPolicy::default(),
+        )
+        .unwrap();
+        assert_eq!(rep.scan.findings, reference.scan.findings);
+        assert_eq!(rep.stats.cpu_fallback_launches, 1);
+        assert_eq!(rep.stats.retried_attempts, 3, "4 attempts = 3 retries");
+    }
+
+    #[test]
+    fn journal_from_different_corpus_is_refused() {
+        let mut rng = StdRng::seed_from_u64(15);
+        let corpus_a = build_corpus(&mut rng, 8, 128, 1);
+        let corpus_b = build_corpus(&mut rng, 8, 128, 1);
+        let arena_a = ModuliArena::try_from_moduli(&corpus_a.moduli()).unwrap();
+        let arena_b = ModuliArena::try_from_moduli(&corpus_b.moduli()).unwrap();
+        let device = DeviceConfig::gtx_780_ti();
+        let cost = CostModel::default();
+        let mut journal = ScanJournal::in_memory();
+        scan_gpu_sim_resumable(
+            &arena_a,
+            Algorithm::Approximate,
+            true,
+            &device,
+            &cost,
+            8,
+            &mut journal,
+            &FaultPlan::none(),
+            &RetryPolicy::default(),
+        )
+        .unwrap();
+        match scan_gpu_sim_resumable(
+            &arena_b,
+            Algorithm::Approximate,
+            true,
+            &device,
+            &cost,
+            8,
+            &mut journal,
+            &FaultPlan::none(),
+            &RetryPolicy::default(),
+        ) {
+            Err(ScanError::Journal(JournalError::Mismatch { field, .. })) => {
+                assert_eq!(field, "fingerprint")
+            }
+            other => panic!("expected fingerprint mismatch, got {other:?}"),
+        }
     }
 }

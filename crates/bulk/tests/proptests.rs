@@ -3,7 +3,12 @@
 //! composite sets, and incremental-index consistency.
 
 use bulkgcd_bigint::Nat;
-use bulkgcd_bulk::{batch_gcd, CorpusIndex, GroupedPairs};
+use bulkgcd_bulk::{
+    batch_gcd, scan_gpu_sim_resumable, CorpusIndex, FaultPlan, GroupedPairs, ModuliArena,
+    ScanError, ScanJournal,
+};
+use bulkgcd_core::Algorithm;
+use bulkgcd_gpu::{CostModel, DeviceConfig, RetryPolicy};
 use proptest::collection::vec;
 use proptest::prelude::*;
 use std::collections::HashSet;
@@ -69,8 +74,8 @@ proptest! {
     fn incremental_index_agrees_with_direct_product(
         corpus in vec(composite(), 1..10), candidate in composite()
     ) {
-        let idx = CorpusIndex::from_moduli(&corpus);
-        let got = idx.shared_factor(&candidate);
+        let idx = CorpusIndex::from_moduli(&corpus).unwrap();
+        let got = idx.shared_factor(&candidate).unwrap();
         let mut prod = Nat::one();
         for n in &corpus {
             prod = prod.mul(n);
@@ -91,8 +96,64 @@ proptest! {
         // that prefix.
         let mut idx = CorpusIndex::new();
         for (i, n) in moduli.iter().enumerate() {
-            let fresh = CorpusIndex::from_moduli(&moduli[..i]);
-            prop_assert_eq!(idx.check_and_insert(n), fresh.shared_factor(n), "step {}", i);
+            let fresh = CorpusIndex::from_moduli(&moduli[..i]).unwrap();
+            prop_assert_eq!(
+                idx.check_and_insert(n).unwrap(),
+                fresh.shared_factor(n).unwrap(),
+                "step {}",
+                i
+            );
         }
+    }
+
+    #[test]
+    fn resume_after_any_prefix_matches_uninterrupted_run(
+        moduli in vec(composite(), 2..10),
+        launch_pairs in 1usize..8,
+        kill_pick in 0u64..1000,
+    ) {
+        let arena = ModuliArena::try_from_moduli(&moduli).unwrap();
+        let device = DeviceConfig::gtx_780_ti();
+        let cost = CostModel::default();
+        let policy = RetryPolicy::no_retries();
+        let algo = Algorithm::Approximate;
+        let scan = |journal: &mut ScanJournal, plan: &FaultPlan| {
+            scan_gpu_sim_resumable(
+                &arena, algo, true, &device, &cost, launch_pairs, journal, plan, &policy,
+            )
+        };
+
+        // Uninterrupted baseline.
+        let mut clean_journal = ScanJournal::in_memory();
+        let base = scan(&mut clean_journal, &FaultPlan::none()).unwrap();
+
+        // Kill the scan at an arbitrary launch boundary (any prefix of the
+        // launch sequence may have committed), then resume.
+        let total = (moduli.len() * (moduli.len() - 1) / 2) as u64;
+        let launches = total.div_ceil(launch_pairs as u64);
+        let kill = kill_pick % launches;
+        let mut journal = ScanJournal::in_memory();
+        match scan(&mut journal, &FaultPlan::none().with_kill(kill)) {
+            Err(ScanError::Interrupted { launch }) => prop_assert_eq!(launch, kill),
+            other => prop_assert!(false, "expected an interrupted scan, got {:?}", other.is_ok()),
+        }
+        prop_assert!(!journal.is_done());
+        let resumed = scan(&mut journal, &FaultPlan::none()).unwrap();
+        prop_assert!(journal.is_done());
+
+        // Byte-identical findings and simulated cost, and the resumed run
+        // really did restore the committed prefix instead of redoing it.
+        prop_assert_eq!(&resumed.scan.findings, &base.scan.findings);
+        prop_assert_eq!(resumed.scan.pairs_scanned, base.scan.pairs_scanned);
+        prop_assert_eq!(resumed.scan.duplicate_pairs, base.scan.duplicate_pairs);
+        prop_assert_eq!(
+            resumed.scan.simulated_seconds.map(f64::to_bits),
+            base.scan.simulated_seconds.map(f64::to_bits)
+        );
+        prop_assert_eq!(resumed.stats.resumed_launches, kill);
+        prop_assert_eq!(
+            resumed.stats.resumed_launches + resumed.stats.executed_launches,
+            launches
+        );
     }
 }

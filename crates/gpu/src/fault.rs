@@ -1,0 +1,186 @@
+//! Launch failure model: injected faults, retry policy, and launch errors.
+//!
+//! A real multi-hour bulk-GCD sweep sees kernel launches fail — ECC
+//! retirements, driver resets, watchdog timeouts. Some failures are
+//! *transient* (the same launch succeeds when resubmitted), some are
+//! *persistent* (the launch will never succeed on the device and must be
+//! degraded to the host path). The simulator cannot crash for real, so the
+//! failure surface is modelled explicitly: a [`FaultInjector`] decides, per
+//! `(launch, attempt)`, whether that attempt fails, and
+//! [`simulate_bulk_gcd_retry`](crate::launch::simulate_bulk_gcd_retry)
+//! drives the retry-with-exponential-backoff loop against it.
+//!
+//! Injection is **deterministic and pure**: an injector answers from
+//! `(launch, attempt)` alone, so concurrent launches need no shared mutable
+//! state and a replayed run sees exactly the same faults.
+
+use std::fmt;
+use std::time::Duration;
+
+/// The class of an injected launch failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LaunchFault {
+    /// The attempt failed but a resubmission may succeed (driver hiccup,
+    /// recoverable ECC event). Retried under the [`RetryPolicy`].
+    Transient,
+    /// The launch can never succeed on the device (lane data tickles a
+    /// device bug, persistent page retirement). Not retried; the caller
+    /// must degrade — the scan driver falls back to the CPU path.
+    Persistent,
+}
+
+impl fmt::Display for LaunchFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LaunchFault::Transient => write!(f, "transient"),
+            LaunchFault::Persistent => write!(f, "persistent"),
+        }
+    }
+}
+
+/// A launch that did not complete: either a persistent fault, or transient
+/// faults that exhausted the retry budget.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LaunchError {
+    /// The launch index (the scan driver's launch counter).
+    pub launch: u64,
+    /// Attempts made before giving up.
+    pub attempts: u32,
+    /// The fault class of the final failed attempt.
+    pub fault: LaunchFault,
+}
+
+impl fmt::Display for LaunchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "launch {} failed after {} attempt(s): {} fault",
+            self.launch, self.attempts, self.fault
+        )
+    }
+}
+
+impl std::error::Error for LaunchError {}
+
+/// Decides whether an attempt of a launch fails.
+///
+/// Implementations must be pure functions of `(launch, attempt)`: the retry
+/// loop and the parallel scan driver may query any `(launch, attempt)` in
+/// any order, possibly more than once.
+pub trait FaultInjector: Sync {
+    /// Fault injected into attempt `attempt` (0-based) of launch `launch`,
+    /// or `None` when the attempt succeeds.
+    fn fault(&self, launch: u64, attempt: u32) -> Option<LaunchFault>;
+}
+
+/// The production injector: no faults, ever.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoFaults;
+
+impl FaultInjector for NoFaults {
+    fn fault(&self, _launch: u64, _attempt: u32) -> Option<LaunchFault> {
+        None
+    }
+}
+
+/// Retry-with-exponential-backoff policy for transient launch faults.
+///
+/// The backoff durations are **accounted, not slept**: the simulator has no
+/// real device to give breathing room to, so the retry loop sums what a
+/// production driver would have waited and reports it (the scan surfaces it
+/// as `FaultStats::backoff`). A driver wrapping a real GPU would sleep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Maximum attempts per launch (at least 1; the first attempt counts).
+    pub max_attempts: u32,
+    /// Backoff before the second attempt; doubles each retry.
+    pub base_backoff: Duration,
+    /// Upper bound on a single backoff interval.
+    pub max_backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 4,
+            base_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_secs(1),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never retries (one attempt, no backoff).
+    pub const fn no_retries() -> Self {
+        RetryPolicy {
+            max_attempts: 1,
+            base_backoff: Duration::ZERO,
+            max_backoff: Duration::ZERO,
+        }
+    }
+
+    /// Backoff to apply after failed attempt `attempt` (0-based):
+    /// `base · 2^attempt`, capped at [`max_backoff`](Self::max_backoff).
+    pub fn backoff_for(&self, attempt: u32) -> Duration {
+        let doubled = self
+            .base_backoff
+            .saturating_mul(1u32.checked_shl(attempt).unwrap_or(u32::MAX));
+        doubled.min(self.max_backoff)
+    }
+}
+
+/// Bookkeeping from one launch's retry loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RetryOutcome {
+    /// Attempts made (1 for a first-try success).
+    pub attempts: u32,
+    /// Total backoff a production driver would have slept.
+    pub backoff: Duration,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let p = RetryPolicy {
+            max_attempts: 10,
+            base_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_millis(65),
+        };
+        assert_eq!(p.backoff_for(0), Duration::from_millis(10));
+        assert_eq!(p.backoff_for(1), Duration::from_millis(20));
+        assert_eq!(p.backoff_for(2), Duration::from_millis(40));
+        // 80ms capped to 65ms, and far shifts saturate instead of wrapping.
+        assert_eq!(p.backoff_for(3), Duration::from_millis(65));
+        assert_eq!(p.backoff_for(63), Duration::from_millis(65));
+    }
+
+    #[test]
+    fn no_retries_policy() {
+        let p = RetryPolicy::no_retries();
+        assert_eq!(p.max_attempts, 1);
+        assert_eq!(p.backoff_for(0), Duration::ZERO);
+    }
+
+    #[test]
+    fn no_faults_injector_never_fires() {
+        for launch in 0..10 {
+            for attempt in 0..4 {
+                assert_eq!(NoFaults.fault(launch, attempt), None);
+            }
+        }
+    }
+
+    #[test]
+    fn launch_error_displays() {
+        let e = LaunchError {
+            launch: 7,
+            attempts: 4,
+            fault: LaunchFault::Transient,
+        };
+        let s = e.to_string();
+        assert!(s.contains("launch 7") && s.contains("transient"), "{s}");
+    }
+}

@@ -9,6 +9,7 @@
 
 use crate::cost::CostModel;
 use crate::device::DeviceConfig;
+use crate::fault::{FaultInjector, LaunchError, LaunchFault, RetryOutcome, RetryPolicy};
 use crate::sched::{schedule, GpuReport};
 use crate::warp::{execute_warp, WarpWork};
 use bulkgcd_bigint::{Limb, Nat};
@@ -69,6 +70,79 @@ pub fn simulate_bulk_gcd(
         per_gcd_seconds,
         total_iterations,
     }
+}
+
+/// One attempt of a simulated launch under fault injection: asks
+/// `injector` whether attempt `attempt` of launch `launch` fails, and only
+/// simulates when it does not. A faulted attempt costs no simulation work —
+/// the failure happens at submission, before any lane executes.
+#[allow(clippy::too_many_arguments)]
+pub fn try_simulate_bulk_gcd(
+    device: &DeviceConfig,
+    cost: &CostModel,
+    algo: Algorithm,
+    inputs: &[(&[Limb], &[Limb])],
+    term: Termination,
+    launch: u64,
+    attempt: u32,
+    injector: &dyn FaultInjector,
+) -> Result<BulkGcdLaunch, LaunchFault> {
+    match injector.fault(launch, attempt) {
+        Some(fault) => Err(fault),
+        None => Ok(simulate_bulk_gcd(device, cost, algo, inputs, term)),
+    }
+}
+
+/// Simulate a launch with retry-with-exponential-backoff under `policy`.
+///
+/// Transient faults are retried up to `policy.max_attempts` total attempts,
+/// accumulating the backoff a production driver would sleep; a persistent
+/// fault aborts immediately. The returned [`RetryOutcome`] reports the
+/// attempts and backoff regardless of success, so the caller can account
+/// retries even on the happy path.
+#[allow(clippy::too_many_arguments)]
+pub fn simulate_bulk_gcd_retry(
+    device: &DeviceConfig,
+    cost: &CostModel,
+    algo: Algorithm,
+    inputs: &[(&[Limb], &[Limb])],
+    term: Termination,
+    launch: u64,
+    injector: &dyn FaultInjector,
+    policy: &RetryPolicy,
+) -> (Result<BulkGcdLaunch, LaunchError>, RetryOutcome) {
+    let mut outcome = RetryOutcome::default();
+    let max_attempts = policy.max_attempts.max(1);
+    for attempt in 0..max_attempts {
+        outcome.attempts = attempt + 1;
+        match try_simulate_bulk_gcd(device, cost, algo, inputs, term, launch, attempt, injector) {
+            Ok(launch_result) => return (Ok(launch_result), outcome),
+            Err(LaunchFault::Persistent) => {
+                return (
+                    Err(LaunchError {
+                        launch,
+                        attempts: outcome.attempts,
+                        fault: LaunchFault::Persistent,
+                    }),
+                    outcome,
+                )
+            }
+            Err(LaunchFault::Transient) => {
+                // Only back off when another attempt remains.
+                if attempt + 1 < max_attempts {
+                    outcome.backoff += policy.backoff_for(attempt);
+                }
+            }
+        }
+    }
+    (
+        Err(LaunchError {
+            launch,
+            attempts: outcome.attempts,
+            fault: LaunchFault::Transient,
+        }),
+        outcome,
+    )
 }
 
 /// Convenience wrapper over [`simulate_bulk_gcd`] for owned [`Nat`] pairs
@@ -236,6 +310,120 @@ mod tests {
             (0.03..3.0).contains(&us),
             "per-GCD simulated time {us} us out of range"
         );
+    }
+
+    /// Test injector: launch 3 fails its first two attempts (transient),
+    /// launch 5 always fails (persistent).
+    struct ScriptedFaults;
+    impl crate::fault::FaultInjector for ScriptedFaults {
+        fn fault(&self, launch: u64, attempt: u32) -> Option<crate::fault::LaunchFault> {
+            match launch {
+                3 if attempt < 2 => Some(crate::fault::LaunchFault::Transient),
+                5 => Some(crate::fault::LaunchFault::Persistent),
+                _ => None,
+            }
+        }
+    }
+
+    #[test]
+    fn retry_loop_recovers_from_transient_faults() {
+        let d = DeviceConfig::gtx_780_ti();
+        let cost = CostModel::default();
+        let inputs = random_inputs(4, 96, 7);
+        let slices: Vec<(&[bulkgcd_bigint::Limb], &[bulkgcd_bigint::Limb])> = inputs
+            .iter()
+            .map(|(a, b)| (a.as_limbs(), b.as_limbs()))
+            .collect();
+        let policy = crate::fault::RetryPolicy::default();
+
+        // Launch 3: two transient failures, success on the third attempt.
+        let (res, outcome) = simulate_bulk_gcd_retry(
+            &d,
+            &cost,
+            Algorithm::Approximate,
+            &slices,
+            Termination::Full,
+            3,
+            &ScriptedFaults,
+            &policy,
+        );
+        let launch = res.expect("third attempt succeeds");
+        assert_eq!(launch.outcomes.len(), 4);
+        assert_eq!(outcome.attempts, 3);
+        assert_eq!(
+            outcome.backoff,
+            policy.backoff_for(0) + policy.backoff_for(1)
+        );
+        // Recovered launch matches a fault-free one exactly.
+        let clean = simulate_bulk_gcd(
+            &d,
+            &cost,
+            Algorithm::Approximate,
+            &slices,
+            Termination::Full,
+        );
+        assert_eq!(launch.outcomes, clean.outcomes);
+        assert_eq!(launch.report, clean.report);
+
+        // Launch 5: persistent, no retries wasted.
+        let (res, outcome) = simulate_bulk_gcd_retry(
+            &d,
+            &cost,
+            Algorithm::Approximate,
+            &slices,
+            Termination::Full,
+            5,
+            &ScriptedFaults,
+            &policy,
+        );
+        let err = res.expect_err("persistent fault must not succeed");
+        assert_eq!(err.fault, crate::fault::LaunchFault::Persistent);
+        assert_eq!(outcome.attempts, 1);
+        assert_eq!(outcome.backoff, std::time::Duration::ZERO);
+
+        // Launch 0: clean first try.
+        let (res, outcome) = simulate_bulk_gcd_retry(
+            &d,
+            &cost,
+            Algorithm::Approximate,
+            &slices,
+            Termination::Full,
+            0,
+            &ScriptedFaults,
+            &policy,
+        );
+        assert!(res.is_ok());
+        assert_eq!(outcome.attempts, 1);
+    }
+
+    #[test]
+    fn exhausted_transient_retries_report_error() {
+        struct AlwaysTransient;
+        impl crate::fault::FaultInjector for AlwaysTransient {
+            fn fault(&self, _: u64, _: u32) -> Option<crate::fault::LaunchFault> {
+                Some(crate::fault::LaunchFault::Transient)
+            }
+        }
+        let d = DeviceConfig::gtx_780_ti();
+        let policy = crate::fault::RetryPolicy::default();
+        let (res, outcome) = simulate_bulk_gcd_retry(
+            &d,
+            &CostModel::default(),
+            Algorithm::Approximate,
+            &[],
+            Termination::Full,
+            9,
+            &AlwaysTransient,
+            &policy,
+        );
+        let err = res.expect_err("budget exhausted");
+        assert_eq!(err.attempts, policy.max_attempts);
+        assert_eq!(err.fault, crate::fault::LaunchFault::Transient);
+        // Backoff accrues after every attempt except the last.
+        let expect: std::time::Duration = (0..policy.max_attempts - 1)
+            .map(|a| policy.backoff_for(a))
+            .sum();
+        assert_eq!(outcome.backoff, expect);
     }
 
     #[test]

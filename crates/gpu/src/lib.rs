@@ -17,7 +17,12 @@
 //!   (`max(compute, memory)` per SM);
 //! * [`launch`] — end-to-end simulated bulk-GCD launches that also return
 //!   the exact per-pair outcomes (the algorithms really run — only the
-//!   *clock* is simulated).
+//!   *clock* is simulated);
+//! * [`fault`] — the launch failure model: deterministic fault injection
+//!   ([`FaultInjector`]), transient/persistent [`LaunchFault`]s, and the
+//!   retry-with-exponential-backoff [`RetryPolicy`] that
+//!   [`simulate_bulk_gcd_retry`] drives, so multi-hour scans can be made
+//!   crash-tolerant and *tested* for it without a real device failing.
 //!
 //! Reported times are **simulated**; the reproduction treats their shape
 //! (algorithm ordering, divergence effects, size scaling) as the result,
@@ -27,12 +32,17 @@
 
 pub mod cost;
 pub mod device;
+pub mod fault;
 pub mod launch;
 pub mod sched;
 pub mod warp;
 
 pub use cost::CostModel;
 pub use device::DeviceConfig;
-pub use launch::{simulate_bulk_gcd, simulate_bulk_gcd_pairs, BulkGcdLaunch};
+pub use fault::{FaultInjector, LaunchError, LaunchFault, NoFaults, RetryOutcome, RetryPolicy};
+pub use launch::{
+    simulate_bulk_gcd, simulate_bulk_gcd_pairs, simulate_bulk_gcd_retry, try_simulate_bulk_gcd,
+    BulkGcdLaunch,
+};
 pub use sched::{schedule, GpuReport};
 pub use warp::{execute_warp, WarpWork};

@@ -1,0 +1,255 @@
+//! Corpus ingestion hardening: quarantine malformed moduli.
+//!
+//! Keys "collected from the Web" (§I) are hostile input: truncated files,
+//! zero or even values, test keys pasted twice. A single such modulus must
+//! never abort an hours-long scan — and silently scanning it is worse,
+//! because a zero modulus makes every `gcd(0, n) = n` look like a finding.
+//! [`sanitize_moduli`] splits a raw corpus into the moduli worth scanning
+//! and a structured [`quarantine`](IngestReport::rejected): every rejected
+//! modulus keeps its original index and a machine-readable
+//! [`RejectReason`], so the operator can audit exactly what was dropped
+//! and why.
+//!
+//! Exact duplicates are quarantined here (the scan would only rediscover
+//! each copy pair as a [`DuplicateModulus`] finding with no factor to
+//! show for it); a corpus scanned *without* sanitisation still classifies
+//! them — defence in both layers.
+//!
+//! [`DuplicateModulus`]: ../../bulkgcd_bulk/scan/enum.FindingKind.html
+
+use bulkgcd_bigint::Nat;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Why a modulus was quarantined instead of scanned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RejectReason {
+    /// The modulus is zero: `gcd(0, n) = n`, so it would "share a factor"
+    /// with every key in the corpus.
+    Zero,
+    /// The modulus is even. An RSA modulus is a product of two odd primes;
+    /// an even value is corrupt (and trivially factorable by 2).
+    Even,
+    /// The modulus has fewer than the required bits — a truncated or toy
+    /// value, not a key.
+    Undersized {
+        /// The modulus's actual bit length.
+        bits: u64,
+        /// The ingestion floor it failed.
+        min_bits: u64,
+    },
+    /// Byte-identical to an earlier modulus in the corpus.
+    Duplicate {
+        /// Original index of the first occurrence (which was kept).
+        of: usize,
+    },
+}
+
+impl fmt::Display for RejectReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RejectReason::Zero => write!(f, "zero modulus"),
+            RejectReason::Even => write!(f, "even modulus"),
+            RejectReason::Undersized { bits, min_bits } => {
+                write!(f, "undersized modulus ({bits} bits < {min_bits} required)")
+            }
+            RejectReason::Duplicate { of } => {
+                write!(f, "duplicate of modulus #{of}")
+            }
+        }
+    }
+}
+
+/// One quarantined modulus.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rejected {
+    /// Index of the modulus in the raw input.
+    pub index: usize,
+    /// The offending value (kept for the audit trail).
+    pub modulus: Nat,
+    /// Why it was quarantined.
+    pub reason: RejectReason,
+}
+
+/// The outcome of sanitising a raw corpus.
+#[derive(Debug, Clone, Default)]
+pub struct IngestReport {
+    /// The moduli that passed every check, in input order.
+    pub accepted: Vec<Nat>,
+    /// For each accepted modulus, its index in the raw input — the map
+    /// from scan-finding indices back to the operator's key list.
+    pub accepted_indices: Vec<usize>,
+    /// The quarantine: every rejected modulus with its index and reason.
+    pub rejected: Vec<Rejected>,
+}
+
+impl IngestReport {
+    /// Rejection counts by class: `(zero, even, undersized, duplicate)`.
+    pub fn rejection_counts(&self) -> (usize, usize, usize, usize) {
+        let mut counts = (0, 0, 0, 0);
+        for r in &self.rejected {
+            match r.reason {
+                RejectReason::Zero => counts.0 += 1,
+                RejectReason::Even => counts.1 += 1,
+                RejectReason::Undersized { .. } => counts.2 += 1,
+                RejectReason::Duplicate { .. } => counts.3 += 1,
+            }
+        }
+        counts
+    }
+
+    /// One-line summary for logs: accepted/rejected totals and the
+    /// per-class breakdown.
+    pub fn summary(&self) -> String {
+        let (zero, even, undersized, duplicate) = self.rejection_counts();
+        format!(
+            "accepted {} of {} moduli (quarantined: {} zero, {} even, {} undersized, {} duplicate)",
+            self.accepted.len(),
+            self.accepted.len() + self.rejected.len(),
+            zero,
+            even,
+            undersized,
+            duplicate,
+        )
+    }
+}
+
+/// Split `moduli` into scannable keys and a quarantine.
+///
+/// Checks, in order (the first failure is the recorded reason): zero,
+/// even, fewer than `min_bits` bits, exact duplicate of an earlier
+/// modulus. `min_bits = 0` disables the size floor. Never panics and
+/// never drops a value silently — every input index appears in exactly
+/// one of `accepted_indices` or `rejected`.
+pub fn sanitize_moduli(moduli: &[Nat], min_bits: u64) -> IngestReport {
+    let mut report = IngestReport::default();
+    let mut seen: HashMap<&Nat, usize> = HashMap::with_capacity(moduli.len());
+    for (index, n) in moduli.iter().enumerate() {
+        let reason = if n.is_zero() {
+            Some(RejectReason::Zero)
+        } else if n.is_even() {
+            Some(RejectReason::Even)
+        } else if n.bit_len() < min_bits {
+            Some(RejectReason::Undersized {
+                bits: n.bit_len(),
+                min_bits,
+            })
+        } else if let Some(&of) = seen.get(n) {
+            Some(RejectReason::Duplicate { of })
+        } else {
+            seen.insert(n, index);
+            None
+        };
+        match reason {
+            Some(reason) => report.rejected.push(Rejected {
+                index,
+                modulus: n.clone(),
+                reason,
+            }),
+            None => {
+                report.accepted.push(n.clone());
+                report.accepted_indices.push(index);
+            }
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(v: u64) -> Nat {
+        Nat::from_u64(v)
+    }
+
+    #[test]
+    fn clean_corpus_passes_untouched() {
+        let moduli = vec![n(15), n(21), n(35)];
+        let report = sanitize_moduli(&moduli, 3);
+        assert_eq!(report.accepted, moduli);
+        assert_eq!(report.accepted_indices, vec![0, 1, 2]);
+        assert!(report.rejected.is_empty());
+    }
+
+    #[test]
+    fn each_reject_class_is_caught_with_its_reason() {
+        let moduli = vec![
+            n(0),  // zero
+            n(15), // ok
+            n(22), // even
+            n(7),  // undersized at min_bits = 4
+            n(15), // duplicate of index 1
+            n(21), // ok
+        ];
+        let report = sanitize_moduli(&moduli, 4);
+        assert_eq!(report.accepted, vec![n(15), n(21)]);
+        assert_eq!(report.accepted_indices, vec![1, 5]);
+        let reasons: Vec<_> = report
+            .rejected
+            .iter()
+            .map(|r| (r.index, r.reason))
+            .collect();
+        assert_eq!(
+            reasons,
+            vec![
+                (0, RejectReason::Zero),
+                (2, RejectReason::Even),
+                (
+                    3,
+                    RejectReason::Undersized {
+                        bits: 3,
+                        min_bits: 4
+                    }
+                ),
+                (4, RejectReason::Duplicate { of: 1 }),
+            ]
+        );
+        assert_eq!(report.rejection_counts(), (1, 1, 1, 1));
+        let s = report.summary();
+        assert!(s.contains("accepted 2 of 6"), "{s}");
+    }
+
+    #[test]
+    fn zero_wins_over_even_and_undersized() {
+        // Zero is even and has 0 bits; the recorded reason must still be
+        // Zero (check order is part of the contract).
+        let report = sanitize_moduli(&[n(0)], 64);
+        assert_eq!(report.rejected[0].reason, RejectReason::Zero);
+    }
+
+    #[test]
+    fn duplicates_point_at_first_kept_occurrence() {
+        let moduli = vec![n(33), n(35), n(33), n(33)];
+        let report = sanitize_moduli(&moduli, 0);
+        assert_eq!(report.accepted.len(), 2);
+        assert_eq!(
+            report.rejected.iter().map(|r| r.reason).collect::<Vec<_>>(),
+            vec![
+                RejectReason::Duplicate { of: 0 },
+                RejectReason::Duplicate { of: 0 },
+            ]
+        );
+    }
+
+    #[test]
+    fn min_bits_zero_disables_size_floor() {
+        let report = sanitize_moduli(&[n(1), n(3)], 0);
+        assert!(report.rejected.is_empty());
+        assert_eq!(report.accepted.len(), 2);
+    }
+
+    #[test]
+    fn every_index_lands_exactly_once() {
+        let moduli = vec![n(0), n(9), n(9), n(4), n(25), n(1)];
+        let report = sanitize_moduli(&moduli, 3);
+        let mut indices: Vec<usize> = report
+            .accepted_indices
+            .iter()
+            .copied()
+            .chain(report.rejected.iter().map(|r| r.index))
+            .collect();
+        indices.sort_unstable();
+        assert_eq!(indices, (0..moduli.len()).collect::<Vec<_>>());
+    }
+}

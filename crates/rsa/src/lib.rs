@@ -9,6 +9,9 @@
 //!   the weak keys Lenstra et al. found in the wild;
 //! * [`corpus`] — synthetic "keys collected from the Web" with planted
 //!   shared-prime pairs and exact ground truth;
+//! * [`ingest`] — quarantine for hostile real-world input: zero, even,
+//!   undersized and duplicate moduli are split into a structured
+//!   rejection report instead of aborting (or poisoning) a scan;
 //! * [`crypt`] — `C = M^e mod n` / `M = C^d mod n`;
 //! * [`attack`] — factoring a modulus from a leaked shared prime and
 //!   recovering `d = e⁻¹ mod (p−1)(q−1)` by the extended Euclidean
@@ -24,6 +27,7 @@ pub mod attack;
 pub mod corpus;
 pub mod crt;
 pub mod crypt;
+pub mod ingest;
 pub mod key;
 pub mod keygen;
 
@@ -31,5 +35,6 @@ pub use attack::{factor_modulus, recover_private_key, AttackError};
 pub use corpus::{build_corpus, Corpus};
 pub use crt::CrtPrivateKey;
 pub use crypt::{decrypt, encrypt, CryptError};
+pub use ingest::{sanitize_moduli, IngestReport, RejectReason, Rejected};
 pub use key::{KeyPair, PrivateKey, PublicKey};
 pub use keygen::{generate_keypair, WeakKeygen};

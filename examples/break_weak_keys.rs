@@ -26,7 +26,7 @@ fn main() {
     let moduli = corpus.moduli();
 
     // --- Engine 1: CPU all-pairs scan with Approximate Euclid ---
-    let cpu = scan_cpu(&moduli, Algorithm::Approximate, true);
+    let cpu = scan_cpu(&moduli, Algorithm::Approximate, true).unwrap();
     println!(
         "CPU scan      : {} pairs in {:.2?} ({:.2} us/GCD), {} findings",
         cpu.pairs_scanned,
@@ -43,7 +43,8 @@ fn main() {
         &DeviceConfig::gtx_780_ti(),
         &CostModel::default(),
         4096,
-    );
+    )
+    .unwrap();
     let sim = gpu.simulated_seconds.unwrap();
     println!(
         "GPU (sim) scan: {} pairs, simulated {:.4} s ({:.3} us/GCD), {} findings",
@@ -72,7 +73,7 @@ fn main() {
 
     // --- Break every vulnerable key ---
     let publics: Vec<_> = corpus.keys.iter().map(|k| k.public.clone()).collect();
-    let report = break_weak_keys(&publics, Algorithm::Approximate);
+    let report = break_weak_keys(&publics, Algorithm::Approximate).unwrap();
     println!(
         "\nBroken keys   : {:?}",
         report.broken.iter().map(|b| b.index).collect::<Vec<_>>()

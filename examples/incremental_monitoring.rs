@@ -29,7 +29,9 @@ fn main() {
             generate_keypair(&mut rng, bits)
         };
         let n = kp.public.n.clone();
-        let shared = index.check_and_insert(&n);
+        let shared = index
+            .check_and_insert(&n)
+            .expect("generated moduli are never zero");
         if shared.is_one() {
             accepted += 1;
             continue;

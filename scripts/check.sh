@@ -31,4 +31,7 @@ echo "== tier-1: cargo build --release && cargo test -q"
 cargo build --release
 cargo test -q
 
+echo "== fault-injection smoke: resumable scan under a seeded fault plan"
+cargo run --release -q -p bulkgcd-bench --bin scan_bench -- --inject-faults --resume
+
 echo "OK"

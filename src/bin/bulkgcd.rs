@@ -88,12 +88,25 @@ fn read_corpus(path: &str) -> Result<Vec<Nat>, String> {
             continue;
         }
         let n = Nat::from_hex(line).map_err(|e| format!("{path}:{}: {e}", lineno + 1))?;
-        if n.is_zero() {
-            return Err(format!("{path}:{}: zero modulus", lineno + 1));
-        }
         moduli.push(n);
     }
     Ok(moduli)
+}
+
+/// Quarantine malformed moduli instead of aborting: zero, even, undersized
+/// (below `--min-bits`, default 0 = no floor) and duplicate inputs are
+/// reported on stderr and dropped. Returns the scannable moduli plus the
+/// map from scanned indices back to the raw corpus lines.
+fn sanitized_corpus(args: &Args, moduli: Vec<Nat>) -> Result<(Vec<Nat>, Vec<usize>), String> {
+    let min_bits: u64 = args.get_parse("min-bits", 0)?;
+    let report = sanitize_moduli(&moduli, min_bits);
+    if !report.rejected.is_empty() {
+        eprintln!("{}", report.summary());
+        for r in &report.rejected {
+            eprintln!("  quarantined modulus #{}: {}", r.index, r.reason);
+        }
+    }
+    Ok((report.accepted, report.accepted_indices))
 }
 
 fn cmd_gen(args: &Args) -> Result<(), String> {
@@ -142,7 +155,13 @@ fn cmd_scan(args: &Args) -> Result<(), String> {
         .positional
         .get(1)
         .ok_or("usage: bulkgcd scan <corpus-file> [--engine cpu|gpu|blocks|batch]")?;
-    let moduli = read_corpus(path)?;
+    let (moduli, raw_indices) = sanitized_corpus(args, read_corpus(path)?)?;
+    if moduli.len() < 2 {
+        // Quarantine may leave fewer than two scannable moduli; that is a
+        // trivially clean corpus, not an error.
+        println!("no shared factors found");
+        return Ok(());
+    }
     let algo = match args.get("algo") {
         None => Algorithm::Approximate,
         Some(s) => algo_from_flag(s).ok_or_else(|| format!("unknown algorithm {s:?}"))?,
@@ -157,12 +176,13 @@ fn cmd_scan(args: &Args) -> Result<(), String> {
     );
     let findings: Vec<Finding> = match engine {
         "cpu" => {
-            let rep = scan_cpu(&moduli, algo, early);
+            let rep = scan_cpu(&moduli, algo, early).map_err(|e| e.to_string())?;
             eprintln!(
                 "cpu scan: {:.3} s ({:.2} us/GCD)",
                 rep.elapsed.as_secs_f64(),
                 rep.elapsed.as_secs_f64() * 1e6 / rep.pairs_scanned.max(1) as f64
             );
+            report_duplicates(&rep);
             rep.findings
         }
         "gpu" => {
@@ -173,12 +193,14 @@ fn cmd_scan(args: &Args) -> Result<(), String> {
                 &DeviceConfig::gtx_780_ti(),
                 &CostModel::default(),
                 4096,
-            );
+            )
+            .map_err(|e| e.to_string())?;
             eprintln!(
                 "simulated GPU scan: {:.6} s simulated ({:.3} us/GCD)",
                 rep.simulated_seconds.unwrap_or(0.0),
                 rep.simulated_seconds.unwrap_or(0.0) * 1e6 / rep.pairs_scanned.max(1) as f64
             );
+            report_duplicates(&rep);
             rep.findings
         }
         "blocks" => {
@@ -214,7 +236,17 @@ fn cmd_scan(args: &Args) -> Result<(), String> {
                     if !gcds[j].is_one() {
                         let g = moduli[i].gcd_reference(&moduli[j]);
                         if !g.is_one() {
-                            findings.push(Finding { i, j, factor: g });
+                            let kind = if g == moduli[i] || g == moduli[j] {
+                                FindingKind::DuplicateModulus
+                            } else {
+                                FindingKind::SharedPrime
+                            };
+                            findings.push(Finding {
+                                i,
+                                j,
+                                kind,
+                                factor: g,
+                            });
                         }
                     }
                 }
@@ -227,9 +259,25 @@ fn cmd_scan(args: &Args) -> Result<(), String> {
         println!("no shared factors found");
     }
     for f in &findings {
-        println!("{} {} {}", f.i, f.j, f.factor.to_hex());
+        // Report indices in the raw corpus's numbering, not the
+        // sanitized one, so lines match the operator's key list.
+        println!(
+            "{} {} {}",
+            raw_indices[f.i],
+            raw_indices[f.j],
+            f.factor.to_hex()
+        );
     }
     Ok(())
+}
+
+fn report_duplicates(rep: &ScanReport) {
+    if rep.duplicate_pairs > 0 {
+        eprintln!(
+            "note: {} finding(s) are duplicate moduli (gcd = n); GCD cannot factor those pairs",
+            rep.duplicate_pairs
+        );
+    }
 }
 
 fn cmd_check(args: &Args) -> Result<(), String> {
@@ -242,9 +290,9 @@ fn cmd_check(args: &Args) -> Result<(), String> {
         .get(2)
         .ok_or("usage: bulkgcd check <corpus-file> <modulus-hex>")?;
     let n = Nat::from_hex(hex).map_err(|e| e.to_string())?;
-    let moduli = read_corpus(path)?;
-    let idx = CorpusIndex::from_moduli(&moduli);
-    let g = idx.shared_factor(&n);
+    let (moduli, _) = sanitized_corpus(args, read_corpus(path)?)?;
+    let idx = CorpusIndex::from_moduli(&moduli).map_err(|e| e.to_string())?;
+    let g = idx.shared_factor(&n).map_err(|e| e.to_string())?;
     if g.is_one() {
         println!(
             "clean: no factor shared with the {} indexed moduli",
@@ -262,7 +310,11 @@ fn cmd_break(args: &Args) -> Result<(), String> {
         .positional
         .get(1)
         .ok_or("usage: bulkgcd break <corpus-file> [--exponent E]")?;
-    let moduli = read_corpus(path)?;
+    let (moduli, raw_indices) = sanitized_corpus(args, read_corpus(path)?)?;
+    if moduli.len() < 2 {
+        println!("no keys broken");
+        return Ok(());
+    }
     let e_val: u64 = match args.get("exponent") {
         None => 65_537,
         Some(v) => v.parse().map_err(|_| format!("invalid --exponent {v:?}"))?,
@@ -275,7 +327,7 @@ fn cmd_break(args: &Args) -> Result<(), String> {
             e: e.clone(),
         })
         .collect();
-    let report = break_weak_keys(&keys, Algorithm::Approximate);
+    let report = break_weak_keys(&keys, Algorithm::Approximate).map_err(|e| e.to_string())?;
     eprintln!(
         "scanned {} pairs in {:.3} s; {} shared-factor pairs; {} keys broken",
         report.scan.pairs_scanned,
@@ -287,7 +339,12 @@ fn cmd_break(args: &Args) -> Result<(), String> {
         println!("no keys broken");
     }
     for b in &report.broken {
-        println!("{} {} {}", b.index, b.factor.to_hex(), b.private.d.to_hex());
+        println!(
+            "{} {} {}",
+            raw_indices[b.index],
+            b.factor.to_hex(),
+            b.private.d.to_hex()
+        );
     }
     Ok(())
 }

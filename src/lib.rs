@@ -27,7 +27,7 @@
 //!
 //! // Scan all pairs with the paper's Approximate Euclidean algorithm.
 //! let publics: Vec<_> = corpus.keys.iter().map(|k| k.public.clone()).collect();
-//! let report = break_weak_keys(&publics, Algorithm::Approximate);
+//! let report = break_weak_keys(&publics, Algorithm::Approximate).unwrap();
 //!
 //! assert_eq!(report.broken.len(), 2); // both endpoints of the weak pair
 //! ```
@@ -45,17 +45,22 @@ pub mod prelude {
     pub use bulkgcd_bulk::{
         batch_gcd, batch_gcd_parallel, break_weak_keys, estimate_full_scan, group_size_for,
         scan_cpu, scan_cpu_arena, scan_gpu_blocks, scan_gpu_sim, scan_gpu_sim_arena,
-        scan_gpu_sim_serial, BreakReport, CorpusIndex, Finding, GroupedPairs, ModuliArena,
-        ScanReport,
+        scan_gpu_sim_resumable, scan_gpu_sim_serial, ArenaError, BreakReport, CorpusIndex,
+        FaultPlan, FaultSpec, FaultStats, Finding, FindingKind, GroupedPairs, JournalError,
+        JournalHeader, LaunchRecord, ModuliArena, ResumableReport, ScanError, ScanJournal,
+        ScanReport, ZeroModulus,
     };
     pub use bulkgcd_core::{
         gcd_nat, lehmer_gcd_nat, run, Algorithm, GcdOutcome, GcdPair, NoProbe, StatsProbe,
         Termination, TraceProbe,
     };
-    pub use bulkgcd_gpu::{simulate_bulk_gcd, simulate_bulk_gcd_pairs, CostModel, DeviceConfig};
+    pub use bulkgcd_gpu::{
+        simulate_bulk_gcd, simulate_bulk_gcd_pairs, simulate_bulk_gcd_retry, CostModel,
+        DeviceConfig, FaultInjector, LaunchError, LaunchFault, NoFaults, RetryPolicy,
+    };
     pub use bulkgcd_rsa::{
-        build_corpus, decrypt, encrypt, generate_keypair, recover_private_key, Corpus,
-        CrtPrivateKey, KeyPair, PublicKey, WeakKeygen,
+        build_corpus, decrypt, encrypt, generate_keypair, recover_private_key, sanitize_moduli,
+        Corpus, CrtPrivateKey, IngestReport, KeyPair, PublicKey, RejectReason, WeakKeygen,
     };
     pub use bulkgcd_umm::{analyze, simulate, simulate_dmm, Layout, UmmConfig};
 }

@@ -6,8 +6,9 @@
 //! This file holds exactly one `#[test]` on purpose: the counter is global,
 //! so a sibling test allocating on another harness thread would race it.
 
-use bulkgcd_bulk::{group_size_for, scan_block_into, GroupedPairs, ModuliArena};
-use bulkgcd_core::{Algorithm, GcdPair};
+use bulkgcd_bulk::{group_size_for, scan_block_into, FaultPlan, GroupedPairs, ModuliArena};
+use bulkgcd_core::{Algorithm, GcdPair, Termination};
+use bulkgcd_gpu::{simulate_bulk_gcd_retry, CostModel, DeviceConfig, RetryPolicy};
 use bulkgcd_rsa::build_corpus;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -54,7 +55,7 @@ fn steady_state_scan_hot_loop_allocates_nothing() {
     let mut rng = StdRng::seed_from_u64(42);
     let corpus = build_corpus(&mut rng, 16, 256, 0);
     let moduli = corpus.moduli();
-    let arena = ModuliArena::from_moduli(&moduli);
+    let arena = ModuliArena::try_from_moduli(&moduli).unwrap();
     let grid = GroupedPairs::new(arena.len(), group_size_for(arena.len()));
     let blocks: Vec<_> = grid.blocks().collect();
 
@@ -86,4 +87,44 @@ fn steady_state_scan_hot_loop_allocates_nothing() {
             );
         }
     }
+
+    // Retry path: failed attempts never reach the simulator, so a launch
+    // that transiently faults twice before succeeding must allocate exactly
+    // as much as a launch that succeeds first try — the fault lookup, the
+    // retry loop and the backoff accounting are heap-free.
+    let inputs: Vec<_> = (1..moduli.len())
+        .map(|j| (moduli[0].as_limbs(), moduli[j].as_limbs()))
+        .collect();
+    let term = Termination::Early {
+        threshold_bits: 128,
+    };
+    let device = DeviceConfig::gtx_780_ti();
+    let cost = CostModel::default();
+    let policy = RetryPolicy::default();
+    let algo = Algorithm::Approximate;
+
+    let clean = FaultPlan::none();
+    // Warmup (lazy statics, first-use buffers), then measure the clean run.
+    simulate_bulk_gcd_retry(&device, &cost, algo, &inputs, term, 0, &clean, &policy)
+        .0
+        .unwrap();
+    let before = allocations();
+    let (res, out) =
+        simulate_bulk_gcd_retry(&device, &cost, algo, &inputs, term, 0, &clean, &policy);
+    let clean_allocs = allocations() - before;
+    assert!(res.is_ok());
+    assert_eq!(out.attempts, 1);
+
+    let flaky = FaultPlan::none().with_transient(0, 2);
+    let before = allocations();
+    let (res, out) =
+        simulate_bulk_gcd_retry(&device, &cost, algo, &inputs, term, 0, &flaky, &policy);
+    let retry_allocs = allocations() - before;
+    assert!(res.is_ok(), "two transient faults must be retried away");
+    assert_eq!(out.attempts, 3);
+    assert!(out.backoff > std::time::Duration::ZERO);
+    assert_eq!(
+        retry_allocs, clean_allocs,
+        "retrying a transient fault must add zero heap allocations"
+    );
 }

@@ -14,7 +14,7 @@ fn corpus_attack_three_engines_agree() {
     let corpus = build_corpus(&mut rng, 24, 128, 4);
     let moduli = corpus.moduli();
 
-    let cpu = scan_cpu(&moduli, Algorithm::Approximate, true);
+    let cpu = scan_cpu(&moduli, Algorithm::Approximate, true).unwrap();
     let gpu = scan_gpu_sim(
         &moduli,
         Algorithm::Approximate,
@@ -22,7 +22,8 @@ fn corpus_attack_three_engines_agree() {
         &DeviceConfig::gtx_780_ti(),
         &CostModel::default(),
         64,
-    );
+    )
+    .unwrap();
     let batch = batch_gcd(&moduli);
 
     // Engines agree with each other.
@@ -56,7 +57,7 @@ fn recovered_keys_decrypt_intercepted_traffic() {
     let m = encode_message(secret);
     let ciphertexts: Vec<_> = publics.iter().map(|pk| encrypt(pk, &m).unwrap()).collect();
 
-    let report = break_weak_keys(&publics, Algorithm::Approximate);
+    let report = break_weak_keys(&publics, Algorithm::Approximate).unwrap();
     assert_eq!(
         report.broken.iter().map(|b| b.index).collect::<Vec<_>>(),
         corpus.vulnerable_indices()
@@ -73,7 +74,7 @@ fn every_algorithm_drives_the_pipeline() {
     let corpus = build_corpus(&mut rng, 8, 128, 1);
     let publics: Vec<PublicKey> = corpus.keys.iter().map(|k| k.public.clone()).collect();
     for algo in Algorithm::ALL {
-        let report = break_weak_keys(&publics, algo);
+        let report = break_weak_keys(&publics, algo).unwrap();
         assert_eq!(report.broken.len(), 2, "{}", algo.name());
     }
 }
@@ -86,7 +87,7 @@ fn weak_keygen_corpus_is_breakable_at_observed_rate() {
     let mut weak = WeakKeygen::new(128, 0.35);
     let keys: Vec<KeyPair> = (0..16).map(|_| weak.generate(&mut rng)).collect();
     let moduli: Vec<Nat> = keys.iter().map(|k| k.public.n.clone()).collect();
-    let rep = scan_cpu(&moduli, Algorithm::Approximate, true);
+    let rep = scan_cpu(&moduli, Algorithm::Approximate, true).unwrap();
     assert!(
         !rep.findings.is_empty(),
         "35% reuse over 16 keys should produce at least one shared pair"

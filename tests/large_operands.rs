@@ -114,7 +114,7 @@ fn mixed_width_corpus_scan() {
         p.mul(&bulk_gcd::bigint::prime::random_rsa_prime(&mut rng, 128)), // 192-bit sharing p
         generate_keypair(&mut rng, 128).public.n,
     ];
-    let rep = scan_cpu(&moduli, Algorithm::Approximate, true);
+    let rep = scan_cpu(&moduli, Algorithm::Approximate, true).unwrap();
     assert_eq!(rep.findings.len(), 1);
     assert_eq!((rep.findings[0].i, rep.findings[0].j), (0, 2));
     assert_eq!(rep.findings[0].factor, p);
@@ -128,6 +128,7 @@ fn mixed_width_corpus_scan() {
         &DeviceConfig::gtx_780_ti(),
         &CostModel::default(),
         3, // tiny launches force mixed-width batches
-    );
+    )
+    .unwrap();
     assert_eq!(gpu.findings, rep.findings);
 }
