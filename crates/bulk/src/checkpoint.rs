@@ -33,11 +33,14 @@
 //!   sum is bitwise identical; factors are lower-case hex;
 //! * `D` marks the scan complete.
 //!
-//! Records are flushed line-at-a-time, so a crash can only tear the final
-//! line. [`ScanJournal::open`] tolerates exactly that: bytes after the
-//! last `\n` are dropped (the interrupted launch is simply re-run), while
-//! a malformed *complete* line is real corruption and is reported as
-//! [`JournalError::Corrupt`].
+//! Records are appended line-at-a-time and fsynced (`sync_data`) before
+//! the commit returns, so even an OS crash or power loss can only tear the
+//! final line. [`ScanJournal::open`] tolerates exactly that: bytes after
+//! the last `\n` are dropped (the interrupted launch is simply re-run),
+//! while a malformed *complete* line is real corruption and is reported as
+//! [`JournalError::Corrupt`]. `L` lines may appear in any order — the
+//! parallel driver commits each launch the moment it completes — and are
+//! normalised to launch-index order on replay.
 
 use crate::arena::ModuliArena;
 use crate::scan::{Finding, FindingKind};
@@ -234,6 +237,10 @@ impl LaunchRecord {
 pub struct ScanJournal {
     file: Option<File>,
     header: Option<JournalHeader>,
+    /// Whether the magic line is already on disk (written by this run or
+    /// replayed from a prior one). A crash between the magic append and
+    /// the header append must not lead to a duplicated magic line.
+    magic_written: bool,
     records: BTreeMap<u64, LaunchRecord>,
     done: bool,
 }
@@ -244,6 +251,7 @@ impl ScanJournal {
         ScanJournal {
             file: None,
             header: None,
+            magic_written: false,
             records: BTreeMap::new(),
             done: false,
         }
@@ -282,15 +290,22 @@ impl ScanJournal {
                 if line != MAGIC {
                     return Err(corrupt(format!("expected `{MAGIC}`, found `{line}`")));
                 }
+                self.magic_written = true;
                 continue;
             }
             match line.as_bytes().first() {
                 Some(b'H') => self.header = Some(parse_header(line, lineno)?),
                 Some(b'L') => {
-                    if self.header.is_none() {
+                    let Some(header) = &self.header else {
                         return Err(corrupt("launch record before header".into()));
-                    }
+                    };
                     let rec = parse_record(line, lineno)?;
+                    if rec.launch >= header.launches {
+                        return Err(corrupt(format!(
+                            "launch index {} out of range (header declares {} launches)",
+                            rec.launch, header.launches
+                        )));
+                    }
                     self.records.insert(rec.launch, rec);
                 }
                 Some(b'D') => self.done = true,
@@ -300,13 +315,19 @@ impl ScanJournal {
         Ok(())
     }
 
-    fn append(&mut self, line: &str) -> Result<(), JournalError> {
+    /// Append pre-terminated text in one `write_all` and fsync it.
+    /// `File::flush` alone is a no-op — only `sync_data` makes the commit
+    /// survive an OS crash or power loss, not just a process death.
+    fn append_raw(&mut self, text: &str) -> Result<(), JournalError> {
         if let Some(file) = &mut self.file {
-            file.write_all(line.as_bytes())?;
-            file.write_all(b"\n")?;
-            file.flush()?;
+            file.write_all(text.as_bytes())?;
+            file.sync_data()?;
         }
         Ok(())
+    }
+
+    fn append(&mut self, line: &str) -> Result<(), JournalError> {
+        self.append_raw(&format!("{line}\n"))
     }
 
     /// Bind the journal to `header`, or verify it is already bound to an
@@ -315,8 +336,20 @@ impl ScanJournal {
     pub fn check_compatible(&mut self, header: &JournalHeader) -> Result<(), JournalError> {
         match &self.header {
             None => {
-                self.append(MAGIC)?;
-                self.append(&header.to_line())?;
+                // One write for magic + header. A prior run may have died
+                // after persisting the magic line but before the header
+                // (replay then leaves `header` None with `magic_written`
+                // set) — re-appending the magic there would corrupt the
+                // journal for every later open.
+                let mut text = String::new();
+                if !self.magic_written {
+                    text.push_str(MAGIC);
+                    text.push('\n');
+                }
+                text.push_str(&header.to_line());
+                text.push('\n');
+                self.append_raw(&text)?;
+                self.magic_written = true;
                 self.header = Some(header.clone());
                 Ok(())
             }
@@ -366,6 +399,16 @@ impl ScanJournal {
                         header.launch_pairs.to_string(),
                     );
                 }
+                // Derived from moduli and launch_pairs, so a driver-written
+                // header always agrees — but a hand-edited journal must not
+                // smuggle phantom launch records past compatibility.
+                if existing.launches != header.launches {
+                    return mismatch(
+                        "launches",
+                        existing.launches.to_string(),
+                        header.launches.to_string(),
+                    );
+                }
                 Ok(())
             }
         }
@@ -391,8 +434,9 @@ impl ScanJournal {
         self.header.as_ref()
     }
 
-    /// Commit one completed launch. The line is flushed before this
-    /// returns, so a crash immediately after cannot lose the launch.
+    /// Commit one completed launch. The line is written and fsynced
+    /// (`sync_data`) before this returns, so a crash immediately after —
+    /// including an OS crash or power loss — cannot lose the launch.
     pub fn record(&mut self, record: LaunchRecord) -> Result<(), JournalError> {
         self.append(&record.to_line())?;
         self.records.insert(record.launch, record);
@@ -568,12 +612,12 @@ mod tests {
 
         let header = JournalHeader {
             fingerprint: 42,
-            moduli: 4,
+            moduli: 5,
             stride: 2,
             algo: "(E)".to_string(),
             early: false,
             launch_pairs: 2,
-            launches: 3,
+            launches: 5,
         };
         let rec = sample_record();
         {
@@ -621,8 +665,96 @@ mod tests {
             Err(JournalError::Mismatch { field, .. }) => assert_eq!(field, "launch_pairs"),
             other => panic!("expected launch_pairs mismatch, got {other:?}"),
         }
+        // A hand-edited launch count is refused even though the driver
+        // always derives it from moduli and launch_pairs.
+        let mut other = header.clone();
+        other.launches = 99;
+        match j.check_compatible(&other) {
+            Err(JournalError::Mismatch { field, .. }) => assert_eq!(field, "launches"),
+            other => panic!("expected launches mismatch, got {other:?}"),
+        }
         // The original header still matches.
         j.check_compatible(&header).unwrap();
+    }
+
+    #[test]
+    fn crash_between_magic_and_header_does_not_duplicate_magic() {
+        // A run that died after persisting the magic line but before the
+        // header leaves `MAGIC\n` on disk. The next open must append only
+        // the header; a second magic line would make every later replay
+        // fail as corrupt — an unrecoverable journal from a recoverable
+        // crash.
+        let dir = std::env::temp_dir().join("bulkgcd-journal-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("magic-only-{}.journal", std::process::id()));
+        std::fs::write(&path, format!("{MAGIC}\n")).unwrap();
+
+        let header = JournalHeader {
+            fingerprint: 7,
+            moduli: 4,
+            stride: 2,
+            algo: "(E)".to_string(),
+            early: false,
+            launch_pairs: 2,
+            launches: 3,
+        };
+        {
+            let mut j = ScanJournal::open(&path).unwrap();
+            assert!(j.header().is_none());
+            j.check_compatible(&header).unwrap();
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(
+            text.matches(MAGIC).count(),
+            1,
+            "magic line must not be duplicated:\n{text}"
+        );
+        let mut j = ScanJournal::open(&path).unwrap();
+        assert_eq!(j.header(), Some(&header));
+        j.check_compatible(&header).unwrap();
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn out_of_order_commits_replay_in_launch_order() {
+        // The parallel driver commits launches as they complete, so on-disk
+        // L lines can be in any order; replay must normalise them.
+        let mut j = ScanJournal::in_memory();
+        let header_line =
+            "H fp=0000000000000001 m=4 stride=2 algo=(E) early=0 launch_pairs=2 launches=4";
+        let mut text = format!("{MAGIC}\n{header_line}\n");
+        for launch in [2u64, 0, 3, 1] {
+            let rec = LaunchRecord {
+                launch,
+                simulated_seconds: launch as f64,
+                cpu_fallback: false,
+                findings: Vec::new(),
+            };
+            text.push_str(&rec.to_line());
+            text.push('\n');
+        }
+        j.replay(text.as_bytes()).unwrap();
+        let order: Vec<u64> = j.records().map(|r| r.launch).collect();
+        assert_eq!(order, vec![0, 1, 2, 3]);
+        assert_eq!(j.committed(), 4);
+    }
+
+    #[test]
+    fn phantom_launch_record_is_corrupt() {
+        // An L record whose launch index is outside the header's declared
+        // launch count must not be silently merged into the final report.
+        let mut j = ScanJournal::in_memory();
+        let bytes = format!(
+            "{MAGIC}\nH fp=0000000000000001 m=4 stride=2 algo=(E) early=0 \
+             launch_pairs=2 launches=3\nL 3 sim=0000000000000000 fb=0 n=0\n"
+        );
+        match j.replay(bytes.as_bytes()) {
+            Err(JournalError::Corrupt { line, reason }) => {
+                assert_eq!(line, 3);
+                assert!(reason.contains("out of range"), "{reason}");
+            }
+            other => panic!("expected out-of-range corruption, got {other:?}"),
+        }
     }
 
     #[test]

@@ -24,6 +24,7 @@ use bulkgcd_gpu::{
 };
 use rayon::prelude::*;
 use std::fmt;
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 /// What a finding means for the two moduli involved.
@@ -519,12 +520,14 @@ fn execute_resumable_launch(
 
 /// Fault-tolerant, resumable variant of [`scan_gpu_sim_arena`].
 ///
-/// Progress is committed to `journal` one launch at a time, in launch
-/// order, so a run that dies at any launch boundary can be resumed by
-/// calling this again with the reopened journal: completed launches are
-/// skipped and the final report — merged from the journal — is
-/// byte-identical (findings, order, kinds, and, absent CPU fallbacks, the
-/// simulated-seconds sum) to the uninterrupted run's.
+/// Each launch is committed to `journal` (and fsynced) the moment it
+/// completes, from inside the parallel driver, so a run that dies at any
+/// point — not just at the end — keeps every launch that finished before
+/// the crash. Resume by calling this again with the reopened journal:
+/// completed launches are skipped and the final report — merged from the
+/// journal in launch-index order — is byte-identical (findings, order,
+/// kinds, and, absent CPU fallbacks, the simulated-seconds sum) to the
+/// uninterrupted run's.
 ///
 /// Faults are injected from `plan` (use [`FaultPlan::none`] in production):
 /// transient launch faults are retried with exponential backoff under
@@ -578,30 +581,44 @@ pub fn scan_gpu_sim_resumable(
         None => &pending[..],
     };
 
-    let results: Vec<(LaunchRecord, u64, Duration)> = to_run
-        .par_iter()
-        .map(|&l| {
-            execute_resumable_launch(
-                arena,
-                chunks[l as usize],
-                algo,
-                early,
-                device,
-                cost,
-                l,
-                plan,
-                policy,
-            )
-        })
-        .collect();
-    for (record, retried, backoff) in results {
+    // Each launch commits to the journal the moment it completes — from
+    // inside the parallel map, serialized behind a mutex — so a real crash
+    // (SIGKILL, OOM, power loss) mid-run loses only the launches still in
+    // flight, never the whole run. Commits land in completion order, not
+    // launch order; the journal keys records by launch index, so the final
+    // merge is launch-ordered regardless.
+    let per_launch: Result<Vec<(bool, u64, Duration)>, JournalError> = {
+        let journal_mx = Mutex::new(&mut *journal);
+        to_run
+            .par_iter()
+            .map(|&l| {
+                let (record, retried, backoff) = execute_resumable_launch(
+                    arena,
+                    chunks[l as usize],
+                    algo,
+                    early,
+                    device,
+                    cost,
+                    l,
+                    plan,
+                    policy,
+                );
+                let fallback = record.cpu_fallback;
+                journal_mx
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .record(record)?;
+                Ok((fallback, retried, backoff))
+            })
+            .collect()
+    };
+    for (fallback, retried, backoff) in per_launch? {
         stats.executed_launches += 1;
         stats.retried_attempts += retried;
         stats.backoff += backoff;
-        if record.cpu_fallback {
+        if fallback {
             stats.cpu_fallback_launches += 1;
         }
-        journal.record(record)?;
     }
 
     if let Some(p) = kill_pos {
@@ -997,6 +1014,69 @@ mod tests {
             assert_eq!(resumed.stats.resumed_launches, kill_at);
             assert_eq!(resumed.stats.executed_launches, total - kill_at);
         }
+    }
+
+    #[test]
+    fn file_journal_survives_process_boundary_and_resumes() {
+        // The closest in-process analogue to a real crash: the killed run's
+        // journal handle is dropped, and the resume replays the journal
+        // from disk — nothing survives in memory between the two runs.
+        let mut rng = StdRng::seed_from_u64(16);
+        let corpus = build_corpus(&mut rng, 10, 128, 2);
+        let arena = ModuliArena::try_from_moduli(&corpus.moduli()).unwrap();
+        let launch_pairs = 6;
+        let (_, reference) = fault_free_reference(&arena, launch_pairs);
+        let device = DeviceConfig::gtx_780_ti();
+        let cost = CostModel::default();
+        let kill_at = reference.stats.total_launches / 2;
+
+        let dir = std::env::temp_dir().join("bulkgcd-journal-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("scan-resume-{}.journal", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+
+        {
+            let mut journal = ScanJournal::open(&path).unwrap();
+            let plan = FaultPlan::none().with_kill(kill_at);
+            match scan_gpu_sim_resumable(
+                &arena,
+                Algorithm::Approximate,
+                true,
+                &device,
+                &cost,
+                launch_pairs,
+                &mut journal,
+                &plan,
+                &RetryPolicy::default(),
+            ) {
+                Err(ScanError::Interrupted { launch }) => assert_eq!(launch, kill_at),
+                other => panic!("expected Interrupted, got {other:?}"),
+            }
+        }
+
+        let mut journal = ScanJournal::open(&path).unwrap();
+        assert_eq!(journal.committed(), kill_at, "pre-kill prefix is on disk");
+        assert!(!journal.is_done());
+        let resumed = scan_gpu_sim_resumable(
+            &arena,
+            Algorithm::Approximate,
+            true,
+            &device,
+            &cost,
+            launch_pairs,
+            &mut journal,
+            &FaultPlan::none(),
+            &RetryPolicy::default(),
+        )
+        .unwrap();
+        assert!(journal.is_done());
+        assert_eq!(resumed.scan.findings, reference.scan.findings);
+        assert_eq!(
+            resumed.scan.simulated_seconds.unwrap().to_bits(),
+            reference.scan.simulated_seconds.unwrap().to_bits()
+        );
+        assert_eq!(resumed.stats.resumed_launches, kill_at);
+        std::fs::remove_file(&path).unwrap();
     }
 
     #[test]
