@@ -1,12 +1,19 @@
 //! Machine-readable scan-throughput benchmark: `BENCH_scan.json`.
 //!
 //! Measures pairs/second for the arena-backed CPU scan (against the
-//! pre-refactor per-block path) and the parallel simulated-GPU scan
-//! (against its serial reference) across corpus sizes, and writes one JSON
-//! report for tooling to diff across commits.
+//! pre-refactor per-block path), the lockstep SIMT host scan (against the
+//! scalar arena path), and the parallel simulated-GPU scan (against its
+//! serial reference) across a corpus-size × modulus-width grid, and writes
+//! one JSON report for tooling to diff across commits.
 //!
 //! Run: `cargo run --release -p bulkgcd-bench --bin scan_bench --
-//!       [--sizes 16,32,64] [--bits 128] [--reps 3] [--out BENCH_scan.json]`
+//!       [--sizes 16,32,64] [--bits 128,1024] [--reps 3] [--warp-width 32]
+//!       [--out BENCH_scan.json]`
+//!
+//! Perf-regression gate (used by `scripts/check.sh`): `--gate-lockstep`
+//! additionally fails the run (exit 1) if, at the largest size of the
+//! widest moduli benched, the lockstep scan's pairs/second fall below
+//! 0.95× the scalar arena path's.
 //!
 //! Fault-injection smoke mode (used by `scripts/check.sh`): `--inject-faults
 //! [--resume] [--fault-seed N]` runs the resumable scan under a seeded
@@ -18,7 +25,8 @@ use bulkgcd_bench::Options;
 use bulkgcd_bigint::Nat;
 use bulkgcd_bulk::{
     group_size_for, scan_cpu_arena, scan_gpu_sim_arena, scan_gpu_sim_resumable,
-    scan_gpu_sim_serial, FaultPlan, GroupedPairs, ModuliArena, ScanError, ScanJournal,
+    scan_gpu_sim_serial, scan_lockstep_arena, FaultPlan, GroupedPairs, ModuliArena, ScanError,
+    ScanJournal,
 };
 use bulkgcd_core::{run, Algorithm, GcdOutcome, GcdPair, NoProbe, Termination};
 use bulkgcd_gpu::{CostModel, DeviceConfig, RetryPolicy};
@@ -170,72 +178,103 @@ fn main() {
         eprintln!("error: --sizes needs a comma-separated list of corpus sizes (e.g. 16,32,64)");
         std::process::exit(2);
     }
-    let bits: u64 = opts.get("bits", 128);
+    let bits_list = opts.get_list("bits", &[128, 1024]);
+    if bits_list.is_empty() {
+        eprintln!("error: --bits needs a comma-separated list of modulus widths (e.g. 128,1024)");
+        std::process::exit(2);
+    }
     let reps: usize = opts.get("reps", 3);
     let out: String = opts.get("out", "BENCH_scan.json".to_string());
     let launch_pairs: usize = opts.get("launch-pairs", 256);
+    let warp_width: usize = opts.get("warp-width", 32);
+    let gate = opts.has("gate-lockstep");
     let device = DeviceConfig::gtx_780_ti();
     let cost = CostModel::default();
     let algo = Algorithm::Approximate;
 
     let mut rows = Vec::new();
-    for &m in &sizes {
-        let m = m as usize;
-        let mut rng = StdRng::seed_from_u64(0x5ca9 ^ m as u64);
-        let moduli = build_corpus(&mut rng, m, bits, 2).moduli();
-        let arena = ModuliArena::try_from_moduli(&moduli).expect("bench corpus is non-degenerate");
-        let pairs = (m * (m - 1) / 2) as f64;
+    // The gate row: throughputs at the largest corpus of the widest moduli.
+    let mut gate_row: Option<(usize, u64, f64, f64)> = None;
+    for &bits in &bits_list {
+        for &m in &sizes {
+            let m = m as usize;
+            let mut rng = StdRng::seed_from_u64(0x5ca9 ^ m as u64 ^ (bits << 17));
+            let moduli = build_corpus(&mut rng, m, bits, 2).moduli();
+            let arena =
+                ModuliArena::try_from_moduli(&moduli).expect("bench corpus is non-degenerate");
+            let pairs = (m * (m - 1) / 2) as f64;
 
-        let (cpu_s, cpu_found) =
-            best_seconds(reps, || scan_cpu_arena(&arena, algo, true).findings.len());
-        let (base_s, base_found) = best_seconds(reps, || scan_cpu_prerefactor(&moduli, algo, true));
-        assert_eq!(cpu_found, base_found, "arena and baseline disagree");
+            let (cpu_s, cpu_found) =
+                best_seconds(reps, || scan_cpu_arena(&arena, algo, true).findings.len());
+            let (base_s, base_found) =
+                best_seconds(reps, || scan_cpu_prerefactor(&moduli, algo, true));
+            assert_eq!(cpu_found, base_found, "arena and baseline disagree");
 
-        let (gpu_s, _) = best_seconds(reps, || {
-            scan_gpu_sim_arena(&arena, algo, true, &device, &cost, launch_pairs)
-                .findings
-                .len()
-        });
-        let par = scan_gpu_sim_arena(&arena, algo, true, &device, &cost, launch_pairs);
-        let ser = scan_gpu_sim_serial(&moduli, algo, true, &device, &cost, launch_pairs)
-            .expect("bench corpus is non-degenerate");
-        let par_sim = par.simulated_seconds.unwrap_or(0.0);
-        let ser_sim = ser.simulated_seconds.unwrap_or(0.0);
-        let parallel_matches_serial =
-            par.findings == ser.findings && (par_sim - ser_sim).abs() <= 1e-12 * ser_sim.max(1.0);
+            let (ls_s, ls_found) = best_seconds(reps, || {
+                scan_lockstep_arena(&arena, true, warp_width).findings.len()
+            });
+            assert_eq!(ls_found, cpu_found, "lockstep and arena scans disagree");
 
-        eprintln!(
-            "m={m}: cpu {:.0} pairs/s (baseline {:.0}, x{:.2}), gpu-sim host {:.0} pairs/s, \
-             simulated {:.3e} s, parallel==serial: {parallel_matches_serial}",
-            pairs / cpu_s,
-            pairs / base_s,
-            base_s / cpu_s,
-            pairs / gpu_s,
-            par_sim,
-        );
+            let (gpu_s, _) = best_seconds(reps, || {
+                scan_gpu_sim_arena(&arena, algo, true, &device, &cost, launch_pairs)
+                    .findings
+                    .len()
+            });
+            let par = scan_gpu_sim_arena(&arena, algo, true, &device, &cost, launch_pairs);
+            let ser = scan_gpu_sim_serial(&moduli, algo, true, &device, &cost, launch_pairs)
+                .expect("bench corpus is non-degenerate");
+            let par_sim = par.simulated_seconds.unwrap_or(0.0);
+            let ser_sim = ser.simulated_seconds.unwrap_or(0.0);
+            let parallel_matches_serial = par.findings == ser.findings
+                && (par_sim - ser_sim).abs() <= 1e-12 * ser_sim.max(1.0);
 
-        rows.push(format!(
-            concat!(
-                "    {{\"m\": {m}, \"pairs\": {pairs}, \"findings\": {found},\n",
-                "     \"cpu_arena_seconds\": {cpu_s}, \"cpu_arena_pairs_per_sec\": {cpu_tp},\n",
-                "     \"cpu_prerefactor_seconds\": {base_s}, \"cpu_prerefactor_pairs_per_sec\": {base_tp},\n",
-                "     \"cpu_arena_speedup\": {speedup},\n",
-                "     \"gpu_sim_host_seconds\": {gpu_s}, \"gpu_sim_host_pairs_per_sec\": {gpu_tp},\n",
-                "     \"gpu_sim_simulated_seconds\": {sim}, \"gpu_sim_parallel_matches_serial\": {ok}}}"
-            ),
-            m = m,
-            pairs = pairs as u64,
-            found = cpu_found,
-            cpu_s = json_f64(cpu_s),
-            cpu_tp = json_f64(pairs / cpu_s),
-            base_s = json_f64(base_s),
-            base_tp = json_f64(pairs / base_s),
-            speedup = json_f64(base_s / cpu_s),
-            gpu_s = json_f64(gpu_s),
-            gpu_tp = json_f64(pairs / gpu_s),
-            sim = json_f64(par_sim),
-            ok = parallel_matches_serial,
-        ));
+            eprintln!(
+                "m={m} bits={bits}: cpu {:.0} pairs/s (baseline {:.0}, x{:.2}), \
+                 lockstep {:.0} pairs/s (x{:.2} vs cpu), gpu-sim host {:.0} pairs/s, \
+                 simulated {:.3e} s, parallel==serial: {parallel_matches_serial}",
+                pairs / cpu_s,
+                pairs / base_s,
+                base_s / cpu_s,
+                pairs / ls_s,
+                cpu_s / ls_s,
+                pairs / gpu_s,
+                par_sim,
+            );
+
+            match gate_row {
+                Some((gm, gb, _, _)) if (bits, m) < (gb, gm) => {}
+                _ => gate_row = Some((m, bits, pairs / cpu_s, pairs / ls_s)),
+            }
+
+            rows.push(format!(
+                concat!(
+                    "    {{\"m\": {m}, \"bits\": {bits}, \"pairs\": {pairs}, \"findings\": {found},\n",
+                    "     \"cpu_arena_seconds\": {cpu_s}, \"cpu_arena_pairs_per_sec\": {cpu_tp},\n",
+                    "     \"cpu_prerefactor_seconds\": {base_s}, \"cpu_prerefactor_pairs_per_sec\": {base_tp},\n",
+                    "     \"cpu_arena_speedup\": {speedup},\n",
+                    "     \"lockstep_seconds\": {ls_s}, \"lockstep_pairs_per_sec\": {ls_tp},\n",
+                    "     \"lockstep_vs_cpu_speedup\": {ls_speedup},\n",
+                    "     \"gpu_sim_host_seconds\": {gpu_s}, \"gpu_sim_host_pairs_per_sec\": {gpu_tp},\n",
+                    "     \"gpu_sim_simulated_seconds\": {sim}, \"gpu_sim_parallel_matches_serial\": {ok}}}"
+                ),
+                m = m,
+                bits = bits,
+                pairs = pairs as u64,
+                found = cpu_found,
+                cpu_s = json_f64(cpu_s),
+                cpu_tp = json_f64(pairs / cpu_s),
+                base_s = json_f64(base_s),
+                base_tp = json_f64(pairs / base_s),
+                speedup = json_f64(base_s / cpu_s),
+                ls_s = json_f64(ls_s),
+                ls_tp = json_f64(pairs / ls_s),
+                ls_speedup = json_f64(cpu_s / ls_s),
+                gpu_s = json_f64(gpu_s),
+                gpu_tp = json_f64(pairs / gpu_s),
+                sim = json_f64(par_sim),
+                ok = parallel_matches_serial,
+            ));
+        }
     }
 
     let json = format!(
@@ -243,20 +282,45 @@ fn main() {
             "{{\n",
             "  \"bench\": \"scan_throughput\",\n",
             "  \"algorithm\": \"{algo}\",\n",
-            "  \"bits\": {bits},\n",
+            "  \"bits\": [{bits}],\n",
             "  \"early_termination\": true,\n",
             "  \"launch_pairs\": {lp},\n",
+            "  \"warp_width\": {w},\n",
             "  \"reps\": {reps},\n",
             "  \"rows\": [\n{rows}\n  ]\n",
             "}}\n"
         ),
         algo = algo.tag(),
-        bits = bits,
+        bits = bits_list
+            .iter()
+            .map(u64::to_string)
+            .collect::<Vec<_>>()
+            .join(", "),
         lp = launch_pairs,
+        w = warp_width,
         reps = reps,
         rows = rows.join(",\n"),
     );
     std::fs::write(&out, &json).expect("write BENCH_scan.json");
     println!("{json}");
     eprintln!("wrote {out}");
+
+    if gate {
+        // Perf-regression gate: at the widest moduli's largest corpus, the
+        // lockstep engine must not fall below the scalar arena path (small
+        // tolerance for run-to-run noise).
+        const TOLERANCE: f64 = 0.95;
+        let (gm, gb, cpu_tp, ls_tp) = gate_row.expect("non-empty grid");
+        if ls_tp < TOLERANCE * cpu_tp {
+            eprintln!(
+                "GATE FAIL: lockstep {ls_tp:.0} pairs/s < {TOLERANCE} x cpu_arena \
+                 {cpu_tp:.0} pairs/s at m={gm}, bits={gb}"
+            );
+            std::process::exit(1);
+        }
+        eprintln!(
+            "gate OK: lockstep {ls_tp:.0} pairs/s >= {TOLERANCE} x cpu_arena {cpu_tp:.0} \
+             pairs/s at m={gm}, bits={gb}"
+        );
+    }
 }

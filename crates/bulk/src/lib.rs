@@ -11,6 +11,11 @@
 //! * [`scan`] — the multithreaded CPU scan (rayon, worker-local scratch)
 //!   and the same scan priced on the simulated GPU with parallel launches,
 //!   producing identical findings;
+//! * [`lockstep`] — the lockstep SIMT engine: a launch's operands stored
+//!   column-major (limb `k` of all lanes contiguous, the paper's Fig. 3
+//!   layout), Approximate Euclid executed one shared instruction at a time
+//!   across the warp with per-lane active masks; the engine behind
+//!   [`scan_lockstep`] and the Approximate-Euclid GPU-sim launches;
 //! * [`batch`] — the product/remainder-tree **batch GCD** baseline
 //!   (the pre-existing attack the paper competes with);
 //! * [`pipeline`] — scan → factor → private-key recovery, end to end;
@@ -30,6 +35,7 @@ pub mod checkpoint;
 pub mod estimate;
 pub mod fault;
 pub mod incremental;
+pub mod lockstep;
 pub mod pairing;
 pub mod pipeline;
 pub mod scan;
@@ -41,10 +47,11 @@ pub use checkpoint::{corpus_fingerprint, JournalError, JournalHeader, LaunchReco
 pub use estimate::{estimate_full_scan, ScanEstimate};
 pub use fault::{FaultPlan, FaultSpec};
 pub use incremental::{CorpusIndex, ZeroModulus};
+pub use lockstep::LockstepEngine;
 pub use pairing::{group_size_for, BlockId, GroupedPairs};
 pub use pipeline::{break_weak_keys, recover_keys, BreakReport, BrokenKey};
 pub use scan::{
     combine_terminations, scan_block_into, scan_cpu, scan_cpu_arena, scan_gpu_sim,
-    scan_gpu_sim_arena, scan_gpu_sim_resumable, scan_gpu_sim_serial, FaultStats, Finding,
-    FindingKind, ResumableReport, ScanError, ScanReport,
+    scan_gpu_sim_arena, scan_gpu_sim_resumable, scan_gpu_sim_serial, scan_lockstep,
+    scan_lockstep_arena, FaultStats, Finding, FindingKind, ResumableReport, ScanError, ScanReport,
 };

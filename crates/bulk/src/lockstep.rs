@@ -1,0 +1,628 @@
+//! The lockstep SIMT bulk-GCD execution engine.
+//!
+//! Everything before this module *modeled* the paper's GPU execution
+//! (replaying per-pair iteration traces through `gpu::warp`); this module
+//! *performs* it on the host. A warp of `W` lanes stores its operands in
+//! two column-major planes — limb `k` of all `W` lanes contiguous, the
+//! paper's Fig. 3 column-wise arrangement — and executes Approximate
+//! Euclid one shared instruction at a time across all lanes:
+//!
+//! 1. **Plan** (per lane, O(1) words): terminate lanes whose `Y` ran out,
+//!    gather the four head words, and classify the iteration via
+//!    [`plan_lane`](bulkgcd_core::plan_lane) into the fused β = 0 update or
+//!    one of the rare divergent paths.
+//! 2. **Vector pass** (shared): one [`fused_submul_rshift_columns`] call
+//!    applies `X ← rshift(X − α·Y)` to every fused lane, limb-row
+//!    innermost so the compiler vectorizes across lanes. Masked lanes
+//!    (terminated, or queued for a divergent path) ride along as exact
+//!    identities with `α = 0` — the SIMT analogue of inactive lanes
+//!    burning the issue slot.
+//! 3. **Fixups** (per diverged lane): the β > 0 update, the two-pass deep
+//!    shift, and the 64-bit Case 1 tail execute scalar, serialized — which
+//!    is precisely what a real warp does with divergent branches.
+//! 4. **Epilogue** (per lane): renormalize `lX`, compare `X < Y`, and swap
+//!    by flipping the lane's plane-selector mask — a pointer swap with no
+//!    copying, exactly like [`GcdPair::swap`](bulkgcd_core::GcdPair::swap).
+//!
+//! Each lane's value sequence is identical, iteration by iteration, to
+//! what `run_in_place(Algorithm::Approximate, ..)` computes for that pair
+//! — the equivalence suite asserts it — so findings, checkpoints, and
+//! resume semantics carry over bit-for-bit.
+//!
+//! When asked to **measure**, the engine feeds the descriptors of every
+//! iteration it executes into the same
+//! [`WarpWorkAccumulator`](bulkgcd_gpu::WarpWorkAccumulator) that the
+//! trace-replay model uses, so divergence fractions and coalesced-traffic
+//! counts come from live execution rather than a replay.
+
+use bulkgcd_bigint::{ops, Limb, Nat, LIMB_BITS};
+use bulkgcd_core::{
+    fused_submul_rshift_columns, plan_lane, GcdPair, GcdStatus, LanePlan, StepKind, Termination,
+};
+use bulkgcd_gpu::{CostModel, WarpWork, WarpWorkAccumulator};
+use bulkgcd_umm::gcd_trace::IterDesc;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum LaneState {
+    Running,
+    Done,
+    Early,
+}
+
+/// A reusable lockstep warp executor.
+///
+/// One engine owns the column-major operand planes and every scratch row a
+/// warp needs; [`run_warp`](Self::run_warp) reloads it for each warp of
+/// pairs, so a scan driver keeps exactly one engine per worker and the
+/// steady-state hot loop allocates nothing.
+///
+/// ```
+/// use bulkgcd_bigint::Nat;
+/// use bulkgcd_bulk::LockstepEngine;
+/// use bulkgcd_core::{GcdStatus, Termination};
+///
+/// let mut engine = LockstepEngine::new(8);
+/// let (a, b) = (Nat::from_u64(1_043_915), Nat::from_u64(768_955));
+/// let inputs = [(a.as_limbs(), b.as_limbs())];
+/// engine.run_warp(&inputs, Termination::Full, None);
+/// assert_eq!(engine.lane_status(0), GcdStatus::Done);
+/// assert_eq!(engine.lane_gcd_nat(0), Nat::from_u64(5));
+/// ```
+#[derive(Debug, Clone)]
+pub struct LockstepEngine {
+    w: usize,
+    stride: usize,
+    n: usize,
+    /// Operand plane A, column-major: limb k of lane t at `k*w + t`.
+    u: Vec<Limb>,
+    /// Operand plane B, same layout.
+    v: Vec<Limb>,
+    /// Per-lane plane selector: 0 = X in plane A, all-ones = X in plane B.
+    sel: Vec<Limb>,
+    /// Per-lane fused multiplier for the current iteration (0 = masked).
+    alpha: Vec<Limb>,
+    /// Per-lane fused shift for the current iteration.
+    rs: Vec<u32>,
+    lx: Vec<usize>,
+    ly: Vec<usize>,
+    state: Vec<LaneState>,
+    // Vector-pass scratch rows.
+    carry: Vec<u64>,
+    prev: Vec<Limb>,
+    dcur: Vec<Limb>,
+    // Divergent-path scratch.
+    fixups: Vec<(usize, LanePlan)>,
+    xg: Vec<Limb>,
+    yg: Vec<Limb>,
+    pair: GcdPair,
+    // Measurement.
+    live: Vec<IterDesc>,
+    acc: WarpWorkAccumulator,
+}
+
+impl LockstepEngine {
+    /// New engine with `w` lanes per warp (the paper's W = 32; 8 or 16 are
+    /// better fits for host SIMD registers).
+    pub fn new(w: usize) -> Self {
+        assert!(w >= 1, "warp width must be at least 1");
+        LockstepEngine {
+            w,
+            stride: 0,
+            n: 0,
+            u: Vec::new(),
+            v: Vec::new(),
+            sel: vec![0; w],
+            alpha: vec![0; w],
+            rs: vec![0; w],
+            lx: vec![0; w],
+            ly: vec![0; w],
+            state: vec![LaneState::Done; w],
+            carry: vec![0; w],
+            prev: vec![0; w],
+            dcur: vec![0; w],
+            fixups: Vec::with_capacity(w),
+            xg: Vec::new(),
+            yg: Vec::new(),
+            pair: GcdPair::with_capacity(1),
+            live: Vec::with_capacity(w),
+            acc: WarpWorkAccumulator::new(32),
+        }
+    }
+
+    /// Lanes per warp.
+    pub fn width(&self) -> usize {
+        self.w
+    }
+
+    /// Execute one warp of at most `width()` pairs to termination.
+    ///
+    /// Operands are borrowed little-endian limb slices (high zero padding
+    /// fine). With `measure = Some((cost, words_per_transaction))` the
+    /// engine also accumulates the warp's [`WarpWork`] from the iterations
+    /// it actually executes and returns it; with `None` it skips all
+    /// accounting.
+    ///
+    /// After return, every lane is terminated: harvest with
+    /// [`lane_status`](Self::lane_status) /
+    /// [`lane_gcd_is_one`](Self::lane_gcd_is_one) /
+    /// [`lane_gcd_nat`](Self::lane_gcd_nat).
+    pub fn run_warp(
+        &mut self,
+        inputs: &[(&[Limb], &[Limb])],
+        term: Termination,
+        measure: Option<(&CostModel, u64)>,
+    ) -> Option<WarpWork> {
+        let w = self.w;
+        assert!(inputs.len() <= w, "warp overfilled: {} > {w}", inputs.len());
+        self.load(inputs);
+        if let Some((_, wpt)) = measure {
+            self.acc.reset(wpt);
+        }
+        // Hang insurance only: every path strips bits from the pair, so the
+        // scalar bound (~32·stride iterations) holds per lane; the engine
+        // matches the scalar sequence exactly.
+        let max_iters = 4096 + 64 * LIMB_BITS as usize * self.stride;
+        let mut iter = 0usize;
+        loop {
+            if !self.plan_iteration(term, measure.is_some()) {
+                break;
+            }
+            if let Some((cost, _)) = measure {
+                self.acc.record_iteration(cost, &self.live);
+            }
+            let rows = self
+                .fused_rows()
+                .expect("plan_iteration returned true with no work");
+            if rows > 0 {
+                fused_submul_rshift_columns(
+                    &mut self.u,
+                    &mut self.v,
+                    w,
+                    rows,
+                    &self.sel,
+                    &self.alpha,
+                    &self.rs,
+                    &mut self.carry,
+                    &mut self.prev,
+                    &mut self.dcur,
+                );
+            }
+            for fi in 0..self.fixups.len() {
+                let (t, plan) = self.fixups[fi];
+                self.apply_fixup(t, plan);
+            }
+            self.epilogue();
+            iter += 1;
+            assert!(
+                iter <= max_iters,
+                "lockstep engine exceeded {max_iters} iterations"
+            );
+        }
+        measure.map(|_| self.acc.take())
+    }
+
+    /// Terminal status of lane `t` after [`run_warp`](Self::run_warp).
+    ///
+    /// Panics if the lane index is out of range for the last warp.
+    pub fn lane_status(&self, t: usize) -> GcdStatus {
+        assert!(t < self.n, "lane {t} out of range ({} loaded)", self.n);
+        match self.state[t] {
+            LaneState::Done => GcdStatus::Done,
+            LaneState::Early => GcdStatus::EarlyCoprime,
+            LaneState::Running => unreachable!("run_warp terminates every lane"),
+        }
+    }
+
+    /// For a [`GcdStatus::Done`] lane: is the GCD exactly 1? Answered from
+    /// the length register and one strided word, no allocation.
+    pub fn lane_gcd_is_one(&self, t: usize) -> bool {
+        assert!(t < self.n);
+        self.lx[t] == 1 && self.x_plane(t)[t] == 1
+    }
+
+    /// For a [`GcdStatus::Done`] lane: the GCD as an owned `Nat` (gathers
+    /// the lane's column; allocates, so reserve it for rare findings).
+    pub fn lane_gcd_nat(&self, t: usize) -> Nat {
+        assert!(t < self.n);
+        let xp = self.x_plane(t);
+        let limbs: Vec<Limb> = (0..self.lx[t]).map(|k| xp[k * self.w + t]).collect();
+        Nat::from_limbs(&limbs)
+    }
+
+    #[inline]
+    fn x_plane(&self, t: usize) -> &[Limb] {
+        if self.sel[t] == 0 {
+            &self.u
+        } else {
+            &self.v
+        }
+    }
+
+    fn load(&mut self, inputs: &[(&[Limb], &[Limb])]) {
+        let w = self.w;
+        self.n = inputs.len();
+        let mut stride = 1usize;
+        for &(a, b) in inputs {
+            stride = stride
+                .max(ops::normalized_len(a))
+                .max(ops::normalized_len(b));
+        }
+        self.stride = stride;
+        let need = stride * w;
+        if self.u.len() < need {
+            self.u.resize(need, 0);
+            self.v.resize(need, 0);
+        }
+        self.u[..need].fill(0);
+        self.v[..need].fill(0);
+        if self.xg.len() < stride {
+            self.xg.resize(stride, 0);
+            self.yg.resize(stride, 0);
+        }
+        for t in 0..w {
+            self.sel[t] = 0;
+            self.lx[t] = 0;
+            self.ly[t] = 0;
+            self.state[t] = LaneState::Done;
+        }
+        for (t, &(a, b)) in inputs.iter().enumerate() {
+            // Same ordering rule as GcdPair::load_from_limbs: larger value
+            // (ties: a) goes to X, which starts in plane A.
+            let la = ops::normalized_len(a);
+            let lb = ops::normalized_len(b);
+            let (hi, lhi, lo, llo) = if ops::cmp(&a[..la], &b[..lb]) == core::cmp::Ordering::Less {
+                (b, lb, a, la)
+            } else {
+                (a, la, b, lb)
+            };
+            for (k, &limb) in hi[..lhi].iter().enumerate() {
+                self.u[k * w + t] = limb;
+            }
+            for (k, &limb) in lo[..llo].iter().enumerate() {
+                self.v[k * w + t] = limb;
+            }
+            self.lx[t] = lhi;
+            self.ly[t] = llo;
+            self.state[t] = LaneState::Running;
+        }
+    }
+
+    #[inline]
+    fn y_bits(&self, t: usize) -> u64 {
+        let ly = self.ly[t];
+        if ly == 0 {
+            return 0;
+        }
+        let yp = if self.sel[t] == 0 { &self.v } else { &self.u };
+        let top = yp[(ly - 1) * self.w + t];
+        (ly as u64 - 1) * LIMB_BITS as u64 + (LIMB_BITS - top.leading_zeros()) as u64
+    }
+
+    /// Terminate finished lanes, then classify every still-running lane for
+    /// this iteration. Returns false when no lane remains (loop exit).
+    fn plan_iteration(&mut self, term: Termination, record: bool) -> bool {
+        let w = self.w;
+        self.live.clear();
+        self.fixups.clear();
+        self.alpha.fill(0);
+        self.rs.fill(0);
+        let mut any = false;
+        for t in 0..self.n {
+            if self.state[t] != LaneState::Running {
+                continue;
+            }
+            // Same check order as the scalar loop's `finished()`: Y == 0
+            // first, then the early-termination bit threshold.
+            if self.ly[t] == 0 {
+                self.state[t] = LaneState::Done;
+                continue;
+            }
+            if let Termination::Early { threshold_bits } = term {
+                if self.y_bits(t) < threshold_bits {
+                    self.state[t] = LaneState::Early;
+                    continue;
+                }
+            }
+            any = true;
+            let (lx, ly) = (self.lx[t], self.ly[t]);
+            let (xp, yp) = if self.sel[t] == 0 {
+                (&self.u, &self.v)
+            } else {
+                (&self.v, &self.u)
+            };
+            // The §IV head accesses: top two and bottom two words per
+            // operand, gathered with strided reads from the columns.
+            let x_top = if lx >= 2 {
+                (xp[(lx - 1) * w + t] as u64) << LIMB_BITS | xp[(lx - 2) * w + t] as u64
+            } else {
+                xp[t] as u64
+            };
+            let y_top = if ly >= 2 {
+                (yp[(ly - 1) * w + t] as u64) << LIMB_BITS | yp[(ly - 2) * w + t] as u64
+            } else {
+                yp[t] as u64
+            };
+            let row1 = if self.stride >= 2 { w + t } else { t };
+            let x_lo = if self.stride >= 2 {
+                (xp[row1] as u64) << LIMB_BITS | xp[t] as u64
+            } else {
+                xp[t] as u64
+            };
+            let y_lo = if self.stride >= 2 {
+                (yp[row1] as u64) << LIMB_BITS | yp[t] as u64
+            } else {
+                yp[t] as u64
+            };
+            let (plan, _, _, _) = plan_lane(x_top, x_lo, lx, y_top, y_lo, ly);
+            if record {
+                let kind = if plan.is_beta_positive() {
+                    StepKind::ApproxBetaPositive
+                } else {
+                    StepKind::ApproxBetaZero
+                };
+                self.live.push(IterDesc {
+                    kind,
+                    lx,
+                    ly,
+                    x_in_a: self.sel[t] == 0,
+                });
+            }
+            match plan {
+                LanePlan::Fused { alpha, rs } => {
+                    self.alpha[t] = alpha;
+                    self.rs[t] = rs;
+                }
+                other => self.fixups.push((t, other)),
+            }
+        }
+        any
+    }
+
+    /// Max `lX` over this iteration's fused lanes (the vector-pass trip
+    /// count), or `Some(0)` when only fixups ran. `None` when nothing ran.
+    fn fused_rows(&self) -> Option<usize> {
+        let rows = (0..self.n)
+            .filter(|&t| self.alpha[t] != 0)
+            .map(|t| self.lx[t])
+            .max();
+        match rows {
+            Some(r) => Some(r),
+            None if !self.fixups.is_empty() => Some(0),
+            None => None,
+        }
+    }
+
+    /// Serialized scalar execution of one diverged lane, via the same
+    /// `GcdPair` updates the scalar algorithm uses — identical values by
+    /// construction.
+    fn apply_fixup(&mut self, t: usize, plan: LanePlan) {
+        let w = self.w;
+        let old_lx = self.lx[t];
+        let ly = self.ly[t];
+        {
+            let (xp, yp) = if self.sel[t] == 0 {
+                (&self.u, &self.v)
+            } else {
+                (&self.v, &self.u)
+            };
+            for k in 0..old_lx {
+                self.xg[k] = xp[k * w + t];
+            }
+            for k in 0..ly {
+                self.yg[k] = yp[k * w + t];
+            }
+        }
+        let new_lx;
+        match plan {
+            LanePlan::WideAlpha { alpha } => {
+                // Case 1 tail: X and Y fit in 64 bits, do the arithmetic
+                // directly (scalar reference does the same).
+                let pack = |g: &[Limb], l: usize| -> u64 {
+                    let lo = g[0] as u64;
+                    let hi = if l >= 2 { g[1] as u64 } else { 0 };
+                    hi << LIMB_BITS | lo
+                };
+                let x64 = pack(&self.xg, old_lx);
+                let y64 = pack(&self.yg, ly);
+                let d = x64 - alpha * y64;
+                let tz = if d == 0 { 0 } else { d.trailing_zeros() };
+                let val = d >> tz;
+                let xplane = if self.sel[t] == 0 {
+                    &mut self.u
+                } else {
+                    &mut self.v
+                };
+                for k in 0..old_lx {
+                    xplane[k * w + t] = (val >> (LIMB_BITS as usize * k)) as Limb;
+                }
+                new_lx = if val == 0 {
+                    0
+                } else if val >> LIMB_BITS == 0 {
+                    1
+                } else {
+                    2
+                };
+            }
+            LanePlan::DeepShift { alpha } => {
+                self.pair
+                    .load_from_limbs(&self.xg[..old_lx], &self.yg[..ly]);
+                self.pair.x_submul_rshift(alpha);
+                new_lx = self.scatter_pair_x(t, old_lx);
+            }
+            LanePlan::BetaPositive { alpha, beta } => {
+                self.pair
+                    .load_from_limbs(&self.xg[..old_lx], &self.yg[..ly]);
+                self.pair.x_submul_shifted_rshift(alpha, beta);
+                new_lx = self.scatter_pair_x(t, old_lx);
+            }
+            LanePlan::Fused { .. } => unreachable!("fused lanes run in the vector pass"),
+        }
+        self.lx[t] = new_lx;
+    }
+
+    /// Write the fixup pair's X back into the lane's column, restoring the
+    /// high-zero padding invariant over the rows it used to occupy.
+    fn scatter_pair_x(&mut self, t: usize, old_lx: usize) -> usize {
+        let w = self.w;
+        let new_lx = self.pair.lx();
+        let xs = self.pair.x();
+        let xplane = if self.sel[t] == 0 {
+            &mut self.u
+        } else {
+            &mut self.v
+        };
+        for (k, &limb) in xs.iter().enumerate() {
+            xplane[k * w + t] = limb;
+        }
+        for k in new_lx..old_lx {
+            xplane[k * w + t] = 0;
+        }
+        new_lx
+    }
+
+    /// Per-lane iteration tail: renormalize `lX` after the vector pass and
+    /// restore `X ≥ Y` by flipping the selector mask (the pointer swap).
+    fn epilogue(&mut self) {
+        let w = self.w;
+        for t in 0..self.n {
+            if self.state[t] != LaneState::Running {
+                continue;
+            }
+            if self.alpha[t] != 0 {
+                // Vector lanes: the pass preserves padding, so scanning down
+                // from the old length is the strided normalized_len.
+                let xp = if self.sel[t] == 0 { &self.u } else { &self.v };
+                let mut l = self.lx[t];
+                while l > 0 && xp[(l - 1) * w + t] == 0 {
+                    l -= 1;
+                }
+                self.lx[t] = l;
+            }
+            let (lx, ly) = (self.lx[t], self.ly[t]);
+            let less = {
+                let (xp, yp) = if self.sel[t] == 0 {
+                    (&self.u, &self.v)
+                } else {
+                    (&self.v, &self.u)
+                };
+                match lx.cmp(&ly) {
+                    core::cmp::Ordering::Less => true,
+                    core::cmp::Ordering::Greater => false,
+                    core::cmp::Ordering::Equal => {
+                        let mut less = false;
+                        for k in (0..lx).rev() {
+                            let (xv, yv) = (xp[k * w + t], yp[k * w + t]);
+                            if xv != yv {
+                                less = xv < yv;
+                                break;
+                            }
+                        }
+                        less
+                    }
+                }
+            };
+            if less {
+                self.sel[t] ^= Limb::MAX;
+                self.lx[t] = ly;
+                self.ly[t] = lx;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bulkgcd_bigint::random::random_odd_bits;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn warp_vs_reference(pairs: &[(Nat, Nat)], w: usize, term: Termination) {
+        let mut engine = LockstepEngine::new(w);
+        for chunk in pairs.chunks(w) {
+            let inputs: Vec<(&[Limb], &[Limb])> = chunk
+                .iter()
+                .map(|(a, b)| (a.as_limbs(), b.as_limbs()))
+                .collect();
+            engine.run_warp(&inputs, term, None);
+            for (t, (a, b)) in chunk.iter().enumerate() {
+                let mut pair = GcdPair::new(a, b);
+                let status = bulkgcd_core::run_in_place(
+                    bulkgcd_core::Algorithm::Approximate,
+                    &mut pair,
+                    term,
+                    &mut bulkgcd_core::NoProbe,
+                );
+                assert_eq!(engine.lane_status(t), status, "status lane {t}");
+                if status == GcdStatus::Done {
+                    assert_eq!(engine.lane_gcd_nat(t), pair.x_nat(), "gcd lane {t}");
+                    assert_eq!(engine.lane_gcd_is_one(t), pair.gcd_is_one());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn full_warp_matches_scalar_full_termination() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let pairs: Vec<(Nat, Nat)> = (0..24)
+            .map(|_| {
+                (
+                    random_odd_bits(&mut rng, 256),
+                    random_odd_bits(&mut rng, 256),
+                )
+            })
+            .collect();
+        warp_vs_reference(&pairs, 8, Termination::Full);
+    }
+
+    #[test]
+    fn ragged_warp_and_early_termination() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let mut pairs: Vec<(Nat, Nat)> = (0..13)
+            .map(|_| {
+                (
+                    random_odd_bits(&mut rng, 192),
+                    random_odd_bits(&mut rng, 192),
+                )
+            })
+            .collect();
+        // A shared factor so at least one lane runs to Done under Early.
+        let p = random_odd_bits(&mut rng, 96);
+        pairs.push((
+            p.mul(&random_odd_bits(&mut rng, 96)),
+            p.mul(&random_odd_bits(&mut rng, 96)),
+        ));
+        warp_vs_reference(&pairs, 8, Termination::Early { threshold_bits: 96 });
+    }
+
+    #[test]
+    fn duplicate_pair_in_a_lane() {
+        let n = Nat::from_u128(0xdead_beef_cafe_babe_1234_5678_9abc_def1);
+        let other = Nat::from_u128(0xfeed_0000_0000_0003);
+        warp_vs_reference(&[(n.clone(), n.clone()), (n, other)], 4, Termination::Full);
+    }
+
+    #[test]
+    fn tiny_and_unbalanced_operands() {
+        let cases = vec![
+            (Nat::from_u64(1_043_915), Nat::from_u64(768_955)),
+            (Nat::from_u64(3), Nat::from_u64(1)),
+            (Nat::from_u128(1u128 << 100 | 1), Nat::from_u64(7)),
+            (Nat::from_u64(1), Nat::from_u64(1)),
+        ];
+        warp_vs_reference(&cases, 8, Termination::Full);
+    }
+
+    #[test]
+    fn engine_reuse_across_different_strides() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let mut engine = LockstepEngine::new(4);
+        for bits in [1024u64, 64, 512, 32] {
+            let a = random_odd_bits(&mut rng, bits);
+            let b = random_odd_bits(&mut rng, bits);
+            engine.run_warp(&[(a.as_limbs(), b.as_limbs())], Termination::Full, None);
+            assert_eq!(engine.lane_gcd_nat(0), a.gcd_reference(&b), "{bits} bits");
+        }
+    }
+}

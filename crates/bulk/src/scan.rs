@@ -5,22 +5,29 @@
 //!   [`GcdPair`] workspace and one findings vector for its whole run, and
 //!   read operands straight out of a [`ModuliArena`] — zero per-pair heap
 //!   allocations in the steady state;
+//! * [`scan_lockstep`] — the lockstep SIMT host scan: warps of pairs run
+//!   through the [`LockstepEngine`](crate::lockstep::LockstepEngine)'s
+//!   column-major vectorized AEA, one worker-local engine per rayon worker;
 //! * [`scan_gpu_sim`] — the same scan priced on the simulated GPU, batched
-//!   into kernel launches like the paper's runs; launches are dispatched
-//!   across rayon workers and merged in launch order, so findings and
-//!   simulated seconds are identical to the serial reference
+//!   into kernel launches like the paper's runs; Approximate-Euclid
+//!   launches execute on the lockstep engine (costs *measured* from live
+//!   execution), other algorithms replay traces. Launches are dispatched
+//!   across rayon workers with worker-local scratch reused across
+//!   launches, and merged in launch order, so findings and simulated
+//!   seconds are identical to the serial reference
 //!   ([`scan_gpu_sim_serial`]).
 //!
-//! Both produce identical findings; only the clock differs.
+//! All paths produce identical findings; only the clock differs.
 
 use crate::arena::{ArenaError, ModuliArena};
 use crate::checkpoint::{JournalError, JournalHeader, LaunchRecord, ScanJournal};
 use crate::fault::FaultPlan;
+use crate::lockstep::LockstepEngine;
 use crate::pairing::{group_size_for, BlockId, GroupedPairs};
 use bulkgcd_bigint::{Limb, Nat};
 use bulkgcd_core::{run_in_place, Algorithm, GcdOutcome, GcdPair, GcdStatus, NoProbe, Termination};
 use bulkgcd_gpu::{
-    simulate_bulk_gcd, simulate_bulk_gcd_retry, CostModel, DeviceConfig, RetryPolicy,
+    retry_launch, schedule, simulate_bulk_gcd, CostModel, DeviceConfig, RetryPolicy, WarpWork,
 };
 use rayon::prelude::*;
 use std::fmt;
@@ -333,6 +340,96 @@ fn simulate_launch(
     (found, launch.report.seconds)
 }
 
+/// Worker-local launch-execution state, built once per rayon worker and
+/// reused across every launch that worker runs: the lockstep engine (operand
+/// planes and all scratch rows) plus the per-launch warp-work buffer.
+/// Rebuilding these per launch was the `gpu_sim_host` overhead regression.
+struct LaunchScratch {
+    engine: LockstepEngine,
+    warps: Vec<WarpWork>,
+}
+
+impl LaunchScratch {
+    fn new(warp_size: usize) -> Self {
+        LaunchScratch {
+            engine: LockstepEngine::new(warp_size.max(1)),
+            warps: Vec::new(),
+        }
+    }
+}
+
+/// Harvest the findings of one executed warp from the engine's lanes.
+fn harvest_warp(
+    arena: &ModuliArena,
+    engine: &LockstepEngine,
+    warp: &[(usize, usize)],
+    found: &mut Vec<Finding>,
+) {
+    for (t, &(i, j)) in warp.iter().enumerate() {
+        if engine.lane_status(t) == GcdStatus::Done && !engine.lane_gcd_is_one(t) {
+            let factor = engine.lane_gcd_nat(t);
+            found.push(Finding {
+                i,
+                j,
+                kind: kind_of(arena, i, j, &factor),
+                factor,
+            });
+        }
+    }
+}
+
+/// Execute one kernel launch on the live lockstep engine: warps of
+/// `device.warp_size` lanes run the column-major vectorized AEA, and the
+/// launch is priced from the [`WarpWork`] *measured* during execution —
+/// same accumulator, same scheduler, and (per the equivalence suite) the
+/// same numbers as the trace-replay path, so simulated seconds stay
+/// bitwise comparable across drivers.
+fn lockstep_launch(
+    arena: &ModuliArena,
+    lanes: &[(usize, usize)],
+    early: bool,
+    device: &DeviceConfig,
+    cost: &CostModel,
+    scratch: &mut LaunchScratch,
+) -> (Vec<Finding>, f64) {
+    let term = launch_termination(arena, lanes, early);
+    let words_per_transaction = device.transaction_bytes / 4;
+    scratch.warps.clear();
+    let mut found = Vec::new();
+    let w = scratch.engine.width();
+    let mut inputs: Vec<(&[Limb], &[Limb])> = Vec::with_capacity(w);
+    for warp in lanes.chunks(w) {
+        inputs.clear();
+        inputs.extend(warp.iter().map(|&(i, j)| (arena.limbs(i), arena.limbs(j))));
+        let work = scratch
+            .engine
+            .run_warp(&inputs, term, Some((cost, words_per_transaction)))
+            .expect("measurement was requested");
+        scratch.warps.push(work);
+        harvest_warp(arena, &scratch.engine, warp, &mut found);
+    }
+    let report = schedule(device, &scratch.warps);
+    (found, report.seconds)
+}
+
+/// One launch, dispatched to its execution backend: Approximate Euclid runs
+/// on the live lockstep engine, the other variants replay traces through
+/// the cost model (their lockstep interest is comparative, not throughput).
+fn launch_on_device(
+    arena: &ModuliArena,
+    lanes: &[(usize, usize)],
+    algo: Algorithm,
+    early: bool,
+    device: &DeviceConfig,
+    cost: &CostModel,
+    scratch: &mut LaunchScratch,
+) -> (Vec<Finding>, f64) {
+    match algo {
+        Algorithm::Approximate => lockstep_launch(arena, lanes, early, device, cost, scratch),
+        _ => simulate_launch(arena, lanes, algo, early, device, cost),
+    }
+}
+
 fn merge_launches(
     start: Instant,
     grid: &GroupedPairs,
@@ -397,7 +494,10 @@ pub fn scan_gpu_sim_arena(
     let all: Vec<(usize, usize)> = grid.all_pairs().collect();
     let results: Vec<(Vec<Finding>, f64)> = all
         .par_chunks(launch_pairs.max(1))
-        .map(|lanes| simulate_launch(arena, lanes, algo, early, device, cost))
+        .map_init(
+            || LaunchScratch::new(device.warp_size),
+            |scratch, lanes| launch_on_device(arena, lanes, algo, early, device, cost, scratch),
+        )
         .collect();
     merge_launches(start, &grid, results)
 }
@@ -421,11 +521,94 @@ pub fn scan_gpu_sim_serial(
     }
     let grid = GroupedPairs::new(arena.len(), group_size_for(arena.len()));
     let all: Vec<(usize, usize)> = grid.all_pairs().collect();
+    let mut scratch = LaunchScratch::new(device.warp_size);
     let results: Vec<(Vec<Finding>, f64)> = all
         .chunks(launch_pairs.max(1))
-        .map(|lanes| simulate_launch(&arena, lanes, algo, early, device, cost))
+        .map(|lanes| launch_on_device(&arena, lanes, algo, early, device, cost, &mut scratch))
         .collect();
     Ok(merge_launches(start, &grid, results))
+}
+
+/// Scan all pairs of `moduli` on the host through the lockstep SIMT engine.
+///
+/// Pairs are enumerated in §VI block order, grouped into warps of
+/// `warp_width` lanes, and executed by the
+/// [`LockstepEngine`](crate::lockstep::LockstepEngine)'s column-major
+/// vectorized AEA — one shared instruction stream per warp, terminated
+/// lanes masked off. Each rayon worker owns one engine for its whole run
+/// of warps, so the steady state allocates nothing per warp beyond the
+/// borrowed-operand list. Each warp applies the conservative per-launch
+/// termination fold of its lanes (see [`combine_terminations`]), exactly
+/// like a simulated kernel launch of the same width.
+///
+/// Findings are identical to [`scan_cpu`] for corpora of uniform modulus
+/// width; on mixed-width corpora a warp's narrowest pair sets the shared
+/// early-termination threshold (never missing a factor, possibly iterating
+/// longer — the same trade the GPU paths make).
+///
+/// ```
+/// use bulkgcd_bigint::Nat;
+/// use bulkgcd_bulk::scan_lockstep;
+///
+/// let moduli = vec![
+///     Nat::from_u64(101 * 211),
+///     Nat::from_u64(101 * 223),
+///     Nat::from_u64(103 * 227),
+/// ];
+/// let report = scan_lockstep(&moduli, false, 8).unwrap();
+/// assert_eq!(report.findings.len(), 1);
+/// assert_eq!(report.findings[0].factor, Nat::from_u64(101));
+/// ```
+pub fn scan_lockstep(
+    moduli: &[Nat],
+    early: bool,
+    warp_width: usize,
+) -> Result<ScanReport, ScanError> {
+    let arena = ModuliArena::try_from_moduli(moduli)?;
+    Ok(scan_lockstep_arena(&arena, early, warp_width))
+}
+
+/// [`scan_lockstep`] over a pre-packed [`ModuliArena`].
+pub fn scan_lockstep_arena(arena: &ModuliArena, early: bool, warp_width: usize) -> ScanReport {
+    let start = Instant::now();
+    let m = arena.len();
+    if m < 2 {
+        return empty_report(start, None);
+    }
+    let w = warp_width.max(1);
+    let grid = GroupedPairs::new(m, group_size_for(m));
+    let all: Vec<(usize, usize)> = grid.all_pairs().collect();
+    let workers = rayon::current_num_threads().max(1);
+    // Whole warps per worker run: rounding the run length up to a multiple
+    // of `w` keeps every warp (except possibly the last) full.
+    let run_len = all.len().div_ceil(workers).div_ceil(w).max(1) * w;
+    let mut findings: Vec<Finding> = all
+        .par_chunks(run_len)
+        .map_init(
+            || LockstepEngine::new(w),
+            |engine, run| {
+                let mut found = Vec::new();
+                let mut inputs: Vec<(&[Limb], &[Limb])> = Vec::with_capacity(w);
+                for warp in run.chunks(w) {
+                    let term = launch_termination(arena, warp, early);
+                    inputs.clear();
+                    inputs.extend(warp.iter().map(|&(i, j)| (arena.limbs(i), arena.limbs(j))));
+                    engine.run_warp(&inputs, term, None);
+                    harvest_warp(arena, engine, warp, &mut found);
+                }
+                found
+            },
+        )
+        .flatten()
+        .collect();
+    findings.sort_by_key(|f| (f.i, f.j));
+    ScanReport {
+        duplicate_pairs: count_duplicates(&findings),
+        findings,
+        pairs_scanned: grid.total_pairs(),
+        elapsed: start.elapsed(),
+        simulated_seconds: None,
+    }
 }
 
 /// Bookkeeping from one fault-tolerant scan run.
@@ -470,21 +653,19 @@ fn execute_resumable_launch(
     launch: u64,
     plan: &FaultPlan,
     policy: &RetryPolicy,
+    scratch: &mut LaunchScratch,
 ) -> (LaunchRecord, u64, Duration) {
     let term = launch_termination(arena, lanes, early);
-    let inputs: Vec<(&[Limb], &[Limb])> = lanes
-        .iter()
-        .map(|&(i, j)| (arena.limbs(i), arena.limbs(j)))
-        .collect();
-    let (result, outcome) =
-        simulate_bulk_gcd_retry(device, cost, algo, &inputs, term, launch, plan, policy);
+    let (result, outcome) = retry_launch(launch, plan, policy, || {
+        launch_on_device(arena, lanes, algo, early, device, cost, scratch)
+    });
     let retried = u64::from(outcome.attempts.saturating_sub(1));
     let record = match result {
-        Ok(done) => LaunchRecord {
+        Ok((findings, seconds)) => LaunchRecord {
             launch,
-            simulated_seconds: done.report.seconds,
+            simulated_seconds: seconds,
             cpu_fallback: false,
-            findings: findings_from_outcomes(arena, lanes, &done.outcomes),
+            findings,
         },
         // Graceful degradation: the device refuses this launch, so its
         // block of lanes runs on the host. Identical termination settings
@@ -591,25 +772,29 @@ pub fn scan_gpu_sim_resumable(
         let journal_mx = Mutex::new(&mut *journal);
         to_run
             .par_iter()
-            .map(|&l| {
-                let (record, retried, backoff) = execute_resumable_launch(
-                    arena,
-                    chunks[l as usize],
-                    algo,
-                    early,
-                    device,
-                    cost,
-                    l,
-                    plan,
-                    policy,
-                );
-                let fallback = record.cpu_fallback;
-                journal_mx
-                    .lock()
-                    .unwrap_or_else(std::sync::PoisonError::into_inner)
-                    .record(record)?;
-                Ok((fallback, retried, backoff))
-            })
+            .map_init(
+                || LaunchScratch::new(device.warp_size),
+                |scratch, &l| {
+                    let (record, retried, backoff) = execute_resumable_launch(
+                        arena,
+                        chunks[l as usize],
+                        algo,
+                        early,
+                        device,
+                        cost,
+                        l,
+                        plan,
+                        policy,
+                        scratch,
+                    );
+                    let fallback = record.cpu_fallback;
+                    journal_mx
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner)
+                        .record(record)?;
+                    Ok((fallback, retried, backoff))
+                },
+            )
             .collect()
     };
     for (fallback, retried, backoff) in per_launch? {
@@ -744,6 +929,54 @@ mod tests {
                 "launch_pairs={launch_pairs}: parallel {ps} vs serial {ss}"
             );
         }
+    }
+
+    #[test]
+    fn lockstep_scan_matches_cpu_scan_across_widths() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let corpus = build_corpus(&mut rng, 14, 128, 3);
+        let moduli = corpus.moduli();
+        for early in [false, true] {
+            let cpu = scan_cpu(&moduli, Algorithm::Approximate, early).unwrap();
+            for w in [1usize, 3, 8, 32] {
+                let ls = scan_lockstep(&moduli, early, w).unwrap();
+                assert_eq!(ls.findings, cpu.findings, "early={early} w={w}");
+                assert_eq!(ls.pairs_scanned, cpu.pairs_scanned);
+                assert_eq!(ls.duplicate_pairs, cpu.duplicate_pairs);
+            }
+        }
+    }
+
+    #[test]
+    fn lockstep_scan_classifies_duplicates() {
+        let mut rng = StdRng::seed_from_u64(22);
+        let corpus = build_corpus(&mut rng, 8, 128, 1);
+        let mut moduli = corpus.moduli();
+        let dup = moduli[2].clone();
+        moduli.push(dup);
+        let cpu = scan_cpu(&moduli, Algorithm::Approximate, true).unwrap();
+        let ls = scan_lockstep(&moduli, true, 8).unwrap();
+        assert_eq!(ls.findings, cpu.findings);
+        assert_eq!(ls.duplicate_pairs, 1);
+        assert!(ls
+            .findings
+            .iter()
+            .any(|f| f.kind == FindingKind::DuplicateModulus));
+    }
+
+    #[test]
+    fn lockstep_scan_degenerate_corpora() {
+        match scan_lockstep(&[], true, 8) {
+            Err(ScanError::Arena(ArenaError::EmptyCorpus)) => {}
+            other => panic!("expected EmptyCorpus, got {other:?}"),
+        }
+        let rep = scan_lockstep(&[Nat::from(15u32)], true, 8).unwrap();
+        assert_eq!(rep.pairs_scanned, 0);
+        // warp_width 0 is clamped to 1, not a panic.
+        let mut rng = StdRng::seed_from_u64(23);
+        let corpus = build_corpus(&mut rng, 6, 96, 1);
+        let rep = scan_lockstep(&corpus.moduli(), true, 0).unwrap();
+        check_findings_match_ground_truth(&rep.findings, &corpus);
     }
 
     #[test]

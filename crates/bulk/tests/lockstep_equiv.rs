@@ -1,0 +1,224 @@
+//! Lockstep-engine equivalence suite.
+//!
+//! Two families of guarantees, both against independent references:
+//!
+//! * **Values** — every lane of a [`LockstepEngine`] warp terminates with
+//!   exactly the status and GCD of the scalar Approximate-Euclid loop
+//!   (`run_in_place`) on the same operands, and for full termination with
+//!   the schoolbook `gcd_reference`. Exercised over ragged warps, lanes
+//!   terminating at different iterations, and operand shapes that force
+//!   the rare β>0 divergent path.
+//!
+//! * **Costs** — the [`WarpWork`] the engine *measures* while executing a
+//!   warp is bitwise identical to the [`WarpWork`] the trace-replay model
+//!   (`execute_warp` over `IterProbe` recordings) computes for the same
+//!   pairs in the same lane order — the modeled and measured clocks agree
+//!   down to the f64 bits, `divergent_iterations` included.
+
+use bulkgcd_bigint::{Limb, Nat};
+use bulkgcd_bulk::LockstepEngine;
+use bulkgcd_core::{run_in_place, Algorithm, GcdPair, GcdStatus, NoProbe, StepKind, Termination};
+use bulkgcd_gpu::{execute_warp, CostModel, DeviceConfig, WarpWork};
+use bulkgcd_rsa::build_corpus;
+use bulkgcd_umm::gcd_trace::{IterDesc, IterProbe};
+use proptest::collection::vec;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Scalar reference for one pair: terminal status and (for Done) the GCD.
+fn scalar_reference(a: &[Limb], b: &[Limb], term: Termination) -> (GcdStatus, Option<Nat>) {
+    let mut pair = GcdPair::with_capacity(a.len().max(b.len()).max(1));
+    pair.load_from_limbs(a, b);
+    let status = run_in_place(Algorithm::Approximate, &mut pair, term, &mut NoProbe);
+    let gcd = (status == GcdStatus::Done).then(|| pair.x_nat());
+    (status, gcd)
+}
+
+/// Run `pairs` through a lockstep engine of width `w` (ragged final warp
+/// included) and check every lane against the scalar loop, and — under
+/// full termination — against the schoolbook GCD.
+fn check_warps(pairs: &[(Vec<Limb>, Vec<Limb>)], w: usize, term: Termination) {
+    let mut engine = LockstepEngine::new(w);
+    for warp in pairs.chunks(w) {
+        let inputs: Vec<(&[Limb], &[Limb])> = warp
+            .iter()
+            .map(|(a, b)| (a.as_slice(), b.as_slice()))
+            .collect();
+        engine.run_warp(&inputs, term, None);
+        for (t, (a, b)) in warp.iter().enumerate() {
+            let (status, gcd) = scalar_reference(a, b, term);
+            assert_eq!(engine.lane_status(t), status, "lane {t} status");
+            if let Some(g) = gcd {
+                assert_eq!(engine.lane_gcd_is_one(t), g.is_one(), "lane {t} is_one");
+                assert_eq!(engine.lane_gcd_nat(t), g, "lane {t} gcd");
+                if term == Termination::Full {
+                    let na = Nat::from_limb_slice(a);
+                    let nb = Nat::from_limb_slice(b);
+                    assert_eq!(g, na.gcd_reference(&nb), "lane {t} vs schoolbook");
+                }
+            }
+        }
+    }
+}
+
+/// An **odd** operand of 1..=`max_limbs` limbs (top limb forced nonzero).
+/// Odd like every RSA modulus: Approximate Euclid strips factors of two
+/// from differences, so its fixed point equals the true GCD only on the
+/// odd inputs the paper scans.
+fn operand(max_limbs: usize) -> impl Strategy<Value = Vec<Limb>> {
+    (vec(any::<Limb>(), 1..=max_limbs), 1..=Limb::MAX).prop_map(|(mut v, top)| {
+        let last = v.len() - 1;
+        v[last] = top;
+        v[0] |= 1;
+        v
+    })
+}
+
+proptest! {
+    /// Ragged warps of arbitrary fill over mixed-width operands: every
+    /// lane matches the scalar loop and the schoolbook GCD.
+    #[test]
+    fn lockstep_matches_scalar_on_ragged_warps(
+        pairs in vec((operand(8), operand(8)), 1..20),
+        w in prop_oneof![Just(1usize), Just(3), Just(8), Just(16)],
+    ) {
+        check_warps(&pairs, w, Termination::Full);
+    }
+
+    /// Early termination: lanes cross (or never cross) the threshold at
+    /// different iterations, so the active mask shrinks unevenly; statuses
+    /// and GCDs still match the scalar loop lane for lane.
+    #[test]
+    fn lockstep_matches_scalar_under_early_termination(
+        pairs in vec((operand(8), operand(8)), 1..16),
+        threshold_bits in 1u64..200,
+        w in prop_oneof![Just(1usize), Just(4), Just(8)],
+    ) {
+        check_warps(&pairs, w, Termination::Early { threshold_bits });
+    }
+
+    /// Wildly unbalanced operands (wide X against near-single-limb Y) are
+    /// what drives approx into the β>0 case; the divergent scalar-fixup
+    /// path must still match the scalar loop exactly.
+    #[test]
+    fn lockstep_matches_scalar_on_beta_positive_shapes(
+        pairs in vec((operand(12), operand(2)), 1..12),
+        w in prop_oneof![Just(2usize), Just(8)],
+    ) {
+        check_warps(&pairs, w, Termination::Full);
+    }
+}
+
+/// β>0 really occurs on the unbalanced corpus — the proptest above is
+/// exercising the divergent path, not vacuously passing.
+#[test]
+fn unbalanced_corpus_does_hit_beta_positive() {
+    let a: Vec<Limb> = (0..12)
+        .map(|i| 0x9e37_79b9u32.wrapping_mul(i + 1) | 1)
+        .collect();
+    let b: Vec<Limb> = vec![0xdead_beef, 0x3];
+    let mut pair = GcdPair::with_capacity(12);
+    pair.load_from_limbs(&a, &b);
+    let mut probe = IterProbe::default();
+    run_in_place(
+        Algorithm::Approximate,
+        &mut pair,
+        Termination::Full,
+        &mut probe,
+    );
+    assert!(
+        probe
+            .iters
+            .iter()
+            .any(|d| d.kind == StepKind::ApproxBetaPositive),
+        "corpus shape must trigger at least one β>0 iteration"
+    );
+}
+
+/// Trace-replay model of one warp: run each pair through the scalar loop
+/// with an [`IterProbe`], then price the recorded lanes with
+/// [`execute_warp`] — the path `simulate_bulk_gcd` takes.
+fn modeled_warp(
+    warp: &[(Vec<Limb>, Vec<Limb>)],
+    term: Termination,
+    cost: &CostModel,
+    words_per_transaction: u64,
+) -> WarpWork {
+    let mut lanes: Vec<Vec<IterDesc>> = Vec::with_capacity(warp.len());
+    let mut pair = GcdPair::with_capacity(1);
+    for (a, b) in warp {
+        pair.load_from_limbs(a, b);
+        let mut probe = IterProbe::default();
+        run_in_place(Algorithm::Approximate, &mut pair, term, &mut probe);
+        lanes.push(probe.iters);
+    }
+    execute_warp(&lanes, cost, words_per_transaction)
+}
+
+/// Modeled vs measured: the engine's live-execution [`WarpWork`] equals
+/// the trace-replay model's bitwise, warp for warp, on a seeded corpus
+/// that mixes uniform RSA moduli with unbalanced β>0-triggering pairs.
+#[test]
+fn measured_warp_work_matches_trace_model_bitwise() {
+    let device = DeviceConfig::gtx_780_ti();
+    let cost = CostModel::default();
+    let words_per_transaction = device.transaction_bytes / 4;
+
+    let mut rng = StdRng::seed_from_u64(0xb01d_face);
+    let corpus = build_corpus(&mut rng, 12, 256, 2);
+    let moduli = corpus.moduli();
+    let mut pairs: Vec<(Vec<Limb>, Vec<Limb>)> = Vec::new();
+    for i in 0..moduli.len() {
+        for j in (i + 1)..moduli.len() {
+            pairs.push((moduli[i].as_limbs().to_vec(), moduli[j].as_limbs().to_vec()));
+        }
+    }
+    // Unbalanced pairs salted in so some warps mix β=0 and β>0 kinds in
+    // the same iteration — the divergence the model must price.
+    for k in 0..8u32 {
+        let wide: Vec<Limb> = (0..10)
+            .map(|i| (0x85eb_ca6bu32).wrapping_mul(i + k + 1) | 1)
+            .collect();
+        pairs.push((wide, vec![0x1234_5601u32.wrapping_add(k << 3), k + 1]));
+    }
+
+    for term in [
+        Termination::Full,
+        Termination::Early {
+            threshold_bits: 128,
+        },
+    ] {
+        let mut engine = LockstepEngine::new(device.warp_size);
+        let mut divergent_seen = 0u64;
+        for (wi, warp) in pairs.chunks(device.warp_size).enumerate() {
+            let inputs: Vec<(&[Limb], &[Limb])> = warp
+                .iter()
+                .map(|(a, b)| (a.as_slice(), b.as_slice()))
+                .collect();
+            let measured = engine
+                .run_warp(&inputs, term, Some((&cost, words_per_transaction)))
+                .expect("measurement requested");
+            let modeled = modeled_warp(warp, term, &cost, words_per_transaction);
+            assert_eq!(
+                measured.divergent_iterations, modeled.divergent_iterations,
+                "warp {wi}: divergent iterations"
+            );
+            assert_eq!(measured, modeled, "warp {wi}: full WarpWork");
+            assert_eq!(
+                measured.warp_instructions.to_bits(),
+                modeled.warp_instructions.to_bits(),
+                "warp {wi}: instruction f64 must be bitwise identical"
+            );
+            divergent_seen += measured.divergent_iterations;
+        }
+        // Early termination retires the unbalanced lanes before their β>0
+        // iterations, so only the full run is required to diverge.
+        if term == Termination::Full {
+            assert!(
+                divergent_seen > 0,
+                "corpus must produce at least one divergent iteration"
+            );
+        }
+    }
+}

@@ -109,20 +109,41 @@ fn full_value_le2(v: &[Limb], l: usize) -> u64 {
 /// ```
 pub fn approx(x: &[Limb], lx: usize, y: &[Limb], ly: usize) -> Approx {
     debug_assert!(lx >= ly && ly > 0);
+    let x_top = if lx >= 2 {
+        two_words(x, lx)
+    } else {
+        full_value_le2(x, lx)
+    };
+    let y_top = if ly >= 2 {
+        two_words(y, ly)
+    } else {
+        full_value_le2(y, ly)
+    };
+    approx_top_words(x_top, lx, y_top, ly)
+}
+
+/// [`approx`] operating on the already-gathered top words — the form the
+/// lockstep engine uses, where operands live in column-major planes and the
+/// top two words of each lane are fetched with strided reads.
+///
+/// `x_top` is the value of `X`'s top two words (`x1·D + x2`), or the whole
+/// value when `lx ≤ 2`; `y_top` likewise. The case analysis and every
+/// quotient are identical to the slice form — `approx` itself delegates
+/// here, so the two can never drift apart.
+pub fn approx_top_words(x_top: u64, lx: usize, y_top: u64, ly: usize) -> Approx {
+    debug_assert!(lx >= ly && ly > 0);
     // Case 1: X fits in 64 bits — exact quotient.
     if lx <= 2 {
-        let xv = full_value_le2(x, lx);
-        let yv = full_value_le2(y, ly);
         return Approx {
-            alpha: xv / yv,
+            alpha: x_top / y_top,
             beta: 0,
             case: ApproxCase::Case1,
         };
     }
-    let x12 = two_words(x, lx);
-    let x1 = x[lx - 1] as u64;
+    let x12 = x_top;
+    let x1 = x12 >> LIMB_BITS;
     if ly == 1 {
-        let y1 = y[0] as u64;
+        let y1 = y_top;
         return if x1 >= y1 {
             Approx {
                 alpha: x1 / y1,
@@ -137,8 +158,8 @@ pub fn approx(x: &[Limb], lx: usize, y: &[Limb], ly: usize) -> Approx {
             }
         };
     }
-    let y12 = two_words(y, ly);
-    let y1 = y[ly - 1] as u64;
+    let y12 = y_top;
+    let y1 = y12 >> LIMB_BITS;
     if ly == 2 {
         return if x12 >= y12 {
             Approx {

@@ -14,6 +14,8 @@
 //! * [`algorithms`] — (A) Original, (B) Fast, (C) Binary, (D) Fast Binary
 //!   and (E) Approximate Euclid, each with full and early (`s/2`-bit)
 //!   termination (§V).
+//! * [`lanes`] — branch-minimized per-lane step primitives (plan + fused
+//!   column update) driving the lockstep SIMT-style engine in `bulkgcd-bulk`.
 //! * [`probe`] — zero-cost instrumentation hooks recording iteration counts,
 //!   β statistics, §IV memory-operation counts, and full traces.
 //! * [`smallword`] — generic-word-size (`d` parameter) reference
@@ -39,13 +41,15 @@
 
 pub mod algorithms;
 pub mod approx;
+pub mod lanes;
 pub mod lehmer;
 pub mod operand;
 pub mod probe;
 pub mod smallword;
 
 pub use algorithms::{gcd_nat, run, run_in_place, Algorithm, GcdOutcome, GcdStatus, Termination};
-pub use approx::{approx, Approx, ApproxCase};
+pub use approx::{approx, approx_top_words, Approx, ApproxCase};
+pub use lanes::{fused_submul_rshift_columns, plan_lane, LanePlan};
 pub use lehmer::{lehmer_euclid, lehmer_gcd_nat};
 pub use operand::GcdPair;
 pub use probe::{NoProbe, Probe, RunStats, StatsProbe, Step, StepKind, TraceProbe};

@@ -93,6 +93,59 @@ pub fn try_simulate_bulk_gcd(
     }
 }
 
+/// Run any launch attempt closure under the retry-with-exponential-backoff
+/// discipline of `policy`.
+///
+/// Asks `injector` whether each attempt of `launch` fails *before* invoking
+/// `attempt_fn` — a faulted attempt dies at submission and costs no work.
+/// Transient faults are retried up to `policy.max_attempts` total attempts,
+/// accumulating the backoff a production driver would sleep; a persistent
+/// fault aborts immediately. The returned [`RetryOutcome`] reports attempts
+/// and backoff regardless of success.
+///
+/// This is the execution-agnostic core of [`simulate_bulk_gcd_retry`]; the
+/// lockstep scan driver wraps its live engine launches in it so faulted and
+/// fault-free runs share one retry state machine.
+pub fn retry_launch<T>(
+    launch: u64,
+    injector: &dyn FaultInjector,
+    policy: &RetryPolicy,
+    mut attempt_fn: impl FnMut() -> T,
+) -> (Result<T, LaunchError>, RetryOutcome) {
+    let mut outcome = RetryOutcome::default();
+    let max_attempts = policy.max_attempts.max(1);
+    for attempt in 0..max_attempts {
+        outcome.attempts = attempt + 1;
+        match injector.fault(launch, attempt) {
+            None => return (Ok(attempt_fn()), outcome),
+            Some(LaunchFault::Persistent) => {
+                return (
+                    Err(LaunchError {
+                        launch,
+                        attempts: outcome.attempts,
+                        fault: LaunchFault::Persistent,
+                    }),
+                    outcome,
+                )
+            }
+            Some(LaunchFault::Transient) => {
+                // Only back off when another attempt remains.
+                if attempt + 1 < max_attempts {
+                    outcome.backoff += policy.backoff_for(attempt);
+                }
+            }
+        }
+    }
+    (
+        Err(LaunchError {
+            launch,
+            attempts: outcome.attempts,
+            fault: LaunchFault::Transient,
+        }),
+        outcome,
+    )
+}
+
 /// Simulate a launch with retry-with-exponential-backoff under `policy`.
 ///
 /// Transient faults are retried up to `policy.max_attempts` total attempts,
@@ -111,38 +164,9 @@ pub fn simulate_bulk_gcd_retry(
     injector: &dyn FaultInjector,
     policy: &RetryPolicy,
 ) -> (Result<BulkGcdLaunch, LaunchError>, RetryOutcome) {
-    let mut outcome = RetryOutcome::default();
-    let max_attempts = policy.max_attempts.max(1);
-    for attempt in 0..max_attempts {
-        outcome.attempts = attempt + 1;
-        match try_simulate_bulk_gcd(device, cost, algo, inputs, term, launch, attempt, injector) {
-            Ok(launch_result) => return (Ok(launch_result), outcome),
-            Err(LaunchFault::Persistent) => {
-                return (
-                    Err(LaunchError {
-                        launch,
-                        attempts: outcome.attempts,
-                        fault: LaunchFault::Persistent,
-                    }),
-                    outcome,
-                )
-            }
-            Err(LaunchFault::Transient) => {
-                // Only back off when another attempt remains.
-                if attempt + 1 < max_attempts {
-                    outcome.backoff += policy.backoff_for(attempt);
-                }
-            }
-        }
-    }
-    (
-        Err(LaunchError {
-            launch,
-            attempts: outcome.attempts,
-            fault: LaunchFault::Transient,
-        }),
-        outcome,
-    )
+    retry_launch(launch, injector, policy, || {
+        simulate_bulk_gcd(device, cost, algo, inputs, term)
+    })
 }
 
 /// Convenience wrapper over [`simulate_bulk_gcd`] for owned [`Nat`] pairs

@@ -41,8 +41,8 @@ pub use cost::CostModel;
 pub use device::DeviceConfig;
 pub use fault::{FaultInjector, LaunchError, LaunchFault, NoFaults, RetryOutcome, RetryPolicy};
 pub use launch::{
-    simulate_bulk_gcd, simulate_bulk_gcd_pairs, simulate_bulk_gcd_retry, try_simulate_bulk_gcd,
-    BulkGcdLaunch,
+    retry_launch, simulate_bulk_gcd, simulate_bulk_gcd_pairs, simulate_bulk_gcd_retry,
+    try_simulate_bulk_gcd, BulkGcdLaunch,
 };
 pub use sched::{schedule, GpuReport};
-pub use warp::{execute_warp, WarpWork};
+pub use warp::{execute_warp, WarpWork, WarpWorkAccumulator};

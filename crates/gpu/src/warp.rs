@@ -51,58 +51,80 @@ impl WarpWork {
     }
 }
 
-/// Execute one warp of lanes in lockstep. Each lane is the per-iteration
-/// descriptor sequence of one GCD (from [`bulkgcd_umm::gcd_trace::IterProbe`]).
+/// Incremental [`WarpWork`] builder fed one lockstep iteration at a time.
 ///
-/// `words_per_transaction` is how many 32-bit words one coalesced
-/// transaction carries (transaction bytes / 4).
-pub fn execute_warp(
-    lanes: &[Vec<IterDesc>],
-    cost: &CostModel,
+/// Two producers drive it: [`execute_warp`] replaying recorded
+/// [`IterDesc`] traces (the *model*), and the live lockstep engine in
+/// `bulkgcd-bulk` feeding the descriptors of each iteration it actually
+/// executes (the *measurement*). Because both run the identical
+/// accumulation code — same floating-point operation order included — the
+/// modeled and measured costs of the same pair corpus agree bitwise, which
+/// the validation suite asserts.
+#[derive(Debug, Clone)]
+pub struct WarpWorkAccumulator {
+    work: WarpWork,
     words_per_transaction: u64,
-) -> WarpWork {
-    let mut work = WarpWork::default();
-    let max_iters = lanes.iter().map(|l| l.len()).max().unwrap_or(0);
-    work.iterations = max_iters as u64;
-    // Scratch: the distinct paths live this iteration.
-    let mut paths: Vec<StepKind> = Vec::with_capacity(4);
-    for i in 0..max_iters {
-        paths.clear();
-        let mut active = 0u64;
-        for lane in lanes {
-            if let Some(d) = lane.get(i) {
-                active += 1;
-                if !paths.contains(&d.kind) {
-                    paths.push(d.kind);
-                }
+    /// Scratch: the distinct paths live this iteration.
+    paths: Vec<StepKind>,
+}
+
+impl WarpWorkAccumulator {
+    /// New accumulator; `words_per_transaction` is how many 32-bit words one
+    /// coalesced transaction carries (transaction bytes / 4).
+    pub fn new(words_per_transaction: u64) -> Self {
+        WarpWorkAccumulator {
+            work: WarpWork::default(),
+            words_per_transaction,
+            paths: Vec::with_capacity(4),
+        }
+    }
+
+    /// Reset to a fresh warp without dropping scratch capacity, so a
+    /// long-lived engine accumulates warp after warp allocation-free.
+    pub fn reset(&mut self, words_per_transaction: u64) {
+        self.work = WarpWork::default();
+        self.words_per_transaction = words_per_transaction;
+        self.paths.clear();
+    }
+
+    /// Record one lockstep iteration. `live` holds the descriptor of every
+    /// lane still active this iteration (terminated lanes are masked off
+    /// and simply absent). An iteration with no live lanes still advances
+    /// the lockstep counter — the warp issues the loop bookkeeping even
+    /// when all its lanes idle behind a longer sibling warp.
+    pub fn record_iteration(&mut self, cost: &CostModel, live: &[IterDesc]) {
+        let work = &mut self.work;
+        work.iterations += 1;
+        if live.is_empty() {
+            return;
+        }
+        self.paths.clear();
+        for d in live {
+            if !self.paths.contains(&d.kind) {
+                self.paths.push(d.kind);
             }
         }
-        if active == 0 {
-            continue;
-        }
-        work.lane_iterations += active;
-        if paths.len() > 1 {
+        work.lane_iterations += live.len() as u64;
+        if self.paths.len() > 1 {
             work.divergent_iterations += 1;
         }
         // Compute: each taken path executes serially; its duration is the
         // slowest lane on that path (trip counts differ by lX).
-        for &path in &paths {
+        for &path in &self.paths {
             let mut path_insts = 0f64;
             let mut max_lx = 0usize;
             let mut parity_a = false;
             let mut parity_b = false;
             let mut path_words = 0u64;
-            for lane in lanes {
-                if let Some(d) = lane.get(i) {
-                    if d.kind == path {
-                        path_insts = path_insts.max(cost.lane_instructions(d));
-                        max_lx = max_lx.max(d.lx);
-                        path_words += cost.lane_mem_words(d);
-                        if d.x_in_a {
-                            parity_a = true;
-                        } else {
-                            parity_b = true;
-                        }
+            for d in live {
+                if d.kind == path {
+                    path_insts = path_insts.max(cost.lane_instructions(d));
+                    max_lx = max_lx.max(d.lx);
+                    path_words += cost.lane_mem_words(d);
+                    if d.x_in_a {
+                        parity_a = true;
+                    } else {
+                        parity_b = true;
                     }
                 }
             }
@@ -119,13 +141,39 @@ pub fn execute_warp(
                 StepKind::ApproxBetaPositive | StepKind::LehmerBatch => 4,
                 _ => 3,
             };
-            let per_step = (32u64).div_ceil(words_per_transaction.max(1));
+            let per_step = (32u64).div_ceil(self.words_per_transaction.max(1));
             // Head/tail O(1) accesses scatter across lanes: up to one
             // transaction each for approx's 4 reads and the compare's 2.
             work.mem_transactions += parities * scans * max_lx as u64 * per_step + 6;
         }
     }
-    work
+
+    /// Finish the warp, returning its aggregate work and leaving the
+    /// accumulator empty (scratch retained).
+    pub fn take(&mut self) -> WarpWork {
+        std::mem::take(&mut self.work)
+    }
+}
+
+/// Execute one warp of lanes in lockstep. Each lane is the per-iteration
+/// descriptor sequence of one GCD (from [`bulkgcd_umm::gcd_trace::IterProbe`]).
+///
+/// `words_per_transaction` is how many 32-bit words one coalesced
+/// transaction carries (transaction bytes / 4).
+pub fn execute_warp(
+    lanes: &[Vec<IterDesc>],
+    cost: &CostModel,
+    words_per_transaction: u64,
+) -> WarpWork {
+    let mut acc = WarpWorkAccumulator::new(words_per_transaction);
+    let max_iters = lanes.iter().map(|l| l.len()).max().unwrap_or(0);
+    let mut live: Vec<IterDesc> = Vec::with_capacity(lanes.len());
+    for i in 0..max_iters {
+        live.clear();
+        live.extend(lanes.iter().filter_map(|l| l.get(i).copied()));
+        acc.record_iteration(cost, &live);
+    }
+    acc.take()
 }
 
 #[cfg(test)]
