@@ -3,7 +3,7 @@
 //! O(m²) cheap-per-pair; batch GCD is quasi-linear with huge constants —
 //! the crossover is the interesting artifact.
 
-use bulkgcd_bulk::{batch_gcd, scan_cpu};
+use bulkgcd_bulk::{batch_gcd, ModuliArena, ProductTreeBackend, ScanPipeline};
 use bulkgcd_core::Algorithm;
 use bulkgcd_rsa::build_corpus;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
@@ -17,13 +17,31 @@ fn bench_batch_vs_pairwise(c: &mut Criterion) {
         let corpus = build_corpus(&mut rng, m, 512, 1);
         let moduli = corpus.moduli();
 
+        let arena = ModuliArena::try_from_moduli(&moduli).unwrap();
         let mut group = c.benchmark_group(format!("weak_key_scan_m{m}_512bit"));
         group.sample_size(10);
         group.bench_function(BenchmarkId::from_parameter("pairwise_approx_euclid"), |b| {
-            b.iter(|| black_box(scan_cpu(&moduli, Algorithm::Approximate, true)))
+            b.iter(|| {
+                black_box(
+                    ScanPipeline::new(&arena)
+                        .algorithm(Algorithm::Approximate)
+                        .run()
+                        .unwrap(),
+                )
+            })
         });
         group.bench_function(BenchmarkId::from_parameter("batch_gcd"), |b| {
             b.iter(|| black_box(batch_gcd(&moduli)))
+        });
+        group.bench_function(BenchmarkId::from_parameter("batch_gcd_pipeline"), |b| {
+            b.iter(|| {
+                black_box(
+                    ScanPipeline::new(&arena)
+                        .backend(ProductTreeBackend { parallel: false })
+                        .run()
+                        .unwrap(),
+                )
+            })
         });
         group.finish();
     }

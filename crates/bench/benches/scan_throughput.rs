@@ -6,7 +6,7 @@
 
 use bulkgcd_bigint::Nat;
 use bulkgcd_bulk::group_size_for;
-use bulkgcd_bulk::{scan_cpu_arena, scan_gpu_sim, scan_gpu_sim_serial, GroupedPairs, ModuliArena};
+use bulkgcd_bulk::{GpuSimBackend, GroupedPairs, ModuliArena, ScanPipeline};
 use bulkgcd_core::{run, Algorithm, GcdOutcome, GcdPair, NoProbe, Termination};
 use bulkgcd_gpu::{CostModel, DeviceConfig};
 use bulkgcd_rsa::build_corpus;
@@ -64,11 +64,7 @@ fn bench_cpu_scan(c: &mut Criterion) {
         let moduli = moduli_of(m);
         let arena = ModuliArena::try_from_moduli(&moduli).unwrap();
         group.bench_function(BenchmarkId::new("arena", m), |b| {
-            b.iter(|| {
-                scan_cpu_arena(&arena, Algorithm::Approximate, true)
-                    .findings
-                    .len()
-            })
+            b.iter(|| ScanPipeline::new(&arena).run().unwrap().scan.findings.len())
         });
         group.bench_function(BenchmarkId::new("prerefactor", m), |b| {
             b.iter(|| scan_cpu_prerefactor(&moduli, Algorithm::Approximate, true))
@@ -84,20 +80,24 @@ fn bench_gpu_sim_scan(c: &mut Criterion) {
     group.sample_size(10);
     for &m in &SIZES {
         let moduli = moduli_of(m);
+        let arena = ModuliArena::try_from_moduli(&moduli).unwrap();
+        let gpu_scan = |serial: bool| {
+            ScanPipeline::new(&arena)
+                .backend(GpuSimBackend {
+                    device: device.clone(),
+                    cost: cost.clone(),
+                })
+                .launch_pairs(64)
+                .serial(serial)
+                .run()
+                .unwrap()
+                .scan
+                .simulated_seconds
+        };
         group.bench_function(BenchmarkId::new("parallel", m), |b| {
-            b.iter(|| {
-                scan_gpu_sim(&moduli, Algorithm::Approximate, true, &device, &cost, 64)
-                    .unwrap()
-                    .simulated_seconds
-            })
+            b.iter(|| gpu_scan(false))
         });
-        group.bench_function(BenchmarkId::new("serial", m), |b| {
-            b.iter(|| {
-                scan_gpu_sim_serial(&moduli, Algorithm::Approximate, true, &device, &cost, 64)
-                    .unwrap()
-                    .simulated_seconds
-            })
-        });
+        group.bench_function(BenchmarkId::new("serial", m), |b| b.iter(|| gpu_scan(true)));
     }
     group.finish();
 }

@@ -4,19 +4,26 @@
 //! pre-refactor per-block path), the lockstep SIMT host scan (against the
 //! scalar arena path), and the parallel simulated-GPU scan (against its
 //! serial reference) across a corpus-size × modulus-width grid, and writes
-//! one JSON report for tooling to diff across commits.
+//! one JSON report for tooling to diff across commits. All scans run
+//! through the composable [`ScanPipeline`] builder; the legacy
+//! `scan_lockstep_arena` entry point is benched alongside it so the
+//! builder's composition overhead is itself a measured quantity.
 //!
 //! Run: `cargo run --release -p bulkgcd-bench --bin scan_bench --
 //!       [--sizes 16,32,64] [--bits 128,1024] [--reps 3] [--warp-width 32]
 //!       [--out BENCH_scan.json]`
 //!
-//! Perf-regression gate (used by `scripts/check.sh`): `--gate-lockstep`
-//! additionally fails the run (exit 1) if, at the largest size of the
-//! widest moduli benched, the lockstep scan's pairs/second fall below
-//! 0.95× the scalar arena path's.
+//! Perf-regression gates (used by `scripts/check.sh`), both judged at the
+//! largest corpus of the widest moduli benched:
+//!
+//! * `--gate-lockstep` fails the run (exit 1) if the lockstep scan's
+//!   pairs/second fall below 0.95× the scalar arena path's;
+//! * `--gate-pipeline` fails the run if the builder-composed lockstep
+//!   pipeline falls below 0.98× the direct `scan_lockstep_arena` call —
+//!   the builder must stay a zero-cost veneer.
 //!
 //! Fault-injection smoke mode (used by `scripts/check.sh`): `--inject-faults
-//! [--resume] [--fault-seed N]` runs the resumable scan under a seeded
+//! [--resume] [--fault-seed N]` runs the journaled pipeline under a seeded
 //! fault plan — transient faults retried, persistent faults degraded to the
 //! CPU path, kills resumed from the journal (with `--resume`) — and checks
 //! the findings against an uninterrupted fault-free scan.
@@ -24,9 +31,8 @@
 use bulkgcd_bench::Options;
 use bulkgcd_bigint::Nat;
 use bulkgcd_bulk::{
-    group_size_for, scan_cpu_arena, scan_gpu_sim_arena, scan_gpu_sim_resumable,
-    scan_gpu_sim_serial, scan_lockstep_arena, FaultPlan, GroupedPairs, ModuliArena, ScanError,
-    ScanJournal,
+    group_size_for, FaultPlan, GpuSimBackend, GroupedPairs, LockstepBackend, ModuliArena,
+    ScanError, ScanJournal, ScanPipeline,
 };
 use bulkgcd_core::{run, Algorithm, GcdOutcome, GcdPair, NoProbe, Termination};
 use bulkgcd_gpu::{CostModel, DeviceConfig, RetryPolicy};
@@ -91,7 +97,7 @@ fn json_f64(x: f64) -> String {
     }
 }
 
-/// The `--inject-faults` smoke run: drive the resumable scan through a
+/// The `--inject-faults` smoke run: drive the journaled pipeline through a
 /// seeded fault plan and prove it lands on the fault-free findings.
 fn fault_smoke(opts: &Options) {
     let m: usize = opts.get("keys", 24);
@@ -110,7 +116,17 @@ fn fault_smoke(opts: &Options) {
     let moduli = build_corpus(&mut rng, m, bits, 2).moduli();
     let arena = ModuliArena::try_from_moduli(&moduli).expect("corpus is non-degenerate");
     let launches = ((m * (m - 1) / 2) as u64).div_ceil(launch_pairs as u64);
-    let baseline = scan_gpu_sim_arena(&arena, algo, true, &device, &cost, launch_pairs);
+    let gpu_backend = || GpuSimBackend {
+        device: device.clone(),
+        cost: cost.clone(),
+    };
+    let baseline = ScanPipeline::new(&arena)
+        .algorithm(algo)
+        .backend(gpu_backend())
+        .launch_pairs(launch_pairs)
+        .run()
+        .expect("fault-free baseline scan")
+        .scan;
 
     let mut plan = FaultPlan::seeded(seed, launches);
     eprintln!(
@@ -121,17 +137,15 @@ fn fault_smoke(opts: &Options) {
     let mut journal = ScanJournal::in_memory();
     let mut crashes = 0u32;
     let report = loop {
-        match scan_gpu_sim_resumable(
-            &arena,
-            algo,
-            true,
-            &device,
-            &cost,
-            launch_pairs,
-            &mut journal,
-            &plan,
-            &policy,
-        ) {
+        let attempt = ScanPipeline::new(&arena)
+            .algorithm(algo)
+            .backend(gpu_backend())
+            .launch_pairs(launch_pairs)
+            .journal(&mut journal)
+            .faults(&plan)
+            .retry(policy)
+            .run();
+        match attempt {
             Ok(rep) => break rep,
             Err(ScanError::Interrupted { launch }) if resume => {
                 // The process "crashed" at this launch boundary; a restart
@@ -187,14 +201,15 @@ fn main() {
     let out: String = opts.get("out", "BENCH_scan.json".to_string());
     let launch_pairs: usize = opts.get("launch-pairs", 256);
     let warp_width: usize = opts.get("warp-width", 32);
-    let gate = opts.has("gate-lockstep");
+    let gate_lockstep = opts.has("gate-lockstep");
+    let gate_pipeline = opts.has("gate-pipeline");
     let device = DeviceConfig::gtx_780_ti();
     let cost = CostModel::default();
     let algo = Algorithm::Approximate;
 
     let mut rows = Vec::new();
     // The gate row: throughputs at the largest corpus of the widest moduli.
-    let mut gate_row: Option<(usize, u64, f64, f64)> = None;
+    let mut gate_row: Option<(usize, u64, f64, f64, f64)> = None;
     for &bits in &bits_list {
         for &m in &sizes {
             let m = m as usize;
@@ -204,46 +219,79 @@ fn main() {
                 ModuliArena::try_from_moduli(&moduli).expect("bench corpus is non-degenerate");
             let pairs = (m * (m - 1) / 2) as f64;
 
-            let (cpu_s, cpu_found) =
-                best_seconds(reps, || scan_cpu_arena(&arena, algo, true).findings.len());
+            let (cpu_s, cpu_found) = best_seconds(reps, || {
+                ScanPipeline::new(&arena)
+                    .algorithm(algo)
+                    .run()
+                    .expect("scalar pipeline scan")
+                    .scan
+                    .findings
+                    .len()
+            });
             let (base_s, base_found) =
                 best_seconds(reps, || scan_cpu_prerefactor(&moduli, algo, true));
             assert_eq!(cpu_found, base_found, "arena and baseline disagree");
 
             let (ls_s, ls_found) = best_seconds(reps, || {
-                scan_lockstep_arena(&arena, true, warp_width).findings.len()
-            });
-            assert_eq!(ls_found, cpu_found, "lockstep and arena scans disagree");
-
-            let (gpu_s, _) = best_seconds(reps, || {
-                scan_gpu_sim_arena(&arena, algo, true, &device, &cost, launch_pairs)
+                ScanPipeline::new(&arena)
+                    .backend(LockstepBackend { warp_width })
+                    .run()
+                    .expect("lockstep pipeline scan")
+                    .scan
                     .findings
                     .len()
             });
-            let par = scan_gpu_sim_arena(&arena, algo, true, &device, &cost, launch_pairs);
-            let ser = scan_gpu_sim_serial(&moduli, algo, true, &device, &cost, launch_pairs)
-                .expect("bench corpus is non-degenerate");
-            let par_sim = par.simulated_seconds.unwrap_or(0.0);
-            let ser_sim = ser.simulated_seconds.unwrap_or(0.0);
+            assert_eq!(ls_found, cpu_found, "lockstep and arena scans disagree");
+
+            // The legacy direct entry point, benched against the builder
+            // path so composition overhead shows up as a measured ratio.
+            #[allow(deprecated)]
+            let (direct_ls_s, direct_found) = best_seconds(reps, || {
+                bulkgcd_bulk::scan_lockstep_arena(&arena, true, warp_width)
+                    .findings
+                    .len()
+            });
+            assert_eq!(direct_found, ls_found, "builder and direct paths disagree");
+
+            let gpu_pipeline = |serial: bool| {
+                ScanPipeline::new(&arena)
+                    .algorithm(algo)
+                    .backend(GpuSimBackend {
+                        device: device.clone(),
+                        cost: cost.clone(),
+                    })
+                    .launch_pairs(launch_pairs)
+                    .serial(serial)
+                    .run()
+                    .expect("gpu-sim pipeline scan")
+                    .scan
+            };
+            let (gpu_s, _) = best_seconds(reps, || gpu_pipeline(false).findings.len());
+            let par = gpu_pipeline(false);
+            let ser = gpu_pipeline(true);
+            let par_sim = par.simulated().expect("gpu-sim scans price launches");
+            let ser_sim = ser.simulated().expect("gpu-sim scans price launches");
             let parallel_matches_serial = par.findings == ser.findings
                 && (par_sim - ser_sim).abs() <= 1e-12 * ser_sim.max(1.0);
 
             eprintln!(
                 "m={m} bits={bits}: cpu {:.0} pairs/s (baseline {:.0}, x{:.2}), \
-                 lockstep {:.0} pairs/s (x{:.2} vs cpu), gpu-sim host {:.0} pairs/s, \
-                 simulated {:.3e} s, parallel==serial: {parallel_matches_serial}",
+                 lockstep {:.0} pairs/s (x{:.2} vs cpu, x{:.2} vs direct), \
+                 gpu-sim host {:.0} pairs/s, simulated {:.3e} s, \
+                 parallel==serial: {parallel_matches_serial}",
                 pairs / cpu_s,
                 pairs / base_s,
                 base_s / cpu_s,
                 pairs / ls_s,
                 cpu_s / ls_s,
+                direct_ls_s / ls_s,
                 pairs / gpu_s,
                 par_sim,
             );
 
             match gate_row {
-                Some((gm, gb, _, _)) if (bits, m) < (gb, gm) => {}
-                _ => gate_row = Some((m, bits, pairs / cpu_s, pairs / ls_s)),
+                Some((gm, gb, _, _, _)) if (bits, m) < (gb, gm) => {}
+                _ => gate_row = Some((m, bits, pairs / cpu_s, pairs / ls_s, pairs / direct_ls_s)),
             }
 
             rows.push(format!(
@@ -254,6 +302,8 @@ fn main() {
                     "     \"cpu_arena_speedup\": {speedup},\n",
                     "     \"lockstep_seconds\": {ls_s}, \"lockstep_pairs_per_sec\": {ls_tp},\n",
                     "     \"lockstep_vs_cpu_speedup\": {ls_speedup},\n",
+                    "     \"lockstep_direct_seconds\": {dls_s}, \"lockstep_direct_pairs_per_sec\": {dls_tp},\n",
+                    "     \"pipeline_vs_direct\": {pvd},\n",
                     "     \"gpu_sim_host_seconds\": {gpu_s}, \"gpu_sim_host_pairs_per_sec\": {gpu_tp},\n",
                     "     \"gpu_sim_simulated_seconds\": {sim}, \"gpu_sim_parallel_matches_serial\": {ok}}}"
                 ),
@@ -269,6 +319,9 @@ fn main() {
                 ls_s = json_f64(ls_s),
                 ls_tp = json_f64(pairs / ls_s),
                 ls_speedup = json_f64(cpu_s / ls_s),
+                dls_s = json_f64(direct_ls_s),
+                dls_tp = json_f64(pairs / direct_ls_s),
+                pvd = json_f64(direct_ls_s / ls_s),
                 gpu_s = json_f64(gpu_s),
                 gpu_tp = json_f64(pairs / gpu_s),
                 sim = json_f64(par_sim),
@@ -305,22 +358,40 @@ fn main() {
     println!("{json}");
     eprintln!("wrote {out}");
 
-    if gate {
-        // Perf-regression gate: at the widest moduli's largest corpus, the
-        // lockstep engine must not fall below the scalar arena path (small
-        // tolerance for run-to-run noise).
-        const TOLERANCE: f64 = 0.95;
-        let (gm, gb, cpu_tp, ls_tp) = gate_row.expect("non-empty grid");
-        if ls_tp < TOLERANCE * cpu_tp {
+    if gate_lockstep || gate_pipeline {
+        let (gm, gb, cpu_tp, ls_tp, direct_tp) = gate_row.expect("non-empty grid");
+        if gate_lockstep {
+            // Perf-regression gate: at the widest moduli's largest corpus,
+            // the lockstep engine must not fall below the scalar arena path
+            // (small tolerance for run-to-run noise).
+            const TOLERANCE: f64 = 0.95;
+            if ls_tp < TOLERANCE * cpu_tp {
+                eprintln!(
+                    "GATE FAIL: lockstep {ls_tp:.0} pairs/s < {TOLERANCE} x cpu_arena \
+                     {cpu_tp:.0} pairs/s at m={gm}, bits={gb}"
+                );
+                std::process::exit(1);
+            }
             eprintln!(
-                "GATE FAIL: lockstep {ls_tp:.0} pairs/s < {TOLERANCE} x cpu_arena \
-                 {cpu_tp:.0} pairs/s at m={gm}, bits={gb}"
+                "gate OK: lockstep {ls_tp:.0} pairs/s >= {TOLERANCE} x cpu_arena {cpu_tp:.0} \
+                 pairs/s at m={gm}, bits={gb}"
             );
-            std::process::exit(1);
         }
-        eprintln!(
-            "gate OK: lockstep {ls_tp:.0} pairs/s >= {TOLERANCE} x cpu_arena {cpu_tp:.0} \
-             pairs/s at m={gm}, bits={gb}"
-        );
+        if gate_pipeline {
+            // The builder must stay a zero-cost veneer over the direct
+            // entry point: same launches, same executor, no extra copies.
+            const TOLERANCE: f64 = 0.98;
+            if ls_tp < TOLERANCE * direct_tp {
+                eprintln!(
+                    "GATE FAIL: builder pipeline {ls_tp:.0} pairs/s < {TOLERANCE} x direct \
+                     scan_lockstep_arena {direct_tp:.0} pairs/s at m={gm}, bits={gb}"
+                );
+                std::process::exit(1);
+            }
+            eprintln!(
+                "gate OK: builder pipeline {ls_tp:.0} pairs/s >= {TOLERANCE} x direct \
+                 scan_lockstep_arena {direct_tp:.0} pairs/s at m={gm}, bits={gb}"
+            );
+        }
     }
 }

@@ -113,7 +113,8 @@ pub fn scan_gpu_blocks(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::scan::scan_cpu;
+    use crate::arena::ModuliArena;
+    use crate::scan::ScanPipeline;
     use bulkgcd_rsa::build_corpus;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
@@ -123,7 +124,8 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         let corpus = build_corpus(&mut rng, 16, 128, 2);
         let moduli = corpus.moduli();
-        let cpu = scan_cpu(&moduli, Algorithm::Approximate, true).unwrap();
+        let arena = ModuliArena::try_from_moduli(&moduli).unwrap();
+        let cpu = ScanPipeline::new(&arena).run().unwrap().scan;
         let blk = scan_gpu_blocks(
             &moduli,
             Algorithm::Approximate,
@@ -163,16 +165,24 @@ mod tests {
 
     #[test]
     fn per_gcd_time_comparable_to_flat_launch() {
-        use crate::scan::scan_gpu_sim;
+        use crate::scan::GpuSimBackend;
         let mut rng = StdRng::seed_from_u64(3);
         let corpus = build_corpus(&mut rng, 16, 192, 0);
         let moduli = corpus.moduli();
         let device = DeviceConfig::gtx_780_ti();
         let cost = CostModel::default();
         let blk = scan_gpu_blocks(&moduli, Algorithm::Approximate, true, &device, &cost, 4);
-        let flat =
-            scan_gpu_sim(&moduli, Algorithm::Approximate, true, &device, &cost, 1024).unwrap();
-        let flat_s = flat.simulated_seconds.unwrap();
+        let arena = ModuliArena::try_from_moduli(&moduli).unwrap();
+        let flat = ScanPipeline::new(&arena)
+            .backend(GpuSimBackend {
+                device: device.clone(),
+                cost: cost.clone(),
+            })
+            .launch_pairs(1024)
+            .run()
+            .unwrap()
+            .scan;
+        let flat_s = flat.simulated().unwrap();
         // Same work, same device: within a small factor of each other
         // (the block shape pays raggedness, the flat shape pays nothing).
         let ratio = blk.gpu.seconds / flat_s;

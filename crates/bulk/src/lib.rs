@@ -8,9 +8,10 @@
 //!   the scans allocate nothing per pair;
 //! * [`pairing`] — the paper's §VI group/block decomposition of the
 //!   `m(m−1)/2` pairs, with exact-coverage guarantees;
-//! * [`scan`] — the multithreaded CPU scan (rayon, worker-local scratch)
-//!   and the same scan priced on the simulated GPU with parallel launches,
-//!   producing identical findings;
+//! * [`scan`] — the composable [`ScanPipeline`]: one [`ScanBackend`]
+//!   (scalar / lockstep / simulated-GPU / product-tree) crossed with a
+//!   stack of middleware layers (checkpoint, fault injection, retry,
+//!   metrics), all producing identical findings;
 //! * [`lockstep`] — the lockstep SIMT engine: a launch's operands stored
 //!   column-major (limb `k` of all lanes contiguous, the paper's Fig. 3
 //!   layout), Approximate Euclid executed one shared instruction at a time
@@ -51,7 +52,14 @@ pub use lockstep::LockstepEngine;
 pub use pairing::{group_size_for, BlockId, GroupedPairs};
 pub use pipeline::{break_weak_keys, recover_keys, BreakReport, BrokenKey};
 pub use scan::{
-    combine_terminations, scan_block_into, scan_cpu, scan_cpu_arena, scan_gpu_sim,
-    scan_gpu_sim_arena, scan_gpu_sim_resumable, scan_gpu_sim_serial, scan_lockstep,
-    scan_lockstep_arena, FaultStats, Finding, FindingKind, ResumableReport, ScanError, ScanReport,
+    combine_terminations, scan_block_into, CheckpointLayer, ExecCtx, FaultLayer, FaultStats,
+    Finding, FindingKind, GpuSimBackend, LaunchExecutor, LaunchMetrics, LaunchOutput,
+    LockstepBackend, MetricsLayer, NoSimulatedClock, PipelineReport, ProductTreeBackend,
+    ResumableReport, RetryLayer, ScalarBackend, ScanBackend, ScanError, ScanMetrics, ScanPipeline,
+    ScanReport, DEFAULT_LAUNCH_PAIRS,
+};
+#[allow(deprecated)]
+pub use scan::{
+    scan_cpu, scan_cpu_arena, scan_gpu_sim, scan_gpu_sim_arena, scan_gpu_sim_resumable,
+    scan_gpu_sim_serial, scan_lockstep, scan_lockstep_arena,
 };

@@ -222,6 +222,52 @@ mod tests {
         }
     }
 
+    mod coverage_props {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// §VI correctness, for arbitrary grid shapes: `all_pairs` and
+            /// the union of `block_pair_iter` over every block are the same
+            /// multiset, and that multiset is each unordered pair `(a, b)`,
+            /// `a < b < m`, exactly once.
+            #[test]
+            fn all_pairs_and_block_union_cover_exactly_once(
+                groups in 1usize..=10,
+                r in 1usize..=10,
+            ) {
+                let m = groups * r;
+                let grid = GroupedPairs::new(m, r);
+
+                let mut from_all = HashSet::new();
+                for (a, b) in grid.all_pairs() {
+                    prop_assert!(a < b && b < m, "out-of-range pair ({a},{b})");
+                    prop_assert!(from_all.insert((a, b)), "all_pairs duplicate ({a},{b})");
+                }
+
+                let mut from_blocks = HashSet::new();
+                for blk in grid.blocks() {
+                    for (a, b) in grid.block_pair_iter(blk) {
+                        prop_assert!(
+                            from_blocks.insert((a, b)),
+                            "block union duplicate ({a},{b}) in {blk:?}"
+                        );
+                    }
+                }
+
+                prop_assert_eq!(&from_all, &from_blocks);
+                prop_assert_eq!(from_all.len() as u64, grid.total_pairs());
+                // Nothing missing: count equality plus no-duplicates over the
+                // right range pins the set to the full upper triangle.
+                for a in 0..m {
+                    for b in (a + 1)..m {
+                        prop_assert!(from_all.contains(&(a, b)), "missing ({a},{b})");
+                    }
+                }
+            }
+        }
+    }
+
     #[test]
     fn pair_iterators_match_collected_forms() {
         let g = GroupedPairs::new(12, 4);

@@ -4,7 +4,8 @@
 //! given a pile of public keys, find shared-prime pairs by bulk GCD and
 //! output working private keys for every vulnerable modulus.
 
-use crate::scan::{scan_cpu, Finding, ScanError, ScanReport};
+use crate::arena::ModuliArena;
+use crate::scan::{Finding, ScanError, ScanPipeline, ScanReport};
 use bulkgcd_core::Algorithm;
 use bulkgcd_rsa::{recover_private_key, PrivateKey, PublicKey};
 
@@ -62,7 +63,8 @@ pub fn recover_keys(keys: &[PublicKey], findings: &[Finding]) -> Vec<BrokenKey> 
 /// [`ScanError::Arena`] rather than a panic.
 pub fn break_weak_keys(keys: &[PublicKey], algo: Algorithm) -> Result<BreakReport, ScanError> {
     let moduli: Vec<_> = keys.iter().map(|k| k.n.clone()).collect();
-    let scan = scan_cpu(&moduli, algo, true)?;
+    let arena = ModuliArena::try_from_moduli(&moduli)?;
+    let scan = ScanPipeline::new(&arena).algorithm(algo).run()?.scan;
     let broken = recover_keys(keys, &scan.findings);
     Ok(BreakReport { scan, broken })
 }

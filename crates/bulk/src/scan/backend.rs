@@ -1,0 +1,538 @@
+//! Scan execution backends.
+//!
+//! A [`ScanBackend`] answers one question — *how does a batch of pairs get
+//! its GCDs computed?* — and nothing else. Enumeration (§VI block order),
+//! batching, checkpointing, retry, and metrics all live in the
+//! [`ScanPipeline`](crate::scan::ScanPipeline) driver, so a new execution
+//! strategy (a real GPU, a faster Euclid variant) is one `impl` here, not
+//! another hand-written `scan_*` family.
+//!
+//! Launch-driven backends hand the pipeline a [`LaunchExecutor`] — the
+//! worker-local scratch (engine planes, operand workspaces, device handles)
+//! reused across every launch a worker runs. Whole-corpus backends (the
+//! product-tree baseline) instead implement [`ScanBackend::run_whole`] and
+//! opt out of the launch driver entirely.
+
+use crate::arena::ModuliArena;
+use crate::lockstep::LockstepEngine;
+use crate::pairing::{BlockId, GroupedPairs};
+use crate::scan::report::{Finding, FindingKind};
+use bulkgcd_bigint::{Limb, Nat};
+use bulkgcd_core::{run_in_place, Algorithm, GcdOutcome, GcdPair, GcdStatus, NoProbe, Termination};
+use bulkgcd_gpu::{schedule, simulate_bulk_gcd, CostModel, DeviceConfig, WarpWork};
+
+/// Everything a backend needs to execute launches over one corpus: the
+/// packed operands and the scan's algorithm/termination settings.
+#[derive(Clone, Copy)]
+pub struct ExecCtx<'a> {
+    /// The packed corpus the scan reads operands from.
+    pub arena: &'a ModuliArena,
+    /// The GCD variant to run.
+    pub algo: Algorithm,
+    /// Whether §V early termination is enabled.
+    pub early: bool,
+}
+
+/// What one executed launch produced: its findings plus the execution
+/// metrics the pipeline's metrics layer aggregates.
+#[derive(Debug, Clone, Default)]
+pub struct LaunchOutput {
+    /// Findings, in lane order (the pipeline sorts globally).
+    pub findings: Vec<Finding>,
+    /// Simulated device seconds (`None` for host-only backends).
+    pub simulated_seconds: Option<f64>,
+    /// Warps executed (0 when the backend has no warp structure).
+    pub warps: u64,
+    /// Warp-instructions issued, including divergence serialisation.
+    pub warp_instructions: f64,
+    /// Coalesced memory transactions issued.
+    pub mem_transactions: u64,
+    /// Total GCD lane-iterations (0 when the backend does not count them).
+    pub lane_iterations: u64,
+}
+
+/// Worker-local launch execution state: one per rayon worker, reused across
+/// every launch that worker runs (rebuilding scratch per launch was the
+/// `gpu_sim_host` overhead regression).
+pub trait LaunchExecutor {
+    /// Execute one launch over the index pairs in `lanes`.
+    fn execute(&mut self, cx: &ExecCtx<'_>, lanes: &[(usize, usize)]) -> LaunchOutput;
+}
+
+/// An execution strategy for the all-pairs scan.
+///
+/// Implementations are cheap, `Sync` descriptions (a warp width, a device
+/// model); the mutable state lives in the [`LaunchExecutor`]s they mint.
+pub trait ScanBackend: Sync {
+    /// Short name for reports and error messages.
+    fn name(&self) -> &'static str;
+
+    /// Whether this backend prices launches on the simulated device clock
+    /// (fills `simulated_seconds`).
+    fn prices_launches(&self) -> bool {
+        false
+    }
+
+    /// The launch length this backend prefers when the caller did not fix
+    /// one: how many pairs each worker-run should cover for `total_pairs`
+    /// spread over `workers` workers.
+    fn preferred_run_len(&self, total_pairs: usize, workers: usize) -> usize {
+        total_pairs.div_ceil(workers.max(1)).max(1)
+    }
+
+    /// Mint a fresh worker-local executor.
+    fn executor(&self, cx: &ExecCtx<'_>) -> Box<dyn LaunchExecutor + Send>;
+
+    /// True for backends with no launch structure (the product-tree
+    /// baseline): the pipeline routes them through [`run_whole`]
+    /// (Self::run_whole) and refuses launch-oriented layers on them.
+    fn is_whole_corpus(&self) -> bool {
+        false
+    }
+
+    /// Whole-corpus escape hatch: a backend with no launch structure (the
+    /// product-tree baseline) computes every finding in one shot and
+    /// returns `Some`; launch-driven backends return `None` (the default).
+    fn run_whole(&self, _cx: &ExecCtx<'_>) -> Option<Vec<Finding>> {
+        None
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Shared per-pair helpers.
+// ---------------------------------------------------------------------------
+
+/// Classify a non-trivial GCD: a factor equal to either modulus marks a
+/// duplicate (or dividing) modulus, anything else is a proper shared prime.
+/// Compares borrowed limb slices — no allocation on the scan path.
+#[inline]
+pub(crate) fn kind_of(arena: &ModuliArena, i: usize, j: usize, factor: &Nat) -> FindingKind {
+    if factor.as_limbs() == arena.limbs_trimmed(i) || factor.as_limbs() == arena.limbs_trimmed(j) {
+        FindingKind::DuplicateModulus
+    } else {
+        FindingKind::SharedPrime
+    }
+}
+
+#[inline]
+pub(crate) fn termination_for(arena: &ModuliArena, i: usize, j: usize, early: bool) -> Termination {
+    if early {
+        // s/2 where s is the modulus width: a shared prime has s/2 bits.
+        Termination::Early {
+            threshold_bits: arena.bit_len(i).min(arena.bit_len(j)) / 2,
+        }
+    } else {
+        Termination::Full
+    }
+}
+
+/// Fold per-pair termination settings into the single setting a simulated
+/// kernel launch applies to every lane.
+///
+/// The fold is conservative in both directions: any [`Termination::Full`]
+/// pair forces the whole launch to `Full` (an early threshold from some
+/// *other* pair must never cut a full run short), and a batch of
+/// [`Termination::Early`] pairs of mixed widths takes the **smallest**
+/// threshold (extra iterations for the wider pairs, never a missed factor).
+/// An empty batch gets `Full`.
+pub fn combine_terminations(terms: impl IntoIterator<Item = Termination>) -> Termination {
+    terms
+        .into_iter()
+        .reduce(|acc, t| match (acc, t) {
+            (
+                Termination::Early { threshold_bits: x },
+                Termination::Early { threshold_bits: y },
+            ) => Termination::Early {
+                threshold_bits: x.min(y),
+            },
+            // Full on either side wins: never narrow a Full pair.
+            (Termination::Full, _) | (_, Termination::Full) => Termination::Full,
+        })
+        .unwrap_or(Termination::Full)
+}
+
+/// The per-launch termination: the conservative fold of the lanes'
+/// per-pair settings (what a real kernel launch applies to every lane).
+pub(crate) fn launch_termination(
+    arena: &ModuliArena,
+    lanes: &[(usize, usize)],
+    early: bool,
+) -> Termination {
+    combine_terminations(
+        lanes
+            .iter()
+            .map(|&(i, j)| termination_for(arena, i, j, early)),
+    )
+}
+
+/// Scan one §VI block of `grid` against `arena`, appending findings to
+/// `found`. `pair` is caller-provided scratch (reused across blocks by the
+/// scan workers); after warmup the loop performs **no heap allocations**
+/// except when a finding is actually pushed — the property the root
+/// crate's allocation-counting test pins down.
+pub fn scan_block_into(
+    arena: &ModuliArena,
+    grid: &GroupedPairs,
+    block: BlockId,
+    algo: Algorithm,
+    early: bool,
+    pair: &mut GcdPair,
+    found: &mut Vec<Finding>,
+) {
+    for (i, j) in grid.block_pair_iter(block) {
+        pair.load_from_limbs(arena.limbs(i), arena.limbs(j));
+        let term = termination_for(arena, i, j, early);
+        if run_in_place(algo, pair, term, &mut NoProbe) == GcdStatus::Done && !pair.gcd_is_one() {
+            let factor = pair.x_nat();
+            found.push(Finding {
+                i,
+                j,
+                kind: kind_of(arena, i, j, &factor),
+                factor,
+            });
+        }
+    }
+}
+
+/// Run `lanes` on the host with one shared `term` (the CPU degradation path
+/// for a persistently faulted launch: identical termination settings make
+/// the findings byte-identical to the device run's).
+pub(crate) fn scalar_fallback(
+    cx: &ExecCtx<'_>,
+    lanes: &[(usize, usize)],
+    term: Termination,
+) -> Vec<Finding> {
+    let arena = cx.arena;
+    let mut pair = GcdPair::with_capacity(arena.stride());
+    let mut found = Vec::new();
+    for &(i, j) in lanes {
+        pair.load_from_limbs(arena.limbs(i), arena.limbs(j));
+        if run_in_place(cx.algo, &mut pair, term, &mut NoProbe) == GcdStatus::Done
+            && !pair.gcd_is_one()
+        {
+            let factor = pair.x_nat();
+            found.push(Finding {
+                i,
+                j,
+                kind: kind_of(arena, i, j, &factor),
+                factor,
+            });
+        }
+    }
+    found
+}
+
+/// Harvest the findings of one executed warp from the engine's lanes.
+fn harvest_warp(
+    arena: &ModuliArena,
+    engine: &LockstepEngine,
+    warp: &[(usize, usize)],
+    found: &mut Vec<Finding>,
+) {
+    for (t, &(i, j)) in warp.iter().enumerate() {
+        if engine.lane_status(t) == GcdStatus::Done && !engine.lane_gcd_is_one(t) {
+            let factor = engine.lane_gcd_nat(t);
+            found.push(Finding {
+                i,
+                j,
+                kind: kind_of(arena, i, j, &factor),
+                factor,
+            });
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// ScalarBackend — the per-pair run_in_place host scan.
+// ---------------------------------------------------------------------------
+
+/// The multithreaded host scan: each lane runs [`run_in_place`] on a
+/// worker-local [`GcdPair`] workspace with its own per-pair termination —
+/// zero per-pair heap allocations in the steady state.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ScalarBackend;
+
+struct ScalarExecutor {
+    pair: GcdPair,
+}
+
+impl LaunchExecutor for ScalarExecutor {
+    fn execute(&mut self, cx: &ExecCtx<'_>, lanes: &[(usize, usize)]) -> LaunchOutput {
+        let arena = cx.arena;
+        let mut out = LaunchOutput::default();
+        for &(i, j) in lanes {
+            self.pair.load_from_limbs(arena.limbs(i), arena.limbs(j));
+            let term = termination_for(arena, i, j, cx.early);
+            if run_in_place(cx.algo, &mut self.pair, term, &mut NoProbe) == GcdStatus::Done
+                && !self.pair.gcd_is_one()
+            {
+                let factor = self.pair.x_nat();
+                out.findings.push(Finding {
+                    i,
+                    j,
+                    kind: kind_of(arena, i, j, &factor),
+                    factor,
+                });
+            }
+        }
+        out
+    }
+}
+
+impl ScanBackend for ScalarBackend {
+    fn name(&self) -> &'static str {
+        "scalar"
+    }
+
+    fn executor(&self, cx: &ExecCtx<'_>) -> Box<dyn LaunchExecutor + Send> {
+        Box::new(ScalarExecutor {
+            pair: GcdPair::with_capacity(cx.arena.stride()),
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// LockstepBackend — the column-major SIMT host scan.
+// ---------------------------------------------------------------------------
+
+/// The lockstep SIMT host scan: warps of `warp_width` lanes run the
+/// [`LockstepEngine`]'s column-major vectorized AEA — one shared
+/// instruction stream per warp, terminated lanes masked off. Each warp
+/// applies the conservative per-launch termination fold of its lanes
+/// (see [`combine_terminations`]), exactly like a simulated kernel launch
+/// of the same width.
+#[derive(Debug, Clone, Copy)]
+pub struct LockstepBackend {
+    /// Lanes per warp (clamped to ≥ 1).
+    pub warp_width: usize,
+}
+
+impl LockstepBackend {
+    fn width(&self) -> usize {
+        self.warp_width.max(1)
+    }
+}
+
+struct LockstepExecutor {
+    engine: LockstepEngine,
+}
+
+impl LaunchExecutor for LockstepExecutor {
+    fn execute(&mut self, cx: &ExecCtx<'_>, lanes: &[(usize, usize)]) -> LaunchOutput {
+        let arena = cx.arena;
+        let w = self.engine.width();
+        let mut out = LaunchOutput::default();
+        let mut inputs: Vec<(&[Limb], &[Limb])> = Vec::with_capacity(w);
+        for warp in lanes.chunks(w) {
+            let term = launch_termination(arena, warp, cx.early);
+            inputs.clear();
+            inputs.extend(warp.iter().map(|&(i, j)| (arena.limbs(i), arena.limbs(j))));
+            self.engine.run_warp(&inputs, term, None);
+            harvest_warp(arena, &self.engine, warp, &mut out.findings);
+            out.warps += 1;
+        }
+        out
+    }
+}
+
+impl ScanBackend for LockstepBackend {
+    fn name(&self) -> &'static str {
+        "lockstep"
+    }
+
+    fn preferred_run_len(&self, total_pairs: usize, workers: usize) -> usize {
+        // Whole warps per worker run: rounding the run length up to a
+        // multiple of the warp width keeps every warp (except possibly the
+        // global last) full, and keeps warp boundaries aligned across any
+        // worker count.
+        let w = self.width();
+        total_pairs.div_ceil(workers.max(1)).div_ceil(w).max(1) * w
+    }
+
+    fn executor(&self, _cx: &ExecCtx<'_>) -> Box<dyn LaunchExecutor + Send> {
+        Box::new(LockstepExecutor {
+            engine: LockstepEngine::new(self.width()),
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// GpuSimBackend — launches priced on the simulated device.
+// ---------------------------------------------------------------------------
+
+/// The simulated-GPU backend: launches are priced on `device` under `cost`.
+/// Approximate-Euclid launches execute on the live lockstep engine (costs
+/// *measured* during execution); other algorithms replay traces through the
+/// cost model. Per the equivalence suite both paths produce the same
+/// numbers, so simulated seconds stay bitwise comparable across drivers.
+#[derive(Debug, Clone)]
+pub struct GpuSimBackend {
+    /// The device model launches are priced on.
+    pub device: DeviceConfig,
+    /// The per-instruction/per-transaction cost model.
+    pub cost: CostModel,
+}
+
+/// Worker-local launch-execution state for the simulated GPU: the lockstep
+/// engine (operand planes and all scratch rows) plus the per-launch
+/// warp-work buffer.
+struct GpuSimExecutor {
+    device: DeviceConfig,
+    cost: CostModel,
+    engine: LockstepEngine,
+    warps: Vec<WarpWork>,
+}
+
+impl GpuSimExecutor {
+    /// Execute one launch on the live lockstep engine: warps of
+    /// `device.warp_size` lanes run the column-major vectorized AEA, and
+    /// the launch is priced from the [`WarpWork`] *measured* during
+    /// execution — same accumulator, same scheduler, and (per the
+    /// equivalence suite) the same numbers as the trace-replay path.
+    fn lockstep_launch(&mut self, cx: &ExecCtx<'_>, lanes: &[(usize, usize)]) -> LaunchOutput {
+        let arena = cx.arena;
+        let term = launch_termination(arena, lanes, cx.early);
+        let words_per_transaction = self.device.transaction_bytes / 4;
+        self.warps.clear();
+        let mut out = LaunchOutput::default();
+        let w = self.engine.width();
+        let mut inputs: Vec<(&[Limb], &[Limb])> = Vec::with_capacity(w);
+        for warp in lanes.chunks(w) {
+            inputs.clear();
+            inputs.extend(warp.iter().map(|&(i, j)| (arena.limbs(i), arena.limbs(j))));
+            let work = self
+                .engine
+                .run_warp(&inputs, term, Some((&self.cost, words_per_transaction)))
+                .expect("measurement was requested");
+            out.lane_iterations += work.lane_iterations;
+            self.warps.push(work);
+            harvest_warp(arena, &self.engine, warp, &mut out.findings);
+        }
+        let report = schedule(&self.device, &self.warps);
+        out.simulated_seconds = Some(report.seconds);
+        out.warps = report.warps as u64;
+        out.warp_instructions = report.total_warp_instructions;
+        out.mem_transactions = report.total_transactions;
+        out
+    }
+
+    /// Trace-replay path for the non-Approximate variants (their lockstep
+    /// interest is comparative, not throughput).
+    fn replay_launch(&mut self, cx: &ExecCtx<'_>, lanes: &[(usize, usize)]) -> LaunchOutput {
+        let arena = cx.arena;
+        let term = launch_termination(arena, lanes, cx.early);
+        let inputs: Vec<(&[Limb], &[Limb])> = lanes
+            .iter()
+            .map(|&(i, j)| (arena.limbs(i), arena.limbs(j)))
+            .collect();
+        let launch = simulate_bulk_gcd(&self.device, &self.cost, cx.algo, &inputs, term);
+        let mut out = LaunchOutput {
+            simulated_seconds: Some(launch.report.seconds),
+            warps: launch.report.warps as u64,
+            warp_instructions: launch.report.total_warp_instructions,
+            mem_transactions: launch.report.total_transactions,
+            lane_iterations: launch.total_iterations,
+            ..LaunchOutput::default()
+        };
+        for (&(i, j), outcome) in lanes.iter().zip(&launch.outcomes) {
+            if let GcdOutcome::Gcd(g) = outcome {
+                if !g.is_one() {
+                    out.findings.push(Finding {
+                        i,
+                        j,
+                        kind: kind_of(arena, i, j, g),
+                        factor: g.clone(),
+                    });
+                }
+            }
+        }
+        out
+    }
+}
+
+impl LaunchExecutor for GpuSimExecutor {
+    fn execute(&mut self, cx: &ExecCtx<'_>, lanes: &[(usize, usize)]) -> LaunchOutput {
+        match cx.algo {
+            Algorithm::Approximate => self.lockstep_launch(cx, lanes),
+            _ => self.replay_launch(cx, lanes),
+        }
+    }
+}
+
+impl ScanBackend for GpuSimBackend {
+    fn name(&self) -> &'static str {
+        "gpu-sim"
+    }
+
+    fn prices_launches(&self) -> bool {
+        true
+    }
+
+    fn executor(&self, _cx: &ExecCtx<'_>) -> Box<dyn LaunchExecutor + Send> {
+        Box::new(GpuSimExecutor {
+            engine: LockstepEngine::new(self.device.warp_size.max(1)),
+            device: self.device.clone(),
+            cost: self.cost.clone(),
+            warps: Vec::new(),
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// ProductTreeBackend — the batch-GCD baseline behind the same trait.
+// ---------------------------------------------------------------------------
+
+/// The product/remainder-tree batch-GCD baseline (Heninger et al.) as a
+/// whole-corpus backend: quasi-linear in the corpus size, no launch
+/// structure, emitting the same [`ScanReport`](crate::scan::ScanReport)
+/// shape as every other backend. The on-ramp for the Pelofske-style
+/// pairwise/product-tree hybrid.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ProductTreeBackend {
+    /// Use the rayon-parallel tree construction.
+    pub parallel: bool,
+}
+
+impl ScanBackend for ProductTreeBackend {
+    fn name(&self) -> &'static str {
+        "product-tree"
+    }
+
+    fn is_whole_corpus(&self) -> bool {
+        true
+    }
+
+    fn executor(&self, _cx: &ExecCtx<'_>) -> Box<dyn LaunchExecutor + Send> {
+        unreachable!("product-tree is a whole-corpus backend; run_whole covers it")
+    }
+
+    fn run_whole(&self, cx: &ExecCtx<'_>) -> Option<Vec<Finding>> {
+        let arena = cx.arena;
+        let moduli: Vec<Nat> = (0..arena.len()).map(|i| arena.nat(i)).collect();
+        let gcds = if self.parallel {
+            crate::batch::batch_gcd_parallel(&moduli)
+        } else {
+            crate::batch::batch_gcd(&moduli)
+        };
+        // Batch GCD reports per-modulus factors; synthesize pairwise
+        // findings for vulnerable moduli by pairing the flagged ones (the
+        // number of moduli with gcd > 1 is tiny in any real corpus, so the
+        // quadratic pass over them costs nothing).
+        let flagged: Vec<usize> = (0..moduli.len()).filter(|&i| !gcds[i].is_one()).collect();
+        let mut findings = Vec::new();
+        for (a, &i) in flagged.iter().enumerate() {
+            for &j in &flagged[a + 1..] {
+                let g = moduli[i].gcd_reference(&moduli[j]);
+                if !g.is_one() {
+                    findings.push(Finding {
+                        i,
+                        j,
+                        kind: kind_of(arena, i, j, &g),
+                        factor: g,
+                    });
+                }
+            }
+        }
+        Some(findings)
+    }
+}

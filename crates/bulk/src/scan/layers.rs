@@ -1,0 +1,139 @@
+//! Middleware layers of the scan pipeline.
+//!
+//! Each layer wraps the backend's launch execution with one orthogonal
+//! concern, and the [`ScanPipeline`](crate::scan::ScanPipeline) builder
+//! stacks them:
+//!
+//! * [`CheckpointLayer`] — commit every completed launch to a
+//!   [`ScanJournal`] the moment it finishes, so a killed scan resumes
+//!   mid-corpus (from `bulk::checkpoint`);
+//! * [`FaultLayer`] — inject deterministic launch faults and process kills
+//!   from a [`FaultPlan`] (from `bulk::fault`, test/chaos harness);
+//! * [`RetryLayer`] — retry transiently faulted launches with exponential
+//!   backoff under a [`RetryPolicy`], degrading persistently failing
+//!   launches to the CPU path (from `gpu::fault`);
+//! * [`MetricsLayer`] — time every launch and collect its warp work and
+//!   retry accounting into a structured
+//!   [`ScanMetrics`](crate::scan::ScanMetrics).
+//!
+//! The per-launch composition lives in [`run_layered_launch`]: fault
+//! injection and retry wrap the backend executor, checkpointing records
+//! the result, metrics observes all of it. Layer order is fixed by the
+//! pipeline (it is semantics, not configuration).
+
+use crate::checkpoint::{LaunchRecord, ScanJournal};
+use crate::fault::FaultPlan;
+use crate::scan::backend::{launch_termination, scalar_fallback, ExecCtx, LaunchExecutor};
+use crate::scan::report::LaunchMetrics;
+use bulkgcd_gpu::{retry_launch, RetryPolicy};
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// Journal a scan commits completed launches to: a path the pipeline opens
+/// (and owns) itself, or a caller-held journal handle (the legacy
+/// `scan_gpu_sim_resumable` calling convention, and what the kill/resume
+/// tests use to inspect the journal between runs).
+pub enum CheckpointLayer<'j> {
+    /// Open (or resume) the journal file at this path.
+    Path(PathBuf),
+    /// Use a journal the caller already holds.
+    Journal(&'j mut ScanJournal),
+}
+
+/// Deterministic fault injection: the launch faults and process kills of a
+/// [`FaultPlan`] applied to every launch the pipeline runs.
+#[derive(Clone, Copy)]
+pub struct FaultLayer<'p> {
+    /// The plan faults are drawn from.
+    pub plan: &'p FaultPlan,
+}
+
+/// Retry transiently faulted launches under this policy; launches that
+/// exhaust it degrade to the CPU path instead of aborting the scan.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RetryLayer {
+    /// Attempt/backoff budget per launch.
+    pub policy: RetryPolicy,
+}
+
+/// Collect per-launch execution metrics
+/// ([`ScanMetrics`](crate::scan::ScanMetrics)) alongside the scan report.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MetricsLayer;
+
+/// One launch's fully-layered result: the journal record (what checkpoint
+/// commits) plus the metrics row (what the metrics layer aggregates — also
+/// the source of the run's [`FaultStats`](crate::scan::FaultStats)).
+pub(crate) struct LayeredLaunch {
+    pub record: LaunchRecord,
+    pub metrics: LaunchMetrics,
+}
+
+/// Execute one launch through the fault/retry stack: inject faults from
+/// `plan`, retry transient ones per `policy`, and degrade to the CPU path
+/// (same lanes, same per-launch termination — so byte-identical findings)
+/// when the device gives up.
+pub(crate) fn run_layered_launch(
+    cx: &ExecCtx<'_>,
+    executor: &mut (dyn LaunchExecutor + Send),
+    lanes: &[(usize, usize)],
+    launch: u64,
+    plan: &FaultPlan,
+    policy: &RetryPolicy,
+) -> LayeredLaunch {
+    let t0 = Instant::now();
+    let (result, outcome) = retry_launch(launch, plan, policy, || executor.execute(cx, lanes));
+    let (record, metrics) = match result {
+        Ok(out) => (
+            LaunchRecord {
+                launch,
+                simulated_seconds: out.simulated_seconds.unwrap_or(0.0),
+                cpu_fallback: false,
+                findings: out.findings,
+            },
+            LaunchMetrics {
+                launch,
+                lanes: lanes.len() as u64,
+                warps: out.warps,
+                warp_instructions: out.warp_instructions,
+                mem_transactions: out.mem_transactions,
+                lane_iterations: out.lane_iterations,
+                simulated_seconds: out.simulated_seconds,
+                host_seconds: t0.elapsed().as_secs_f64(),
+                attempts: outcome.attempts,
+                backoff: outcome.backoff,
+                cpu_fallback: false,
+            },
+        ),
+        // Graceful degradation: the device refuses this launch, so its
+        // block of lanes runs on the host. Identical termination settings
+        // make the findings byte-identical; only the simulated clock is
+        // lost (a fallback launch contributes no device seconds).
+        Err(_) => {
+            let term = launch_termination(cx.arena, lanes, cx.early);
+            let found = scalar_fallback(cx, lanes, term);
+            (
+                LaunchRecord {
+                    launch,
+                    simulated_seconds: 0.0,
+                    cpu_fallback: true,
+                    findings: found,
+                },
+                LaunchMetrics {
+                    launch,
+                    lanes: lanes.len() as u64,
+                    warps: 0,
+                    warp_instructions: 0.0,
+                    mem_transactions: 0,
+                    lane_iterations: 0,
+                    simulated_seconds: None,
+                    host_seconds: t0.elapsed().as_secs_f64(),
+                    attempts: outcome.attempts,
+                    backoff: outcome.backoff,
+                    cpu_fallback: true,
+                },
+            )
+        }
+    };
+    LayeredLaunch { record, metrics }
+}

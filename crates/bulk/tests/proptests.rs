@@ -4,8 +4,8 @@
 
 use bulkgcd_bigint::Nat;
 use bulkgcd_bulk::{
-    batch_gcd, scan_gpu_sim_resumable, CorpusIndex, FaultPlan, GroupedPairs, ModuliArena,
-    ScanError, ScanJournal,
+    batch_gcd, CorpusIndex, FaultPlan, GpuSimBackend, GroupedPairs, ModuliArena, ScanError,
+    ScanJournal, ScanPipeline,
 };
 use bulkgcd_core::Algorithm;
 use bulkgcd_gpu::{CostModel, DeviceConfig, RetryPolicy};
@@ -118,9 +118,17 @@ proptest! {
         let policy = RetryPolicy::no_retries();
         let algo = Algorithm::Approximate;
         let scan = |journal: &mut ScanJournal, plan: &FaultPlan| {
-            scan_gpu_sim_resumable(
-                &arena, algo, true, &device, &cost, launch_pairs, journal, plan, &policy,
-            )
+            ScanPipeline::new(&arena)
+                .algorithm(algo)
+                .backend(GpuSimBackend {
+                    device: device.clone(),
+                    cost: cost.clone(),
+                })
+                .launch_pairs(launch_pairs)
+                .journal(journal)
+                .faults(plan)
+                .retry(policy)
+                .run()
         };
 
         // Uninterrupted baseline.

@@ -1,0 +1,204 @@
+//! Golden-value pins for the legacy `scan_*` shims.
+//!
+//! Every legacy entry point is now a thin deprecated shim over
+//! [`ScanPipeline`]. These tests pin each shim's `ScanReport` — findings
+//! (indices, kinds, factors), pair counts, and the *bit pattern* of the
+//! simulated-seconds sum — to golden values captured from the pre-refactor
+//! implementations on a fixed seeded corpus. A pipeline change that
+//! perturbs launch batching, warp alignment, merge order, or the
+//! measured-WarpWork pricing path shows up here as a flipped f64 bit.
+#![allow(deprecated)]
+
+use bulkgcd_bigint::Nat;
+use bulkgcd_bulk::{
+    scan_cpu, scan_cpu_arena, scan_gpu_sim, scan_gpu_sim_arena, scan_gpu_sim_resumable,
+    scan_gpu_sim_serial, scan_lockstep, scan_lockstep_arena, FaultPlan, FindingKind, GpuSimBackend,
+    ModuliArena, ScanJournal, ScanPipeline, ScanReport,
+};
+use bulkgcd_core::Algorithm;
+use bulkgcd_gpu::{CostModel, DeviceConfig, RetryPolicy};
+use bulkgcd_rsa::build_corpus;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The pinned corpus: 12 moduli of 128 bits with 3 planted shared-prime
+/// pairs (seed 0xfeed), plus a planted duplicate of modulus 4 — 13 moduli,
+/// 78 unordered pairs.
+fn pinned_moduli() -> Vec<Nat> {
+    let mut rng = StdRng::seed_from_u64(0xfeed);
+    let corpus = build_corpus(&mut rng, 12, 128, 3);
+    let mut moduli = corpus.moduli();
+    let dup = moduli[4].clone();
+    moduli.push(dup);
+    moduli
+}
+
+/// Golden findings captured from the pre-refactor scan functions:
+/// `(i, j, kind, factor-hex)` in (i, j) order.
+const GOLDEN_FINDINGS: &[(usize, usize, FindingKind, &str)] = &[
+    (0, 2, FindingKind::SharedPrime, "ddd59759e3e4a305"),
+    (
+        4,
+        12,
+        FindingKind::DuplicateModulus,
+        "ab706e625f7666cd9cc59861f34d1def",
+    ),
+    (5, 8, FindingKind::SharedPrime, "fae3bc404a832b41"),
+    (6, 7, FindingKind::SharedPrime, "f513b2f5303a970f"),
+];
+
+const GOLDEN_PAIRS: u64 = 78;
+const GOLDEN_DUPLICATES: u64 = 1;
+
+/// Bit pattern of the simulated-seconds sum for every GPU-sim path at
+/// `launch_pairs = 7` on the pinned corpus.
+const GOLDEN_GPU_SIM_BITS: u64 = 0x3f033455fba865da;
+
+/// Bit pattern of the simulated-seconds sum for the faulted resumable run
+/// (`with_transient(1, 2).with_persistent(3)`): launch 3 falls back to the
+/// CPU and contributes no device seconds.
+const GOLDEN_FAULTED_BITS: u64 = 0x3f01af2848558114;
+
+fn assert_pinned(rep: &ScanReport, simulated_bits: Option<u64>, label: &str) {
+    assert_eq!(rep.pairs_scanned, GOLDEN_PAIRS, "{label}: pairs_scanned");
+    assert_eq!(
+        rep.duplicate_pairs, GOLDEN_DUPLICATES,
+        "{label}: duplicate_pairs"
+    );
+    assert_eq!(
+        rep.findings.len(),
+        GOLDEN_FINDINGS.len(),
+        "{label}: finding count"
+    );
+    for (f, &(i, j, kind, hex)) in rep.findings.iter().zip(GOLDEN_FINDINGS) {
+        assert_eq!((f.i, f.j), (i, j), "{label}: finding indices");
+        assert_eq!(f.kind, kind, "{label}: finding kind for ({i},{j})");
+        assert_eq!(f.factor.to_hex(), hex, "{label}: factor for ({i},{j})");
+    }
+    assert_eq!(
+        rep.simulated_seconds.map(f64::to_bits),
+        simulated_bits,
+        "{label}: simulated_seconds bit pattern"
+    );
+}
+
+#[test]
+fn scan_cpu_pins() {
+    let moduli = pinned_moduli();
+    let rep = scan_cpu(&moduli, Algorithm::Approximate, true).unwrap();
+    assert_pinned(&rep, None, "scan_cpu");
+    let arena = ModuliArena::try_from_moduli(&moduli).unwrap();
+    let rep = scan_cpu_arena(&arena, Algorithm::Approximate, true);
+    assert_pinned(&rep, None, "scan_cpu_arena");
+}
+
+#[test]
+fn scan_lockstep_pins() {
+    let moduli = pinned_moduli();
+    let rep = scan_lockstep(&moduli, true, 8).unwrap();
+    assert_pinned(&rep, None, "scan_lockstep");
+    let arena = ModuliArena::try_from_moduli(&moduli).unwrap();
+    let rep = scan_lockstep_arena(&arena, true, 8);
+    assert_pinned(&rep, None, "scan_lockstep_arena");
+}
+
+#[test]
+fn scan_gpu_sim_pins() {
+    let moduli = pinned_moduli();
+    let device = DeviceConfig::gtx_780_ti();
+    let cost = CostModel::default();
+    let rep = scan_gpu_sim(&moduli, Algorithm::Approximate, true, &device, &cost, 7).unwrap();
+    assert_pinned(&rep, Some(GOLDEN_GPU_SIM_BITS), "scan_gpu_sim");
+    let arena = ModuliArena::try_from_moduli(&moduli).unwrap();
+    let rep = scan_gpu_sim_arena(&arena, Algorithm::Approximate, true, &device, &cost, 7);
+    assert_pinned(&rep, Some(GOLDEN_GPU_SIM_BITS), "scan_gpu_sim_arena");
+    let rep =
+        scan_gpu_sim_serial(&moduli, Algorithm::Approximate, true, &device, &cost, 7).unwrap();
+    assert_pinned(&rep, Some(GOLDEN_GPU_SIM_BITS), "scan_gpu_sim_serial");
+}
+
+#[test]
+fn scan_gpu_sim_resumable_pins() {
+    let moduli = pinned_moduli();
+    let arena = ModuliArena::try_from_moduli(&moduli).unwrap();
+    let device = DeviceConfig::gtx_780_ti();
+    let cost = CostModel::default();
+
+    // Fault-free: identical to the plain GPU scan, 12 launches, no retries.
+    let mut journal = ScanJournal::in_memory();
+    let rep = scan_gpu_sim_resumable(
+        &arena,
+        Algorithm::Approximate,
+        true,
+        &device,
+        &cost,
+        7,
+        &mut journal,
+        &FaultPlan::none(),
+        &RetryPolicy::default(),
+    )
+    .unwrap();
+    assert_pinned(
+        &rep.scan,
+        Some(GOLDEN_GPU_SIM_BITS),
+        "scan_gpu_sim_resumable",
+    );
+    assert_eq!(rep.stats.total_launches, 12);
+    assert_eq!(rep.stats.resumed_launches, 0);
+    assert_eq!(rep.stats.executed_launches, 12);
+    assert_eq!(rep.stats.retried_attempts, 0);
+    assert_eq!(rep.stats.cpu_fallback_launches, 0);
+
+    // Faulted: transient retries change nothing, the persistent launch
+    // falls back to the CPU and drops its device seconds from the sum.
+    let plan = FaultPlan::none().with_transient(1, 2).with_persistent(3);
+    let mut journal = ScanJournal::in_memory();
+    let rep = scan_gpu_sim_resumable(
+        &arena,
+        Algorithm::Approximate,
+        true,
+        &device,
+        &cost,
+        7,
+        &mut journal,
+        &plan,
+        &RetryPolicy::default(),
+    )
+    .unwrap();
+    assert_pinned(
+        &rep.scan,
+        Some(GOLDEN_FAULTED_BITS),
+        "scan_gpu_sim_resumable (faulted)",
+    );
+    assert_eq!(rep.stats.retried_attempts, 2);
+    assert_eq!(rep.stats.cpu_fallback_launches, 1);
+}
+
+/// The builder path and the shim path execute the same launches: the
+/// per-launch WarpWork the metrics layer measures must sum to the same
+/// simulated clock, bit for bit.
+#[test]
+fn builder_metrics_agree_with_shim_clock() {
+    let moduli = pinned_moduli();
+    let arena = ModuliArena::try_from_moduli(&moduli).unwrap();
+    let rep = ScanPipeline::new(&arena)
+        .backend(GpuSimBackend {
+            device: DeviceConfig::gtx_780_ti(),
+            cost: CostModel::default(),
+        })
+        .launch_pairs(7)
+        .metrics()
+        .run()
+        .unwrap();
+    assert_pinned(&rep.scan, Some(GOLDEN_GPU_SIM_BITS), "builder gpu-sim");
+    let metrics = rep.metrics.unwrap();
+    assert_eq!(metrics.total_launches, 12);
+    assert_eq!(
+        metrics.total_simulated_seconds().map(f64::to_bits),
+        Some(GOLDEN_GPU_SIM_BITS),
+        "per-launch metrics must sum to the pinned clock"
+    );
+    assert!(metrics.total_warps() > 0);
+    assert!(metrics.total_warp_instructions() > 0.0);
+    assert!(metrics.total_mem_transactions() > 0);
+}

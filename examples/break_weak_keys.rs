@@ -25,8 +25,14 @@ fn main() {
     println!("  generated in {:.2?}\n", t0.elapsed());
     let moduli = corpus.moduli();
 
+    let arena = ModuliArena::try_from_moduli(&moduli).unwrap();
+
     // --- Engine 1: CPU all-pairs scan with Approximate Euclid ---
-    let cpu = scan_cpu(&moduli, Algorithm::Approximate, true).unwrap();
+    let cpu = ScanPipeline::new(&arena)
+        .algorithm(Algorithm::Approximate)
+        .run()
+        .unwrap()
+        .scan;
     println!(
         "CPU scan      : {} pairs in {:.2?} ({:.2} us/GCD), {} findings",
         cpu.pairs_scanned,
@@ -36,16 +42,17 @@ fn main() {
     );
 
     // --- Engine 2: the same scan on the simulated GPU ---
-    let gpu = scan_gpu_sim(
-        &moduli,
-        Algorithm::Approximate,
-        true,
-        &DeviceConfig::gtx_780_ti(),
-        &CostModel::default(),
-        4096,
-    )
-    .unwrap();
-    let sim = gpu.simulated_seconds.unwrap();
+    let gpu = ScanPipeline::new(&arena)
+        .algorithm(Algorithm::Approximate)
+        .backend(GpuSimBackend {
+            device: DeviceConfig::gtx_780_ti(),
+            cost: CostModel::default(),
+        })
+        .launch_pairs(4096)
+        .run()
+        .unwrap()
+        .scan;
+    let sim = gpu.simulated().unwrap();
     println!(
         "GPU (sim) scan: {} pairs, simulated {:.4} s ({:.3} us/GCD), {} findings",
         gpu.pairs_scanned,

@@ -34,9 +34,10 @@ cargo test -q
 echo "== fault-injection smoke: resumable scan under a seeded fault plan"
 cargo run --release -q -p bulkgcd-bench --bin scan_bench -- --inject-faults --resume
 
-echo "== perf gate: lockstep >= 0.95x scalar arena scan at the largest 1024-bit size"
+echo "== perf gates: lockstep >= 0.95x scalar arena scan, builder pipeline >= 0.98x direct call"
 cargo run --release -q -p bulkgcd-bench --bin scan_bench -- \
-    --gate-lockstep --sizes 32,64 --bits 1024 --reps 3 --out /tmp/bulkgcd_gate_scan.json \
+    --gate-lockstep --gate-pipeline --sizes 32,64 --bits 1024 --reps 3 \
+    --out /tmp/bulkgcd_gate_scan.json \
     > /dev/null
 
 echo "OK"

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! bulkgcd gen   --keys 64 --bits 512 --weak-pairs 3 --out corpus.txt
-//! bulkgcd scan  corpus.txt [--engine cpu|gpu|blocks|batch] [--algo E] [--full]
+//! bulkgcd scan  corpus.txt [--engine cpu|gpu|blocks|batch] [--algo E] [--full] [--metrics-out m.json]
 //! bulkgcd check corpus.txt <modulus-hex>
 //! bulkgcd gcd   <x-hex> <y-hex> [--algo A|B|C|D|E|lehmer] [--stats]
 //! ```
@@ -174,86 +174,73 @@ fn cmd_scan(args: &Args) -> Result<(), String> {
         moduli.len() * moduli.len().saturating_sub(1) / 2,
         algo.name()
     );
-    let findings: Vec<Finding> = match engine {
-        "cpu" => {
-            let rep = scan_cpu(&moduli, algo, early).map_err(|e| e.to_string())?;
-            eprintln!(
-                "cpu scan: {:.3} s ({:.2} us/GCD)",
-                rep.elapsed.as_secs_f64(),
-                rep.elapsed.as_secs_f64() * 1e6 / rep.pairs_scanned.max(1) as f64
-            );
-            report_duplicates(&rep);
-            rep.findings
+    let metrics_out = args.get("metrics-out");
+    let findings: Vec<Finding> = if engine == "blocks" {
+        // The §VII block-shaped launch has its own report type and is not a
+        // pipeline backend; metrics come from its GpuReport instead.
+        if metrics_out.is_some() {
+            return Err("--metrics-out is not supported with --engine blocks".into());
         }
-        "gpu" => {
-            let rep = scan_gpu_sim(
-                &moduli,
-                algo,
-                early,
-                &DeviceConfig::gtx_780_ti(),
-                &CostModel::default(),
-                4096,
-            )
-            .map_err(|e| e.to_string())?;
-            eprintln!(
-                "simulated GPU scan: {:.6} s simulated ({:.3} us/GCD)",
-                rep.simulated_seconds.unwrap_or(0.0),
-                rep.simulated_seconds.unwrap_or(0.0) * 1e6 / rep.pairs_scanned.max(1) as f64
-            );
-            report_duplicates(&rep);
-            rep.findings
-        }
-        "blocks" => {
-            let r = group_size_for(moduli.len());
-            let rep = scan_gpu_blocks(
-                &moduli,
-                algo,
-                early,
-                &DeviceConfig::gtx_780_ti(),
-                &CostModel::default(),
-                r,
-            );
-            eprintln!(
-                "simulated GPU block launch (r = {r}, {} blocks): {:.6} s simulated, SIMT eff {:.1}%",
-                rep.blocks,
-                rep.gpu.seconds,
-                rep.gpu.mean_simt_efficiency * 100.0
-            );
-            rep.findings
-        }
-        "batch" => {
-            let t0 = std::time::Instant::now();
-            let gcds = batch_gcd(&moduli);
-            eprintln!("batch GCD: {:.3} s", t0.elapsed().as_secs_f64());
-            // Batch GCD reports per-modulus factors; synthesize pairwise
-            // findings for vulnerable moduli by pairing equal factors.
-            let mut findings = Vec::new();
-            for i in 0..moduli.len() {
-                if gcds[i].is_one() {
-                    continue;
-                }
-                for j in i + 1..moduli.len() {
-                    if !gcds[j].is_one() {
-                        let g = moduli[i].gcd_reference(&moduli[j]);
-                        if !g.is_one() {
-                            let kind = if g == moduli[i] || g == moduli[j] {
-                                FindingKind::DuplicateModulus
-                            } else {
-                                FindingKind::SharedPrime
-                            };
-                            findings.push(Finding {
-                                i,
-                                j,
-                                kind,
-                                factor: g,
-                            });
-                        }
-                    }
-                }
+        let r = group_size_for(moduli.len());
+        let rep = scan_gpu_blocks(
+            &moduli,
+            algo,
+            early,
+            &DeviceConfig::gtx_780_ti(),
+            &CostModel::default(),
+            r,
+        );
+        eprintln!(
+            "simulated GPU block launch (r = {r}, {} blocks): {:.6} s simulated, SIMT eff {:.1}%",
+            rep.blocks,
+            rep.gpu.seconds,
+            rep.gpu.mean_simt_efficiency * 100.0
+        );
+        rep.findings
+    } else {
+        let arena = ModuliArena::try_from_moduli(&moduli).map_err(|e| e.to_string())?;
+        let mut pipeline = ScanPipeline::new(&arena).algorithm(algo).early(early);
+        match engine {
+            "cpu" => {}
+            "gpu" => {
+                pipeline = pipeline.backend(GpuSimBackend {
+                    device: DeviceConfig::gtx_780_ti(),
+                    cost: CostModel::default(),
+                });
             }
-            findings
+            "batch" => {
+                pipeline = pipeline.backend(ProductTreeBackend { parallel: true });
+            }
+            other => return Err(format!("unknown engine {other:?}")),
         }
-        other => return Err(format!("unknown engine {other:?}")),
+        if metrics_out.is_some() {
+            pipeline = pipeline.metrics();
+        }
+        let rep = pipeline.run().map_err(|e| e.to_string())?;
+        match rep.scan.simulated() {
+            Ok(sim) => eprintln!(
+                "simulated GPU scan: {sim:.6} s simulated ({:.3} us/GCD)",
+                sim * 1e6 / rep.scan.pairs_scanned.max(1) as f64
+            ),
+            Err(_) => eprintln!(
+                "{engine} scan: {:.3} s ({:.2} us/GCD)",
+                rep.scan.elapsed.as_secs_f64(),
+                rep.scan.elapsed.as_secs_f64() * 1e6 / rep.scan.pairs_scanned.max(1) as f64
+            ),
+        }
+        report_duplicates(&rep.scan);
+        if let Some(path) = metrics_out {
+            let metrics = rep
+                .metrics
+                .as_ref()
+                .expect("metrics layer was enabled for --metrics-out");
+            std::fs::write(path, metrics.to_json()).map_err(|e| format!("writing {path}: {e}"))?;
+            eprintln!(
+                "wrote {} launch metrics ({} backend) to {path}",
+                metrics.total_launches, metrics.backend
+            );
+        }
+        rep.scan.findings
     };
     if findings.is_empty() {
         println!("no shared factors found");
@@ -391,7 +378,7 @@ fn usage() -> String {
 
 USAGE:
   bulkgcd gen   [--keys N] [--bits B] [--weak-pairs W] [--seed S] [--out FILE] [--truth FILE]
-  bulkgcd scan  <corpus-file> [--engine cpu|gpu|blocks|batch] [--algo A..E] [--full]
+  bulkgcd scan  <corpus-file> [--engine cpu|gpu|blocks|batch] [--algo A..E] [--full] [--metrics-out FILE]
   bulkgcd check <corpus-file> <modulus-hex>
   bulkgcd break <corpus-file> [--exponent E]   # prints: index factor-hex d-hex
   bulkgcd gcd   <x-hex> <y-hex> [--algo A|B|C|D|E|lehmer] [--stats]

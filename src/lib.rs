@@ -44,11 +44,17 @@ pub mod prelude {
     pub use bulkgcd_bigint::{Barrett, Montgomery, Nat};
     pub use bulkgcd_bulk::{
         batch_gcd, batch_gcd_parallel, break_weak_keys, estimate_full_scan, group_size_for,
-        scan_cpu, scan_cpu_arena, scan_gpu_blocks, scan_gpu_sim, scan_gpu_sim_arena,
-        scan_gpu_sim_resumable, scan_gpu_sim_serial, scan_lockstep, scan_lockstep_arena,
-        ArenaError, BreakReport, CorpusIndex, FaultPlan, FaultSpec, FaultStats, Finding,
-        FindingKind, GroupedPairs, JournalError, JournalHeader, LaunchRecord, LockstepEngine,
-        ModuliArena, ResumableReport, ScanError, ScanJournal, ScanReport, ZeroModulus,
+        scan_gpu_blocks, ArenaError, BreakReport, CheckpointLayer, CorpusIndex, FaultLayer,
+        FaultPlan, FaultSpec, FaultStats, Finding, FindingKind, GpuSimBackend, GroupedPairs,
+        JournalError, JournalHeader, LaunchMetrics, LaunchRecord, LockstepBackend, LockstepEngine,
+        MetricsLayer, ModuliArena, NoSimulatedClock, PipelineReport, ProductTreeBackend,
+        ResumableReport, RetryLayer, ScalarBackend, ScanBackend, ScanError, ScanJournal,
+        ScanMetrics, ScanPipeline, ScanReport, ZeroModulus, DEFAULT_LAUNCH_PAIRS,
+    };
+    #[allow(deprecated)]
+    pub use bulkgcd_bulk::{
+        scan_cpu, scan_cpu_arena, scan_gpu_sim, scan_gpu_sim_arena, scan_gpu_sim_resumable,
+        scan_gpu_sim_serial, scan_lockstep, scan_lockstep_arena,
     };
     pub use bulkgcd_core::{
         gcd_nat, lehmer_gcd_nat, run, Algorithm, GcdOutcome, GcdPair, NoProbe, StatsProbe,

@@ -14,16 +14,17 @@ fn corpus_attack_three_engines_agree() {
     let corpus = build_corpus(&mut rng, 24, 128, 4);
     let moduli = corpus.moduli();
 
-    let cpu = scan_cpu(&moduli, Algorithm::Approximate, true).unwrap();
-    let gpu = scan_gpu_sim(
-        &moduli,
-        Algorithm::Approximate,
-        true,
-        &DeviceConfig::gtx_780_ti(),
-        &CostModel::default(),
-        64,
-    )
-    .unwrap();
+    let arena = ModuliArena::try_from_moduli(&moduli).unwrap();
+    let cpu = ScanPipeline::new(&arena).run().unwrap().scan;
+    let gpu = ScanPipeline::new(&arena)
+        .backend(GpuSimBackend {
+            device: DeviceConfig::gtx_780_ti(),
+            cost: CostModel::default(),
+        })
+        .launch_pairs(64)
+        .run()
+        .unwrap()
+        .scan;
     let batch = batch_gcd(&moduli);
 
     // Engines agree with each other.
@@ -43,7 +44,7 @@ fn corpus_attack_three_engines_agree() {
         .collect();
     assert_eq!(batch_vulnerable, corpus.vulnerable_indices());
     // The GPU scan had a positive simulated cost.
-    assert!(gpu.simulated_seconds.unwrap() > 0.0);
+    assert!(gpu.simulated().unwrap() > 0.0);
 }
 
 #[test]
@@ -87,7 +88,8 @@ fn weak_keygen_corpus_is_breakable_at_observed_rate() {
     let mut weak = WeakKeygen::new(128, 0.35);
     let keys: Vec<KeyPair> = (0..16).map(|_| weak.generate(&mut rng)).collect();
     let moduli: Vec<Nat> = keys.iter().map(|k| k.public.n.clone()).collect();
-    let rep = scan_cpu(&moduli, Algorithm::Approximate, true).unwrap();
+    let arena = ModuliArena::try_from_moduli(&moduli).unwrap();
+    let rep = ScanPipeline::new(&arena).run().unwrap().scan;
     assert!(
         !rep.findings.is_empty(),
         "35% reuse over 16 keys should produce at least one shared pair"

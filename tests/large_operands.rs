@@ -114,21 +114,22 @@ fn mixed_width_corpus_scan() {
         p.mul(&bulk_gcd::bigint::prime::random_rsa_prime(&mut rng, 128)), // 192-bit sharing p
         generate_keypair(&mut rng, 128).public.n,
     ];
-    let rep = scan_cpu(&moduli, Algorithm::Approximate, true).unwrap();
+    let arena = ModuliArena::try_from_moduli(&moduli).unwrap();
+    let rep = ScanPipeline::new(&arena).run().unwrap().scan;
     assert_eq!(rep.findings.len(), 1);
     assert_eq!((rep.findings[0].i, rep.findings[0].j), (0, 2));
     assert_eq!(rep.findings[0].factor, p);
 
     // The simulated-GPU scan must agree even though its launches batch
     // pairs of different widths (it must take the smallest threshold).
-    let gpu = scan_gpu_sim(
-        &moduli,
-        Algorithm::Approximate,
-        true,
-        &DeviceConfig::gtx_780_ti(),
-        &CostModel::default(),
-        3, // tiny launches force mixed-width batches
-    )
-    .unwrap();
+    let gpu = ScanPipeline::new(&arena)
+        .backend(GpuSimBackend {
+            device: DeviceConfig::gtx_780_ti(),
+            cost: CostModel::default(),
+        })
+        .launch_pairs(3) // tiny launches force mixed-width batches
+        .run()
+        .unwrap()
+        .scan;
     assert_eq!(gpu.findings, rep.findings);
 }
