@@ -1,0 +1,14 @@
+//! Seeded truncating-cast violation (scanned with the bigint-limb flag).
+//! Never compiled — consumed as text by the analyze self-test.
+
+type Limb = u32;
+type Wide = u64;
+
+pub fn bare_cast(w: Wide) -> Limb {
+    w as Limb
+}
+
+pub fn excused_cast(w: Wide) -> Limb {
+    // analyze: allow(truncating-cast, reason = "fixture: intended truncation, documented")
+    w as Limb
+}

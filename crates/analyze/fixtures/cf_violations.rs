@@ -1,0 +1,43 @@
+//! Seeded constant-flow violations: every cf-* lint must fire on this file.
+//! Never compiled — consumed as text by the analyze self-test.
+
+// analyze: constant-flow
+pub fn branchy(x: u32) -> u32 {
+    if x > 3 {
+        return 1;
+    }
+    0
+}
+
+// analyze: constant-flow
+pub fn shorty(x: u32, y: u32) -> bool {
+    x > 0 && y > 0
+}
+
+// analyze: constant-flow
+pub fn indexy(x: usize, table: &[u32]) -> u32 {
+    table[x]
+}
+
+// analyze: constant-flow
+pub fn loopy(x: u32) -> u32 {
+    let mut v = x;
+    while v > 1 {
+        v /= 2;
+    }
+    v
+}
+
+// analyze: constant-flow
+pub fn matchy(x: u32) -> u32 {
+    match x {
+        0 => 1,
+        _ => 2,
+    }
+}
+
+// analyze: constant-flow
+pub fn tryish(x: Option<u32>) -> Option<u32> {
+    let v = x?;
+    Some(v + 1)
+}

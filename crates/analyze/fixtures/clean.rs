@@ -1,0 +1,38 @@
+//! A clean library file: the self-test asserts zero findings here, so
+//! every pattern below must stay inside the lint rules.
+//! Never compiled — consumed as text by the analyze self-test.
+
+// analyze: constant-flow(public = "w")
+pub fn sum_rows(w: usize, rows: &[u32]) -> u32 {
+    let mut acc: u32 = 0;
+    for r in 0..w {
+        acc = acc.wrapping_add(rows[r]);
+    }
+    acc
+}
+
+// analyze: constant-flow
+pub fn size_laundering(rows: &[u32]) -> usize {
+    // .len() launders taint: sizes are public in the semi-oblivious
+    // model, so branching on one is constant-flow.
+    let n = rows.len();
+    if n > 8 {
+        n
+    } else {
+        8
+    }
+}
+
+// analyze: constant-flow
+// analyze: allow(cf-branch, reason = "fixture: demonstrates a consumed allow on a divergent fixup")
+pub fn excused_branch(x: u32) -> u32 {
+    if x > 3 {
+        x
+    } else {
+        0
+    }
+}
+
+pub fn checked(v: Option<u32>) -> u32 {
+    v.unwrap_or(0)
+}

@@ -1,0 +1,18 @@
+//! Seeded meta-lint violations: an allow that excuses nothing
+//! (unused-allow) and malformed pragmas (bad-pragma).
+//! Never compiled — consumed as text by the analyze self-test.
+
+// analyze: allow(no-panic, reason = "fixture: nothing here panics, so this allow is dead")
+pub fn nothing_to_excuse() -> u32 {
+    7
+}
+
+// analyze: allow(no-panic)
+pub fn missing_reason() -> u32 {
+    11
+}
+
+// analyze: frobnicate the bits
+pub fn unknown_directive() -> u32 {
+    13
+}

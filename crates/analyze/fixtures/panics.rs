@@ -1,0 +1,38 @@
+//! Seeded no-panic and no-debug-print violations for the self-test.
+//! Never compiled — consumed as text by the analyze self-test.
+
+pub fn panics(v: Option<u32>, w: Option<u32>) -> u32 {
+    let a = v.unwrap();
+    let b = w.expect("fixture");
+    if a > b {
+        panic!("boom");
+    }
+    todo!()
+}
+
+pub fn prints(x: u32) {
+    println!("x = {x}");
+    eprintln!("still {x}");
+    dbg!(x);
+}
+
+pub fn fine(x: u32) -> u32 {
+    // assert! and unreachable! express invariants, not error handling:
+    // neither may be flagged.
+    assert!(x < 100);
+    match x % 2 {
+        0 | 1 => x + 1,
+        _ => unreachable!(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    // Test code is exempt: none of these may be flagged.
+    #[test]
+    fn in_tests_unwrap_is_fine() {
+        let v: Option<u32> = Some(3);
+        assert_eq!(v.unwrap(), 3);
+        println!("test output is fine");
+    }
+}

@@ -1,0 +1,11 @@
+//! Seeded deprecated-shim violation: calls a legacy scan_* entry point.
+//! Never compiled — consumed as text by the analyze self-test.
+
+pub fn calls_shim(moduli: &[Nat]) -> ScanReport {
+    scan_cpu(moduli, Algorithm::Aea, true)
+}
+
+pub fn mentions_without_calling() {
+    // A bare mention (no call parens) must not be flagged: scan_lockstep
+    let _name = "scan_gpu_sim";
+}

@@ -1,0 +1,26 @@
+//! Seeded safety-comment violation: one documented unsafe block (clean),
+//! one undocumented (must be flagged). The two blocks are spaced further
+//! apart than the lint's look-back window so the first SAFETY comment
+//! cannot accidentally cover the second block.
+//! Never compiled — consumed as text by the analyze self-test.
+
+pub fn documented(p: *const u32) -> u32 {
+    // SAFETY: the caller guarantees `p` is valid and aligned for reads.
+    unsafe { *p }
+}
+
+pub fn padding_a() -> u32 {
+    1
+}
+
+pub fn padding_b() -> u32 {
+    2
+}
+
+pub fn padding_c() -> u32 {
+    3
+}
+
+pub fn undocumented(p: *const u32) -> u32 {
+    unsafe { *p }
+}

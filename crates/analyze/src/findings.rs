@@ -1,0 +1,125 @@
+//! Findings: what a lint reports, and the two output encodings.
+
+use std::fmt::Write as _;
+
+/// One lint hit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Workspace-relative path of the offending file.
+    pub file: String,
+    /// 1-based source line.
+    pub line: u32,
+    /// Lint name (`cf-branch`, `no-panic`, ...).
+    pub lint: &'static str,
+    /// What was found.
+    pub message: String,
+    /// How to fix or excuse it.
+    pub suggestion: String,
+}
+
+impl Finding {
+    /// `file:line: [lint] message — suggestion`, the human rendering.
+    pub fn render(&self) -> String {
+        format!(
+            "{}:{}: [{}] {} — {}",
+            self.file, self.line, self.lint, self.message, self.suggestion
+        )
+    }
+}
+
+/// A whole run's output.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Everything the lints found, file order then line order.
+    pub findings: Vec<Finding>,
+    /// Files inspected.
+    pub files_scanned: usize,
+    /// Functions opted into the constant-flow lints.
+    pub constant_flow_fns: usize,
+    /// `allow` pragmas that excused a finding.
+    pub allows_consumed: usize,
+}
+
+impl Report {
+    /// Stable ordering: by file, then line, then lint name.
+    pub fn sort(&mut self) {
+        self.findings
+            .sort_by(|a, b| (&a.file, a.line, a.lint).cmp(&(&b.file, b.line, b.lint)));
+    }
+
+    /// Hand-rolled JSON document (the workspace vendors no serde).
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\n");
+        let _ = write!(
+            s,
+            "  \"files_scanned\": {},\n  \"constant_flow_fns\": {},\n  \"allows_consumed\": {},\n",
+            self.files_scanned, self.constant_flow_fns, self.allows_consumed
+        );
+        s.push_str("  \"findings\": [");
+        for (i, f) in self.findings.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(
+                s,
+                "\n    {{\"file\": {}, \"line\": {}, \"lint\": {}, \"message\": {}, \"suggestion\": {}}}",
+                json_str(&f.file),
+                f.line,
+                json_str(f.lint),
+                json_str(&f.message),
+                json_str(&f.suggestion)
+            );
+        }
+        if !self.findings.is_empty() {
+            s.push_str("\n  ");
+        }
+        s.push_str("]\n}\n");
+        s
+    }
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escapes_and_shapes() {
+        let mut r = Report {
+            findings: vec![Finding {
+                file: "a/b.rs".into(),
+                line: 3,
+                lint: "no-panic",
+                message: "`.unwrap()` with \"quotes\"".into(),
+                suggestion: "propagate".into(),
+            }],
+            files_scanned: 1,
+            constant_flow_fns: 0,
+            allows_consumed: 0,
+        };
+        r.sort();
+        let j = r.to_json();
+        assert!(j.contains("\\\"quotes\\\""));
+        assert!(j.contains("\"files_scanned\": 1"));
+        assert!(j.contains("\"line\": 3"));
+    }
+}

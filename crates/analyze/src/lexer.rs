@@ -1,0 +1,425 @@
+//! A minimal, lossy Rust lexer: just enough structure for token-level
+//! lints, none of the grammar.
+//!
+//! The lexer splits a source file into a flat [`Tok`] stream (identifiers,
+//! numbers, string/char literals, lifetimes, punctuation) and a parallel
+//! list of [`CommentLine`]s. Comments never enter the token stream — which
+//! is what keeps `unsafe` in a doc example or `unwrap()` in a `///` snippet
+//! from tripping the lints — but line comments are retained on the side
+//! because two of them are load-bearing: `// analyze:` pragmas and
+//! `// SAFETY:` audits.
+//!
+//! Known approximations, acceptable for a lint pass over this workspace:
+//! nested block comments are handled, raw strings up to `####` fences are
+//! handled, and the `'a` lifetime vs `'a'` char-literal ambiguity is
+//! resolved with one character of lookahead.
+
+/// One lexical token, tagged with its 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tok {
+    /// 1-based line of the token's first character.
+    pub line: u32,
+    /// What the token is.
+    pub kind: TokKind,
+}
+
+/// Token classes the lints care about.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`fn`, `unsafe`, `x_top`, ...).
+    Ident(String),
+    /// Numeric literal (value irrelevant to every lint).
+    Number,
+    /// String or byte-string literal (contents dropped).
+    Str,
+    /// Char literal.
+    Char,
+    /// Lifetime such as `'a` (name dropped).
+    Lifetime,
+    /// Punctuation, longest-match: `&&`, `::`, `->`, `..=`, single chars...
+    Punct(&'static str),
+}
+
+impl Tok {
+    /// The identifier text, if this is an identifier token.
+    pub fn ident(&self) -> Option<&str> {
+        match &self.kind {
+            TokKind::Ident(s) => Some(s.as_str()),
+            _ => None,
+        }
+    }
+
+    /// True when the token is the exact punctuation `p`.
+    pub fn is_punct(&self, p: &str) -> bool {
+        matches!(&self.kind, TokKind::Punct(s) if *s == p)
+    }
+
+    /// True when the token is the exact identifier/keyword `name`.
+    pub fn is_ident(&self, name: &str) -> bool {
+        matches!(&self.kind, TokKind::Ident(s) if s == name)
+    }
+}
+
+/// A `//` comment, with its line and its text after the slashes.
+#[derive(Debug, Clone)]
+pub struct CommentLine {
+    /// 1-based source line.
+    pub line: u32,
+    /// Comment text after `//` (and after `/` or `!` for doc comments),
+    /// untrimmed.
+    pub text: String,
+}
+
+/// Lexer output: token stream plus the line comments.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// The token stream, comments excluded.
+    pub toks: Vec<Tok>,
+    /// Every `//`-style comment line (doc comments included).
+    pub comments: Vec<CommentLine>,
+}
+
+/// Multi-character punctuation, longest first so prefix matches lose.
+const PUNCTS: &[&str] = &[
+    "..=", "...", "<<=", ">>=", "&&", "||", "::", "->", "=>", "..", "==", "!=", "<=", ">=", "+=",
+    "-=", "*=", "/=", "%=", "^=", "&=", "|=", "<<", ">>",
+];
+
+/// Single-character punctuation table (index by ASCII byte).
+const SINGLES: &str = "+-*/%^&|!<>=.,;:#$?@(){}[]'\"\\~";
+
+fn punct_at(rest: &str) -> Option<&'static str> {
+    for p in PUNCTS {
+        if rest.starts_with(p) {
+            return Some(p);
+        }
+    }
+    let first = rest.as_bytes().first().copied()?;
+    if SINGLES.as_bytes().contains(&first) {
+        // Safe: SINGLES is ASCII, so the 1-byte slice is valid UTF-8 and
+        // every such slice is a static str into SINGLES itself.
+        let i = SINGLES.bytes().position(|b| b == first)?;
+        return SINGLES.get(i..i + 1);
+    }
+    None
+}
+
+fn is_ident_start(c: char) -> bool {
+    c == '_' || c.is_alphabetic()
+}
+
+fn is_ident_cont(c: char) -> bool {
+    c == '_' || c.is_alphanumeric()
+}
+
+/// Tokenize `src`. Never fails: unrecognized bytes are skipped, truncated
+/// literals consume to end-of-file — for a lint pass, resilience beats
+/// strictness.
+pub fn lex(src: &str) -> Lexed {
+    let mut out = Lexed::default();
+    let bytes: Vec<char> = src.chars().collect();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+    let n = bytes.len();
+
+    // Advance over one char, tracking newlines.
+    macro_rules! bump {
+        () => {{
+            if bytes[i] == '\n' {
+                line += 1;
+            }
+            i += 1;
+        }};
+    }
+
+    while i < n {
+        let c = bytes[i];
+        if c == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Line comment (doc or plain).
+        if c == '/' && i + 1 < n && bytes[i + 1] == '/' {
+            let start_line = line;
+            let mut j = i + 2;
+            // Strip the third doc-comment char so `/// SAFETY:`-style text
+            // still parses, but keep ordinary `//` text whole.
+            if j < n && (bytes[j] == '/' || bytes[j] == '!') {
+                j += 1;
+            }
+            let mut text = String::new();
+            while i < n && bytes[i] != '\n' {
+                if i >= j {
+                    text.push(bytes[i]);
+                }
+                i += 1;
+            }
+            out.comments.push(CommentLine {
+                line: start_line,
+                text,
+            });
+            continue;
+        }
+        // Block comment, nesting honoured.
+        if c == '/' && i + 1 < n && bytes[i + 1] == '*' {
+            let mut depth = 1u32;
+            i += 2;
+            while i < n && depth > 0 {
+                if bytes[i] == '/' && i + 1 < n && bytes[i + 1] == '*' {
+                    depth += 1;
+                    i += 2;
+                } else if bytes[i] == '*' && i + 1 < n && bytes[i + 1] == '/' {
+                    depth -= 1;
+                    i += 2;
+                } else {
+                    bump!();
+                }
+            }
+            continue;
+        }
+        // Raw strings: r"..." / r#"..."# / br#"..."# (byte-ness irrelevant).
+        if (c == 'r' || c == 'b') && raw_string_start(&bytes, i) {
+            let tok_line = line;
+            i = skip_raw_string(&bytes, i, &mut line);
+            out.toks.push(Tok {
+                line: tok_line,
+                kind: TokKind::Str,
+            });
+            continue;
+        }
+        // Plain and byte strings.
+        if c == '"' || (c == 'b' && i + 1 < n && bytes[i + 1] == '"') {
+            let tok_line = line;
+            if c == 'b' {
+                i += 1;
+            }
+            i += 1; // opening quote
+            while i < n {
+                if bytes[i] == '\\' && i + 1 < n {
+                    bump!();
+                    bump!();
+                    continue;
+                }
+                if bytes[i] == '"' {
+                    i += 1;
+                    break;
+                }
+                bump!();
+            }
+            out.toks.push(Tok {
+                line: tok_line,
+                kind: TokKind::Str,
+            });
+            continue;
+        }
+        // Lifetime vs char literal.
+        if c == '\'' {
+            let tok_line = line;
+            let next = bytes.get(i + 1).copied();
+            let after = bytes.get(i + 2).copied();
+            let is_lifetime = match (next, after) {
+                (Some(nc), a) => nc != '\\' && is_ident_start(nc) && a != Some('\''),
+                _ => false,
+            };
+            if is_lifetime {
+                i += 1;
+                while i < n && is_ident_cont(bytes[i]) {
+                    i += 1;
+                }
+                out.toks.push(Tok {
+                    line: tok_line,
+                    kind: TokKind::Lifetime,
+                });
+            } else {
+                // Char literal: consume to the closing quote.
+                i += 1;
+                while i < n {
+                    if bytes[i] == '\\' && i + 1 < n {
+                        bump!();
+                        bump!();
+                        continue;
+                    }
+                    if bytes[i] == '\'' {
+                        i += 1;
+                        break;
+                    }
+                    bump!();
+                }
+                out.toks.push(Tok {
+                    line: tok_line,
+                    kind: TokKind::Char,
+                });
+            }
+            continue;
+        }
+        // Numbers (suffixes and underscores ride along as ident chars).
+        if c.is_ascii_digit() {
+            let tok_line = line;
+            while i < n && (is_ident_cont(bytes[i]) || bytes[i] == '.') {
+                // Don't eat `..` range operators after a number.
+                if bytes[i] == '.' && bytes.get(i + 1) == Some(&'.') {
+                    break;
+                }
+                // `.method()` after a literal: stop at a non-digit follower.
+                if bytes[i] == '.' && !bytes.get(i + 1).is_some_and(|d| d.is_ascii_digit()) {
+                    break;
+                }
+                i += 1;
+            }
+            out.toks.push(Tok {
+                line: tok_line,
+                kind: TokKind::Number,
+            });
+            continue;
+        }
+        // Identifiers, keywords, and r#raw idents.
+        if is_ident_start(c) || (c == 'r' && i + 1 < n && bytes[i + 1] == '#') {
+            let tok_line = line;
+            if c == 'r'
+                && bytes.get(i + 1) == Some(&'#')
+                && bytes.get(i + 2).is_some_and(|&x| is_ident_start(x))
+            {
+                i += 2;
+            }
+            let start = i;
+            while i < n && is_ident_cont(bytes[i]) {
+                i += 1;
+            }
+            let text: String = bytes[start..i].iter().collect();
+            out.toks.push(Tok {
+                line: tok_line,
+                kind: TokKind::Ident(text),
+            });
+            continue;
+        }
+        // Punctuation.
+        let rest: String = bytes[i..n.min(i + 3)].iter().collect();
+        if let Some(p) = punct_at(&rest) {
+            out.toks.push(Tok {
+                line,
+                kind: TokKind::Punct(p),
+            });
+            i += p.len();
+            continue;
+        }
+        // Anything else: skip.
+        i += 1;
+    }
+    out
+}
+
+fn raw_string_start(bytes: &[char], i: usize) -> bool {
+    // r" r# br" br# — a raw (byte) string opener.
+    let mut j = i;
+    if bytes.get(j) == Some(&'b') {
+        j += 1;
+    }
+    if bytes.get(j) != Some(&'r') {
+        return false;
+    }
+    j += 1;
+    while bytes.get(j) == Some(&'#') {
+        j += 1;
+    }
+    bytes.get(j) == Some(&'"')
+}
+
+fn skip_raw_string(bytes: &[char], mut i: usize, line: &mut u32) -> usize {
+    if bytes.get(i) == Some(&'b') {
+        i += 1;
+    }
+    i += 1; // r
+    let mut fence = 0usize;
+    while bytes.get(i) == Some(&'#') {
+        fence += 1;
+        i += 1;
+    }
+    i += 1; // opening quote
+    let n = bytes.len();
+    while i < n {
+        if bytes[i] == '\n' {
+            *line += 1;
+        }
+        if bytes[i] == '"' {
+            let mut k = 0usize;
+            while k < fence && bytes.get(i + 1 + k) == Some(&'#') {
+                k += 1;
+            }
+            if k == fence {
+                return i + 1 + fence;
+            }
+        }
+        i += 1;
+    }
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .toks
+            .iter()
+            .filter_map(|t| t.ident().map(str::to_string))
+            .collect()
+    }
+
+    #[test]
+    fn comments_leave_the_stream() {
+        let l = lex("let x = 1; // unwrap() here is fine\n/* unsafe too */ fn f() {}");
+        assert!(!idents("").contains(&"unwrap".to_string()));
+        assert!(l.toks.iter().all(|t| !t.is_ident("unwrap")));
+        assert!(l.toks.iter().all(|t| !t.is_ident("unsafe")));
+        assert_eq!(l.comments.len(), 1);
+        assert!(l.comments[0].text.contains("unwrap() here is fine"));
+    }
+
+    #[test]
+    fn strings_and_chars_are_opaque() {
+        let l = lex(r#"let s = "unsafe { panic!() }"; let c = 'u'; let lt: &'a str = s;"#);
+        assert!(l.toks.iter().all(|t| !t.is_ident("panic")));
+        assert!(l.toks.iter().any(|t| t.kind == TokKind::Char));
+        assert!(l.toks.iter().any(|t| t.kind == TokKind::Lifetime));
+    }
+
+    #[test]
+    fn raw_strings_skip_fences() {
+        let l = lex(r###"let s = r#"has "quotes" and unwrap()"#; fn g() {}"###);
+        assert!(l.toks.iter().all(|t| !t.is_ident("unwrap")));
+        assert!(l.toks.iter().any(|t| t.is_ident("g")));
+    }
+
+    #[test]
+    fn multi_char_puncts_win() {
+        let l = lex("a && b || c == d -> e :: f ..= g");
+        let ps: Vec<&str> = l
+            .toks
+            .iter()
+            .filter_map(|t| match &t.kind {
+                TokKind::Punct(p) => Some(*p),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(ps, vec!["&&", "||", "==", "->", "::", "..="]);
+    }
+
+    #[test]
+    fn lines_are_tracked_through_literals() {
+        let l = lex("let a = \"x\ny\";\nlet b = 1;");
+        let b_line = l.toks.iter().find(|t| t.is_ident("b")).map(|t| t.line);
+        assert_eq!(b_line, Some(3));
+    }
+
+    #[test]
+    fn doc_comments_collected_with_marker_stripped() {
+        let l = lex("/// SAFETY: documented\nfn f() {}\n//! inner\n");
+        assert!(l.comments.iter().any(|c| c.text.contains("SAFETY:")));
+    }
+}

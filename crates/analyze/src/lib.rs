@@ -1,0 +1,55 @@
+//! Self-hosted static analysis for the bulk-GCD workspace.
+//!
+//! Two pillars, both token-level and fully offline (no rustc plumbing, no
+//! external dependencies):
+//!
+//! 1. **Constant-flow lints.** The paper's GPU pipeline (§IV–§VI) only
+//!    coalesces and stays in lockstep because the hot kernels are
+//!    *semi-oblivious*: their branch and address sequences are (almost)
+//!    operand-independent. Functions opt in with `// analyze:
+//!    constant-flow` and are scanned for data-dependent `if`/`while`/
+//!    `match`, short-circuit `&&`/`||`, early `return`/`?`, and
+//!    operand-derived indexing. Intentional divergence — the DeepShift /
+//!    WideAlpha / β>0 scalar fixups — is documented in place with
+//!    `// analyze: allow(...)` pragmas, and the static claims are
+//!    cross-checked dynamically by the differential-trace test
+//!    (`tests/lockstep_trace.rs` at the workspace root).
+//!
+//! 2. **Workspace invariants.** No `unwrap`/`expect`/`panic!` in library
+//!    code, `// SAFETY:` above every `unsafe`, no debug prints in library
+//!    crates, no bare `as Limb` truncation in bigint limb arithmetic, no
+//!    calls to the deprecated flat `scan_*` shims.
+//!
+//! The `analyze` binary (same crate) runs both over the workspace and
+//! gates `scripts/check.sh`. Everything here is itself library code, so
+//! the analyzer must pass its own lints — it is written panic-free.
+
+pub mod constant_flow;
+pub mod findings;
+pub mod lexer;
+pub mod lints;
+pub mod pragma;
+pub mod workspace;
+
+pub use findings::{Finding, Report};
+pub use lints::{run_file, FileClass, FileCtx, FileOutcome, LINTS};
+
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// Lint every source file in the workspace rooted at `root`.
+pub fn analyze_workspace(root: &Path) -> io::Result<Report> {
+    let files = workspace::collect_files(root)?;
+    let mut report = Report::default();
+    for (path, ctx) in files {
+        let src = fs::read_to_string(&path)?;
+        let out = lints::run_file(&src, &ctx);
+        report.findings.extend(out.findings);
+        report.files_scanned += 1;
+        report.constant_flow_fns += out.constant_flow_fns;
+        report.allows_consumed += out.allows_consumed;
+    }
+    report.sort();
+    Ok(report)
+}

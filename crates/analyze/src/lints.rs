@@ -1,0 +1,571 @@
+//! Per-file lint driver: invariant lints, constant-flow dispatch, and
+//! allow-pragma resolution.
+//!
+//! [`run_file`] is the whole pipeline for one source file: lex, parse
+//! pragmas, carve out `#[cfg(test)]` regions, run every applicable lint,
+//! then let `allow` / `allow-file` pragmas excuse findings — and report
+//! the pragmas that excused nothing, because a stale allow is a lint hole.
+
+use crate::constant_flow::{self, CfFunction};
+use crate::findings::Finding;
+use crate::lexer::{lex, CommentLine, Tok};
+use crate::pragma::{parse_pragmas, Pragma, ALLOW_WINDOW};
+use std::collections::HashSet;
+
+/// What kind of source a file is; decides which lints apply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileClass {
+    /// Library crate source (`crates/*/src`, root `src/lib.rs`): all lints.
+    Library,
+    /// Binaries and benches: call-site lints only (panics and prints are a
+    /// CLI's job).
+    Binary,
+    /// Integration tests: call-site lints only.
+    Test,
+    /// Examples: call-site lints only.
+    Example,
+}
+
+/// Per-file context the lints need beyond the source text.
+#[derive(Debug, Clone)]
+pub struct FileCtx {
+    /// Workspace-relative path, used verbatim in findings.
+    pub path: String,
+    /// Which lints apply.
+    pub class: FileClass,
+    /// True for `crates/bigint/src`: enables the truncating-cast lint,
+    /// which is specific to limb arithmetic.
+    pub bigint_limb: bool,
+}
+
+/// Output of linting one file.
+#[derive(Debug, Default)]
+pub struct FileOutcome {
+    /// Findings that survived allow resolution.
+    pub findings: Vec<Finding>,
+    /// How many `constant-flow` functions were analyzed.
+    pub constant_flow_fns: usize,
+    /// How many allow pragmas excused at least one finding.
+    pub allows_consumed: usize,
+}
+
+/// Lint catalog: name and one-line description, for `--list-lints` and
+/// the self-test's every-lint-fires assertion.
+pub const LINTS: &[(&str, &str)] = &[
+    (
+        "cf-branch",
+        "if/while/match on operand-derived values in a constant-flow fn",
+    ),
+    (
+        "cf-short-circuit",
+        "&&/|| on operand-derived values in a constant-flow fn",
+    ),
+    ("cf-early-return", "return or ? in a constant-flow fn"),
+    (
+        "cf-index",
+        "indexing by operand-derived values in a constant-flow fn",
+    ),
+    (
+        "no-panic",
+        "unwrap/expect/panic!/todo!/unimplemented! in non-test library code",
+    ),
+    (
+        "no-debug-print",
+        "println!/print!/eprintln!/eprint!/dbg! in library code",
+    ),
+    (
+        "safety-comment",
+        "unsafe block or fn without a preceding // SAFETY: comment",
+    ),
+    (
+        "truncating-cast",
+        "`as Limb` truncation in bigint limb arithmetic without an allow",
+    ),
+    (
+        "deprecated-shim",
+        "call to a deprecated scan_* shim from workspace code",
+    ),
+    ("unused-allow", "allow pragma that excused no finding"),
+    ("bad-pragma", "analyze pragma that failed to parse"),
+];
+
+/// The deprecated flat `scan_*` entry points superseded by `ScanPipeline`.
+const SHIM_NAMES: &[&str] = &[
+    "scan_cpu",
+    "scan_cpu_arena",
+    "scan_gpu_sim",
+    "scan_gpu_sim_arena",
+    "scan_gpu_sim_serial",
+    "scan_lockstep",
+    "scan_lockstep_arena",
+    "scan_gpu_sim_resumable",
+];
+
+/// Macros that abort in library code.
+const PANIC_MACROS: &[&str] = &["panic", "todo", "unimplemented"];
+
+/// Debug-print macros that have no business in a library crate.
+const PRINT_MACROS: &[&str] = &["println", "print", "eprintln", "eprint", "dbg"];
+
+/// How many lines above an `unsafe` token a `// SAFETY:` comment may sit
+/// (multi-line justifications and interleaved attributes included).
+const SAFETY_WINDOW: u32 = 10;
+
+/// Lint one file. `src` is the full source text.
+pub fn run_file(src: &str, ctx: &FileCtx) -> FileOutcome {
+    let lexed = lex(src);
+    let toks = &lexed.toks;
+    let (pragmas, pragma_errors) = parse_pragmas(&lexed.comments);
+    let excluded = test_regions(toks);
+    let in_test = |idx: usize| excluded.iter().any(|&(a, b)| idx >= a && idx <= b);
+
+    let mut raw: Vec<Finding> = Vec::new();
+    let mut outcome = FileOutcome::default();
+
+    for e in &pragma_errors {
+        raw.push(Finding {
+            file: ctx.path.clone(),
+            line: e.line,
+            lint: "bad-pragma",
+            message: e.message.clone(),
+            suggestion: "fix the pragma; a typo here silently disables a lint".to_string(),
+        });
+    }
+
+    // Constant-flow functions: each pragma opts in the next `fn` item.
+    for p in &pragmas {
+        let Pragma::ConstantFlow { line, public } = p else {
+            continue;
+        };
+        let Some(f) = find_cf_fn(toks, &ctx.path, *line, public) else {
+            raw.push(Finding {
+                file: ctx.path.clone(),
+                line: *line,
+                lint: "bad-pragma",
+                message: "constant-flow pragma with no following fn item".to_string(),
+                suggestion: "place the pragma directly above the function it annotates".to_string(),
+            });
+            continue;
+        };
+        outcome.constant_flow_fns += 1;
+        constant_flow::check(toks, &f, &mut raw);
+    }
+
+    let lib = ctx.class == FileClass::Library;
+    if lib {
+        lint_no_panic(toks, ctx, &in_test, &mut raw);
+        lint_no_debug_print(toks, ctx, &in_test, &mut raw);
+        lint_safety_comment(toks, &lexed.comments, ctx, &mut raw);
+    }
+    if ctx.bigint_limb {
+        lint_truncating_cast(toks, ctx, &in_test, &mut raw);
+    }
+    lint_deprecated_shim(toks, ctx, &mut raw);
+
+    dedupe(&mut raw);
+    resolve_allows(raw, &pragmas, ctx, &mut outcome);
+    outcome
+}
+
+/// Remove duplicate (line, lint) hits — e.g. an `else if` chain re-visiting
+/// the same condition.
+fn dedupe(findings: &mut Vec<Finding>) {
+    let mut seen: HashSet<(u32, &'static str)> = HashSet::new();
+    findings.retain(|f| seen.insert((f.line, f.lint)));
+}
+
+/// Apply `allow` / `allow-file` pragmas, then report the unconsumed ones.
+fn resolve_allows(raw: Vec<Finding>, pragmas: &[Pragma], ctx: &FileCtx, outcome: &mut FileOutcome) {
+    struct Gate<'a> {
+        line: u32,
+        lint: &'a str,
+        file_scope: bool,
+        consumed: bool,
+    }
+    let mut gates: Vec<Gate<'_>> = pragmas
+        .iter()
+        .filter_map(|p| match p {
+            Pragma::Allow { line, lint, .. } => Some(Gate {
+                line: *line,
+                lint,
+                file_scope: false,
+                consumed: false,
+            }),
+            Pragma::AllowFile { line, lint, .. } => Some(Gate {
+                line: *line,
+                lint,
+                file_scope: true,
+                consumed: false,
+            }),
+            Pragma::ConstantFlow { .. } => None,
+        })
+        .collect();
+
+    for f in raw {
+        // Meta-lints cannot be allowed: that would let a stale or broken
+        // pragma silence its own diagnosis.
+        let suppressible = f.lint != "unused-allow" && f.lint != "bad-pragma";
+        // Prefer the nearest line-scoped gate (two adjacent sites each get
+        // their own pragma); fall back to a file-scoped one.
+        let gate = suppressible
+            .then(|| {
+                gates
+                    .iter_mut()
+                    .filter(|g| {
+                        g.lint == f.lint
+                            && (g.file_scope
+                                || (f.line >= g.line && f.line <= g.line + ALLOW_WINDOW))
+                    })
+                    .max_by_key(|g| (!g.file_scope, g.line))
+            })
+            .flatten();
+        match gate {
+            Some(g) => g.consumed = true,
+            None => outcome.findings.push(f),
+        }
+    }
+
+    for g in &gates {
+        if g.consumed {
+            outcome.allows_consumed += 1;
+        } else {
+            outcome.findings.push(Finding {
+                file: ctx.path.clone(),
+                line: g.line,
+                lint: "unused-allow",
+                message: format!("allow({}) excused no finding", g.lint),
+                suggestion: "delete the stale pragma, or fix it if a lint name is misspelled"
+                    .to_string(),
+            });
+        }
+    }
+}
+
+/// Find the `fn` item a constant-flow pragma at `pragma_line` annotates and
+/// return its analysis context.
+fn find_cf_fn<'a>(
+    toks: &[Tok],
+    path: &'a str,
+    pragma_line: u32,
+    public: &[String],
+) -> Option<CfFunction<'a>> {
+    let fn_idx = toks
+        .iter()
+        .position(|t| t.line > pragma_line && t.is_ident("fn"))?;
+    let name = toks.get(fn_idx + 1)?.ident()?.to_string();
+    let mut open = fn_idx;
+    while open < toks.len() && !toks[open].is_punct("{") {
+        open += 1;
+    }
+    let close = match_brace(toks, open)?;
+    Some(CfFunction {
+        file: path,
+        name,
+        fn_idx,
+        body_open: open,
+        body_close: close,
+        public: public.iter().cloned().collect(),
+    })
+}
+
+/// Index of the `}` matching the `{` at `open`.
+fn match_brace(toks: &[Tok], open: usize) -> Option<usize> {
+    let mut depth = 0i32;
+    for (i, t) in toks.iter().enumerate().skip(open) {
+        if t.is_punct("{") {
+            depth += 1;
+        } else if t.is_punct("}") {
+            depth -= 1;
+            if depth == 0 {
+                return Some(i);
+            }
+        }
+    }
+    None
+}
+
+/// Token-index ranges covered by `#[cfg(test)]` items (the unit-test
+/// modules at the bottom of every crate file).
+fn test_regions(toks: &[Tok]) -> Vec<(usize, usize)> {
+    let mut regions = Vec::new();
+    let mut i = 0usize;
+    while i + 5 < toks.len() {
+        let hit = toks[i].is_punct("#")
+            && toks[i + 1].is_punct("[")
+            && toks[i + 2].is_ident("cfg")
+            && toks[i + 3].is_punct("(")
+            && toks[i + 4].is_ident("test")
+            && toks[i + 5].is_punct(")");
+        if !hit {
+            i += 1;
+            continue;
+        }
+        let start = i;
+        // Skip past this and any further attributes to the item itself.
+        let mut j = i;
+        while j + 1 < toks.len() && toks[j].is_punct("#") && toks[j + 1].is_punct("[") {
+            let mut depth = 0i32;
+            let mut k = j + 1;
+            while k < toks.len() {
+                if toks[k].is_punct("[") {
+                    depth += 1;
+                } else if toks[k].is_punct("]") {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                k += 1;
+            }
+            j = k + 1;
+        }
+        // The item body is the next `{` at depth 0; `mod tests;` (a `;`
+        // first) lives in another file and excludes nothing here.
+        let mut body = None;
+        let mut k = j;
+        while k < toks.len() {
+            if toks[k].is_punct(";") {
+                break;
+            }
+            if toks[k].is_punct("{") {
+                body = Some(k);
+                break;
+            }
+            k += 1;
+        }
+        if let Some(open) = body {
+            if let Some(close) = match_brace(toks, open) {
+                regions.push((start, close));
+                i = close + 1;
+                continue;
+            }
+        }
+        i = j.max(i + 1);
+    }
+    regions
+}
+
+fn finding(
+    ctx: &FileCtx,
+    line: u32,
+    lint: &'static str,
+    message: String,
+    suggestion: &str,
+) -> Finding {
+    Finding {
+        file: ctx.path.clone(),
+        line,
+        lint,
+        message,
+        suggestion: suggestion.to_string(),
+    }
+}
+
+/// `no-panic`: `.unwrap()` / `.expect(` / `panic!` / `todo!` /
+/// `unimplemented!` in non-test library code. `unreachable!` and the
+/// assert family are exempt: those are invariant documentation, not error
+/// handling.
+fn lint_no_panic(
+    toks: &[Tok],
+    ctx: &FileCtx,
+    in_test: &dyn Fn(usize) -> bool,
+    out: &mut Vec<Finding>,
+) {
+    for (i, t) in toks.iter().enumerate() {
+        if in_test(i) {
+            continue;
+        }
+        let Some(name) = t.ident() else { continue };
+        let next_is = |p: &str| toks.get(i + 1).is_some_and(|n| n.is_punct(p));
+        if (name == "unwrap" || name == "expect")
+            && i > 0
+            && toks[i - 1].is_punct(".")
+            && next_is("(")
+        {
+            out.push(finding(
+                ctx,
+                t.line,
+                "no-panic",
+                format!("`.{name}()` in library code"),
+                "return a Result/Option like ScanReport::simulated, use a checked accessor, \
+                 or add an allow pragma documenting the panic contract",
+            ));
+        } else if PANIC_MACROS.contains(&name) && next_is("!") {
+            out.push(finding(
+                ctx,
+                t.line,
+                "no-panic",
+                format!("`{name}!` in library code"),
+                "propagate an error instead; aborts in library code kill whole scans",
+            ));
+        }
+    }
+}
+
+/// `no-debug-print`: stray stdout/stderr chatter in library crates.
+fn lint_no_debug_print(
+    toks: &[Tok],
+    ctx: &FileCtx,
+    in_test: &dyn Fn(usize) -> bool,
+    out: &mut Vec<Finding>,
+) {
+    for (i, t) in toks.iter().enumerate() {
+        if in_test(i) {
+            continue;
+        }
+        let Some(name) = t.ident() else { continue };
+        if PRINT_MACROS.contains(&name) && toks.get(i + 1).is_some_and(|n| n.is_punct("!")) {
+            out.push(finding(
+                ctx,
+                t.line,
+                "no-debug-print",
+                format!("`{name}!` in library code"),
+                "return data to the caller; only binaries talk to stdio",
+            ));
+        }
+    }
+}
+
+/// `safety-comment`: every `unsafe` keyword (blocks and fns alike) needs a
+/// `// SAFETY:` comment within the preceding [`SAFETY_WINDOW`] lines.
+fn lint_safety_comment(
+    toks: &[Tok],
+    comments: &[CommentLine],
+    ctx: &FileCtx,
+    out: &mut Vec<Finding>,
+) {
+    for t in toks {
+        // `unsafe {`, `unsafe fn`, `unsafe impl` — every form needs the
+        // audit comment.
+        if !t.is_ident("unsafe") {
+            continue;
+        }
+        let lo = t.line.saturating_sub(SAFETY_WINDOW);
+        let documented = comments
+            .iter()
+            .any(|c| c.line >= lo && c.line <= t.line && c.text.contains("SAFETY:"));
+        if !documented {
+            out.push(finding(
+                ctx,
+                t.line,
+                "safety-comment",
+                "`unsafe` without a preceding `// SAFETY:` comment".to_string(),
+                "state the invariant that makes this sound, directly above the unsafe site",
+            ));
+        }
+    }
+}
+
+/// `truncating-cast`: `as Limb` silently drops high bits of a wide value.
+/// Limb extraction must go through `limb::lo` / `limb::hi` (which carry
+/// the audit) or an allow pragma.
+fn lint_truncating_cast(
+    toks: &[Tok],
+    ctx: &FileCtx,
+    in_test: &dyn Fn(usize) -> bool,
+    out: &mut Vec<Finding>,
+) {
+    for (i, t) in toks.iter().enumerate() {
+        if in_test(i) {
+            continue;
+        }
+        if t.is_ident("as") && toks.get(i + 1).is_some_and(|n| n.is_ident("Limb")) {
+            out.push(finding(
+                ctx,
+                t.line,
+                "truncating-cast",
+                "`as Limb` truncation in limb arithmetic".to_string(),
+                "use limb::lo / limb::hi, which document the intended truncation, \
+                 or add an allow pragma",
+            ));
+        }
+    }
+}
+
+/// `deprecated-shim`: calls to the flat `scan_*` entry points superseded
+/// by `ScanPipeline`. The defining file is exempt (shims call each other's
+/// plumbing), as is anything under an `allow-file` pragma — the pin suite.
+fn lint_deprecated_shim(toks: &[Tok], ctx: &FileCtx, out: &mut Vec<Finding>) {
+    let defines_shim = toks
+        .windows(2)
+        .any(|w| w[0].is_ident("fn") && w[1].ident().is_some_and(|n| SHIM_NAMES.contains(&n)));
+    if defines_shim {
+        return;
+    }
+    for (i, t) in toks.iter().enumerate() {
+        let Some(name) = t.ident() else { continue };
+        if !SHIM_NAMES.contains(&name) {
+            continue;
+        }
+        // A call: the name is applied to arguments. `use` imports and
+        // doc-path mentions don't have a following `(`.
+        if toks.get(i + 1).is_some_and(|n| n.is_punct("(")) {
+            out.push(finding(
+                ctx,
+                t.line,
+                "deprecated-shim",
+                format!("call to deprecated shim `{name}`"),
+                "build the equivalent ScanPipeline instead; the shims exist only for \
+                 pinned backward-compatibility tests",
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx() -> FileCtx {
+        FileCtx {
+            path: "lib.rs".to_string(),
+            class: FileClass::Library,
+            bigint_limb: false,
+        }
+    }
+
+    #[test]
+    fn cfg_test_regions_are_exempt() {
+        let src = "fn f() -> u32 { 1 }\n\
+                   #[cfg(test)]\nmod tests {\n fn g() { None::<u32>.unwrap(); }\n}\n";
+        let out = run_file(src, &ctx());
+        assert!(out.findings.is_empty(), "{:?}", out.findings);
+    }
+
+    #[test]
+    fn unwrap_outside_tests_is_flagged() {
+        let src = "fn f() { None::<u32>.unwrap(); }";
+        let out = run_file(src, &ctx());
+        assert_eq!(out.findings.len(), 1);
+        assert_eq!(out.findings[0].lint, "no-panic");
+    }
+
+    #[test]
+    fn allow_consumes_and_unused_allow_fires() {
+        let src = "// analyze: allow(no-panic, reason = \"documented contract\")\n\
+                   fn f() { None::<u32>.unwrap(); }\n\
+                   // analyze: allow(no-panic, reason = \"stale\")\n\
+                   fn g() -> u32 { 1 }\n";
+        let out = run_file(src, &ctx());
+        assert_eq!(out.allows_consumed, 1);
+        assert_eq!(out.findings.len(), 1);
+        assert_eq!(out.findings[0].lint, "unused-allow");
+        assert_eq!(out.findings[0].line, 3);
+    }
+
+    #[test]
+    fn constant_flow_pragma_binds_next_fn() {
+        let src = "// analyze: constant-flow(public = \"n\")\n\
+                   fn f(x: u64, n: usize) -> u64 {\n\
+                       let mut acc = 0u64;\n\
+                       for i in 0..n { acc = acc.wrapping_add(i as u64); }\n\
+                       if x > 0 { acc += 1; }\n\
+                       acc\n\
+                   }\n";
+        let out = run_file(src, &ctx());
+        assert_eq!(out.constant_flow_fns, 1);
+        assert_eq!(out.findings.len(), 1, "{:?}", out.findings);
+        assert_eq!(out.findings[0].lint, "cf-branch");
+        assert_eq!(out.findings[0].line, 5);
+    }
+}

@@ -1,0 +1,99 @@
+//! `analyze` — the workspace static-analysis gate.
+//!
+//! ```text
+//! cargo run -p analyze [--release] -- [--root PATH] [--json PATH] [--list-lints]
+//! ```
+//!
+//! Exit codes: 0 clean, 1 findings, 2 usage or I/O error.
+
+use std::env;
+use std::fs;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn usage() -> &'static str {
+    "usage: analyze [--root PATH] [--json PATH] [--list-lints]\n\
+     \n\
+     Runs the constant-flow and workspace-invariant lints over every Rust\n\
+     source file in the workspace.\n\
+     \n\
+     --root PATH    workspace root (default: this crate's workspace)\n\
+     --json PATH    also write the report as JSON to PATH\n\
+     --list-lints   print the lint catalog and exit\n"
+}
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut json: Option<PathBuf> = None;
+    let mut args = env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(p) => root = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("--root needs a path\n{}", usage());
+                    return ExitCode::from(2);
+                }
+            },
+            "--json" => match args.next() {
+                Some(p) => json = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("--json needs a path\n{}", usage());
+                    return ExitCode::from(2);
+                }
+            },
+            "--list-lints" => {
+                for (name, desc) in analyze::LINTS {
+                    println!("{name:18} {desc}");
+                }
+                return ExitCode::SUCCESS;
+            }
+            "-h" | "--help" => {
+                print!("{}", usage());
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown argument `{other}`\n{}", usage());
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    // Default root: two levels up from this crate (crates/analyze -> repo).
+    let root = root.unwrap_or_else(|| {
+        PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+            .join("..")
+            .join("..")
+    });
+
+    let report = match analyze::analyze_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("analyze: failed to scan {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    if let Some(path) = json {
+        if let Err(e) = fs::write(&path, report.to_json()) {
+            eprintln!("analyze: failed to write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+
+    for f in &report.findings {
+        println!("{}", f.render());
+    }
+    println!(
+        "analyze: {} file(s), {} constant-flow fn(s), {} allow(s) consumed, {} finding(s)",
+        report.files_scanned,
+        report.constant_flow_fns,
+        report.allows_consumed,
+        report.findings.len()
+    );
+    if report.findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

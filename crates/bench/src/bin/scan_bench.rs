@@ -247,6 +247,7 @@ fn main() {
             // path so composition overhead shows up as a measured ratio.
             #[allow(deprecated)]
             let (direct_ls_s, direct_found) = best_seconds(reps, || {
+                // analyze: allow(deprecated-shim, reason = "benches the legacy entry point against the builder path on purpose")
                 bulkgcd_bulk::scan_lockstep_arena(&arena, true, warp_width)
                     .findings
                     .len()

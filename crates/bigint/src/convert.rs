@@ -76,9 +76,15 @@ impl Nat {
             groups.push(r);
             rem = q;
         }
-        let mut s = groups.last().unwrap().to_string();
-        for &g in groups.iter().rev().skip(1) {
-            s.push_str(&format!("{g:09}"));
+        // Non-zero input means at least one division round ran, so the
+        // leading group exists; zero-pad every group after it.
+        let mut s = String::new();
+        for (i, &g) in groups.iter().rev().enumerate() {
+            if i == 0 {
+                s.push_str(&g.to_string());
+            } else {
+                s.push_str(&format!("{g:09}"));
+            }
         }
         s
     }

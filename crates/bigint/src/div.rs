@@ -2,7 +2,7 @@
 //! general multiword case (TAOCP vol. 2, §4.3.1 — the same reference the
 //! paper cites for Euclidean algorithms).
 
-use crate::limb::{div2by1, sbb, Limb, LIMB_BITS};
+use crate::limb::{div2by1, lo, sbb, Limb, LIMB_BITS};
 use crate::nat::Nat;
 use crate::ops;
 
@@ -54,7 +54,7 @@ pub fn div_rem_slices(a: &[Limb], b: &[Limb]) -> (Vec<Limb>, Vec<Limb>) {
     debug_assert_eq!(v.len(), lb, "normalizing shift must not change length");
     let n = lb;
     let m = la - lb;
-    let mut q = vec![0 as Limb; m + 1];
+    let mut q: Vec<Limb> = vec![0; m + 1];
     let v_hi = v[n - 1];
     let v_next = v[n - 2];
 
@@ -84,14 +84,15 @@ pub fn div_rem_slices(a: &[Limb], b: &[Limb]) -> (Vec<Limb>, Vec<Limb>) {
         for i in 0..n {
             let p = qhat * v[i] as u64 + carry;
             carry = p >> LIMB_BITS;
-            let (d, bo) = sbb(u[j + i], p as Limb, borrow);
+            let (d, bo) = sbb(u[j + i], lo(p), borrow);
             u[j + i] = d;
             borrow = bo;
         }
-        let (d, bo) = sbb(u[j + n], carry as Limb, borrow);
+        let (d, bo) = sbb(u[j + n], lo(carry), borrow);
         u[j + n] = d;
 
-        let mut qj = qhat as Limb;
+        // qhat fits in one limb by the D3 estimate's clamp to D - 1.
+        let mut qj = lo(qhat);
         if bo != 0 {
             // D6: qhat was one too large (probability ~ 2/D); add v back.
             qj -= 1;

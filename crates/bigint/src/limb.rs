@@ -18,11 +18,30 @@ pub const LIMB_BITS: u32 = 32;
 /// The paper's `D = 2^d` as a double-width value.
 pub const D: Wide = 1 << LIMB_BITS;
 
+/// Low limb of a double-width value.
+///
+/// *The* audited truncation point: everywhere limb arithmetic needs the
+/// low word of a `Wide`, it goes through here (or [`hi`]) so the analyze
+/// pass can flag any bare `as Limb` cast as a potential bit-dropping bug.
+// analyze: allow(truncating-cast, reason = "definition of limb extraction; every caller routes its intended truncation through lo/hi")
+#[inline(always)]
+pub const fn lo(w: Wide) -> Limb {
+    w as Limb
+}
+
+/// High limb of a double-width value (exact: the shift leaves at most
+/// `LIMB_BITS` significant bits).
+// analyze: allow(truncating-cast, reason = "exact after the shift: at most LIMB_BITS significant bits remain")
+#[inline(always)]
+pub const fn hi(w: Wide) -> Limb {
+    (w >> LIMB_BITS) as Limb
+}
+
 /// Add with carry: returns `(sum, carry_out)` for `a + b + carry_in`.
 #[inline(always)]
 pub fn adc(a: Limb, b: Limb, carry: Limb) -> (Limb, Limb) {
     let t = a as Wide + b as Wide + carry as Wide;
-    (t as Limb, (t >> LIMB_BITS) as Limb)
+    (lo(t), hi(t))
 }
 
 /// Subtract with borrow: returns `(diff, borrow_out)` for `a - b - borrow_in`.
@@ -32,7 +51,8 @@ pub fn sbb(a: Limb, b: Limb, borrow: Limb) -> (Limb, Limb) {
     let t = (a as Wide)
         .wrapping_sub(b as Wide)
         .wrapping_sub(borrow as Wide);
-    (t as Limb, (t >> 63) as Limb)
+    // The borrow is the wrapped difference's sign bit: 0 or 1, exact.
+    (lo(t), lo(t >> 63))
 }
 
 /// Multiply-accumulate: `a + b * c + carry`, returning `(low, high)`.
@@ -42,26 +62,27 @@ pub fn sbb(a: Limb, b: Limb, borrow: Limb) -> (Limb, Limb) {
 #[inline(always)]
 pub fn mac(a: Limb, b: Limb, c: Limb, carry: Limb) -> (Limb, Limb) {
     let t = a as Wide + (b as Wide) * (c as Wide) + carry as Wide;
-    (t as Limb, (t >> LIMB_BITS) as Limb)
+    (lo(t), hi(t))
 }
 
 /// Full widening multiplication `a * b`, returning `(low, high)`.
 #[inline(always)]
 pub fn mul_wide(a: Limb, b: Limb) -> (Limb, Limb) {
     let t = (a as Wide) * (b as Wide);
-    (t as Limb, (t >> LIMB_BITS) as Limb)
+    (lo(t), hi(t))
 }
 
 /// Divide the two-limb value `hi:lo` by `div`, returning `(quotient, remainder)`.
 ///
 /// Requires `hi < div` so that the quotient fits in one limb (the standard
-/// schoolbook-division precondition).
+/// schoolbook-division precondition); the remainder is below `div`, so both
+/// extractions are exact.
 #[inline(always)]
-pub fn div2by1(hi: Limb, lo: Limb, div: Limb) -> (Limb, Limb) {
+pub fn div2by1(hi: Limb, lo_limb: Limb, div: Limb) -> (Limb, Limb) {
     debug_assert!(div != 0, "division by zero limb");
     debug_assert!(hi < div, "quotient would overflow a limb");
-    let n = ((hi as Wide) << LIMB_BITS) | lo as Wide;
-    ((n / div as Wide) as Limb, (n % div as Wide) as Limb)
+    let n = ((hi as Wide) << LIMB_BITS) | lo_limb as Wide;
+    (lo(n / div as Wide), lo(n % div as Wide))
 }
 
 #[cfg(test)]

@@ -84,7 +84,7 @@ impl Montgomery {
         let l = self.n.len();
         debug_assert!(a.len() == l && b.len() == l && out.len() == l);
         // t has l+2 limbs: the CIOS accumulator.
-        let mut t = vec![0 as Limb; l + 2];
+        let mut t: Vec<Limb> = vec![0; l + 2];
         for &bi in b.iter() {
             // t += a * b_i
             let mut carry = 0;
@@ -180,7 +180,7 @@ impl Montgomery {
         let mut b = base.rem(&self.modulus()).into_limbs();
         b.resize(l, 0);
         // table[i] = base^i in Montgomery form.
-        let mut table = vec![vec![0 as Limb; l]; 1 << WINDOW];
+        let mut table: Vec<Vec<Limb>> = vec![vec![0; l]; 1 << WINDOW];
         table[0].copy_from_slice(&self.r1);
         self.to_mont(&b, &mut table[1]);
         for i in 2..1usize << WINDOW {

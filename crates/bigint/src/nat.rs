@@ -5,7 +5,7 @@
 //! is that `limbs` is normalized: no high zero limbs, and zero is the empty
 //! vector.
 
-use crate::limb::{Limb, LIMB_BITS};
+use crate::limb::{hi, lo, Limb, Wide, LIMB_BITS};
 use crate::ops;
 use core::cmp::Ordering;
 use core::fmt;
@@ -45,17 +45,14 @@ impl Nat {
 
     /// Build from a `u64`.
     pub fn from_u64(v: u64) -> Self {
-        Nat::from_limbs(&[v as Limb, (v >> LIMB_BITS) as Limb])
+        Nat::from_limbs(&[lo(v), hi(v)])
     }
 
     /// Build from a `u128`.
     pub fn from_u128(v: u128) -> Self {
-        Nat::from_limbs(&[
-            v as Limb,
-            (v >> 32) as Limb,
-            (v >> 64) as Limb,
-            (v >> 96) as Limb,
-        ])
+        let low = v as Wide;
+        let high = (v >> 64) as Wide;
+        Nat::from_limbs(&[lo(low), hi(low), lo(high), hi(high)])
     }
 
     /// Lossy conversion to `u64` (low 64 bits).
@@ -184,6 +181,7 @@ impl Nat {
     }
 
     /// `self - other`; panics if `other > self`.
+    // analyze: allow(no-panic, reason = "documented panic contract: sub is the infallible sibling of checked_sub and callers opt into the precondition")
     pub fn sub(&self, other: &Nat) -> Nat {
         self.checked_sub(other)
             .expect("Nat::sub underflow: subtrahend larger than minuend")

@@ -8,7 +8,7 @@
 //! high zero limbs); functions that return a length always return the
 //! *normalized* length of the result.
 
-use crate::limb::{adc, sbb, Limb, LIMB_BITS};
+use crate::limb::{adc, lo, sbb, Limb, LIMB_BITS};
 
 /// Length of `a` with high zero limbs stripped.
 #[inline]
@@ -128,18 +128,18 @@ pub fn submul_assign(a: &mut [Limb], b: &[Limb], alpha: Limb) -> Limb {
     let mut carry: u64 = 0;
     for (ai, &bi) in a.iter_mut().zip(b.iter()) {
         let p = alpha as u64 * bi as u64 + carry;
-        let (d, bo) = sbb(*ai, p as Limb, 0);
+        let (d, bo) = sbb(*ai, lo(p), 0);
         *ai = d;
         carry = (p >> LIMB_BITS) + bo as u64;
     }
     let mut i = b.len();
     while carry != 0 && i < a.len() {
-        let (d, bo) = sbb(a[i], carry as Limb, 0);
+        let (d, bo) = sbb(a[i], lo(carry), 0);
         a[i] = d;
         carry = (carry >> LIMB_BITS) + bo as u64;
         i += 1;
     }
-    carry as Limb
+    lo(carry)
 }
 
 /// Shift `a` right by `r` bits in place. Bits shifted out are discarded.
@@ -247,7 +247,7 @@ pub fn fused_submul_rshift(x: &mut [Limb], y: &[Limb], alpha: Limb) -> (usize, u
     #[allow(clippy::needless_range_loop)] // i indexes two arrays in lockstep
     for i in 0..2.min(xl) {
         let p = alpha as u64 * get_y(i) as u64 + carry;
-        let (d, bo) = sbb(x[i], p as Limb, 0);
+        let (d, bo) = sbb(x[i], lo(p), 0);
         if i == 0 {
             d0 = d;
         } else {
@@ -278,7 +278,7 @@ pub fn fused_submul_rshift(x: &mut [Limb], y: &[Limb], alpha: Limb) -> (usize, u
     let mut prev: Limb = 0; // difference limb i-1, not yet emitted
     for i in 0..xl {
         let p = alpha as u64 * get_y(i) as u64 + carry;
-        let (d, bo) = sbb(x[i], p as Limb, 0);
+        let (d, bo) = sbb(x[i], lo(p), 0);
         carry = (p >> LIMB_BITS) + bo as u64;
         if i > 0 {
             x[i - 1] = if rs == 0 {

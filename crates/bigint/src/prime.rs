@@ -121,9 +121,11 @@ pub fn is_probable_prime_rounds<R: Rng + ?Sized>(n: &Nat, rng: &mut R, rounds: u
         TrialDivision::Unknown => {}
     }
     let n_minus_1 = n.sub(&Nat::one());
-    let s = n_minus_1
-        .trailing_zeros()
-        .expect("n odd > 2 implies n-1 > 0");
+    let Some(s) = n_minus_1.trailing_zeros() else {
+        // Unreachable: n odd and > 2 implies n-1 > 0. Treating the
+        // impossible case as "composite" keeps the prime test sound.
+        return false;
+    };
     let d = n_minus_1.shr(s);
     let mont = Montgomery::new(n);
 

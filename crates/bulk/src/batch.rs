@@ -24,9 +24,9 @@ impl ProductTree {
     /// empty input is rejected (no meaningful product).
     pub fn build(moduli: &[Nat]) -> ProductTree {
         assert!(!moduli.is_empty(), "product tree of nothing");
-        let mut levels = vec![moduli.to_vec()];
-        while levels.last().unwrap().len() > 1 {
-            let prev = levels.last().unwrap();
+        let mut prev = moduli.to_vec();
+        let mut levels = Vec::new();
+        while prev.len() > 1 {
             let mut next = Vec::with_capacity(prev.len().div_ceil(2));
             for chunk in prev.chunks(2) {
                 match chunk {
@@ -35,14 +35,17 @@ impl ProductTree {
                     _ => unreachable!(),
                 }
             }
-            levels.push(next);
+            levels.push(prev);
+            prev = next;
         }
+        levels.push(prev);
         ProductTree { levels }
     }
 
     /// The root product `Π n_i`.
     pub fn root(&self) -> &Nat {
-        &self.levels.last().unwrap()[0]
+        // build() always ends with a single-entry root level.
+        &self.levels[self.levels.len() - 1][0]
     }
 
     /// Number of leaves.
@@ -110,9 +113,9 @@ pub fn batch_gcd_parallel(moduli: &[Nat]) -> Vec<Nat> {
         return moduli.iter().map(|_| Nat::one()).collect();
     }
     // Product tree, parallel within each level.
-    let mut levels = vec![moduli.to_vec()];
-    while levels.last().unwrap().len() > 1 {
-        let prev = levels.last().unwrap();
+    let mut prev = moduli.to_vec();
+    let mut levels = Vec::new();
+    while prev.len() > 1 {
         let next: Vec<Nat> = prev
             .par_chunks(2)
             .map(|chunk| match chunk {
@@ -121,10 +124,12 @@ pub fn batch_gcd_parallel(moduli: &[Nat]) -> Vec<Nat> {
                 _ => unreachable!(),
             })
             .collect();
-        levels.push(next);
+        levels.push(prev);
+        prev = next;
     }
-    // Remainder tree, parallel within each level.
-    let mut rems: Vec<Nat> = vec![levels.last().unwrap()[0].clone()];
+    // prev is now the single-entry root level.
+    let mut rems: Vec<Nat> = prev.clone();
+    levels.push(prev);
     for level in (0..levels.len() - 1).rev() {
         let nodes = &levels[level];
         rems = nodes

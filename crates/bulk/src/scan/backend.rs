@@ -400,10 +400,9 @@ impl GpuSimExecutor {
         for warp in lanes.chunks(w) {
             inputs.clear();
             inputs.extend(warp.iter().map(|&(i, j)| (arena.limbs(i), arena.limbs(j))));
-            let work = self
-                .engine
-                .run_warp(&inputs, term, Some((&self.cost, words_per_transaction)))
-                .expect("measurement was requested");
+            let work =
+                self.engine
+                    .run_warp_measured(&inputs, term, &self.cost, words_per_transaction);
             out.lane_iterations += work.lane_iterations;
             self.warps.push(work);
             harvest_warp(arena, &self.engine, warp, &mut out.findings);

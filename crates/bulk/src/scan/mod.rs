@@ -587,6 +587,7 @@ pub fn scan_cpu_arena(arena: &ModuliArena, algo: Algorithm, early: bool) -> Scan
         .algorithm(algo)
         .early(early)
         .run()
+        // analyze: allow(no-panic, reason = "deprecated shim; a pipeline with no journal/fault layers is infallible by construction")
         .expect("the un-layered scalar scan cannot fail")
         .scan
 }
@@ -639,6 +640,7 @@ pub fn scan_gpu_sim_arena(
         })
         .launch_pairs(launch_pairs)
         .run()
+        // analyze: allow(no-panic, reason = "deprecated shim; a pipeline with no journal/fault layers is infallible by construction")
         .expect("the un-layered GPU-sim scan cannot fail")
         .scan
 }
@@ -668,6 +670,7 @@ pub fn scan_gpu_sim_serial(
         .launch_pairs(launch_pairs)
         .serial(true)
         .run()
+        // analyze: allow(no-panic, reason = "deprecated shim; a pipeline with no journal/fault layers is infallible by construction")
         .expect("the un-layered GPU-sim scan cannot fail")
         .scan)
 }
@@ -698,6 +701,7 @@ pub fn scan_lockstep_arena(arena: &ModuliArena, early: bool, warp_width: usize) 
         .early(early)
         .backend(LockstepBackend { warp_width })
         .run()
+        // analyze: allow(no-panic, reason = "deprecated shim; a pipeline with no journal/fault layers is infallible by construction")
         .expect("the un-layered lockstep scan cannot fail")
         .scan
 }

@@ -7,6 +7,7 @@
 //! implementations on a fixed seeded corpus. A pipeline change that
 //! perturbs launch batching, warp alignment, merge order, or the
 //! measured-WarpWork pricing path shows up here as a flipped f64 bit.
+// analyze: allow-file(deprecated-shim, reason = "this suite exists to pin the deprecated shims' golden values until their removal")
 #![allow(deprecated)]
 
 use bulkgcd_bigint::Nat;

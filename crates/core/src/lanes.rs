@@ -72,6 +72,7 @@ impl LanePlan {
 
 /// Force a β = 0 quotient odd so the difference `X − α·Y` is even,
 /// branchlessly: `α − 1` when even, unchanged when odd.
+// analyze: constant-flow
 #[inline(always)]
 pub fn force_odd(alpha: u64) -> u64 {
     alpha - (1 - (alpha & 1))
@@ -82,6 +83,7 @@ pub fn force_odd(alpha: u64) -> u64 {
 /// (little-endian; the high half must be 0 when the operand has fewer than
 /// two limbs), and a single-limb `X` contributes only its limb 0 — the
 /// same `0..2.min(lx)` loop bound as the scalar code.
+// analyze: constant-flow(public = "lx")
 #[inline(always)]
 pub fn low_diff64(x_lo: u64, y_lo: u64, lx: usize, alpha: Limb) -> u64 {
     let x0 = x_lo as Limb;
@@ -107,6 +109,7 @@ pub fn low_diff64(x_lo: u64, y_lo: u64, lx: usize, alpha: Limb) -> u64 {
 /// Returns the plan plus the `(α, β, case)` the iteration would report to a
 /// probe — with α already forced odd on the β = 0 paths, matching
 /// `approximate_euclid_loop` exactly.
+// analyze: constant-flow(public = "lx, ly")
 pub fn plan_lane(
     x_top: u64,
     x_lo: u64,
@@ -116,8 +119,10 @@ pub fn plan_lane(
     ly: usize,
 ) -> (LanePlan, u64, usize, ApproxCase) {
     let a = approx_top_words(x_top, lx, y_top, ly);
+    // analyze: allow(cf-branch, reason = "beta > 0 is the paper's rare divergent case; the lane leaves the vector pass by design")
     if a.beta > 0 {
         // β > 0 guarantees α fits one word (§III).
+        // analyze: allow(cf-early-return, reason = "divergent-lane exit paired with the beta > 0 branch above")
         return (
             LanePlan::BetaPositive {
                 alpha: a.alpha as Limb,
@@ -129,16 +134,20 @@ pub fn plan_lane(
         );
     }
     let alpha = force_odd(a.alpha);
+    // analyze: allow(cf-branch, reason = "WideAlpha: a two-word quotient needs the 64-bit scalar finish; divergent by design")
     if alpha > Limb::MAX as u64 {
         // Case 1 can produce a two-word exact quotient; X fits in 64 bits.
+        // analyze: allow(cf-early-return, reason = "divergent-lane exit paired with the WideAlpha branch above")
         return (LanePlan::WideAlpha { alpha }, alpha, 0, a.case);
     }
     let alpha = alpha as Limb;
     let low = low_diff64(x_lo, y_lo, lx, alpha);
+    // analyze: allow(cf-branch, reason = "DeepShift classification: a zero low difference forces the scalar two-pass path")
     let plan = if low == 0 {
         LanePlan::DeepShift { alpha }
     } else {
         let rs = low.trailing_zeros();
+        // analyze: allow(cf-branch, reason = "DeepShift classification: a full-word shift leaves the fused path")
         if rs >= LIMB_BITS {
             LanePlan::DeepShift { alpha }
         } else {
@@ -178,6 +187,7 @@ pub fn plan_lane(
 /// Requirements per active lane (the planner guarantees them): `α` odd,
 /// `α·Y ≤ X`, `1 ≤ rs < 32`, and `rs` is the trailing-zero count of
 /// `X − α·Y`.
+// analyze: constant-flow(public = "w, rows")
 #[allow(clippy::too_many_arguments)]
 pub fn fused_submul_rshift_columns(
     u: &mut [Limb],
@@ -203,12 +213,19 @@ pub fn fused_submul_rshift_columns(
             unsafe {
                 columns_avx2(u, v, w, rows, sel, alpha, rs, carry, prev, dcur);
             }
+            // analyze: allow(cf-early-return, reason = "ISA dispatch: uniform across all lanes, decided before any operand word is read")
             return;
         }
     }
     columns_kernel(u, v, w, rows, sel, alpha, rs, carry, prev, dcur);
 }
 
+// SAFETY: callers must only invoke this when the CPU supports AVX2 (the
+// dispatcher's `is_x86_feature_detected!` guard); beyond that the function
+// is as safe as `columns_kernel` — the body holds no intrinsics and no raw
+// pointers, the target-feature attribute merely licenses the compiler to
+// autovectorize the inlined kernel with AVX2 instructions.
+// analyze: constant-flow(public = "w, rows")
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx2")]
 #[allow(clippy::too_many_arguments)]
@@ -229,6 +246,7 @@ unsafe fn columns_avx2(
 
 /// The portable kernel body; `inline(always)` so the AVX2 wrapper's
 /// target-feature scope covers the loops it is asked to vectorize.
+// analyze: constant-flow(public = "w, rows")
 #[inline(always)]
 #[allow(clippy::too_many_arguments)]
 fn columns_kernel(
@@ -292,6 +310,7 @@ fn columns_kernel(
 
 /// Emit one shifted output row into the selected `X` plane of each lane,
 /// leaving the `Y` plane untouched, with branchless blend stores.
+// analyze: constant-flow(public = "w, row")
 #[inline(always)]
 #[allow(clippy::too_many_arguments)]
 fn emit_row(

@@ -44,6 +44,7 @@ impl CrtPrivateKey {
     }
 
     /// Build from a full keypair.
+    // analyze: allow(no-panic, reason = "documented contract: keypair generation guarantees e invertible mod phi and gcd(q, p) = 1")
     pub fn from_keypair(kp: &KeyPair) -> CrtPrivateKey {
         Self::from_factors(&kp.p, &kp.q, &kp.public.e)
             .expect("a valid keypair always admits a CRT form")

@@ -2,17 +2,19 @@
 # Offline-friendly pre-merge gate: formatting, lints, and the tier-1 tests.
 # All dependencies are vendored under vendor/, so no network is needed.
 #
-# Usage: scripts/check.sh [--no-clippy] [--no-fmt]
+# Usage: scripts/check.sh [--no-clippy] [--no-fmt] [--no-analyze]
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 run_fmt=1
 run_clippy=1
+run_analyze=1
 for arg in "$@"; do
     case "$arg" in
         --no-fmt) run_fmt=0 ;;
         --no-clippy) run_clippy=0 ;;
+        --no-analyze) run_analyze=0 ;;
         *) echo "unknown option: $arg" >&2; exit 2 ;;
     esac
 done
@@ -30,6 +32,11 @@ fi
 echo "== tier-1: cargo build --release && cargo test -q"
 cargo build --release
 cargo test -q
+
+if [ "$run_analyze" = 1 ]; then
+    echo "== analyze: constant-flow + workspace invariant lints"
+    cargo run -q -p analyze
+fi
 
 echo "== fault-injection smoke: resumable scan under a seeded fault plan"
 cargo run --release -q -p bulkgcd-bench --bin scan_bench -- --inject-faults --resume

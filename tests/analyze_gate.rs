@@ -1,0 +1,81 @@
+//! Tier-1 analyze gate.
+//!
+//! Two guarantees, both enforced on every `cargo test`:
+//!
+//! 1. **Every lint fires** — each of the analyzer's lints produces at
+//!    least one finding on the seeded-violation fixtures. A lint that
+//!    never fires anywhere proves nothing by passing on the workspace.
+//! 2. **The workspace is clean** — running the analyzer over the real
+//!    source tree yields zero findings, so a regression (a new bare
+//!    unwrap in library code, a divergent branch in a constant-flow
+//!    kernel without a documented allow) fails the suite, not just
+//!    `scripts/check.sh`.
+
+use analyze::{analyze_workspace, run_file, FileClass, FileCtx, LINTS};
+use std::collections::BTreeSet;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+fn repo_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+}
+
+fn run_fixture(root: &Path, name: &str, bigint_limb: bool) -> Vec<&'static str> {
+    let path = root.join("crates/analyze/fixtures").join(name);
+    let src = fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()));
+    let out = run_file(
+        &src,
+        &FileCtx {
+            path: format!("fixtures/{name}"),
+            class: FileClass::Library,
+            bigint_limb,
+        },
+    );
+    out.findings.iter().map(|f| f.lint).collect()
+}
+
+#[test]
+fn every_lint_fires_on_fixtures() {
+    let root = repo_root();
+    let mut fired = BTreeSet::new();
+    for (name, bigint_limb) in [
+        ("cf_violations.rs", false),
+        ("panics.rs", false),
+        ("unsafe_blocks.rs", false),
+        ("casts.rs", true),
+        ("shims.rs", false),
+        ("meta.rs", false),
+    ] {
+        fired.extend(run_fixture(&root, name, bigint_limb));
+    }
+    let catalog: BTreeSet<&'static str> = LINTS.iter().map(|(name, _)| *name).collect();
+    assert_eq!(
+        fired, catalog,
+        "every lint in the catalog must fire on at least one fixture"
+    );
+}
+
+#[test]
+fn clean_fixture_stays_clean() {
+    let root = repo_root();
+    let fired = run_fixture(&root, "clean.rs", false);
+    assert!(fired.is_empty(), "clean fixture flagged: {fired:?}");
+}
+
+#[test]
+fn workspace_is_clean() {
+    let report = analyze_workspace(&repo_root()).expect("workspace scan must not error");
+    assert!(report.files_scanned > 50, "walk found too few files");
+    assert!(
+        report.constant_flow_fns >= 10,
+        "constant-flow annotations missing: found {}",
+        report.constant_flow_fns
+    );
+    let rendered: Vec<String> = report.findings.iter().map(|f| f.render()).collect();
+    assert!(
+        report.findings.is_empty(),
+        "analyze found {} finding(s):\n{}",
+        report.findings.len(),
+        rendered.join("\n")
+    );
+}
