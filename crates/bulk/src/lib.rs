@@ -48,15 +48,18 @@ pub use checkpoint::{corpus_fingerprint, JournalError, JournalHeader, LaunchReco
 pub use estimate::{estimate_full_scan, ScanEstimate};
 pub use fault::{FaultPlan, FaultSpec};
 pub use incremental::{CorpusIndex, ZeroModulus};
-pub use lockstep::{LockstepEngine, LockstepTrace};
+pub use lockstep::{
+    CompactionConfig, CompactionEvent, LockstepEngine, LockstepStats, LockstepTrace,
+};
 pub use pairing::{group_size_for, BlockId, GroupedPairs};
 pub use pipeline::{break_weak_keys, recover_keys, BreakReport, BrokenKey};
 pub use scan::{
-    combine_terminations, scan_block_into, CheckpointLayer, ExecCtx, FaultLayer, FaultStats,
-    Finding, FindingKind, GpuSimBackend, LaunchExecutor, LaunchMetrics, LaunchOutput,
-    LockstepBackend, MetricsLayer, NoSimulatedClock, PipelineReport, ProductTreeBackend,
-    ResumableReport, RetryLayer, ScalarBackend, ScanBackend, ScanError, ScanMetrics, ScanPipeline,
-    ScanReport, DEFAULT_LAUNCH_PAIRS,
+    combine_terminations, scan_block_into, AutoBackend, Backend, CheckpointLayer, ExecCtx,
+    FaultLayer, FaultStats, Finding, FindingKind, GpuSimBackend, LaunchExecutor, LaunchMetrics,
+    LaunchOutput, LockstepBackend, MetricsLayer, NoSimulatedClock, PipelineReport,
+    ProductTreeBackend, ResumableReport, RetryLayer, ScalarBackend, ScanBackend, ScanError,
+    ScanMetrics, ScanPipeline, ScanReport, AUTO_LOCKSTEP_MIN_BITS, AUTO_MAX_BETA_FRACTION,
+    AUTO_PRODUCT_TREE_MIN_MODULI, DEFAULT_LAUNCH_PAIRS,
 };
 #[allow(deprecated)]
 pub use scan::{

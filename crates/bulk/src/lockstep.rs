@@ -11,8 +11,8 @@
 //!    gather the four head words, and classify the iteration via
 //!    [`plan_lane`](bulkgcd_core::plan_lane) into the fused β = 0 update or
 //!    one of the rare divergent paths.
-//! 2. **Vector pass** (shared): one [`fused_submul_rshift_columns`] call
-//!    applies `X ← rshift(X − α·Y)` to every fused lane, limb-row
+//! 2. **Vector pass** (shared): one [`fused_submul_rshift_columns_prefix`]
+//!    call applies `X ← rshift(X − α·Y)` to every fused lane, limb-row
 //!    innermost so the compiler vectorizes across lanes. Masked lanes
 //!    (terminated, or queued for a divergent path) ride along as exact
 //!    identities with `α = 0` — the SIMT analogue of inactive lanes
@@ -37,11 +37,12 @@
 
 use bulkgcd_bigint::{ops, Limb, Nat, LIMB_BITS};
 use bulkgcd_core::{
-    fused_submul_rshift_columns, plan_lane, GcdPair, GcdStatus, LanePlan, StepKind, Termination,
+    copy_lane_columns, fused_submul_rshift_columns_prefix, plan_lane, zero_lane_columns, GcdPair,
+    GcdStatus, LanePlan, StepKind, Termination,
 };
 use bulkgcd_gpu::{CostModel, WarpWork, WarpWorkAccumulator};
 use bulkgcd_umm::gcd_trace::IterDesc;
-use bulkgcd_umm::trace::BulkTrace;
+use bulkgcd_umm::trace::{BulkTrace, ThreadTrace};
 
 /// Address-sequence record of one traced warp execution
 /// ([`LockstepEngine::run_warp_traced`]), in the UMM trace model's
@@ -71,6 +72,125 @@ pub struct LockstepTrace {
     pub stride: usize,
     /// Lockstep iterations executed until every lane terminated.
     pub iterations: usize,
+    /// Compaction/refill service events, part of the public per-iteration
+    /// structure: each records the iteration index it preceded, how many
+    /// dead columns were reloaded from the pending queue, whether the
+    /// survivors were repacked into a dense prefix, and the resident width
+    /// afterwards. Empty for plain [`LockstepEngine::run_warp_traced`].
+    pub events: Vec<CompactionEvent>,
+}
+
+/// One compaction/refill service event in a queue-mode execution
+/// ([`LockstepEngine::run_queue`]).
+///
+/// Events are derived purely from the public termination structure (which
+/// lanes have terminated), never from operand values, so recording them in
+/// [`LockstepTrace`] leaks nothing beyond the documented per-iteration
+/// structure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompactionEvent {
+    /// Index of the lockstep iteration this service pass preceded.
+    pub iteration: usize,
+    /// Dead columns reloaded with pending pairs during this pass.
+    pub refilled: usize,
+    /// Whether survivors were repacked into a dense column prefix.
+    pub repacked: bool,
+    /// Resident width (active column prefix) after the pass.
+    pub width_after: usize,
+}
+
+/// Tuning knobs for queue-mode compaction/refill
+/// ([`LockstepEngine::run_queue`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CompactionConfig {
+    /// Refill once the resident width (dense survivor prefix) drains below
+    /// this fraction of the warp width. Refill is **generational**: the
+    /// warp is topped back up to full width in one batch, so freshly
+    /// loaded full-width operands — which pin the fused row count at the
+    /// full stride — arrive in cohorts instead of trickling in every
+    /// iteration. `1.0` refills on any death (maximum occupancy, maximum
+    /// row inflation); `0.0` only when the warp is empty (sequential
+    /// batches, like plain warps but with tail compaction).
+    ///
+    /// Refill is additionally **width-gated**: while survivors are
+    /// resident, a pending pair is admitted only if its operand length
+    /// fits under the current live row ceiling (max `lX` over survivors),
+    /// so topping up never re-inflates a vector pass that had already
+    /// shrunk below the full stride. A drained warp admits anything. On
+    /// uniform corpora the gate turns continuous refill into generational
+    /// refill automatically once operands start shrinking.
+    pub min_active_fraction: f64,
+    /// Reload free columns with pending pairs from the launch queue. When
+    /// `false`, the service pass only repacks survivors (pure compaction;
+    /// a fully drained warp still reloads the next batch).
+    pub refill: bool,
+    /// Resident-arena multiplier used by the scan backend: queue mode runs
+    /// over `pool_warps` warps' worth of columns in one column arena
+    /// (modeling concurrent resident warps on a streaming multiprocessor),
+    /// amortizing per-iteration host overheads that a single 32-lane warp
+    /// cannot. `0` and `1` both mean a single warp. The engine itself is
+    /// width-agnostic — this knob is consumed by `LockstepBackend` when
+    /// sizing the queue engine.
+    pub pool_warps: usize,
+}
+
+impl Default for CompactionConfig {
+    fn default() -> Self {
+        CompactionConfig {
+            min_active_fraction: 1.0,
+            refill: true,
+            pool_warps: 4,
+        }
+    }
+}
+
+/// Occupancy and service-event counters for the engine's most recent run
+/// (either mode), reset on every load.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LockstepStats {
+    /// Lockstep iterations that executed (planned at least one lane).
+    pub iterations: u64,
+    /// Σ running lanes over those iterations (useful work slots).
+    pub active_lane_iters: u64,
+    /// Σ resident width over those iterations (issued work slots —
+    /// masked lanes burn these).
+    pub resident_lane_iters: u64,
+    /// Repack events (survivors moved into a dense prefix).
+    pub compactions: u64,
+    /// Dead columns reloaded with pending pairs.
+    pub refills: u64,
+}
+
+impl LockstepStats {
+    /// Mean active-lane occupancy: useful slots over issued slots, the
+    /// SIMT-efficiency analogue compaction exists to raise. 1.0 when
+    /// nothing ran.
+    pub fn occupancy(&self) -> f64 {
+        if self.resident_lane_iters == 0 {
+            1.0
+        } else {
+            self.active_lane_iters as f64 / self.resident_lane_iters as f64
+        }
+    }
+}
+
+/// Harvested terminal result of one queue entry.
+#[derive(Debug, Clone)]
+struct QueueResult {
+    status: GcdStatus,
+    gcd_is_one: bool,
+    factor: Option<Nat>,
+}
+
+/// Idle-pad every thread to the bulk's current step count, keeping a
+/// queue-mode trace step-aligned across partial-residency iterations.
+fn pad_to_steps(tr: &mut BulkTrace) {
+    let steps = tr.steps();
+    for th in &mut tr.threads {
+        while th.len() < steps {
+            th.idle();
+        }
+    }
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -126,6 +246,11 @@ pub struct LockstepEngine {
     xg: Vec<Limb>,
     yg: Vec<Limb>,
     pair: GcdPair,
+    // Queue mode (compaction/refill): which queue entry owns each resident
+    // column (usize::MAX = dead/harvested), and the harvested results.
+    owner: Vec<usize>,
+    qres: Vec<Option<QueueResult>>,
+    stats: LockstepStats,
     // Measurement.
     live: Vec<IterDesc>,
     acc: WarpWorkAccumulator,
@@ -155,9 +280,18 @@ impl LockstepEngine {
             xg: Vec::new(),
             yg: Vec::new(),
             pair: GcdPair::with_capacity(1),
+            owner: vec![usize::MAX; w],
+            qres: Vec::new(),
+            stats: LockstepStats::default(),
             live: Vec::with_capacity(w),
             acc: WarpWorkAccumulator::new(32),
         }
+    }
+
+    /// Occupancy and service-event counters of the most recent
+    /// [`run_warp`](Self::run_warp) / [`run_queue`](Self::run_queue) call.
+    pub fn session_stats(&self) -> LockstepStats {
+        self.stats
     }
 
     /// Lanes per warp.
@@ -206,10 +340,11 @@ impl LockstepEngine {
             let rows = self.fused_rows();
             // analyze: allow(cf-branch, reason = "skip the shared vector pass only when every active lane diverged this iteration; rows is part of the public per-iteration structure")
             if rows > 0 {
-                fused_submul_rshift_columns(
+                fused_submul_rshift_columns_prefix(
                     &mut self.u,
                     &mut self.v,
                     w,
+                    self.n,
                     rows,
                     &self.sel,
                     &self.alpha,
@@ -291,10 +426,11 @@ impl LockstepEngine {
                 }
             }
             if rows > 0 {
-                fused_submul_rshift_columns(
+                fused_submul_rshift_columns_prefix(
                     &mut self.u,
                     &mut self.v,
                     w,
+                    self.n,
                     rows,
                     &self.sel,
                     &self.alpha,
@@ -321,14 +457,425 @@ impl LockstepEngine {
             rows_per_iter,
             stride: self.stride,
             iterations,
+            events: Vec::new(),
         }
+    }
+
+    /// Execute an arbitrarily long queue of pairs through one warp with
+    /// compaction/refill, to termination of every entry.
+    ///
+    /// The engine loads the first `width()` entries, then between lockstep
+    /// iterations runs a **service pass**: terminated lanes are harvested
+    /// into a per-entry result store (freeing their columns), and when the
+    /// running-lane fraction drops below `cfg.min_active_fraction` dead
+    /// columns are refilled with pending entries and/or the survivors are
+    /// repacked into a dense column prefix so the shared vector pass stops
+    /// issuing masked slots. Lane values are untouched by either move —
+    /// lanes are completely value-independent, and the per-lane iteration
+    /// sequence is identical to [`run_warp`](Self::run_warp) — so findings
+    /// and statuses match the uncompacted engine bit for bit.
+    ///
+    /// Harvest with [`queue_status`](Self::queue_status) /
+    /// [`queue_gcd_is_one`](Self::queue_gcd_is_one) /
+    /// [`queue_factor`](Self::queue_factor), indexed by queue entry.
+    // analyze: constant-flow(public = "w, n, stride, term, cfg")
+    pub fn run_queue(
+        &mut self,
+        inputs: &[(&[Limb], &[Limb])],
+        term: Termination,
+        cfg: CompactionConfig,
+    ) {
+        let w = self.w;
+        self.queue_setup(inputs);
+        let mut next = self.n;
+        let max_iters = self.queue_iter_bound(inputs.len());
+        let mut iter = 0usize;
+        loop {
+            // analyze: allow(cf-branch, reason = "loop exit: the queue runs until every entry terminates; the iteration count is operand-dependent and is the documented residual leak (rows_per_iter in the UMM trace model)")
+            if !self.plan_iteration(term, false) {
+                self.queue_service(inputs, &mut next, cfg);
+                if self.n == 0 {
+                    break;
+                }
+                continue;
+            }
+            let rows = self.fused_rows();
+            // analyze: allow(cf-branch, reason = "skip the shared vector pass only when every active lane diverged this iteration; rows is part of the public per-iteration structure")
+            if rows > 0 {
+                fused_submul_rshift_columns_prefix(
+                    &mut self.u,
+                    &mut self.v,
+                    w,
+                    self.n,
+                    rows,
+                    &self.sel,
+                    &self.alpha,
+                    &self.rs,
+                    &mut self.carry,
+                    &mut self.prev,
+                    &mut self.dcur,
+                );
+            }
+            for fi in 0..self.fixups.len() {
+                let (t, p) = self.fixups[fi];
+                self.apply_fixup(t, p);
+            }
+            self.epilogue();
+            iter += 1;
+            assert!(
+                iter <= max_iters,
+                "lockstep engine exceeded {max_iters} iterations"
+            );
+            self.queue_service(inputs, &mut next, cfg);
+        }
+    }
+
+    /// [`run_queue`](Self::run_queue) recording every queue entry's address
+    /// sequence in the UMM trace model, with the compaction/refill service
+    /// events in [`LockstepTrace::events`].
+    ///
+    /// Threads are indexed by **queue entry**, not column: a refilled
+    /// entry's thread starts recording at the iteration its column goes
+    /// live, idle-padded before and after so the bulk stays step-aligned.
+    /// Every resident live column records the identical row sweep each
+    /// iteration, so the vector trace must analyze as perfectly uniform
+    /// across compaction boundaries — the dynamic half of the queue-mode
+    /// constant-flow claim.
+    pub fn run_queue_traced(
+        &mut self,
+        inputs: &[(&[Limb], &[Limb])],
+        term: Termination,
+        cfg: CompactionConfig,
+    ) -> LockstepTrace {
+        let w = self.w;
+        self.queue_setup(inputs);
+        let mut next = self.n;
+        let mut plan = BulkTrace::with_threads(inputs.len());
+        let mut vector = BulkTrace::with_threads(inputs.len());
+        let mut rows_per_iter = Vec::new();
+        let mut events: Vec<CompactionEvent> = Vec::new();
+        let max_iters = self.queue_iter_bound(inputs.len());
+        loop {
+            if !self.plan_iteration(term, false) {
+                let (refilled, repacked) = self.queue_service(inputs, &mut next, cfg);
+                if refilled > 0 || repacked {
+                    events.push(CompactionEvent {
+                        iteration: rows_per_iter.len(),
+                        refilled,
+                        repacked,
+                        width_after: self.n,
+                    });
+                }
+                if self.n == 0 {
+                    break;
+                }
+                continue;
+            }
+            self.record_plan_reads_queue(&mut plan);
+            let rows = self.fused_rows();
+            rows_per_iter.push(rows);
+            for k in 0..rows {
+                // Every resident column whose entry is still recording
+                // rides the same row sweep — including lanes terminated at
+                // this iteration's plan, which ride masked exactly like the
+                // real kernel until the service pass harvests them.
+                for t in 0..self.n {
+                    if self.owner[t] == usize::MAX {
+                        continue;
+                    }
+                    let th = &mut vector.threads[self.owner[t]];
+                    th.read(k);
+                    th.read(self.stride + k);
+                    th.write(k);
+                }
+            }
+            pad_to_steps(&mut vector);
+            if rows > 0 {
+                fused_submul_rshift_columns_prefix(
+                    &mut self.u,
+                    &mut self.v,
+                    w,
+                    self.n,
+                    rows,
+                    &self.sel,
+                    &self.alpha,
+                    &self.rs,
+                    &mut self.carry,
+                    &mut self.prev,
+                    &mut self.dcur,
+                );
+            }
+            for fi in 0..self.fixups.len() {
+                let (t, p) = self.fixups[fi];
+                self.apply_fixup(t, p);
+            }
+            self.epilogue();
+            assert!(
+                rows_per_iter.len() <= max_iters,
+                "lockstep engine exceeded {max_iters} iterations"
+            );
+            let (refilled, repacked) = self.queue_service(inputs, &mut next, cfg);
+            if refilled > 0 || repacked {
+                events.push(CompactionEvent {
+                    iteration: rows_per_iter.len(),
+                    refilled,
+                    repacked,
+                    width_after: self.n,
+                });
+            }
+        }
+        let iterations = rows_per_iter.len();
+        LockstepTrace {
+            plan,
+            vector,
+            rows_per_iter,
+            stride: self.stride,
+            iterations,
+            events,
+        }
+    }
+
+    /// Size the planes for the whole queue (stride = max operand length
+    /// over every pending pair, so any refill fits any column), clear the
+    /// result store, and load the first `min(width, len)` entries.
+    fn queue_setup(&mut self, inputs: &[(&[Limb], &[Limb])]) {
+        let w = self.w;
+        let mut stride = 1usize;
+        for &(a, b) in inputs {
+            stride = stride
+                .max(ops::normalized_len(a))
+                .max(ops::normalized_len(b));
+        }
+        self.stride = stride;
+        let need = stride * w;
+        if self.u.len() < need {
+            self.u.resize(need, 0);
+            self.v.resize(need, 0);
+        }
+        if self.xg.len() < stride {
+            self.xg.resize(stride, 0);
+            self.yg.resize(stride, 0);
+        }
+        for t in 0..w {
+            self.sel[t] = 0;
+            self.lx[t] = 0;
+            self.ly[t] = 0;
+            self.state[t] = LaneState::Done;
+            self.owner[t] = usize::MAX;
+        }
+        self.qres.clear();
+        self.qres.resize(inputs.len(), None);
+        self.stats = LockstepStats::default();
+        // load_column zeroes each column it claims, so the planes need no
+        // global fill: columns past the resident prefix are never touched.
+        self.n = inputs.len().min(w);
+        for (t, &(a, b)) in inputs.iter().enumerate().take(self.n) {
+            self.load_column(t, t, a, b);
+        }
+    }
+
+    /// Hang-insurance bound for queue mode: the per-lane scalar bound
+    /// scaled by the whole queue (each entry occupies a column for at most
+    /// its own scalar iteration count).
+    fn queue_iter_bound(&self, total: usize) -> usize {
+        4096 + 64 * LIMB_BITS as usize * self.stride * total.max(1)
+    }
+
+    /// Load queue entry `q` into column `t`: zero the column's rows in
+    /// both planes, scatter the pair with the same larger-to-X (ties: `a`)
+    /// ordering rule as a full warp load, and mark the lane running.
+    fn load_column(&mut self, t: usize, q: usize, a: &[Limb], b: &[Limb]) {
+        let w = self.w;
+        zero_lane_columns(&mut self.u, &mut self.v, w, self.stride, t);
+        let la = ops::normalized_len(a);
+        let lb = ops::normalized_len(b);
+        let (hi, lhi, lo, llo) = if ops::cmp(&a[..la], &b[..lb]) == core::cmp::Ordering::Less {
+            (b, lb, a, la)
+        } else {
+            (a, la, b, lb)
+        };
+        for (k, &limb) in hi[..lhi].iter().enumerate() {
+            self.u[k * w + t] = limb;
+        }
+        for (k, &limb) in lo[..llo].iter().enumerate() {
+            self.v[k * w + t] = limb;
+        }
+        self.sel[t] = 0;
+        self.lx[t] = lhi;
+        self.ly[t] = llo;
+        self.state[t] = LaneState::Running;
+        self.owner[t] = q;
+    }
+
+    /// Queue-mode service pass, run between iterations: harvest terminated
+    /// lanes into the result store, **repack** survivors into a dense
+    /// column prefix (shrinking the resident width, so the shared vector
+    /// pass stops issuing masked slots — repacking is a handful of plane
+    /// copies and strictly cheaper than the slots it retires), and — once
+    /// the resident width has drained below `min_active_fraction` of the
+    /// warp width — **batch-refill** every free column from the pending
+    /// queue. Refilling in generations keeps freshly loaded full-width
+    /// operands (which pin the fused row count at the full stride) from
+    /// trickling in next to almost-finished survivors every iteration.
+    ///
+    /// Every decision here derives from the termination structure (which
+    /// lanes have terminated), never from operand values. Returns (columns
+    /// refilled, whether a repack shrank the resident width).
+    fn queue_service(
+        &mut self,
+        inputs: &[(&[Limb], &[Limb])],
+        next: &mut usize,
+        cfg: CompactionConfig,
+    ) -> (usize, bool) {
+        for t in 0..self.n {
+            if self.state[t] != LaneState::Running && self.owner[t] != usize::MAX {
+                self.harvest_lane(t);
+            }
+        }
+        let running = (0..self.n)
+            .filter(|&t| self.state[t] == LaneState::Running)
+            .count();
+        let repacked = running < self.n;
+        if repacked {
+            self.repack();
+            self.stats.compactions += 1;
+        }
+        let frac = cfg.min_active_fraction.clamp(0.0, 1.0);
+        let threshold = ((frac * self.w as f64).ceil() as usize).clamp(1, self.w);
+        let mut refilled = 0usize;
+        // A drained warp always reloads the next batch: `refill: false`
+        // only disables mid-flight top-ups (sequential batches with tail
+        // compaction), never forward progress through the queue.
+        if (cfg.refill && self.n < threshold) || self.n == 0 {
+            // Width gate: while survivors are resident, admit a pending
+            // pair only if it fits under the live row ceiling, so a top-up
+            // never re-inflates a vector pass that had already shrunk
+            // below the full stride. A drained warp admits anything.
+            // Lengths are public in the semi-oblivious model, so the gate
+            // derives from the per-iteration structure, not operand values.
+            let ceiling = if self.n == 0 {
+                self.stride
+            } else {
+                (0..self.n).map(|t| self.lx[t]).max().unwrap_or(self.stride)
+            };
+            while self.n < self.w && *next < inputs.len() {
+                let (a, b) = inputs[*next];
+                let incoming = ops::normalized_len(a).max(ops::normalized_len(b));
+                if self.n > 0 && incoming > ceiling {
+                    break;
+                }
+                self.load_column(self.n, *next, a, b);
+                *next += 1;
+                refilled += 1;
+                self.n += 1;
+            }
+        }
+        self.stats.refills += refilled as u64;
+        (refilled, repacked)
+    }
+
+    /// Move a terminated lane's result into the queue store, freeing its
+    /// column for refill. Allocates only for actual findings (gcd > 1).
+    fn harvest_lane(&mut self, t: usize) {
+        let q = self.owner[t];
+        let status = match self.state[t] {
+            LaneState::Done => GcdStatus::Done,
+            LaneState::Early => GcdStatus::EarlyCoprime,
+            LaneState::Running => unreachable!("only terminated lanes are harvested"),
+        };
+        let gcd_is_one = status == GcdStatus::Done && self.lx[t] == 1 && self.x_plane(t)[t] == 1;
+        let factor = if status == GcdStatus::Done && !gcd_is_one {
+            Some(self.lane_gcd_nat(t))
+        } else {
+            None
+        };
+        self.qres[q] = Some(QueueResult {
+            status,
+            gcd_is_one,
+            factor,
+        });
+        self.owner[t] = usize::MAX;
+    }
+
+    /// Repack live columns into a dense prefix and shrink the resident
+    /// width to match, so the shared vector pass stops issuing masked
+    /// slots for dead columns. Swap-remove order: each hole is plugged by
+    /// the **last** live column, so a death costs one lane move (not a
+    /// shift of every survivor — lane order inside the warp is free, the
+    /// `owner` registers track queue identity). Pure plane/register copies
+    /// — lane values are untouched (α/rs are per-iteration and already
+    /// consumed).
+    fn repack(&mut self) {
+        let w = self.w;
+        let mut n = self.n;
+        while n > 0 && self.state[n - 1] != LaneState::Running {
+            n -= 1;
+        }
+        let mut t = 0usize;
+        while t < n {
+            if self.state[t] == LaneState::Running {
+                t += 1;
+                continue;
+            }
+            // Column t is dead and column n-1 is live: move it in.
+            let src = n - 1;
+            copy_lane_columns(&mut self.u, &mut self.v, w, self.stride, src, t);
+            self.sel[t] = self.sel[src];
+            self.lx[t] = self.lx[src];
+            self.ly[t] = self.ly[src];
+            self.state[t] = LaneState::Running;
+            self.owner[t] = self.owner[src];
+            self.state[src] = LaneState::Done;
+            self.owner[src] = usize::MAX;
+            n -= 1;
+            while n > 0 && self.state[n - 1] != LaneState::Running {
+                n -= 1;
+            }
+            t += 1;
+        }
+        self.n = n;
+    }
+
+    /// Number of entries in the engine's last
+    /// [`run_queue`](Self::run_queue) call.
+    pub fn queue_len(&self) -> usize {
+        self.qres.len()
+    }
+
+    /// Terminal status of queue entry `q` after
+    /// [`run_queue`](Self::run_queue).
+    pub fn queue_status(&self, q: usize) -> GcdStatus {
+        // analyze: allow(no-panic, reason = "documented panic contract: queue accessors are valid only after run_queue returns, which harvests every entry")
+        self.qres[q]
+            .as_ref()
+            .expect("queue entry not harvested")
+            .status
+    }
+
+    /// For a [`GcdStatus::Done`] queue entry: is the GCD exactly 1?
+    pub fn queue_gcd_is_one(&self, q: usize) -> bool {
+        // analyze: allow(no-panic, reason = "documented panic contract: queue accessors are valid only after run_queue returns, which harvests every entry")
+        self.qres[q]
+            .as_ref()
+            .expect("queue entry not harvested")
+            .gcd_is_one
+    }
+
+    /// For a [`GcdStatus::Done`] queue entry with GCD > 1: the factor,
+    /// gathered at harvest time. `None` for coprime or interrupted entries.
+    pub fn queue_factor(&self, q: usize) -> Option<&Nat> {
+        // analyze: allow(no-panic, reason = "documented panic contract: queue accessors are valid only after run_queue returns, which harvests every entry")
+        self.qres[q]
+            .as_ref()
+            .expect("queue entry not harvested")
+            .factor
+            .as_ref()
     }
 
     /// Record this iteration's planning-phase head reads: 8 slots per lane
     /// (§IV's top-two and bottom-two words of each operand), idles for
     /// terminated lanes so the bulk stays step-aligned.
     fn record_plan_reads(&self, tr: &mut BulkTrace) {
-        let stride = self.stride;
         for t in 0..self.n {
             let th = &mut tr.threads[t];
             if self.state[t] != LaneState::Running {
@@ -337,35 +884,53 @@ impl LockstepEngine {
                 }
                 continue;
             }
-            let (lx, ly) = (self.lx[t], self.ly[t]);
-            // Plane-A offsets are 0..stride, plane-B offsets follow.
-            let x_base = if self.sel[t] == 0 { 0 } else { stride };
-            let y_base = stride - x_base;
-            if lx >= 2 {
-                th.read(x_base + lx - 1);
-                th.read(x_base + lx - 2);
-            } else {
-                th.read(x_base);
-                th.idle();
+            self.record_lane_plan_reads(t, th);
+        }
+    }
+
+    /// Queue-mode variant of [`record_plan_reads`](Self::record_plan_reads):
+    /// running lanes record into their owning queue entry's thread, and
+    /// every other thread idle-pads to the common step count.
+    fn record_plan_reads_queue(&self, tr: &mut BulkTrace) {
+        for t in 0..self.n {
+            if self.state[t] == LaneState::Running {
+                self.record_lane_plan_reads(t, &mut tr.threads[self.owner[t]]);
             }
-            if ly >= 2 {
-                th.read(y_base + ly - 1);
-                th.read(y_base + ly - 2);
-            } else {
-                th.read(y_base);
-                th.idle();
-            }
-            if stride >= 2 {
-                th.read(x_base + 1);
-                th.read(x_base);
-                th.read(y_base + 1);
-                th.read(y_base);
-            } else {
-                th.read(x_base);
-                th.idle();
-                th.read(y_base);
-                th.idle();
-            }
+        }
+        pad_to_steps(tr);
+    }
+
+    /// One running lane's 8 planning-phase head-read slots.
+    fn record_lane_plan_reads(&self, t: usize, th: &mut ThreadTrace) {
+        let stride = self.stride;
+        let (lx, ly) = (self.lx[t], self.ly[t]);
+        // Plane-A offsets are 0..stride, plane-B offsets follow.
+        let x_base = if self.sel[t] == 0 { 0 } else { stride };
+        let y_base = stride - x_base;
+        if lx >= 2 {
+            th.read(x_base + lx - 1);
+            th.read(x_base + lx - 2);
+        } else {
+            th.read(x_base);
+            th.idle();
+        }
+        if ly >= 2 {
+            th.read(y_base + ly - 1);
+            th.read(y_base + ly - 2);
+        } else {
+            th.read(y_base);
+            th.idle();
+        }
+        if stride >= 2 {
+            th.read(x_base + 1);
+            th.read(x_base);
+            th.read(y_base + 1);
+            th.read(y_base);
+        } else {
+            th.read(x_base);
+            th.idle();
+            th.read(y_base);
+            th.idle();
         }
     }
 
@@ -432,7 +997,10 @@ impl LockstepEngine {
             self.lx[t] = 0;
             self.ly[t] = 0;
             self.state[t] = LaneState::Done;
+            self.owner[t] = usize::MAX;
         }
+        self.qres.clear();
+        self.stats = LockstepStats::default();
         for (t, &(a, b)) in inputs.iter().enumerate() {
             // Same ordering rule as GcdPair::load_from_limbs: larger value
             // (ties: a) goes to X, which starts in plane A.
@@ -473,9 +1041,11 @@ impl LockstepEngine {
         let w = self.w;
         self.live.clear();
         self.fixups.clear();
-        self.alpha.fill(0);
-        self.rs.fill(0);
-        let mut any = false;
+        // Only the resident prefix is ever read downstream (the prefix
+        // kernel, `fused_rows`, and the epilogue all stop at `n`).
+        self.alpha[..self.n].fill(0);
+        self.rs[..self.n].fill(0);
+        let mut running = 0usize;
         for t in 0..self.n {
             if self.state[t] != LaneState::Running {
                 continue;
@@ -493,7 +1063,7 @@ impl LockstepEngine {
                     continue;
                 }
             }
-            any = true;
+            running += 1;
             let (lx, ly) = (self.lx[t], self.ly[t]);
             let (xp, yp) = if self.sel[t] == 0 {
                 (&self.u, &self.v)
@@ -547,7 +1117,12 @@ impl LockstepEngine {
                 other => self.fixups.push((t, other)),
             }
         }
-        any
+        if running > 0 {
+            self.stats.iterations += 1;
+            self.stats.active_lane_iters += running as u64;
+            self.stats.resident_lane_iters += self.n as u64;
+        }
+        running > 0
     }
 
     /// Max `lX` over this iteration's fused lanes (the vector-pass trip

@@ -14,12 +14,15 @@
 //! opt out of the launch driver entirely.
 
 use crate::arena::ModuliArena;
-use crate::lockstep::LockstepEngine;
+use crate::lockstep::{CompactionConfig, LockstepEngine};
 use crate::pairing::{BlockId, GroupedPairs};
 use crate::scan::report::{Finding, FindingKind};
-use bulkgcd_bigint::{Limb, Nat};
-use bulkgcd_core::{run_in_place, Algorithm, GcdOutcome, GcdPair, GcdStatus, NoProbe, Termination};
+use bulkgcd_bigint::{Limb, Nat, LIMB_BITS};
+use bulkgcd_core::{
+    run_in_place, Algorithm, GcdOutcome, GcdPair, GcdStatus, NoProbe, StatsProbe, Termination,
+};
 use bulkgcd_gpu::{schedule, simulate_bulk_gcd, CostModel, DeviceConfig, WarpWork};
+use std::sync::OnceLock;
 
 /// Everything a backend needs to execute launches over one corpus: the
 /// packed operands and the scan's algorithm/termination settings.
@@ -49,6 +52,17 @@ pub struct LaunchOutput {
     pub mem_transactions: u64,
     /// Total GCD lane-iterations (0 when the backend does not count them).
     pub lane_iterations: u64,
+    /// Σ running lanes over lockstep iterations (useful issue slots; 0 for
+    /// backends without a lockstep engine).
+    pub active_lane_iters: u64,
+    /// Σ resident warp width over lockstep iterations (issued slots —
+    /// masked lanes burn these; the active/resident ratio is the launch's
+    /// mean active-lane occupancy).
+    pub resident_lane_iters: u64,
+    /// Compaction events (survivors repacked into a dense column prefix).
+    pub compactions: u64,
+    /// Refill events (dead columns reloaded with pending pairs).
+    pub refills: u64,
 }
 
 /// Worker-local launch execution state: one per rayon worker, reused across
@@ -297,24 +311,68 @@ impl ScanBackend for ScalarBackend {
 
 /// The lockstep SIMT host scan: warps of `warp_width` lanes run the
 /// [`LockstepEngine`]'s column-major vectorized AEA — one shared
-/// instruction stream per warp, terminated lanes masked off. Each warp
-/// applies the conservative per-launch termination fold of its lanes
-/// (see [`combine_terminations`]), exactly like a simulated kernel launch
-/// of the same width.
+/// instruction stream per warp, terminated lanes masked off.
+///
+/// Without compaction, each warp applies the conservative per-launch
+/// termination fold of its lanes (see [`combine_terminations`]), exactly
+/// like a simulated kernel launch of the same width. With
+/// `compaction: Some(cfg)`, the whole launch becomes one pending queue
+/// feeding a single compacting warp ([`LockstepEngine::run_queue`]):
+/// terminated lanes are harvested and their columns refilled with pending
+/// pairs (and/or survivors repacked into a dense prefix), and the
+/// termination fold is taken over the launch — the same launch-level fold
+/// the simulated-GPU backend applies, still conservative, never missing a
+/// factor.
 #[derive(Debug, Clone, Copy)]
 pub struct LockstepBackend {
     /// Lanes per warp (clamped to ≥ 1).
     pub warp_width: usize,
+    /// Compaction/refill tuning; `None` runs plain fixed warps.
+    pub compaction: Option<CompactionConfig>,
 }
 
 impl LockstepBackend {
+    /// Plain fixed-warp backend of the given width (no compaction).
+    pub fn new(warp_width: usize) -> Self {
+        LockstepBackend {
+            warp_width,
+            compaction: None,
+        }
+    }
+
+    /// Builder: enable queue-mode compaction/refill with `cfg`.
+    pub fn with_compaction(mut self, cfg: CompactionConfig) -> Self {
+        self.compaction = Some(cfg);
+        self
+    }
+
     fn width(&self) -> usize {
         self.warp_width.max(1)
     }
 }
 
+impl Default for LockstepBackend {
+    /// The paper's W = 32, no compaction.
+    fn default() -> Self {
+        LockstepBackend::new(32)
+    }
+}
+
 struct LockstepExecutor {
     engine: LockstepEngine,
+    compaction: Option<CompactionConfig>,
+}
+
+impl LockstepExecutor {
+    /// Fold the engine's per-run occupancy/service counters into the
+    /// launch output.
+    fn accumulate_stats(engine: &LockstepEngine, out: &mut LaunchOutput) {
+        let st = engine.session_stats();
+        out.active_lane_iters += st.active_lane_iters;
+        out.resident_lane_iters += st.resident_lane_iters;
+        out.compactions += st.compactions;
+        out.refills += st.refills;
+    }
 }
 
 impl LaunchExecutor for LockstepExecutor {
@@ -322,6 +380,33 @@ impl LaunchExecutor for LockstepExecutor {
         let arena = cx.arena;
         let w = self.engine.width();
         let mut out = LaunchOutput::default();
+        if let Some(cfg) = self.compaction {
+            // Queue mode: the launch is one pending queue through a single
+            // compacting warp, under the launch-level termination fold.
+            let term = launch_termination(arena, lanes, cx.early);
+            let inputs: Vec<(&[Limb], &[Limb])> = lanes
+                .iter()
+                .map(|&(i, j)| (arena.limbs(i), arena.limbs(j)))
+                .collect();
+            self.engine.run_queue(&inputs, term, cfg);
+            for (q, &(i, j)) in lanes.iter().enumerate() {
+                // A queue entry carries a factor exactly when it completed
+                // with a non-trivial GCD — the same harvest rule as
+                // `harvest_warp` applies to plain warps.
+                if let Some(factor) = self.engine.queue_factor(q) {
+                    let factor = factor.clone();
+                    out.findings.push(Finding {
+                        i,
+                        j,
+                        kind: kind_of(arena, i, j, &factor),
+                        factor,
+                    });
+                }
+            }
+            out.warps += 1;
+            Self::accumulate_stats(&self.engine, &mut out);
+            return out;
+        }
         let mut inputs: Vec<(&[Limb], &[Limb])> = Vec::with_capacity(w);
         for warp in lanes.chunks(w) {
             let term = launch_termination(arena, warp, cx.early);
@@ -330,6 +415,7 @@ impl LaunchExecutor for LockstepExecutor {
             self.engine.run_warp(&inputs, term, None);
             harvest_warp(arena, &self.engine, warp, &mut out.findings);
             out.warps += 1;
+            Self::accumulate_stats(&self.engine, &mut out);
         }
         out
     }
@@ -337,7 +423,11 @@ impl LaunchExecutor for LockstepExecutor {
 
 impl ScanBackend for LockstepBackend {
     fn name(&self) -> &'static str {
-        "lockstep"
+        if self.compaction.is_some() {
+            "lockstep-compact"
+        } else {
+            "lockstep"
+        }
     }
 
     fn preferred_run_len(&self, total_pairs: usize, workers: usize) -> usize {
@@ -350,8 +440,17 @@ impl ScanBackend for LockstepBackend {
     }
 
     fn executor(&self, _cx: &ExecCtx<'_>) -> Box<dyn LaunchExecutor + Send> {
+        // Queue mode hosts a pooled resident arena of `pool_warps` warps'
+        // worth of columns (modeling concurrent resident warps on an SM),
+        // amortizing per-iteration host overheads; plain mode stays at the
+        // paper-faithful single warp.
+        let width = match self.compaction {
+            Some(cfg) => self.width().saturating_mul(cfg.pool_warps.max(1)),
+            None => self.width(),
+        };
         Box::new(LockstepExecutor {
-            engine: LockstepEngine::new(self.width()),
+            engine: LockstepEngine::new(width),
+            compaction: self.compaction,
         })
     }
 }
@@ -404,6 +503,9 @@ impl GpuSimExecutor {
                 self.engine
                     .run_warp_measured(&inputs, term, &self.cost, words_per_transaction);
             out.lane_iterations += work.lane_iterations;
+            let st = self.engine.session_stats();
+            out.active_lane_iters += st.active_lane_iters;
+            out.resident_lane_iters += st.resident_lane_iters;
             self.warps.push(work);
             harvest_warp(arena, &self.engine, warp, &mut out.findings);
         }
@@ -506,32 +608,299 @@ impl ScanBackend for ProductTreeBackend {
     }
 
     fn run_whole(&self, cx: &ExecCtx<'_>) -> Option<Vec<Finding>> {
-        let arena = cx.arena;
-        let moduli: Vec<Nat> = (0..arena.len()).map(|i| arena.nat(i)).collect();
-        let gcds = if self.parallel {
-            crate::batch::batch_gcd_parallel(&moduli)
-        } else {
-            crate::batch::batch_gcd(&moduli)
-        };
-        // Batch GCD reports per-modulus factors; synthesize pairwise
-        // findings for vulnerable moduli by pairing the flagged ones (the
-        // number of moduli with gcd > 1 is tiny in any real corpus, so the
-        // quadratic pass over them costs nothing).
-        let flagged: Vec<usize> = (0..moduli.len()).filter(|&i| !gcds[i].is_one()).collect();
-        let mut findings = Vec::new();
-        for (a, &i) in flagged.iter().enumerate() {
-            for &j in &flagged[a + 1..] {
-                let g = moduli[i].gcd_reference(&moduli[j]);
-                if !g.is_one() {
-                    findings.push(Finding {
-                        i,
-                        j,
-                        kind: kind_of(arena, i, j, &g),
-                        factor: g,
-                    });
-                }
+        Some(product_tree_findings(cx, self.parallel))
+    }
+}
+
+/// The product-tree whole-corpus computation, shared with [`AutoBackend`].
+fn product_tree_findings(cx: &ExecCtx<'_>, parallel: bool) -> Vec<Finding> {
+    let arena = cx.arena;
+    let moduli: Vec<Nat> = (0..arena.len()).map(|i| arena.nat(i)).collect();
+    let gcds = if parallel {
+        crate::batch::batch_gcd_parallel(&moduli)
+    } else {
+        crate::batch::batch_gcd(&moduli)
+    };
+    // Batch GCD reports per-modulus factors; synthesize pairwise
+    // findings for vulnerable moduli by pairing the flagged ones (the
+    // number of moduli with gcd > 1 is tiny in any real corpus, so the
+    // quadratic pass over them costs nothing).
+    let flagged: Vec<usize> = (0..moduli.len()).filter(|&i| !gcds[i].is_one()).collect();
+    let mut findings = Vec::new();
+    for (a, &i) in flagged.iter().enumerate() {
+        for &j in &flagged[a + 1..] {
+            let g = moduli[i].gcd_reference(&moduli[j]);
+            if !g.is_one() {
+                findings.push(Finding {
+                    i,
+                    j,
+                    kind: kind_of(arena, i, j, &g),
+                    factor: g,
+                });
             }
         }
-        Some(findings)
+    }
+    findings
+}
+
+// ---------------------------------------------------------------------------
+// AutoBackend — probe the corpus, pick the fastest strategy.
+// ---------------------------------------------------------------------------
+
+/// Corpus sizes at/above this many moduli resolve to the product-tree
+/// baseline: batch GCD is quasi-linear in the corpus while every pairwise
+/// backend is quadratic, so past this point the tree always wins.
+pub const AUTO_PRODUCT_TREE_MIN_MODULI: usize = 4096;
+
+/// Minimum operand width (bits) below which compacted lockstep still loses
+/// to the scalar scan on the bench matrix and the selector picks scalar.
+/// Calibrated against `BENCH_scan.json` (`scan_bench --gate-compaction`).
+pub const AUTO_LOCKSTEP_MIN_BITS: usize = 512;
+
+/// Probe-measured β > 0 iteration fraction above which warp divergence
+/// (serialized scalar fixups) vetoes the lockstep engine. §V measures
+/// < 10⁻⁸ on random RSA moduli, so any corpus tripping this is shaped
+/// adversarially for the fused path.
+pub const AUTO_MAX_BETA_FRACTION: f64 = 0.05;
+
+/// How many leading bits of the operands the divergence probe actually
+/// consumes per sampled pair: the probe early-terminates once a pair has
+/// shaved this many bits (a few dozen AEA iterations — plenty to estimate
+/// the per-iteration β > 0 fraction), so probing costs a small fraction of
+/// one full GCD per sampled pair instead of a whole one.
+pub const AUTO_PROBE_DEPTH_BITS: u64 = 64;
+
+/// The strategy [`AutoBackend`] resolved to for its corpus.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum AutoChoice {
+    Scalar,
+    Lockstep,
+    ProductTree,
+}
+
+/// The auto-tuning selector: probes the corpus once (size, operand width,
+/// and a [`StatsProbe`] divergence sample over a deterministic pair
+/// prefix) and resolves to the fastest fixed strategy for that corpus:
+///
+/// 1. **Product tree** when the corpus has at least
+///    `product_tree_min_moduli` moduli — quasi-linear beats any pairwise
+///    scan at scale.
+/// 2. **Scalar** when operands are narrower than
+///    [`AUTO_LOCKSTEP_MIN_BITS`], when the algorithm is not Approximate
+///    Euclid (the lockstep engine is AEA-only), or when the shallow probe
+///    sees a β > 0 fraction above [`AUTO_MAX_BETA_FRACTION`] (divergence
+///    serialization would dominate).
+/// 3. **Lockstep with compaction/refill** otherwise.
+///
+/// The decision is cached per backend instance, so construct one
+/// `AutoBackend` per corpus (the convenience [`Backend::Auto`] constructs
+/// one per call and re-derives the decision — same answer, repeated
+/// probe). In launch-driven (layered/journaled) runs a product-tree
+/// resolution degrades to the scalar executor, since the tree has no
+/// launch structure to checkpoint.
+#[derive(Debug, Clone, Default)]
+pub struct AutoBackend {
+    /// Lanes per warp for the lockstep resolution (0 → default 32).
+    pub warp_width: usize,
+    /// Compaction tuning for the lockstep resolution.
+    pub compaction: CompactionConfig,
+    /// Corpus size at which the product tree takes over.
+    /// 0 → [`AUTO_PRODUCT_TREE_MIN_MODULI`].
+    pub product_tree_min_moduli: usize,
+    /// How many adjacent-index pairs the divergence probe runs
+    /// (0 → default 64).
+    pub probe_pairs: usize,
+    choice: OnceLock<AutoChoice>,
+}
+
+impl AutoBackend {
+    /// Selector with the given lockstep warp width (0 → default 32) and
+    /// default thresholds.
+    pub fn new(warp_width: usize) -> Self {
+        AutoBackend {
+            warp_width,
+            ..AutoBackend::default()
+        }
+    }
+
+    fn width(&self) -> usize {
+        if self.warp_width == 0 {
+            32
+        } else {
+            self.warp_width
+        }
+    }
+
+    fn tree_min(&self) -> usize {
+        if self.product_tree_min_moduli == 0 {
+            AUTO_PRODUCT_TREE_MIN_MODULI
+        } else {
+            self.product_tree_min_moduli
+        }
+    }
+
+    /// Resolve (once per instance) which strategy this corpus gets.
+    fn decide(&self, cx: &ExecCtx<'_>) -> AutoChoice {
+        *self.choice.get_or_init(|| {
+            let arena = cx.arena;
+            let m = arena.len();
+            if m >= self.tree_min() {
+                return AutoChoice::ProductTree;
+            }
+            if cx.algo != Algorithm::Approximate {
+                // The lockstep engine executes AEA only; other variants
+                // run scalar.
+                return AutoChoice::Scalar;
+            }
+            if arena.stride() * (LIMB_BITS as usize) < AUTO_LOCKSTEP_MIN_BITS {
+                return AutoChoice::Scalar;
+            }
+            // Divergence probe: run a deterministic prefix of adjacent
+            // pairs through the scalar AEA with a StatsProbe and measure
+            // the β > 0 fraction. Each sampled pair is probed shallowly —
+            // early-terminated after [`AUTO_PROBE_DEPTH_BITS`] bits of
+            // reduction — so the probe costs a small fraction of a full
+            // GCD per pair and stays negligible next to the scan itself.
+            let sample = if self.probe_pairs == 0 {
+                64
+            } else {
+                self.probe_pairs
+            };
+            let width_bits = (arena.stride() * LIMB_BITS as usize) as u64;
+            let depth = Termination::Early {
+                threshold_bits: width_bits.saturating_sub(AUTO_PROBE_DEPTH_BITS).max(1),
+            };
+            let mut probe = StatsProbe::default();
+            let mut pair = GcdPair::with_capacity(arena.stride());
+            for i in 0..m.saturating_sub(1).min(sample) {
+                pair.load_from_limbs(arena.limbs(i), arena.limbs(i + 1));
+                run_in_place(Algorithm::Approximate, &mut pair, depth, &mut probe);
+            }
+            let s = &probe.stats;
+            let beta_frac = if s.iterations == 0 {
+                0.0
+            } else {
+                s.beta_nonzero as f64 / s.iterations as f64
+            };
+            if beta_frac > AUTO_MAX_BETA_FRACTION {
+                AutoChoice::Scalar
+            } else {
+                AutoChoice::Lockstep
+            }
+        })
+    }
+}
+
+impl ScanBackend for AutoBackend {
+    fn name(&self) -> &'static str {
+        match self.choice.get() {
+            Some(AutoChoice::Scalar) => "auto:scalar",
+            Some(AutoChoice::Lockstep) => "auto:lockstep-compact",
+            Some(AutoChoice::ProductTree) => "auto:product-tree",
+            None => "auto",
+        }
+    }
+
+    fn preferred_run_len(&self, total_pairs: usize, workers: usize) -> usize {
+        // Warp-multiple rounding: required for the lockstep resolution,
+        // harmless for the others.
+        let w = self.width();
+        total_pairs.div_ceil(workers.max(1)).div_ceil(w).max(1) * w
+    }
+
+    fn executor(&self, cx: &ExecCtx<'_>) -> Box<dyn LaunchExecutor + Send> {
+        match self.decide(cx) {
+            AutoChoice::Lockstep => LockstepBackend::new(self.width())
+                .with_compaction(self.compaction)
+                .executor(cx),
+            // Product-tree corpora normally exit via run_whole before any
+            // executor is minted; launch-driven drivers degrade to scalar.
+            AutoChoice::Scalar | AutoChoice::ProductTree => ScalarBackend.executor(cx),
+        }
+    }
+
+    fn run_whole(&self, cx: &ExecCtx<'_>) -> Option<Vec<Finding>> {
+        match self.decide(cx) {
+            AutoChoice::ProductTree => Some(product_tree_findings(cx, true)),
+            AutoChoice::Scalar | AutoChoice::Lockstep => None,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Backend — the one-stop enum for ScanPipeline::backend.
+// ---------------------------------------------------------------------------
+
+/// Ready-made backend selection for
+/// [`ScanPipeline::backend`](crate::scan::ScanPipeline::backend): every
+/// fixed strategy with its default tuning, plus [`Auto`](Backend::Auto).
+///
+/// Each pipeline call constructs the concrete backend on the fly, so
+/// `Backend::Auto` re-derives its per-corpus decision on every use; the
+/// probe is deterministic and cheap, but construct an [`AutoBackend`]
+/// directly to cache the resolution across workers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Backend {
+    /// Per-pair scalar host scan ([`ScalarBackend`]).
+    Scalar,
+    /// Fixed lockstep SIMT warps of width 32 ([`LockstepBackend`]).
+    Lockstep,
+    /// Lockstep with default compaction/refill
+    /// ([`LockstepBackend::with_compaction`]).
+    LockstepCompact,
+    /// Product/remainder-tree batch GCD, parallel
+    /// ([`ProductTreeBackend`]).
+    ProductTree,
+    /// Probe the corpus and pick the fastest of the above
+    /// ([`AutoBackend`]).
+    Auto,
+}
+
+impl ScanBackend for Backend {
+    fn name(&self) -> &'static str {
+        match self {
+            Backend::Scalar => "scalar",
+            Backend::Lockstep => "lockstep",
+            Backend::LockstepCompact => "lockstep-compact",
+            Backend::ProductTree => "product-tree",
+            Backend::Auto => "auto",
+        }
+    }
+
+    fn preferred_run_len(&self, total_pairs: usize, workers: usize) -> usize {
+        match self {
+            Backend::Scalar => ScalarBackend.preferred_run_len(total_pairs, workers),
+            Backend::Lockstep | Backend::LockstepCompact => {
+                LockstepBackend::default().preferred_run_len(total_pairs, workers)
+            }
+            Backend::ProductTree => {
+                ProductTreeBackend { parallel: true }.preferred_run_len(total_pairs, workers)
+            }
+            Backend::Auto => AutoBackend::default().preferred_run_len(total_pairs, workers),
+        }
+    }
+
+    fn executor(&self, cx: &ExecCtx<'_>) -> Box<dyn LaunchExecutor + Send> {
+        match self {
+            Backend::Scalar => ScalarBackend.executor(cx),
+            Backend::Lockstep => LockstepBackend::default().executor(cx),
+            Backend::LockstepCompact => LockstepBackend::default()
+                .with_compaction(CompactionConfig::default())
+                .executor(cx),
+            Backend::ProductTree => ProductTreeBackend { parallel: true }.executor(cx),
+            Backend::Auto => AutoBackend::default().executor(cx),
+        }
+    }
+
+    fn is_whole_corpus(&self) -> bool {
+        matches!(self, Backend::ProductTree)
+    }
+
+    fn run_whole(&self, cx: &ExecCtx<'_>) -> Option<Vec<Finding>> {
+        match self {
+            Backend::ProductTree => ProductTreeBackend { parallel: true }.run_whole(cx),
+            Backend::Auto => AutoBackend::default().run_whole(cx),
+            _ => None,
+        }
     }
 }

@@ -98,6 +98,10 @@ pub(crate) fn run_layered_launch(
                 warp_instructions: out.warp_instructions,
                 mem_transactions: out.mem_transactions,
                 lane_iterations: out.lane_iterations,
+                active_lane_iters: out.active_lane_iters,
+                resident_lane_iters: out.resident_lane_iters,
+                compactions: out.compactions,
+                refills: out.refills,
                 simulated_seconds: out.simulated_seconds,
                 host_seconds: t0.elapsed().as_secs_f64(),
                 attempts: outcome.attempts,
@@ -126,6 +130,10 @@ pub(crate) fn run_layered_launch(
                     warp_instructions: 0.0,
                     mem_transactions: 0,
                     lane_iterations: 0,
+                    active_lane_iters: 0,
+                    resident_lane_iters: 0,
+                    compactions: 0,
+                    refills: 0,
                     simulated_seconds: None,
                     host_seconds: t0.elapsed().as_secs_f64(),
                     attempts: outcome.attempts,

@@ -28,7 +28,7 @@
 //! let arena = ModuliArena::try_from_moduli(&moduli).unwrap();
 //! let report = ScanPipeline::new(&arena)
 //!     .early(false)
-//!     .backend(LockstepBackend { warp_width: 8 })
+//!     .backend(LockstepBackend::new(8))
 //!     .run()
 //!     .unwrap();
 //! assert_eq!(report.scan.findings.len(), 1);
@@ -45,8 +45,9 @@ pub mod layers;
 pub mod report;
 
 pub use backend::{
-    combine_terminations, scan_block_into, ExecCtx, GpuSimBackend, LaunchExecutor, LaunchOutput,
-    LockstepBackend, ProductTreeBackend, ScalarBackend, ScanBackend,
+    combine_terminations, scan_block_into, AutoBackend, Backend, ExecCtx, GpuSimBackend,
+    LaunchExecutor, LaunchOutput, LockstepBackend, ProductTreeBackend, ScalarBackend, ScanBackend,
+    AUTO_LOCKSTEP_MIN_BITS, AUTO_MAX_BETA_FRACTION, AUTO_PRODUCT_TREE_MIN_MODULI,
 };
 pub use layers::{CheckpointLayer, FaultLayer, MetricsLayer, RetryLayer};
 pub use report::{
@@ -279,6 +280,10 @@ fn run_unlayered(
                     warp_instructions: 0.0,
                     mem_transactions: 0,
                     lane_iterations: 0,
+                    active_lane_iters: 0,
+                    resident_lane_iters: 0,
+                    compactions: 0,
+                    refills: 0,
                     simulated_seconds: None,
                     host_seconds: host.as_secs_f64(),
                     attempts: 1,
@@ -360,6 +365,10 @@ fn run_unlayered(
                 warp_instructions: out.warp_instructions,
                 mem_transactions: out.mem_transactions,
                 lane_iterations: out.lane_iterations,
+                active_lane_iters: out.active_lane_iters,
+                resident_lane_iters: out.resident_lane_iters,
+                compactions: out.compactions,
+                refills: out.refills,
                 simulated_seconds: out.simulated_seconds,
                 host_seconds,
                 attempts: 1,
@@ -679,7 +688,7 @@ pub fn scan_gpu_sim_serial(
 /// in warps of `warp_width` lanes.
 #[deprecated(
     since = "0.5.0",
-    note = "use ScanPipeline::new(&arena).backend(LockstepBackend { warp_width }).run()"
+    note = "use ScanPipeline::new(&arena).backend(LockstepBackend::new(warp_width)).run()"
 )]
 pub fn scan_lockstep(
     moduli: &[Nat],
@@ -694,12 +703,12 @@ pub fn scan_lockstep(
 /// `scan_lockstep` over a pre-packed [`ModuliArena`].
 #[deprecated(
     since = "0.5.0",
-    note = "use ScanPipeline::new(arena).backend(LockstepBackend { warp_width }).run()"
+    note = "use ScanPipeline::new(arena).backend(LockstepBackend::new(warp_width)).run()"
 )]
 pub fn scan_lockstep_arena(arena: &ModuliArena, early: bool, warp_width: usize) -> ScanReport {
     ScanPipeline::new(arena)
         .early(early)
-        .backend(LockstepBackend { warp_width })
+        .backend(LockstepBackend::new(warp_width))
         .run()
         // analyze: allow(no-panic, reason = "deprecated shim; a pipeline with no journal/fault layers is infallible by construction")
         .expect("the un-layered lockstep scan cannot fail")
@@ -788,7 +797,7 @@ mod tests {
         let arena = ModuliArena::try_from_moduli(moduli)?;
         Ok(ScanPipeline::new(&arena)
             .early(early)
-            .backend(LockstepBackend { warp_width: w })
+            .backend(LockstepBackend::new(w))
             .run()?
             .scan)
     }

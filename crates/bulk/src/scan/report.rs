@@ -210,6 +210,15 @@ pub struct LaunchMetrics {
     pub mem_transactions: u64,
     /// Total GCD lane-iterations (0 when the backend does not count them).
     pub lane_iterations: u64,
+    /// Σ running lanes over lockstep iterations (useful issue slots; 0
+    /// for backends without a lockstep engine).
+    pub active_lane_iters: u64,
+    /// Σ resident warp width over lockstep iterations (issued slots).
+    pub resident_lane_iters: u64,
+    /// Compaction events (survivors repacked into a dense column prefix).
+    pub compactions: u64,
+    /// Refill events (dead columns reloaded with pending pairs).
+    pub refills: u64,
     /// Simulated device seconds (launch-priced backends only).
     pub simulated_seconds: Option<f64>,
     /// Host wall-clock seconds spent executing the launch.
@@ -220,6 +229,19 @@ pub struct LaunchMetrics {
     pub backoff: Duration,
     /// Whether the launch degraded to the CPU fallback path.
     pub cpu_fallback: bool,
+}
+
+impl LaunchMetrics {
+    /// Mean active-lane occupancy of this launch: useful issue slots over
+    /// issued slots. `None` for backends without a lockstep engine (no
+    /// slots were issued).
+    pub fn occupancy(&self) -> Option<f64> {
+        if self.resident_lane_iters == 0 {
+            None
+        } else {
+            Some(self.active_lane_iters as f64 / self.resident_lane_iters as f64)
+        }
+    }
 }
 
 /// Structured per-launch metrics collected by the pipeline's metrics layer.
@@ -284,6 +306,28 @@ impl ScanMetrics {
         self.launches.iter().filter(|l| l.cpu_fallback).count() as u64
     }
 
+    /// Total compaction events across executed launches.
+    pub fn total_compactions(&self) -> u64 {
+        self.launches.iter().map(|l| l.compactions).sum()
+    }
+
+    /// Total refill events across executed launches.
+    pub fn total_refills(&self) -> u64 {
+        self.launches.iter().map(|l| l.refills).sum()
+    }
+
+    /// Scan-wide mean active-lane occupancy, weighted by issued slots.
+    /// `None` when no launch issued lockstep slots (scalar/product-tree
+    /// backends).
+    pub fn mean_occupancy(&self) -> Option<f64> {
+        let resident: u64 = self.launches.iter().map(|l| l.resident_lane_iters).sum();
+        if resident == 0 {
+            return None;
+        }
+        let active: u64 = self.launches.iter().map(|l| l.active_lane_iters).sum();
+        Some(active as f64 / resident as f64)
+    }
+
     /// Total backoff a production driver would have slept.
     pub fn total_backoff(&self) -> Duration {
         self.launches.iter().map(|l| l.backoff).sum()
@@ -313,7 +357,9 @@ impl ScanMetrics {
                     concat!(
                         "    {{\"launch\": {}, \"lanes\": {}, \"warps\": {}, ",
                         "\"warp_instructions\": {}, \"mem_transactions\": {}, ",
-                        "\"lane_iterations\": {}, \"simulated_seconds\": {}, ",
+                        "\"lane_iterations\": {}, \"occupancy\": {}, ",
+                        "\"compactions\": {}, \"refills\": {}, ",
+                        "\"simulated_seconds\": {}, ",
                         "\"host_seconds\": {}, \"attempts\": {}, ",
                         "\"backoff_seconds\": {}, \"cpu_fallback\": {}}}"
                     ),
@@ -323,6 +369,9 @@ impl ScanMetrics {
                     f64_field(l.warp_instructions),
                     l.mem_transactions,
                     l.lane_iterations,
+                    opt_f64(l.occupancy()),
+                    l.compactions,
+                    l.refills,
                     opt_f64(l.simulated_seconds),
                     f64_field(l.host_seconds),
                     l.attempts,
@@ -346,6 +395,9 @@ impl ScanMetrics {
                 "  \"total_warps\": {warps},\n",
                 "  \"total_warp_instructions\": {insts},\n",
                 "  \"total_mem_transactions\": {txns},\n",
+                "  \"mean_occupancy\": {occupancy},\n",
+                "  \"total_compactions\": {compactions},\n",
+                "  \"total_refills\": {refills},\n",
                 "  \"launches\": [\n{rows}\n  ]\n",
                 "}}\n"
             ),
@@ -361,6 +413,9 @@ impl ScanMetrics {
             warps = self.total_warps(),
             insts = f64_field(self.total_warp_instructions()),
             txns = self.total_mem_transactions(),
+            occupancy = opt_f64(self.mean_occupancy()),
+            compactions = self.total_compactions(),
+            refills = self.total_refills(),
             rows = rows.join(",\n"),
         )
     }

@@ -16,7 +16,9 @@
 //!   down to the f64 bits, `divergent_iterations` included.
 
 use bulkgcd_bigint::{Limb, Nat};
-use bulkgcd_bulk::LockstepEngine;
+use bulkgcd_bulk::{
+    Backend, CompactionConfig, LockstepBackend, LockstepEngine, ModuliArena, ScanPipeline,
+};
 use bulkgcd_core::{run_in_place, Algorithm, GcdPair, GcdStatus, NoProbe, StepKind, Termination};
 use bulkgcd_gpu::{execute_warp, CostModel, DeviceConfig, WarpWork};
 use bulkgcd_rsa::build_corpus;
@@ -60,6 +62,52 @@ fn check_warps(pairs: &[(Vec<Limb>, Vec<Limb>)], w: usize, term: Termination) {
             }
         }
     }
+}
+
+/// Run `pairs` through one compacting/refilling queue of width `w` and
+/// check every queue entry against the scalar loop under the same
+/// (launch-level) termination — compaction and refill must be invisible
+/// in statuses and factors.
+fn check_queue(
+    pairs: &[(Vec<Limb>, Vec<Limb>)],
+    w: usize,
+    term: Termination,
+    cfg: CompactionConfig,
+) {
+    let inputs: Vec<(&[Limb], &[Limb])> = pairs
+        .iter()
+        .map(|(a, b)| (a.as_slice(), b.as_slice()))
+        .collect();
+    let mut engine = LockstepEngine::new(w);
+    engine.run_queue(&inputs, term, cfg);
+    assert_eq!(engine.queue_len(), pairs.len());
+    for (q, (a, b)) in pairs.iter().enumerate() {
+        let (status, gcd) = scalar_reference(a, b, term);
+        assert_eq!(engine.queue_status(q), status, "entry {q} status");
+        match gcd {
+            Some(g) => {
+                assert_eq!(engine.queue_gcd_is_one(q), g.is_one(), "entry {q} is_one");
+                match engine.queue_factor(q) {
+                    Some(f) => assert_eq!(*f, g, "entry {q} factor"),
+                    None => assert!(g.is_one(), "entry {q} lost its factor"),
+                }
+            }
+            None => assert!(
+                engine.queue_factor(q).is_none(),
+                "interrupted entry {q} must carry no factor"
+            ),
+        }
+    }
+}
+
+/// Compaction tunings spanning never-compact, always-compact, and
+/// fractional thresholds, with and without refill.
+fn compaction_cfg() -> impl Strategy<Value = CompactionConfig> {
+    (0.0f64..=1.0, any::<bool>()).prop_map(|(min_active_fraction, refill)| CompactionConfig {
+        min_active_fraction,
+        refill,
+        ..CompactionConfig::default()
+    })
 }
 
 /// An **odd** operand of 1..=`max_limbs` limbs (top limb forced nonzero).
@@ -108,6 +156,106 @@ proptest! {
     ) {
         check_warps(&pairs, w, Termination::Full);
     }
+
+    /// Queue mode over ragged queues (entries ≫ columns, arbitrary
+    /// compaction tuning): every entry matches the scalar loop exactly —
+    /// repacking survivors and refilling dead columns changes nothing.
+    #[test]
+    fn queue_matches_scalar_on_ragged_queues(
+        pairs in vec((operand(8), operand(8)), 1..24),
+        w in prop_oneof![Just(1usize), Just(3), Just(8), Just(16)],
+        cfg in compaction_cfg(),
+    ) {
+        check_queue(&pairs, w, Termination::Full, cfg);
+    }
+
+    /// Queue mode under early termination: lanes die at different
+    /// iterations (the divergence compaction exists to exploit), and the
+    /// harvested statuses still match the scalar loop entry for entry.
+    #[test]
+    fn queue_matches_scalar_under_early_termination(
+        pairs in vec((operand(8), operand(8)), 1..16),
+        threshold_bits in 1u64..200,
+        w in prop_oneof![Just(1usize), Just(4), Just(8)],
+        cfg in compaction_cfg(),
+    ) {
+        check_queue(&pairs, w, Termination::Early { threshold_bits }, cfg);
+    }
+
+    /// Queue mode on β>0-forcing shapes: the serialized divergent fixups
+    /// interleave with compaction boundaries and still match the scalar
+    /// loop.
+    #[test]
+    fn queue_matches_scalar_on_beta_positive_shapes(
+        pairs in vec((operand(12), operand(2)), 1..12),
+        w in prop_oneof![Just(2usize), Just(8)],
+        cfg in compaction_cfg(),
+    ) {
+        check_queue(&pairs, w, Termination::Full, cfg);
+    }
+}
+
+/// Pipeline-level finding equivalence: plain lockstep, compacted lockstep,
+/// and the auto selector all land on the scalar pipeline's findings, byte
+/// for byte, on corpora with planted shared primes.
+#[test]
+fn compacted_and_auto_backends_match_scalar_findings() {
+    for bits in [128u64, 512] {
+        let mut rng = StdRng::seed_from_u64(0xc0ffee ^ bits);
+        let moduli = build_corpus(&mut rng, 24, bits, 2).moduli();
+        let arena = ModuliArena::try_from_moduli(&moduli).expect("non-degenerate corpus");
+        let reference = ScanPipeline::new(&arena)
+            .run()
+            .expect("scalar scan")
+            .scan
+            .findings;
+        assert!(!reference.is_empty(), "corpus plants shared primes");
+        for backend in [Backend::Lockstep, Backend::LockstepCompact, Backend::Auto] {
+            let got = ScanPipeline::new(&arena)
+                .backend(backend)
+                .launch_pairs(32)
+                .run()
+                .expect("backend scan")
+                .scan
+                .findings;
+            assert_eq!(
+                got, reference,
+                "{backend:?} findings diverge at {bits} bits"
+            );
+        }
+    }
+}
+
+/// The metrics layer surfaces queue-mode occupancy and compaction/refill
+/// events; plain fixed warps report occupancy but no events.
+#[test]
+fn compaction_metrics_surface_occupancy_and_events() {
+    let mut rng = StdRng::seed_from_u64(0x0cc);
+    let moduli = build_corpus(&mut rng, 32, 128, 2).moduli();
+    let arena = ModuliArena::try_from_moduli(&moduli).expect("non-degenerate corpus");
+    let run_with = |backend: LockstepBackend| {
+        ScanPipeline::new(&arena)
+            .backend(backend)
+            .launch_pairs(64)
+            .metrics()
+            .run()
+            .expect("lockstep scan")
+            .metrics
+            .expect("metrics layer collects")
+    };
+    let compacted = run_with(LockstepBackend::new(8).with_compaction(CompactionConfig::default()));
+    let occ = compacted
+        .mean_occupancy()
+        .expect("lockstep scans report occupancy");
+    assert!(occ > 0.0 && occ <= 1.0, "occupancy {occ} out of range");
+    assert!(
+        compacted.total_refills() > 0,
+        "64-pair launches through an 8-wide queue must refill"
+    );
+    let plain = run_with(LockstepBackend::new(8));
+    assert!(plain.mean_occupancy().is_some());
+    assert_eq!(plain.total_compactions(), 0, "plain warps never compact");
+    assert_eq!(plain.total_refills(), 0, "plain warps never refill");
 }
 
 /// β>0 really occurs on the unbalanced corpus — the proptest above is

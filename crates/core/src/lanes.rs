@@ -201,9 +201,39 @@ pub fn fused_submul_rshift_columns(
     prev: &mut [Limb],
     dcur: &mut [Limb],
 ) {
-    assert!(u.len() >= rows * w && v.len() >= rows * w);
-    assert!(sel.len() >= w && alpha.len() >= w && rs.len() >= w);
-    assert!(carry.len() >= w && prev.len() >= w && dcur.len() >= w);
+    fused_submul_rshift_columns_prefix(u, v, w, w, rows, sel, alpha, rs, carry, prev, dcur);
+}
+
+/// [`fused_submul_rshift_columns`] over a **dense column prefix**: process
+/// only columns `0..lanes` of planes whose row stride stays `w`.
+///
+/// This is the warp-compaction entry point: after survivors of a ragged
+/// warp are repacked into a dense prefix (or the resident width shrinks as
+/// lanes terminate without replacement), the vector pass only touches the
+/// live columns instead of dragging `w − lanes` identity lanes through
+/// every row. With `lanes == w` it is exactly the full-width pass.
+// analyze: constant-flow(public = "w, lanes, rows")
+#[allow(clippy::too_many_arguments)]
+pub fn fused_submul_rshift_columns_prefix(
+    u: &mut [Limb],
+    v: &mut [Limb],
+    w: usize,
+    lanes: usize,
+    rows: usize,
+    sel: &[Limb],
+    alpha: &[Limb],
+    rs: &[u32],
+    carry: &mut [u64],
+    prev: &mut [Limb],
+    dcur: &mut [Limb],
+) {
+    assert!(
+        lanes <= w,
+        "column prefix wider than the plane: {lanes} > {w}"
+    );
+    assert!(rows == 0 || (u.len() >= rows * w && v.len() >= rows * w));
+    assert!(sel.len() >= lanes && alpha.len() >= lanes && rs.len() >= lanes);
+    assert!(carry.len() >= lanes && prev.len() >= lanes && dcur.len() >= lanes);
     #[cfg(target_arch = "x86_64")]
     {
         if std::arch::is_x86_feature_detected!("avx2") {
@@ -211,13 +241,50 @@ pub fn fused_submul_rshift_columns(
             // contains no intrinsics, the attribute only licenses the
             // compiler to autovectorize with AVX2 instructions.
             unsafe {
-                columns_avx2(u, v, w, rows, sel, alpha, rs, carry, prev, dcur);
+                columns_avx2(u, v, w, lanes, rows, sel, alpha, rs, carry, prev, dcur);
             }
             // analyze: allow(cf-early-return, reason = "ISA dispatch: uniform across all lanes, decided before any operand word is read")
             return;
         }
     }
-    columns_kernel(u, v, w, rows, sel, alpha, rs, carry, prev, dcur);
+    columns_kernel(u, v, w, lanes, rows, sel, alpha, rs, carry, prev, dcur);
+}
+
+/// Copy lane column `src` onto lane column `dst` across **both** operand
+/// planes (`rows` limb rows, row stride `w`) — the plane half of a warp
+/// compaction: together with the per-lane registers (`sel`, `lX`, `lY`,
+/// state) it relocates a surviving lane into the dense prefix. The copy is
+/// a fixed strided sweep: which lanes move is decided by the public
+/// termination structure, never by operand values.
+// analyze: constant-flow(public = "w, rows, src, dst")
+pub fn copy_lane_columns(
+    u: &mut [Limb],
+    v: &mut [Limb],
+    w: usize,
+    rows: usize,
+    src: usize,
+    dst: usize,
+) {
+    assert!(src < w && dst < w, "lane out of range: {src}/{dst} vs {w}");
+    assert!(rows == 0 || (u.len() >= rows * w && v.len() >= rows * w));
+    for k in 0..rows {
+        let base = k * w;
+        u[base + dst] = u[base + src];
+        v[base + dst] = v[base + src];
+    }
+}
+
+/// Zero lane column `t` across both operand planes (`rows` limb rows, row
+/// stride `w`): clears a dead column before a fresh pair is refilled into
+/// it, restoring the high-zero padding invariant the vector pass relies on.
+// analyze: constant-flow(public = "w, rows, t")
+pub fn zero_lane_columns(u: &mut [Limb], v: &mut [Limb], w: usize, rows: usize, t: usize) {
+    assert!(t < w, "lane out of range: {t} vs {w}");
+    for k in 0..rows {
+        let base = k * w;
+        u[base + t] = 0;
+        v[base + t] = 0;
+    }
 }
 
 // SAFETY: callers must only invoke this when the CPU supports AVX2 (the
@@ -225,7 +292,7 @@ pub fn fused_submul_rshift_columns(
 // is as safe as `columns_kernel` — the body holds no intrinsics and no raw
 // pointers, the target-feature attribute merely licenses the compiler to
 // autovectorize the inlined kernel with AVX2 instructions.
-// analyze: constant-flow(public = "w, rows")
+// analyze: constant-flow(public = "w, lanes, rows")
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx2")]
 #[allow(clippy::too_many_arguments)]
@@ -233,6 +300,7 @@ unsafe fn columns_avx2(
     u: &mut [Limb],
     v: &mut [Limb],
     w: usize,
+    lanes: usize,
     rows: usize,
     sel: &[Limb],
     alpha: &[Limb],
@@ -241,18 +309,22 @@ unsafe fn columns_avx2(
     prev: &mut [Limb],
     dcur: &mut [Limb],
 ) {
-    columns_kernel(u, v, w, rows, sel, alpha, rs, carry, prev, dcur);
+    columns_kernel(u, v, w, lanes, rows, sel, alpha, rs, carry, prev, dcur);
 }
 
 /// The portable kernel body; `inline(always)` so the AVX2 wrapper's
 /// target-feature scope covers the loops it is asked to vectorize.
-// analyze: constant-flow(public = "w, rows")
+///
+/// `w` is the plane row stride; `lanes ≤ w` the dense column prefix to
+/// process (the warp's resident width after compaction).
+// analyze: constant-flow(public = "w, lanes, rows")
 #[inline(always)]
 #[allow(clippy::too_many_arguments)]
 fn columns_kernel(
     u: &mut [Limb],
     v: &mut [Limb],
     w: usize,
+    lanes: usize,
     rows: usize,
     sel: &[Limb],
     alpha: &[Limb],
@@ -261,12 +333,12 @@ fn columns_kernel(
     prev: &mut [Limb],
     dcur: &mut [Limb],
 ) {
-    let sel = &sel[..w];
-    let alpha = &alpha[..w];
-    let rs = &rs[..w];
-    let carry = &mut carry[..w];
-    let mut prev = &mut prev[..w];
-    let mut dcur = &mut dcur[..w];
+    let sel = &sel[..lanes];
+    let alpha = &alpha[..lanes];
+    let rs = &rs[..lanes];
+    let carry = &mut carry[..lanes];
+    let mut prev = &mut prev[..lanes];
+    let mut dcur = &mut dcur[..lanes];
     for c in carry.iter_mut() {
         *c = 0;
     }
@@ -275,11 +347,11 @@ fn columns_kernel(
         let base = k * w;
         // Difference row k: d = x_k − (α·y_k + carry) with the combined
         // mul-high + borrow carry chain of the scalar fused pass. Lanes
-        // are independent — one row, w lanes, vectorizable.
+        // are independent — one row, `lanes` lanes, vectorizable.
         {
-            let urow = &u[base..base + w];
-            let vrow = &v[base..base + w];
-            for t in 0..w {
+            let urow = &u[base..base + lanes];
+            let vrow = &v[base..base + lanes];
+            for t in 0..lanes {
                 let m = sel[t];
                 let uw = urow[t];
                 let vw = vrow[t];
@@ -296,7 +368,7 @@ fn columns_kernel(
         // scalar `(prev >> rs) | (d << (32 − rs))` that is also exact at
         // rs = 0 (identity lanes).
         if k > 0 {
-            emit_row(u, v, w, k - 1, sel, rs, prev, dcur);
+            emit_row(u, v, w, lanes, k - 1, sel, rs, prev, dcur);
         }
         core::mem::swap(&mut prev, &mut dcur);
     }
@@ -304,19 +376,20 @@ fn columns_kernel(
     // the scalar loop's final `x[xl−1] = prev >> rs` write.
     if rows > 0 {
         dcur.fill(0);
-        emit_row(u, v, w, rows - 1, sel, rs, prev, dcur);
+        emit_row(u, v, w, lanes, rows - 1, sel, rs, prev, dcur);
     }
 }
 
 /// Emit one shifted output row into the selected `X` plane of each lane,
 /// leaving the `Y` plane untouched, with branchless blend stores.
-// analyze: constant-flow(public = "w, row")
+// analyze: constant-flow(public = "w, lanes, row")
 #[inline(always)]
 #[allow(clippy::too_many_arguments)]
 fn emit_row(
     u: &mut [Limb],
     v: &mut [Limb],
     w: usize,
+    lanes: usize,
     row: usize,
     sel: &[Limb],
     rs: &[u32],
@@ -324,9 +397,9 @@ fn emit_row(
     d: &[Limb],
 ) {
     let base = row * w;
-    let urow = &mut u[base..base + w];
-    let vrow = &mut v[base..base + w];
-    for t in 0..w {
+    let urow = &mut u[base..base + lanes];
+    let vrow = &mut v[base..base + lanes];
+    for t in 0..lanes {
         let m = sel[t];
         let out = (((prev[t] as u64) | ((d[t] as u64) << LIMB_BITS)) >> rs[t]) as Limb;
         let uw = urow[t];

@@ -49,7 +49,10 @@ pub mod smallword;
 
 pub use algorithms::{gcd_nat, run, run_in_place, Algorithm, GcdOutcome, GcdStatus, Termination};
 pub use approx::{approx, approx_top_words, Approx, ApproxCase};
-pub use lanes::{fused_submul_rshift_columns, plan_lane, LanePlan};
+pub use lanes::{
+    copy_lane_columns, fused_submul_rshift_columns, fused_submul_rshift_columns_prefix, plan_lane,
+    zero_lane_columns, LanePlan,
+};
 pub use lehmer::{lehmer_euclid, lehmer_gcd_nat};
 pub use operand::GcdPair;
 pub use probe::{NoProbe, Probe, RunStats, StatsProbe, Step, StepKind, TraceProbe};

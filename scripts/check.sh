@@ -41,9 +41,11 @@ fi
 echo "== fault-injection smoke: resumable scan under a seeded fault plan"
 cargo run --release -q -p bulkgcd-bench --bin scan_bench -- --inject-faults --resume
 
-echo "== perf gates: lockstep >= 0.95x scalar arena scan, builder pipeline >= 0.98x direct call"
+echo "== perf gates: lockstep >= 0.95x scalar arena scan, builder pipeline >= 0.98x direct call,"
+echo "==             compaction occupancy >= 1.15x plain at 128-bit + wall-clock floors, auto >= 0.90x best fixed"
 cargo run --release -q -p bulkgcd-bench --bin scan_bench -- \
-    --gate-lockstep --gate-pipeline --sizes 32,64 --bits 1024 --reps 3 \
+    --gate-lockstep --gate-pipeline --gate-compaction \
+    --sizes 32,64 --bits 128,1024 --reps 3 \
     --out /tmp/bulkgcd_gate_scan.json \
     > /dev/null
 

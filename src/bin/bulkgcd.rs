@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! bulkgcd gen   --keys 64 --bits 512 --weak-pairs 3 --out corpus.txt
-//! bulkgcd scan  corpus.txt [--engine cpu|gpu|blocks|batch] [--algo E] [--full] [--metrics-out m.json]
+//! bulkgcd scan  corpus.txt [--engine cpu|lockstep|gpu|blocks|batch|auto] [--algo E] [--full] [--metrics-out m.json]
 //! bulkgcd check corpus.txt <modulus-hex>
 //! bulkgcd gcd   <x-hex> <y-hex> [--algo A|B|C|D|E|lehmer] [--stats]
 //! ```
@@ -154,7 +154,7 @@ fn cmd_scan(args: &Args) -> Result<(), String> {
     let path = args
         .positional
         .get(1)
-        .ok_or("usage: bulkgcd scan <corpus-file> [--engine cpu|gpu|blocks|batch]")?;
+        .ok_or("usage: bulkgcd scan <corpus-file> [--engine cpu|lockstep|gpu|blocks|batch|auto]")?;
     let (moduli, raw_indices) = sanitized_corpus(args, read_corpus(path)?)?;
     if moduli.len() < 2 {
         // Quarantine may leave fewer than two scannable moduli; that is a
@@ -208,8 +208,23 @@ fn cmd_scan(args: &Args) -> Result<(), String> {
                     cost: CostModel::default(),
                 });
             }
+            "lockstep" => {
+                if algo != Algorithm::Approximate {
+                    return Err(format!(
+                        "--engine lockstep executes the Approximate variant only, not {algo:?} \
+                         (drop --algo or use --algo E)"
+                    ));
+                }
+                pipeline = pipeline
+                    .backend(LockstepBackend::new(32).with_compaction(CompactionConfig::default()));
+            }
             "batch" => {
                 pipeline = pipeline.backend(ProductTreeBackend { parallel: true });
+            }
+            "auto" => {
+                // AutoBackend (not Backend::Auto) so a --metrics-out report
+                // names the resolved choice as "auto:<backend>".
+                pipeline = pipeline.backend(AutoBackend::new(32));
             }
             other => return Err(format!("unknown engine {other:?}")),
         }
@@ -378,7 +393,7 @@ fn usage() -> String {
 
 USAGE:
   bulkgcd gen   [--keys N] [--bits B] [--weak-pairs W] [--seed S] [--out FILE] [--truth FILE]
-  bulkgcd scan  <corpus-file> [--engine cpu|gpu|blocks|batch] [--algo A..E] [--full] [--metrics-out FILE]
+  bulkgcd scan  <corpus-file> [--engine cpu|lockstep|gpu|blocks|batch|auto] [--algo A..E] [--full] [--metrics-out FILE]
   bulkgcd check <corpus-file> <modulus-hex>
   bulkgcd break <corpus-file> [--exponent E]   # prints: index factor-hex d-hex
   bulkgcd gcd   <x-hex> <y-hex> [--algo A|B|C|D|E|lehmer] [--stats]

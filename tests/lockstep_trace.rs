@@ -23,7 +23,7 @@
 
 use bulkgcd_bigint::random::random_odd_bits;
 use bulkgcd_bigint::{Limb, Nat};
-use bulkgcd_bulk::{LockstepEngine, LockstepTrace};
+use bulkgcd_bulk::{CompactionConfig, LockstepEngine, LockstepTrace};
 use bulkgcd_core::Termination;
 use bulkgcd_umm::oblivious;
 use bulkgcd_umm::trace::Access;
@@ -157,4 +157,149 @@ fn traced_ragged_and_tiny_operands() {
         (Nat::from_u64(1), Nat::from_u64(1)),
     ];
     check_warp(&pairs, Termination::Full, "ragged warp");
+}
+
+/// Queue mode (compaction + refill): the vector pass must stay perfectly
+/// uniform **across compaction boundaries** — a service pass repacks
+/// columns and swaps queue entries in and out, yet every step of the
+/// vector trace still has all non-idle entries touching the identical
+/// address, and each entry's non-idle window is exactly the pure row
+/// sweep of its iteration. The compaction events themselves are recorded
+/// in the trace, so the test can prove boundaries actually occurred.
+#[test]
+fn queue_vector_pass_stays_uniform_across_compaction_boundaries() {
+    let mut rng = StdRng::seed_from_u64(0xc0de);
+    // Mixed-width entries (so lanes terminate at very different iteration
+    // counts) plus one shared-factor pair, in a queue ~5× the warp width:
+    // the service pass must both refill and, once pending drains, repack.
+    let p = random_odd_bits(&mut rng, 96);
+    let mut pairs: Vec<(Nat, Nat)> = (0..40)
+        .map(|i| {
+            let bits = if i % 3 == 0 { 128 } else { 256 };
+            (
+                random_odd_bits(&mut rng, bits),
+                random_odd_bits(&mut rng, bits),
+            )
+        })
+        .collect();
+    pairs.push((
+        p.mul(&random_odd_bits(&mut rng, 96)),
+        p.mul(&random_odd_bits(&mut rng, 96)),
+    ));
+    let inputs: Vec<(&[Limb], &[Limb])> = pairs
+        .iter()
+        .map(|(a, b)| (a.as_limbs(), b.as_limbs()))
+        .collect();
+
+    for (ci, cfg) in [
+        CompactionConfig::default(),
+        CompactionConfig {
+            min_active_fraction: 0.5,
+            refill: true,
+            ..CompactionConfig::default()
+        },
+        CompactionConfig {
+            min_active_fraction: 1.0,
+            refill: false,
+            ..CompactionConfig::default()
+        },
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        let label = format!("cfg {ci}");
+        let mut engine = LockstepEngine::new(WARP);
+        let trace = engine.run_queue_traced(&inputs, Termination::Full, cfg);
+
+        // The boundaries exist: a 41-entry queue through an 8-wide warp
+        // cannot finish without service events.
+        assert!(
+            !trace.events.is_empty(),
+            "{label}: queue run recorded no compaction/refill events"
+        );
+        if cfg.refill {
+            assert!(
+                trace.events.iter().any(|e| e.refilled > 0),
+                "{label}: refilling config never refilled"
+            );
+        } else {
+            assert!(
+                trace.events.iter().any(|e| e.repacked),
+                "{label}: compact-only config never repacked"
+            );
+        }
+        for e in &trace.events {
+            assert!(e.width_after <= WARP, "{label}: width grew past the warp");
+            assert!(
+                e.iteration <= trace.iterations,
+                "{label}: event off the end"
+            );
+        }
+
+        // Dynamic constant-flow: the whole vector trace scores perfectly
+        // uniform — compaction moved lanes between columns without ever
+        // desynchronizing a step.
+        let report = oblivious::analyze(&trace.vector);
+        assert_eq!(
+            report.uniform_fraction(),
+            1.0,
+            "{label}: queue vector pass must stay uniform: {report:?}"
+        );
+
+        // Per-entry: every non-idle window is the pure row sweep of its
+        // iteration — addresses derive from (rows_per_iter, stride) alone.
+        let steps = 3 * trace.rows_per_iter.iter().sum::<usize>();
+        let mut base = 0usize;
+        for &rows in &trace.rows_per_iter {
+            for (q, th) in trace.vector.threads.iter().enumerate() {
+                assert_eq!(th.accesses.len(), steps, "{label}: entry {q} unpadded");
+                for k in 0..rows {
+                    let win = &th.accesses[base + 3 * k..base + 3 * k + 3];
+                    if win[0].is_none() {
+                        assert!(
+                            win.iter().all(Option::is_none),
+                            "{label}: entry {q} partial sweep at row {k}"
+                        );
+                    } else {
+                        assert_eq!(win[0], Some(Access::Read(k)), "{label}: entry {q}");
+                        assert_eq!(
+                            win[1],
+                            Some(Access::Read(trace.stride + k)),
+                            "{label}: entry {q}"
+                        );
+                        assert_eq!(win[2], Some(Access::Write(k)), "{label}: entry {q}");
+                    }
+                }
+            }
+            base += 3 * rows;
+        }
+
+        // Planning phase stays step-aligned through service boundaries and
+        // inside the operand planes.
+        for (q, th) in trace.plan.threads.iter().enumerate() {
+            assert_eq!(
+                th.len(),
+                trace.iterations * 8,
+                "{label}: entry {q} plan slots"
+            );
+        }
+        assert!(
+            trace.plan.words_required() <= 2 * trace.stride,
+            "{label}: plan reads escaped the operand planes"
+        );
+
+        // Tracing and compaction must not perturb results.
+        for (q, (a, b)) in pairs.iter().enumerate() {
+            let want = a.gcd_reference(b);
+            assert_eq!(
+                engine.queue_status(q),
+                bulkgcd_core::GcdStatus::Done,
+                "{label}: entry {q}"
+            );
+            match engine.queue_factor(q) {
+                Some(f) => assert_eq!(*f, want, "{label}: entry {q} factor"),
+                None => assert!(want.is_one(), "{label}: entry {q} lost its factor"),
+            }
+        }
+    }
 }
