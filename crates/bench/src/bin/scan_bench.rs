@@ -45,8 +45,9 @@
 use bulkgcd_bench::Options;
 use bulkgcd_bigint::Nat;
 use bulkgcd_bulk::{
-    group_size_for, AutoBackend, CompactionConfig, FaultPlan, GpuSimBackend, GroupedPairs,
-    LockstepBackend, ModuliArena, ScanError, ScanJournal, ScanPipeline,
+    group_size_for, run_sharded, AutoBackend, CompactionConfig, FaultPlan, GpuSimBackend,
+    GroupedPairs, LockstepBackend, ModuliArena, ScanError, ScanJournal, ScanPipeline, ShardConfig,
+    ShardFaultPlan, TilePlan,
 };
 use bulkgcd_core::{run, Algorithm, GcdOutcome, GcdPair, NoProbe, Termination};
 use bulkgcd_gpu::{CostModel, DeviceConfig, RetryPolicy};
@@ -273,10 +274,188 @@ fn fault_smoke(opts: &Options) {
     );
 }
 
+/// The `--shards --inject-faults` smoke: run the full shard protocol —
+/// tile plan, lease ledger, worker deaths, torn journals, lease losses,
+/// duplicate completions, all from a seeded [`ShardFaultPlan`] — and
+/// prove the merged report matches the unsharded fault-free scan bit for
+/// bit (findings and the f64 simulated-seconds sum). Resume is inherent
+/// to the protocol (dead workers' tiles are reclaimed and resumed from
+/// their journals), so `--resume` is accepted and implied.
+fn shard_smoke(opts: &Options) {
+    let m: usize = opts.get("keys", 24);
+    let bits: u64 = opts.get("bits", 128);
+    let launch_pairs: usize = opts.get("launch-pairs", 16);
+    let shards: usize = opts.get("shards", 4);
+    let seed: u64 = opts.get("fault-seed", 7);
+    let algo = Algorithm::Approximate;
+    let device = DeviceConfig::gtx_780_ti();
+    let cost = CostModel::default();
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let moduli = build_corpus(&mut rng, m, bits, 2).moduli();
+    let arena = ModuliArena::try_from_moduli(&moduli).expect("corpus is non-degenerate");
+    let gpu_backend = || GpuSimBackend {
+        device: device.clone(),
+        cost: cost.clone(),
+    };
+    let baseline = ScanPipeline::new(&arena)
+        .algorithm(algo)
+        .backend(gpu_backend())
+        .launch_pairs(launch_pairs)
+        .run()
+        .expect("fault-free baseline scan")
+        .scan;
+
+    let plan = TilePlan::new(m, launch_pairs, shards);
+    let faults = ShardFaultPlan::seeded(seed, plan.len() as u64);
+    eprintln!(
+        "shard smoke: {m} keys, {} launches in {} tiles, {} tile faults injected",
+        plan.launches(),
+        plan.len(),
+        faults.len(),
+    );
+    let mut config = ShardConfig::new(shards, launch_pairs);
+    config.algo = algo;
+    config.serial = true;
+    let report = match run_sharded(&arena, &config, &faults, gpu_backend) {
+        Ok(rep) => rep,
+        Err(e) => {
+            eprintln!("error: shard smoke failed: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    assert_eq!(
+        report.scan.findings, baseline.findings,
+        "sharded scan must reproduce the unsharded findings"
+    );
+    assert_eq!(
+        report.scan.simulated_seconds.map(f64::to_bits),
+        baseline.simulated_seconds.map(f64::to_bits),
+        "sharded simulated-seconds sum must match the unsharded run bit for bit"
+    );
+    let s = &report.stats;
+    eprintln!(
+        "  survived {} worker death(s) ({} torn journals), {} lease loss(es), \
+         {} duplicate completion(s); {} attempts, {} launches executed, {} resumed",
+        s.worker_deaths,
+        s.torn_journals,
+        s.lease_losses,
+        s.duplicate_completions,
+        s.worker_attempts,
+        s.executed_launches,
+        s.resumed_launches,
+    );
+    println!(
+        "shard smoke OK: {} findings and simulated seconds match the unsharded scan",
+        report.scan.findings.len()
+    );
+}
+
+/// The `--gate-shards` efficiency gate. This box may be single-core, so
+/// the gate judges *serial work*, not wall-clock parallelism: it times the
+/// unsharded serial scan against each tile's serial scan (interleaved, per
+/// round) and requires
+/// `t_unsharded / (shards × max_tile_time) >= EFFICIENCY_FLOOR` — i.e.
+/// sharding must not inflate any tile's work by more than the tile-size
+/// imbalance plus a small per-shard overhead budget.
+fn gate_shards(opts: &Options) {
+    // Defaults chosen so the launch count (64·63/2 / 126 = 16) divides the
+    // shard count evenly: the gate then measures per-shard *overhead*, not
+    // the structural ceiling a ragged tile plan imposes.
+    let m: usize = opts.get("keys", 64);
+    let bits: u64 = opts.get("bits", 256);
+    let launch_pairs: usize = opts.get("launch-pairs", 126);
+    let shards: usize = opts.get("shards", 4);
+    let reps: usize = opts.get("reps", 3);
+    const EFFICIENCY_FLOOR: f64 = 0.80;
+    let algo = Algorithm::Approximate;
+    let device = DeviceConfig::gtx_780_ti();
+    let cost = CostModel::default();
+
+    let mut rng = StdRng::seed_from_u64(0x5ca9 ^ m as u64 ^ (bits << 17));
+    let moduli = build_corpus(&mut rng, m, bits, 2).moduli();
+    let arena = ModuliArena::try_from_moduli(&moduli).expect("gate corpus is non-degenerate");
+    let plan = TilePlan::new(m, launch_pairs, shards);
+    assert!(
+        plan.len() == shards,
+        "gate corpus too small: {} launches yield {} tiles, wanted {shards}",
+        plan.launches(),
+        plan.len()
+    );
+    let scan_tile = |tile: Option<bulkgcd_bulk::Tile>| {
+        let mut pipeline = ScanPipeline::new(&arena)
+            .algorithm(algo)
+            .backend(GpuSimBackend {
+                device: device.clone(),
+                cost: cost.clone(),
+            })
+            .launch_pairs(launch_pairs)
+            .serial(true);
+        if let Some(t) = tile {
+            pipeline = pipeline.tile(t);
+        }
+        pipeline.run().expect("gate scan").scan.findings.len()
+    };
+
+    let mut run_full = || scan_tile(None);
+    let mut tile_runs: Vec<Box<dyn FnMut() -> usize>> = plan
+        .tiles()
+        .iter()
+        .map(|&t| Box::new(move || scan_tile(Some(t))) as Box<dyn FnMut() -> usize>)
+        .collect();
+    let mut contestants: Vec<&mut dyn FnMut() -> usize> = vec![&mut run_full];
+    contestants.extend(
+        tile_runs
+            .iter_mut()
+            .map(|b| b.as_mut() as &mut dyn FnMut() -> usize),
+    );
+    let (times, sinks) = round_times(reps, &mut contestants);
+
+    let tile_findings: usize = sinks[1..].iter().sum();
+    assert_eq!(
+        tile_findings, sinks[0],
+        "per-tile findings must sum to the unsharded scan's"
+    );
+
+    // Per-round efficiency: every sample of a ratio is taken in the same
+    // round, so throttle phases cancel out of the gated median.
+    let rounds = times[0].len();
+    let efficiency = median(
+        (0..rounds)
+            .map(|r| {
+                let worst_tile = times[1..].iter().map(|ts| ts[r]).fold(0.0f64, f64::max);
+                times[0][r] / (shards as f64 * worst_tile)
+            })
+            .collect(),
+    );
+    if efficiency < EFFICIENCY_FLOOR {
+        eprintln!(
+            "GATE FAIL: per-shard efficiency {efficiency:.3} < {EFFICIENCY_FLOOR} at \
+             m={m}, bits={bits}, {shards} shards ({} launches)",
+            plan.launches()
+        );
+        std::process::exit(1);
+    }
+    eprintln!(
+        "gate OK: per-shard efficiency {efficiency:.3} >= {EFFICIENCY_FLOOR} at \
+         m={m}, bits={bits}, {shards} shards ({} launches)",
+        plan.launches()
+    );
+}
+
 fn main() {
     let opts = Options::from_env();
     if opts.has("inject-faults") {
-        fault_smoke(&opts);
+        if opts.get::<usize>("shards", 0) > 0 {
+            shard_smoke(&opts);
+        } else {
+            fault_smoke(&opts);
+        }
+        return;
+    }
+    if opts.has("gate-shards") {
+        gate_shards(&opts);
         return;
     }
     let sizes = opts.get_list("sizes", &[16, 32, 64]);

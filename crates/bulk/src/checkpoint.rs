@@ -155,6 +155,13 @@ pub struct JournalHeader {
     pub launch_pairs: usize,
     /// Total launches the scan needs (`ceil(m(m-1)/2 / launch_pairs)`).
     pub launches: u64,
+    /// First global launch index this journal covers. `0` for an
+    /// unsharded scan; a shard journal covers `[tile_start,
+    /// tile_start + tile_launches)` of the global launch sequence.
+    pub tile_start: u64,
+    /// Number of launches this journal covers. Equal to `launches` for an
+    /// unsharded scan.
+    pub tile_launches: u64,
 }
 
 impl JournalHeader {
@@ -167,6 +174,7 @@ impl JournalHeader {
     ) -> Self {
         let m = arena.len() as u64;
         let total_pairs = m * m.saturating_sub(1) / 2;
+        let launches = total_pairs.div_ceil(launch_pairs.max(1) as u64);
         JournalHeader {
             fingerprint: corpus_fingerprint(arena),
             moduli: arena.len(),
@@ -174,12 +182,36 @@ impl JournalHeader {
             algo: algo.tag().to_string(),
             early,
             launch_pairs,
-            launches: total_pairs.div_ceil(launch_pairs.max(1) as u64),
+            launches,
+            tile_start: 0,
+            tile_launches: launches,
         }
     }
 
+    /// The header for a shard journal covering launches
+    /// `[tile_start, tile_start + tile_launches)` of the same scan.
+    pub fn for_tile(
+        arena: &ModuliArena,
+        algo: Algorithm,
+        early: bool,
+        launch_pairs: usize,
+        tile_start: u64,
+        tile_launches: u64,
+    ) -> Self {
+        let mut header = JournalHeader::for_scan(arena, algo, early, launch_pairs);
+        header.tile_start = tile_start;
+        header.tile_launches = tile_launches;
+        header
+    }
+
+    /// Whether this journal covers the whole launch sequence (an
+    /// unsharded scan) rather than one shard's tile.
+    pub fn is_full_range(&self) -> bool {
+        self.tile_start == 0 && self.tile_launches == self.launches
+    }
+
     fn to_line(&self) -> String {
-        format!(
+        let mut line = format!(
             "H fp={:016x} m={} stride={} algo={} early={} launch_pairs={} launches={}",
             self.fingerprint,
             self.moduli,
@@ -188,7 +220,16 @@ impl JournalHeader {
             u8::from(self.early),
             self.launch_pairs,
             self.launches,
-        )
+        );
+        // Full-range headers stay byte-identical to the pre-shard format;
+        // only shard journals carry the tile fields.
+        if !self.is_full_range() {
+            line.push_str(&format!(
+                " tile_start={} tile_launches={}",
+                self.tile_start, self.tile_launches
+            ));
+        }
+        line
     }
 }
 
@@ -207,7 +248,10 @@ pub struct LaunchRecord {
 }
 
 impl LaunchRecord {
-    fn to_line(&self) -> String {
+    /// The journal line for this record. Also the unit the shard
+    /// coordinator fingerprints tile completions over, so it must stay
+    /// deterministic for a given record.
+    pub(crate) fn to_line(&self) -> String {
         let mut line = format!(
             "L {} sim={:016x} fb={} n={}",
             self.launch,
@@ -259,14 +303,60 @@ impl ScanJournal {
 
     /// Open (or create) the journal at `path`, replaying any prior run's
     /// records. A torn final line — the signature of a crash mid-append —
-    /// is dropped; that launch will simply be re-executed.
+    /// is dropped *and truncated away*, so later appends land on a clean
+    /// line boundary; that launch will simply be re-executed.
     pub fn open(path: &Path) -> Result<Self, JournalError> {
         let mut journal = ScanJournal::in_memory();
         if path.exists() {
-            journal.replay(&std::fs::read(path)?)?;
+            let bytes = std::fs::read(path)?;
+            journal.replay(&bytes)?;
+            let committed = bytes
+                .iter()
+                .rposition(|&b| b == b'\n')
+                .map_or(0, |pos| pos + 1);
+            if committed < bytes.len() {
+                // Drop the half-written tail before reopening for append —
+                // otherwise the next record would be glued onto it and
+                // corrupt the journal for every replay after this one.
+                let file = OpenOptions::new().write(true).open(path)?;
+                file.set_len(committed as u64)?;
+                file.sync_data()?;
+            }
         }
         journal.file = Some(OpenOptions::new().create(true).append(true).open(path)?);
         Ok(journal)
+    }
+
+    /// Rehydrate a journal from serialized bytes, with the same
+    /// torn-tail tolerance as [`open`](Self::open). The shard driver uses
+    /// this to model worker-process death deterministically: a dead
+    /// worker's journal is exactly the bytes it had fsynced.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, JournalError> {
+        let mut journal = ScanJournal::in_memory();
+        journal.replay(bytes)?;
+        Ok(journal)
+    }
+
+    /// Serialize the committed state back to journal bytes (records in
+    /// launch-index order). `from_bytes(to_bytes())` round-trips.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut text = String::new();
+        if self.magic_written || self.header.is_some() {
+            text.push_str(MAGIC);
+            text.push('\n');
+        }
+        if let Some(header) = &self.header {
+            text.push_str(&header.to_line());
+            text.push('\n');
+        }
+        for rec in self.records.values() {
+            text.push_str(&rec.to_line());
+            text.push('\n');
+        }
+        if self.done {
+            text.push_str("D\n");
+        }
+        text.into_bytes()
     }
 
     fn replay(&mut self, bytes: &[u8]) -> Result<(), JournalError> {
@@ -304,6 +394,13 @@ impl ScanJournal {
                         return Err(corrupt(format!(
                             "launch index {} out of range (header declares {} launches)",
                             rec.launch, header.launches
+                        )));
+                    }
+                    let tile_end = header.tile_start + header.tile_launches;
+                    if rec.launch < header.tile_start || rec.launch >= tile_end {
+                        return Err(corrupt(format!(
+                            "launch index {} outside this journal's tile [{}, {})",
+                            rec.launch, header.tile_start, tile_end
                         )));
                     }
                     self.records.insert(rec.launch, rec);
@@ -409,6 +506,29 @@ impl ScanJournal {
                         header.launches.to_string(),
                     );
                 }
+                if (existing.tile_start, existing.tile_launches)
+                    != (header.tile_start, header.tile_launches)
+                {
+                    return mismatch(
+                        "tile",
+                        format!("{}+{}", existing.tile_start, existing.tile_launches),
+                        format!("{}+{}", header.tile_start, header.tile_launches),
+                    );
+                }
+                // A done marker vouches for every launch in the journal's
+                // range; a done journal missing launch records (truncated
+                // by hand, or spliced from a run with a different launch
+                // count) would silently merge an incomplete report.
+                if self.done && self.records.len() as u64 != existing.tile_launches {
+                    return Err(JournalError::Corrupt {
+                        line: 0,
+                        reason: format!(
+                            "journal is marked done but holds {} of {} launch records",
+                            self.records.len(),
+                            existing.tile_launches
+                        ),
+                    });
+                }
                 Ok(())
             }
         }
@@ -486,7 +606,38 @@ fn parse_hex_u64(s: &str, what: &str, lineno: usize) -> Result<u64, JournalError
     })
 }
 
+/// An optional `key=value` token. Pre-shard journals have no tile fields;
+/// they parse as full-range.
+fn opt_field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let prefix = format!("{key}=");
+    line.split_ascii_whitespace()
+        .find_map(|tok| tok.strip_prefix(&prefix))
+}
+
 fn parse_header(line: &str, lineno: usize) -> Result<JournalHeader, JournalError> {
+    let launches: u64 = parse_num(field(line, "launches", lineno)?, "launches", lineno)?;
+    let tile_start: u64 = match opt_field(line, "tile_start") {
+        Some(s) => parse_num(s, "tile_start", lineno)?,
+        None => 0,
+    };
+    let tile_launches: u64 = match opt_field(line, "tile_launches") {
+        Some(s) => parse_num(s, "tile_launches", lineno)?,
+        None => launches,
+    };
+    let tile_end = tile_start
+        .checked_add(tile_launches)
+        .ok_or_else(|| JournalError::Corrupt {
+            line: lineno,
+            reason: format!("tile range {tile_start}+{tile_launches} overflows"),
+        })?;
+    if tile_end > launches {
+        return Err(JournalError::Corrupt {
+            line: lineno,
+            reason: format!(
+                "tile [{tile_start}, {tile_end}) exceeds the scan's {launches} launches"
+            ),
+        });
+    }
     Ok(JournalHeader {
         fingerprint: parse_hex_u64(field(line, "fp", lineno)?, "fingerprint", lineno)?,
         moduli: parse_num(field(line, "m", lineno)?, "moduli count", lineno)?,
@@ -494,7 +645,9 @@ fn parse_header(line: &str, lineno: usize) -> Result<JournalHeader, JournalError
         algo: field(line, "algo", lineno)?.to_string(),
         early: field(line, "early", lineno)? == "1",
         launch_pairs: parse_num(field(line, "launch_pairs", lineno)?, "launch_pairs", lineno)?,
-        launches: parse_num(field(line, "launches", lineno)?, "launches", lineno)?,
+        launches,
+        tile_start,
+        tile_launches,
     })
 }
 
@@ -599,8 +752,38 @@ mod tests {
             early: true,
             launch_pairs: 64,
             launches: 127,
+            tile_start: 0,
+            tile_launches: 127,
         };
         assert_eq!(parse_header(&header.to_line(), 1).unwrap(), header);
+        // Pre-shard header lines (no tile fields) parse as full-range.
+        assert!(!header.to_line().contains("tile"));
+    }
+
+    #[test]
+    fn tile_header_roundtrips_and_is_bounds_checked() {
+        let mut header = JournalHeader {
+            fingerprint: 0x0123_4567_89ab_cdef,
+            moduli: 128,
+            stride: 8,
+            algo: "(E)".to_string(),
+            early: true,
+            launch_pairs: 64,
+            launches: 127,
+            tile_start: 40,
+            tile_launches: 30,
+        };
+        assert!(!header.is_full_range());
+        assert_eq!(parse_header(&header.to_line(), 1).unwrap(), header);
+        // A tile reaching past the scan's launch count is corruption, not
+        // a valid shard journal.
+        header.tile_launches = 100;
+        match parse_header(&header.to_line(), 1) {
+            Err(JournalError::Corrupt { reason, .. }) => {
+                assert!(reason.contains("exceeds"), "{reason}")
+            }
+            other => panic!("expected tile bound corruption, got {other:?}"),
+        }
     }
 
     #[test]
@@ -618,6 +801,8 @@ mod tests {
             early: false,
             launch_pairs: 2,
             launches: 5,
+            tile_start: 0,
+            tile_launches: 5,
         };
         let rec = sample_record();
         {
@@ -651,6 +836,8 @@ mod tests {
             early: false,
             launch_pairs: 2,
             launches: 3,
+            tile_start: 0,
+            tile_launches: 3,
         };
         j.check_compatible(&header).unwrap();
         let mut other = header.clone();
@@ -673,8 +860,91 @@ mod tests {
             Err(JournalError::Mismatch { field, .. }) => assert_eq!(field, "launches"),
             other => panic!("expected launches mismatch, got {other:?}"),
         }
+        // A shard journal for tile [1, 3) must not resume an unsharded
+        // scan (or another shard's tile).
+        let mut other = header.clone();
+        other.tile_start = 1;
+        other.tile_launches = 2;
+        match j.check_compatible(&other) {
+            Err(JournalError::Mismatch { field, .. }) => assert_eq!(field, "tile"),
+            other => panic!("expected tile mismatch, got {other:?}"),
+        }
         // The original header still matches.
         j.check_compatible(&header).unwrap();
+    }
+
+    #[test]
+    fn done_journal_with_missing_records_is_refused() {
+        // Regression: a journal whose header matches and whose `D` marker
+        // is present, but whose launch records were truncated (hand-edit,
+        // or a splice from a run with a different launch count), used to
+        // pass `check_compatible` and merge an incomplete report.
+        let header = JournalHeader {
+            fingerprint: 1,
+            moduli: 4,
+            stride: 2,
+            algo: "(E)".to_string(),
+            early: false,
+            launch_pairs: 2,
+            launches: 3,
+            tile_start: 0,
+            tile_launches: 3,
+        };
+        let mut text = format!("{MAGIC}\n{}\n", header.to_line());
+        // Only 1 of the 3 launches, yet done-marked.
+        text.push_str("L 0 sim=0000000000000000 fb=0 n=0\nD\n");
+        let mut j = ScanJournal::from_bytes(text.as_bytes()).unwrap();
+        assert!(j.is_done());
+        match j.check_compatible(&header) {
+            Err(JournalError::Corrupt { reason, .. }) => {
+                assert!(reason.contains("1 of 3"), "{reason}")
+            }
+            other => panic!("expected done-count corruption, got {other:?}"),
+        }
+        // A genuinely complete done journal still passes.
+        let mut text = format!("{MAGIC}\n{}\n", header.to_line());
+        for launch in 0..3 {
+            text.push_str(&format!("L {launch} sim=0000000000000000 fb=0 n=0\n"));
+        }
+        text.push_str("D\n");
+        let mut j = ScanJournal::from_bytes(text.as_bytes()).unwrap();
+        j.check_compatible(&header).unwrap();
+    }
+
+    #[test]
+    fn bytes_roundtrip_preserves_state_and_tile_bounds() {
+        let header = JournalHeader {
+            fingerprint: 9,
+            moduli: 8,
+            stride: 2,
+            algo: "(E)".to_string(),
+            early: true,
+            launch_pairs: 2,
+            launches: 14,
+            tile_start: 2,
+            tile_launches: 4,
+        };
+        let mut j = ScanJournal::in_memory();
+        j.check_compatible(&header).unwrap();
+        let mut rec = sample_record();
+        rec.launch = 4; // inside the tile
+        j.record(rec.clone()).unwrap();
+        let revived = ScanJournal::from_bytes(&j.to_bytes()).unwrap();
+        assert_eq!(revived.header(), Some(&header));
+        assert_eq!(revived.records().cloned().collect::<Vec<_>>(), vec![rec]);
+        assert!(!revived.is_done());
+        assert_eq!(revived.to_bytes(), j.to_bytes());
+
+        // A record outside the tile is rejected on replay even though it
+        // is inside the scan's overall launch range.
+        let mut text = String::from_utf8(j.to_bytes()).unwrap();
+        text.push_str("L 9 sim=0000000000000000 fb=0 n=0\n");
+        match ScanJournal::from_bytes(text.as_bytes()) {
+            Err(JournalError::Corrupt { reason, .. }) => {
+                assert!(reason.contains("outside this journal's tile"), "{reason}")
+            }
+            other => panic!("expected tile-range corruption, got {other:?}"),
+        }
     }
 
     #[test]
@@ -697,6 +967,8 @@ mod tests {
             early: false,
             launch_pairs: 2,
             launches: 3,
+            tile_start: 0,
+            tile_launches: 3,
         };
         {
             let mut j = ScanJournal::open(&path).unwrap();

@@ -156,6 +156,133 @@ impl FaultPlan {
     }
 }
 
+/// The shard-level failure injected on one tile's *first* assignment.
+///
+/// These model the failure classes of the multi-shard coordinator
+/// (DESIGN.md §4c): where [`FaultSpec`] breaks individual launches,
+/// `ShardFaultSpec` breaks *workers* — the processes executing whole
+/// tiles — and exercises the lease/reclaim/fingerprint machinery of
+/// [`Coordinator`](crate::shard::Coordinator).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardFaultSpec {
+    /// The worker process dies after committing `after_launches` of its
+    /// tile (clamped into the tile). Its journal keeps the committed
+    /// prefix; its lease is never renewed, so the coordinator reclaims
+    /// the tile and a fresh worker resumes from the journal.
+    WorkerDeath {
+        /// Launches the worker commits before dying.
+        after_launches: u64,
+    },
+    /// The worker finishes its tile but stalls long enough that its lease
+    /// expires before it reports back. Its renewal is refused
+    /// (`LeaseLost`), it abandons the tile without completing it, and the
+    /// reclaiming worker finds a fully committed journal to resume.
+    LeaseLoss,
+    /// [`WorkerDeath`](Self::WorkerDeath) plus a torn final journal line
+    /// (the crash hit mid-append). Resume must drop the torn tail and
+    /// re-execute only the uncommitted launches.
+    TornJournal {
+        /// Launches the worker commits before dying mid-append.
+        after_launches: u64,
+    },
+    /// The worker completes its tile normally, then a resurrected
+    /// incarnation of it submits the same completion again. The
+    /// coordinator must detect the duplicate by tile fingerprint and
+    /// discard it.
+    DuplicateCompletion,
+}
+
+/// A deterministic schedule of [`ShardFaultSpec`]s keyed by tile index.
+///
+/// Like [`FaultPlan`], the plan is immutable, answers purely from the
+/// tile index, and a seeded plan replays identically from its seed.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ShardFaultPlan {
+    faults: BTreeMap<u64, ShardFaultSpec>,
+}
+
+impl ShardFaultPlan {
+    /// The production plan: every worker is healthy.
+    pub fn none() -> Self {
+        ShardFaultPlan::default()
+    }
+
+    /// Kill tile `tile`'s first worker after it commits `after_launches`.
+    pub fn with_worker_death(mut self, tile: u64, after_launches: u64) -> Self {
+        self.faults
+            .insert(tile, ShardFaultSpec::WorkerDeath { after_launches });
+        self
+    }
+
+    /// Expire tile `tile`'s first worker's lease before it reports back.
+    pub fn with_lease_loss(mut self, tile: u64) -> Self {
+        self.faults.insert(tile, ShardFaultSpec::LeaseLoss);
+        self
+    }
+
+    /// Kill tile `tile`'s first worker mid-append after `after_launches`.
+    pub fn with_torn_journal(mut self, tile: u64, after_launches: u64) -> Self {
+        self.faults
+            .insert(tile, ShardFaultSpec::TornJournal { after_launches });
+        self
+    }
+
+    /// Have tile `tile`'s first worker submit its completion twice.
+    pub fn with_duplicate_completion(mut self, tile: u64) -> Self {
+        self.faults
+            .insert(tile, ShardFaultSpec::DuplicateCompletion);
+        self
+    }
+
+    /// A reproducible pseudo-random plan over `tiles` tile indices:
+    /// roughly 15% worker deaths, 10% lease losses, 10% torn journals and
+    /// 10% duplicate completions. The same seed always yields the same
+    /// plan, so a failing fuzz case is its seed.
+    pub fn seeded(seed: u64, tiles: u64) -> Self {
+        let mut plan = ShardFaultPlan::none();
+        for tile in 0..tiles {
+            // Salted so a shard plan and a launch plan from the same seed
+            // are decorrelated.
+            let roll = splitmix64(seed ^ splitmix64(tile ^ 0x5a5a_5a5a_5a5a_5a5a));
+            let after_launches = roll >> 32;
+            match roll % 100 {
+                0..=14 => {
+                    plan.faults
+                        .insert(tile, ShardFaultSpec::WorkerDeath { after_launches });
+                }
+                15..=24 => {
+                    plan.faults.insert(tile, ShardFaultSpec::LeaseLoss);
+                }
+                25..=34 => {
+                    plan.faults
+                        .insert(tile, ShardFaultSpec::TornJournal { after_launches });
+                }
+                35..=44 => {
+                    plan.faults
+                        .insert(tile, ShardFaultSpec::DuplicateCompletion);
+                }
+                _ => {}
+            }
+        }
+        plan
+    }
+
+    /// Whether the plan has no faults at all.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// Number of faulted tiles in the plan.
+    pub fn len(&self) -> usize {
+        self.faults.len()
+    }
+
+    /// The scripted fault for tile `tile`, if any.
+    pub fn spec(&self, tile: u64) -> Option<ShardFaultSpec> {
+        self.faults.get(&tile).copied()
+    }
+}
+
 impl FaultInjector for FaultPlan {
     fn fault(&self, launch: u64, attempt: u32) -> Option<LaunchFault> {
         match self.faults.get(&launch) {
@@ -216,6 +343,46 @@ mod tests {
     fn without_kill_at_keeps_non_kill_faults() {
         let plan = FaultPlan::none().with_persistent(4).without_kill_at(4);
         assert_eq!(plan.spec(4), Some(FaultSpec::Persistent));
+    }
+
+    #[test]
+    fn seeded_shard_plans_are_reproducible_and_cover_every_kind() {
+        let a = ShardFaultPlan::seeded(99, 400);
+        assert_eq!(a, ShardFaultPlan::seeded(99, 400));
+        assert_ne!(a, ShardFaultPlan::seeded(100, 400));
+        let specs: Vec<_> = (0..400).filter_map(|t| a.spec(t)).collect();
+        assert!(specs
+            .iter()
+            .any(|s| matches!(s, ShardFaultSpec::WorkerDeath { .. })));
+        assert!(specs.contains(&ShardFaultSpec::LeaseLoss));
+        assert!(specs
+            .iter()
+            .any(|s| matches!(s, ShardFaultSpec::TornJournal { .. })));
+        assert!(specs.contains(&ShardFaultSpec::DuplicateCompletion));
+        // Healthy tiles exist too: the plan must not fault everything.
+        assert!(a.len() < 400);
+    }
+
+    #[test]
+    fn scripted_shard_faults_fire_where_scripted() {
+        let plan = ShardFaultPlan::none()
+            .with_worker_death(0, 2)
+            .with_lease_loss(1)
+            .with_torn_journal(2, 0)
+            .with_duplicate_completion(3);
+        assert_eq!(
+            plan.spec(0),
+            Some(ShardFaultSpec::WorkerDeath { after_launches: 2 })
+        );
+        assert_eq!(plan.spec(1), Some(ShardFaultSpec::LeaseLoss));
+        assert_eq!(
+            plan.spec(2),
+            Some(ShardFaultSpec::TornJournal { after_launches: 0 })
+        );
+        assert_eq!(plan.spec(3), Some(ShardFaultSpec::DuplicateCompletion));
+        assert_eq!(plan.spec(4), None);
+        assert_eq!(plan.len(), 4);
+        assert!(ShardFaultPlan::none().is_empty());
     }
 
     #[test]

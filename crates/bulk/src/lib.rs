@@ -25,7 +25,11 @@
 //!   reproduces the uninterrupted run's findings;
 //! * [`fault`] — deterministic fault plans (transient/persistent launch
 //!   faults, process kills at launch boundaries) that drive the
-//!   fault-tolerance test suite.
+//!   fault-tolerance test suite;
+//! * [`shard`] — multi-shard coordination: a [`TilePlan`] partitioning the
+//!   launch sequence, a lease-ledger [`Coordinator`] surviving worker
+//!   deaths, and a [`merge`](shard::merge) that reproduces the unsharded
+//!   report bit for bit.
 
 #![warn(missing_docs)]
 
@@ -40,13 +44,14 @@ pub mod lockstep;
 pub mod pairing;
 pub mod pipeline;
 pub mod scan;
+pub mod shard;
 
 pub use arena::{ArenaError, ModuliArena};
 pub use batch::{batch_gcd, batch_gcd_parallel, ProductTree};
 pub use block_launch::{scan_gpu_blocks, BlockLaunchReport};
 pub use checkpoint::{corpus_fingerprint, JournalError, JournalHeader, LaunchRecord, ScanJournal};
 pub use estimate::{estimate_full_scan, ScanEstimate};
-pub use fault::{FaultPlan, FaultSpec};
+pub use fault::{FaultPlan, FaultSpec, ShardFaultPlan, ShardFaultSpec};
 pub use incremental::{CorpusIndex, ZeroModulus};
 pub use lockstep::{
     CompactionConfig, CompactionEvent, LockstepEngine, LockstepStats, LockstepTrace,
@@ -65,4 +70,8 @@ pub use scan::{
 pub use scan::{
     scan_cpu, scan_cpu_arena, scan_gpu_sim, scan_gpu_sim_arena, scan_gpu_sim_resumable,
     scan_gpu_sim_serial, scan_lockstep, scan_lockstep_arena,
+};
+pub use shard::{
+    merge_tiles, run_sharded, tile_fingerprint, Coordinator, MergeError, ShardConfig, ShardError,
+    ShardStats, ShardWorker, ShardedReport, Tile, TilePlan,
 };

@@ -59,6 +59,7 @@ use crate::arena::ModuliArena;
 use crate::checkpoint::{JournalError, JournalHeader, ScanJournal};
 use crate::fault::FaultPlan;
 use crate::pairing::{group_size_for, GroupedPairs};
+use crate::shard::Tile;
 use bulkgcd_bigint::Nat;
 use bulkgcd_core::Algorithm;
 use bulkgcd_gpu::{CostModel, DeviceConfig, RetryPolicy};
@@ -105,6 +106,7 @@ pub struct ScanPipeline<'a> {
     backend: Box<dyn ScanBackend + 'a>,
     launch_pairs: Option<usize>,
     serial: bool,
+    tile: Option<Tile>,
     checkpoint: Option<CheckpointLayer<'a>>,
     fault: Option<FaultLayer<'a>>,
     retry: RetryLayer,
@@ -123,6 +125,7 @@ impl<'a> ScanPipeline<'a> {
             backend: Box::new(ScalarBackend),
             launch_pairs: None,
             serial: false,
+            tile: None,
             checkpoint: None,
             fault: None,
             retry: RetryLayer::default(),
@@ -160,6 +163,18 @@ impl<'a> ScanPipeline<'a> {
     /// the rayon pool (the reference the parallel driver must match).
     pub fn serial(mut self, serial: bool) -> Self {
         self.serial = serial;
+        self
+    }
+
+    /// Restrict the scan to one shard's [`Tile`] of the global launch
+    /// sequence (launches `[tile.start, tile.end())`). Launch indices,
+    /// per-launch results and journal records keep their *global* numbering,
+    /// so per-tile reports fold back into an unsharded report exactly —
+    /// see [`shard::merge`](crate::shard::merge). The tile must come from a
+    /// [`TilePlan`](crate::shard::TilePlan) built with the same corpus and
+    /// the same `launch_pairs` as this pipeline.
+    pub fn tile(mut self, tile: Tile) -> Self {
+        self.tile = Some(tile);
         self
     }
 
@@ -207,6 +222,7 @@ impl<'a> ScanPipeline<'a> {
             backend,
             launch_pairs,
             serial,
+            tile,
             checkpoint,
             fault,
             retry,
@@ -217,54 +233,68 @@ impl<'a> ScanPipeline<'a> {
         let collect_metrics = metrics.is_some();
 
         // Whole-corpus backends have no launch boundaries: nothing to
-        // journal, retry, or fault — surface the mismatch instead of
-        // silently ignoring the layers.
-        if layered {
-            if backend.is_whole_corpus() {
+        // journal, retry, fault — or restrict to a tile of launches —
+        // surface the mismatch instead of silently ignoring the layers.
+        if backend.is_whole_corpus() {
+            if layered {
                 return Err(ScanError::Unsupported {
                     backend: backend.name(),
                     what: "checkpoint/fault/retry layers (it has no launch boundaries)",
                 });
             }
+            if tile.is_some() {
+                return Err(ScanError::Unsupported {
+                    backend: backend.name(),
+                    what: "tile-restricted scans (it has no launch boundaries)",
+                });
+            }
+        }
+        if layered {
             run_layered(
                 start,
                 cx,
                 &*backend,
                 launch_pairs,
                 serial,
+                tile,
                 checkpoint,
                 fault,
                 retry,
                 collect_metrics,
             )
         } else {
-            Ok(run_unlayered(
+            run_unlayered(
                 start,
                 cx,
                 &*backend,
                 launch_pairs,
                 serial,
+                tile,
                 collect_metrics,
-            ))
+            )
         }
     }
 }
 
 /// Direct mode: no journal, no faults. Batches run straight on the
 /// backend across the rayon pool (or serially), merged in launch order.
+/// A [`Tile`] restricts execution to its launch range; launch numbering
+/// stays global so tiled runs compose back into the unsharded result.
 fn run_unlayered(
     start: Instant,
     cx: ExecCtx<'_>,
     backend: &dyn ScanBackend,
     launch_pairs: Option<usize>,
     serial: bool,
+    tile: Option<Tile>,
     collect_metrics: bool,
-) -> PipelineReport {
+) -> Result<PipelineReport, ScanError> {
     let prices = backend.prices_launches();
     let m = cx.arena.len();
 
-    // Whole-corpus escape hatch (the product-tree baseline).
-    if m >= 2 {
+    // Whole-corpus escape hatch (the product-tree baseline). `run()`
+    // already refused tiles for whole-corpus backends.
+    if m >= 2 && tile.is_none() {
         if let Some(mut findings) = backend.run_whole(&cx) {
             let grid = GroupedPairs::new(m, group_size_for(m));
             findings.sort_by_key(|f| (f.i, f.j));
@@ -291,7 +321,7 @@ fn run_unlayered(
                     cpu_fallback: false,
                 }],
             });
-            return PipelineReport {
+            return Ok(PipelineReport {
                 scan: ScanReport {
                     duplicate_pairs: count_duplicates(&findings),
                     findings,
@@ -305,19 +335,27 @@ fn run_unlayered(
                     ..FaultStats::default()
                 },
                 metrics,
-            };
+            });
         }
     }
 
     if m < 2 {
-        return PipelineReport {
+        if let Some(t) = tile {
+            // No pairs means no launches: no tile can fit.
+            return Err(ScanError::InvalidTile {
+                tile_start: t.start,
+                tile_launches: t.launches,
+                launches: 0,
+            });
+        }
+        return Ok(PipelineReport {
             scan: empty_report(start, prices.then_some(0.0)),
             stats: FaultStats::default(),
             metrics: collect_metrics.then(|| ScanMetrics {
                 backend: backend.name(),
                 ..ScanMetrics::default()
             }),
-        };
+        });
     }
 
     let grid = GroupedPairs::new(m, group_size_for(m));
@@ -325,13 +363,32 @@ fn run_unlayered(
     let workers = rayon::current_num_threads().max(1);
     let chunk = match launch_pairs {
         Some(lp) => lp.max(1),
-        None if prices => DEFAULT_LAUNCH_PAIRS,
+        // A tiled run must chunk exactly like every other shard of the
+        // same plan, so it cannot use the worker-count-dependent default.
+        None if prices || tile.is_some() => DEFAULT_LAUNCH_PAIRS,
         None => backend.preferred_run_len(all.len(), workers),
     };
+    let launches = (all.len() as u64).div_ceil(chunk as u64);
+    let (lo, hi) = match tile {
+        Some(t) => {
+            if t.launches == 0 || t.end() > launches {
+                return Err(ScanError::InvalidTile {
+                    tile_start: t.start,
+                    tile_launches: t.launches,
+                    launches,
+                });
+            }
+            (t.start as usize, t.end() as usize)
+        }
+        None => (0, launches as usize),
+    };
+    let chunks: Vec<&[(usize, usize)]> = all.chunks(chunk).collect();
+    let run_chunks = &chunks[lo..hi];
 
     let outputs: Vec<(LaunchOutput, f64)> = if serial {
         let mut ex = backend.executor(&cx);
-        all.chunks(chunk)
+        run_chunks
+            .iter()
             .map(|lanes| {
                 let t0 = Instant::now();
                 let out = ex.execute(&cx, lanes);
@@ -339,7 +396,8 @@ fn run_unlayered(
             })
             .collect()
     } else {
-        all.par_chunks(chunk)
+        run_chunks
+            .par_iter()
             .map_init(
                 || backend.executor(&cx),
                 |ex, lanes| {
@@ -352,6 +410,7 @@ fn run_unlayered(
     };
 
     let total_launches = outputs.len() as u64;
+    let pairs_scanned = run_chunks.iter().map(|c| c.len() as u64).sum();
     let mut findings = Vec::new();
     let mut simulated = 0f64;
     let mut rows = collect_metrics.then(Vec::new);
@@ -359,8 +418,8 @@ fn run_unlayered(
         simulated += out.simulated_seconds.unwrap_or(0.0);
         if let Some(rows) = &mut rows {
             rows.push(LaunchMetrics {
-                launch: idx as u64,
-                lanes: (all.len() - idx * chunk).min(chunk) as u64,
+                launch: (lo + idx) as u64,
+                lanes: run_chunks[idx].len() as u64,
                 warps: out.warps,
                 warp_instructions: out.warp_instructions,
                 mem_transactions: out.mem_transactions,
@@ -379,11 +438,11 @@ fn run_unlayered(
         findings.extend(out.findings);
     }
     findings.sort_by_key(|f| (f.i, f.j));
-    PipelineReport {
+    Ok(PipelineReport {
         scan: ScanReport {
             duplicate_pairs: count_duplicates(&findings),
             findings,
-            pairs_scanned: grid.total_pairs(),
+            pairs_scanned,
             elapsed: start.elapsed(),
             simulated_seconds: prices.then_some(simulated),
         },
@@ -398,7 +457,7 @@ fn run_unlayered(
             resumed_launches: 0,
             launches,
         }),
-    }
+    })
 }
 
 /// Layered mode: the checkpoint/fault/retry stack around the launch
@@ -414,6 +473,7 @@ fn run_layered(
     backend: &dyn ScanBackend,
     launch_pairs: Option<usize>,
     serial: bool,
+    tile: Option<Tile>,
     checkpoint: Option<CheckpointLayer<'_>>,
     fault: Option<FaultLayer<'_>>,
     retry: RetryLayer,
@@ -439,7 +499,20 @@ fn run_layered(
     };
 
     let lp = launch_pairs.unwrap_or(DEFAULT_LAUNCH_PAIRS).max(1);
-    let header = JournalHeader::for_scan(arena, cx.algo, cx.early, lp);
+    let mut header = JournalHeader::for_scan(arena, cx.algo, cx.early, lp);
+    if let Some(t) = tile {
+        if t.launches == 0 || t.end() > header.launches {
+            return Err(ScanError::InvalidTile {
+                tile_start: t.start,
+                tile_launches: t.launches,
+                launches: header.launches,
+            });
+        }
+        // The journal binds to the tile, too: a shard journal cannot
+        // resume another shard's tile or the unsharded scan.
+        header.tile_start = t.start;
+        header.tile_launches = t.launches;
+    }
     journal.check_compatible(&header)?;
     if arena.len() < 2 {
         journal.mark_done()?;
@@ -458,12 +531,17 @@ fn run_layered(
     let chunks: Vec<&[(usize, usize)]> = all.chunks(lp).collect();
     debug_assert_eq!(chunks.len() as u64, header.launches);
 
-    let pending: Vec<u64> = (0..header.launches)
+    // Launch indices stay global even for a tile-restricted run, so the
+    // journal's records and the fault plan's keys mean the same thing
+    // sharded or not.
+    let tile_range = header.tile_start..header.tile_start + header.tile_launches;
+    let pending: Vec<u64> = tile_range
+        .clone()
         .filter(|&l| !journal.completed(l))
         .collect();
     let mut stats = FaultStats {
-        total_launches: header.launches,
-        resumed_launches: header.launches - pending.len() as u64,
+        total_launches: header.tile_launches,
+        resumed_launches: header.tile_launches - pending.len() as u64,
         ..FaultStats::default()
     };
 
@@ -550,11 +628,12 @@ fn run_layered(
         simulated += record.simulated_seconds;
     }
     findings.sort_by_key(|f| (f.i, f.j));
+    let pairs_scanned = tile_range.map(|l| chunks[l as usize].len() as u64).sum();
     Ok(PipelineReport {
         scan: ScanReport {
             duplicate_pairs: count_duplicates(&findings),
             findings,
-            pairs_scanned: grid.total_pairs(),
+            pairs_scanned,
             elapsed: start.elapsed(),
             simulated_seconds: prices.then_some(simulated),
         },

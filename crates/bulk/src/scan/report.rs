@@ -104,6 +104,17 @@ pub enum ScanError {
         /// What was asked of it.
         what: &'static str,
     },
+    /// The pipeline was restricted to a tile that does not fit the scan's
+    /// launch sequence (a shard plan built for a different corpus or
+    /// launch width).
+    InvalidTile {
+        /// First launch of the requested tile.
+        tile_start: u64,
+        /// Launch count of the requested tile.
+        tile_launches: u64,
+        /// Launches the scan actually has.
+        launches: u64,
+    },
 }
 
 impl fmt::Display for ScanError {
@@ -118,6 +129,16 @@ impl fmt::Display for ScanError {
             ScanError::Unsupported { backend, what } => {
                 write!(f, "the {backend} backend does not support {what}")
             }
+            ScanError::InvalidTile {
+                tile_start,
+                tile_launches,
+                launches,
+            } => write!(
+                f,
+                "tile [{tile_start}, {}) does not fit a scan of {launches} launches; \
+                 the shard plan was built for a different corpus or launch width",
+                tile_start.saturating_add(*tile_launches)
+            ),
         }
     }
 }
@@ -127,7 +148,9 @@ impl std::error::Error for ScanError {
         match self {
             ScanError::Arena(e) => Some(e),
             ScanError::Journal(e) => Some(e),
-            ScanError::Interrupted { .. } | ScanError::Unsupported { .. } => None,
+            ScanError::Interrupted { .. }
+            | ScanError::Unsupported { .. }
+            | ScanError::InvalidTile { .. } => None,
         }
     }
 }

@@ -1,0 +1,183 @@
+//! Tile planning: partitioning the launch sequence into shard-sized
+//! contiguous ranges.
+//!
+//! The §VI pair triangle is already linearised into launches (chunks of
+//! [`GroupedPairs::all_pairs`](crate::pairing::GroupedPairs::all_pairs) of
+//! `launch_pairs` lanes) by the [`ScanPipeline`](crate::scan::ScanPipeline).
+//! A [`TilePlan`] splits that launch sequence — *not* the pair triangle
+//! directly — into contiguous [`Tile`]s, so every tile boundary is also a
+//! launch boundary. That alignment is what makes the sharded merge exact:
+//! per-launch records (findings, `combine_terminations` folds, simulated
+//! seconds) are unchanged by sharding, and replaying them in global launch
+//! order reproduces the unsharded report bit for bit.
+
+use crate::pairing::{group_size_for, GroupedPairs};
+
+/// One shard's contiguous range of the global launch sequence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Tile {
+    /// Position of this tile in the plan (0-based, ascending with
+    /// `start`).
+    pub index: usize,
+    /// First global launch index the tile covers.
+    pub start: u64,
+    /// Number of launches the tile covers (≥ 1 in any plan).
+    pub launches: u64,
+}
+
+impl Tile {
+    /// One past the last launch index the tile covers.
+    pub fn end(&self) -> u64 {
+        self.start + self.launches
+    }
+
+    /// Whether global launch `launch` falls inside this tile.
+    pub fn contains(&self, launch: u64) -> bool {
+        (self.start..self.end()).contains(&launch)
+    }
+}
+
+/// A partition of a scan's launch sequence into contiguous tiles.
+///
+/// Tiles are near-equal (they differ by at most one launch), ordered by
+/// `start`, and cover `[0, launches)` exactly — the invariants the
+/// [`merge`](crate::shard::merge) module re-verifies before folding
+/// per-shard results.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TilePlan {
+    moduli: usize,
+    launch_pairs: usize,
+    launches: u64,
+    tiles: Vec<Tile>,
+}
+
+impl TilePlan {
+    /// Plan `shards` tiles for a scan of `moduli` keys in launches of
+    /// `launch_pairs` pairs. Produces `min(shards.max(1), launches)`
+    /// tiles — never an empty tile — and no tiles at all when the corpus
+    /// has no pairs to scan.
+    pub fn new(moduli: usize, launch_pairs: usize, shards: usize) -> Self {
+        let launch_pairs = launch_pairs.max(1);
+        let launches = if moduli < 2 {
+            0
+        } else {
+            let grid = GroupedPairs::new(moduli, group_size_for(moduli));
+            grid.total_pairs().div_ceil(launch_pairs as u64)
+        };
+        let want = (shards.max(1) as u64).min(launches);
+        let mut tiles = Vec::with_capacity(want as usize);
+        let mut start = 0u64;
+        for index in 0..want {
+            // First `launches % want` tiles get one extra launch.
+            let len = launches / want + u64::from(index < launches % want);
+            tiles.push(Tile {
+                index: index as usize,
+                start,
+                launches: len,
+            });
+            start += len;
+        }
+        TilePlan {
+            moduli,
+            launch_pairs,
+            launches,
+            tiles,
+        }
+    }
+
+    /// Number of moduli the plan was built for.
+    pub fn moduli(&self) -> usize {
+        self.moduli
+    }
+
+    /// Launch width the plan was built for.
+    pub fn launch_pairs(&self) -> usize {
+        self.launch_pairs
+    }
+
+    /// Total launches in the scan the tiles partition.
+    pub fn launches(&self) -> u64 {
+        self.launches
+    }
+
+    /// The tiles, ordered by `start`.
+    pub fn tiles(&self) -> &[Tile] {
+        &self.tiles
+    }
+
+    /// Number of tiles in the plan.
+    pub fn len(&self) -> usize {
+        self.tiles.len()
+    }
+
+    /// Whether the plan has no tiles (a corpus with fewer than two keys).
+    pub fn is_empty(&self) -> bool {
+        self.tiles.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_exact_cover(plan: &TilePlan) {
+        let mut next = 0u64;
+        for (i, tile) in plan.tiles().iter().enumerate() {
+            assert_eq!(tile.index, i);
+            assert_eq!(tile.start, next, "tiles must be contiguous");
+            assert!(tile.launches >= 1, "no empty tiles");
+            next = tile.end();
+        }
+        assert_eq!(next, plan.launches(), "tiles must cover every launch");
+    }
+
+    #[test]
+    fn tiles_cover_launches_exactly_and_near_equally() {
+        for moduli in [2usize, 3, 5, 16, 33, 100] {
+            for launch_pairs in [1usize, 2, 7, 64] {
+                for shards in [1usize, 2, 3, 4, 9] {
+                    let plan = TilePlan::new(moduli, launch_pairs, shards);
+                    assert_exact_cover(&plan);
+                    assert!(plan.len() as u64 <= plan.launches().max(1));
+                    assert!(plan.len() <= shards);
+                    if let (Some(max), Some(min)) = (
+                        plan.tiles().iter().map(|t| t.launches).max(),
+                        plan.tiles().iter().map(|t| t.launches).min(),
+                    ) {
+                        assert!(max - min <= 1, "tiles must be near-equal");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_corpora_yield_no_tiles() {
+        assert!(TilePlan::new(0, 64, 4).is_empty());
+        assert!(TilePlan::new(1, 64, 4).is_empty());
+        assert_eq!(TilePlan::new(0, 64, 4).launches(), 0);
+    }
+
+    #[test]
+    fn more_shards_than_launches_caps_at_one_launch_per_tile() {
+        // 3 moduli => 3 pairs; launch_pairs=2 => 2 launches, 8 shards.
+        let plan = TilePlan::new(3, 2, 8);
+        assert_eq!(plan.launches(), 2);
+        assert_eq!(plan.len(), 2);
+        assert_exact_cover(&plan);
+    }
+
+    #[test]
+    fn tile_contains_matches_range() {
+        let tile = Tile {
+            index: 1,
+            start: 4,
+            launches: 3,
+        };
+        assert_eq!(tile.end(), 7);
+        assert!(!tile.contains(3));
+        assert!(tile.contains(4));
+        assert!(tile.contains(6));
+        assert!(!tile.contains(7));
+    }
+}

@@ -1,0 +1,93 @@
+//! A shard worker: one incarnation of a process executing one tile.
+//!
+//! A [`ShardWorker`] is deliberately thin — it is the existing
+//! [`ScanPipeline`] pointed at a [`Tile`], with the shard journal as its
+//! [`CheckpointLayer`](crate::scan::CheckpointLayer) and the usual
+//! fault/retry/metrics layers around the backend. Everything the
+//! single-process scan guarantees (per-launch fsynced commits, torn-tail
+//! tolerance, resume-equals-rerun bitwise) therefore holds *per shard*
+//! for free; the [`Coordinator`](crate::shard::Coordinator) only decides
+//! who runs which tile when.
+
+use crate::arena::ModuliArena;
+use crate::checkpoint::ScanJournal;
+use crate::fault::FaultPlan;
+use crate::scan::{PipelineReport, ScanBackend, ScanError, ScanPipeline};
+use crate::shard::Tile;
+use bulkgcd_core::Algorithm;
+
+/// One worker incarnation's scan configuration. The driver mints a fresh
+/// name (`w0`, `w1`, …) per incarnation so the ledger distinguishes a
+/// resurrected worker from its predecessor.
+#[derive(Debug, Clone)]
+pub struct ShardWorker<'a> {
+    /// The worker's name as recorded in the ledger.
+    pub name: String,
+    arena: &'a ModuliArena,
+    algo: Algorithm,
+    early: bool,
+    launch_pairs: usize,
+    serial: bool,
+    collect_metrics: bool,
+}
+
+impl<'a> ShardWorker<'a> {
+    /// A worker named `name` scanning `arena` with the given settings.
+    pub fn new(
+        name: impl Into<String>,
+        arena: &'a ModuliArena,
+        algo: Algorithm,
+        early: bool,
+        launch_pairs: usize,
+    ) -> Self {
+        ShardWorker {
+            name: name.into(),
+            arena,
+            algo,
+            early,
+            launch_pairs,
+            serial: false,
+            collect_metrics: false,
+        }
+    }
+
+    /// Run launches serially inside the worker (the deterministic
+    /// reference mode).
+    pub fn serial(mut self, serial: bool) -> Self {
+        self.serial = serial;
+        self
+    }
+
+    /// Collect per-launch [`ScanMetrics`](crate::scan::ScanMetrics) rows.
+    pub fn collect_metrics(mut self, collect: bool) -> Self {
+        self.collect_metrics = collect;
+        self
+    }
+
+    /// Execute (or resume) `tile` through the full pipeline stack,
+    /// committing every completed launch to `journal`. Returns
+    /// [`ScanError::Interrupted`] if `faults` kills the worker at a launch
+    /// boundary — the journal then holds exactly the committed prefix, as
+    /// after a real crash.
+    pub fn attempt<B: ScanBackend + 'a>(
+        &self,
+        backend: B,
+        tile: Tile,
+        journal: &mut ScanJournal,
+        faults: &FaultPlan,
+    ) -> Result<PipelineReport, ScanError> {
+        let mut pipeline = ScanPipeline::new(self.arena)
+            .algorithm(self.algo)
+            .early(self.early)
+            .backend(backend)
+            .launch_pairs(self.launch_pairs)
+            .serial(self.serial)
+            .tile(tile)
+            .journal(journal)
+            .faults(faults);
+        if self.collect_metrics {
+            pipeline = pipeline.metrics();
+        }
+        pipeline.run()
+    }
+}

@@ -1,0 +1,252 @@
+//! Property and scenario tests for the `shard` subsystem: sharded scans —
+//! including ones whose workers die, tear their journals, lose leases, or
+//! report twice — must merge bitwise identical to the uninterrupted
+//! unsharded run.
+
+use bulkgcd_bigint::Nat;
+use bulkgcd_bulk::shard::{run_sharded, ShardConfig, TilePlan};
+use bulkgcd_bulk::{
+    FindingKind, GpuSimBackend, ModuliArena, ScanPipeline, ScanReport, ShardFaultPlan,
+};
+use bulkgcd_core::Algorithm;
+use bulkgcd_gpu::{CostModel, DeviceConfig};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+/// Small odd primes for building composite moduli cheaply.
+const SMALL_PRIMES: &[u32] = &[
+    101, 103, 107, 109, 113, 127, 131, 137, 139, 149, 151, 157, 163, 167, 173, 179,
+];
+
+fn composite() -> impl Strategy<Value = Nat> {
+    (0..SMALL_PRIMES.len(), 0..SMALL_PRIMES.len())
+        .prop_map(|(i, j)| Nat::from(SMALL_PRIMES[i]).mul(&Nat::from(SMALL_PRIMES[j])))
+}
+
+fn backend() -> GpuSimBackend {
+    GpuSimBackend {
+        device: DeviceConfig::gtx_780_ti(),
+        cost: CostModel::default(),
+    }
+}
+
+/// The unsharded reference: the plain pipeline over the same corpus with
+/// the same launch width.
+fn unsharded(arena: &ModuliArena, launch_pairs: usize) -> ScanReport {
+    ScanPipeline::new(arena)
+        .algorithm(Algorithm::Approximate)
+        .backend(backend())
+        .launch_pairs(launch_pairs)
+        .run()
+        .expect("unsharded reference scan")
+        .scan
+}
+
+#[track_caller]
+fn assert_bitwise_equal(got: &ScanReport, want: &ScanReport) {
+    assert_eq!(got.findings, want.findings);
+    assert_eq!(got.pairs_scanned, want.pairs_scanned);
+    assert_eq!(got.duplicate_pairs, want.duplicate_pairs);
+    assert_eq!(
+        got.simulated_seconds.map(f64::to_bits),
+        want.simulated_seconds.map(f64::to_bits),
+        "simulated-seconds f64 sum must match bit for bit"
+    );
+}
+
+proptest! {
+    /// The acceptance property: random corpus, random shard count, random
+    /// seeded shard-fault schedule (worker deaths at random launch
+    /// offsets, torn journals, lease losses, duplicate completions) —
+    /// the killed-and-resumed sharded scan merges bitwise equal to the
+    /// uninterrupted unsharded run.
+    #[test]
+    fn faulty_sharded_scan_merges_bitwise_equal_to_unsharded(
+        moduli in vec(composite(), 2..10),
+        launch_pairs in 1usize..8,
+        shards in 1usize..6,
+        fault_seed in any::<u64>(),
+    ) {
+        let arena = ModuliArena::try_from_moduli(&moduli).unwrap();
+        let base = unsharded(&arena, launch_pairs);
+
+        let plan = TilePlan::new(moduli.len(), launch_pairs, shards);
+        let faults = ShardFaultPlan::seeded(fault_seed, plan.len() as u64);
+        let config = ShardConfig {
+            serial: true,
+            ..ShardConfig::new(shards, launch_pairs)
+        };
+        let sharded = run_sharded(&arena, &config, &faults, backend).unwrap();
+
+        assert_bitwise_equal(&sharded.scan, &base);
+        // Every launch was either executed by some incarnation or restored
+        // from a predecessor's journal; deaths forced extra attempts.
+        prop_assert!(sharded.stats.executed_launches >= plan.launches());
+        prop_assert!(
+            sharded.stats.worker_attempts as usize >= plan.len(),
+            "each tile takes at least one attempt"
+        );
+        prop_assert_eq!(
+            sharded.coordinator.reclaimed_leases,
+            sharded.stats.worker_deaths + sharded.stats.lease_losses,
+            "every death and lease loss is recovered by exactly one reclaim"
+        );
+    }
+
+    /// Fault-free sharding also preserves the per-launch work metrics:
+    /// warps, warp instructions, memory transactions, and lane iterations
+    /// are identical row by row to the unsharded serial pipeline.
+    #[test]
+    fn fault_free_sharded_metrics_match_unsharded(
+        moduli in vec(composite(), 2..8),
+        launch_pairs in 1usize..6,
+        shards in 1usize..5,
+    ) {
+        let arena = ModuliArena::try_from_moduli(&moduli).unwrap();
+        let base = ScanPipeline::new(&arena)
+            .algorithm(Algorithm::Approximate)
+            .backend(backend())
+            .launch_pairs(launch_pairs)
+            .serial(true)
+            .metrics()
+            .run()
+            .unwrap();
+
+        let config = ShardConfig {
+            serial: true,
+            collect_metrics: true,
+            ..ShardConfig::new(shards, launch_pairs)
+        };
+        let sharded =
+            run_sharded(&arena, &config, &ShardFaultPlan::none(), backend).unwrap();
+
+        assert_bitwise_equal(&sharded.scan, &base.scan);
+        let base_rows = &base.metrics.as_ref().unwrap().launches;
+        let shard_rows = &sharded.metrics.as_ref().unwrap().launches;
+        prop_assert_eq!(base_rows.len(), shard_rows.len());
+        for (b, s) in base_rows.iter().zip(shard_rows) {
+            prop_assert_eq!(b.launch, s.launch);
+            prop_assert_eq!(b.lanes, s.lanes);
+            prop_assert_eq!(b.warps, s.warps);
+            prop_assert_eq!(b.warp_instructions.to_bits(), s.warp_instructions.to_bits());
+            prop_assert_eq!(b.mem_transactions, s.mem_transactions);
+            prop_assert_eq!(b.lane_iterations, s.lane_iterations);
+            prop_assert_eq!(
+                b.simulated_seconds.map(f64::to_bits),
+                s.simulated_seconds.map(f64::to_bits)
+            );
+        }
+    }
+}
+
+/// Cross-shard duplicate handling: a duplicated modulus whose pairs land
+/// in different tiles yields exactly one `DuplicateModulus` finding per
+/// duplicated pair in the merged report — and a tile completed twice
+/// (duplicate completion) must not double-count anything.
+#[test]
+fn duplicate_modulus_across_tiles_appears_once_in_merged_report() {
+    // 8 moduli, two of them byte-identical and far apart in index order so
+    // the duplicate pair's launch sits away from tile 0.
+    let dup = Nat::from(101u32).mul(&Nat::from(103u32));
+    let mut moduli: Vec<Nat> = (0..6)
+        .map(|k| Nat::from(SMALL_PRIMES[k]).mul(&Nat::from(SMALL_PRIMES[k + 6])))
+        .collect();
+    moduli.insert(0, dup.clone());
+    moduli.push(dup);
+    let arena = ModuliArena::try_from_moduli(&moduli).unwrap();
+
+    // launch_pairs=1 so each pair is its own launch and tiles cut between
+    // pairs; 4 shards puts the (0, 7) duplicate pair in a late tile.
+    let launch_pairs = 1;
+    let base = unsharded(&arena, launch_pairs);
+    assert_eq!(base.duplicate_pairs, 1, "the planted duplicate");
+
+    let plan = TilePlan::new(moduli.len(), launch_pairs, 4);
+    assert!(plan.len() >= 2, "test needs a real multi-tile plan");
+    // Complete every tile twice over: each tile's first completion is
+    // accepted, the re-submission is fingerprint-matched and discarded.
+    let mut faults = ShardFaultPlan::none();
+    for tile in 0..plan.len() as u64 {
+        faults = faults.with_duplicate_completion(tile);
+    }
+    let config = ShardConfig {
+        serial: true,
+        ..ShardConfig::new(4, launch_pairs)
+    };
+    let sharded = run_sharded(&arena, &config, &faults, backend).unwrap();
+
+    assert_bitwise_equal(&sharded.scan, &base);
+    assert_eq!(sharded.scan.duplicate_pairs, 1);
+    assert_eq!(
+        sharded
+            .scan
+            .findings
+            .iter()
+            .filter(|f| f.kind == FindingKind::DuplicateModulus)
+            .count(),
+        1,
+        "duplicate completions must not duplicate findings"
+    );
+    assert_eq!(sharded.stats.duplicate_completions, plan.len() as u64);
+    assert_eq!(sharded.coordinator.duplicate_completions, plan.len() as u64);
+}
+
+/// Host-crash recovery: a directory-backed sharded run whose workers died
+/// mid-tile leaves a ledger and per-shard journals on disk; re-running
+/// over the same directory replays them, finds every tile complete, and
+/// reproduces the report without executing a single launch.
+#[test]
+fn directory_backed_run_resumes_from_ledger_without_rework() {
+    let moduli: Vec<Nat> = (0..7)
+        .map(|k| Nat::from(SMALL_PRIMES[k]).mul(&Nat::from(SMALL_PRIMES[k + 7])))
+        .collect();
+    let arena = ModuliArena::try_from_moduli(&moduli).unwrap();
+    let launch_pairs = 2;
+    let base = unsharded(&arena, launch_pairs);
+
+    let dir = std::env::temp_dir().join(format!("bulkgcd-shard-test-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let config = ShardConfig {
+        serial: true,
+        dir: Some(dir.clone()),
+        ..ShardConfig::new(3, launch_pairs)
+    };
+    // Every tile's first worker dies mid-tile; tile 1 additionally tears
+    // its journal's final line.
+    let faults = ShardFaultPlan::none()
+        .with_worker_death(0, 1)
+        .with_torn_journal(1, 0)
+        .with_worker_death(2, 0);
+    let first = run_sharded(&arena, &config, &faults, backend).unwrap();
+    assert_bitwise_equal(&first.scan, &base);
+    assert_eq!(first.stats.worker_deaths, 3);
+    assert_eq!(first.stats.torn_journals, 1);
+    assert!(first.stats.resumed_launches > 0, "resumes restored work");
+
+    // Second invocation over the same directory: the "restarted host".
+    let second = run_sharded(&arena, &config, &ShardFaultPlan::none(), backend).unwrap();
+    assert_bitwise_equal(&second.scan, &base);
+    assert_eq!(second.stats.worker_attempts, 0, "nothing left to do");
+    assert_eq!(second.stats.executed_launches, 0);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A degenerate corpus (fewer than two moduli) shards to an empty plan
+/// and an empty — but well-formed — report.
+#[test]
+fn degenerate_corpus_yields_empty_sharded_report() {
+    let moduli = [Nat::from(101u32).mul(&Nat::from(103u32))];
+    let arena = ModuliArena::try_from_moduli(&moduli).unwrap();
+    let config = ShardConfig {
+        serial: true,
+        ..ShardConfig::new(4, 8)
+    };
+    let report = run_sharded(&arena, &config, &ShardFaultPlan::none(), backend).unwrap();
+    assert!(report.scan.findings.is_empty());
+    assert_eq!(report.scan.pairs_scanned, 0);
+    assert_eq!(report.stats.tiles, 0);
+    assert_eq!(
+        report.scan.simulated_seconds.map(f64::to_bits),
+        Some(0f64.to_bits())
+    );
+}

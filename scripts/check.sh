@@ -41,6 +41,13 @@ fi
 echo "== fault-injection smoke: resumable scan under a seeded fault plan"
 cargo run --release -q -p bulkgcd-bench --bin scan_bench -- --inject-faults --resume
 
+echo "== shard smoke: 4-way sharded scan under seeded worker deaths / torn journals /"
+echo "==              duplicate completions must merge bitwise-equal to the unsharded run"
+cargo run --release -q -p bulkgcd-bench --bin scan_bench -- --shards 4 --inject-faults --resume
+
+echo "== shard gate: per-shard serial efficiency >= 0.80x at 4 shards"
+cargo run --release -q -p bulkgcd-bench --bin scan_bench -- --gate-shards
+
 echo "== perf gates: lockstep >= 0.95x scalar arena scan, builder pipeline >= 0.98x direct call,"
 echo "==             compaction occupancy >= 1.15x plain at 128-bit + wall-clock floors, auto >= 0.90x best fixed"
 cargo run --release -q -p bulkgcd-bench --bin scan_bench -- \

@@ -3,6 +3,7 @@
 //! ```text
 //! bulkgcd gen   --keys 64 --bits 512 --weak-pairs 3 --out corpus.txt
 //! bulkgcd scan  corpus.txt [--engine cpu|lockstep|gpu|blocks|batch|auto] [--algo E] [--full] [--metrics-out m.json]
+//!               [--shards N] [--shard-dir DIR]
 //! bulkgcd check corpus.txt <modulus-hex>
 //! bulkgcd gcd   <x-hex> <y-hex> [--algo A|B|C|D|E|lehmer] [--stats]
 //! ```
@@ -175,6 +176,15 @@ fn cmd_scan(args: &Args) -> Result<(), String> {
         algo.name()
     );
     let metrics_out = args.get("metrics-out");
+    let shards: usize = args.get_parse("shards", 0)?;
+    if shards > 0 {
+        if engine == "blocks" || engine == "batch" || engine == "auto" {
+            return Err(format!(
+                "--shards requires a per-launch engine (cpu, gpu, or lockstep), not {engine:?}"
+            ));
+        }
+        return cmd_scan_sharded(args, &moduli, &raw_indices, algo, early, engine, shards);
+    }
     let findings: Vec<Finding> = if engine == "blocks" {
         // The §VII block-shaped launch has its own report type and is not a
         // pipeline backend; metrics come from its GpuReport instead.
@@ -263,6 +273,90 @@ fn cmd_scan(args: &Args) -> Result<(), String> {
     for f in &findings {
         // Report indices in the raw corpus's numbering, not the
         // sanitized one, so lines match the operator's key list.
+        println!(
+            "{} {} {}",
+            raw_indices[f.i],
+            raw_indices[f.j],
+            f.factor.to_hex()
+        );
+    }
+    Ok(())
+}
+
+/// `bulkgcd scan --shards N`: partition the launch sequence into N tiles
+/// and run them through the shard coordinator (lease ledger, per-shard
+/// journals, deterministic merge). With `--shard-dir DIR` the ledger and
+/// journals persist, so a killed scan resumes from the completed tiles.
+fn cmd_scan_sharded(
+    args: &Args,
+    moduli: &[Nat],
+    raw_indices: &[usize],
+    algo: Algorithm,
+    early: bool,
+    engine: &str,
+    shards: usize,
+) -> Result<(), String> {
+    if engine == "lockstep" && algo != Algorithm::Approximate {
+        return Err(format!(
+            "--engine lockstep executes the Approximate variant only, not {algo:?} \
+             (drop --algo or use --algo E)"
+        ));
+    }
+    let arena = ModuliArena::try_from_moduli(moduli).map_err(|e| e.to_string())?;
+    let metrics_out = args.get("metrics-out");
+    let mut config = ShardConfig::new(shards, DEFAULT_LAUNCH_PAIRS);
+    config.algo = algo;
+    config.early = early;
+    config.collect_metrics = metrics_out.is_some();
+    config.dir = args.get("shard-dir").map(std::path::PathBuf::from);
+
+    let report = match engine {
+        "cpu" => run_sharded(&arena, &config, &ShardFaultPlan::none(), || ScalarBackend),
+        "gpu" => run_sharded(&arena, &config, &ShardFaultPlan::none(), || GpuSimBackend {
+            device: DeviceConfig::gtx_780_ti(),
+            cost: CostModel::default(),
+        }),
+        "lockstep" => run_sharded(&arena, &config, &ShardFaultPlan::none(), || {
+            LockstepBackend::new(32).with_compaction(CompactionConfig::default())
+        }),
+        other => return Err(format!("unknown engine {other:?}")),
+    }
+    .map_err(|e| e.to_string())?;
+
+    eprintln!(
+        "sharded scan: {} tiles, {} worker attempts, {} launches executed, {} resumed",
+        report.stats.tiles,
+        report.stats.worker_attempts,
+        report.stats.executed_launches,
+        report.stats.resumed_launches,
+    );
+    match report.scan.simulated() {
+        Ok(sim) => eprintln!(
+            "simulated GPU scan: {sim:.6} s simulated ({:.3} us/GCD)",
+            sim * 1e6 / report.scan.pairs_scanned.max(1) as f64
+        ),
+        Err(_) => eprintln!(
+            "{engine} scan: {:.3} s ({:.2} us/GCD)",
+            report.scan.elapsed.as_secs_f64(),
+            report.scan.elapsed.as_secs_f64() * 1e6 / report.scan.pairs_scanned.max(1) as f64
+        ),
+    }
+    report_duplicates(&report.scan);
+    if let Some(path) = metrics_out {
+        let metrics = report
+            .metrics
+            .as_ref()
+            .expect("metrics were collected for --metrics-out");
+        std::fs::write(path, metrics.to_json()).map_err(|e| format!("writing {path}: {e}"))?;
+        eprintln!(
+            "wrote {} launch metrics ({} backend) to {path}",
+            metrics.total_launches, metrics.backend
+        );
+    }
+    if report.scan.findings.is_empty() {
+        println!("no shared factors found");
+    }
+    for f in &report.scan.findings {
         println!(
             "{} {} {}",
             raw_indices[f.i],
@@ -394,6 +488,7 @@ fn usage() -> String {
 USAGE:
   bulkgcd gen   [--keys N] [--bits B] [--weak-pairs W] [--seed S] [--out FILE] [--truth FILE]
   bulkgcd scan  <corpus-file> [--engine cpu|lockstep|gpu|blocks|batch|auto] [--algo A..E] [--full] [--metrics-out FILE]
+                [--shards N] [--shard-dir DIR]   # tile-sharded scan with a resumable lease ledger
   bulkgcd check <corpus-file> <modulus-hex>
   bulkgcd break <corpus-file> [--exponent E]   # prints: index factor-hex d-hex
   bulkgcd gcd   <x-hex> <y-hex> [--algo A|B|C|D|E|lehmer] [--stats]

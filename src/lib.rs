@@ -44,13 +44,15 @@ pub mod prelude {
     pub use bulkgcd_bigint::{Barrett, Montgomery, Nat};
     pub use bulkgcd_bulk::{
         batch_gcd, batch_gcd_parallel, break_weak_keys, estimate_full_scan, group_size_for,
-        scan_gpu_blocks, ArenaError, AutoBackend, Backend, BreakReport, CheckpointLayer,
-        CompactionConfig, CorpusIndex, FaultLayer, FaultPlan, FaultSpec, FaultStats, Finding,
-        FindingKind, GpuSimBackend, GroupedPairs, JournalError, JournalHeader, LaunchMetrics,
-        LaunchRecord, LockstepBackend, LockstepEngine, MetricsLayer, ModuliArena, NoSimulatedClock,
-        PipelineReport, ProductTreeBackend, ResumableReport, RetryLayer, ScalarBackend,
-        ScanBackend, ScanError, ScanJournal, ScanMetrics, ScanPipeline, ScanReport, ZeroModulus,
-        DEFAULT_LAUNCH_PAIRS,
+        merge_tiles, run_sharded, scan_gpu_blocks, tile_fingerprint, ArenaError, AutoBackend,
+        Backend, BreakReport, CheckpointLayer, CompactionConfig, Coordinator, CorpusIndex,
+        FaultLayer, FaultPlan, FaultSpec, FaultStats, Finding, FindingKind, GpuSimBackend,
+        GroupedPairs, JournalError, JournalHeader, LaunchMetrics, LaunchRecord, LockstepBackend,
+        LockstepEngine, MergeError, MetricsLayer, ModuliArena, NoSimulatedClock, PipelineReport,
+        ProductTreeBackend, ResumableReport, RetryLayer, ScalarBackend, ScanBackend, ScanError,
+        ScanJournal, ScanMetrics, ScanPipeline, ScanReport, ShardConfig, ShardError,
+        ShardFaultPlan, ShardFaultSpec, ShardStats, ShardWorker, ShardedReport, Tile, TilePlan,
+        ZeroModulus, DEFAULT_LAUNCH_PAIRS,
     };
     #[allow(deprecated)]
     pub use bulkgcd_bulk::{
