@@ -1,9 +1,11 @@
 //! Criterion micro-benchmarks for the arithmetic substrate: the fused
 //! multiply-subtract-shift (the AEA inner loop), full division (the Fast
-//! Euclid inner loop), multiplication, and Montgomery modpow.
+//! Euclid inner loop), multiplication, Montgomery modpow, and the
+//! subquadratic dispatch ladder (Toom-3/NTT multiply, Newton division,
+//! half-GCD) against the legacy schoolbook/Karatsuba/Knuth/binary paths.
 
 use bulkgcd_bigint::random::random_odd_bits;
-use bulkgcd_bigint::{ops, Barrett, Montgomery};
+use bulkgcd_bigint::{ops, thresholds, Barrett, Montgomery};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -89,5 +91,64 @@ fn bench_substrate(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_substrate);
+/// The subquadratic ladder against the legacy kernels, one group per
+/// operation, widths in limbs (32-bit words). The `legacy` arms pin every
+/// cutoff to `usize::MAX` via [`thresholds::set_legacy_ladder`], so both
+/// arms run the exact same driver code and differ only in dispatch.
+fn bench_ladder(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(41);
+
+    let mut group = c.benchmark_group("mul_ladder");
+    group.sample_size(10);
+    for limbs in [256u64, 1024, 4096, 8192] {
+        let x = random_odd_bits(&mut rng, limbs * 32);
+        let y = random_odd_bits(&mut rng, limbs * 32);
+        group.bench_function(BenchmarkId::new("ladder", limbs), |b| {
+            thresholds::reset_ladder();
+            b.iter(|| black_box(x.mul(&y)))
+        });
+        group.bench_function(BenchmarkId::new("legacy", limbs), |b| {
+            thresholds::set_legacy_ladder();
+            b.iter(|| black_box(x.mul(&y)));
+            thresholds::reset_ladder();
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("div_ladder");
+    group.sample_size(10);
+    for limbs in [1024u64, 4096, 8192] {
+        let x = random_odd_bits(&mut rng, limbs * 64);
+        let y = random_odd_bits(&mut rng, limbs * 32);
+        group.bench_function(BenchmarkId::new("ladder", limbs), |b| {
+            thresholds::reset_ladder();
+            b.iter(|| black_box(x.div_rem(&y)))
+        });
+        group.bench_function(BenchmarkId::new("legacy", limbs), |b| {
+            thresholds::set_legacy_ladder();
+            b.iter(|| black_box(x.div_rem(&y)));
+            thresholds::reset_ladder();
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("gcd_ladder");
+    group.sample_size(10);
+    for limbs in [384u64, 1536] {
+        let x = random_odd_bits(&mut rng, limbs * 32);
+        let y = random_odd_bits(&mut rng, limbs * 32 - 17);
+        group.bench_function(BenchmarkId::new("ladder", limbs), |b| {
+            thresholds::reset_ladder();
+            b.iter(|| black_box(x.gcd(&y)))
+        });
+        group.bench_function(BenchmarkId::new("legacy", limbs), |b| {
+            thresholds::set_legacy_ladder();
+            b.iter(|| black_box(x.gcd(&y)));
+            thresholds::reset_ladder();
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_substrate, bench_ladder);
 criterion_main!(benches);

@@ -1,0 +1,315 @@
+//! Machine-readable arithmetic-ladder benchmark: `BENCH_bigint.json`.
+//!
+//! Times the width-dispatched ladder (Karatsuba → Toom-3 → 3-prime NTT
+//! multiplication, Newton-reciprocal division, half-GCD) against the
+//! legacy quadratic configuration (Karatsuba + Knuth + binary GCD) over a
+//! width sweep, plus the end-to-end product-tree batch scan at the largest
+//! corpus, and writes one JSON report for tooling to diff across commits.
+//! The two arms run in one process: the legacy arm flips the global cutoff
+//! ladder via [`thresholds::set_legacy_ladder`] before each sample and the
+//! new arm restores it with [`thresholds::reset_ladder`], so both time the
+//! *same* entry points (`Nat::mul`, `Nat::div_rem`, `Nat::gcd`) and the
+//! dispatch overhead itself is inside the measurement.
+//!
+//! Run: `cargo run --release -p bulkgcd-bench --bin bigint_bench --
+//!       [--mul-limbs 32,64,...] [--div-limbs ...] [--gcd-limbs ...]
+//!       [--reps 3] [--out BENCH_bigint.json] [--gate-subquadratic]`
+//!
+//! `--gate-subquadratic` (used by `scripts/check.sh`) additionally fails
+//! the run (exit 1) unless, judged as medians of per-round ratios from the
+//! interleaved timing loop:
+//!
+//! * at the widest mul width benched (>= 8192 limbs by default) the
+//!   dispatched multiply is >= 1.5x legacy Karatsuba, and the dispatched
+//!   division is >= 1.5x Knuth at the widest div shape;
+//! * at the 32- and 64-limb widths the ladder costs at most 1.05x the
+//!   legacy path (the dispatch must be free where it changes nothing);
+//! * at the largest corpus the end-to-end [`ProductTreeBackend`] batch
+//!   scan is measurably (>= 1.05x) faster under the new ladder, and its
+//!   findings are bitwise-identical to the scalar pairwise scan's.
+
+use bulkgcd_bench::gate::{best_of, median_speedup, round_times};
+use bulkgcd_bench::Options;
+use bulkgcd_bigint::random::random_odd_bits;
+use bulkgcd_bigint::{thresholds, Nat, LIMB_BITS};
+use bulkgcd_bulk::{ModuliArena, ProductTreeBackend, ScanPipeline};
+use bulkgcd_rsa::build_corpus;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+/// A `Nat` of exactly `limbs` limbs (top bit set), odd.
+fn nat_of_limbs(rng: &mut StdRng, limbs: usize) -> Nat {
+    random_odd_bits(rng, limbs as u64 * LIMB_BITS as u64)
+}
+
+/// Time `iters` back-to-back calls of `op` under the default ladder and
+/// under the legacy quadratic configuration, interleaved; returns
+/// (ladder_best, legacy_best, speedup) with the best times per single
+/// `op` call and `speedup` the median of per-round legacy/ladder ratios.
+/// Narrow widths pass `iters` large enough that the per-sample ladder
+/// toggle (a handful of atomic stores plus an env lookup) is amortized
+/// out of the measurement.
+fn ladder_vs_legacy(reps: usize, iters: usize, mut op: impl FnMut() -> usize) -> (f64, f64, f64) {
+    let iters = iters.max(1);
+    let op = core::cell::RefCell::new(&mut op);
+    let batch = |toggle: fn()| {
+        toggle();
+        let mut f = op.borrow_mut();
+        let mut acc = 0usize;
+        for _ in 0..iters {
+            acc = acc.rotate_left(7) ^ black_box(f());
+        }
+        acc
+    };
+    let mut run_ladder = || batch(thresholds::reset_ladder);
+    let mut run_legacy = || {
+        let r = batch(thresholds::set_legacy_ladder);
+        thresholds::reset_ladder();
+        r
+    };
+    let (times, sinks) = round_times(reps, &mut [&mut run_ladder, &mut run_legacy]);
+    assert_eq!(
+        sinks[0], sinks[1],
+        "ladder and legacy arms must compute the same result"
+    );
+    let ladder = best_of(&times[0]) / iters as f64;
+    let legacy = best_of(&times[1]) / iters as f64;
+    (ladder, legacy, median_speedup(&times[1], &times[0]))
+}
+
+/// Cheap deterministic digest of a result, so the timing closures return
+/// a comparable `usize` without keeping the whole value alive.
+fn digest(n: &Nat) -> usize {
+    n.limbs().iter().fold(n.len(), |acc, &w| {
+        acc.wrapping_mul(0x9e37_79b9).wrapping_add(w as usize)
+    })
+}
+
+struct Row {
+    label: String,
+    ladder_s: f64,
+    legacy_s: f64,
+    speedup: f64,
+}
+
+fn json_rows(rows: &[Row]) -> String {
+    rows.iter()
+        .map(|r| {
+            format!(
+                "    {{{}, \"ladder_seconds\": {:.9}, \"legacy_seconds\": {:.9}, \
+                 \"speedup\": {:.4}}}",
+                r.label, r.ladder_s, r.legacy_s, r.speedup
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n")
+}
+
+fn main() {
+    let opts = Options::from_env();
+    let reps: usize = opts.get("reps", 3);
+    let out: String = opts.get("out", "BENCH_bigint.json".to_string());
+    let gate = opts.has("gate-subquadratic");
+    let mul_limbs = opts.get_list(
+        "mul-limbs",
+        &[32, 64, 128, 256, 512, 1024, 2048, 4096, 8192],
+    );
+    let div_limbs = opts.get_list(
+        "div-limbs",
+        &[32, 64, 128, 256, 512, 1024, 2048, 4096, 8192],
+    );
+    let gcd_limbs = opts.get_list("gcd-limbs", &[48, 96, 192, 384, 768, 1536]);
+    let batch_m: usize = opts.get("batch-keys", 256);
+    let batch_bits: u64 = opts.get("batch-bits", 1024);
+
+    let mut rng = StdRng::seed_from_u64(0xb16);
+    let mut fail = false;
+
+    // Multiplication: balanced n x n limbs, Nat::mul through the dispatcher.
+    let mut mul_rows = Vec::new();
+    for &n in &mul_limbs {
+        let n = n as usize;
+        let a = nat_of_limbs(&mut rng, n);
+        let b = nat_of_limbs(&mut rng, n);
+        let (ladder_s, legacy_s, speedup) = ladder_vs_legacy(reps, 8192 / n, || digest(&a.mul(&b)));
+        eprintln!("mul {n:>6} limbs: ladder {ladder_s:.3e}s legacy {legacy_s:.3e}s x{speedup:.2}");
+        mul_rows.push(Row {
+            label: format!("\"limbs\": {n}"),
+            ladder_s,
+            legacy_s,
+            speedup,
+        });
+    }
+
+    // Division: 2n / n limbs (the remainder-tree shape), Nat::div_rem.
+    let mut div_rows = Vec::new();
+    for &n in &div_limbs {
+        let n = n as usize;
+        let a = nat_of_limbs(&mut rng, 2 * n);
+        let b = nat_of_limbs(&mut rng, n);
+        let (ladder_s, legacy_s, speedup) = ladder_vs_legacy(reps, 2048 / n, || {
+            let (q, r) = a.div_rem(&b);
+            digest(&q) ^ digest(&r).rotate_left(1)
+        });
+        eprintln!(
+            "div {:>6}/{n:<6} limbs: ladder {ladder_s:.3e}s legacy {legacy_s:.3e}s x{speedup:.2}",
+            2 * n
+        );
+        div_rows.push(Row {
+            label: format!("\"dividend_limbs\": {}, \"divisor_limbs\": {n}", 2 * n),
+            ladder_s,
+            legacy_s,
+            speedup,
+        });
+    }
+
+    // GCD: n x n limbs with a planted 16-limb common factor, Nat::gcd.
+    let mut gcd_rows = Vec::new();
+    for &n in &gcd_limbs {
+        let n = n as usize;
+        let g = nat_of_limbs(&mut rng, 16.min(n / 2).max(1));
+        let a = g.mul(&nat_of_limbs(&mut rng, n - g.len()));
+        let b = g.mul(&nat_of_limbs(&mut rng, n - g.len()));
+        let (ladder_s, legacy_s, speedup) = ladder_vs_legacy(reps, 512 / n, || digest(&a.gcd(&b)));
+        eprintln!("gcd {n:>6} limbs: ladder {ladder_s:.3e}s legacy {legacy_s:.3e}s x{speedup:.2}");
+        gcd_rows.push(Row {
+            label: format!("\"limbs\": {n}"),
+            ladder_s,
+            legacy_s,
+            speedup,
+        });
+    }
+
+    // End-to-end batch scan: the ProductTreeBackend over a planted corpus,
+    // new ladder vs legacy, plus findings identity against the scalar
+    // pairwise scan (the gate's correctness leg).
+    let mut rng = StdRng::seed_from_u64(0x5ca9 ^ batch_m as u64 ^ (batch_bits << 17));
+    let moduli = build_corpus(&mut rng, batch_m, batch_bits, 4).moduli();
+    let arena = ModuliArena::try_from_moduli(&moduli).expect("batch corpus is non-degenerate");
+    let tree_scan = || {
+        ScanPipeline::new(&arena)
+            .backend(ProductTreeBackend { parallel: false })
+            .run()
+            .expect("product-tree scan")
+            .scan
+    };
+    let (batch_ladder_s, batch_legacy_s, batch_speedup) =
+        ladder_vs_legacy(reps, 1, || tree_scan().findings.len());
+    eprintln!(
+        "batch scan m={batch_m} bits={batch_bits}: ladder {batch_ladder_s:.3e}s \
+         legacy {batch_legacy_s:.3e}s x{batch_speedup:.2}"
+    );
+    let tree_findings = tree_scan().findings;
+    let scalar_findings = ScanPipeline::new(&arena)
+        .run()
+        .expect("scalar pairwise scan")
+        .scan
+        .findings;
+    let findings_match = tree_findings == scalar_findings;
+    if !findings_match {
+        eprintln!(
+            "GATE FAIL: product-tree findings ({}) differ from the scalar pairwise \
+             scan's ({}) at m={batch_m}, bits={batch_bits}",
+            tree_findings.len(),
+            scalar_findings.len()
+        );
+        fail = true;
+    } else {
+        eprintln!(
+            "gate OK: product-tree findings bitwise-identical to the scalar scan \
+             ({} findings) at m={batch_m}, bits={batch_bits}",
+            tree_findings.len()
+        );
+    }
+
+    let ladder = thresholds::snapshot()
+        .iter()
+        .map(|(k, v)| format!("\"{k}\": {v}"))
+        .collect::<Vec<_>>()
+        .join(", ");
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"bigint_ladder\",\n",
+            "  \"limb_bits\": {lb},\n",
+            "  \"thresholds\": {{{ladder}}},\n",
+            "  \"mul\": [\n{mul}\n  ],\n",
+            "  \"div\": [\n{div}\n  ],\n",
+            "  \"gcd\": [\n{gcd}\n  ],\n",
+            "  \"batch_scan\": {{\"m\": {bm}, \"bits\": {bb}, \"findings\": {bf},\n",
+            "    \"ladder_seconds\": {bls:.9}, \"legacy_seconds\": {bgs:.9},\n",
+            "    \"speedup\": {bsp:.4}, \"findings_match_scalar\": {fm}}}\n",
+            "}}\n"
+        ),
+        lb = LIMB_BITS,
+        ladder = ladder,
+        mul = json_rows(&mul_rows),
+        div = json_rows(&div_rows),
+        gcd = json_rows(&gcd_rows),
+        bm = batch_m,
+        bb = batch_bits,
+        bf = tree_findings.len(),
+        bls = batch_ladder_s,
+        bgs = batch_legacy_s,
+        bsp = batch_speedup,
+        fm = findings_match,
+    );
+    std::fs::write(&out, &json).expect("write BENCH_bigint.json");
+    println!("{json}");
+    eprintln!("wrote {out}");
+
+    if !gate {
+        // A non-gated run may still be used for sweeps; report-only.
+        if fail {
+            std::process::exit(1);
+        }
+        return;
+    }
+
+    // The speedup gates: >= 1.5x at the widest mul/div shapes, and a
+    // <= 1.05x regression floor where the ladder coincides with the legacy
+    // path (32/64 limbs).
+    const WIDE_SPEEDUP: f64 = 1.5;
+    const NARROW_FLOOR: f64 = 1.0 / 1.05;
+    let mut check = |what: &str, label: &str, speedup: f64, floor: f64| {
+        if speedup < floor {
+            eprintln!("GATE FAIL: {what} at {label}: x{speedup:.3} < {floor:.3}");
+            fail = true;
+        } else {
+            eprintln!("gate OK: {what} at {label}: x{speedup:.3} >= {floor:.3}");
+        }
+    };
+    if let Some(r) = mul_rows.last() {
+        check(
+            "dispatched mul vs Karatsuba",
+            &r.label,
+            r.speedup,
+            WIDE_SPEEDUP,
+        );
+    }
+    if let Some(r) = div_rows.last() {
+        check("Newton div vs Knuth", &r.label, r.speedup, WIDE_SPEEDUP);
+    }
+    if let Some(r) = gcd_rows.last() {
+        check("half-GCD vs binary", &r.label, r.speedup, WIDE_SPEEDUP);
+    }
+    for rows in [&mul_rows, &div_rows] {
+        for r in rows
+            .iter()
+            .filter(|r| r.label.contains(": 32") || r.label.contains(": 64"))
+        {
+            check("narrow-width floor", &r.label, r.speedup, NARROW_FLOOR);
+        }
+    }
+    check(
+        "product-tree batch scan (new ladder vs legacy)",
+        &format!("m={batch_m}, bits={batch_bits}"),
+        batch_speedup,
+        1.05,
+    );
+    if fail {
+        std::process::exit(1);
+    }
+    eprintln!("gate OK: subquadratic ladder gates all passed");
+}

@@ -9,9 +9,15 @@
 //! `scan_lockstep_arena` entry point is benched alongside it so the
 //! builder's composition overhead is itself a measured quantity.
 //!
+//! A separate `batch_tree` section benches the [`ProductTreeBackend`]
+//! remainder-tree scan at corpus sizes the all-pairs grid cannot afford
+//! (`--batch-sizes 64,256,1024` at the widest benched moduli), with the
+//! scalar all-pairs scan as an interleaved reference — and findings
+//! identity asserted — up to `--batch-scalar-cap` keys.
+//!
 //! Run: `cargo run --release -p bulkgcd-bench --bin scan_bench --
 //!       [--sizes 16,32,64] [--bits 128,1024] [--reps 3] [--warp-width 32]
-//!       [--out BENCH_scan.json]`
+//!       [--batch-sizes 64,256,1024] [--out BENCH_scan.json]`
 //!
 //! Perf-regression gates (used by `scripts/check.sh`), both judged at the
 //! largest corpus of the widest moduli benched. Every gated wall-clock
@@ -46,8 +52,8 @@ use bulkgcd_bench::Options;
 use bulkgcd_bigint::Nat;
 use bulkgcd_bulk::{
     group_size_for, run_sharded, AutoBackend, CompactionConfig, FaultPlan, GpuSimBackend,
-    GroupedPairs, LockstepBackend, ModuliArena, ScanError, ScanJournal, ScanPipeline, ShardConfig,
-    ShardFaultPlan, TilePlan,
+    GroupedPairs, LockstepBackend, ModuliArena, ProductTreeBackend, ScanError, ScanJournal,
+    ScanPipeline, ShardConfig, ShardFaultPlan, TilePlan,
 };
 use bulkgcd_core::{run, Algorithm, GcdOutcome, GcdPair, NoProbe, Termination};
 use bulkgcd_gpu::{CostModel, DeviceConfig, RetryPolicy};
@@ -104,64 +110,14 @@ fn best_seconds<F: FnMut() -> usize>(reps: usize, mut f: F) -> (f64, usize) {
     (best, sink)
 }
 
-/// Per-round wall seconds for several contestants with the rounds
-/// interleaved round-robin (one warmup each first), so machine drift and
-/// frequency scaling land on every contestant equally. Returns one time
-/// series per contestant plus its (deterministic) result.
-///
-/// The gated quantities are **per-round ratios** (entries of the same
-/// round are temporally adjacent, so a sustained throttle phase cancels
-/// out of the ratio), aggregated by median — far more drift-robust than a
-/// ratio of bests taken in different thermal states.
-///
+/// Interleaved per-round timing and the median-of-per-round-ratio
+/// aggregation live in [`bulkgcd_bench::gate`], shared with `bigint_bench`.
 /// Sub-millisecond cells are noise-dominated at any fixed rep count, so
-/// the rounds are topped up until the slowest contestant has accumulated
-/// ~[`GATE_SAMPLE_SECONDS`] of samples (capped at [`MAX_GATE_ROUNDS`]) —
-/// the gated ratios stay meaningful on tiny corpora without slowing the
-/// big cells down.
-const GATE_SAMPLE_SECONDS: f64 = 0.25;
-const MAX_GATE_ROUNDS: usize = 50;
-
-fn round_times(reps: usize, fs: &mut [&mut dyn FnMut() -> usize]) -> (Vec<Vec<f64>>, Vec<usize>) {
-    let mut slowest = 0.0f64;
-    let mut sinks = Vec::with_capacity(fs.len());
-    for f in fs.iter_mut() {
-        let start = Instant::now();
-        sinks.push(f());
-        slowest = slowest.max(start.elapsed().as_secs_f64());
-    }
-    let rounds = if slowest > 0.0 {
-        ((GATE_SAMPLE_SECONDS / slowest).ceil() as usize).min(MAX_GATE_ROUNDS)
-    } else {
-        MAX_GATE_ROUNDS
-    }
-    .max(reps.max(1));
-    let mut times = vec![Vec::with_capacity(rounds); fs.len()];
-    for _ in 0..rounds {
-        for ((f, sink), ts) in fs.iter_mut().zip(&sinks).zip(times.iter_mut()) {
-            let start = Instant::now();
-            let got = std::hint::black_box(f());
-            ts.push(start.elapsed().as_secs_f64());
-            assert_eq!(got, *sink, "non-deterministic scan result");
-        }
-    }
-    (times, sinks)
-}
-
-fn best_of(ts: &[f64]) -> f64 {
-    ts.iter().copied().fold(f64::INFINITY, f64::min)
-}
-
-fn median(mut v: Vec<f64>) -> f64 {
-    v.sort_by(|a, b| a.total_cmp(b));
-    v[v.len() / 2]
-}
-
-/// Median over rounds of `base[r] / new[r]`: how much faster `new` ran
-/// than `base`, with both samples of each ratio taken back-to-back.
-fn median_speedup(base: &[f64], new: &[f64]) -> f64 {
-    median(base.iter().zip(new).map(|(b, n)| b / n).collect())
-}
+/// [`round_times`] tops rounds up until the slowest contestant has
+/// accumulated ~[`gate::GATE_SAMPLE_SECONDS`] of samples (capped at
+/// [`gate::MAX_GATE_ROUNDS`]) — the gated ratios stay meaningful on tiny
+/// corpora without slowing the big cells down.
+use bulkgcd_bench::gate::{best_of, median, median_speedup, round_times};
 
 /// One bench cell's measured quantities. Throughputs are best-of-rounds;
 /// the `*_vs_*` ratios are medians of per-round ratios (see
@@ -732,6 +688,101 @@ fn main() {
         }
     }
 
+    // Batch product-tree rows. The remainder-tree scan does O(m log² m)
+    // arithmetic against the all-pairs O(m²), so its advantage only shows
+    // at corpus sizes the interleaved all-pairs contestants above cannot
+    // afford to bench — these rows run [`ProductTreeBackend`] alone at
+    // larger `m` (riding the subquadratic `bigint` ladder), with the
+    // scalar all-pairs scan as an interleaved reference up to
+    // `--batch-scalar-cap` keys and findings identity asserted wherever
+    // the reference runs.
+    let batch_sizes = opts.get_list("batch-sizes", &[64, 256, 1024]);
+    let batch_bits: u64 = opts.get(
+        "batch-bits",
+        bits_list.iter().copied().max().unwrap_or(1024),
+    );
+    let batch_scalar_cap: usize = opts.get("batch-scalar-cap", 256);
+    let mut batch_rows = Vec::new();
+    for &m in &batch_sizes {
+        let m = m as usize;
+        let mut rng = StdRng::seed_from_u64(0x5ca9 ^ m as u64 ^ (batch_bits << 17));
+        let moduli = build_corpus(&mut rng, m, batch_bits, 4).moduli();
+        let arena = ModuliArena::try_from_moduli(&moduli).expect("bench corpus is non-degenerate");
+        let pairs = (m * (m - 1) / 2) as f64;
+
+        let tree_scan = || {
+            ScanPipeline::new(&arena)
+                .backend(ProductTreeBackend { parallel: false })
+                .run()
+                .expect("product-tree pipeline scan")
+                .scan
+        };
+        let scalar_scan = || {
+            ScanPipeline::new(&arena)
+                .algorithm(algo)
+                .run()
+                .expect("scalar pipeline scan")
+                .scan
+        };
+
+        let (tree_s, scalar_s, tree_vs_scalar, found, matches) = if m <= batch_scalar_cap {
+            // Same drift-cancelling treatment as the main grid: the tree
+            // and its scalar reference run interleaved, and the reported
+            // ratio is the median of per-round ratios.
+            let mut run_tree = || tree_scan().findings.len();
+            let mut run_scalar = || scalar_scan().findings.len();
+            let (times, sinks) = round_times(reps, &mut [&mut run_tree, &mut run_scalar]);
+            let matches = tree_scan().findings == scalar_scan().findings;
+            assert!(
+                matches,
+                "product-tree and scalar scans disagree at m={m}, bits={batch_bits}"
+            );
+            (
+                best_of(&times[0]),
+                best_of(&times[1]),
+                median_speedup(&times[1], &times[0]),
+                sinks[0],
+                Some(matches),
+            )
+        } else {
+            let (tree_s, found) = best_seconds(reps, || tree_scan().findings.len());
+            (tree_s, f64::NAN, f64::NAN, found, None)
+        };
+
+        eprintln!(
+            "batch m={m} bits={batch_bits}: product-tree {:.0} pairs/s ({found} findings){}",
+            pairs / tree_s,
+            if let Some(matches) = matches {
+                format!(
+                    ", scalar {:.0} pairs/s, tree x{tree_vs_scalar:.2} vs scalar, \
+                     findings match: {matches}",
+                    pairs / scalar_s
+                )
+            } else {
+                String::from(", scalar reference skipped (above --batch-scalar-cap)")
+            }
+        );
+
+        batch_rows.push(format!(
+            concat!(
+                "    {{\"m\": {m}, \"bits\": {bits}, \"pairs\": {pairs}, \"findings\": {found},\n",
+                "     \"tree_seconds\": {tree_s}, \"tree_pairs_per_sec\": {tree_tp},\n",
+                "     \"scalar_seconds\": {scalar_s}, \"scalar_pairs_per_sec\": {scalar_tp},\n",
+                "     \"tree_vs_scalar\": {tvs}, \"findings_match_scalar\": {ok}}}"
+            ),
+            m = m,
+            bits = batch_bits,
+            pairs = pairs as u64,
+            found = found,
+            tree_s = json_f64(tree_s),
+            tree_tp = json_f64(pairs / tree_s),
+            scalar_s = json_f64(scalar_s),
+            scalar_tp = json_f64(pairs / scalar_s),
+            tvs = json_f64(tree_vs_scalar),
+            ok = matches.map_or("null".to_string(), |b| b.to_string()),
+        ));
+    }
+
     let json = format!(
         concat!(
             "{{\n",
@@ -742,7 +793,8 @@ fn main() {
             "  \"launch_pairs\": {lp},\n",
             "  \"warp_width\": {w},\n",
             "  \"reps\": {reps},\n",
-            "  \"rows\": [\n{rows}\n  ]\n",
+            "  \"rows\": [\n{rows}\n  ],\n",
+            "  \"batch_tree\": [\n{brows}\n  ]\n",
             "}}\n"
         ),
         algo = algo.tag(),
@@ -755,6 +807,7 @@ fn main() {
         w = warp_width,
         reps = reps,
         rows = rows.join(",\n"),
+        brows = batch_rows.join(",\n"),
     );
     std::fs::write(&out, &json).expect("write BENCH_scan.json");
     println!("{json}");

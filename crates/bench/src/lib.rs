@@ -144,6 +144,74 @@ pub fn cpu_seconds_per_gcd(algo: Algorithm, pairs: &[(Nat, Nat)], term: Terminat
     start.elapsed().as_secs_f64() / pairs.len().max(1) as f64
 }
 
+/// Drift-robust interleaved timing for perf gates, shared by the bench
+/// binaries (`scan_bench`, `bigint_bench`).
+///
+/// The gated quantities are **per-round ratios** (entries of the same
+/// round are temporally adjacent, so a sustained machine-throttle phase
+/// cancels out of the ratio), aggregated by median — far more robust than
+/// a ratio of bests taken in different thermal states.
+pub mod gate {
+    use std::time::Instant;
+
+    /// Top up rounds until the slowest contestant has accumulated about
+    /// this many seconds of samples, so sub-millisecond cells still gate
+    /// on meaningful ratios.
+    pub const GATE_SAMPLE_SECONDS: f64 = 0.25;
+    /// Hard cap on top-up rounds, so big cells stay fast.
+    pub const MAX_GATE_ROUNDS: usize = 50;
+
+    /// Per-round wall seconds for several contestants with the rounds
+    /// interleaved round-robin (one warmup each first), so machine drift
+    /// and frequency scaling land on every contestant equally. Returns one
+    /// time series per contestant plus its (deterministic) result.
+    pub fn round_times(
+        reps: usize,
+        fs: &mut [&mut dyn FnMut() -> usize],
+    ) -> (Vec<Vec<f64>>, Vec<usize>) {
+        let mut slowest = 0.0f64;
+        let mut sinks = Vec::with_capacity(fs.len());
+        for f in fs.iter_mut() {
+            let start = Instant::now();
+            sinks.push(f());
+            slowest = slowest.max(start.elapsed().as_secs_f64());
+        }
+        let rounds = if slowest > 0.0 {
+            ((GATE_SAMPLE_SECONDS / slowest).ceil() as usize).min(MAX_GATE_ROUNDS)
+        } else {
+            MAX_GATE_ROUNDS
+        }
+        .max(reps.max(1));
+        let mut times = vec![Vec::with_capacity(rounds); fs.len()];
+        for _ in 0..rounds {
+            for ((f, sink), ts) in fs.iter_mut().zip(&sinks).zip(times.iter_mut()) {
+                let start = Instant::now();
+                let got = std::hint::black_box(f());
+                ts.push(start.elapsed().as_secs_f64());
+                assert_eq!(got, *sink, "non-deterministic benched result");
+            }
+        }
+        (times, sinks)
+    }
+
+    /// Fastest sample of a time series.
+    pub fn best_of(ts: &[f64]) -> f64 {
+        ts.iter().copied().fold(f64::INFINITY, f64::min)
+    }
+
+    /// Median of a sample vector (by total order; empty input panics).
+    pub fn median(mut v: Vec<f64>) -> f64 {
+        v.sort_by(|a, b| a.total_cmp(b));
+        v[v.len() / 2]
+    }
+
+    /// Median over rounds of `base[r] / new[r]`: how much faster `new` ran
+    /// than `base`, with both samples of each ratio taken back-to-back.
+    pub fn median_speedup(base: &[f64], new: &[f64]) -> f64 {
+        median(base.iter().zip(new).map(|(b, n)| b / n).collect())
+    }
+}
+
 /// Parse `--key value` style options from `std::env::args`.
 pub struct Options {
     args: Vec<String>,

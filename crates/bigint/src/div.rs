@@ -1,60 +1,142 @@
-//! Division: single-limb short division and Knuth Algorithm D for the
-//! general multiword case (TAOCP vol. 2, §4.3.1 — the same reference the
-//! paper cites for Euclidean algorithms).
+//! Division: single-limb short division, Knuth Algorithm D for the general
+//! multiword case (TAOCP vol. 2, §4.3.1 — the same reference the paper
+//! cites for Euclidean algorithms), and a width dispatcher that routes
+//! large divisors to the Newton reciprocal in [`crate::newton`].
+//!
+//! [`div_rem_slices`] is the dispatch entry every caller goes through;
+//! [`div_rem_knuth`] pins the quadratic algorithm for oracles and for the
+//! perf gate's legacy arm. The `_into` variant threads caller-owned
+//! buffers ([`DivScratch`]) so the remainder-tree descent divides without
+//! allocating per node.
 
 use crate::limb::{div2by1, lo, sbb, Limb, LIMB_BITS};
 use crate::nat::Nat;
+use crate::newton;
 use crate::ops;
+use crate::thresholds;
 
 /// Divide `a` by the single limb `d`. Returns `(quotient limbs, remainder)`.
 /// Panics if `d == 0`.
 pub fn div_rem_limb(a: &[Limb], d: Limb) -> (Vec<Limb>, Limb) {
+    let mut q = Vec::new();
+    let rem = div_rem_limb_into(a, d, &mut q);
+    (q, rem)
+}
+
+/// [`div_rem_limb`] into a caller buffer; returns the remainder.
+pub fn div_rem_limb_into(a: &[Limb], d: Limb, q: &mut Vec<Limb>) -> Limb {
     assert!(d != 0, "division by zero");
     let n = ops::normalized_len(a);
-    let mut q = vec![0; n];
+    q.clear();
+    q.resize(n, 0);
     let mut rem: Limb = 0;
     for i in (0..n).rev() {
         let (qi, r) = div2by1(rem, a[i], d);
         q[i] = qi;
         rem = r;
     }
-    q.truncate(ops::normalized_len(&q));
-    (q, rem)
+    q.truncate(ops::normalized_len(q));
+    rem
+}
+
+/// Caller-owned working memory for [`div_rem_knuth_into`]: the shifted
+/// dividend and divisor of Knuth's D1 normalization step. Reusing one
+/// scratch across a remainder-tree descent removes every per-node
+/// allocation of the hot loop.
+#[derive(Default)]
+pub struct DivScratch {
+    u: Vec<Limb>,
+    v: Vec<Limb>,
+}
+
+impl DivScratch {
+    pub fn new() -> Self {
+        DivScratch::default()
+    }
+}
+
+/// True when the dispatcher routes `(la, lb)`-limb division to the Newton
+/// reciprocal: the divisor must clear the cutoff *and* the quotient must be
+/// wide enough (≥ half the cutoff) to amortize the fixed reciprocal cost.
+pub(crate) fn newton_applies(la: usize, lb: usize) -> bool {
+    let cut = thresholds::NEWTON_DIV.get();
+    lb >= cut && la >= lb + cut / 2
 }
 
 /// Divide `a` by `b` (both little-endian limb slices).
 /// Returns `(quotient, remainder)` as normalized limb vectors.
 /// Panics if `b == 0`.
+///
+/// This is the dispatch entry: Knuth Algorithm D below the
+/// [`thresholds::NEWTON_DIV`] cutoff, Newton reciprocal division above it.
 pub fn div_rem_slices(a: &[Limb], b: &[Limb]) -> (Vec<Limb>, Vec<Limb>) {
     let la = ops::normalized_len(a);
     let lb = ops::normalized_len(b);
+    if newton_applies(la, lb) {
+        return newton::div_rem_newton(a, b);
+    }
+    div_rem_knuth(a, b)
+}
+
+/// Knuth Algorithm D, unconditionally (no dispatch). The oracle for the
+/// Newton cross-checks and the perf gate's legacy arm; also the base case
+/// of the Newton recursion itself.
+pub fn div_rem_knuth(a: &[Limb], b: &[Limb]) -> (Vec<Limb>, Vec<Limb>) {
+    let mut q = Vec::new();
+    let mut r = Vec::new();
+    let mut scratch = DivScratch::new();
+    div_rem_knuth_into(a, b, &mut q, &mut r, &mut scratch);
+    (q, r)
+}
+
+/// Knuth Algorithm D into caller buffers. `q` and `r` are cleared and
+/// left normalized; `scratch` holds the shifted operands between calls.
+pub fn div_rem_knuth_into(
+    a: &[Limb],
+    b: &[Limb],
+    q: &mut Vec<Limb>,
+    r: &mut Vec<Limb>,
+    scratch: &mut DivScratch,
+) {
+    let la = ops::normalized_len(a);
+    let lb = ops::normalized_len(b);
     assert!(lb != 0, "division by zero");
+    q.clear();
+    r.clear();
     if la < lb || ops::cmp(a, b) == core::cmp::Ordering::Less {
-        return (Vec::new(), a[..la].to_vec());
+        r.extend_from_slice(&a[..la]);
+        return;
     }
     if lb == 1 {
-        let (q, r) = div_rem_limb(&a[..la], b[0]);
-        return (q, if r == 0 { Vec::new() } else { vec![r] });
+        let rem = div_rem_limb_into(&a[..la], b[0], q);
+        if rem != 0 {
+            r.push(rem);
+        }
+        return;
     }
 
     // Knuth Algorithm D.
     // D1: normalize so the divisor's top limb has its high bit set.
     let shift = b[lb - 1].leading_zeros();
-    let mut u = a[..la].to_vec();
+    let u = &mut scratch.u;
+    u.clear();
+    u.extend_from_slice(&a[..la]);
     u.push(0);
     if shift > 0 {
-        ops::shl_in_place(&mut u, shift as u64);
+        ops::shl_in_place(u, shift as u64);
     }
-    let mut v = b[..lb].to_vec();
+    let v = &mut scratch.v;
+    v.clear();
+    v.extend_from_slice(&b[..lb]);
     if shift > 0 {
         v.push(0);
-        let n = ops::shl_in_place(&mut v, shift as u64);
+        let n = ops::shl_in_place(v, shift as u64);
         v.truncate(n);
     }
     debug_assert_eq!(v.len(), lb, "normalizing shift must not change length");
     let n = lb;
     let m = la - lb;
-    let mut q: Vec<Limb> = vec![0; m + 1];
+    q.resize(m + 1, 0);
     let v_hi = v[n - 1];
     let v_next = v[n - 2];
 
@@ -108,13 +190,12 @@ pub fn div_rem_slices(a: &[Limb], b: &[Limb]) -> (Vec<Limb>, Vec<Limb>) {
     }
 
     // D8: denormalize the remainder.
-    let mut r = u[..n].to_vec();
+    r.extend_from_slice(&u[..n]);
     if shift > 0 {
-        ops::shr_in_place(&mut r, shift as u64);
+        ops::shr_in_place(r, shift as u64);
     }
-    q.truncate(ops::normalized_len(&q));
-    r.truncate(ops::normalized_len(&r));
-    (q, r)
+    q.truncate(ops::normalized_len(q));
+    r.truncate(ops::normalized_len(r));
 }
 
 impl Nat {
@@ -122,7 +203,27 @@ impl Nat {
     /// Panics if `other` is zero.
     pub fn div_rem(&self, other: &Nat) -> (Nat, Nat) {
         let (q, r) = div_rem_slices(self.limbs(), other.limbs());
-        (Nat::from_limbs(&q), Nat::from_limbs(&r))
+        (Nat::from_vec(q), Nat::from_vec(r))
+    }
+
+    /// [`Nat::div_rem`] into caller-owned `Nat`s plus division scratch —
+    /// the remainder-tree descent's zero-allocation steady state. `q` and
+    /// `r` are overwritten (their buffers reused); the Newton path above
+    /// the cutoff still allocates internally, which the tree amortizes
+    /// over the huge operand widths that reach it.
+    pub fn div_rem_into(&self, other: &Nat, q: &mut Nat, r: &mut Nat, scratch: &mut DivScratch) {
+        let la = self.len();
+        let lb = other.len();
+        if newton_applies(la, lb) {
+            let (qq, rr) = newton::div_rem_newton(self.limbs(), other.limbs());
+            q.assign_limbs(&qq);
+            r.assign_limbs(&rr);
+            return;
+        }
+        // The slice kernel cannot alias `self`/`other` with `q`/`r`, so
+        // split the borrows by taking the raw buffers first.
+        let (a, b) = (self.limbs(), other.limbs());
+        div_rem_knuth_into(a, b, q.limbs_mut(), r.limbs_mut(), scratch);
     }
 
     /// Rounded-down quotient (the paper's `div` operator).
@@ -224,6 +325,31 @@ mod tests {
             let (q, r) = a.div_rem(&b);
             assert_eq!(q.mul(&b).add(&r), a);
             assert!(r.cmp(&b) == core::cmp::Ordering::Less);
+        }
+    }
+
+    #[test]
+    fn into_variant_reuses_buffers_and_matches() {
+        let mut state = 0xc0ff_ee00_dead_0042u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let mut q = Nat::default();
+        let mut r = Nat::default();
+        let mut scratch = DivScratch::new();
+        for _ in 0..50 {
+            let a = Nat::from_u128(((next() as u128) << 64) | next() as u128);
+            let b = Nat::from_u128((next() as u128 | 1) >> (next() % 100));
+            if b.is_zero() {
+                continue;
+            }
+            a.div_rem_into(&b, &mut q, &mut r, &mut scratch);
+            let (qe, re) = a.div_rem(&b);
+            assert_eq!(q, qe);
+            assert_eq!(r, re);
         }
     }
 }

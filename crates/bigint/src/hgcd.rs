@@ -1,0 +1,553 @@
+//! Half-GCD: binary-recursive GCD reduction for huge operands.
+//!
+//! The classical Euclid/Lehmer loops cost O(n²) limb work on the
+//! million-bit `gcd(N_i, z_i)` steps at the bottom of the remainder tree.
+//! This module reduces a pair by recursing on the operands' *top halves*:
+//! a half-GCD call on `(a >> p, b >> p)` yields a 2×2 quotient-product
+//! matrix `M` that usually reduces the full pair too. We *validate* every
+//! speculative reduction — apply `M⁻¹` to the full operands with checked
+//! subtraction and require strictly smaller non-negative results — so
+//! correctness never leans on the truncation theorems: an accepted matrix
+//! is unimodular with non-negative entries, hence
+//! `gcd(a, b) = gcd(a', b')` unconditionally, and a rejected one just
+//! falls back to a single exact division step (which dispatches to Newton
+//! division at these widths). All the multiplies ride `mul_dispatch`, so
+//! the whole GCD inherits the subquadratic multiply ladder.
+//!
+//! `Nat::gcd` is the public driver: binary GCD below
+//! [`crate::thresholds::HGCD`], half-GCD rounds above it.
+
+use crate::limb::{Limb, LIMB_BITS};
+use crate::nat::Nat;
+use crate::ops;
+use crate::thresholds;
+use core::cmp::Ordering;
+use core::mem;
+
+/// Below this operand width (limbs) the recursion bottoms out into
+/// batched Lehmer rounds; recursing further costs more than it saves.
+const HGCD_BASE_LIMBS: usize = 48;
+
+/// Speculative top-half reductions stop this many bits *before* the
+/// theoretical validity boundary. Quotients derived from truncated
+/// operands only start disagreeing with the full sequence within a few
+/// steps of the boundary, so stopping early makes validation failures
+/// rare instead of near-certain — a failed validation throws away the
+/// whole recursive reduction for one bit of Euclid progress. The margin
+/// also absorbs the base case overshooting `stop` by up to one Lehmer
+/// round (~47 bits).
+const SPEC_MARGIN_BITS: u64 = 96;
+
+/// A product of Euclid-step matrices `[[q,1],[1,0]]`, tracking
+/// `(a, b)ᵀ = M · (a', b')ᵀ`. The determinant is `(−1)^steps`, tracked as
+/// `parity` (`false` = even = +1). All entries are non-negative.
+#[derive(Clone, Debug)]
+pub struct Mat {
+    m00: Nat,
+    m01: Nat,
+    m10: Nat,
+    m11: Nat,
+    parity: bool,
+}
+
+impl Mat {
+    pub fn identity() -> Mat {
+        Mat {
+            m00: Nat::from_limbs(&[1]),
+            m01: Nat::default(),
+            m10: Nat::default(),
+            m11: Nat::from_limbs(&[1]),
+            parity: false,
+        }
+    }
+
+    pub fn is_identity(&self) -> bool {
+        !self.parity
+            && self.m01.is_zero()
+            && self.m10.is_zero()
+            && self.m00.is_one()
+            && self.m11.is_one()
+    }
+
+    /// Append one Euclid step with quotient `q`: `M ← M·[[q,1],[1,0]]`.
+    /// A zero quotient appends the pure swap matrix `[[0,1],[1,0]]`.
+    fn push_step(&mut self, q: &Nat) {
+        let n00 = self.m00.mul(q).add(&self.m01);
+        let n10 = self.m10.mul(q).add(&self.m11);
+        self.m01 = mem::replace(&mut self.m00, n00);
+        self.m11 = mem::replace(&mut self.m10, n10);
+        self.parity = !self.parity;
+    }
+
+    /// `M ← M·other` (2×2 matrix product; parity adds).
+    fn compose(&mut self, o: &Mat) {
+        let n00 = self.m00.mul(&o.m00).add(&self.m01.mul(&o.m10));
+        let n01 = self.m00.mul(&o.m01).add(&self.m01.mul(&o.m11));
+        let n10 = self.m10.mul(&o.m00).add(&self.m11.mul(&o.m10));
+        let n11 = self.m10.mul(&o.m01).add(&self.m11.mul(&o.m11));
+        self.m00 = n00;
+        self.m01 = n01;
+        self.m10 = n10;
+        self.m11 = n11;
+        self.parity ^= o.parity;
+    }
+
+    /// Recover `(a', b') = M⁻¹·(a, b)` exactly, or `None` if either
+    /// component would go negative (the speculative matrix does not apply
+    /// to these operands). Since `det M = ±1`:
+    /// even parity → `a' = m11·a − m01·b`, `b' = m00·b − m10·a`;
+    /// odd parity  → `a' = m01·b − m11·a`, `b' = m10·a − m00·b`.
+    fn apply_inverse(&self, a: &Nat, b: &Nat) -> Option<(Nat, Nat)> {
+        let (x0, x1) = (self.m11.mul(a), self.m01.mul(b));
+        let (y0, y1) = (self.m00.mul(b), self.m10.mul(a));
+        if self.parity {
+            Some((x1.checked_sub(&x0)?, y1.checked_sub(&y0)?))
+        } else {
+            Some((x0.checked_sub(&x1)?, y0.checked_sub(&y1)?))
+        }
+    }
+}
+
+/// One exact Euclid step: `(a, b) ← (b, a mod b)`, recording the quotient.
+/// Requires `b` non-zero. Division dispatches through `div_rem_slices`, so
+/// huge steps use the Newton reciprocal.
+fn euclid_step(a: &mut Nat, b: &mut Nat, m: &mut Mat) {
+    debug_assert!(!b.is_zero());
+    let (q, r) = a.div_rem(b);
+    m.push_step(&q);
+    *a = mem::replace(b, r);
+}
+
+/// Order a recovered pair so `a >= b`, folding any swap into the matrix.
+fn order(mut a: Nat, mut b: Nat, m: &mut Mat) -> (Nat, Nat) {
+    if ops::cmp(a.limbs(), b.limbs()) == Ordering::Less {
+        mem::swap(&mut a, &mut b);
+        m.push_step(&Nat::default());
+    }
+    (a, b)
+}
+
+/// `⌊n/2^k⌋` truncated to its low 64 bits — the leading window of an
+/// operand when the caller picks `k = bit_len − 64`.
+fn window(n: &Nat, k: u64) -> u64 {
+    let limbs = n.limbs();
+    let li = (k / LIMB_BITS as u64) as usize;
+    let sh = (k % LIMB_BITS as u64) as u32;
+    let w0 = limbs.get(li).copied().unwrap_or(0) as u64;
+    let w1 = limbs.get(li + 1).copied().unwrap_or(0) as u64;
+    let w2 = limbs.get(li + 2).copied().unwrap_or(0) as u64;
+    let lo64 = w0 | (w1 << LIMB_BITS);
+    if sh == 0 {
+        lo64
+    } else {
+        (lo64 >> sh) | (w2 << (64 - sh))
+    }
+}
+
+/// Euclid quotients provably shared by every pair whose leading windows
+/// are `(x, y)` (Lehmer's double-sided test, HAC 14.57): a quotient is
+/// kept only if it comes out identical under both extreme completions of
+/// the truncated operands. Typically ~30 quotients per 64-bit window.
+fn lehmer_quotients(x0: u64, y0: u64) -> Vec<u64> {
+    let (mut x, mut y) = (x0 as i128, y0 as i128);
+    let (mut ma, mut mb, mut mc, mut md) = (1i128, 0i128, 0i128, 1i128);
+    let mut qs = Vec::new();
+    loop {
+        if y + mc <= 0 || y + md <= 0 {
+            break;
+        }
+        let q1 = (x + ma) / (y + mc);
+        let q2 = (x + mb) / (y + md);
+        if q1 != q2 || q1 < 0 {
+            break;
+        }
+        let q = q1;
+        let na = mc;
+        let nc = ma - q * mc;
+        let nb = md;
+        let nd = mb - q * md;
+        (ma, mb, mc, md) = (na, nb, nc, nd);
+        let ny = x - q * y;
+        x = y;
+        y = ny;
+        qs.push(q as u64);
+    }
+    qs
+}
+
+/// Half-GCD: reduce `(a, b)` with `a >= b` until `b` has at most
+/// `bit_len(a)/2 + 1` bits, returning the reduced pair (still ordered
+/// `a' >= b'`) and the matrix with `(a, b)ᵀ = M·(a', b')ᵀ`. Every step is
+/// exact (validated or a true division), so
+/// `gcd(a, b) = gcd(a', b')` always.
+pub fn hgcd(a0: &Nat, b0: &Nat) -> (Nat, Nat, Mat) {
+    let stop = a0.bit_len().max(b0.bit_len()) / 2 + 1;
+    hgcd_to(a0, b0, stop)
+}
+
+/// [`hgcd`] generalized to an explicit reduction target: shrink `b` to at
+/// most `stop` bits (never above the inputs' own bound). Speculative
+/// callers pass a target [`SPEC_MARGIN_BITS`] shy of the validity
+/// boundary so the reduction they splice in almost always validates.
+fn hgcd_to(a0: &Nat, b0: &Nat, stop: u64) -> (Nat, Nat, Mat) {
+    let mut m = Mat::identity();
+    let (mut a, mut b) = order(a0.clone(), b0.clone(), &mut m);
+    loop {
+        if b.is_zero() || b.bit_len() <= stop {
+            return (a, b, m);
+        }
+        if a.len() <= HGCD_BASE_LIMBS {
+            lehmer_reduce(&mut a, &mut b, &mut m, stop);
+            return (a, b, m);
+        }
+
+        // Speculate: run half-GCD on the top halves (stopping a margin
+        // short of the boundary) and check whether the same quotient
+        // sequence reduces the full pair.
+        let p = a.bit_len() / 2;
+        let ah = a.shr(p);
+        let bh = b.shr(p);
+        // A splice lands the full pair's `b` at roughly `p + (inner
+        // endpoint bits)`, so the inner target must respect BOTH the
+        // transfer-validity boundary (`p/2`-ish, kept at a margin) and
+        // the caller's own `stop` — without the second bound a single
+        // splice can overshoot `stop` by hundreds of bits, pushing the
+        // accumulated matrix past the boundary where it stops applying
+        // to the caller's *own* parent pair.
+        let inner_stop = (ah.bit_len() / 2 + SPEC_MARGIN_BITS).max(stop.saturating_sub(p));
+        let mut progressed = false;
+        if !bh.is_zero() && bh.bit_len() > inner_stop {
+            let (_, _, mh) = hgcd_to(&ah, &bh, inner_stop);
+            progressed = try_apply(&mh, &mut a, &mut b, &mut m);
+        }
+        if !progressed {
+            euclid_step(&mut a, &mut b, &mut m);
+        }
+    }
+}
+
+/// Validate a speculative reduction `mh` against the full pair: recover
+/// `M⁻¹·(a, b)` with checked subtraction, re-order, and require strict
+/// progress. On success splice `mh` into `m` and replace the pair.
+fn try_apply(mh: &Mat, a: &mut Nat, b: &mut Nat, m: &mut Mat) -> bool {
+    if mh.is_identity() {
+        return false;
+    }
+    if let Some((a2, b2)) = mh.apply_inverse(a, b) {
+        let mut swapm = Mat::identity();
+        let (a2, b2) = order(a2, b2, &mut swapm);
+        // Strict progress keeps the loop well-founded; the checked
+        // subtraction already proved exactness.
+        if ops::cmp(a2.limbs(), a.limbs()) == Ordering::Less {
+            m.compose(mh);
+            m.compose(&swapm);
+            *a = a2;
+            *b = b2;
+            return true;
+        }
+    }
+    false
+}
+
+/// Base-case reduction: batched Lehmer rounds. Each round derives up to
+/// ~30 Euclid quotients from the operands' 64-bit leading windows,
+/// rebuilds them as a (structurally unimodular) step matrix, and applies
+/// it with the same checked validation as the speculative path — one
+/// O(len) pass per ~31 bits of progress instead of per bit. Rounds the
+/// windows cannot certify fall back to a single exact division step.
+fn lehmer_reduce(a: &mut Nat, b: &mut Nat, m: &mut Mat, stop: u64) {
+    while !b.is_zero() && b.bit_len() > stop {
+        // The window needs headroom below it for the quotients to be
+        // meaningful; tiny tails are cheapest as exact steps.
+        if a.bit_len() < 80 {
+            euclid_step(a, b, m);
+            continue;
+        }
+        let k = a.bit_len() - 64;
+        let qs = lehmer_quotients(window(a, k), window(b, k));
+        let mut applied = false;
+        if !qs.is_empty() {
+            let mut part = Mat::identity();
+            let mut q = Nat::default();
+            for &qi in &qs {
+                q.assign_limbs(&[crate::limb::lo(qi), crate::limb::hi(qi)]);
+                part.push_step(&q);
+            }
+            applied = try_apply(&part, a, b, m);
+        }
+        if !applied {
+            euclid_step(a, b, m);
+        }
+    }
+}
+
+/// Binary GCD over two scratch vectors; the result is left in `sa`
+/// (normalized). No allocation beyond growing the caller's buffers.
+pub fn gcd_binary_in_place(sa: &mut Vec<Limb>, sb: &mut Vec<Limb>) {
+    sa.truncate(ops::normalized_len(sa));
+    sb.truncate(ops::normalized_len(sb));
+    if sa.is_empty() {
+        mem::swap(sa, sb);
+        return;
+    }
+    if sb.is_empty() {
+        return;
+    }
+    let ka = ops::trailing_zeros(sa).unwrap_or(0);
+    let kb = ops::trailing_zeros(sb).unwrap_or(0);
+    let k = ka.min(kb);
+    let na = ops::shr_in_place(sa, ka);
+    sa.truncate(na);
+    let nb = ops::shr_in_place(sb, kb);
+    sb.truncate(nb);
+    // Both odd from here on; each round strictly shrinks the larger.
+    loop {
+        match ops::cmp(sa, sb) {
+            Ordering::Equal => break,
+            Ordering::Less => mem::swap(sa, sb),
+            Ordering::Greater => {}
+        }
+        let borrow = ops::sub_assign(sa, sb);
+        debug_assert_eq!(borrow, 0);
+        sa.truncate(ops::normalized_len(sa));
+        let tz = ops::trailing_zeros(sa).unwrap_or(0);
+        let n = ops::shr_in_place(sa, tz);
+        sa.truncate(n);
+    }
+    if k > 0 {
+        let extra = (k / LIMB_BITS as u64) as usize + 1;
+        sa.resize(sa.len() + extra, 0);
+        let n = ops::shl_in_place(sa, k);
+        sa.truncate(n);
+    }
+}
+
+/// GCD with an explicit half-GCD cutoff (limbs). `Nat::gcd` passes the
+/// tuned [`thresholds::HGCD`]; tests pass small cutoffs to exercise the
+/// half-GCD machinery on fast operands without touching the global ladder.
+pub fn gcd_with_cutoff(x: &Nat, y: &Nat, hgcd_cutoff: usize) -> Nat {
+    let mut m = Mat::identity();
+    let (mut a, mut b) = order(x.clone(), y.clone(), &mut m);
+    loop {
+        if b.is_zero() {
+            return a;
+        }
+        if a.len() < hgcd_cutoff {
+            let mut sa = a.limbs().to_vec();
+            let mut sb = b.limbs().to_vec();
+            gcd_binary_in_place(&mut sa, &mut sb);
+            return Nat::from_limbs(&sa);
+        }
+        let (a2, b2, mh) = hgcd(&a, &b);
+        if mh.is_identity() {
+            // b is already far below a: one exact division step.
+            let r = a.rem(&b);
+            a = mem::replace(&mut b, r);
+        } else {
+            a = a2;
+            b = b2;
+        }
+    }
+}
+
+/// GCD into a caller-owned `Nat`, with caller scratch for the binary path
+/// so the steady-state batch loop performs no allocations. Falls back to
+/// the (allocating) half-GCD driver above the cutoff — findings at those
+/// widths are rare enough that the allocation is irrelevant.
+pub fn gcd_into(x: &Nat, y: &Nat, sa: &mut Vec<Limb>, sb: &mut Vec<Limb>, out: &mut Nat) {
+    let min_len = x.len().min(y.len()).max(1);
+    if min_len >= thresholds::HGCD.get() {
+        *out = gcd_with_cutoff(x, y, thresholds::HGCD.get());
+        return;
+    }
+    sa.clear();
+    sa.extend_from_slice(x.limbs());
+    sb.clear();
+    sb.extend_from_slice(y.limbs());
+    gcd_binary_in_place(sa, sb);
+    out.assign_limbs(sa);
+}
+
+impl Nat {
+    /// Greatest common divisor: binary GCD below the
+    /// [`thresholds::HGCD`] cutoff, validated half-GCD rounds above it.
+    pub fn gcd(&self, other: &Nat) -> Nat {
+        let min_len = self.len().min(other.len()).max(1);
+        let cutoff = thresholds::HGCD.get();
+        if min_len < cutoff {
+            let mut sa = self.limbs().to_vec();
+            let mut sb = other.limbs().to_vec();
+            gcd_binary_in_place(&mut sa, &mut sb);
+            return Nat::from_limbs(&sa);
+        }
+        gcd_with_cutoff(self, other, cutoff)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn xorshift(state: &mut u64) -> u64 {
+        *state ^= *state << 13;
+        *state ^= *state >> 7;
+        *state ^= *state << 17;
+        *state
+    }
+
+    fn rand_nat(state: &mut u64, len: usize) -> Nat {
+        let limbs: Vec<Limb> = (0..len).map(|_| crate::limb::lo(xorshift(state))).collect();
+        Nat::from_limbs(&limbs)
+    }
+
+    #[test]
+    fn lehmer_window_quotients_are_canonical_prefix() {
+        // The certified double-sided window quotients must form a prefix
+        // of the true Euclid quotient sequence -- this is what makes the
+        // Lehmer base case's accumulated matrix a canonical-prefix matrix
+        // that transfers to the full-width pair.
+        let mut state = 0xabad_1dea_0000_4242u64;
+        for t in 0..200 {
+            let x = rand_nat(&mut state, 10);
+            let y = rand_nat(&mut state, 9 + (t % 2));
+            let (x, y) = if ops::cmp(x.limbs(), y.limbs()) == Ordering::Less {
+                (y, x)
+            } else {
+                (x, y)
+            };
+            if y.is_zero() || x.bit_len() < 80 {
+                continue;
+            }
+            let k = x.bit_len() - 64;
+            let qs = lehmer_quotients(window(&x, k), window(&y, k));
+            let (mut a, mut b) = (x, y);
+            for (i, &q) in qs.iter().enumerate() {
+                let (tq, r) = a.div_rem(&b);
+                assert_eq!(
+                    Nat::from_limbs(&[crate::limb::lo(q), crate::limb::hi(q)]),
+                    tq,
+                    "window quotient {i} diverges from the true sequence at trial {t}"
+                );
+                a = mem::replace(&mut b, r);
+            }
+        }
+    }
+
+    #[test]
+    #[ignore = "manual timing probe"]
+    fn timing_probe() {
+        let mut state = 0x7777_1234_5678_9abcu64;
+        for n in [96usize, 192, 384] {
+            let g = rand_nat(&mut state, 16);
+            let a = g.mul(&rand_nat(&mut state, n - 16));
+            let b = g.mul(&rand_nat(&mut state, n - 16));
+            let t = std::time::Instant::now();
+            let got = gcd_with_cutoff(&a, &b, 2);
+            let dt = t.elapsed();
+            let t2 = std::time::Instant::now();
+            let want = a.gcd_reference(&b);
+            let dt2 = t2.elapsed();
+            assert_eq!(got, want);
+            eprintln!("gcd_with_cutoff n={n}: {dt:?} (euclid reference {dt2:?})");
+        }
+        let a = rand_nat(&mut state, 192);
+        let b = rand_nat(&mut state, 190);
+        let t = std::time::Instant::now();
+        let (_, _, m) = hgcd(&a, &b);
+        eprintln!(
+            "hgcd n=192: {:?} (matrix entries {} limbs)",
+            t.elapsed(),
+            m.m00.len().max(m.m01.len())
+        );
+    }
+
+    #[test]
+    fn binary_gcd_matches_reference() {
+        let mut state = 0x5eed_5eed_5eed_5eedu64;
+        for (la, lb) in [(1, 1), (2, 1), (4, 4), (7, 3), (12, 12), (20, 9)] {
+            let a = rand_nat(&mut state, la);
+            let b = rand_nat(&mut state, lb);
+            let mut sa = a.limbs().to_vec();
+            let mut sb = b.limbs().to_vec();
+            gcd_binary_in_place(&mut sa, &mut sb);
+            assert_eq!(Nat::from_limbs(&sa), a.gcd_reference(&b), "la={la} lb={lb}");
+        }
+    }
+
+    #[test]
+    fn binary_gcd_common_power_of_two() {
+        // gcd(2^75·x, 2^40·y) keeps the common 2^40.
+        let x = rand_nat(&mut 0xabcdu64.wrapping_mul(0x9e37_79b9_7f4a_7c15), 3);
+        let a = x.shl(75);
+        let b = x.shl(40);
+        let mut sa = a.limbs().to_vec();
+        let mut sb = b.limbs().to_vec();
+        gcd_binary_in_place(&mut sa, &mut sb);
+        assert_eq!(Nat::from_limbs(&sa), a.gcd_reference(&b));
+    }
+
+    #[test]
+    fn gcd_zero_and_identity_cases() {
+        let a = rand_nat(&mut 0x77u64.wrapping_mul(0x2545_f491_4f6c_dd1d), 6);
+        assert_eq!(a.gcd(&Nat::default()), a);
+        assert_eq!(Nat::default().gcd(&a), a);
+        assert_eq!(a.gcd(&a), a);
+        assert!(Nat::default().gcd(&Nat::default()).is_zero());
+    }
+
+    #[test]
+    fn hgcd_driver_matches_reference_small_cutoff() {
+        // Cutoff 2 forces the half-GCD machinery on small operands where
+        // the Euclid reference is still fast.
+        let mut state = 0xdead_1234_beef_5678u64;
+        for (la, lb) in [(8, 8), (12, 5), (16, 16), (24, 23), (32, 32), (40, 11)] {
+            let a = rand_nat(&mut state, la);
+            let b = rand_nat(&mut state, lb);
+            let got = gcd_with_cutoff(&a, &b, 2);
+            let want = a.gcd_reference(&b);
+            assert_eq!(got, want, "la={la} lb={lb}");
+        }
+    }
+
+    #[test]
+    fn hgcd_driver_with_planted_common_factor() {
+        let mut state = 0x0123_4567_89ab_cdefu64;
+        let g = rand_nat(&mut state, 6);
+        let a = g.mul(&rand_nat(&mut state, 10));
+        let b = g.mul(&rand_nat(&mut state, 9));
+        let got = gcd_with_cutoff(&a, &b, 2);
+        let want = a.gcd_reference(&b);
+        assert_eq!(got, want);
+        // The planted factor divides the gcd.
+        assert!(got.rem(&g).is_zero());
+    }
+
+    #[test]
+    fn hgcd_reduction_is_consistent() {
+        // (a,b) = M·(a',b') must hold exactly for the returned matrix.
+        let mut state = 0xfeed_beef_0bad_f00du64;
+        let a = rand_nat(&mut state, 30);
+        let b = rand_nat(&mut state, 28);
+        let (ar, br, m) = hgcd(&a, &b);
+        let ra = m.m00.mul(&ar).add(&m.m01.mul(&br));
+        let rb = m.m10.mul(&ar).add(&m.m11.mul(&br));
+        assert_eq!(ra, a);
+        assert_eq!(rb, b);
+        assert!(br.bit_len() <= a.bit_len() / 2 + 1);
+    }
+
+    #[test]
+    fn gcd_into_reuses_buffers() {
+        let mut state = 0x1111_2222_3333_4444u64;
+        let a = rand_nat(&mut state, 8);
+        let b = rand_nat(&mut state, 8);
+        let mut sa = Vec::new();
+        let mut sb = Vec::new();
+        let mut out = Nat::default();
+        gcd_into(&a, &b, &mut sa, &mut sb, &mut out);
+        assert_eq!(out, a.gcd_reference(&b));
+        // Second call with warm buffers.
+        gcd_into(&b, &a, &mut sa, &mut sb, &mut out);
+        assert_eq!(out, a.gcd_reference(&b));
+    }
+}

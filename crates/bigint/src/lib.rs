@@ -14,7 +14,13 @@
 //! * [`ops`] — slice-level kernels shared with the fixed-buffer GCD operands
 //!   of `bulkgcd-core`, including the fused `X ← rshift(X − α·Y)` single-pass
 //!   update of paper §IV;
-//! * schoolbook/Karatsuba multiplication and Knuth Algorithm D division;
+//! * a width-dispatched multiplication ladder — schoolbook, Karatsuba,
+//!   Toom-Cook-3 ([`toom`]) and a 3-prime CRT NTT ([`ntt`]) — with cutoffs
+//!   in [`thresholds`] (env-overridable for tuning);
+//! * division by Knuth Algorithm D, switching to Newton–Raphson reciprocal
+//!   division ([`newton`]) for large divisors;
+//! * GCD by binary/Lehmer loops below [`thresholds::HGCD`] limbs and
+//!   subquadratic half-GCD ([`hgcd`]) above it;
 //! * Montgomery modular exponentiation and modular inverse (for recovering
 //!   RSA private keys);
 //! * Miller–Rabin primality testing and random prime generation (replacing
@@ -26,14 +32,19 @@ pub mod convert;
 pub mod div;
 pub mod extgcd;
 pub mod gcd_ref;
+pub mod hgcd;
 pub mod limb;
 pub mod modular;
 pub mod mul;
 pub mod nat;
+pub mod newton;
+pub mod ntt;
 pub mod ops;
 pub mod prime;
 pub mod random;
 pub mod square;
+pub mod thresholds;
+pub mod toom;
 
 pub use barrett::Barrett;
 pub use extgcd::{ext_gcd, ExtGcd, SignedNat};

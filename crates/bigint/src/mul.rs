@@ -1,16 +1,19 @@
-//! Multiplication: schoolbook for short operands, Karatsuba above a cutoff.
+//! Multiplication: the dispatch entry of the arithmetic ladder.
 //!
-//! Karatsuba is needed by the batch-GCD baseline (`bulkgcd-bulk`), whose
-//! product tree multiplies thousands of RSA moduli into million-bit numbers;
-//! schoolbook would make that quadratic wall-clock.
+//! [`mul_dispatch`] routes by the *shorter* operand's width: schoolbook →
+//! Karatsuba → Toom-Cook-3 → 3-prime NTT, with unbalanced products chopped
+//! into balanced chunks first. All cutoffs live in [`crate::thresholds`]
+//! (env-overridable); correctness never depends on them. Every recursion —
+//! Karatsuba's halves, Toom's pointwise products, the unbalanced chop —
+//! re-enters the dispatcher, so each sub-product independently picks the
+//! right rung for its own width.
 
 use crate::limb::{mac, Limb};
 use crate::nat::Nat;
+use crate::ntt;
 use crate::ops;
-
-/// Operand length (in limbs) above which Karatsuba is used.
-/// Tuned coarsely; correctness does not depend on the value.
-pub const KARATSUBA_CUTOFF: usize = 32;
+use crate::thresholds;
+use crate::toom;
 
 /// Schoolbook product `a * b` into `out`. `out` must be zeroed and have
 /// length at least `a.len() + b.len()`.
@@ -44,20 +47,20 @@ pub fn mul_limb(out: &mut [Limb], a: &[Limb], m: Limb) -> Limb {
     carry
 }
 
-/// Karatsuba product into `out` (zeroed, len >= a.len()+b.len()), with
-/// `scratch` workspace. Falls back to schoolbook below the cutoff.
-fn mul_karatsuba(out: &mut [Limb], a: &[Limb], b: &[Limb]) {
+/// Width-dispatched product into `out` (zeroed, `len >= a.len()+b.len()`).
+/// The single entry point of the multiply ladder; see the module docs.
+pub fn mul_dispatch(out: &mut [Limb], a: &[Limb], b: &[Limb]) {
     let (a, b) = if a.len() >= b.len() { (a, b) } else { (b, a) };
     // a is the longer operand.
     if b.is_empty() {
         return;
     }
-    if b.len() < KARATSUBA_CUTOFF {
+    if b.len() < thresholds::KARATSUBA.get() {
         mul_schoolbook(out, a, b);
         return;
     }
     if a.len() > 2 * b.len() {
-        // Unbalanced: chop `a` into b.len()-sized chunks.
+        // Unbalanced: chop `a` into b.len()-sized chunks, each near-balanced.
         let chunk = b.len();
         let mut tmp = vec![0; chunk + b.len()];
         let mut off = 0;
@@ -66,15 +69,30 @@ fn mul_karatsuba(out: &mut [Limb], a: &[Limb], b: &[Limb]) {
             let part = &a[off..hi];
             tmp.truncate(0);
             tmp.resize(part.len() + b.len(), 0);
-            mul_karatsuba(&mut tmp, part, b);
+            mul_dispatch(&mut tmp, part, b);
             let carry = ops::add_assign(&mut out[off..], &tmp);
             debug_assert_eq!(carry, 0);
             off = hi;
         }
         return;
     }
+    if b.len() >= thresholds::NTT.get() && a.len() + b.len() <= ntt::MAX_NTT_TOTAL_LIMBS {
+        ntt::mul_ntt_into(out, a, b);
+        return;
+    }
+    if b.len() >= thresholds::TOOM3.get() {
+        toom::mul_toom3_into(out, a, b);
+        return;
+    }
+    mul_karatsuba(out, a, b);
+}
 
-    // Balanced Karatsuba: split at m = ceil(a.len()/2).
+/// Balanced Karatsuba product into `out` (zeroed, len >= a.len()+b.len()).
+/// Requires `a.len() >= b.len()` and `a.len() <= 2·b.len()` (the dispatcher
+/// guarantees both); sub-products re-enter [`mul_dispatch`].
+fn mul_karatsuba(out: &mut [Limb], a: &[Limb], b: &[Limb]) {
+    debug_assert!(a.len() >= b.len() && a.len() <= 2 * b.len());
+    // Split at m = ceil(a.len()/2).
     let m = a.len().div_ceil(2);
     let (a0, a1) = a.split_at(m.min(a.len()));
     let (b0, b1) = if b.len() > m {
@@ -85,11 +103,11 @@ fn mul_karatsuba(out: &mut [Limb], a: &[Limb], b: &[Limb]) {
 
     // z0 = a0*b0, z2 = a1*b1, z1 = (a0+a1)(b0+b1) - z0 - z2.
     let mut z0 = vec![0; a0.len() + b0.len()];
-    mul_karatsuba(&mut z0, a0, b0);
+    mul_dispatch(&mut z0, a0, b0);
     z0.truncate(ops::normalized_len(&z0));
     let mut z2 = vec![0; a1.len() + b1.len().max(1)];
     if !a1.is_empty() && !b1.is_empty() {
-        mul_karatsuba(&mut z2, a1, b1);
+        mul_dispatch(&mut z2, a1, b1);
     }
     z2.truncate(ops::normalized_len(&z2));
 
@@ -103,7 +121,7 @@ fn mul_karatsuba(out: &mut [Limb], a: &[Limb], b: &[Limb]) {
     let la = ops::normalized_len(&sa);
     let lb = ops::normalized_len(&sb);
     let mut z1 = vec![0; la + lb];
-    mul_karatsuba(&mut z1, &sa[..la], &sb[..lb]);
+    mul_dispatch(&mut z1, &sa[..la], &sb[..lb]);
     let borrow = ops::sub_assign(&mut z1, &z0);
     debug_assert_eq!(borrow, 0);
     let borrow = ops::sub_assign(&mut z1, &z2);
@@ -131,7 +149,7 @@ pub fn mul_slices(a: &[Limb], b: &[Limb]) -> Vec<Limb> {
         return Vec::new();
     }
     let mut out = vec![0; la + lb];
-    mul_karatsuba(&mut out, &a[..la], &b[..lb]);
+    mul_dispatch(&mut out, &a[..la], &b[..lb]);
     out.truncate(ops::normalized_len(&out));
     out
 }
@@ -139,7 +157,24 @@ pub fn mul_slices(a: &[Limb], b: &[Limb]) -> Vec<Limb> {
 impl Nat {
     /// `self * other`.
     pub fn mul(&self, other: &Nat) -> Nat {
-        Nat::from_limbs(&mul_slices(self.limbs(), other.limbs()))
+        let mut out = Nat::default();
+        self.mul_into(other, &mut out);
+        out
+    }
+
+    /// `self * other` into a caller-owned `Nat`, reusing its allocation.
+    pub fn mul_into(&self, other: &Nat, out: &mut Nat) {
+        let la = self.len();
+        let lb = other.len();
+        let buf = out.limbs_mut();
+        buf.clear();
+        if la == 0 || lb == 0 {
+            return;
+        }
+        buf.resize(la + lb, 0);
+        mul_dispatch(buf, self.limbs(), other.limbs());
+        let n = ops::normalized_len(buf);
+        buf.truncate(n);
     }
 
     /// `self * m` for a single limb `m`.
@@ -189,7 +224,7 @@ mod tests {
     #[test]
     fn karatsuba_matches_schoolbook() {
         // Build operands long enough to take the Karatsuba path.
-        let n = KARATSUBA_CUTOFF * 3 + 5;
+        let n = thresholds::KARATSUBA.default_value() * 3 + 5;
         let a: Vec<Limb> = (0..n)
             .map(|i| (i as u32).wrapping_mul(0x9e37_79b9) | 1)
             .collect();
@@ -204,12 +239,49 @@ mod tests {
 
     #[test]
     fn karatsuba_unbalanced() {
-        let a: Vec<Limb> = (0..KARATSUBA_CUTOFF * 8).map(|i| i as u32 | 1).collect();
-        let b: Vec<Limb> = (0..KARATSUBA_CUTOFF).map(|i| !(i as u32)).collect();
+        let k = thresholds::KARATSUBA.default_value();
+        let a: Vec<Limb> = (0..k * 8).map(|i| i as u32 | 1).collect();
+        let b: Vec<Limb> = (0..k).map(|i| !(i as u32)).collect();
         let mut expect = vec![0; a.len() + b.len()];
         mul_schoolbook(&mut expect, &a, &b);
         expect.truncate(ops::normalized_len(&expect));
         assert_eq!(mul_slices(&a, &b), expect);
+    }
+
+    #[test]
+    fn dispatch_covers_toom_and_ntt_widths() {
+        // One deterministic product wide enough for each upper rung, checked
+        // against the direct algorithm entries (which the proptests in turn
+        // check against schoolbook).
+        let mut state = 0x00dd_ba11_5eed_f00du64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for n in [
+            thresholds::TOOM3.default_value() + 5,
+            thresholds::NTT.default_value() + 9,
+        ] {
+            let a: Vec<Limb> = (0..n).map(|_| crate::limb::lo(next())).collect();
+            let b: Vec<Limb> = (0..n - 3).map(|_| crate::limb::lo(next())).collect();
+            assert_eq!(mul_slices(&a, &b), toom::mul_toom3(&a, &b), "n={n}");
+        }
+    }
+
+    #[test]
+    fn mul_into_reuses_and_matches() {
+        let a = Nat::from_u128(u128::MAX - 12345);
+        let b = Nat::from_u128(0xfeed_f00d_dead_beef);
+        let mut out = Nat::default();
+        a.mul_into(&b, &mut out);
+        assert_eq!(out, a.mul(&b));
+        // Overwrite with a smaller product; buffer shrinks logically.
+        a.mul_into(&Nat::one(), &mut out);
+        assert_eq!(out, a);
+        a.mul_into(&Nat::zero(), &mut out);
+        assert!(out.is_zero());
     }
 
     #[test]

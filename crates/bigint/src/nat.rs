@@ -94,6 +94,31 @@ impl Nat {
         self.limbs
     }
 
+    /// Build from an owned limb vector without copying (normalizes).
+    pub fn from_vec(limbs: Vec<Limb>) -> Self {
+        let mut r = Nat { limbs };
+        r.normalize();
+        r
+    }
+
+    /// Overwrite `self` with the given limbs (normalizing), reusing the
+    /// existing allocation when capacity allows. The workhorse of the
+    /// scratch-reusing `_into` paths: a warm `Nat` never reallocates for
+    /// a same-or-smaller value.
+    pub fn assign_limbs(&mut self, limbs: &[Limb]) {
+        self.limbs.clear();
+        self.limbs.extend_from_slice(limbs);
+        self.normalize();
+    }
+
+    /// Mutable access to the backing vector for `_into` kernels; callers
+    /// must restore the normalization invariant (e.g. via
+    /// [`Nat::assign_limbs`]-style truncation) before the value escapes.
+    #[inline]
+    pub(crate) fn limbs_mut(&mut self) -> &mut Vec<Limb> {
+        &mut self.limbs
+    }
+
     /// Number of significant limbs (the paper's `lX`); 0 for zero.
     #[inline]
     pub fn len(&self) -> usize {

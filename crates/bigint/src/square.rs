@@ -2,12 +2,14 @@
 //! in a square, so schoolbook squaring does ~half the single-limb
 //! multiplications of a general product. Matters for the product tree
 //! (batch GCD squares at every remainder-tree level) and for the modpow
-//! square chain.
+//! square chain. Above the Karatsuba cutoff squaring re-enters
+//! [`crate::mul::mul_dispatch`] with aliased operands — the NTT rung
+//! detects the aliasing and saves one forward transform.
 
 use crate::limb::{mac, mul_wide, Limb, LIMB_BITS};
-use crate::mul::KARATSUBA_CUTOFF;
 use crate::nat::Nat;
 use crate::ops;
+use crate::thresholds;
 
 /// Schoolbook squaring of `a` into `out` (zeroed, length >= 2·a.len()).
 pub fn square_schoolbook(out: &mut [Limb], a: &[Limb]) {
@@ -51,34 +53,65 @@ pub fn square_schoolbook(out: &mut [Limb], a: &[Limb]) {
     debug_assert_eq!(carry, 0, "square fits in 2n limbs");
 }
 
+/// Width-dispatched squaring into `out` (zeroed, length >= 2·a.len() for
+/// the normalized length): dedicated schoolbook below the Karatsuba
+/// cutoff, the multiply ladder (with aliased operands) above it.
+pub fn square_dispatch(out: &mut [Limb], a: &[Limb]) {
+    let n = ops::normalized_len(a);
+    if n == 0 {
+        return;
+    }
+    let a = &a[..n];
+    if n < thresholds::KARATSUBA.get() {
+        square_schoolbook(out, a);
+    } else {
+        crate::mul::mul_dispatch(out, a, a);
+    }
+}
+
 /// Square of a limb slice, allocating the result.
 pub fn square_slices(a: &[Limb]) -> Vec<Limb> {
     let n = ops::normalized_len(a);
     if n == 0 {
         return Vec::new();
     }
-    if n >= KARATSUBA_CUTOFF {
-        // Karatsuba multiplication already splits well; reuse it above the
-        // cutoff (its subproducts are squares again only on the diagonal,
-        // so a dedicated Karatsuba-square gains little here).
-        return crate::mul::mul_slices(a, a);
-    }
     let mut out = vec![0; 2 * n];
-    square_schoolbook(&mut out, &a[..n]);
+    square_dispatch(&mut out, &a[..n]);
     out.truncate(ops::normalized_len(&out));
     out
 }
 
-/// `n²` via dedicated squaring below the Karatsuba cutoff (the
-/// implementation behind [`Nat::square`]).
+/// `n²` via the squaring dispatch (the implementation behind
+/// [`Nat::square`]).
 pub fn square_nat(n: &Nat) -> Nat {
-    Nat::from_limbs(&square_slices(n.limbs()))
+    let mut out = Nat::default();
+    square_into(n, &mut out);
+    out
+}
+
+/// `n²` into a caller-owned `Nat`, reusing its allocation.
+pub fn square_into(n: &Nat, out: &mut Nat) {
+    let len = n.len();
+    let buf = out.limbs_mut();
+    buf.clear();
+    if len == 0 {
+        return;
+    }
+    buf.resize(2 * len, 0);
+    square_dispatch(buf, n.limbs());
+    let nl = ops::normalized_len(buf);
+    buf.truncate(nl);
 }
 
 impl Nat {
-    /// `self²` via dedicated squaring below the Karatsuba cutoff.
+    /// `self²` via the squaring dispatch.
     pub fn square_fast(&self) -> Nat {
         square_nat(self)
+    }
+
+    /// `self²` into a caller-owned `Nat` (the product-tree build path).
+    pub fn square_into(&self, out: &mut Nat) {
+        square_into(self, out);
     }
 }
 
@@ -122,5 +155,25 @@ mod tests {
     fn square_method_now_uses_fast_path() {
         let n = Nat::from_u128(0x0123_4567_89ab_cdef_0011_2233);
         assert_eq!(n.square(), n.square_fast());
+    }
+
+    #[test]
+    fn square_into_reuses_buffer() {
+        let mut state = 0x5a5a_a5a5_1234_4321u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let mut out = Nat::default();
+        for len in [5usize, 33, 100] {
+            let limbs: Vec<Limb> = (0..len).map(|_| next() as u32).collect();
+            let n = Nat::from_limbs(&limbs);
+            n.square_into(&mut out);
+            assert_eq!(out, n.mul(&n), "len={len}");
+        }
+        Nat::zero().square_into(&mut out);
+        assert!(out.is_zero());
     }
 }

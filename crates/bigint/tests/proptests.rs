@@ -187,3 +187,117 @@ proptest! {
         prop_assert!(b.rem(&g).is_zero());
     }
 }
+
+// ---- arithmetic dispatch ladder cross-checks ----
+//
+// The subquadratic rungs (Toom-3, NTT, Newton division, half-GCD) are
+// checked against the quadratic oracles over operand shapes that straddle
+// the default cutoffs, including unbalanced widths and unnormalized
+// zero-limb tails. Tests call the algorithm entries directly (and
+// `gcd_with_cutoff` with a tiny cutoff) rather than mutating the global
+// threshold ladder, which would race concurrently running tests.
+
+use bulkgcd_bigint::{div, hgcd, mul, newton, ntt, square, toom};
+
+/// Schoolbook oracle over raw (possibly unnormalized) limb slices.
+fn schoolbook_mul(a: &[Limb], b: &[Limb]) -> Vec<Limb> {
+    let mut out = vec![0; a.len() + b.len()];
+    mul::mul_schoolbook(&mut out, a, b);
+    out.truncate(ops::normalized_len(&out));
+    out
+}
+
+/// Strategy: a limb vector of up to `max` limbs plus a zero tail of up to
+/// 3 limbs (exercises the unnormalized-input contract of every entry).
+fn limbs_with_tail(max: usize) -> impl Strategy<Value = Vec<Limb>> {
+    (vec(any::<Limb>(), 0..=max), 0usize..4).prop_map(|(mut v, z)| {
+        v.extend(core::iter::repeat_n(0, z));
+        v
+    })
+}
+
+proptest! {
+    #[test]
+    fn dispatch_mul_matches_schoolbook(
+        a in limbs_with_tail(140), b in limbs_with_tail(140)
+    ) {
+        // 0..140 limbs straddles the Karatsuba (32) and Toom-3 (96) rungs.
+        prop_assert_eq!(mul::mul_slices(&a, &b), schoolbook_mul(&a, &b));
+    }
+
+    #[test]
+    fn dispatch_square_matches_schoolbook(a in limbs_with_tail(140)) {
+        prop_assert_eq!(square::square_slices(&a), schoolbook_mul(&a, &a));
+    }
+
+    #[test]
+    fn toom3_matches_schoolbook_any_shape(
+        a in limbs_with_tail(200), b in limbs_with_tail(120)
+    ) {
+        prop_assert_eq!(toom::mul_toom3(&a, &b), schoolbook_mul(&a, &b));
+    }
+
+    #[test]
+    fn ntt_matches_schoolbook_any_shape(
+        a in limbs_with_tail(300), b in limbs_with_tail(260)
+    ) {
+        prop_assert_eq!(ntt::mul_ntt(&a, &b), schoolbook_mul(&a, &b));
+        prop_assert_eq!(ntt::square_ntt(&a), schoolbook_mul(&a, &a));
+    }
+
+    #[test]
+    fn newton_division_matches_knuth(
+        a in limbs_with_tail(160), b in limbs_with_tail(80)
+    ) {
+        prop_assume!(ops::normalized_len(&b) > 0);
+        let (qn, rn) = newton::div_rem_newton(&a, &b);
+        let (qk, rk) = div::div_rem_knuth(&a, &b);
+        prop_assert_eq!(qn, qk);
+        prop_assert_eq!(rn, rk);
+    }
+
+    #[test]
+    fn hgcd_driver_matches_reference(a in nat(18), b in nat(18)) {
+        // Cutoff 2 forces the half-GCD recursion on operands small enough
+        // for the Euclid reference to stay fast.
+        prop_assert_eq!(hgcd::gcd_with_cutoff(&a, &b, 2), a.gcd_reference(&b));
+    }
+
+    #[test]
+    fn nat_gcd_matches_reference(a in nat(12), b in nat(12)) {
+        prop_assert_eq!(a.gcd(&b), a.gcd_reference(&b));
+    }
+}
+
+/// Deterministic widths that cross the *real* default cutoffs, so the
+/// dispatcher itself (not just the algorithm entries) is exercised on its
+/// Newton-division and half-GCD rungs under `cargo test`.
+#[test]
+fn dispatcher_routes_above_default_cutoffs() {
+    let mut state = 0x9e37_79b9_7f4a_7c15u64;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    // Division: divisor above NEWTON_DIV (1536), quotient above half of it.
+    let a: Vec<Limb> = (0..2500).map(|_| next() as u32).collect();
+    let b: Vec<Limb> = (0..1600).map(|_| next() as u32).collect();
+    let (qd, rd) = div::div_rem_slices(&a, &b);
+    let (qk, rk) = div::div_rem_knuth(&a, &b);
+    assert_eq!(qd, qk);
+    assert_eq!(rd, rk);
+
+    // GCD: operands above HGCD (192) with a planted common factor.
+    let g = Nat::from_limbs(&(0..8).map(|_| next() as u32).collect::<Vec<_>>());
+    let x = g.mul(&Nat::from_limbs(
+        &(0..200).map(|_| next() as u32).collect::<Vec<_>>(),
+    ));
+    let y = g.mul(&Nat::from_limbs(
+        &(0..198).map(|_| next() as u32).collect::<Vec<_>>(),
+    ));
+    let got = x.gcd(&y);
+    assert_eq!(got, x.gcd_reference(&y));
+    assert!(got.rem(&g).is_zero());
+}

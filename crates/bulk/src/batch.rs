@@ -7,8 +7,17 @@
 //! the price of multi-million-bit multiplications. Implemented here as the
 //! comparison baseline the repository's benchmarks pit the paper's
 //! pairwise GPU approach against.
+//!
+//! The tree arithmetic rides the `bulkgcd-bigint` dispatch ladder
+//! (Toom-3/NTT multiply, Newton division, half-GCD), and the hot descent
+//! is scratch-reusing: [`batch_gcd_into`] threads a [`BatchScratch`]
+//! through every node so the steady state performs no allocations below
+//! the subquadratic cutoffs (pinned by `tests/alloc_steady_state.rs`).
 
-use bulkgcd_bigint::Nat;
+use bulkgcd_bigint::div::DivScratch;
+use bulkgcd_bigint::hgcd::gcd_into;
+use bulkgcd_bigint::{Limb, Nat};
+use core::mem;
 use rayon::prelude::*;
 
 /// A bottom-up product tree: `levels[0]` are the inputs, each higher level
@@ -30,7 +39,11 @@ impl ProductTree {
             let mut next = Vec::with_capacity(prev.len().div_ceil(2));
             for chunk in prev.chunks(2) {
                 match chunk {
-                    [a, b] => next.push(a.mul(b)),
+                    [a, b] => {
+                        let mut p = Nat::default();
+                        a.mul_into(b, &mut p);
+                        next.push(p);
+                    }
                     [a] => next.push(a.clone()),
                     _ => unreachable!(),
                 }
@@ -59,6 +72,60 @@ impl ProductTree {
     }
 }
 
+/// Working memory for [`batch_gcd_into`]: the product-tree levels, the two
+/// remainder-level ping-pong buffers, and all per-node temporaries. A warm
+/// scratch makes repeated batches over same-shaped corpora allocation-free
+/// in the steady state (below the subquadratic cutoffs, whose algorithms
+/// allocate internally by design).
+#[derive(Default)]
+pub struct BatchScratch {
+    /// Computed product-tree levels, pairwise-up from the moduli
+    /// (`levels[0]` pairs the inputs; the last built level is the root).
+    levels: Vec<Vec<Nat>>,
+    /// Current remainder level of the descent.
+    rems: Vec<Nat>,
+    /// Next remainder level (ping-pong partner of `rems`).
+    next: Vec<Nat>,
+    /// Squared node `n²` of the current descent step.
+    sq: Nat,
+    /// Quotient sink for divisions whose quotient is needed (final step)
+    /// or discarded (descent).
+    q: Nat,
+    /// Remainder sink for the final exact division.
+    r: Nat,
+    /// Knuth division working memory.
+    div: DivScratch,
+    /// Binary-GCD scratch for the final per-modulus step.
+    gx: Vec<Limb>,
+    /// Second binary-GCD scratch buffer.
+    gy: Vec<Limb>,
+}
+
+impl BatchScratch {
+    /// Empty scratch; buffers grow on first use and are reused after.
+    pub fn new() -> Self {
+        BatchScratch::default()
+    }
+}
+
+/// Grow a scratch level to at least `n` slots. Never shrinks: slots left
+/// over from a larger batch keep their buffers for reuse.
+fn grow_to(v: &mut Vec<Nat>, n: usize) {
+    if v.len() < n {
+        v.resize_with(n, Nat::default);
+    }
+}
+
+/// Number of product-tree nodes at `levels[ci]` for an `m`-modulus batch:
+/// `ceil(m / 2^(ci+1))`, computed by repeated halving to match the build.
+fn level_width(m: usize, ci: usize) -> usize {
+    let mut w = m;
+    for _ in 0..=ci {
+        w = w.div_ceil(2);
+    }
+    w
+}
+
 /// For every modulus, compute `gcd(n_i, (P mod n_i²) / n_i)` by descending
 /// a remainder tree. The result is > 1 exactly for moduli sharing a prime
 /// with some other modulus (or appearing twice).
@@ -78,36 +145,104 @@ impl ProductTree {
 /// assert!(g[2].is_one());
 /// ```
 pub fn batch_gcd(moduli: &[Nat]) -> Vec<Nat> {
+    let mut scratch = BatchScratch::new();
+    let mut out = Vec::new();
+    batch_gcd_into(moduli, &mut scratch, &mut out);
+    out
+}
+
+/// [`batch_gcd`] with caller-owned scratch and output: repeated calls over
+/// same-shaped corpora reuse every buffer — tree levels, remainder
+/// ping-pong, division scratch, GCD scratch and the result `Nat`s.
+pub fn batch_gcd_into(moduli: &[Nat], scratch: &mut BatchScratch, out: &mut Vec<Nat>) {
+    out.resize_with(moduli.len(), Nat::default);
     if moduli.len() < 2 {
-        return moduli.iter().map(|_| Nat::one()).collect();
-    }
-    let tree = ProductTree::build(moduli);
-    // Remainder tree, top down: rem[v] = root mod node[v]^2.
-    let mut rems: Vec<Nat> = vec![tree.root().clone()];
-    for level in (0..tree.levels.len() - 1).rev() {
-        let nodes = &tree.levels[level];
-        let mut next = Vec::with_capacity(nodes.len());
-        for (idx, node) in nodes.iter().enumerate() {
-            let parent = &rems[idx / 2];
-            next.push(parent.rem(&node.square()));
+        for o in out.iter_mut() {
+            o.assign_limbs(&[1]);
         }
-        rems = next;
+        return;
     }
-    moduli
-        .iter()
-        .zip(&rems)
-        .map(|(n, z)| {
-            let (q, r) = z.div_rem(n);
-            debug_assert!(r.is_zero(), "P mod n^2 is a multiple of n");
-            q.gcd_reference(n)
-        })
-        .collect()
+    let BatchScratch {
+        levels,
+        rems,
+        next,
+        sq,
+        q,
+        r,
+        div,
+        gx,
+        gy,
+    } = scratch;
+
+    // Product tree, bottom-up. `levels[0]` pairs the moduli themselves, so
+    // the inputs are never copied; `nl` counts the levels in use this call.
+    // Scratch vectors only ever grow: a smaller batch after a larger one
+    // leaves the extra slots (and their buffers) in place instead of
+    // dropping them, so same-shaped repeat calls stay allocation-free and
+    // shape changes re-pay only the delta. Live widths are tracked via
+    // `level_width`, never via `Vec::len`.
+    let m = moduli.len();
+    let mut nl = 0usize;
+    let mut width = m;
+    while width > 1 {
+        let next_w = width.div_ceil(2);
+        if levels.len() <= nl {
+            levels.push(Vec::new());
+        }
+        let (below, above) = levels.split_at_mut(nl);
+        let cur = &mut above[0];
+        grow_to(cur, next_w);
+        for (i, slot) in cur.iter_mut().take(next_w).enumerate() {
+            let pair = |k: usize| -> &Nat {
+                if nl == 0 {
+                    &moduli[k]
+                } else {
+                    &below[nl - 1][k]
+                }
+            };
+            if 2 * i + 1 < width {
+                pair(2 * i).mul_into(pair(2 * i + 1), slot);
+            } else {
+                slot.assign_limbs(pair(2 * i).limbs());
+            }
+        }
+        nl += 1;
+        width = next_w;
+    }
+
+    // Remainder tree, top down: rem[v] = parent_rem mod node[v]².
+    grow_to(rems, 1);
+    rems[0].assign_limbs(levels[nl - 1][0].limbs());
+    for ci in (0..nl - 1).rev() {
+        let nodes = &levels[ci][..level_width(m, ci)];
+        grow_to(next, nodes.len());
+        for (idx, node) in nodes.iter().enumerate() {
+            node.square_into(sq);
+            rems[idx / 2].div_rem_into(&*sq, q, &mut next[idx], div);
+        }
+        mem::swap(rems, next);
+    }
+    // The leaf level: the moduli themselves.
+    grow_to(next, m);
+    for (idx, node) in moduli.iter().enumerate() {
+        node.square_into(sq);
+        rems[idx / 2].div_rem_into(&*sq, q, &mut next[idx], div);
+    }
+    mem::swap(rems, next);
+
+    // Final per-modulus step: z = P mod n², gcd(n, z/n).
+    for (i, n) in moduli.iter().enumerate() {
+        rems[i].div_rem_into(n, q, r, div);
+        debug_assert!(r.is_zero(), "P mod n^2 is a multiple of n");
+        gcd_into(q, n, gx, gy, &mut out[i]);
+    }
 }
 
 /// Parallel [`batch_gcd`]: same computation with every tree level mapped
 /// across the rayon pool. The level-by-level data dependence is inherent
 /// (each remainder needs its parent), but levels are wide near the leaves
-/// — exactly where the squarings are numerous.
+/// — exactly where the squarings are numerous. Per-worker scratch
+/// (`map_init`) keeps the per-node temporaries off the allocator.
 pub fn batch_gcd_parallel(moduli: &[Nat]) -> Vec<Nat> {
     if moduli.len() < 2 {
         return moduli.iter().map(|_| Nat::one()).collect();
@@ -135,17 +270,38 @@ pub fn batch_gcd_parallel(moduli: &[Nat]) -> Vec<Nat> {
         rems = nodes
             .par_iter()
             .enumerate()
-            .map(|(idx, node)| rems[idx / 2].rem(&node.square()))
+            .map_init(
+                || (Nat::default(), Nat::default(), DivScratch::new()),
+                |(sq, q, div), (idx, node)| {
+                    node.square_into(sq);
+                    let mut rem = Nat::default();
+                    rems[idx / 2].div_rem_into(&*sq, q, &mut rem, div);
+                    rem
+                },
+            )
             .collect();
     }
     moduli
         .par_iter()
         .zip(&rems)
-        .map(|(n, z)| {
-            let (q, r) = z.div_rem(n);
-            debug_assert!(r.is_zero());
-            q.gcd_reference(n)
-        })
+        .map_init(
+            || {
+                (
+                    Nat::default(),
+                    Nat::default(),
+                    DivScratch::new(),
+                    Vec::new(),
+                    Vec::new(),
+                )
+            },
+            |(q, r, div, gx, gy), (n, z)| {
+                z.div_rem_into(n, q, r, div);
+                debug_assert!(r.is_zero());
+                let mut g = Nat::default();
+                gcd_into(q, n, gx, gy, &mut g);
+                g
+            },
+        )
         .collect()
 }
 
@@ -262,5 +418,31 @@ mod tests {
         assert_eq!(t.root(), &nat(3 * 5 * 7 * 11 * 13 * 17 * 19));
         let g = batch_gcd(&moduli);
         assert!(g.iter().all(|x| x.is_one()));
+    }
+
+    #[test]
+    fn scratch_reuse_across_batches_matches_fresh() {
+        // Same scratch across different corpora (including a larger one
+        // after a smaller one) must not leak state between runs.
+        let mut scratch = BatchScratch::new();
+        let mut out = Vec::new();
+        let small = [nat(101 * 211), nat(101 * 223), nat(103 * 227)];
+        let large: Vec<Nat> = [
+            101 * 211,
+            103 * 223,
+            101 * 227,
+            103 * 229,
+            233 * 239,
+            241 * 251,
+            257 * 263,
+        ]
+        .map(nat)
+        .to_vec();
+        batch_gcd_into(&small, &mut scratch, &mut out);
+        assert_eq!(out, batch_gcd(&small));
+        batch_gcd_into(&large, &mut scratch, &mut out);
+        assert_eq!(out, batch_gcd(&large));
+        batch_gcd_into(&small, &mut scratch, &mut out);
+        assert_eq!(out, batch_gcd(&small));
     }
 }

@@ -47,7 +47,7 @@ pub mod scan;
 pub mod shard;
 
 pub use arena::{ArenaError, ModuliArena};
-pub use batch::{batch_gcd, batch_gcd_parallel, ProductTree};
+pub use batch::{batch_gcd, batch_gcd_into, batch_gcd_parallel, BatchScratch, ProductTree};
 pub use block_launch::{scan_gpu_blocks, BlockLaunchReport};
 pub use checkpoint::{corpus_fingerprint, JournalError, JournalHeader, LaunchRecord, ScanJournal};
 pub use estimate::{estimate_full_scan, ScanEstimate};

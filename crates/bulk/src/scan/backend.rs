@@ -629,7 +629,7 @@ fn product_tree_findings(cx: &ExecCtx<'_>, parallel: bool) -> Vec<Finding> {
     let mut findings = Vec::new();
     for (a, &i) in flagged.iter().enumerate() {
         for &j in &flagged[a + 1..] {
-            let g = moduli[i].gcd_reference(&moduli[j]);
+            let g = moduli[i].gcd(&moduli[j]);
             if !g.is_one() {
                 findings.push(Finding {
                     i,
@@ -649,8 +649,11 @@ fn product_tree_findings(cx: &ExecCtx<'_>, parallel: bool) -> Vec<Finding> {
 
 /// Corpus sizes at/above this many moduli resolve to the product-tree
 /// baseline: batch GCD is quasi-linear in the corpus while every pairwise
-/// backend is quadratic, so past this point the tree always wins.
-pub const AUTO_PRODUCT_TREE_MIN_MODULI: usize = 4096;
+/// backend is quadratic, so past this point the tree always wins. The
+/// subquadratic arithmetic ladder (Toom-3/NTT multiply, Newton division,
+/// half-GCD) cut the tree's node costs enough to pull this crossover down
+/// from its pre-ladder 4096 (see `BENCH_scan.json` batch-tree rows).
+pub const AUTO_PRODUCT_TREE_MIN_MODULI: usize = 2048;
 
 /// Minimum operand width (bits) below which compacted lockstep still loses
 /// to the scalar scan on the bench matrix and the selector picks scalar.

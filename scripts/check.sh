@@ -56,4 +56,13 @@ cargo run --release -q -p bulkgcd-bench --bin scan_bench -- \
     --out /tmp/bulkgcd_gate_scan.json \
     > /dev/null
 
+echo "== bigint ladder gate: dispatched mul/div/gcd >= 1.5x legacy at the widest rows,"
+echo "==                     <= 1.05x floor at 32/64 limbs, product-tree batch >= 1.05x"
+echo "==                     with findings bitwise-identical to the scalar scan"
+cargo run --release -q -p bulkgcd-bench --bin bigint_bench -- \
+    --gate-subquadratic --reps 3 \
+    --mul-limbs 32,64,8192 --div-limbs 32,64,4096 --gcd-limbs 48,1536 \
+    --out /tmp/bulkgcd_gate_bigint.json \
+    > /dev/null
+
 echo "OK"

@@ -6,7 +6,10 @@
 //! This file holds exactly one `#[test]` on purpose: the counter is global,
 //! so a sibling test allocating on another harness thread would race it.
 
-use bulkgcd_bulk::{group_size_for, scan_block_into, FaultPlan, GroupedPairs, ModuliArena};
+use bulkgcd_bulk::{
+    batch_gcd_into, group_size_for, scan_block_into, BatchScratch, FaultPlan, GroupedPairs,
+    ModuliArena,
+};
 use bulkgcd_core::{Algorithm, GcdPair, Termination};
 use bulkgcd_gpu::{simulate_bulk_gcd_retry, CostModel, DeviceConfig, RetryPolicy};
 use bulkgcd_rsa::build_corpus;
@@ -87,6 +90,34 @@ fn steady_state_scan_hot_loop_allocates_nothing() {
             );
         }
     }
+
+    // Batch GCD (product tree + remainder tree): with a caller-held
+    // `BatchScratch` every node buffer, division scratch and gcd workspace
+    // is reused, so repeat batches over same-shaped corpora are heap-free.
+    // The corpus stays at 64-bit moduli so every node is below the
+    // subquadratic cutoffs — the Toom/NTT rungs allocate internally by
+    // design and are gated out by width here.
+    let mut rng = StdRng::seed_from_u64(7);
+    let batch_corpus = build_corpus(&mut rng, 16, 64, 0);
+    let batch_moduli = batch_corpus.moduli();
+    let mut scratch = BatchScratch::new();
+    let mut gcds = Vec::new();
+
+    // Warmup sizes the tree levels, remainder ping-pong buffers and the
+    // per-modulus division/gcd scratch for this corpus shape.
+    batch_gcd_into(&batch_moduli, &mut scratch, &mut gcds);
+    let expected: Vec<_> = gcds.clone();
+
+    let before = allocations();
+    batch_gcd_into(&batch_moduli, &mut scratch, &mut gcds);
+    let after = allocations();
+    assert_eq!(gcds, expected);
+    assert!(gcds.iter().all(|g| g.is_one()), "clean corpus gcds are 1");
+    assert_eq!(
+        after - before,
+        0,
+        "steady-state batch_gcd_into allocated on a warmed scratch"
+    );
 
     // Retry path: failed attempts never reach the simulator, so a launch
     // that transiently faults twice before succeeding must allocate exactly
