@@ -41,6 +41,14 @@
 //!   selection costs 13-50%, so the gate still binds). (On the
 //!   host AVX2 kernel masked lanes are nearly free, so reclaimed slots
 //!   gate as occupancy, not wall clock — see DESIGN.md.)
+//! * `--gate-ingest` fails the run if the streaming sanitizer's keys/s on
+//!   an `--ingest-keys` (default 64k) synthetic hostile corpus fall below
+//!   an absolute floor set ~5x under the reference box's measured rate,
+//!   or if the measurement's peak-RSS delta (`VmHWM`) exceeds a generous
+//!   corpus-footprint tripwire — the regression it exists to catch is the
+//!   old sanitizer's habit of cloning every accepted modulus and storing
+//!   every quarantined one. The measured cell lands in the JSON report's
+//!   `ingest` section.
 //!
 //! Fault-injection smoke mode (used by `scripts/check.sh`): `--inject-faults
 //! [--resume] [--fault-seed N]` runs the journaled pipeline under a seeded
@@ -58,6 +66,7 @@ use bulkgcd_bulk::{
 use bulkgcd_core::{run, Algorithm, GcdOutcome, GcdPair, NoProbe, Termination};
 use bulkgcd_gpu::{CostModel, DeviceConfig, RetryPolicy};
 use bulkgcd_rsa::build_corpus;
+use bulkgcd_rsa::{sanitize_moduli, StreamingSanitizer};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rayon::prelude::*;
@@ -400,6 +409,105 @@ fn gate_shards(opts: &Options) {
     );
 }
 
+/// Peak-RSS high-water mark (`VmHWM`) in KiB from `/proc/self/status`, or
+/// `None` off Linux. A process-lifetime high-water mark only ever grows,
+/// so callers probe it before and after the phase they care about and
+/// judge the delta.
+fn vm_hwm_kb() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    line.split_whitespace().nth(1)?.parse().ok()
+}
+
+/// Synthetic raw ingest corpus: full-width odd rows from a seeded
+/// splitmix64 stream, with quarantine bait woven in at 4/16 (a zero, an
+/// even, an undersized value and a duplicate of the preceding accepted
+/// row per 16) so the sanitizer's reject and dedup paths run at bench
+/// scale. Real keygen would dwarf the ingest being measured, and the
+/// sanitizer cannot tell a random odd integer from an RSA modulus.
+fn synthetic_raw_corpus(m: usize, bits: u64, seed: u64) -> Vec<Nat> {
+    let limbs = bits.div_ceil(32).max(1) as usize;
+    let mut state = seed;
+    let mut next = move || {
+        state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    };
+    let mut full_width_row = |odd: bool| {
+        let mut row: Vec<u32> = (0..limbs).map(|_| next() as u32).collect();
+        row[0] = if odd { row[0] | 1 } else { row[0] & !1 };
+        *row.last_mut().expect("at least one limb") |= 1 << 31;
+        Nat::from_limb_slice(&row)
+    };
+    let mut raw: Vec<Nat> = Vec::with_capacity(m);
+    for k in 0..m {
+        let n = match k % 16 {
+            0 => Nat::default(),              // zero → quarantined
+            1 => full_width_row(false),       // even → quarantined
+            2 => Nat::from(0xffff_fffbu32),   // undersized → quarantined
+            8 if k > 0 => raw[k - 1].clone(), // duplicate of an accepted row
+            _ => full_width_row(true),
+        };
+        raw.push(n);
+    }
+    raw
+}
+
+/// One measured ingest cell: streaming and borrowed sanitization over the
+/// same hostile corpus, interleaved per round, plus the peak-RSS delta the
+/// whole measurement added.
+struct IngestCell {
+    m: usize,
+    bits: u64,
+    accepted: usize,
+    rejected: usize,
+    streaming_s: f64,
+    borrowed_s: f64,
+    streaming_keys_per_sec: f64,
+    borrowed_keys_per_sec: f64,
+    hwm_delta_kb: u64,
+}
+
+fn bench_ingest(m: usize, bits: u64, reps: usize) -> IngestCell {
+    let min_bits = bits; // rows are generated full-width; the floor binds
+    let raw = synthetic_raw_corpus(m, bits, 0x1956_e57a_11ab_cdefu64);
+    let rejected = std::cell::Cell::new(0usize);
+    let hwm_before = vm_hwm_kb().unwrap_or(0);
+    // Streaming mode owns its rows; the per-row clone below stands in for
+    // the parse that produces an owned Nat on the real ingest path.
+    let mut run_streaming = || {
+        let mut s = StreamingSanitizer::new(min_bits);
+        for n in &raw {
+            s.push(n.clone());
+        }
+        let (accepted, report) = s.finish();
+        rejected.set(report.rejected.len());
+        std::hint::black_box(&report);
+        accepted.len()
+    };
+    let mut run_borrowed = || sanitize_moduli(&raw, min_bits).accepted_count();
+    let (times, sinks) = round_times(reps, &mut [&mut run_streaming, &mut run_borrowed]);
+    assert_eq!(
+        sinks[0], sinks[1],
+        "streaming and borrowed sanitization disagree on the accepted count"
+    );
+    let hwm_after = vm_hwm_kb().unwrap_or(hwm_before);
+    let (streaming_s, borrowed_s) = (best_of(&times[0]), best_of(&times[1]));
+    IngestCell {
+        m,
+        bits,
+        accepted: sinks[0],
+        rejected: rejected.get(),
+        streaming_s,
+        borrowed_s,
+        streaming_keys_per_sec: m as f64 / streaming_s,
+        borrowed_keys_per_sec: m as f64 / borrowed_s,
+        hwm_delta_kb: hwm_after.saturating_sub(hwm_before),
+    }
+}
+
 fn main() {
     let opts = Options::from_env();
     if opts.has("inject-faults") {
@@ -435,6 +543,7 @@ fn main() {
     let gate_lockstep = opts.has("gate-lockstep");
     let gate_pipeline = opts.has("gate-pipeline");
     let gate_compaction = opts.has("gate-compaction");
+    let gate_ingest = opts.has("gate-ingest");
     let device = DeviceConfig::gtx_780_ti();
     let cost = CostModel::default();
     let algo = Algorithm::Approximate;
@@ -783,6 +892,24 @@ fn main() {
         ));
     }
 
+    // Ingest throughput: the streaming sanitizer (owned rows, fingerprint
+    // dedup, rank/select acceptance index) against borrowed-mode
+    // `sanitize_moduli`, on an m=64k synthetic hostile corpus by default.
+    let ingest_m: usize = opts.get("ingest-keys", 65_536);
+    let ingest_bits: u64 = opts.get("ingest-bits", 128);
+    let ingest = bench_ingest(ingest_m, ingest_bits, reps);
+    eprintln!(
+        "ingest m={} bits={}: streaming {:.0} keys/s, borrowed {:.0} keys/s \
+         ({} accepted, {} quarantined), peak-RSS delta {} KiB",
+        ingest.m,
+        ingest.bits,
+        ingest.streaming_keys_per_sec,
+        ingest.borrowed_keys_per_sec,
+        ingest.accepted,
+        ingest.rejected,
+        ingest.hwm_delta_kb,
+    );
+
     let json = format!(
         concat!(
             "{{\n",
@@ -794,7 +921,11 @@ fn main() {
             "  \"warp_width\": {w},\n",
             "  \"reps\": {reps},\n",
             "  \"rows\": [\n{rows}\n  ],\n",
-            "  \"batch_tree\": [\n{brows}\n  ]\n",
+            "  \"batch_tree\": [\n{brows}\n  ],\n",
+            "  \"ingest\": {{\"m\": {im}, \"bits\": {ibits}, \"accepted\": {iacc}, \"rejected\": {irej},\n",
+            "    \"streaming_seconds\": {is_s}, \"streaming_keys_per_sec\": {is_tp},\n",
+            "    \"borrowed_seconds\": {ib_s}, \"borrowed_keys_per_sec\": {ib_tp},\n",
+            "    \"peak_rss_delta_kb\": {ihwm}}}\n",
             "}}\n"
         ),
         algo = algo.tag(),
@@ -808,10 +939,70 @@ fn main() {
         reps = reps,
         rows = rows.join(",\n"),
         brows = batch_rows.join(",\n"),
+        im = ingest.m,
+        ibits = ingest.bits,
+        iacc = ingest.accepted,
+        irej = ingest.rejected,
+        is_s = json_f64(ingest.streaming_s),
+        is_tp = json_f64(ingest.streaming_keys_per_sec),
+        ib_s = json_f64(ingest.borrowed_s),
+        ib_tp = json_f64(ingest.borrowed_keys_per_sec),
+        ihwm = ingest.hwm_delta_kb,
     );
     std::fs::write(&out, &json).expect("write BENCH_scan.json");
     println!("{json}");
     eprintln!("wrote {out}");
+
+    if gate_ingest {
+        // Absolute-throughput floor for the streaming sanitizer, set ~4x
+        // below the measured rate on the 1-CPU reference box so only a
+        // structural regression (an accidental clone per row, a quadratic
+        // dedup) trips it, not machine load. The peak-RSS tripwire is a
+        // generous multiple of the corpus footprint: the old borrowed-mode
+        // sanitizer cloned every accepted modulus *and* stored every
+        // quarantined one, roughly doubling resident memory, and this
+        // bound is sized to catch that class of regression coming back.
+        // Measured ~5.5M keys/s (m=64k, 128-bit) on the reference box.
+        const KEYS_PER_SEC_FLOOR: f64 = 1_000_000.0;
+        let limbs = ingest.bits.div_ceil(32).max(1);
+        // Per-row footprint: limb payload plus Nat/Vec bookkeeping (~56 B
+        // observed), times two corpora resident (raw + streaming-accepted),
+        // times a 4x allocator/dedup-map margin, plus fixed slack.
+        let corpus_kb = (ingest.m as u64 * (limbs * 4 + 56)) / 1024;
+        let rss_cap_kb = corpus_kb * 2 * 4 + 32 * 1024;
+        let mut fail = false;
+        if ingest.streaming_keys_per_sec < KEYS_PER_SEC_FLOOR {
+            eprintln!(
+                "GATE FAIL: streaming ingest {:.0} keys/s < {KEYS_PER_SEC_FLOOR} floor \
+                 at m={}, bits={}",
+                ingest.streaming_keys_per_sec, ingest.m, ingest.bits
+            );
+            fail = true;
+        } else {
+            eprintln!(
+                "gate OK: streaming ingest {:.0} keys/s >= {KEYS_PER_SEC_FLOOR} floor \
+                 at m={}, bits={}",
+                ingest.streaming_keys_per_sec, ingest.m, ingest.bits
+            );
+        }
+        if ingest.hwm_delta_kb > rss_cap_kb {
+            eprintln!(
+                "GATE FAIL: ingest peak-RSS delta {} KiB > {rss_cap_kb} KiB tripwire \
+                 at m={}, bits={}",
+                ingest.hwm_delta_kb, ingest.m, ingest.bits
+            );
+            fail = true;
+        } else {
+            eprintln!(
+                "gate OK: ingest peak-RSS delta {} KiB <= {rss_cap_kb} KiB tripwire \
+                 at m={}, bits={}",
+                ingest.hwm_delta_kb, ingest.m, ingest.bits
+            );
+        }
+        if fail {
+            std::process::exit(1);
+        }
+    }
 
     if gate_lockstep || gate_pipeline || gate_compaction {
         // The largest corpus benched at a given width (the gate cell). All

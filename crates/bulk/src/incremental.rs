@@ -40,6 +40,27 @@ impl CorpusIndex {
         Self::default()
     }
 
+    /// Index over the corpus stored in a compiled arena file (`bulkgcd
+    /// ingest` output) — the bridge that lets the incremental key service
+    /// bootstrap from the same on-disk artifact the batch scans stream.
+    ///
+    /// A sanitized arena never stores a zero modulus, so finding one is
+    /// reported as arena corruption rather than [`ZeroModulus`].
+    pub fn from_arena_source(
+        source: &mut crate::store::ArenaSource,
+    ) -> Result<Self, crate::store::StoreError> {
+        let stride = source.stride().max(1);
+        let limbs = source.load_rows(0, source.rows())?;
+        let moduli: Vec<Nat> = limbs
+            .chunks_exact(stride)
+            .map(Nat::from_limb_slice)
+            .collect();
+        Self::from_moduli(&moduli).map_err(|_| crate::store::StoreError::Corrupt {
+            line: 2,
+            reason: "arena stores a zero modulus".into(),
+        })
+    }
+
     /// Index over an initial corpus. Refuses a corpus containing a zero
     /// modulus, for the same reason [`Self::insert`] does.
     pub fn from_moduli(moduli: &[Nat]) -> Result<Self, ZeroModulus> {
@@ -142,6 +163,28 @@ mod tests {
         let idx = CorpusIndex::new();
         assert!(idx.is_empty());
         assert!(idx.shared_factor(&nat(101 * 103)).unwrap().is_one());
+    }
+
+    #[test]
+    fn index_bootstraps_from_a_compiled_arena() {
+        use crate::arena::ModuliArena;
+        use crate::store::{write_arena, ArenaSource};
+        use bulkgcd_core::rankselect::RankSelect;
+
+        let moduli = [nat(101 * 211), nat(103 * 223), nat(107 * 227)];
+        let arena = ModuliArena::try_from_moduli(&moduli).unwrap();
+        let path = std::env::temp_dir().join(format!("bulkgcd-incr-{}.arena", std::process::id()));
+        let acceptance = RankSelect::from_bools(&[true; 3]);
+        write_arena(&path, &arena, &acceptance, 0).unwrap();
+        let mut source = ArenaSource::open(&path).unwrap();
+        let idx = CorpusIndex::from_arena_source(&mut source).unwrap();
+        assert_eq!(idx.len(), 3);
+        assert_eq!(
+            idx.shared_factor(&nat(103 * 1009)).unwrap(),
+            nat(103),
+            "indexed corpus must expose the shared prime"
+        );
+        std::fs::remove_file(&path).unwrap();
     }
 
     #[test]

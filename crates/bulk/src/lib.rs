@@ -29,7 +29,11 @@
 //! * [`shard`] — multi-shard coordination: a [`TilePlan`] partitioning the
 //!   launch sequence, a lease-ledger [`Coordinator`] surviving worker
 //!   deaths, and a [`merge`](shard::merge) that reproduces the unsharded
-//!   report bit for bit.
+//!   report bit for bit;
+//! * [`store`] — the on-disk compiled-arena format (`bulkgcd ingest` →
+//!   `corpus.arena`): fingerprinted header, succinct acceptance bitmap,
+//!   and a chunk-streamed [`ArenaSource`] loader whose bounded-memory
+//!   scan reproduces the in-memory findings bit for bit.
 
 #![warn(missing_docs)]
 
@@ -45,6 +49,7 @@ pub mod pairing;
 pub mod pipeline;
 pub mod scan;
 pub mod shard;
+pub mod store;
 
 pub use arena::{ArenaError, ModuliArena};
 pub use batch::{batch_gcd, batch_gcd_into, batch_gcd_parallel, BatchScratch, ProductTree};
@@ -75,3 +80,4 @@ pub use shard::{
     merge_tiles, run_sharded, tile_fingerprint, Coordinator, MergeError, ShardConfig, ShardError,
     ShardStats, ShardWorker, ShardedReport, Tile, TilePlan,
 };
+pub use store::{write_arena, ArenaHeader, ArenaSource, StoreError, ARENA_MAGIC};

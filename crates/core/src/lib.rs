@@ -18,6 +18,9 @@
 //!   column update) driving the lockstep SIMT-style engine in `bulkgcd-bulk`.
 //! * [`probe`] — zero-cost instrumentation hooks recording iteration counts,
 //!   β statistics, §IV memory-operation counts, and full traces.
+//! * [`rankselect`] — succinct bit-vector rank/select (O(1) compacted-row ↔
+//!   raw-position mapping) backing the corpus acceptance index used by the
+//!   ingest and scan layers.
 //! * [`smallword`] — generic-word-size (`d` parameter) reference
 //!   implementations used to regenerate the paper's d = 4 worked examples
 //!   (Tables I–III) and to cross-check the multiword code at d = 32.
@@ -45,6 +48,7 @@ pub mod lanes;
 pub mod lehmer;
 pub mod operand;
 pub mod probe;
+pub mod rankselect;
 pub mod smallword;
 
 pub use algorithms::{gcd_nat, run, run_in_place, Algorithm, GcdOutcome, GcdStatus, Termination};
@@ -56,3 +60,4 @@ pub use lanes::{
 pub use lehmer::{lehmer_euclid, lehmer_gcd_nat};
 pub use operand::GcdPair;
 pub use probe::{NoProbe, Probe, RunStats, StatsProbe, Step, StepKind, TraceProbe};
+pub use rankselect::{RankSelect, RankSelectBuilder};

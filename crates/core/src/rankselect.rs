@@ -1,0 +1,461 @@
+//! Succinct rank/select bit vector.
+//!
+//! The corpus layer needs a map from *compacted* arena rows (what the scan
+//! sees after quarantine drops hostile moduli) back to *raw* corpus
+//! positions (what the operator's key list is numbered by). Storing that
+//! map as a `Vec<usize>` costs 8 bytes per accepted modulus; at the
+//! millions-of-keys scale the paper's attack targets (§I collects keys
+//! "from the Web") that is pure overhead on top of the acceptance bitmap
+//! the sanitizer already produces.
+//!
+//! [`RankSelect`] stores the acceptance bitmap itself — one bit per raw
+//! input — plus ~3% of rank/select directory on top, and answers both
+//! directions in O(1):
+//!
+//! * [`rank1(i)`](RankSelect::rank1) — how many accepted moduli precede raw
+//!   position `i`: raw → compacted row.
+//! * [`select1(k)`](RankSelect::select1) — the raw position of the `k`-th
+//!   accepted modulus: compacted row → raw position. This is the hot path
+//!   of finding attribution.
+//!
+//! The layout is the classic two-level directory (the sux/succinct idiom):
+//! 64-bit words grouped into 512-bit **blocks**, a cumulative ones count
+//! per block, and a **select hint** per 256 set bits naming the block that
+//! contains that bit. A `select1` is then: one hint load, a binary search
+//! over the (at most a few) blocks between two hints, a popcount scan of
+//! the ≤ 8 words of one block, and a broadword select inside one word —
+//! bounded probes, no linear scan over the corpus.
+//! [`select1_probed`](RankSelect::select1_probed) exposes the probe count
+//! so tests can pin the O(1) claim.
+
+/// Bits per directory word.
+const WORD_BITS: usize = 64;
+/// Words per rank block (512-bit basic blocks).
+const WORDS_PER_BLOCK: usize = 8;
+/// Bits per rank block.
+const BLOCK_BITS: usize = WORD_BITS * WORDS_PER_BLOCK;
+/// One select hint is stored per this many set bits.
+const SELECT_SAMPLE: usize = 256;
+
+/// A static bit vector with O(1) `rank1` and `select1`.
+///
+/// Build one with [`RankSelectBuilder`], [`from_bools`](Self::from_bools),
+/// or [`from_words`](Self::from_words) (e.g. when deserializing an
+/// acceptance bitmap from an on-disk arena header).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct RankSelect {
+    /// The bits, little-endian within each 64-bit word.
+    words: Vec<u64>,
+    /// Number of valid bits (trailing bits of the last word are zero).
+    len: usize,
+    /// `block_ranks[b]` = number of ones strictly before block `b`.
+    /// Has `nblocks + 1` entries; the last is the total ones count.
+    block_ranks: Vec<u64>,
+    /// `select_hints[h]` = index of the block containing the
+    /// `(h * SELECT_SAMPLE)`-th set bit.
+    select_hints: Vec<u32>,
+}
+
+/// Incremental builder for [`RankSelect`], one bit at a time.
+///
+/// This is what a streaming sanitizer appends to as it accepts or rejects
+/// each modulus; the directory is built once in
+/// [`finish`](RankSelectBuilder::finish).
+#[derive(Debug, Clone, Default)]
+pub struct RankSelectBuilder {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl RankSelectBuilder {
+    /// An empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append one bit.
+    pub fn push(&mut self, bit: bool) {
+        let word = self.len / WORD_BITS;
+        if word == self.words.len() {
+            self.words.push(0);
+        }
+        if bit {
+            self.words[word] |= 1u64 << (self.len % WORD_BITS);
+        }
+        self.len += 1;
+    }
+
+    /// Number of bits pushed so far.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no bits have been pushed.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Freeze the bits and build the rank/select directory.
+    pub fn finish(self) -> RankSelect {
+        RankSelect::from_words(self.words, self.len)
+    }
+}
+
+impl RankSelect {
+    /// Build from a slice of bools (index `i` ↦ bit `i`).
+    pub fn from_bools(bits: &[bool]) -> Self {
+        let mut b = RankSelectBuilder::new();
+        for &bit in bits {
+            b.push(bit);
+        }
+        b.finish()
+    }
+
+    /// Build from packed little-endian words holding `len` bits.
+    ///
+    /// Bits at positions `>= len` in the final word are cleared; surplus
+    /// whole words beyond `len` are dropped.
+    pub fn from_words(mut words: Vec<u64>, len: usize) -> Self {
+        words.truncate(len.div_ceil(WORD_BITS));
+        let tail = len % WORD_BITS;
+        if tail != 0 {
+            if let Some(last) = words.last_mut() {
+                *last &= (1u64 << tail) - 1;
+            }
+        }
+        let nblocks = words.len().div_ceil(WORDS_PER_BLOCK);
+        let mut block_ranks = Vec::with_capacity(nblocks + 1);
+        let mut select_hints = Vec::new();
+        let mut ones: u64 = 0;
+        block_ranks.push(0);
+        for b in 0..nblocks {
+            let start = b * WORDS_PER_BLOCK;
+            let end = (start + WORDS_PER_BLOCK).min(words.len());
+            let before = ones;
+            for &w in &words[start..end] {
+                ones += u64::from(w.count_ones());
+            }
+            // Every sample index h with h * SELECT_SAMPLE in [before, ones)
+            // has its bit inside this block.
+            let mut h = select_hints.len();
+            while (h * SELECT_SAMPLE) as u64 >= before && ((h * SELECT_SAMPLE) as u64) < ones {
+                select_hints.push(b as u32);
+                h += 1;
+            }
+            block_ranks.push(ones);
+        }
+        RankSelect {
+            words,
+            len,
+            block_ranks,
+            select_hints,
+        }
+    }
+
+    /// Number of bits.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the vector holds no bits.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Total number of set bits.
+    pub fn count_ones(&self) -> usize {
+        self.block_ranks.last().map_or(0, |&r| r as usize)
+    }
+
+    /// The bit at position `i` (false for `i >= len`).
+    pub fn get(&self, i: usize) -> bool {
+        if i >= self.len {
+            return false;
+        }
+        (self.words[i / WORD_BITS] >> (i % WORD_BITS)) & 1 == 1
+    }
+
+    /// The packed words (for serialization). Bits beyond
+    /// [`len`](Self::len) are zero.
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Number of set bits strictly before position `i`.
+    ///
+    /// `i` may be `len` (giving the total count); larger values clamp.
+    pub fn rank1(&self, i: usize) -> usize {
+        if self.block_ranks.is_empty() {
+            return 0;
+        }
+        let i = i.min(self.len);
+        let block = i / BLOCK_BITS;
+        let mut r = self.block_ranks[block.min(self.block_ranks.len() - 1)] as usize;
+        let word = i / WORD_BITS;
+        for w in (block * WORDS_PER_BLOCK)..word.min(self.words.len()) {
+            r += self.words[w].count_ones() as usize;
+        }
+        let tail = i % WORD_BITS;
+        if tail != 0 && word < self.words.len() {
+            r += (self.words[word] & ((1u64 << tail) - 1)).count_ones() as usize;
+        }
+        r
+    }
+
+    /// Number of clear bits strictly before position `i`.
+    pub fn rank0(&self, i: usize) -> usize {
+        i.min(self.len) - self.rank1(i)
+    }
+
+    /// Position of the `k`-th set bit (0-indexed), or `None` if fewer than
+    /// `k + 1` bits are set.
+    pub fn select1(&self, k: usize) -> Option<usize> {
+        self.select1_inner(k, &mut 0)
+    }
+
+    /// [`select1`](Self::select1) plus the number of directory/word probes
+    /// it made — instrumentation for the constant-time contract. The probe
+    /// count is bounded by the directory geometry (hint spacing and block
+    /// size), not by the vector length.
+    pub fn select1_probed(&self, k: usize) -> (Option<usize>, usize) {
+        let mut probes = 0;
+        let pos = self.select1_inner(k, &mut probes);
+        (pos, probes)
+    }
+
+    fn select1_inner(&self, k: usize, probes: &mut usize) -> Option<usize> {
+        if k >= self.count_ones() {
+            return None;
+        }
+        // The hints bracket the block range that can contain the k-th one.
+        let h = k / SELECT_SAMPLE;
+        *probes += 1;
+        let mut lo = self.select_hints[h] as usize;
+        let mut hi = match self.select_hints.get(h + 1) {
+            Some(&b) => b as usize,
+            None => self.block_ranks.len() - 2,
+        };
+        // Largest block b in [lo, hi] with block_ranks[b] <= k.
+        while lo < hi {
+            let mid = (lo + hi).div_ceil(2);
+            *probes += 1;
+            if self.block_ranks[mid] as usize <= k {
+                lo = mid;
+            } else {
+                hi = mid - 1;
+            }
+        }
+        // Scan the <= 8 words of the block.
+        let mut rem = k - self.block_ranks[lo] as usize;
+        let start = lo * WORDS_PER_BLOCK;
+        let end = (start + WORDS_PER_BLOCK).min(self.words.len());
+        for w in start..end {
+            *probes += 1;
+            let word = self.words[w];
+            let c = word.count_ones() as usize;
+            if rem < c {
+                return Some(w * WORD_BITS + select_in_word(word, rem));
+            }
+            rem -= c;
+        }
+        // Unreachable: count_ones() admitted k, so the block scan finds it.
+        None
+    }
+}
+
+/// Position of the `r`-th set bit of `w` (0-indexed). Caller guarantees
+/// `r < w.count_ones()`. Constant work: at most 8 byte steps plus at most
+/// 8 bit steps.
+fn select_in_word(w: u64, r: usize) -> usize {
+    let mut rem = r;
+    let mut x = w;
+    let mut pos = 0usize;
+    loop {
+        let byte = x & 0xFF;
+        let c = byte.count_ones() as usize;
+        if rem < c {
+            let mut b = byte;
+            loop {
+                let bit = b.trailing_zeros() as usize;
+                if rem == 0 {
+                    return pos + bit;
+                }
+                b &= b - 1;
+                rem -= 1;
+            }
+        }
+        rem -= c;
+        x >>= 8;
+        pos += 8;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Naive oracle for rank: scan and count.
+    fn naive_rank1(bits: &[bool], i: usize) -> usize {
+        bits[..i.min(bits.len())].iter().filter(|&&b| b).count()
+    }
+
+    /// Naive oracle for select: scan for the k-th one.
+    fn naive_select1(bits: &[bool], k: usize) -> Option<usize> {
+        bits.iter()
+            .enumerate()
+            .filter(|(_, &b)| b)
+            .nth(k)
+            .map(|(i, _)| i)
+    }
+
+    #[test]
+    fn empty_vector() {
+        let rs = RankSelect::default();
+        assert_eq!(rs.len(), 0);
+        assert_eq!(rs.count_ones(), 0);
+        assert_eq!(rs.rank1(0), 0);
+        assert_eq!(rs.rank1(100), 0);
+        assert_eq!(rs.select1(0), None);
+        assert!(!rs.get(0));
+    }
+
+    #[test]
+    fn all_ones_round_trips() {
+        let n = 2000;
+        let rs = RankSelect::from_bools(&vec![true; n]);
+        assert_eq!(rs.count_ones(), n);
+        for i in 0..n {
+            assert_eq!(rs.rank1(i), i);
+            assert_eq!(rs.select1(i), Some(i));
+        }
+        assert_eq!(rs.select1(n), None);
+    }
+
+    #[test]
+    fn all_zeros() {
+        let rs = RankSelect::from_bools(&vec![false; 1000]);
+        assert_eq!(rs.count_ones(), 0);
+        assert_eq!(rs.rank1(1000), 0);
+        assert_eq!(rs.select1(0), None);
+    }
+
+    #[test]
+    fn builder_matches_from_bools() {
+        let bits: Vec<bool> = (0..777).map(|i| i % 3 == 0 || i % 7 == 0).collect();
+        let mut b = RankSelectBuilder::new();
+        for &bit in &bits {
+            b.push(bit);
+        }
+        assert_eq!(b.len(), bits.len());
+        assert_eq!(b.finish(), RankSelect::from_bools(&bits));
+    }
+
+    #[test]
+    fn from_words_clears_tail_bits() {
+        // 70 bits from two full-ones words: bits 70..128 must not count.
+        let rs = RankSelect::from_words(vec![u64::MAX, u64::MAX], 70);
+        assert_eq!(rs.len(), 70);
+        assert_eq!(rs.count_ones(), 70);
+        assert_eq!(rs.select1(69), Some(69));
+        assert_eq!(rs.select1(70), None);
+    }
+
+    #[test]
+    fn rank_select_inverse_on_mixed_vector() {
+        let bits: Vec<bool> = (0..10_000)
+            .map(|i| (i * 2654435761u64 as usize) % 5 < 2)
+            .collect();
+        let rs = RankSelect::from_bools(&bits);
+        for k in 0..rs.count_ones() {
+            let pos = rs.select1(k).unwrap();
+            assert!(bits[pos]);
+            assert_eq!(rs.rank1(pos), k, "rank1(select1({k}))");
+        }
+    }
+
+    #[test]
+    fn select_probes_stay_constant_as_the_vector_grows() {
+        // The O(1) contract: the probe count of the compacted-row →
+        // raw-position lookup must be bounded by the directory geometry,
+        // not grow with the corpus. Same acceptance density, three sizes
+        // spanning 500x; the max probe count must not drift upward.
+        let max_probes = |n: usize| {
+            let bits: Vec<bool> = (0..n)
+                .map(|i| (i.wrapping_mul(0x9E37_79B9) >> 7) % 10 != 0)
+                .collect();
+            let rs = RankSelect::from_bools(&bits);
+            (0..rs.count_ones())
+                .map(|k| rs.select1_probed(k).1)
+                .max()
+                .unwrap()
+        };
+        let small = max_probes(2_000);
+        let large = max_probes(1_000_000);
+        assert!(
+            large <= small,
+            "select probes grew with corpus size: {small} at 2k bits, {large} at 1M bits"
+        );
+        // Absolute ceiling from the geometry: 1 hint + log2(blocks between
+        // hints) + 8 block words; anything near the vector length means a
+        // linear scan crept in.
+        assert!(large <= 24, "select probe count {large} is not O(1)-like");
+    }
+
+    proptest! {
+        #[test]
+        fn rank_matches_naive_oracle(bits in proptest::collection::vec(any::<bool>(), 0..4096)) {
+            let rs = RankSelect::from_bools(&bits);
+            prop_assert_eq!(rs.count_ones(), naive_rank1(&bits, bits.len()));
+            // Probe every boundary plus past-the-end.
+            for i in 0..=bits.len() + 3 {
+                prop_assert_eq!(rs.rank1(i), naive_rank1(&bits, i));
+                prop_assert_eq!(rs.rank0(i), i.min(bits.len()) - naive_rank1(&bits, i));
+            }
+        }
+
+        #[test]
+        fn select_matches_naive_oracle(bits in proptest::collection::vec(any::<bool>(), 0..4096)) {
+            let rs = RankSelect::from_bools(&bits);
+            let ones = rs.count_ones();
+            for k in 0..ones + 2 {
+                prop_assert_eq!(rs.select1(k), naive_select1(&bits, k));
+            }
+        }
+
+        #[test]
+        fn get_matches_input(bits in proptest::collection::vec(any::<bool>(), 0..2048)) {
+            let rs = RankSelect::from_bools(&bits);
+            for (i, &b) in bits.iter().enumerate() {
+                prop_assert_eq!(rs.get(i), b);
+            }
+            prop_assert!(!rs.get(bits.len()));
+        }
+
+        #[test]
+        fn sparse_and_dense_densities(
+            n in 1usize..3000,
+            modulus in 1usize..50,
+            seed in any::<u64>(),
+        ) {
+            let mut state = seed;
+            let bits: Vec<bool> = (0..n)
+                .map(|_| {
+                    // splitmix64 step
+                    state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                    let mut z = state;
+                    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                    ((z ^ (z >> 31)) as usize).is_multiple_of(modulus)
+                })
+                .collect();
+            let rs = RankSelect::from_bools(&bits);
+            for k in 0..rs.count_ones() {
+                prop_assert_eq!(rs.select1(k), naive_select1(&bits, k));
+            }
+            for i in 0..=n {
+                prop_assert_eq!(rs.rank1(i), naive_rank1(&bits, i));
+            }
+        }
+    }
+}

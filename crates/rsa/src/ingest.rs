@@ -1,14 +1,30 @@
-//! Corpus ingestion hardening: quarantine malformed moduli.
+//! Corpus ingestion hardening: streaming sanitization of hostile moduli.
 //!
 //! Keys "collected from the Web" (§I) are hostile input: truncated files,
 //! zero or even values, test keys pasted twice. A single such modulus must
 //! never abort an hours-long scan — and silently scanning it is worse,
 //! because a zero modulus makes every `gcd(0, n) = n` look like a finding.
-//! [`sanitize_moduli`] splits a raw corpus into the moduli worth scanning
-//! and a structured [`quarantine`](IngestReport::rejected): every rejected
-//! modulus keeps its original index and a machine-readable
-//! [`RejectReason`], so the operator can audit exactly what was dropped
-//! and why.
+//!
+//! The sanitizer here is built for corpus scale (the paper's run covered
+//! hundreds of thousands of certificates; Pelofske's all-to-all GCD work
+//! targets millions):
+//!
+//! * **Single pass, single owner.** [`StreamingSanitizer`] takes each
+//!   modulus *by value* as it is parsed and keeps exactly one copy of each
+//!   accepted value — no cloned `accepted` vector doubling peak memory,
+//!   and no requirement that the raw corpus ever be materialized at once.
+//! * **Fingerprint dedup.** Duplicates are detected by a 64-bit
+//!   FNV-1a/splitmix [`fingerprint_limbs`] hash of the limbs, confirmed by
+//!   limb comparison on a bucket hit — O(1) expected per key instead of
+//!   hashing full multi-kilobit values into a `HashMap<&Nat>`.
+//! * **Succinct acceptance index.** The accept/reject outcome per raw
+//!   input is a [`RankSelect`] bitmap: `select1(row)` maps a compacted
+//!   scan row back to its raw corpus position in O(1), replacing the old
+//!   `Vec<usize>` side table (see [`IngestReport::raw_index`]).
+//! * **Bounded quarantine.** A [`Rejected`] record stores the raw index,
+//!   the fingerprint, the bit length and the [`RejectReason`] — not the
+//!   full modulus — so a corpus that is 90% garbage cannot blow up the
+//!   audit trail.
 //!
 //! Exact duplicates are quarantined here (the scan would only rediscover
 //! each copy pair as a [`DuplicateModulus`] finding with no factor to
@@ -17,7 +33,9 @@
 //!
 //! [`DuplicateModulus`]: ../../bulkgcd_bulk/scan/enum.FindingKind.html
 
+use bulkgcd_bigint::limb::Limb;
 use bulkgcd_bigint::Nat;
+use bulkgcd_core::{RankSelect, RankSelectBuilder};
 use std::collections::HashMap;
 use std::fmt;
 
@@ -60,30 +78,74 @@ impl fmt::Display for RejectReason {
     }
 }
 
-/// One quarantined modulus.
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// One quarantined modulus: a bounded audit record, not the value itself.
+///
+/// The fingerprint plus bit length identify the offender well enough to
+/// trace it back to the source dump without the quarantine holding
+/// arbitrarily many multi-kilobit rejects alive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Rejected {
     /// Index of the modulus in the raw input.
     pub index: usize,
-    /// The offending value (kept for the audit trail).
-    pub modulus: Nat,
+    /// [`fingerprint_limbs`] of the offending value.
+    pub fingerprint: u64,
+    /// Bit length of the offending value.
+    pub bits: u64,
     /// Why it was quarantined.
     pub reason: RejectReason,
 }
 
-/// The outcome of sanitising a raw corpus.
-#[derive(Debug, Clone, Default)]
+/// The outcome of sanitising a raw corpus: a succinct acceptance index
+/// plus the quarantine. Accepted values stay wherever the caller keeps
+/// them ([`sanitize_moduli`] leaves the input slice as the single owner;
+/// [`StreamingSanitizer::finish`] hands back the owned accepted vector).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct IngestReport {
-    /// The moduli that passed every check, in input order.
-    pub accepted: Vec<Nat>,
-    /// For each accepted modulus, its index in the raw input — the map
-    /// from scan-finding indices back to the operator's key list.
-    pub accepted_indices: Vec<usize>,
+    /// One bit per raw input: set iff the modulus passed every check.
+    /// `select1(row)` is the raw position of compacted row `row`;
+    /// `rank1(raw)` is the compacted row of an accepted raw position.
+    pub acceptance: RankSelect,
     /// The quarantine: every rejected modulus with its index and reason.
     pub rejected: Vec<Rejected>,
 }
 
 impl IngestReport {
+    /// Number of raw inputs the sanitizer saw.
+    pub fn total(&self) -> usize {
+        self.acceptance.len()
+    }
+
+    /// Number of accepted moduli (compacted rows).
+    pub fn accepted_count(&self) -> usize {
+        self.acceptance.count_ones()
+    }
+
+    /// Raw corpus position of compacted row `row` — the O(1) map from a
+    /// scan finding index back to the operator's key list.
+    ///
+    /// Panics if `row >= accepted_count()` (an out-of-range row is a
+    /// caller bug, never data-dependent).
+    pub fn raw_index(&self, row: usize) -> usize {
+        // analyze: allow(no-panic, reason = "documented panic contract: rows come from scan findings over the accepted corpus, so row < accepted_count by construction")
+        self.acceptance
+            .select1(row)
+            .expect("compacted row within accepted corpus")
+    }
+
+    /// Compacted row of raw position `raw`, if that input was accepted.
+    pub fn row_of(&self, raw: usize) -> Option<usize> {
+        if self.acceptance.get(raw) {
+            Some(self.acceptance.rank1(raw))
+        } else {
+            None
+        }
+    }
+
+    /// Raw positions of the accepted moduli, in input order.
+    pub fn accepted_raw_indices(&self) -> impl Iterator<Item = usize> + '_ {
+        (0..self.accepted_count()).map(|row| self.raw_index(row))
+    }
+
     /// Rejection counts by class: `(zero, even, undersized, duplicate)`.
     pub fn rejection_counts(&self) -> (usize, usize, usize, usize) {
         let mut counts = (0, 0, 0, 0);
@@ -104,8 +166,8 @@ impl IngestReport {
         let (zero, even, undersized, duplicate) = self.rejection_counts();
         format!(
             "accepted {} of {} moduli (quarantined: {} zero, {} even, {} undersized, {} duplicate)",
-            self.accepted.len(),
-            self.accepted.len() + self.rejected.len(),
+            self.accepted_count(),
+            self.total(),
             zero,
             even,
             undersized,
@@ -114,45 +176,195 @@ impl IngestReport {
     }
 }
 
-/// Split `moduli` into scannable keys and a quarantine.
+/// 64-bit fingerprint of a little-endian limb slice: FNV-1a over the limb
+/// bytes, then a splitmix64 finalizer for avalanche. Used for dedup
+/// bucketing ahead of the arena build and as the bounded quarantine
+/// identity of a rejected modulus.
+///
+/// Trailing zero limbs are ignored, so the fingerprint depends only on
+/// the numeric value (a [`Nat`]'s limbs are already normalized).
+pub fn fingerprint_limbs(limbs: &[Limb]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut n = limbs.len();
+    while n > 0 && limbs[n - 1] == 0 {
+        n -= 1;
+    }
+    let mut h = OFFSET;
+    for &limb in &limbs[..n] {
+        for byte in limb.to_le_bytes() {
+            h = (h ^ u64::from(byte)).wrapping_mul(PRIME);
+        }
+    }
+    // splitmix64 finalizer: FNV alone mixes low bytes weakly.
+    let mut z = h;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// [`fingerprint_limbs`] of a modulus.
+pub fn fingerprint_modulus(n: &Nat) -> u64 {
+    fingerprint_limbs(n.as_limbs())
+}
+
+/// The structural checks that need only the value itself, in contract
+/// order: zero, even, undersized. `None` means "scannable so far" (dedup
+/// is the caller's final check).
+fn structural_reject(n: &Nat, min_bits: u64) -> Option<RejectReason> {
+    if n.is_zero() {
+        Some(RejectReason::Zero)
+    } else if n.is_even() {
+        Some(RejectReason::Even)
+    } else if n.bit_len() < min_bits {
+        Some(RejectReason::Undersized {
+            bits: n.bit_len(),
+            min_bits,
+        })
+    } else {
+        None
+    }
+}
+
+/// Single-pass streaming sanitizer: feed moduli one at a time with
+/// [`push`](Self::push) as they are parsed, then [`finish`](Self::finish)
+/// for the accepted corpus (single copy, input order) and the
+/// [`IngestReport`].
 ///
 /// Checks, in order (the first failure is the recorded reason): zero,
 /// even, fewer than `min_bits` bits, exact duplicate of an earlier
-/// modulus. `min_bits = 0` disables the size floor. Never panics and
-/// never drops a value silently — every input index appears in exactly
-/// one of `accepted_indices` or `rejected`.
-pub fn sanitize_moduli(moduli: &[Nat], min_bits: u64) -> IngestReport {
-    let mut report = IngestReport::default();
-    let mut seen: HashMap<&Nat, usize> = HashMap::with_capacity(moduli.len());
-    for (index, n) in moduli.iter().enumerate() {
-        let reason = if n.is_zero() {
-            Some(RejectReason::Zero)
-        } else if n.is_even() {
-            Some(RejectReason::Even)
-        } else if n.bit_len() < min_bits {
-            Some(RejectReason::Undersized {
-                bits: n.bit_len(),
-                min_bits,
-            })
-        } else if let Some(&of) = seen.get(n) {
-            Some(RejectReason::Duplicate { of })
-        } else {
-            seen.insert(n, index);
-            None
-        };
-        match reason {
-            Some(reason) => report.rejected.push(Rejected {
-                index,
-                modulus: n.clone(),
-                reason,
-            }),
-            None => {
-                report.accepted.push(n.clone());
-                report.accepted_indices.push(index);
-            }
+/// accepted modulus. `min_bits = 0` disables the size floor. Never panics
+/// and never drops a value silently — every pushed index lands in exactly
+/// one of the acceptance bitmap's set bits or [`IngestReport::rejected`].
+#[derive(Debug, Default)]
+pub struct StreamingSanitizer {
+    min_bits: u64,
+    accepted: Vec<Nat>,
+    bits: RankSelectBuilder,
+    /// fingerprint → (raw index, compacted row) of each distinct accepted
+    /// value in that bucket; collisions are resolved by limb comparison.
+    seen: HashMap<u64, Vec<(usize, usize)>>,
+    rejected: Vec<Rejected>,
+}
+
+impl StreamingSanitizer {
+    /// A sanitizer enforcing `min_bits` (0 disables the size floor).
+    pub fn new(min_bits: u64) -> Self {
+        StreamingSanitizer {
+            min_bits,
+            ..Self::default()
         }
     }
-    report
+
+    /// Number of moduli pushed so far (accepted + rejected).
+    pub fn pushed(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// The accepted moduli so far, in input order.
+    pub fn accepted(&self) -> &[Nat] {
+        &self.accepted
+    }
+
+    /// Sanitize one modulus. Returns the reason if it was quarantined,
+    /// `None` if it was accepted (and is now owned by the sanitizer).
+    pub fn push(&mut self, n: Nat) -> Option<RejectReason> {
+        let index = self.bits.len();
+        let fp = fingerprint_modulus(&n);
+        let reason = match structural_reject(&n, self.min_bits) {
+            Some(reason) => Some(reason),
+            None => {
+                let bucket = self.seen.entry(fp).or_default();
+                let prior = bucket
+                    .iter()
+                    .find(|&&(_, row)| self.accepted[row].as_limbs() == n.as_limbs())
+                    .map(|&(raw, _)| raw);
+                match prior {
+                    Some(of) => Some(RejectReason::Duplicate { of }),
+                    None => {
+                        bucket.push((index, self.accepted.len()));
+                        None
+                    }
+                }
+            }
+        };
+        match reason {
+            Some(reason) => {
+                self.rejected.push(Rejected {
+                    index,
+                    fingerprint: fp,
+                    bits: n.bit_len(),
+                    reason,
+                });
+                self.bits.push(false);
+            }
+            None => {
+                self.accepted.push(n);
+                self.bits.push(true);
+            }
+        }
+        reason
+    }
+
+    /// Freeze: the accepted corpus (single copy, input order) and the
+    /// acceptance index + quarantine.
+    pub fn finish(self) -> (Vec<Nat>, IngestReport) {
+        (
+            self.accepted,
+            IngestReport {
+                acceptance: self.bits.finish(),
+                rejected: self.rejected,
+            },
+        )
+    }
+}
+
+/// Sanitize an already-materialized corpus **without copying it**: the
+/// caller's slice stays the single owner of every modulus, and the report
+/// identifies the accepted ones by index ([`IngestReport::acceptance`],
+/// [`IngestReport::raw_index`]).
+///
+/// Same checks and contract as [`StreamingSanitizer`].
+pub fn sanitize_moduli(moduli: &[Nat], min_bits: u64) -> IngestReport {
+    let mut bits = RankSelectBuilder::new();
+    let mut rejected = Vec::new();
+    let mut seen: HashMap<u64, Vec<usize>> = HashMap::new();
+    for (index, n) in moduli.iter().enumerate() {
+        let fp = fingerprint_modulus(n);
+        let reason = match structural_reject(n, min_bits) {
+            Some(reason) => Some(reason),
+            None => {
+                let bucket = seen.entry(fp).or_default();
+                let prior = bucket
+                    .iter()
+                    .find(|&&raw| moduli[raw].as_limbs() == n.as_limbs())
+                    .copied();
+                match prior {
+                    Some(of) => Some(RejectReason::Duplicate { of }),
+                    None => {
+                        bucket.push(index);
+                        None
+                    }
+                }
+            }
+        };
+        match reason {
+            Some(reason) => {
+                rejected.push(Rejected {
+                    index,
+                    fingerprint: fp,
+                    bits: n.bit_len(),
+                    reason,
+                });
+                bits.push(false);
+            }
+            None => bits.push(true),
+        }
+    }
+    IngestReport {
+        acceptance: bits.finish(),
+        rejected,
+    }
 }
 
 #[cfg(test)]
@@ -163,12 +375,23 @@ mod tests {
         Nat::from_u64(v)
     }
 
+    /// The accepted moduli a borrowed-mode report selects out of `moduli`.
+    fn accepted_view(moduli: &[Nat], report: &IngestReport) -> Vec<Nat> {
+        report
+            .accepted_raw_indices()
+            .map(|raw| moduli[raw].clone())
+            .collect()
+    }
+
     #[test]
     fn clean_corpus_passes_untouched() {
         let moduli = vec![n(15), n(21), n(35)];
         let report = sanitize_moduli(&moduli, 3);
-        assert_eq!(report.accepted, moduli);
-        assert_eq!(report.accepted_indices, vec![0, 1, 2]);
+        assert_eq!(accepted_view(&moduli, &report), moduli);
+        assert_eq!(
+            report.accepted_raw_indices().collect::<Vec<_>>(),
+            vec![0, 1, 2]
+        );
         assert!(report.rejected.is_empty());
     }
 
@@ -183,8 +406,9 @@ mod tests {
             n(21), // ok
         ];
         let report = sanitize_moduli(&moduli, 4);
-        assert_eq!(report.accepted, vec![n(15), n(21)]);
-        assert_eq!(report.accepted_indices, vec![1, 5]);
+        assert_eq!(accepted_view(&moduli, &report), vec![n(15), n(21)]);
+        assert_eq!(report.raw_index(0), 1);
+        assert_eq!(report.raw_index(1), 5);
         let reasons: Vec<_> = report
             .rejected
             .iter()
@@ -222,7 +446,7 @@ mod tests {
     fn duplicates_point_at_first_kept_occurrence() {
         let moduli = vec![n(33), n(35), n(33), n(33)];
         let report = sanitize_moduli(&moduli, 0);
-        assert_eq!(report.accepted.len(), 2);
+        assert_eq!(report.accepted_count(), 2);
         assert_eq!(
             report.rejected.iter().map(|r| r.reason).collect::<Vec<_>>(),
             vec![
@@ -236,7 +460,7 @@ mod tests {
     fn min_bits_zero_disables_size_floor() {
         let report = sanitize_moduli(&[n(1), n(3)], 0);
         assert!(report.rejected.is_empty());
-        assert_eq!(report.accepted.len(), 2);
+        assert_eq!(report.accepted_count(), 2);
     }
 
     #[test]
@@ -244,12 +468,73 @@ mod tests {
         let moduli = vec![n(0), n(9), n(9), n(4), n(25), n(1)];
         let report = sanitize_moduli(&moduli, 3);
         let mut indices: Vec<usize> = report
-            .accepted_indices
-            .iter()
-            .copied()
+            .accepted_raw_indices()
             .chain(report.rejected.iter().map(|r| r.index))
             .collect();
         indices.sort_unstable();
         assert_eq!(indices, (0..moduli.len()).collect::<Vec<_>>());
+        assert_eq!(report.total(), moduli.len());
+    }
+
+    #[test]
+    fn raw_and_compacted_indices_are_inverse() {
+        let moduli = vec![n(0), n(9), n(15), n(4), n(25), n(9)];
+        let report = sanitize_moduli(&moduli, 3);
+        for row in 0..report.accepted_count() {
+            let raw = report.raw_index(row);
+            assert_eq!(report.row_of(raw), Some(row));
+        }
+        for r in &report.rejected {
+            assert_eq!(report.row_of(r.index), None);
+        }
+    }
+
+    #[test]
+    fn streaming_matches_borrowed_mode() {
+        let moduli = vec![n(0), n(15), n(22), n(7), n(15), n(21), n(15), n(35)];
+        let borrowed = sanitize_moduli(&moduli, 4);
+        let mut s = StreamingSanitizer::new(4);
+        for m in &moduli {
+            s.push(m.clone());
+        }
+        assert_eq!(s.pushed(), moduli.len());
+        let (accepted, streamed) = s.finish();
+        assert_eq!(streamed, borrowed);
+        assert_eq!(accepted, accepted_view(&moduli, &borrowed));
+    }
+
+    #[test]
+    fn push_reports_the_rejection_reason() {
+        let mut s = StreamingSanitizer::new(0);
+        assert_eq!(s.push(n(15)), None);
+        assert_eq!(s.push(n(0)), Some(RejectReason::Zero));
+        assert_eq!(s.push(n(15)), Some(RejectReason::Duplicate { of: 0 }));
+        assert_eq!(s.accepted(), &[n(15)]);
+    }
+
+    #[test]
+    fn quarantine_records_are_bounded_not_full_values() {
+        // A rejected record carries fingerprint + bit length, never the
+        // modulus; its size is independent of the operand width.
+        let wide = Nat::from_hex(&"f".repeat(512)).unwrap();
+        let mut s = StreamingSanitizer::new(0);
+        s.push(wide.clone());
+        s.push(wide.clone());
+        let (_, report) = s.finish();
+        assert_eq!(report.rejected.len(), 1);
+        assert_eq!(report.rejected[0].fingerprint, fingerprint_modulus(&wide));
+        assert_eq!(report.rejected[0].bits, wide.bit_len());
+        assert_eq!(
+            std::mem::size_of::<Rejected>(),
+            std::mem::size_of::<(usize, u64, u64, RejectReason)>()
+        );
+    }
+
+    #[test]
+    fn fingerprint_ignores_trailing_zero_limbs() {
+        let a = fingerprint_limbs(&[1, 2, 3]);
+        let b = fingerprint_limbs(&[1, 2, 3, 0, 0]);
+        assert_eq!(a, b);
+        assert_ne!(fingerprint_limbs(&[1, 2]), fingerprint_limbs(&[2, 1]));
     }
 }

@@ -35,6 +35,9 @@ pub use attack::{factor_modulus, recover_private_key, AttackError};
 pub use corpus::{build_corpus, Corpus};
 pub use crt::CrtPrivateKey;
 pub use crypt::{decrypt, encrypt, CryptError};
-pub use ingest::{sanitize_moduli, IngestReport, RejectReason, Rejected};
+pub use ingest::{
+    fingerprint_limbs, fingerprint_modulus, sanitize_moduli, IngestReport, RejectReason, Rejected,
+    StreamingSanitizer,
+};
 pub use key::{KeyPair, PrivateKey, PublicKey};
 pub use keygen::{generate_keypair, WeakKeygen};

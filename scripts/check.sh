@@ -49,9 +49,10 @@ echo "== shard gate: per-shard serial efficiency >= 0.80x at 4 shards"
 cargo run --release -q -p bulkgcd-bench --bin scan_bench -- --gate-shards
 
 echo "== perf gates: lockstep >= 0.95x scalar arena scan, builder pipeline >= 0.98x direct call,"
-echo "==             compaction occupancy >= 1.15x plain at 128-bit + wall-clock floors, auto >= 0.90x best fixed"
+echo "==             compaction occupancy >= 1.15x plain at 128-bit + wall-clock floors, auto >= 0.90x best fixed,"
+echo "==             streaming ingest >= 1M keys/s at m=64k with a bounded peak-RSS delta"
 cargo run --release -q -p bulkgcd-bench --bin scan_bench -- \
-    --gate-lockstep --gate-pipeline --gate-compaction \
+    --gate-lockstep --gate-pipeline --gate-compaction --gate-ingest \
     --sizes 32,64 --bits 128,1024 --reps 3 \
     --out /tmp/bulkgcd_gate_scan.json \
     > /dev/null

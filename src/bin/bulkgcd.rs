@@ -1,11 +1,13 @@
 //! `bulkgcd` — command-line weak-RSA-key scanner.
 //!
 //! ```text
-//! bulkgcd gen   --keys 64 --bits 512 --weak-pairs 3 --out corpus.txt
-//! bulkgcd scan  corpus.txt [--engine cpu|lockstep|gpu|blocks|batch|auto] [--algo E] [--full] [--metrics-out m.json]
-//!               [--shards N] [--shard-dir DIR]
-//! bulkgcd check corpus.txt <modulus-hex>
-//! bulkgcd gcd   <x-hex> <y-hex> [--algo A|B|C|D|E|lehmer] [--stats]
+//! bulkgcd gen    --keys 64 --bits 512 --weak-pairs 3 --out corpus.txt
+//! bulkgcd ingest corpus.txt --out corpus.arena [--min-bits B]
+//! bulkgcd scan   corpus.txt [--engine cpu|lockstep|gpu|blocks|batch|auto] [--algo E] [--full] [--metrics-out m.json]
+//!                [--shards N] [--shard-dir DIR]
+//! bulkgcd scan   corpus.arena --arena [--chunk-limbs N]
+//! bulkgcd check  corpus.txt <modulus-hex>
+//! bulkgcd gcd    <x-hex> <y-hex> [--algo A|B|C|D|E|lehmer] [--stats]
 //! ```
 //!
 //! Corpus files hold one hexadecimal modulus per line; `#` starts a comment.
@@ -80,34 +82,50 @@ impl Args {
     }
 }
 
-fn read_corpus(path: &str) -> Result<Vec<Nat>, String> {
-    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
-    let mut moduli = Vec::new();
-    for (lineno, line) in text.lines().enumerate() {
-        let line = line.split('#').next().unwrap_or("").trim();
-        if line.is_empty() {
+/// Stream the hex corpus at `path` line by line into the sanitizer: the
+/// file is never materialized whole, and each accepted modulus is stored
+/// exactly once (inside the sanitizer). `#` starts a comment.
+fn read_corpus_streaming(path: &str, min_bits: u64) -> Result<(Vec<Nat>, IngestReport), String> {
+    use std::io::BufRead;
+    let file = std::fs::File::open(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let mut reader = std::io::BufReader::new(file);
+    let mut sanitizer = StreamingSanitizer::new(min_bits);
+    let mut line = String::new();
+    let mut lineno = 0usize;
+    loop {
+        line.clear();
+        let read = reader
+            .read_line(&mut line)
+            .map_err(|e| format!("reading {path}: {e}"))?;
+        if read == 0 {
+            break;
+        }
+        lineno += 1;
+        let text = line.split('#').next().unwrap_or("").trim();
+        if text.is_empty() {
             continue;
         }
-        let n = Nat::from_hex(line).map_err(|e| format!("{path}:{}: {e}", lineno + 1))?;
-        moduli.push(n);
+        let n = Nat::from_hex(text).map_err(|e| format!("{path}:{lineno}: {e}"))?;
+        sanitizer.push(n);
     }
-    Ok(moduli)
+    Ok(sanitizer.finish())
 }
 
 /// Quarantine malformed moduli instead of aborting: zero, even, undersized
 /// (below `--min-bits`, default 0 = no floor) and duplicate inputs are
 /// reported on stderr and dropped. Returns the scannable moduli plus the
-/// map from scanned indices back to the raw corpus lines.
-fn sanitized_corpus(args: &Args, moduli: Vec<Nat>) -> Result<(Vec<Nat>, Vec<usize>), String> {
+/// ingest report whose rank/select acceptance index maps scanned rows back
+/// to raw corpus lines in O(1).
+fn sanitized_corpus(args: &Args, path: &str) -> Result<(Vec<Nat>, IngestReport), String> {
     let min_bits: u64 = args.get_parse("min-bits", 0)?;
-    let report = sanitize_moduli(&moduli, min_bits);
+    let (moduli, report) = read_corpus_streaming(path, min_bits)?;
     if !report.rejected.is_empty() {
         eprintln!("{}", report.summary());
         for r in &report.rejected {
             eprintln!("  quarantined modulus #{}: {}", r.index, r.reason);
         }
     }
-    Ok((report.accepted, report.accepted_indices))
+    Ok((moduli, report))
 }
 
 fn cmd_gen(args: &Args) -> Result<(), String> {
@@ -151,12 +169,87 @@ fn cmd_gen(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// Configure the pipeline's backend from an `--engine` flag. Shared by the
+/// text-corpus and compiled-arena scan paths.
+fn apply_engine<'a>(
+    mut pipeline: ScanPipeline<'a>,
+    engine: &str,
+    algo: Algorithm,
+) -> Result<ScanPipeline<'a>, String> {
+    match engine {
+        "cpu" => {}
+        "gpu" => {
+            pipeline = pipeline.backend(GpuSimBackend {
+                device: DeviceConfig::gtx_780_ti(),
+                cost: CostModel::default(),
+            });
+        }
+        "lockstep" => {
+            if algo != Algorithm::Approximate {
+                return Err(format!(
+                    "--engine lockstep executes the Approximate variant only, not {algo:?} \
+                     (drop --algo or use --algo E)"
+                ));
+            }
+            pipeline = pipeline
+                .backend(LockstepBackend::new(32).with_compaction(CompactionConfig::default()));
+        }
+        "batch" => {
+            pipeline = pipeline.backend(ProductTreeBackend { parallel: true });
+        }
+        "auto" => {
+            // AutoBackend (not Backend::Auto) so a --metrics-out report
+            // names the resolved choice as "auto:<backend>".
+            pipeline = pipeline.backend(AutoBackend::new(32));
+        }
+        other => return Err(format!("unknown engine {other:?}")),
+    }
+    Ok(pipeline)
+}
+
+/// Print the scan's clock line: simulated device seconds for launch-priced
+/// backends, host wall clock otherwise.
+fn report_timing(engine: &str, scan: &ScanReport) {
+    match scan.simulated() {
+        Ok(sim) => eprintln!(
+            "simulated GPU scan: {sim:.6} s simulated ({:.3} us/GCD)",
+            sim * 1e6 / scan.pairs_scanned.max(1) as f64
+        ),
+        Err(_) => eprintln!(
+            "{engine} scan: {:.3} s ({:.2} us/GCD)",
+            scan.elapsed.as_secs_f64(),
+            scan.elapsed.as_secs_f64() * 1e6 / scan.pairs_scanned.max(1) as f64
+        ),
+    }
+}
+
+/// Report findings in the raw corpus's numbering — `select1` over the
+/// acceptance bitmap maps each compacted row to its raw line in O(1) — so
+/// output lines match the operator's key list.
+fn print_findings(findings: &[Finding], acceptance: &RankSelect) {
+    if findings.is_empty() {
+        println!("no shared factors found");
+    }
+    for f in findings {
+        let i = acceptance
+            .select1(f.i)
+            .expect("finding row within accepted corpus");
+        let j = acceptance
+            .select1(f.j)
+            .expect("finding row within accepted corpus");
+        println!("{i} {j} {}", f.factor.to_hex());
+    }
+}
+
 fn cmd_scan(args: &Args) -> Result<(), String> {
     let path = args
         .positional
         .get(1)
         .ok_or("usage: bulkgcd scan <corpus-file> [--engine cpu|lockstep|gpu|blocks|batch|auto]")?;
-    let (moduli, raw_indices) = sanitized_corpus(args, read_corpus(path)?)?;
+    if args.has("arena") {
+        return cmd_scan_arena(args, path);
+    }
+    let (moduli, report) = sanitized_corpus(args, path)?;
     if moduli.len() < 2 {
         // Quarantine may leave fewer than two scannable moduli; that is a
         // trivially clean corpus, not an error.
@@ -183,7 +276,16 @@ fn cmd_scan(args: &Args) -> Result<(), String> {
                 "--shards requires a per-launch engine (cpu, gpu, or lockstep), not {engine:?}"
             ));
         }
-        return cmd_scan_sharded(args, &moduli, &raw_indices, algo, early, engine, shards);
+        let arena = ModuliArena::try_from_moduli(&moduli).map_err(|e| e.to_string())?;
+        return cmd_scan_sharded(
+            args,
+            &arena,
+            &report.acceptance,
+            algo,
+            early,
+            engine,
+            shards,
+        );
     }
     let findings: Vec<Finding> = if engine == "blocks" {
         // The §VII block-shaped launch has its own report type and is not a
@@ -210,49 +312,12 @@ fn cmd_scan(args: &Args) -> Result<(), String> {
     } else {
         let arena = ModuliArena::try_from_moduli(&moduli).map_err(|e| e.to_string())?;
         let mut pipeline = ScanPipeline::new(&arena).algorithm(algo).early(early);
-        match engine {
-            "cpu" => {}
-            "gpu" => {
-                pipeline = pipeline.backend(GpuSimBackend {
-                    device: DeviceConfig::gtx_780_ti(),
-                    cost: CostModel::default(),
-                });
-            }
-            "lockstep" => {
-                if algo != Algorithm::Approximate {
-                    return Err(format!(
-                        "--engine lockstep executes the Approximate variant only, not {algo:?} \
-                         (drop --algo or use --algo E)"
-                    ));
-                }
-                pipeline = pipeline
-                    .backend(LockstepBackend::new(32).with_compaction(CompactionConfig::default()));
-            }
-            "batch" => {
-                pipeline = pipeline.backend(ProductTreeBackend { parallel: true });
-            }
-            "auto" => {
-                // AutoBackend (not Backend::Auto) so a --metrics-out report
-                // names the resolved choice as "auto:<backend>".
-                pipeline = pipeline.backend(AutoBackend::new(32));
-            }
-            other => return Err(format!("unknown engine {other:?}")),
-        }
+        pipeline = apply_engine(pipeline, engine, algo)?;
         if metrics_out.is_some() {
             pipeline = pipeline.metrics();
         }
         let rep = pipeline.run().map_err(|e| e.to_string())?;
-        match rep.scan.simulated() {
-            Ok(sim) => eprintln!(
-                "simulated GPU scan: {sim:.6} s simulated ({:.3} us/GCD)",
-                sim * 1e6 / rep.scan.pairs_scanned.max(1) as f64
-            ),
-            Err(_) => eprintln!(
-                "{engine} scan: {:.3} s ({:.2} us/GCD)",
-                rep.scan.elapsed.as_secs_f64(),
-                rep.scan.elapsed.as_secs_f64() * 1e6 / rep.scan.pairs_scanned.max(1) as f64
-            ),
-        }
+        report_timing(engine, &rep.scan);
         report_duplicates(&rep.scan);
         if let Some(path) = metrics_out {
             let metrics = rep
@@ -267,19 +332,71 @@ fn cmd_scan(args: &Args) -> Result<(), String> {
         }
         rep.scan.findings
     };
-    if findings.is_empty() {
-        println!("no shared factors found");
-    }
-    for f in &findings {
-        // Report indices in the raw corpus's numbering, not the
-        // sanitized one, so lines match the operator's key list.
-        println!(
-            "{} {} {}",
-            raw_indices[f.i],
-            raw_indices[f.j],
-            f.factor.to_hex()
-        );
-    }
+    print_findings(&findings, &report.acceptance);
+    Ok(())
+}
+
+/// `bulkgcd scan <file> --arena`: scan a compiled arena produced by
+/// `bulkgcd ingest`, skipping hex parsing and re-sanitization. With
+/// `--chunk-limbs N` the corpus streams through a bounded window of ~`N`
+/// limbs per side (the larger-than-RAM path, scalar engine); otherwise the
+/// arena is loaded whole and runs through the normal pipeline engines
+/// (including `--shards`). Findings are identical either way.
+fn cmd_scan_arena(args: &Args, path: &str) -> Result<(), String> {
+    let algo = match args.get("algo") {
+        None => Algorithm::Approximate,
+        Some(s) => algo_from_flag(s).ok_or_else(|| format!("unknown algorithm {s:?}"))?,
+    };
+    let early = !args.has("full");
+    let engine = args.get("engine").unwrap_or("cpu");
+    let mut source = ArenaSource::open(std::path::Path::new(path)).map_err(|e| e.to_string())?;
+    let header = *source.header();
+    eprintln!(
+        "arena: {} moduli (stride {} limbs, {} raw inputs, fp {:016x})",
+        header.m, header.stride, header.raw_len, header.fingerprint
+    );
+    let chunk_limbs: usize = args.get_parse("chunk-limbs", 0)?;
+    let shards: usize = args.get_parse("shards", 0)?;
+    let scan = if chunk_limbs > 0 {
+        if engine != "cpu" {
+            return Err(format!(
+                "--chunk-limbs streams through the scalar engine; --engine {engine} needs the \
+                 corpus resident (drop --chunk-limbs)"
+            ));
+        }
+        if shards > 0 {
+            return Err("--chunk-limbs does not combine with --shards".into());
+        }
+        let rows = (chunk_limbs / header.stride.max(1)).max(1);
+        eprintln!("streaming scan: {rows} rows per window ({chunk_limbs} limb budget)");
+        source
+            .scan_chunked(algo, early, chunk_limbs)
+            .map_err(|e| e.to_string())?
+    } else {
+        let arena = source.load_arena().map_err(|e| e.to_string())?;
+        if shards > 0 {
+            if engine == "blocks" || engine == "batch" || engine == "auto" {
+                return Err(format!(
+                    "--shards requires a per-launch engine (cpu, gpu, or lockstep), not {engine:?}"
+                ));
+            }
+            return cmd_scan_sharded(
+                args,
+                &arena,
+                source.acceptance(),
+                algo,
+                early,
+                engine,
+                shards,
+            );
+        }
+        let mut pipeline = ScanPipeline::new(&arena).algorithm(algo).early(early);
+        pipeline = apply_engine(pipeline, engine, algo)?;
+        pipeline.run().map_err(|e| e.to_string())?.scan
+    };
+    report_timing(engine, &scan);
+    report_duplicates(&scan);
+    print_findings(&scan.findings, source.acceptance());
     Ok(())
 }
 
@@ -289,8 +406,8 @@ fn cmd_scan(args: &Args) -> Result<(), String> {
 /// journals persist, so a killed scan resumes from the completed tiles.
 fn cmd_scan_sharded(
     args: &Args,
-    moduli: &[Nat],
-    raw_indices: &[usize],
+    arena: &ModuliArena,
+    acceptance: &RankSelect,
     algo: Algorithm,
     early: bool,
     engine: &str,
@@ -302,7 +419,6 @@ fn cmd_scan_sharded(
              (drop --algo or use --algo E)"
         ));
     }
-    let arena = ModuliArena::try_from_moduli(moduli).map_err(|e| e.to_string())?;
     let metrics_out = args.get("metrics-out");
     let mut config = ShardConfig::new(shards, DEFAULT_LAUNCH_PAIRS);
     config.algo = algo;
@@ -311,12 +427,12 @@ fn cmd_scan_sharded(
     config.dir = args.get("shard-dir").map(std::path::PathBuf::from);
 
     let report = match engine {
-        "cpu" => run_sharded(&arena, &config, &ShardFaultPlan::none(), || ScalarBackend),
-        "gpu" => run_sharded(&arena, &config, &ShardFaultPlan::none(), || GpuSimBackend {
+        "cpu" => run_sharded(arena, &config, &ShardFaultPlan::none(), || ScalarBackend),
+        "gpu" => run_sharded(arena, &config, &ShardFaultPlan::none(), || GpuSimBackend {
             device: DeviceConfig::gtx_780_ti(),
             cost: CostModel::default(),
         }),
-        "lockstep" => run_sharded(&arena, &config, &ShardFaultPlan::none(), || {
+        "lockstep" => run_sharded(arena, &config, &ShardFaultPlan::none(), || {
             LockstepBackend::new(32).with_compaction(CompactionConfig::default())
         }),
         other => return Err(format!("unknown engine {other:?}")),
@@ -330,17 +446,7 @@ fn cmd_scan_sharded(
         report.stats.executed_launches,
         report.stats.resumed_launches,
     );
-    match report.scan.simulated() {
-        Ok(sim) => eprintln!(
-            "simulated GPU scan: {sim:.6} s simulated ({:.3} us/GCD)",
-            sim * 1e6 / report.scan.pairs_scanned.max(1) as f64
-        ),
-        Err(_) => eprintln!(
-            "{engine} scan: {:.3} s ({:.2} us/GCD)",
-            report.scan.elapsed.as_secs_f64(),
-            report.scan.elapsed.as_secs_f64() * 1e6 / report.scan.pairs_scanned.max(1) as f64
-        ),
-    }
+    report_timing(engine, &report.scan);
     report_duplicates(&report.scan);
     if let Some(path) = metrics_out {
         let metrics = report
@@ -353,17 +459,7 @@ fn cmd_scan_sharded(
             metrics.total_launches, metrics.backend
         );
     }
-    if report.scan.findings.is_empty() {
-        println!("no shared factors found");
-    }
-    for f in &report.scan.findings {
-        println!(
-            "{} {} {}",
-            raw_indices[f.i],
-            raw_indices[f.j],
-            f.factor.to_hex()
-        );
-    }
+    print_findings(&report.scan.findings, acceptance);
     Ok(())
 }
 
@@ -386,7 +482,7 @@ fn cmd_check(args: &Args) -> Result<(), String> {
         .get(2)
         .ok_or("usage: bulkgcd check <corpus-file> <modulus-hex>")?;
     let n = Nat::from_hex(hex).map_err(|e| e.to_string())?;
-    let (moduli, _) = sanitized_corpus(args, read_corpus(path)?)?;
+    let (moduli, _) = sanitized_corpus(args, path)?;
     let idx = CorpusIndex::from_moduli(&moduli).map_err(|e| e.to_string())?;
     let g = idx.shared_factor(&n).map_err(|e| e.to_string())?;
     if g.is_one() {
@@ -406,7 +502,7 @@ fn cmd_break(args: &Args) -> Result<(), String> {
         .positional
         .get(1)
         .ok_or("usage: bulkgcd break <corpus-file> [--exponent E]")?;
-    let (moduli, raw_indices) = sanitized_corpus(args, read_corpus(path)?)?;
+    let (moduli, ingest) = sanitized_corpus(args, path)?;
     if moduli.len() < 2 {
         println!("no keys broken");
         return Ok(());
@@ -437,11 +533,42 @@ fn cmd_break(args: &Args) -> Result<(), String> {
     for b in &report.broken {
         println!(
             "{} {} {}",
-            raw_indices[b.index],
+            ingest.raw_index(b.index),
             b.factor.to_hex(),
             b.private.d.to_hex()
         );
     }
+    Ok(())
+}
+
+/// `bulkgcd ingest`: sanitize a raw hex corpus once and compile it to the
+/// on-disk arena format, so later `scan --arena` runs skip parsing and
+/// quarantine and can stream the corpus through a bounded memory window.
+fn cmd_ingest(args: &Args) -> Result<(), String> {
+    let path = args
+        .positional
+        .get(1)
+        .ok_or("usage: bulkgcd ingest <corpus-file> --out <arena-file> [--min-bits B]")?;
+    let out = args
+        .get("out")
+        .ok_or("ingest requires --out <arena-file>")?;
+    let min_bits: u64 = args.get_parse("min-bits", 0)?;
+    let (moduli, report) = sanitized_corpus(args, path)?;
+    if moduli.is_empty() {
+        return Err("no scannable moduli survived sanitization".into());
+    }
+    let arena = ModuliArena::try_from_moduli(&moduli).map_err(|e| e.to_string())?;
+    let header = write_arena(
+        std::path::Path::new(out),
+        &arena,
+        &report.acceptance,
+        min_bits,
+    )
+    .map_err(|e| e.to_string())?;
+    eprintln!(
+        "compiled {} moduli (stride {} limbs, {} raw inputs, fp {:016x}) to {out}",
+        header.m, header.stride, header.raw_len, header.fingerprint
+    );
     Ok(())
 }
 
@@ -486,12 +613,15 @@ fn usage() -> String {
     "bulkgcd — weak-RSA-key scanner (reproduction of Fujita/Nakano/Ito, IPDPSW 2015)
 
 USAGE:
-  bulkgcd gen   [--keys N] [--bits B] [--weak-pairs W] [--seed S] [--out FILE] [--truth FILE]
-  bulkgcd scan  <corpus-file> [--engine cpu|lockstep|gpu|blocks|batch|auto] [--algo A..E] [--full] [--metrics-out FILE]
-                [--shards N] [--shard-dir DIR]   # tile-sharded scan with a resumable lease ledger
-  bulkgcd check <corpus-file> <modulus-hex>
-  bulkgcd break <corpus-file> [--exponent E]   # prints: index factor-hex d-hex
-  bulkgcd gcd   <x-hex> <y-hex> [--algo A|B|C|D|E|lehmer] [--stats]
+  bulkgcd gen    [--keys N] [--bits B] [--weak-pairs W] [--seed S] [--out FILE] [--truth FILE]
+  bulkgcd ingest <corpus-file> --out <arena-file> [--min-bits B]   # compile a sanitized on-disk arena
+  bulkgcd scan   <corpus-file> [--engine cpu|lockstep|gpu|blocks|batch|auto] [--algo A..E] [--full] [--metrics-out FILE]
+                 [--shards N] [--shard-dir DIR]   # tile-sharded scan with a resumable lease ledger
+  bulkgcd scan   <arena-file> --arena [--chunk-limbs N]   # scan a compiled arena; with a chunk budget,
+                 # stream it through a bounded window (corpora larger than RAM)
+  bulkgcd check  <corpus-file> <modulus-hex>
+  bulkgcd break  <corpus-file> [--exponent E]   # prints: index factor-hex d-hex
+  bulkgcd gcd    <x-hex> <y-hex> [--algo A|B|C|D|E|lehmer] [--stats]
 
 Corpus files: one hex modulus per line, '#' comments."
         .to_string()
@@ -502,6 +632,7 @@ fn main() -> ExitCode {
     let args = Args::parse(&argv);
     let result = match args.positional.first().map(|s| s.as_str()) {
         Some("gen") => cmd_gen(&args),
+        Some("ingest") => cmd_ingest(&args),
         Some("scan") => cmd_scan(&args),
         Some("check") => cmd_check(&args),
         Some("break") => cmd_break(&args),

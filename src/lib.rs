@@ -44,15 +44,16 @@ pub mod prelude {
     pub use bulkgcd_bigint::{Barrett, Montgomery, Nat};
     pub use bulkgcd_bulk::{
         batch_gcd, batch_gcd_parallel, break_weak_keys, estimate_full_scan, group_size_for,
-        merge_tiles, run_sharded, scan_gpu_blocks, tile_fingerprint, ArenaError, AutoBackend,
-        Backend, BreakReport, CheckpointLayer, CompactionConfig, Coordinator, CorpusIndex,
-        FaultLayer, FaultPlan, FaultSpec, FaultStats, Finding, FindingKind, GpuSimBackend,
-        GroupedPairs, JournalError, JournalHeader, LaunchMetrics, LaunchRecord, LockstepBackend,
-        LockstepEngine, MergeError, MetricsLayer, ModuliArena, NoSimulatedClock, PipelineReport,
-        ProductTreeBackend, ResumableReport, RetryLayer, ScalarBackend, ScanBackend, ScanError,
-        ScanJournal, ScanMetrics, ScanPipeline, ScanReport, ShardConfig, ShardError,
-        ShardFaultPlan, ShardFaultSpec, ShardStats, ShardWorker, ShardedReport, Tile, TilePlan,
-        ZeroModulus, DEFAULT_LAUNCH_PAIRS,
+        merge_tiles, run_sharded, scan_gpu_blocks, tile_fingerprint, write_arena, ArenaError,
+        ArenaHeader, ArenaSource, AutoBackend, Backend, BreakReport, CheckpointLayer,
+        CompactionConfig, Coordinator, CorpusIndex, FaultLayer, FaultPlan, FaultSpec, FaultStats,
+        Finding, FindingKind, GpuSimBackend, GroupedPairs, JournalError, JournalHeader,
+        LaunchMetrics, LaunchRecord, LockstepBackend, LockstepEngine, MergeError, MetricsLayer,
+        ModuliArena, NoSimulatedClock, PipelineReport, ProductTreeBackend, ResumableReport,
+        RetryLayer, ScalarBackend, ScanBackend, ScanError, ScanJournal, ScanMetrics, ScanPipeline,
+        ScanReport, ShardConfig, ShardError, ShardFaultPlan, ShardFaultSpec, ShardStats,
+        ShardWorker, ShardedReport, StoreError, Tile, TilePlan, ZeroModulus, ARENA_MAGIC,
+        DEFAULT_LAUNCH_PAIRS,
     };
     #[allow(deprecated)]
     pub use bulkgcd_bulk::{
@@ -60,16 +61,17 @@ pub mod prelude {
         scan_gpu_sim_serial, scan_lockstep, scan_lockstep_arena,
     };
     pub use bulkgcd_core::{
-        gcd_nat, lehmer_gcd_nat, run, Algorithm, GcdOutcome, GcdPair, NoProbe, StatsProbe,
-        Termination, TraceProbe,
+        gcd_nat, lehmer_gcd_nat, run, Algorithm, GcdOutcome, GcdPair, NoProbe, RankSelect,
+        RankSelectBuilder, StatsProbe, Termination, TraceProbe,
     };
     pub use bulkgcd_gpu::{
         simulate_bulk_gcd, simulate_bulk_gcd_pairs, simulate_bulk_gcd_retry, CostModel,
         DeviceConfig, FaultInjector, LaunchError, LaunchFault, NoFaults, RetryPolicy,
     };
     pub use bulkgcd_rsa::{
-        build_corpus, decrypt, encrypt, generate_keypair, recover_private_key, sanitize_moduli,
-        Corpus, CrtPrivateKey, IngestReport, KeyPair, PublicKey, RejectReason, WeakKeygen,
+        build_corpus, decrypt, encrypt, fingerprint_limbs, fingerprint_modulus, generate_keypair,
+        recover_private_key, sanitize_moduli, Corpus, CrtPrivateKey, IngestReport, KeyPair,
+        PublicKey, RejectReason, Rejected, StreamingSanitizer, WeakKeygen,
     };
     pub use bulkgcd_umm::{analyze, simulate, simulate_dmm, Layout, UmmConfig};
 }

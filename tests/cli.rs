@@ -220,6 +220,141 @@ fn break_recovers_working_private_exponents() {
 }
 
 #[test]
+fn ingest_then_arena_scan_matches_plain_scan() {
+    let dir = tempdir();
+    let corpus = dir.join("corpus.txt");
+    let arena = dir.join("corpus.arena");
+
+    let out = bulkgcd()
+        .args([
+            "gen",
+            "--keys",
+            "10",
+            "--bits",
+            "128",
+            "--weak-pairs",
+            "2",
+            "--seed",
+            "13",
+            "--out",
+            corpus.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+
+    // Quarantine bait at the top of the file shifts every raw index by 3,
+    // so the arena's acceptance index has real work to do.
+    let generated = std::fs::read_to_string(&corpus).unwrap();
+    std::fs::write(
+        &corpus,
+        format!("# hostile prefix\n0\n10\nffffffff\n{generated}"),
+    )
+    .unwrap();
+
+    // Baseline: plain text scan (raw indices on stdout).
+    let plain = bulkgcd()
+        .args(["scan", corpus.to_str().unwrap(), "--min-bits", "64"])
+        .output()
+        .unwrap();
+    assert!(
+        plain.status.success(),
+        "{}",
+        String::from_utf8_lossy(&plain.stderr)
+    );
+    let plain_stdout = String::from_utf8_lossy(&plain.stdout).to_string();
+    assert!(!plain_stdout.trim().is_empty(), "weak pairs must be found");
+
+    // Compile the arena.
+    let out = bulkgcd()
+        .args([
+            "ingest",
+            corpus.to_str().unwrap(),
+            "--out",
+            arena.to_str().unwrap(),
+            "--min-bits",
+            "64",
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8_lossy(&out.stderr).contains("quarantined"));
+
+    // Arena scan, whole-corpus path.
+    let whole = bulkgcd()
+        .args(["scan", arena.to_str().unwrap(), "--arena"])
+        .output()
+        .unwrap();
+    assert!(
+        whole.status.success(),
+        "{}",
+        String::from_utf8_lossy(&whole.stderr)
+    );
+    assert_eq!(String::from_utf8_lossy(&whole.stdout), plain_stdout);
+
+    // Arena scan under a chunk budget far smaller than the corpus: the
+    // streamed windows must reproduce the findings byte for byte.
+    let chunked = bulkgcd()
+        .args([
+            "scan",
+            arena.to_str().unwrap(),
+            "--arena",
+            "--chunk-limbs",
+            "8",
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        chunked.status.success(),
+        "{}",
+        String::from_utf8_lossy(&chunked.stderr)
+    );
+    assert_eq!(String::from_utf8_lossy(&chunked.stdout), plain_stdout);
+
+    // Sharded arena scan goes through the same acceptance index.
+    let sharded = bulkgcd()
+        .args(["scan", arena.to_str().unwrap(), "--arena", "--shards", "3"])
+        .output()
+        .unwrap();
+    assert!(
+        sharded.status.success(),
+        "{}",
+        String::from_utf8_lossy(&sharded.stderr)
+    );
+    assert_eq!(String::from_utf8_lossy(&sharded.stdout), plain_stdout);
+
+    // A truncated arena is refused, not mis-scanned.
+    let bytes = std::fs::read(&arena).unwrap();
+    std::fs::write(&arena, &bytes[..bytes.len() - 7]).unwrap();
+    let out = bulkgcd()
+        .args(["scan", arena.to_str().unwrap(), "--arena"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("truncated"));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn ingest_requires_an_output_path() {
+    let dir = tempdir();
+    let corpus = dir.join("corpus.txt");
+    std::fs::write(&corpus, "ffffffffffffffc5\n").unwrap();
+    let out = bulkgcd()
+        .args(["ingest", corpus.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--out"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn scan_missing_file_errors() {
     let out = bulkgcd()
         .args(["scan", "/nonexistent/corpus.txt"])

@@ -1,0 +1,196 @@
+//! Integration tests for the scale-ready corpus layer: streaming ingest,
+//! the succinct rank/select acceptance index, and the on-disk compiled
+//! arena — exercised end to end through the public prelude.
+
+use bulk_gcd::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn temp_path(tag: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!(
+        "bulkgcd-corpus-layer-{tag}-{}-{:?}.arena",
+        std::process::id(),
+        std::thread::current().id()
+    ))
+}
+
+/// A hostile raw corpus: real weak keys interleaved with quarantine bait
+/// (zeros, evens, undersized values, duplicates) so raw and compacted
+/// indices genuinely diverge.
+fn hostile_corpus(seed: u64) -> (Vec<Nat>, u64) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let corpus = build_corpus(&mut rng, 10, 128, 2);
+    let min_bits = 64;
+    let mut raw = Vec::new();
+    for (k, key) in corpus.keys.iter().enumerate() {
+        match k % 3 {
+            0 => raw.push(Nat::default()),            // zero → rejected
+            1 => raw.push(Nat::from(0x1_0000u32)),    // even → rejected
+            _ => raw.push(Nat::from(0xffff_fffbu32)), // undersized → rejected
+        }
+        raw.push(key.public.n.clone());
+        if k == 4 {
+            // Duplicate of the very first accepted modulus.
+            raw.push(corpus.keys[0].public.n.clone());
+        }
+    }
+    (raw, min_bits)
+}
+
+#[test]
+fn raw_and_compacted_indices_round_trip_through_a_scan() {
+    let (raw, min_bits) = hostile_corpus(404);
+    let report = sanitize_moduli(&raw, min_bits);
+    assert!(
+        !report.rejected.is_empty(),
+        "the hostile corpus must actually quarantine something"
+    );
+
+    // Scan the compacted survivors.
+    let accepted: Vec<Nat> = report
+        .accepted_raw_indices()
+        .map(|raw_idx| raw[raw_idx].clone())
+        .collect();
+    assert_eq!(accepted.len(), report.accepted_count());
+    let arena = ModuliArena::try_from_moduli(&accepted).unwrap();
+    let scan = ScanPipeline::new(&arena)
+        .backend(ScalarBackend)
+        .run()
+        .unwrap()
+        .scan;
+    assert!(
+        !scan.findings.is_empty(),
+        "the planted weak pairs must survive sanitization"
+    );
+
+    // Every finding, attributed back through the rank/select index, must
+    // point at raw corpus rows the factor actually divides.
+    for f in &scan.findings {
+        let (ri, rj) = (report.raw_index(f.i), report.raw_index(f.j));
+        assert!(
+            raw[ri].rem(&f.factor).is_zero(),
+            "factor must divide raw row {ri}"
+        );
+        assert!(
+            raw[rj].rem(&f.factor).is_zero(),
+            "factor must divide raw row {rj}"
+        );
+        // And the inverse mapping agrees.
+        assert_eq!(report.row_of(ri), Some(f.i));
+        assert_eq!(report.row_of(rj), Some(f.j));
+    }
+
+    // Quarantined rows map to no compacted row at all.
+    for r in &report.rejected {
+        assert_eq!(report.row_of(r.index), None);
+    }
+}
+
+#[test]
+fn streaming_sanitizer_agrees_with_borrowed_mode_on_hostile_input() {
+    let (raw, min_bits) = hostile_corpus(405);
+    let borrowed = sanitize_moduli(&raw, min_bits);
+
+    let mut s = StreamingSanitizer::new(min_bits);
+    for n in &raw {
+        s.push(n.clone());
+    }
+    let (accepted, streamed) = s.finish();
+
+    assert_eq!(streamed.total(), borrowed.total());
+    assert_eq!(streamed.accepted_count(), borrowed.accepted_count());
+    assert_eq!(streamed.rejected, borrowed.rejected);
+    let expected: Vec<Nat> = borrowed
+        .accepted_raw_indices()
+        .map(|i| raw[i].clone())
+        .collect();
+    assert_eq!(accepted, expected);
+}
+
+#[test]
+fn arena_streamed_under_a_tiny_budget_matches_the_in_memory_scan_bitwise() {
+    let (raw, min_bits) = hostile_corpus(406);
+    let mut s = StreamingSanitizer::new(min_bits);
+    for n in &raw {
+        s.push(n.clone());
+    }
+    let (accepted, report) = s.finish();
+    let arena = ModuliArena::try_from_moduli(&accepted).unwrap();
+
+    let path = temp_path("budget");
+    write_arena(&path, &arena, &report.acceptance, min_bits).unwrap();
+
+    // In-memory reference over the same corpus.
+    let reference = ScanPipeline::new(&arena)
+        .backend(ScalarBackend)
+        .run()
+        .unwrap()
+        .scan;
+    assert!(!reference.findings.is_empty());
+
+    let mut source = ArenaSource::open(&path).unwrap();
+    assert_eq!(source.rows(), arena.len());
+    let total_limbs = arena.len() * arena.stride();
+
+    // A chunk budget far smaller than the corpus: one row per window, so
+    // every cross-chunk pair is exercised. Also a mid-size and an
+    // everything-fits budget for good measure.
+    for chunk_limbs in [1, arena.stride() * 3, total_limbs + 1] {
+        let streamed = source
+            .scan_chunked(Algorithm::Approximate, true, chunk_limbs)
+            .unwrap();
+        assert_eq!(
+            streamed.findings, reference.findings,
+            "chunk budget {chunk_limbs} limbs must not change findings"
+        );
+        assert_eq!(streamed.pairs_scanned, reference.pairs_scanned);
+        assert_eq!(streamed.duplicate_pairs, reference.duplicate_pairs);
+    }
+
+    // The acceptance index rides along in the file: attribution through
+    // the reopened source matches the ingest report.
+    for row in 0..source.rows() {
+        assert_eq!(source.raw_index(row), report.raw_index(row));
+    }
+
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn arena_round_trips_into_the_existing_pipeline_and_shard_drivers() {
+    let (raw, min_bits) = hostile_corpus(407);
+    let report = sanitize_moduli(&raw, min_bits);
+    let accepted: Vec<Nat> = report
+        .accepted_raw_indices()
+        .map(|i| raw[i].clone())
+        .collect();
+    let arena = ModuliArena::try_from_moduli(&accepted).unwrap();
+    let path = temp_path("pipeline");
+    write_arena(&path, &arena, &report.acceptance, min_bits).unwrap();
+
+    let mut source = ArenaSource::open(&path).unwrap();
+    let loaded = source.load_arena().unwrap();
+    let reference = ScanPipeline::new(&arena)
+        .backend(ScalarBackend)
+        .run()
+        .unwrap()
+        .scan;
+    let from_disk = ScanPipeline::new(&loaded)
+        .backend(ScalarBackend)
+        .run()
+        .unwrap()
+        .scan;
+    assert_eq!(from_disk.findings, reference.findings);
+
+    // Sharded execution over the reloaded arena reproduces the findings,
+    // and the ingest index attributes them to the same raw rows.
+    let config = ShardConfig::new(3, DEFAULT_LAUNCH_PAIRS);
+    let sharded = run_sharded(&loaded, &config, &ShardFaultPlan::none(), || ScalarBackend).unwrap();
+    assert_eq!(sharded.scan.findings, reference.findings);
+    for f in &sharded.scan.findings {
+        assert!(raw[report.raw_index(f.i)].rem(&f.factor).is_zero());
+        assert!(raw[report.raw_index(f.j)].rem(&f.factor).is_zero());
+    }
+
+    std::fs::remove_file(&path).ok();
+}
