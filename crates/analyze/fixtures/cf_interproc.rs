@@ -1,0 +1,59 @@
+//! Interprocedural constant-flow fixture.
+//!
+//! `kernel` is the only pragma'd root; `accumulate` has no annotation at
+//! all and must still be checked under the taint context the call hands
+//! it — that is the whole point of the summary pass. `tail` sits behind a
+//! documented `cf-reach` boundary and must stay unreported, and `drive`
+//! shows the public-accessor laundering rule: `fused_rows` is named in
+//! the public list, so its result is iteration structure, not taint.
+
+// analyze: constant-flow(public = "w, rows")
+pub fn kernel(x: &[u64], w: usize, rows: usize) -> u64 {
+    let mut acc = 0u64;
+    for k in 0..rows {
+        acc ^= accumulate(x, k * w);
+    }
+    // analyze: allow(cf-reach, reason = "the serialized tail is the documented divergence boundary")
+    acc ^ tail(x)
+}
+
+/// No pragma: checked transitively under `kernel`'s context, where `x`
+/// carries operand taint and `off` is public structure.
+fn accumulate(x: &[u64], off: usize) -> u64 {
+    if x[off] == 0 {
+        return 1;
+    }
+    x[off]
+}
+
+/// Pruned at the call site: never reported despite the operand branch.
+fn tail(x: &[u64]) -> u64 {
+    if x[0] & 1 == 1 {
+        3
+    } else {
+        4
+    }
+}
+
+pub struct Lane {
+    data: Vec<u64>,
+    n: usize,
+}
+
+impl Lane {
+    /// Clean: `fused_rows` is a public accessor, so the row count it
+    /// returns launders into plain iteration structure.
+    // analyze: constant-flow(public = "fused_rows, n")
+    pub fn drive(&mut self) -> u64 {
+        let rows = self.fused_rows();
+        let mut acc = 0u64;
+        for r in 0..rows {
+            acc = acc.wrapping_add(self.data[r]);
+        }
+        acc
+    }
+
+    fn fused_rows(&self) -> usize {
+        self.n
+    }
+}

@@ -1,0 +1,86 @@
+//! Seeded crash-consistency violations for the journal lints.
+//!
+//! Each `journal` pragma below opts a function into the durability pass;
+//! the self-test pins the exact finding set so a regression in the
+//! dataflow (a lost Dirty state, a miscounted append, a vanished
+//! tail-guard mention) fails loudly.
+
+use std::io;
+
+pub struct Journal {
+    file: std::fs::File,
+}
+
+impl Journal {
+    /// Violation: the append reaches the success exit without an fsync —
+    /// a crash after `Ok(())` loses a record the caller believes durable.
+    // analyze: journal(append)
+    pub fn append_unsynced(&mut self, line: &[u8]) -> io::Result<()> {
+        self.file.write_all(line)?;
+        Ok(())
+    }
+
+    /// Violation: the sync is skippable, so one path exits dirty.
+    // analyze: journal
+    pub fn append_skippable_sync(&mut self, line: &[u8], durable: bool) -> io::Result<()> {
+        self.file.write_all(line)?;
+        if durable {
+            self.file.sync_data()?;
+        }
+        Ok(())
+    }
+
+    fn raw_write(&mut self, line: &[u8]) -> io::Result<()> {
+        self.file.write_all(line)?;
+        Ok(())
+    }
+
+    /// Violation (interprocedural): the helper forgets the fsync and the
+    /// caller trusts it — the dirty effect must propagate up the call.
+    // analyze: journal
+    pub fn record_via_helper(&mut self, line: &[u8]) -> io::Result<()> {
+        self.raw_write(line)?;
+        Ok(())
+    }
+
+    /// Violation: magic and header land in two separate appends, so a
+    /// crash between them leaves a half-committed journal head.
+    // analyze: journal(create)
+    pub fn create_split(&mut self, header: &[u8]) -> io::Result<()> {
+        self.file.write_all(b"MAGIC\n")?;
+        self.file.write_all(header)?;
+        self.file.sync_data()?;
+        Ok(())
+    }
+
+    /// Clean: one append, one fsync, then the success exit.
+    // analyze: journal(append)
+    pub fn append_clean(&mut self, line: &[u8]) -> io::Result<()> {
+        self.file.write_all(line)?;
+        self.file.sync_data()?;
+        Ok(())
+    }
+}
+
+/// Violation: replay parses the raw byte stream with no torn-tail
+/// handling anywhere on the reachable path — a crash mid-append makes
+/// every later open fail on the half-written line.
+// analyze: journal(replay)
+pub fn replay_no_guard(bytes: &[u8]) -> Vec<u64> {
+    parse_records(bytes)
+}
+
+fn parse_records(bytes: &[u8]) -> Vec<u64> {
+    let mut out = Vec::new();
+    for chunk in bytes.split(|&b| b == b'\n') {
+        out.push(chunk.len() as u64);
+    }
+    out
+}
+
+/// Clean: trims to the committed prefix before parsing.
+// analyze: journal(replay)
+pub fn replay_guarded(bytes: &[u8]) -> Vec<u64> {
+    let committed = bytes.iter().rposition(|&b| b == b'\n').map_or(0, |p| p + 1);
+    parse_records(&bytes[..committed])
+}

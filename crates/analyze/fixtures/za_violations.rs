@@ -1,0 +1,59 @@
+//! Seeded zero-alloc violations.
+//!
+//! `hot_loop` allocates three distinct ways — an allocating macro, a
+//! growth method, and a `.to_string()` buried in a transitively reached
+//! helper. `steady` is the shape the real scan uses: scratch that grows
+//! once under a documented allow, then pure arithmetic.
+
+pub struct Scratch {
+    buf: Vec<u64>,
+    out: Vec<u64>,
+}
+
+impl Scratch {
+    /// Violations: the hot loop allocates per element.
+    // analyze: zero-alloc
+    pub fn hot_loop(&mut self, inputs: &[u64]) -> u64 {
+        let mut acc = 0u64;
+        for &x in inputs {
+            let staged = vec![x; 4];
+            self.out.push(x);
+            acc = acc.wrapping_add(digest(&staged)).wrapping_add(widen(x));
+        }
+        acc
+    }
+
+    /// Clean: the one warmup allocation is documented; after it the loop
+    /// is arithmetic over reused scratch.
+    // analyze: zero-alloc
+    pub fn steady(&mut self, inputs: &[u64]) -> u64 {
+        if self.buf.len() < inputs.len() {
+            // analyze: allow(za-alloc, reason = "scratch grows once to the input width; after warmup the resize is a no-op")
+            self.buf.resize(inputs.len(), 0);
+        }
+        let mut acc = 0u64;
+        for (slot, &x) in self.buf.iter_mut().zip(inputs) {
+            *slot = x;
+            acc = acc.wrapping_add(digest_word(x));
+        }
+        acc
+    }
+}
+
+fn digest(words: &[u64]) -> u64 {
+    let mut acc = 0u64;
+    for &w in words {
+        acc ^= w;
+    }
+    acc
+}
+
+/// Reached from `hot_loop`: the allocation hides one call deep.
+fn widen(x: u64) -> u64 {
+    let copy = x.to_string();
+    copy.len() as u64
+}
+
+fn digest_word(x: u64) -> u64 {
+    x.rotate_left(7)
+}

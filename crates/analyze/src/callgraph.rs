@@ -1,0 +1,471 @@
+//! Call-graph construction and the interprocedural passes.
+//!
+//! [`Program`] indexes every [`FnSummary`] in the workspace (by free-fn
+//! name and by `(impl owner, method name)`) and resolves the call sites
+//! recorded by [`crate::dataflow`]. Resolution is deliberately
+//! conservative: free calls resolve only when the name is unambiguous
+//! (same-file definitions win ties), `self.m(..)` resolves within the
+//! caller's impl type, `Type::m(..)` against `impl Type`, and a plain
+//! `recv.m(..)` only when the method name is workspace-unique — anything
+//! else is opaque and simply not traversed. A missed edge costs coverage,
+//! never a false finding on the caller.
+//!
+//! Two interprocedural passes live here:
+//!
+//! * [`constant_flow_contexts`] — a monotone worklist that starts from
+//!   every `// analyze: constant-flow` pragma root and joins, per
+//!   function, the set of parameters that can carry operand-derived data
+//!   in *some* calling context (translated through each call's argument
+//!   origin masks). Pragma'd callees are their own roots and are not
+//!   propagated into; everything else reachable from a root is checked
+//!   transitively with zero opt-in.
+//! * [`zero_alloc`] — BFS over the call graph from every
+//!   `// analyze: zero-alloc` root, reporting allocation sites on any
+//!   reachable path. An `allow(za-alloc)` gate on a *call* line exempts
+//!   the whole callee subtree (the caller vouches for it); a gate on an
+//!   allocation line exempts just that site via the normal allow
+//!   resolution.
+
+use crate::dataflow::{CallKind, CallSite, FnSummary, Site};
+use crate::findings::Finding;
+use crate::pragma::JournalMode;
+use std::collections::{HashMap, HashSet, VecDeque};
+
+/// Method names too generic to resolve by uniqueness: they almost always
+/// target std types, so a workspace fn that happens to share the name
+/// must not capture every call site.
+const OPAQUE_METHODS: &[&str] = &[
+    "get",
+    "get_mut",
+    "iter",
+    "iter_mut",
+    "into_iter",
+    "next",
+    "map",
+    "and_then",
+    "unwrap_or",
+    "unwrap_or_else",
+    "unwrap_or_default",
+    "cmp",
+    "fmt",
+    "from",
+    "into",
+    "default",
+    "min",
+    "max",
+    "take",
+    "read",
+    "flush",
+    "lock",
+    "contains",
+    "position",
+    "find",
+    "count",
+    "last",
+    "rev",
+    "enumerate",
+    "new",
+    "join",
+    "push",
+    "insert",
+    "append",
+    "clear",
+    "fill",
+    "swap",
+    "split_at",
+    "split_at_mut",
+    "write",
+    "flush_buf",
+];
+
+/// One function plus the pragma facts the global passes need.
+#[derive(Debug, Clone)]
+pub struct FnInfo {
+    pub file: String,
+    pub s: FnSummary,
+    /// `Some(public set)` iff the fn carries a constant-flow pragma.
+    pub cf_public: Option<HashSet<String>>,
+    /// Carries a zero-alloc pragma.
+    pub za_root: bool,
+    /// Carries a journal pragma.
+    pub journal: Option<JournalMode>,
+}
+
+/// The whole workspace, indexed for call resolution.
+pub struct Program {
+    pub fns: Vec<FnInfo>,
+    /// Free fns (no owner) by name.
+    free: HashMap<String, Vec<usize>>,
+    /// Methods by (owner, name).
+    owned: HashMap<(String, String), Vec<usize>>,
+    /// Every fn by bare name (free and methods), for unique-method and
+    /// qualified-fallback resolution.
+    by_name: HashMap<String, Vec<usize>>,
+}
+
+impl Program {
+    pub fn build(fns: Vec<FnInfo>) -> Program {
+        let mut free: HashMap<String, Vec<usize>> = HashMap::new();
+        let mut owned: HashMap<(String, String), Vec<usize>> = HashMap::new();
+        let mut by_name: HashMap<String, Vec<usize>> = HashMap::new();
+        for (i, f) in fns.iter().enumerate() {
+            by_name.entry(f.s.name.clone()).or_default().push(i);
+            match &f.s.owner {
+                Some(owner) => owned
+                    .entry((owner.clone(), f.s.name.clone()))
+                    .or_default()
+                    .push(i),
+                None => free.entry(f.s.name.clone()).or_default().push(i),
+            }
+        }
+        Program {
+            fns,
+            free,
+            owned,
+            by_name,
+        }
+    }
+
+    /// Resolve a call made from `caller` to a workspace fn index, or
+    /// `None` when the target is external / ambiguous.
+    pub fn resolve(&self, caller: usize, call: &CallSite) -> Option<usize> {
+        match call.kind {
+            CallKind::Free => self.pick(self.free.get(&call.name)?, caller),
+            CallKind::SelfMethod => {
+                let owner = self.fns[caller].s.owner.clone()?;
+                self.pick(self.owned.get(&(owner, call.name.clone()))?, caller)
+            }
+            CallKind::Qualified => {
+                if let Some(c) = self
+                    .owned
+                    .get(&(call.qual.clone(), call.name.clone()))
+                    .and_then(|c| self.pick(c, caller))
+                {
+                    return Some(c);
+                }
+                // `module::helper(..)` — fall back to a unique free fn.
+                let cands = self.free.get(&call.name)?;
+                if cands.len() == 1 {
+                    Some(cands[0])
+                } else {
+                    None
+                }
+            }
+            CallKind::Method => {
+                if OPAQUE_METHODS.contains(&call.name.as_str()) {
+                    return None;
+                }
+                let cands = self.by_name.get(&call.name)?;
+                // A free fn sharing the name makes the receiver-less
+                // heuristic unsafe; otherwise a unique method (or a unique
+                // same-file one, e.g. `journal.replay(..)` next to the one
+                // `replay` impl in that file) wins.
+                if cands.iter().any(|&i| self.fns[i].s.owner.is_none()) {
+                    return None;
+                }
+                self.pick(cands, caller)
+            }
+        }
+    }
+
+    /// Among candidates, a unique one wins; ties break to the caller's
+    /// own file (the overwhelmingly common case for helper fns).
+    fn pick(&self, cands: &[usize], caller: usize) -> Option<usize> {
+        if cands.len() == 1 {
+            return Some(cands[0]);
+        }
+        let file = &self.fns[caller].file;
+        let mut local = cands.iter().filter(|&&i| &self.fns[i].file == file);
+        match (local.next(), local.next()) {
+            (Some(&i), None) => Some(i),
+            _ => None,
+        }
+    }
+}
+
+/// The taint context a function is checked under: the join over every
+/// calling context of "which of my parameters carry operand-derived
+/// data", plus the pragma root it was first reached from (for messages).
+#[derive(Debug, Clone)]
+pub struct CfContext {
+    pub mask: u64,
+    pub root: String,
+}
+
+/// Worklist pass: compute the constant-flow taint context of every fn
+/// transitively reachable from a pragma root. Roots map to their own
+/// non-public parameter mask; a call propagates a bit into the callee for
+/// every argument (or receiver, onto the callee's `self` position) whose
+/// origin mask intersects the caller's context. Pragma'd callees are not
+/// entered — they are their own roots with their own public lists.
+///
+/// `pruned(file, line)` consults `allow(cf-reach)` gates: a call made on a
+/// pruned line is a **documented divergence boundary** (the serialized
+/// scalar-fixup and queue-service dispatches) and propagation stops there;
+/// pruned call lines are recorded in `consumed` so the gates count as used.
+pub fn constant_flow_contexts(
+    prog: &Program,
+    pruned: &dyn Fn(&str, u32) -> bool,
+    consumed: &mut Vec<(String, u32)>,
+) -> HashMap<usize, CfContext> {
+    let mut ctx: HashMap<usize, CfContext> = HashMap::new();
+    let mut work: VecDeque<usize> = VecDeque::new();
+    for (i, f) in prog.fns.iter().enumerate() {
+        if let Some(public) = &f.cf_public {
+            ctx.insert(
+                i,
+                CfContext {
+                    mask: f.s.root_taint(public),
+                    root: f.s.name.clone(),
+                },
+            );
+            work.push_back(i);
+        }
+    }
+    while let Some(i) = work.pop_front() {
+        let caller_mask = match ctx.get(&i) {
+            Some(c) => c.mask,
+            None => continue,
+        };
+        let root = ctx[&i].root.clone();
+        let calls: Vec<CallSite> = prog.fns[i]
+            .s
+            .sites
+            .iter()
+            .filter_map(|s| match s {
+                Site::Call(c) => Some(c.clone()),
+                _ => None,
+            })
+            .collect();
+        for call in calls {
+            if pruned(&prog.fns[i].file, call.line) {
+                consumed.push((prog.fns[i].file.clone(), call.line));
+                continue;
+            }
+            let Some(j) = prog.resolve(i, &call) else {
+                continue;
+            };
+            if prog.fns[j].cf_public.is_some() || prog.fns[j].s.in_test || j == i {
+                continue;
+            }
+            let mask = translate_mask(caller_mask, &call, &prog.fns[j].s);
+            let entry = ctx.entry(j).or_insert_with(|| CfContext {
+                mask: 0,
+                root: root.clone(),
+            });
+            let joined = entry.mask | mask;
+            if joined != entry.mask {
+                entry.mask = joined;
+                work.push_back(j);
+            }
+        }
+    }
+    ctx
+}
+
+/// Translate a caller-side call into the callee's parameter mask: the
+/// receiver feeds the callee's `self` position, the k-th argument feeds
+/// the k-th non-`self` parameter.
+fn translate_mask(caller_mask: u64, call: &CallSite, callee: &FnSummary) -> u64 {
+    let mut mask = 0u64;
+    if call.recv & caller_mask != 0 {
+        if let Some(p) = callee.self_pos() {
+            mask |= FnSummary::param_bit(p);
+        }
+    }
+    let mut arg = 0usize;
+    for (p, name) in callee.params.iter().enumerate() {
+        if name == "self" {
+            continue;
+        }
+        if let Some(&m) = call.args.get(arg) {
+            if m & caller_mask != 0 {
+                mask |= FnSummary::param_bit(p);
+            }
+        }
+        arg += 1;
+    }
+    mask
+}
+
+/// BFS from every zero-alloc root, reporting each allocation site on a
+/// reachable path. `allowed(file, line)` answers whether an
+/// `allow(za-alloc)` gate covers that line; when it exempts a *call*
+/// site, the callee subtree is skipped and the gate is recorded in
+/// `consumed` so the unused-allow meta-lint stays accurate.
+pub fn zero_alloc(
+    prog: &Program,
+    allowed: &dyn Fn(&str, u32) -> bool,
+    consumed: &mut Vec<(String, u32)>,
+) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let mut reported: HashSet<(String, u32)> = HashSet::new();
+    for (r, f) in prog.fns.iter().enumerate() {
+        if !f.za_root {
+            continue;
+        }
+        let root_name = f.s.name.clone();
+        let mut seen: HashSet<usize> = HashSet::new();
+        let mut queue: VecDeque<usize> = VecDeque::new();
+        seen.insert(r);
+        queue.push_back(r);
+        while let Some(i) = queue.pop_front() {
+            let info = &prog.fns[i];
+            for site in &info.s.sites {
+                match site {
+                    Site::Alloc { line, what } => {
+                        if !reported.insert((info.file.clone(), *line)) {
+                            continue;
+                        }
+                        let wherein = if i == r {
+                            format!("zero-alloc fn `{root_name}`")
+                        } else {
+                            format!(
+                                "fn `{}` reached from zero-alloc root `{root_name}`",
+                                info.s.name
+                            )
+                        };
+                        findings.push(Finding {
+                            file: info.file.clone(),
+                            line: *line,
+                            lint: "za-alloc",
+                            message: format!("allocating call `{what}` in {wherein}"),
+                            suggestion: "add `// analyze: allow(za-alloc, reason = \"...\")` \
+                                         if this allocation is by design"
+                                .to_string(),
+                        });
+                    }
+                    Site::Call(c) => {
+                        let Some(j) = prog.resolve(i, c) else {
+                            continue;
+                        };
+                        if prog.fns[j].s.in_test {
+                            continue;
+                        }
+                        if allowed(&info.file, c.line) {
+                            consumed.push((info.file.clone(), c.line));
+                            continue;
+                        }
+                        if seen.insert(j) {
+                            queue.push_back(j);
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cfg::find_fns;
+    use crate::lexer::lex;
+
+    fn program(src: &str, cf: &[&str], za: &[&str]) -> Program {
+        let lexed = lex(src);
+        let fns = find_fns(&lexed.toks)
+            .iter()
+            .map(|d| {
+                let public = HashSet::new();
+                let s = crate::dataflow::summarize(&lexed.toks, d, &public);
+                FnInfo {
+                    file: "test.rs".to_string(),
+                    cf_public: cf.contains(&s.name.as_str()).then(HashSet::new),
+                    za_root: za.contains(&s.name.as_str()),
+                    journal: None,
+                    s,
+                }
+            })
+            .collect();
+        Program::build(fns)
+    }
+
+    #[test]
+    fn taint_propagates_through_calls() {
+        let src = "fn root(x: u64, n: usize) { helper(x); other(n); }\n\
+                   fn helper(v: u64) { if v > 0 { leaf(v); } }\n\
+                   fn other(len: usize) {}\n\
+                   fn leaf(w: u64) {}\n";
+        let prog = program(src, &["root"], &[]);
+        let ctx = constant_flow_contexts(&prog, &|_, _| false, &mut Vec::new());
+        let by_name = |n: &str| {
+            prog.fns
+                .iter()
+                .position(|f| f.s.name == n)
+                .and_then(|i| ctx.get(&i))
+        };
+        assert_eq!(by_name("root").map(|c| c.mask), Some(3));
+        // helper's v is tainted (fed from x).
+        assert_eq!(by_name("helper").map(|c| c.mask), Some(1));
+        assert_eq!(by_name("helper").map(|c| c.root.as_str()), Some("root"));
+        // other's len is fed from n which is also non-public on root.
+        assert_eq!(by_name("other").map(|c| c.mask), Some(1));
+        // leaf reached through helper.
+        assert_eq!(by_name("leaf").map(|c| c.mask), Some(1));
+    }
+
+    #[test]
+    fn pragma_callee_is_its_own_root() {
+        let src = "fn root(x: u64) { sub(x); }\n\
+                   fn sub(y: u64) { if y > 0 { g(); } }\n";
+        let prog = program(src, &["root", "sub"], &[]);
+        let ctx = constant_flow_contexts(&prog, &|_, _| false, &mut Vec::new());
+        let sub = prog.fns.iter().position(|f| f.s.name == "sub");
+        let c = sub.and_then(|i| ctx.get(&i));
+        assert_eq!(c.map(|c| c.root.as_str()), Some("sub"));
+    }
+
+    #[test]
+    fn zero_alloc_walks_the_graph() {
+        let src = "fn hot(n: usize) { step(n); }\n\
+                   fn step(n: usize) { let v = Vec::new(); grow(v); }\n\
+                   fn grow(mut v: Vec<u64>) { v.push(1); }\n";
+        let prog = program(src, &[], &["hot"]);
+        let mut consumed = Vec::new();
+        let f = zero_alloc(&prog, &|_, _| false, &mut consumed);
+        assert_eq!(f.len(), 2, "{f:?}");
+        assert!(f.iter().any(|f| f.message.contains("Vec::new")));
+        assert!(f.iter().any(|f| f.message.contains(".push()")));
+        assert!(consumed.is_empty());
+    }
+
+    #[test]
+    fn allowed_call_line_exempts_subtree() {
+        let src = "fn hot(n: usize) { step(n); }\n\
+                   fn step(n: usize) { let v = Vec::new(); }\n";
+        let prog = program(src, &[], &["hot"]);
+        let mut consumed = Vec::new();
+        // Every call line is allowed → the subtree is never entered.
+        let f = zero_alloc(&prog, &|_, _| true, &mut consumed);
+        assert!(f.is_empty(), "{f:?}");
+        assert_eq!(consumed.len(), 1);
+    }
+
+    #[test]
+    fn method_resolution_is_conservative() {
+        let src = "struct W;\n\
+                   impl W { fn run(&self) { self.inner(); } fn inner(&self) {} }\n\
+                   fn free_caller(w: &W) { w.run(); }\n";
+        let prog = program(src, &[], &[]);
+        let run = prog.fns.iter().position(|f| f.s.name == "run").unwrap();
+        let caller = prog
+            .fns
+            .iter()
+            .position(|f| f.s.name == "free_caller")
+            .unwrap();
+        let call = prog.fns[caller]
+            .s
+            .sites
+            .iter()
+            .find_map(|s| match s {
+                Site::Call(c) => Some(c.clone()),
+                _ => None,
+            })
+            .unwrap();
+        // `w.run()` resolves: `run` is workspace-unique.
+        assert_eq!(prog.resolve(caller, &call), Some(run));
+    }
+}

@@ -1,0 +1,830 @@
+//! Function discovery, statement trees, and per-function control-flow
+//! graphs, all built on the token stream from [`crate::lexer`].
+//!
+//! Three layers, each feeding the next:
+//!
+//! 1. [`find_fns`] walks a file's tokens and yields every `fn` item with
+//!    its impl-block owner (for method resolution), parameter list (in
+//!    declaration order — parameter *position* is what call sites bind
+//!    to), body token range, and whether it sits in a `#[cfg(test)]`
+//!    region.
+//! 2. [`parse_body`] turns a body token range into a structured statement
+//!    tree: `let` / `if` / `while` / `loop` / `for` / `match` / `return` /
+//!    `break` / `continue` / expression statements, with condition and
+//!    initializer expression ranges preserved as token spans. Control flow
+//!    embedded *inside* an expression (a `match` used as a value, a
+//!    `let-else`, a closure body) is left in the span; the site extractor
+//!    in [`crate::dataflow`] scans spans flat, so nothing is lost — only
+//!    block structure below statement granularity.
+//! 3. [`lower`] turns a statement tree into a small CFG: basic blocks of
+//!    site indices with successor edges, an entry block and a synthetic
+//!    exit block. Loops get back edges, `break`/`continue` resolve to the
+//!    innermost loop, `return` edges go straight to the exit. The
+//!    crash-consistency dataflow in [`crate::durability`] runs a worklist
+//!    over exactly this graph.
+
+use crate::lexer::Tok;
+
+/// One `fn` item found in a file.
+#[derive(Debug, Clone)]
+pub struct FnDecl {
+    /// Function name.
+    pub name: String,
+    /// Enclosing `impl` type name, if any (`impl Foo { fn bar }` → `Foo`).
+    pub owner: Option<String>,
+    /// Token index of the `fn` keyword.
+    pub fn_idx: usize,
+    /// Token index of the body's opening `{`.
+    pub body_open: usize,
+    /// Token index of the body's closing `}`.
+    pub body_close: usize,
+    /// Source line of the `fn` keyword.
+    pub line: u32,
+    /// Source line of the body's closing `}`.
+    pub end_line: u32,
+    /// Parameter names in declaration order. A `self` receiver (in any
+    /// form) is recorded as `"self"` at its position.
+    pub params: Vec<String>,
+    /// True when the item sits inside a `#[cfg(test)]` region.
+    pub in_test: bool,
+}
+
+/// Index of the `}` matching the `{` at `open`.
+pub fn match_brace(toks: &[Tok], open: usize) -> Option<usize> {
+    let mut depth = 0i32;
+    for (i, t) in toks.iter().enumerate().skip(open) {
+        if t.is_punct("{") {
+            depth += 1;
+        } else if t.is_punct("}") {
+            depth -= 1;
+            if depth == 0 {
+                return Some(i);
+            }
+        }
+    }
+    None
+}
+
+/// Token-index ranges covered by `#[cfg(test)]` items.
+pub fn test_regions(toks: &[Tok]) -> Vec<(usize, usize)> {
+    let mut regions = Vec::new();
+    let mut i = 0usize;
+    while i + 5 < toks.len() {
+        let hit = toks[i].is_punct("#")
+            && toks[i + 1].is_punct("[")
+            && toks[i + 2].is_ident("cfg")
+            && toks[i + 3].is_punct("(")
+            && toks[i + 4].is_ident("test")
+            && toks[i + 5].is_punct(")");
+        if !hit {
+            i += 1;
+            continue;
+        }
+        let start = i;
+        // Skip past this and any further attributes to the item itself.
+        let mut j = i;
+        while j + 1 < toks.len() && toks[j].is_punct("#") && toks[j + 1].is_punct("[") {
+            let mut depth = 0i32;
+            let mut k = j + 1;
+            while k < toks.len() {
+                if toks[k].is_punct("[") {
+                    depth += 1;
+                } else if toks[k].is_punct("]") {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                k += 1;
+            }
+            j = k + 1;
+        }
+        // The item body is the next `{` at depth 0; `mod tests;` (a `;`
+        // first) lives in another file and excludes nothing here.
+        let mut body = None;
+        let mut k = j;
+        while k < toks.len() {
+            if toks[k].is_punct(";") {
+                break;
+            }
+            if toks[k].is_punct("{") {
+                body = Some(k);
+                break;
+            }
+            k += 1;
+        }
+        if let Some(open) = body {
+            if let Some(close) = match_brace(toks, open) {
+                regions.push((start, close));
+                i = close + 1;
+                continue;
+            }
+        }
+        i = j.max(i + 1);
+    }
+    regions
+}
+
+/// Find every `fn` item in a token stream, with impl owners and params.
+pub fn find_fns(toks: &[Tok]) -> Vec<FnDecl> {
+    let tests = test_regions(toks);
+    let in_test = |idx: usize| tests.iter().any(|&(a, b)| idx >= a && idx <= b);
+    // Impl blocks currently open, as (type name, closing-brace index).
+    let mut impls: Vec<(String, usize)> = Vec::new();
+    let mut fns = Vec::new();
+    let mut i = 0usize;
+    while i < toks.len() {
+        let t = &toks[i];
+        if t.is_ident("impl") {
+            if let Some((name, close)) = impl_block(toks, i) {
+                impls.push((name, close));
+            }
+            i += 1;
+            continue;
+        }
+        if !t.is_ident("fn") {
+            i += 1;
+            continue;
+        }
+        let Some(name) = toks.get(i + 1).and_then(|n| n.ident()) else {
+            i += 1;
+            continue;
+        };
+        // Body: the first `{` at bracket depth 0 after the signature; a `;`
+        // first means a bodyless trait/extern declaration.
+        let mut depth = 0i32;
+        let mut open = None;
+        let mut j = i + 2;
+        while j < toks.len() {
+            let u = &toks[j];
+            if u.is_punct("(") || u.is_punct("[") {
+                depth += 1;
+            } else if u.is_punct(")") || u.is_punct("]") {
+                depth -= 1;
+            } else if depth == 0 && u.is_punct(";") {
+                break;
+            } else if depth == 0 && u.is_punct("{") {
+                open = Some(j);
+                break;
+            }
+            j += 1;
+        }
+        let Some(open) = open else {
+            i += 1;
+            continue;
+        };
+        let Some(close) = match_brace(toks, open) else {
+            i += 1;
+            continue;
+        };
+        let owner = impls
+            .iter()
+            .rev()
+            .find(|(_, c)| i < *c)
+            .map(|(n, _)| n.clone());
+        fns.push(FnDecl {
+            name: name.to_string(),
+            owner,
+            fn_idx: i,
+            body_open: open,
+            body_close: close,
+            line: t.line,
+            end_line: toks[close].line,
+            params: fn_params(toks, i, open),
+            in_test: in_test(i),
+        });
+        // Continue *into* the body: nested fns are themselves items.
+        i += 2;
+    }
+    fns
+}
+
+/// The type name and closing-brace index of an `impl` block starting at
+/// `impl_idx`. `impl<T> Trait for Type<T>` resolves to `Type`.
+fn impl_block(toks: &[Tok], impl_idx: usize) -> Option<(String, usize)> {
+    let mut i = impl_idx + 1;
+    let mut angle = 0i32;
+    let mut last_ident: Option<&str> = None;
+    while i < toks.len() {
+        let t = &toks[i];
+        if t.is_punct("<") {
+            angle += 1;
+        } else if t.is_punct(">") {
+            angle -= 1;
+        } else if t.is_punct("<<") {
+            angle += 2;
+        } else if t.is_punct(">>") {
+            angle -= 2;
+        } else if angle <= 0 {
+            if t.is_punct("{") {
+                let close = match_brace(toks, i)?;
+                return last_ident.map(|n| (n.to_string(), close));
+            }
+            if t.is_ident("for") {
+                last_ident = None; // the type follows; the trait came before
+            } else if t.is_punct(";") {
+                return None;
+            } else if let Some(name) = t.ident() {
+                if name != "where" && name != "dyn" && name != "mut" && name != "const" {
+                    // Keep the first segment of the path only once: for
+                    // `bar::Baz` the later segment overwrites, which is
+                    // what we want (`Baz` is the type name).
+                    last_ident = Some(name);
+                }
+            }
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Parameter names in declaration order: idents directly followed by `:`
+/// at paren depth 1 of the signature, plus `self` in any receiver form.
+fn fn_params(toks: &[Tok], fn_idx: usize, body_open: usize) -> Vec<String> {
+    // Find the opening paren, skipping generics.
+    let mut i = fn_idx + 1;
+    let mut angle = 0i32;
+    while i < body_open {
+        let t = &toks[i];
+        if t.is_punct("<") {
+            angle += 1;
+        } else if t.is_punct(">") {
+            angle -= 1;
+        } else if t.is_punct("<<") {
+            angle += 2;
+        } else if t.is_punct(">>") {
+            angle -= 2;
+        } else if t.is_punct("(") && angle <= 0 {
+            break;
+        }
+        i += 1;
+    }
+    let open = i;
+    let mut params = Vec::new();
+    let mut depth = 0i32;
+    while i < body_open {
+        let t = &toks[i];
+        if t.is_punct("(") || t.is_punct("[") {
+            depth += 1;
+        } else if t.is_punct(")") || t.is_punct("]") {
+            depth -= 1;
+            if depth == 0 {
+                break;
+            }
+        } else if depth == 1 {
+            if t.is_ident("self") {
+                params.push("self".to_string());
+            } else if let Some(name) = t.ident() {
+                if name != "mut"
+                    && name != "ref"
+                    && toks.get(i + 1).is_some_and(|n| n.is_punct(":"))
+                    && i > open
+                    && !toks[i - 1].is_punct(":")
+                {
+                    params.push(name.to_string());
+                }
+            }
+        }
+        i += 1;
+    }
+    params
+}
+
+/// One statement in a function body. Expression spans are token-index
+/// ranges `(start, end)` with `end` exclusive.
+#[derive(Debug)]
+pub enum Stmt {
+    /// `let PAT = EXPR;` — binding names and the initializer span.
+    Let {
+        line: u32,
+        binds: Vec<String>,
+        init: Option<(usize, usize)>,
+        /// True when the initializer was a block expression whose
+        /// statements were spliced ahead of this binding: the lowerer must
+        /// not extract value sites from the (duplicate) flat span again.
+        spliced: bool,
+    },
+    /// `if COND { .. } else { .. }`, including `if let` (whose pattern
+    /// bindings are recorded so taint can flow from the scrutinee).
+    If {
+        line: u32,
+        cond: (usize, usize),
+        let_binds: Vec<String>,
+        then_b: Vec<Stmt>,
+        else_b: Vec<Stmt>,
+    },
+    /// `while COND { .. }` / `while let PAT = EXPR { .. }`.
+    While {
+        line: u32,
+        cond: (usize, usize),
+        let_binds: Vec<String>,
+        body: Vec<Stmt>,
+    },
+    /// `loop { .. }`.
+    Loop { body: Vec<Stmt> },
+    /// `for PAT in EXPR { .. }`.
+    For {
+        line: u32,
+        binds: Vec<String>,
+        iter: (usize, usize),
+        body: Vec<Stmt>,
+    },
+    /// `match EXPR { arms }`.
+    Match {
+        line: u32,
+        scrutinee: (usize, usize),
+        arms: Vec<Arm>,
+    },
+    /// `return EXPR;` (or bare `return;`).
+    Return { line: u32, expr: (usize, usize) },
+    /// `break` (labels and values folded in).
+    Break { line: u32 },
+    /// `continue`.
+    Continue { line: u32 },
+    /// Any other statement or trailing expression, kept as a flat span.
+    Expr { line: u32, range: (usize, usize) },
+}
+
+/// One `match` arm: pattern bindings, optional guard span, body.
+#[derive(Debug)]
+pub struct Arm {
+    pub binds: Vec<String>,
+    pub guard: Option<(usize, usize)>,
+    pub body: Vec<Stmt>,
+}
+
+/// Parse the token range `(start, end)` (exclusive of the surrounding
+/// braces) into a statement list.
+pub fn parse_body(toks: &[Tok], start: usize, end: usize) -> Vec<Stmt> {
+    let mut stmts = Vec::new();
+    let mut i = start;
+    while i < end {
+        let t = &toks[i];
+        if t.is_punct(";") || t.is_punct(",") {
+            i += 1;
+            continue;
+        }
+        if t.is_ident("let") {
+            let (binds, eq) = let_pattern(toks, i + 1, end);
+            match eq {
+                Some(eq_idx) => {
+                    let stop = stmt_end(toks, eq_idx + 1, end);
+                    // A block-expression initializer (`let x = if .. {..}
+                    // else {..};`, `match .. {..}`, `loop {..}`, or a bare
+                    // block) hides control flow inside a flat span: splice
+                    // its statements ahead of the binding so the branch and
+                    // call sites inside it are visited. The binding keeps
+                    // the full span as its init, which over-taints but never
+                    // under-taints (duplicated value sites are deduped by
+                    // the summary).
+                    let mut j = eq_idx + 1;
+                    while j < stop
+                        && (toks[j].is_punct("&")
+                            || toks[j].is_ident("mut")
+                            || toks[j].is_ident("unsafe"))
+                    {
+                        j += 1;
+                    }
+                    let block_init = j < stop
+                        && (toks[j].is_ident("if")
+                            || toks[j].is_ident("match")
+                            || toks[j].is_ident("loop")
+                            || toks[j].is_punct("{"));
+                    if block_init {
+                        stmts.append(&mut parse_body(toks, eq_idx + 1, stop));
+                    }
+                    stmts.push(Stmt::Let {
+                        line: t.line,
+                        binds,
+                        init: Some((eq_idx + 1, stop)),
+                        spliced: block_init,
+                    });
+                    i = stop + 1;
+                }
+                None => {
+                    let stop = stmt_end(toks, i + 1, end);
+                    stmts.push(Stmt::Let {
+                        line: t.line,
+                        binds,
+                        init: None,
+                        spliced: false,
+                    });
+                    i = stop + 1;
+                }
+            }
+            continue;
+        }
+        if t.is_ident("if") || t.is_ident("while") {
+            let is_while = t.is_ident("while");
+            let (let_binds, cond_start) = if toks.get(i + 1).is_some_and(|n| n.is_ident("let")) {
+                let (binds, eq) = let_pattern(toks, i + 2, end);
+                match eq {
+                    Some(eq_idx) => (binds, eq_idx + 1),
+                    None => (binds, i + 2),
+                }
+            } else {
+                (Vec::new(), i + 1)
+            };
+            let open = block_open(toks, cond_start, end);
+            if open >= end || !toks[open].is_punct("{") {
+                // Malformed (or a match-arm `=>`); treat as a flat span.
+                let stop = stmt_end(toks, i, end);
+                stmts.push(Stmt::Expr {
+                    line: t.line,
+                    range: (i, stop),
+                });
+                i = stop + 1;
+                continue;
+            }
+            let close = match_brace(toks, open).unwrap_or(end).min(end);
+            let body = parse_body(toks, open + 1, close);
+            if is_while {
+                stmts.push(Stmt::While {
+                    line: t.line,
+                    cond: (cond_start, open),
+                    let_binds,
+                    body,
+                });
+                i = close + 1;
+                continue;
+            }
+            // if: gather the else chain.
+            let mut else_b = Vec::new();
+            let mut after = close + 1;
+            if after < end && toks[after].is_ident("else") {
+                if toks.get(after + 1).is_some_and(|n| n.is_ident("if")) {
+                    // Recurse: the chained if becomes the sole else stmt.
+                    let chain_end = if_chain_end(toks, after + 1, end);
+                    else_b = parse_body(toks, after + 1, chain_end);
+                    after = chain_end;
+                } else if toks.get(after + 1).is_some_and(|n| n.is_punct("{")) {
+                    let eclose = match_brace(toks, after + 1).unwrap_or(end).min(end);
+                    else_b = parse_body(toks, after + 2, eclose);
+                    after = eclose + 1;
+                }
+            }
+            stmts.push(Stmt::If {
+                line: t.line,
+                cond: (cond_start, open),
+                let_binds,
+                then_b: body,
+                else_b,
+            });
+            i = after;
+            continue;
+        }
+        if t.is_ident("loop") && toks.get(i + 1).is_some_and(|n| n.is_punct("{")) {
+            let close = match_brace(toks, i + 1).unwrap_or(end).min(end);
+            stmts.push(Stmt::Loop {
+                body: parse_body(toks, i + 2, close),
+            });
+            i = close + 1;
+            continue;
+        }
+        if t.is_ident("for") {
+            let mut j = i + 1;
+            let mut binds = Vec::new();
+            while j < end && !toks[j].is_ident("in") {
+                if let Some(name) = toks[j].ident() {
+                    if name != "mut" && name != "ref" && !starts_upper(name) {
+                        binds.push(name.to_string());
+                    }
+                }
+                j += 1;
+            }
+            let iter_start = j + 1;
+            let open = block_open(toks, iter_start, end);
+            if open >= end || !toks[open].is_punct("{") {
+                let stop = stmt_end(toks, i, end);
+                stmts.push(Stmt::Expr {
+                    line: t.line,
+                    range: (i, stop),
+                });
+                i = stop + 1;
+                continue;
+            }
+            let close = match_brace(toks, open).unwrap_or(end).min(end);
+            stmts.push(Stmt::For {
+                line: t.line,
+                binds,
+                iter: (iter_start, open),
+                body: parse_body(toks, open + 1, close),
+            });
+            i = close + 1;
+            continue;
+        }
+        if t.is_ident("match") {
+            let open = block_open(toks, i + 1, end);
+            if open >= end || !toks[open].is_punct("{") {
+                let stop = stmt_end(toks, i, end);
+                stmts.push(Stmt::Expr {
+                    line: t.line,
+                    range: (i, stop),
+                });
+                i = stop + 1;
+                continue;
+            }
+            let close = match_brace(toks, open).unwrap_or(end).min(end);
+            stmts.push(Stmt::Match {
+                line: t.line,
+                scrutinee: (i + 1, open),
+                arms: parse_arms(toks, open + 1, close),
+            });
+            i = close + 1;
+            continue;
+        }
+        if t.is_ident("return") {
+            let stop = stmt_end(toks, i + 1, end);
+            stmts.push(Stmt::Return {
+                line: t.line,
+                expr: (i + 1, stop),
+            });
+            i = stop + 1;
+            continue;
+        }
+        if t.is_ident("break") {
+            let stop = stmt_end(toks, i + 1, end);
+            stmts.push(Stmt::Break { line: t.line });
+            i = stop + 1;
+            continue;
+        }
+        if t.is_ident("continue") {
+            let stop = stmt_end(toks, i + 1, end);
+            stmts.push(Stmt::Continue { line: t.line });
+            i = stop + 1;
+            continue;
+        }
+        if t.is_ident("unsafe") && toks.get(i + 1).is_some_and(|n| n.is_punct("{")) {
+            let close = match_brace(toks, i + 1).unwrap_or(end).min(end);
+            stmts.append(&mut parse_body(toks, i + 2, close));
+            i = close + 1;
+            continue;
+        }
+        if t.is_punct("{") {
+            let close = match_brace(toks, i).unwrap_or(end).min(end);
+            stmts.append(&mut parse_body(toks, i + 1, close));
+            i = close + 1;
+            continue;
+        }
+        // Expression statement (or trailing expression): flat span.
+        let stop = stmt_end(toks, i, end);
+        stmts.push(Stmt::Expr {
+            line: t.line,
+            range: (i, stop),
+        });
+        i = stop + 1;
+    }
+    stmts
+}
+
+fn starts_upper(name: &str) -> bool {
+    name.chars().next().is_some_and(char::is_uppercase)
+}
+
+/// End index (exclusive) of an `if .. else if .. else ..` chain whose `if`
+/// sits at `start`.
+fn if_chain_end(toks: &[Tok], start: usize, end: usize) -> usize {
+    let mut i = start;
+    loop {
+        // Skip cond, then the block.
+        let open = block_open(toks, i + 1, end);
+        if open >= end || !toks[open].is_punct("{") {
+            return end;
+        }
+        let close = match_brace(toks, open).unwrap_or(end).min(end);
+        let after = close + 1;
+        if after < end && toks[after].is_ident("else") {
+            if toks.get(after + 1).is_some_and(|n| n.is_ident("if")) {
+                i = after + 1;
+                continue;
+            }
+            if toks.get(after + 1).is_some_and(|n| n.is_punct("{")) {
+                let eclose = match_brace(toks, after + 1).unwrap_or(end).min(end);
+                return (eclose + 1).min(end);
+            }
+        }
+        return after.min(end);
+    }
+}
+
+/// Binding names of a `let` pattern starting at `start`; returns the
+/// names and the index of the `=` (None for `let x;` declarations).
+fn let_pattern(toks: &[Tok], start: usize, limit: usize) -> (Vec<String>, Option<usize>) {
+    let mut binds = Vec::new();
+    let mut i = start;
+    let mut in_type = false;
+    let mut depth = 0i32;
+    while i < limit {
+        let t = &toks[i];
+        if t.is_punct("=") && depth == 0 {
+            return (binds, Some(i));
+        }
+        if (t.is_punct(";") || t.is_punct("{")) && depth == 0 {
+            return (binds, None);
+        }
+        if t.is_punct("(") || t.is_punct("[") || t.is_punct("<") {
+            depth += 1;
+        } else if t.is_punct(")") || t.is_punct("]") || t.is_punct(">") {
+            depth -= 1;
+        } else if t.is_punct(":") && depth == 0 {
+            in_type = true;
+        } else if let Some(name) = t.ident() {
+            let path = toks.get(i + 1).is_some_and(|n| n.is_punct("::"));
+            if !in_type && name != "mut" && name != "ref" && !starts_upper(name) && !path {
+                binds.push(name.to_string());
+            }
+        }
+        i += 1;
+    }
+    (binds, None)
+}
+
+/// Index of the `;` terminating a statement starting at `start`
+/// (depth-aware: `let x = { .. };` scans its whole block). Clamps at the
+/// range end for trailing expressions.
+pub fn stmt_end(toks: &[Tok], start: usize, limit: usize) -> usize {
+    let mut depth = 0i32;
+    let mut i = start;
+    while i < limit {
+        let t = &toks[i];
+        if t.is_punct("(") || t.is_punct("[") || t.is_punct("{") {
+            depth += 1;
+        } else if t.is_punct(")") || t.is_punct("]") || t.is_punct("}") {
+            depth = (depth - 1).max(0);
+        } else if t.is_punct(";") && depth == 0 {
+            return i;
+        }
+        i += 1;
+    }
+    limit
+}
+
+/// Index of the `{` opening the block for a condition starting at
+/// `start`, skipping struct-literal braces inside parens/brackets, or of
+/// a match-guard `=>` — whichever comes first at depth 0.
+pub fn block_open(toks: &[Tok], start: usize, limit: usize) -> usize {
+    let mut depth = 0i32;
+    let mut i = start;
+    while i < limit {
+        let t = &toks[i];
+        if t.is_punct("(") || t.is_punct("[") {
+            depth += 1;
+        } else if t.is_punct(")") || t.is_punct("]") {
+            depth = (depth - 1).max(0);
+        } else if depth == 0 && (t.is_punct("{") || t.is_punct("=>")) {
+            return i;
+        }
+        i += 1;
+    }
+    limit
+}
+
+/// Parse match arms in `(start, end)` (inside the match braces).
+fn parse_arms(toks: &[Tok], start: usize, end: usize) -> Vec<Arm> {
+    let mut arms = Vec::new();
+    let mut i = start;
+    while i < end {
+        if toks[i].is_punct(",") {
+            i += 1;
+            continue;
+        }
+        // Pattern runs to the `=>` at depth 0; an `if` inside starts the
+        // guard.
+        let mut depth = 0i32;
+        let mut guard_start = None;
+        let mut binds = Vec::new();
+        let mut j = i;
+        let mut arrow = None;
+        while j < end {
+            let t = &toks[j];
+            if t.is_punct("(") || t.is_punct("[") || t.is_punct("{") {
+                depth += 1;
+            } else if t.is_punct(")") || t.is_punct("]") || t.is_punct("}") {
+                depth -= 1;
+            } else if depth == 0 && t.is_punct("=>") {
+                arrow = Some(j);
+                break;
+            } else if depth == 0 && t.is_ident("if") && guard_start.is_none() {
+                guard_start = Some(j + 1);
+            } else if guard_start.is_none() {
+                if let Some(name) = t.ident() {
+                    let path = toks.get(j + 1).is_some_and(|n| n.is_punct("::"));
+                    let field = toks.get(j + 1).is_some_and(|n| n.is_punct(":"));
+                    if name != "mut" && name != "ref" && !starts_upper(name) && !path && !field {
+                        binds.push(name.to_string());
+                    }
+                }
+            }
+            j += 1;
+        }
+        let Some(arrow) = arrow else {
+            break;
+        };
+        let guard = guard_start.map(|g| (g, arrow));
+        // Arm body: a block, or an expression up to the `,` at depth 0.
+        let (body_start, body_end, next) = if toks.get(arrow + 1).is_some_and(|n| n.is_punct("{")) {
+            let close = match_brace(toks, arrow + 1).unwrap_or(end).min(end);
+            (arrow + 2, close, close + 1)
+        } else {
+            let mut depth = 0i32;
+            let mut k = arrow + 1;
+            while k < end {
+                let t = &toks[k];
+                if t.is_punct("(") || t.is_punct("[") || t.is_punct("{") {
+                    depth += 1;
+                } else if t.is_punct(")") || t.is_punct("]") || t.is_punct("}") {
+                    depth -= 1;
+                } else if t.is_punct(",") && depth == 0 {
+                    break;
+                }
+                k += 1;
+            }
+            (arrow + 1, k, k + 1)
+        };
+        arms.push(Arm {
+            binds,
+            guard,
+            body: parse_body(toks, body_start, body_end),
+        });
+        i = next;
+    }
+    arms
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn fns(src: &str) -> Vec<FnDecl> {
+        find_fns(&lex(src).toks)
+    }
+
+    #[test]
+    fn finds_free_and_impl_fns() {
+        let src = "fn free(a: u64, b: usize) -> u64 { a }\n\
+                   struct S;\n\
+                   impl S { fn method(&mut self, x: u32) {} }\n\
+                   impl Clone for S { fn clone(&self) -> S { S } }\n";
+        let fs = fns(src);
+        assert_eq!(fs.len(), 3);
+        assert_eq!(fs[0].name, "free");
+        assert_eq!(fs[0].owner, None);
+        assert_eq!(fs[0].params, vec!["a", "b"]);
+        assert_eq!(fs[1].name, "method");
+        assert_eq!(fs[1].owner.as_deref(), Some("S"));
+        assert_eq!(fs[1].params, vec!["self", "x"]);
+        assert_eq!(fs[2].name, "clone");
+        assert_eq!(fs[2].owner.as_deref(), Some("S"));
+    }
+
+    #[test]
+    fn test_region_fns_are_marked() {
+        let src = "fn live() {}\n#[cfg(test)]\nmod tests { fn helper() {} }\n";
+        let fs = fns(src);
+        assert!(!fs[0].in_test);
+        assert!(fs[1].in_test);
+    }
+
+    #[test]
+    fn parses_statement_tree() {
+        let src = "fn f(x: u64, n: usize) {\n\
+                       let y = x + 1;\n\
+                       if y > 2 { return; } else { g(); }\n\
+                       for i in 0..n { h(i); }\n\
+                       match y { 0 => a(), _ => { b(); } }\n\
+                       while y > 0 { break; }\n\
+                   }\n";
+        let lexed = lex(src);
+        let f = &find_fns(&lexed.toks)[0];
+        let stmts = parse_body(&lexed.toks, f.body_open + 1, f.body_close);
+        assert_eq!(stmts.len(), 5, "{stmts:?}");
+        assert!(matches!(stmts[0], Stmt::Let { .. }));
+        let Stmt::If { then_b, else_b, .. } = &stmts[1] else {
+            unreachable!("{:?}", stmts[1]);
+        };
+        assert!(matches!(then_b[0], Stmt::Return { .. }));
+        assert_eq!(else_b.len(), 1);
+        assert!(matches!(stmts[2], Stmt::For { .. }));
+        let Stmt::Match { arms, .. } = &stmts[3] else {
+            unreachable!("{:?}", stmts[3]);
+        };
+        assert_eq!(arms.len(), 2);
+        assert!(matches!(stmts[4], Stmt::While { .. }));
+    }
+
+    #[test]
+    fn else_if_chains_nest() {
+        let src = "fn f(a: u32) -> u32 {\n\
+                       if a == 0 { 1 } else if a == 1 { 2 } else { 3 }\n\
+                   }\n";
+        let lexed = lex(src);
+        let f = &find_fns(&lexed.toks)[0];
+        let stmts = parse_body(&lexed.toks, f.body_open + 1, f.body_close);
+        assert_eq!(stmts.len(), 1);
+        let Stmt::If { else_b, .. } = &stmts[0] else {
+            unreachable!();
+        };
+        assert!(matches!(else_b[0], Stmt::If { .. }));
+    }
+}

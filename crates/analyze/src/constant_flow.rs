@@ -1,530 +1,156 @@
-//! Constant-flow lints for `// analyze: constant-flow` functions.
+//! Constant-flow lints over [`crate::dataflow`] summaries.
 //!
 //! The paper's GPU speedup depends on the hot kernels being
 //! *semi-oblivious* (§IV–§VI): the branch and memory-access sequence must
 //! be (almost) independent of operand values or SIMT lockstep and
 //! coalescing collapse. These lints enforce that statically, the way
-//! constant-time discipline tools do for crypto libraries: inside an
-//! opted-in function, any control flow, short-circuit, early exit, or
-//! indexing that depends on *operand-derived* values is a finding, and
-//! every intended divergence (the DeepShift / WideAlpha / β>0 fixups)
-//! must carry an `// analyze: allow(...)` pragma whose reason documents it.
+//! constant-time discipline tools do for crypto libraries.
 //!
-//! ## Taint model (token-level, conservative)
+//! A function opts in with `// analyze: constant-flow` and becomes an
+//! **interprocedural root**: [`crate::callgraph::constant_flow_contexts`]
+//! joins, for every function transitively reachable from a root, the set
+//! of parameters that can carry operand-derived data in some calling
+//! context. [`check_summary`] then turns each site whose origin mask
+//! intersects that context into a finding:
 //!
-//! * Every parameter — including `self` — is **tainted** unless named in
-//!   the pragma's `public` list. Public names are the structural inputs:
-//!   warp width, row counts, limb lengths, configuration.
-//! * `self.field` projections consult the `public` list per field; any
-//!   other projection or method call on a tainted base stays tainted.
-//!   `.len()` / `.is_empty()` launder taint: operand *sizes* are public in
-//!   the semi-oblivious model (they are visible in the address trace by
-//!   design).
-//! * `let` bindings and `for` patterns become tainted when their
-//!   initializer / iterated expression is tainted. Taint is never removed
-//!   by reassignment (single monotone pass).
-//!
-//! ## Lints
-//!
-//! * `cf-branch` — `if` / `while` / `match` (incl. `if let`, match guards)
-//!   whose condition or scrutinee is tainted.
-//! * `cf-short-circuit` — `&&` / `||` inside a tainted statement: lazy
+//! * `cf-branch` — `if` / `while` / `match` (incl. `if let`, match
+//!   guards) whose condition or scrutinee is operand-derived.
+//! * `cf-short-circuit` — `&&` / `||` over operand-derived values: lazy
 //!   evaluation is a hidden branch.
-//! * `cf-early-return` — any `return` statement or `?` operator: a
-//!   constant-flow function runs to its trailing expression.
-//! * `cf-index` — indexing `x[i]` where the index expression is tainted:
-//!   a data-dependent address.
+//! * `cf-early-return` — a `return` under an operand-dependent guard, or
+//!   a `?` whose guard or tried expression is operand-derived. Uniform
+//!   exits (every lane takes them together) are fine — this is the
+//!   path-aware refinement over the old any-return rule.
+//! * `cf-index` — indexing `x[i]` where the index expression is
+//!   operand-derived: a data-dependent address.
+//!
+//! Findings in transitively-reached helpers name the root they were
+//! reached from, so a violation deep in a call chain still points back at
+//! the kernel whose lockstep it would break.
 
+use crate::callgraph::FnInfo;
+use crate::dataflow::{BranchKind, Site};
 use crate::findings::Finding;
-use crate::lexer::{Tok, TokKind};
-use std::collections::HashSet;
-
-/// Everything constant-flow analysis needs about one annotated function.
-pub struct CfFunction<'a> {
-    /// Workspace-relative path (for findings).
-    pub file: &'a str,
-    /// Function name (for messages).
-    pub name: String,
-    /// Token index of the `fn` keyword.
-    pub fn_idx: usize,
-    /// Token index of the body's opening `{`.
-    pub body_open: usize,
-    /// Token index of the body's closing `}`.
-    pub body_close: usize,
-    /// Names declared input-independent by the pragma.
-    pub public: HashSet<String>,
-}
-
-/// Methods whose results are considered public even on tainted receivers:
-/// sizes are part of the semi-oblivious contract (visible in every address
-/// trace), so branching on them is structure, not data.
-const TAINT_LAUNDERING: &[&str] = &["len", "is_empty"];
-
-/// Run the four constant-flow lints over one annotated function.
-pub fn check(toks: &[Tok], f: &CfFunction<'_>, out: &mut Vec<Finding>) {
-    let mut tainted = params(toks, f);
-    // First pass: propagate taint through let/for bindings, in source
-    // order. A second propagation pass costs nothing and catches bindings
-    // used textually before a later binding re-mentions them (not present
-    // in this codebase, but cheap insurance for straight-line kernels).
-    for _ in 0..2 {
-        propagate(toks, f, &mut tainted);
-    }
-    lint_branches(toks, f, &tainted, out);
-    lint_short_circuit(toks, f, &tainted, out);
-    lint_early_return(toks, f, out);
-    lint_index(toks, f, &tainted, out);
-}
-
-/// Parameter names of the function: idents directly followed by `:` at
-/// paren depth 1 of the signature, plus bare `self`.
-fn params(toks: &[Tok], f: &CfFunction<'_>) -> HashSet<String> {
-    let mut names = HashSet::new();
-    // Find the opening paren of the parameter list: the first `(` after
-    // the fn name, skipping generics (`<...>`, counting `<<`/`>>` double).
-    let mut i = f.fn_idx + 1;
-    let mut angle = 0i32;
-    while i < f.body_open {
-        let t = &toks[i];
-        if t.is_punct("<") {
-            angle += 1;
-        } else if t.is_punct(">") {
-            angle -= 1;
-        } else if t.is_punct("<<") {
-            angle += 2;
-        } else if t.is_punct(">>") {
-            angle -= 2;
-        } else if t.is_punct("(") && angle <= 0 {
-            break;
-        }
-        i += 1;
-    }
-    let open = i;
-    let mut depth = 0i32;
-    while i < f.body_open {
-        let t = &toks[i];
-        if t.is_punct("(") || t.is_punct("[") {
-            depth += 1;
-        } else if t.is_punct(")") || t.is_punct("]") {
-            depth -= 1;
-            if depth == 0 {
-                break;
-            }
-        } else if depth == 1 {
-            if t.is_ident("self") {
-                names.insert("self".to_string());
-            } else if let Some(name) = t.ident() {
-                if name != "mut"
-                    && name != "ref"
-                    && toks.get(i + 1).is_some_and(|n| n.is_punct(":"))
-                    && i > open
-                    && !toks[i - 1].is_punct(":")
-                {
-                    names.insert(name.to_string());
-                }
-            }
-        }
-        i += 1;
-    }
-    for p in &f.public {
-        names.remove(p);
-    }
-    names
-}
-
-/// One monotone taint-propagation sweep over the body.
-fn propagate(toks: &[Tok], f: &CfFunction<'_>, tainted: &mut HashSet<String>) {
-    let mut i = f.body_open + 1;
-    while i < f.body_close {
-        let t = &toks[i];
-        if t.is_ident("let") {
-            // Bindings: idents up to the `=` (stopping at a type `:`), then
-            // the initializer up to the statement-terminating `;`.
-            let (binds, eq) = let_bindings(toks, i, f.body_close);
-            if let Some(eq_idx) = eq {
-                let end = stmt_end(toks, eq_idx + 1, f.body_close);
-                if expr_tainted(toks, eq_idx + 1, end, tainted, &f.public) {
-                    for b in binds {
-                        tainted.insert(b);
-                    }
-                }
-                i = eq_idx;
-            }
-        } else if t.is_ident("for") {
-            // `for PAT in EXPR {` — bindings taint when EXPR does.
-            let mut j = i + 1;
-            let mut binds = Vec::new();
-            while j < f.body_close && !toks[j].is_ident("in") {
-                if let Some(name) = toks[j].ident() {
-                    if name != "mut" && name != "ref" {
-                        binds.push(name.to_string());
-                    }
-                }
-                j += 1;
-            }
-            let start = j + 1;
-            let end = block_open(toks, start, f.body_close);
-            if expr_tainted(toks, start, end, tainted, &f.public) {
-                for b in binds {
-                    tainted.insert(b);
-                }
-            }
-            i = end;
-        } else if (t.is_ident("if") || t.is_ident("while"))
-            && toks.get(i + 1).is_some_and(|n| n.is_ident("let"))
-        {
-            // `if let PAT = EXPR {` — pattern bindings taint from EXPR.
-            let mut j = i + 2;
-            let mut binds = Vec::new();
-            while j < f.body_close && !toks[j].is_punct("=") {
-                if let Some(name) = toks[j].ident() {
-                    if name != "mut"
-                        && name != "ref"
-                        && !name.chars().next().is_some_and(char::is_uppercase)
-                    {
-                        binds.push(name.to_string());
-                    }
-                }
-                j += 1;
-            }
-            let end = block_open(toks, j + 1, f.body_close);
-            if expr_tainted(toks, j + 1, end, tainted, &f.public) {
-                for b in binds {
-                    tainted.insert(b);
-                }
-            }
-            i = end;
-        }
-        i += 1;
-    }
-}
-
-/// Binding names of a `let` statement starting at `let_idx`; returns the
-/// names and the index of the `=` (None for `let x;` declarations).
-fn let_bindings(toks: &[Tok], let_idx: usize, limit: usize) -> (Vec<String>, Option<usize>) {
-    let mut binds = Vec::new();
-    let mut i = let_idx + 1;
-    let mut in_type = false;
-    let mut depth = 0i32;
-    while i < limit {
-        let t = &toks[i];
-        if t.is_punct("=") && depth == 0 {
-            return (binds, Some(i));
-        }
-        if t.is_punct(";") && depth == 0 {
-            return (binds, None);
-        }
-        match &t.kind {
-            TokKind::Punct("(") | TokKind::Punct("[") | TokKind::Punct("<") => depth += 1,
-            TokKind::Punct(")") | TokKind::Punct("]") | TokKind::Punct(">") => depth -= 1,
-            TokKind::Punct(":") if depth == 0 => in_type = true,
-            TokKind::Ident(name)
-                if !in_type
-                    && name != "mut"
-                    && name != "ref"
-                    && !name.chars().next().is_some_and(char::is_uppercase) =>
-            {
-                binds.push(name.clone());
-            }
-            _ => {}
-        }
-        i += 1;
-    }
-    (binds, None)
-}
-
-/// Index of the `;` terminating a statement starting at `start`
-/// (depth-aware, so `let x = { ... };` scans its whole block). `start` may
-/// sit mid-expression: a close below depth 0 just means the scan left its
-/// enclosing group, so depth clamps at statement level instead of going
-/// negative and swallowing the rest of the body.
-fn stmt_end(toks: &[Tok], start: usize, limit: usize) -> usize {
-    let mut depth = 0i32;
-    let mut i = start;
-    while i < limit {
-        let t = &toks[i];
-        if t.is_punct("(") || t.is_punct("[") || t.is_punct("{") {
-            depth += 1;
-        } else if t.is_punct(")") || t.is_punct("]") || t.is_punct("}") {
-            depth = (depth - 1).max(0);
-        } else if t.is_punct(";") && depth == 0 {
-            return i;
-        }
-        i += 1;
-    }
-    limit
-}
-
-/// Index of the `{` opening the block for a condition starting at `start`,
-/// or of the `=>` of a match-guard arm — whichever comes first at depth 0.
-fn block_open(toks: &[Tok], start: usize, limit: usize) -> usize {
-    let mut depth = 0i32;
-    let mut i = start;
-    while i < limit {
-        let t = &toks[i];
-        if t.is_punct("(") || t.is_punct("[") {
-            depth += 1;
-        } else if t.is_punct(")") || t.is_punct("]") {
-            depth = (depth - 1).max(0);
-        } else if depth == 0 && (t.is_punct("{") || t.is_punct("=>")) {
-            return i;
-        }
-        i += 1;
-    }
-    limit
-}
-
-/// Is any identifier chain in `toks[start..end]` tainted?
-///
-/// Chains are evaluated left to right: a tainted base stays tainted
-/// through field projections and method calls, except `self.<public
-/// field>` and the size methods in [`TAINT_LAUNDERING`].
-fn expr_tainted(
-    toks: &[Tok],
-    start: usize,
-    end: usize,
-    tainted: &HashSet<String>,
-    public: &HashSet<String>,
-) -> bool {
-    let mut i = start;
-    while i < end.min(toks.len()) {
-        let t = &toks[i];
-        if let Some(name) = t.ident() {
-            // Skip path segments `Foo::bar` — enum variants and constants
-            // are not data.
-            if toks.get(i + 1).is_some_and(|n| n.is_punct("::")) {
-                i += 2;
-                continue;
-            }
-            let mut chain_tainted = if name == "self" {
-                tainted.contains("self")
-            } else {
-                tainted.contains(name)
-            };
-            let mut j = i + 1;
-            // Walk the projection chain.
-            while j + 1 < toks.len() && toks[j].is_punct(".") {
-                let Some(field) = toks[j + 1].ident() else {
-                    break;
-                };
-                let is_call = toks.get(j + 2).is_some_and(|n| n.is_punct("("));
-                // Any other projection or method call on a tainted base
-                // stays tainted.
-                let launders = if is_call {
-                    TAINT_LAUNDERING.contains(&field)
-                } else {
-                    public.contains(field)
-                };
-                if launders {
-                    chain_tainted = false;
-                }
-                j += 2;
-                if is_call {
-                    break; // arguments are scanned by the linear walk
-                }
-            }
-            if chain_tainted {
-                return true;
-            }
-            i = j.max(i + 1);
-            continue;
-        }
-        i += 1;
-    }
-    false
-}
-
-fn push(
-    out: &mut Vec<Finding>,
-    f: &CfFunction<'_>,
-    line: u32,
-    lint: &'static str,
-    message: String,
-    suggestion: &str,
-) {
-    out.push(Finding {
-        file: f.file.to_string(),
-        line,
-        lint,
-        message,
-        suggestion: suggestion.to_string(),
-    });
-}
 
 const ALLOW_HINT: &str = "make it branchless, or document the divergence with \
                           `// analyze: allow(<lint>, reason = \"...\")`";
 
-/// `cf-branch`: tainted `if` / `while` / `match` conditions.
-fn lint_branches(
-    toks: &[Tok],
-    f: &CfFunction<'_>,
-    tainted: &HashSet<String>,
-    out: &mut Vec<Finding>,
-) {
-    let mut i = f.body_open + 1;
-    while i < f.body_close {
-        let t = &toks[i];
-        let kw = if t.is_ident("if") {
-            Some("if")
-        } else if t.is_ident("while") {
-            Some("while")
-        } else if t.is_ident("match") {
-            Some("match")
-        } else {
-            None
-        };
-        if let Some(kw) = kw {
-            let (start, line) = if toks.get(i + 1).is_some_and(|n| n.is_ident("let")) {
-                // `if let PAT = EXPR`: only the scrutinee can be tainted.
-                let mut j = i + 2;
-                while j < f.body_close && !toks[j].is_punct("=") {
-                    j += 1;
+/// Emit constant-flow findings for one function checked under taint
+/// context `mask` (bits over its own parameters). `root` is the pragma
+/// root it was reached from; `is_root` selects the message shape.
+pub fn check_summary(info: &FnInfo, mask: u64, root: &str, is_root: bool, out: &mut Vec<Finding>) {
+    if mask == 0 {
+        return;
+    }
+    let name = &info.s.name;
+    let via = if is_root {
+        String::new()
+    } else {
+        format!(" (reached from constant-flow root `{root}`)")
+    };
+    for site in &info.s.sites {
+        match site {
+            Site::Branch {
+                line,
+                kind,
+                mask: m,
+            } => {
+                if m & mask == 0 {
+                    continue;
                 }
-                (j + 1, t.line)
-            } else {
-                (i + 1, t.line)
-            };
-            let end = block_open(toks, start, f.body_close);
-            if expr_tainted(toks, start, end, tainted, &f.public) {
-                push(
-                    out,
-                    f,
-                    line,
-                    "cf-branch",
-                    format!(
-                        "`{kw}` on an operand-derived value in constant-flow fn `{}`",
-                        f.name
-                    ),
-                    ALLOW_HINT,
-                );
-            }
-            i = end;
-            continue;
-        }
-        i += 1;
-    }
-}
-
-/// `cf-short-circuit`: `&&` / `||` inside a tainted statement.
-fn lint_short_circuit(
-    toks: &[Tok],
-    f: &CfFunction<'_>,
-    tainted: &HashSet<String>,
-    out: &mut Vec<Finding>,
-) {
-    for i in f.body_open + 1..f.body_close {
-        let t = &toks[i];
-        if !(t.is_punct("&&") || t.is_punct("||")) {
-            continue;
-        }
-        // `&&value` (double reference) has no left operand.
-        let binary = toks.get(i.wrapping_sub(1)).is_some_and(|p| {
-            matches!(p.kind, TokKind::Ident(_) | TokKind::Number)
-                || p.is_punct(")")
-                || p.is_punct("]")
-        });
-        if !binary {
-            continue;
-        }
-        // The enclosing statement: previous to next hard boundary.
-        let mut lo = i;
-        while lo > f.body_open + 1
-            && !(toks[lo - 1].is_punct(";")
-                || toks[lo - 1].is_punct("{")
-                || toks[lo - 1].is_punct("}"))
-        {
-            lo -= 1;
-        }
-        // The statement ends at the nearest `;` or block `{` after the
-        // operator, whichever comes first.
-        let hi = stmt_end(toks, i, f.body_close).min(block_open(toks, i, f.body_close));
-        if expr_tainted(toks, lo, hi, tainted, &f.public) {
-            push(
-                out,
-                f,
-                t.line,
-                "cf-short-circuit",
-                format!(
-                    "short-circuit `{}` on operand-derived values in constant-flow fn `{}` (lazy evaluation is a hidden branch)",
-                    if t.is_punct("&&") { "&&" } else { "||" },
-                    f.name
-                ),
-                "evaluate both sides eagerly (`&`/`|`), restructure, or add an allow pragma",
-            );
-        }
-    }
-}
-
-/// `cf-early-return`: `return` statements and `?` operators.
-fn lint_early_return(toks: &[Tok], f: &CfFunction<'_>, out: &mut Vec<Finding>) {
-    for i in f.body_open + 1..f.body_close {
-        let t = &toks[i];
-        if t.is_ident("return") {
-            push(
-                out,
-                f,
-                t.line,
-                "cf-early-return",
-                format!("`return` in constant-flow fn `{}`", f.name),
-                "constant-flow code runs to its trailing expression; restructure or add an allow pragma",
-            );
-        } else if t.is_punct("?") {
-            let operator = toks.get(i.wrapping_sub(1)).is_some_and(|p| {
-                matches!(p.kind, TokKind::Ident(_)) || p.is_punct(")") || p.is_punct("]")
-            });
-            if operator {
-                push(
-                    out,
-                    f,
-                    t.line,
-                    "cf-early-return",
-                    format!("`?` early exit in constant-flow fn `{}`", f.name),
-                    "propagate errors outside the kernel, or add an allow pragma",
-                );
-            }
-        }
-    }
-}
-
-/// `cf-index`: indexing with a tainted index expression.
-fn lint_index(toks: &[Tok], f: &CfFunction<'_>, tainted: &HashSet<String>, out: &mut Vec<Finding>) {
-    let mut i = f.body_open + 1;
-    while i < f.body_close {
-        let t = &toks[i];
-        if t.is_punct("[") {
-            let indexing = toks.get(i.wrapping_sub(1)).is_some_and(|p| {
-                matches!(p.kind, TokKind::Ident(_)) || p.is_punct(")") || p.is_punct("]")
-            });
-            if indexing {
-                // Find the matching `]`.
-                let mut depth = 0i32;
-                let mut j = i;
-                while j < f.body_close {
-                    if toks[j].is_punct("[") {
-                        depth += 1;
-                    } else if toks[j].is_punct("]") {
-                        depth -= 1;
-                        if depth == 0 {
-                            break;
-                        }
-                    }
-                    j += 1;
-                }
-                if expr_tainted(toks, i + 1, j, tainted, &f.public) {
-                    push(
-                        out,
-                        f,
-                        t.line,
-                        "cf-index",
+                match kind {
+                    BranchKind::Short => out.push(finding(
+                        info,
+                        *line,
+                        "cf-short-circuit",
                         format!(
-                            "index derived from operand values in constant-flow fn `{}` (data-dependent address)",
-                            f.name
+                            "short-circuit `&&`/`||` on operand-derived values in \
+                             constant-flow fn `{name}` (lazy evaluation is a hidden \
+                             branch){via}"
                         ),
-                        "index by loop counters over public trip counts, or add an allow pragma",
-                    );
+                        "evaluate both sides eagerly (`&`/`|`), restructure, or add an \
+                         allow pragma",
+                    )),
+                    _ => {
+                        let kw = match kind {
+                            BranchKind::While => "while",
+                            BranchKind::Match => "match",
+                            _ => "if",
+                        };
+                        out.push(finding(
+                            info,
+                            *line,
+                            "cf-branch",
+                            format!(
+                                "`{kw}` on an operand-derived value in constant-flow \
+                                 fn `{name}`{via}"
+                            ),
+                            ALLOW_HINT,
+                        ));
+                    }
                 }
             }
+            Site::Index { line, mask: m } => {
+                if m & mask == 0 {
+                    continue;
+                }
+                out.push(finding(
+                    info,
+                    *line,
+                    "cf-index",
+                    format!(
+                        "index derived from operand values in constant-flow fn \
+                         `{name}` (data-dependent address){via}"
+                    ),
+                    "index by loop counters over public trip counts, or add an allow pragma",
+                ));
+            }
+            Site::Exit {
+                line,
+                mask: m,
+                is_try,
+                ..
+            } => {
+                if m & mask == 0 {
+                    continue;
+                }
+                let (what, hint) = if *is_try {
+                    (
+                        format!(
+                            "`?` early exit on an operand-derived path in \
+                             constant-flow fn `{name}`{via}"
+                        ),
+                        "propagate errors outside the kernel, or add an allow pragma",
+                    )
+                } else {
+                    (
+                        format!(
+                            "`return` under an operand-dependent guard in \
+                             constant-flow fn `{name}`{via}"
+                        ),
+                        "constant-flow code runs to its trailing expression; \
+                         restructure or add an allow pragma",
+                    )
+                };
+                out.push(finding(info, *line, "cf-early-return", what, hint));
+            }
+            _ => {}
         }
-        i += 1;
+    }
+}
+
+fn finding(
+    info: &FnInfo,
+    line: u32,
+    lint: &'static str,
+    message: String,
+    suggestion: &str,
+) -> Finding {
+    Finding {
+        file: info.file.clone(),
+        line,
+        lint,
+        message,
+        suggestion: suggestion.to_string(),
     }
 }

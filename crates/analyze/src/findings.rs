@@ -34,10 +34,21 @@ pub struct Report {
     pub findings: Vec<Finding>,
     /// Files inspected.
     pub files_scanned: usize,
-    /// Functions opted into the constant-flow lints.
+    /// Functions opted into the constant-flow lints (pragma roots).
     pub constant_flow_fns: usize,
+    /// Functions covered by constant-flow checking: roots plus everything
+    /// transitively reachable from them through the call graph.
+    pub cf_covered_fns: usize,
+    /// Functions under the crash-consistency (journal) lints.
+    pub journal_fns: usize,
+    /// Static zero-alloc roots.
+    pub zero_alloc_roots: usize,
     /// `allow` pragmas that excused a finding.
     pub allows_consumed: usize,
+    /// Findings suppressed by the checked-in baseline file.
+    pub baselined: usize,
+    /// Files whose analysis came from the incremental cache.
+    pub cache_hits: usize,
 }
 
 impl Report {
@@ -54,6 +65,16 @@ impl Report {
             s,
             "  \"files_scanned\": {},\n  \"constant_flow_fns\": {},\n  \"allows_consumed\": {},\n",
             self.files_scanned, self.constant_flow_fns, self.allows_consumed
+        );
+        let _ = write!(
+            s,
+            "  \"cf_covered_fns\": {},\n  \"journal_fns\": {},\n  \"zero_alloc_roots\": {},\n  \
+             \"baselined\": {},\n  \"cache_hits\": {},\n",
+            self.cf_covered_fns,
+            self.journal_fns,
+            self.zero_alloc_roots,
+            self.baselined,
+            self.cache_hits
         );
         s.push_str("  \"findings\": [");
         for (i, f) in self.findings.iter().enumerate() {
@@ -74,6 +95,51 @@ impl Report {
             s.push_str("\n  ");
         }
         s.push_str("]\n}\n");
+        s
+    }
+
+    /// Minimal SARIF 2.1.0 document, for editor and CI integrations.
+    /// `rules` is the lint catalog ([`crate::lints::LINTS`]), emitted as
+    /// the driver's rule table so ruleIds resolve.
+    pub fn to_sarif(&self, rules: &[(&str, &str)]) -> String {
+        let mut s = String::new();
+        s.push_str("{\n  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n");
+        s.push_str("  \"version\": \"2.1.0\",\n  \"runs\": [\n    {\n");
+        s.push_str("      \"tool\": {\n        \"driver\": {\n");
+        s.push_str("          \"name\": \"analyze\",\n");
+        s.push_str("          \"rules\": [");
+        for (i, (name, desc)) in rules.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(
+                s,
+                "\n            {{\"id\": {}, \"shortDescription\": {{\"text\": {}}}}}",
+                json_str(name),
+                json_str(desc)
+            );
+        }
+        s.push_str("\n          ]\n        }\n      },\n");
+        s.push_str("      \"results\": [");
+        for (i, f) in self.findings.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(
+                s,
+                "\n        {{\"ruleId\": {}, \"level\": \"error\", \"message\": {{\"text\": {}}}, \
+                 \"locations\": [{{\"physicalLocation\": {{\"artifactLocation\": \
+                 {{\"uri\": {}}}, \"region\": {{\"startLine\": {}}}}}}}]}}",
+                json_str(f.lint),
+                json_str(&format!("{} — {}", f.message, f.suggestion)),
+                json_str(&f.file),
+                f.line
+            );
+        }
+        if !self.findings.is_empty() {
+            s.push_str("\n      ");
+        }
+        s.push_str("]\n    }\n  ]\n}\n");
         s
     }
 }
@@ -113,13 +179,33 @@ mod tests {
                 suggestion: "propagate".into(),
             }],
             files_scanned: 1,
-            constant_flow_fns: 0,
-            allows_consumed: 0,
+            ..Report::default()
         };
         r.sort();
         let j = r.to_json();
         assert!(j.contains("\\\"quotes\\\""));
         assert!(j.contains("\"files_scanned\": 1"));
+        assert!(j.contains("\"cf_covered_fns\": 0"));
         assert!(j.contains("\"line\": 3"));
+    }
+
+    #[test]
+    fn sarif_names_rules_and_locations() {
+        let mut r = Report {
+            findings: vec![Finding {
+                file: "crates/core/src/lanes.rs".into(),
+                line: 42,
+                lint: "cf-branch",
+                message: "tainted if".into(),
+                suggestion: "fix".into(),
+            }],
+            ..Report::default()
+        };
+        r.sort();
+        let s = r.to_sarif(&[("cf-branch", "data-dependent branch")]);
+        assert!(s.contains("\"version\": \"2.1.0\""));
+        assert!(s.contains("\"ruleId\": \"cf-branch\""));
+        assert!(s.contains("\"startLine\": 42"));
+        assert!(s.contains("crates/core/src/lanes.rs"));
     }
 }

@@ -1,50 +1,58 @@
 //! `analyze` — the workspace static-analysis gate.
 //!
 //! ```text
-//! cargo run -p analyze [--release] -- [--root PATH] [--json PATH] [--list-lints]
+//! cargo run -p analyze [--release] -- [--root PATH] [--json PATH] \
+//!     [--sarif PATH] [--baseline PATH] [--no-cache] [--list-lints]
 //! ```
 //!
 //! Exit codes: 0 clean, 1 findings, 2 usage or I/O error.
 
+use analyze::RunOptions;
 use std::env;
 use std::fs;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 fn usage() -> &'static str {
-    "usage: analyze [--root PATH] [--json PATH] [--list-lints]\n\
+    "usage: analyze [--root PATH] [--json PATH] [--sarif PATH] [--baseline PATH]\n\
+     \x20              [--no-cache] [--list-lints]\n\
      \n\
-     Runs the constant-flow and workspace-invariant lints over every Rust\n\
-     source file in the workspace.\n\
+     Runs the constant-flow, crash-consistency, zero-alloc, and workspace\n\
+     invariant lints over every Rust source file in the workspace.\n\
      \n\
-     --root PATH    workspace root (default: this crate's workspace)\n\
-     --json PATH    also write the report as JSON to PATH\n\
-     --list-lints   print the lint catalog and exit\n"
+     --root PATH      workspace root (default: this crate's workspace)\n\
+     --json PATH      also write the report as JSON to PATH\n\
+     --sarif PATH     also write the report as SARIF 2.1.0 to PATH\n\
+     --baseline PATH  baseline file (default: <root>/analyze.baseline)\n\
+     --no-cache       skip the incremental cache under target/analyze-cache\n\
+     --list-lints     print the lint catalog and exit\n"
 }
 
 fn main() -> ExitCode {
     let mut root: Option<PathBuf> = None;
     let mut json: Option<PathBuf> = None;
+    let mut sarif: Option<PathBuf> = None;
+    let mut opts = RunOptions::default();
     let mut args = env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
-            "--root" => match args.next() {
-                Some(p) => root = Some(PathBuf::from(p)),
-                None => {
-                    eprintln!("--root needs a path\n{}", usage());
+            "--root" | "--json" | "--sarif" | "--baseline" => {
+                let Some(p) = args.next() else {
+                    eprintln!("{arg} needs a path\n{}", usage());
                     return ExitCode::from(2);
+                };
+                let p = PathBuf::from(p);
+                match arg.as_str() {
+                    "--root" => root = Some(p),
+                    "--json" => json = Some(p),
+                    "--sarif" => sarif = Some(p),
+                    _ => opts.baseline = Some(p),
                 }
-            },
-            "--json" => match args.next() {
-                Some(p) => json = Some(PathBuf::from(p)),
-                None => {
-                    eprintln!("--json needs a path\n{}", usage());
-                    return ExitCode::from(2);
-                }
-            },
+            }
+            "--no-cache" => opts.no_cache = true,
             "--list-lints" => {
                 for (name, desc) in analyze::LINTS {
-                    println!("{name:18} {desc}");
+                    println!("{name:20} {desc}");
                 }
                 return ExitCode::SUCCESS;
             }
@@ -66,7 +74,7 @@ fn main() -> ExitCode {
             .join("..")
     });
 
-    let report = match analyze::analyze_workspace(&root) {
+    let report = match analyze::analyze_workspace_with(&root, &opts) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("analyze: failed to scan {}: {e}", root.display());
@@ -80,15 +88,28 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     }
+    if let Some(path) = sarif {
+        if let Err(e) = fs::write(&path, report.to_sarif(analyze::LINTS)) {
+            eprintln!("analyze: failed to write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
 
     for f in &report.findings {
         println!("{}", f.render());
     }
     println!(
-        "analyze: {} file(s), {} constant-flow fn(s), {} allow(s) consumed, {} finding(s)",
+        "analyze: {} file(s) ({} cached), {} cf root(s) covering {} fn(s), \
+         {} journal fn(s), {} zero-alloc root(s), {} allow(s) consumed, \
+         {} baselined, {} finding(s)",
         report.files_scanned,
+        report.cache_hits,
         report.constant_flow_fns,
+        report.cf_covered_fns,
+        report.journal_fns,
+        report.zero_alloc_roots,
         report.allows_consumed,
+        report.baselined,
         report.findings.len()
     );
     if report.findings.is_empty() {

@@ -1,25 +1,35 @@
 //! The `// analyze:` pragma grammar.
 //!
-//! Three forms, all line comments so they survive rustfmt and cost nothing
+//! Five forms, all line comments so they survive rustfmt and cost nothing
 //! at compile time:
 //!
 //! ```text
 //! // analyze: constant-flow
 //! // analyze: constant-flow(public = "w, rows, lx")
+//! // analyze: zero-alloc
+//! // analyze: journal
+//! // analyze: journal(create | append | replay)
 //! // analyze: allow(<lint>, reason = "...")
 //! // analyze: allow-file(<lint>, reason = "...")
 //! ```
 //!
 //! `constant-flow` opts the next `fn` item into the data-dependent
-//! control-flow lints; its optional `public` list names parameters and
-//! `self` fields whose values are input-independent (widths, lengths,
-//! configuration) and therefore legal to branch on. `allow` suppresses the
-//! named lint on findings within the next few source lines and **requires**
-//! a non-empty reason — the escape hatch is also the documentation of the
-//! divergence it excuses. `allow-file` does the same for a whole file
-//! (used by the shim-pinning suite, whose entire purpose is calling the
-//! deprecated entry points). Unconsumed `allow`s are themselves findings
-//! ([`crate::lints`]' `unused-allow`), so stale excuses rot loudly.
+//! control-flow lints **as an interprocedural root**: every function it
+//! transitively calls is checked in the taint context the call graph
+//! derives, with no further annotation. Its optional `public` list names
+//! parameters and `self` fields whose values are input-independent
+//! (widths, lengths, configuration) and therefore legal to branch on.
+//! `zero-alloc` makes the next `fn` a static no-allocation root: no
+//! allocating call may be reachable from it. `journal` opts the next `fn`
+//! into the crash-consistency lints; the optional mode refines which ones
+//! (`create` adds the single-append commit rule, `replay` adds the
+//! torn-tail rule). `allow` suppresses the named lint on findings within
+//! the next few source lines and **requires** a non-empty reason — the
+//! escape hatch is also the documentation of the divergence it excuses.
+//! `allow-file` does the same for a whole file (used by the shim-pinning
+//! suite, whose entire purpose is calling the deprecated entry points).
+//! Unconsumed `allow`s are themselves findings ([`crate::lints`]'
+//! `unused-allow`), so stale excuses rot loudly.
 
 use crate::lexer::CommentLine;
 
@@ -27,6 +37,20 @@ use crate::lexer::CommentLine;
 /// suppressed. Covers rustfmt splitting a long condition without letting a
 /// pragma silence an unrelated violation further down.
 pub const ALLOW_WINDOW: u32 = 4;
+
+/// Which crash-consistency lints a `journal` pragma enables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JournalMode {
+    /// Plain `journal`: the sync-before-completion rule only.
+    General,
+    /// `journal(create)`: also the single-append commit rule.
+    Create,
+    /// `journal(append)`: sync-before-completion (same checks as
+    /// `General`; the mode documents intent).
+    Append,
+    /// `journal(replay)`: also the torn-tail handling rule.
+    Replay,
+}
 
 /// One parsed pragma.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -37,6 +61,19 @@ pub enum Pragma {
         line: u32,
         /// Identifiers (params or `self` fields) declared input-independent.
         public: Vec<String>,
+    },
+    /// `zero-alloc`: the next fn is a static no-allocation root.
+    ZeroAlloc {
+        /// Line of the pragma comment.
+        line: u32,
+    },
+    /// `journal` / `journal(mode)`: the next fn joins the
+    /// crash-consistency lints.
+    Journal {
+        /// Line of the pragma comment.
+        line: u32,
+        /// Which rules apply.
+        mode: JournalMode,
     },
     /// `allow(lint, reason = "...")` for findings within [`ALLOW_WINDOW`].
     Allow {
@@ -102,6 +139,31 @@ fn parse_one(body: &str, line: u32) -> Result<Pragma, String> {
         let public = parse_public(inner)?;
         return Ok(Pragma::ConstantFlow { line, public });
     }
+    if body == "zero-alloc" {
+        return Ok(Pragma::ZeroAlloc { line });
+    }
+    if body == "journal" {
+        return Ok(Pragma::Journal {
+            line,
+            mode: JournalMode::General,
+        });
+    }
+    if let Some(rest) = body.strip_prefix("journal(") {
+        let inner = rest
+            .strip_suffix(')')
+            .ok_or_else(|| "journal(...) missing closing paren".to_string())?;
+        let mode = match inner.trim() {
+            "create" => JournalMode::Create,
+            "append" => JournalMode::Append,
+            "replay" => JournalMode::Replay,
+            other => {
+                return Err(format!(
+                    "unknown journal mode `{other}` (expected create, append, or replay)"
+                ))
+            }
+        };
+        return Ok(Pragma::Journal { line, mode });
+    }
     for (kw, file_scope) in [("allow-file(", true), ("allow(", false)] {
         if let Some(rest) = body.strip_prefix(kw) {
             let inner = rest
@@ -116,7 +178,8 @@ fn parse_one(body: &str, line: u32) -> Result<Pragma, String> {
         }
     }
     Err(format!(
-        "unrecognized pragma `{body}` (expected constant-flow, allow, or allow-file)"
+        "unrecognized pragma `{body}` (expected constant-flow, zero-alloc, journal, allow, \
+         or allow-file)"
     ))
 }
 
@@ -212,9 +275,45 @@ mod tests {
             comment(1, " analyze: allow(cf-branch)"),
             comment(2, " analyze: allow(cf-branch, reason = \"\")"),
             comment(3, " analyze: constant-flo"),
+            comment(4, " analyze: journal(weird)"),
         ];
         let (pragmas, errors) = parse_pragmas(&comments);
         assert!(pragmas.is_empty());
-        assert_eq!(errors.len(), 3);
+        assert_eq!(errors.len(), 4);
+    }
+
+    #[test]
+    fn parses_journal_and_zero_alloc_forms() {
+        let comments = vec![
+            comment(1, " analyze: zero-alloc"),
+            comment(2, " analyze: journal"),
+            comment(3, " analyze: journal(create)"),
+            comment(4, " analyze: journal(append)"),
+            comment(5, " analyze: journal(replay)"),
+        ];
+        let (pragmas, errors) = parse_pragmas(&comments);
+        assert!(errors.is_empty(), "{errors:?}");
+        assert_eq!(
+            pragmas,
+            vec![
+                Pragma::ZeroAlloc { line: 1 },
+                Pragma::Journal {
+                    line: 2,
+                    mode: JournalMode::General
+                },
+                Pragma::Journal {
+                    line: 3,
+                    mode: JournalMode::Create
+                },
+                Pragma::Journal {
+                    line: 4,
+                    mode: JournalMode::Append
+                },
+                Pragma::Journal {
+                    line: 5,
+                    mode: JournalMode::Replay
+                },
+            ]
+        );
     }
 }

@@ -152,3 +152,93 @@ fn test_class_skips_panic_lints() {
     );
     assert!(out.findings.is_empty(), "{:?}", out.findings);
 }
+
+#[test]
+fn journal_lints_fire() {
+    let out = run_fixture("journal_violations.rs", false);
+    let counts = lint_counts(&out);
+    // Three distinct unsynced shapes: direct, skippable sync, and a
+    // helper that forgets the fsync (interprocedural effect).
+    assert_eq!(
+        counts.get("journal-unsynced"),
+        Some(&3),
+        "{:?}",
+        out.findings
+    );
+    assert_eq!(
+        counts.get("journal-split-commit"),
+        Some(&1),
+        "{:?}",
+        out.findings
+    );
+    assert_eq!(
+        counts.get("journal-torn-tail"),
+        Some(&1),
+        "{:?}",
+        out.findings
+    );
+    assert_eq!(
+        counts.len(),
+        3,
+        "unexpected extra lints: {:?}",
+        out.findings
+    );
+    // The dirty helper's effect is attributed to its journal caller.
+    assert!(out
+        .findings
+        .iter()
+        .any(|f| f.lint == "journal-unsynced" && f.message.contains("record_via_helper")));
+}
+
+#[test]
+fn zero_alloc_lints_fire() {
+    let out = run_fixture("za_violations.rs", false);
+    let counts = lint_counts(&out);
+    // vec! macro, .push(), and a .to_string() one call deep.
+    assert_eq!(counts.get("za-alloc"), Some(&3), "{:?}", out.findings);
+    assert_eq!(
+        counts.len(),
+        1,
+        "unexpected extra lints: {:?}",
+        out.findings
+    );
+    assert!(
+        out.findings.iter().any(|f| f.message.contains("widen")),
+        "transitive allocation should name the helper: {:?}",
+        out.findings
+    );
+    // The warmup resize in `steady` is excused, and the allow is consumed.
+    assert_eq!(out.allows_consumed, 1);
+}
+
+#[test]
+fn interprocedural_constant_flow_fires_and_prunes() {
+    let out = run_fixture("cf_interproc.rs", false);
+    let counts = lint_counts(&out);
+    // `accumulate` has no pragma of its own; both findings come from the
+    // taint context `kernel` hands it through the call.
+    assert_eq!(counts.get("cf-branch"), Some(&1), "{:?}", out.findings);
+    assert_eq!(
+        counts.get("cf-early-return"),
+        Some(&1),
+        "{:?}",
+        out.findings
+    );
+    assert_eq!(
+        counts.len(),
+        2,
+        "unexpected extra lints: {:?}",
+        out.findings
+    );
+    assert!(
+        out.findings.iter().all(|f| f
+            .message
+            .contains("reached from constant-flow root `kernel`")),
+        "interprocedural findings must name their root: {:?}",
+        out.findings
+    );
+    // Two roots: `kernel` and the laundering-clean `drive`.
+    assert_eq!(out.constant_flow_fns, 2);
+    // The cf-reach gate on `tail` pruned the edge and was consumed.
+    assert_eq!(out.allows_consumed, 1);
+}

@@ -305,6 +305,7 @@ impl ScanJournal {
     /// records. A torn final line — the signature of a crash mid-append —
     /// is dropped *and truncated away*, so later appends land on a clean
     /// line boundary; that launch will simply be re-executed.
+    // analyze: journal(replay)
     pub fn open(path: &Path) -> Result<Self, JournalError> {
         let mut journal = ScanJournal::in_memory();
         if path.exists() {
@@ -331,6 +332,7 @@ impl ScanJournal {
     /// torn-tail tolerance as [`open`](Self::open). The shard driver uses
     /// this to model worker-process death deterministically: a dead
     /// worker's journal is exactly the bytes it had fsynced.
+    // analyze: journal(replay)
     pub fn from_bytes(bytes: &[u8]) -> Result<Self, JournalError> {
         let mut journal = ScanJournal::in_memory();
         journal.replay(bytes)?;
@@ -359,6 +361,7 @@ impl ScanJournal {
         text.into_bytes()
     }
 
+    // analyze: journal(replay)
     fn replay(&mut self, bytes: &[u8]) -> Result<(), JournalError> {
         // Torn-tail tolerance: only bytes up to the last '\n' are a
         // committed prefix; anything after it is a half-written line.
@@ -415,6 +418,7 @@ impl ScanJournal {
     /// Append pre-terminated text in one `write_all` and fsync it.
     /// `File::flush` alone is a no-op — only `sync_data` makes the commit
     /// survive an OS crash or power loss, not just a process death.
+    // analyze: journal(append)
     fn append_raw(&mut self, text: &str) -> Result<(), JournalError> {
         if let Some(file) = &mut self.file {
             file.write_all(text.as_bytes())?;
@@ -423,6 +427,7 @@ impl ScanJournal {
         Ok(())
     }
 
+    // analyze: journal(append)
     fn append(&mut self, line: &str) -> Result<(), JournalError> {
         self.append_raw(&format!("{line}\n"))
     }
@@ -430,6 +435,7 @@ impl ScanJournal {
     /// Bind the journal to `header`, or verify it is already bound to an
     /// identical one. Field-by-field mismatches are reported so the caller
     /// knows *what* diverged (corpus edits show up as `fingerprint`).
+    // analyze: journal(create)
     pub fn check_compatible(&mut self, header: &JournalHeader) -> Result<(), JournalError> {
         match &self.header {
             None => {
@@ -557,6 +563,7 @@ impl ScanJournal {
     /// Commit one completed launch. The line is written and fsynced
     /// (`sync_data`) before this returns, so a crash immediately after —
     /// including an OS crash or power loss — cannot lose the launch.
+    // analyze: journal
     pub fn record(&mut self, record: LaunchRecord) -> Result<(), JournalError> {
         self.append(&record.to_line())?;
         self.records.insert(record.launch, record);
@@ -564,6 +571,7 @@ impl ScanJournal {
     }
 
     /// Mark the scan complete. Idempotent.
+    // analyze: journal
     pub fn mark_done(&mut self) -> Result<(), JournalError> {
         if !self.done {
             self.append("D")?;

@@ -311,7 +311,7 @@ impl LockstepEngine {
     /// [`lane_status`](Self::lane_status) /
     /// [`lane_gcd_is_one`](Self::lane_gcd_is_one) /
     /// [`lane_gcd_nat`](Self::lane_gcd_nat).
-    // analyze: constant-flow(public = "w, stride, term, measure")
+    // analyze: constant-flow(public = "w, n, stride, term, measure, live, fused_rows")
     pub fn run_warp(
         &mut self,
         inputs: &[(&[Limb], &[Limb])],
@@ -320,6 +320,7 @@ impl LockstepEngine {
     ) -> Option<WarpWork> {
         let w = self.w;
         assert!(inputs.len() <= w, "warp overfilled: {} > {w}", inputs.len());
+        // analyze: allow(cf-reach, reason = "one-time scatter before lockstep begins: operand placement is per-pair setup, not part of the iteration kernel")
         self.load(inputs);
         if let Some((_, wpt)) = measure {
             self.acc.reset(wpt);
@@ -338,7 +339,6 @@ impl LockstepEngine {
                 self.acc.record_iteration(cost, &self.live);
             }
             let rows = self.fused_rows();
-            // analyze: allow(cf-branch, reason = "skip the shared vector pass only when every active lane diverged this iteration; rows is part of the public per-iteration structure")
             if rows > 0 {
                 fused_submul_rshift_columns_prefix(
                     &mut self.u,
@@ -356,6 +356,7 @@ impl LockstepEngine {
             }
             for fi in 0..self.fixups.len() {
                 let (t, plan) = self.fixups[fi];
+                // analyze: allow(cf-reach, reason = "serialized scalar-fixup region: diverged lanes already left the vector pass; this is the documented divergence point")
                 self.apply_fixup(t, plan);
             }
             self.epilogue();
@@ -478,7 +479,8 @@ impl LockstepEngine {
     /// Harvest with [`queue_status`](Self::queue_status) /
     /// [`queue_gcd_is_one`](Self::queue_gcd_is_one) /
     /// [`queue_factor`](Self::queue_factor), indexed by queue entry.
-    // analyze: constant-flow(public = "w, n, stride, term, cfg")
+    // analyze: constant-flow(public = "w, n, stride, term, cfg, fused_rows")
+    // analyze: zero-alloc
     pub fn run_queue(
         &mut self,
         inputs: &[(&[Limb], &[Limb])],
@@ -486,6 +488,8 @@ impl LockstepEngine {
         cfg: CompactionConfig,
     ) {
         let w = self.w;
+        // analyze: allow(cf-reach, reason = "one-time load/scatter before lockstep begins: operand placement is per-pair setup, not part of the iteration kernel")
+        // analyze: allow(za-alloc, reason = "setup sizes the column planes and queue store once per run, before the iteration loop")
         self.queue_setup(inputs);
         let mut next = self.n;
         let max_iters = self.queue_iter_bound(inputs.len());
@@ -493,6 +497,7 @@ impl LockstepEngine {
         loop {
             // analyze: allow(cf-branch, reason = "loop exit: the queue runs until every entry terminates; the iteration count is operand-dependent and is the documented residual leak (rows_per_iter in the UMM trace model)")
             if !self.plan_iteration(term, false) {
+                // analyze: allow(cf-reach, reason = "harvest/repack/refill service pass between vector iterations: compaction is the documented serialized region")
                 self.queue_service(inputs, &mut next, cfg);
                 if self.n == 0 {
                     break;
@@ -500,7 +505,6 @@ impl LockstepEngine {
                 continue;
             }
             let rows = self.fused_rows();
-            // analyze: allow(cf-branch, reason = "skip the shared vector pass only when every active lane diverged this iteration; rows is part of the public per-iteration structure")
             if rows > 0 {
                 fused_submul_rshift_columns_prefix(
                     &mut self.u,
@@ -518,6 +522,7 @@ impl LockstepEngine {
             }
             for fi in 0..self.fixups.len() {
                 let (t, p) = self.fixups[fi];
+                // analyze: allow(cf-reach, reason = "serialized scalar-fixup region: diverged lanes already left the vector pass; this is the documented divergence point")
                 self.apply_fixup(t, p);
             }
             self.epilogue();
@@ -526,6 +531,7 @@ impl LockstepEngine {
                 iter <= max_iters,
                 "lockstep engine exceeded {max_iters} iterations"
             );
+            // analyze: allow(cf-reach, reason = "harvest/repack/refill service pass between vector iterations: compaction is the documented serialized region")
             self.queue_service(inputs, &mut next, cfg);
         }
     }
@@ -785,6 +791,7 @@ impl LockstepEngine {
         };
         let gcd_is_one = status == GcdStatus::Done && self.lx[t] == 1 && self.x_plane(t)[t] == 1;
         let factor = if status == GcdStatus::Done && !gcd_is_one {
+            // analyze: allow(za-alloc, reason = "allocates only for an actual finding (gcd > 1) — the rare path harvest exists to record")
             Some(self.lane_gcd_nat(t))
         } else {
             None
@@ -1058,6 +1065,7 @@ impl LockstepEngine {
             }
             if let Termination::Early { threshold_bits } = term {
                 // analyze: allow(cf-branch, reason = "early termination compares the live bit length of Y; terminated lanes mask off — the paper's documented data-dependent exit")
+                // analyze: allow(cf-reach, reason = "the bit-length probe is an O(1) head-word read; the length it returns is public in the semi-oblivious model (the documented early-exit leak)")
                 if self.y_bits(t) < threshold_bits {
                     self.state[t] = LaneState::Early;
                     continue;
@@ -1101,6 +1109,7 @@ impl LockstepEngine {
                 } else {
                     StepKind::ApproxBetaZero
                 };
+                // analyze: allow(za-alloc, reason = "live/fixups are cleared each iteration and keep their capacity: a push after warmup reuses the allocation")
                 self.live.push(IterDesc {
                     kind,
                     lx,
@@ -1114,6 +1123,7 @@ impl LockstepEngine {
                     self.alpha[t] = alpha;
                     self.rs[t] = rs;
                 }
+                // analyze: allow(za-alloc, reason = "live/fixups are cleared each iteration and keep their capacity: a push after warmup reuses the allocation")
                 other => self.fixups.push((t, other)),
             }
         }

@@ -279,6 +279,7 @@ impl Coordinator {
     /// records. Leases replay with their recorded expiry ticks, so a
     /// restarted coordinator resumes dead-worker detection where it left
     /// off; a torn final line is dropped.
+    // analyze: journal(replay)
     pub fn open(path: &Path) -> Result<Self, LedgerError> {
         let mut ledger = Coordinator::in_memory();
         if path.exists() {
@@ -288,6 +289,7 @@ impl Coordinator {
         Ok(ledger)
     }
 
+    // analyze: journal(replay)
     fn replay(&mut self, bytes: &[u8]) -> Result<(), LedgerError> {
         let committed = match bytes.iter().rposition(|&b| b == b'\n') {
             Some(pos) => &bytes[..=pos],
@@ -356,6 +358,7 @@ impl Coordinator {
         })
     }
 
+    // analyze: journal(append)
     fn append_raw(&mut self, text: &str) -> Result<(), LedgerError> {
         if let Some(file) = &mut self.file {
             file.write_all(text.as_bytes())?;
@@ -364,6 +367,7 @@ impl Coordinator {
         Ok(())
     }
 
+    // analyze: journal(append)
     fn append(&mut self, line: &str) -> Result<(), LedgerError> {
         self.append_raw(&format!("{line}\n"))
     }
@@ -371,6 +375,7 @@ impl Coordinator {
     /// Bind the ledger to `header`, or verify it is already bound to an
     /// identical one (same magic-plus-header single-append idiom as the
     /// scan journal).
+    // analyze: journal(create)
     pub fn check_compatible(&mut self, header: &LedgerHeader) -> Result<(), LedgerError> {
         match &self.header {
             None => {
@@ -447,6 +452,7 @@ impl Coordinator {
     /// reclaim from a worker presumed dead. Returns `None` when every
     /// incomplete tile is under a live lease (the caller should wait until
     /// [`next_expiry`](Self::next_expiry)).
+    // analyze: journal
     pub fn acquire(
         &mut self,
         worker: &str,
@@ -479,6 +485,7 @@ impl Coordinator {
     /// (`now >= expires`), was reassigned to another worker, or the tile
     /// is already complete — in every case the worker must abandon the
     /// tile (its journal keeps the work for whoever resumes it).
+    // analyze: journal
     pub fn renew(
         &mut self,
         tile: usize,
@@ -523,6 +530,7 @@ impl Coordinator {
     /// journal it fingerprints is the authoritative result. An identical
     /// re-submission (a resurrected worker) is discarded as
     /// [`Completion::Duplicate`]; a different fingerprint is an error.
+    // analyze: journal
     pub fn complete(
         &mut self,
         tile: usize,

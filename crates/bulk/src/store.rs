@@ -170,6 +170,7 @@ impl ArenaHeader {
 /// Compile a sanitized arena (plus its acceptance bitmap and ingest floor)
 /// to `path`. The write is fsynced (`sync_data`) before returning, and the
 /// returned header is what [`ArenaSource::open`] will see.
+// analyze: journal
 pub fn write_arena(
     path: &Path,
     arena: &ModuliArena,
@@ -230,6 +231,7 @@ pub struct ArenaSource {
 
 impl ArenaSource {
     /// Open and validate `path`.
+    // analyze: journal(replay)
     pub fn open(path: &Path) -> Result<Self, StoreError> {
         let mut file = File::open(path)?;
         let mut reader = io::BufReader::new(&mut file);

@@ -392,7 +392,9 @@ pub fn run_in_place<P: Probe>(
     probe: &mut P,
 ) -> GcdStatus {
     match algo {
+        // analyze: allow(za-alloc, reason = "the division-based reference algorithms quotient through the subquadratic ladder, which allocates; the scan's zero-alloc property pins the binary/approximate bulk paths")
         Algorithm::Original => original_euclid_loop(pair, term, probe),
+        // analyze: allow(za-alloc, reason = "the division-based reference algorithms quotient through the subquadratic ladder, which allocates; the scan's zero-alloc property pins the binary/approximate bulk paths")
         Algorithm::Fast => fast_euclid_loop(pair, term, probe),
         Algorithm::Binary => binary_euclid_loop(pair, term, probe),
         Algorithm::FastBinary => fast_binary_euclid_loop(pair, term, probe),

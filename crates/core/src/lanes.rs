@@ -72,7 +72,6 @@ impl LanePlan {
 
 /// Force a β = 0 quotient odd so the difference `X − α·Y` is even,
 /// branchlessly: `α − 1` when even, unchanged when odd.
-// analyze: constant-flow
 #[inline(always)]
 pub fn force_odd(alpha: u64) -> u64 {
     alpha - (1 - (alpha & 1))
@@ -83,7 +82,6 @@ pub fn force_odd(alpha: u64) -> u64 {
 /// (little-endian; the high half must be 0 when the operand has fewer than
 /// two limbs), and a single-limb `X` contributes only its limb 0 — the
 /// same `0..2.min(lx)` loop bound as the scalar code.
-// analyze: constant-flow(public = "lx")
 #[inline(always)]
 pub fn low_diff64(x_lo: u64, y_lo: u64, lx: usize, alpha: Limb) -> u64 {
     let x0 = x_lo as Limb;
@@ -109,7 +107,6 @@ pub fn low_diff64(x_lo: u64, y_lo: u64, lx: usize, alpha: Limb) -> u64 {
 /// Returns the plan plus the `(α, β, case)` the iteration would report to a
 /// probe — with α already forced odd on the β = 0 paths, matching
 /// `approximate_euclid_loop` exactly.
-// analyze: constant-flow(public = "lx, ly")
 pub fn plan_lane(
     x_top: u64,
     x_lo: u64,
@@ -187,7 +184,6 @@ pub fn plan_lane(
 /// Requirements per active lane (the planner guarantees them): `α` odd,
 /// `α·Y ≤ X`, `1 ≤ rs < 32`, and `rs` is the trailing-zero count of
 /// `X − α·Y`.
-// analyze: constant-flow(public = "w, rows")
 #[allow(clippy::too_many_arguments)]
 pub fn fused_submul_rshift_columns(
     u: &mut [Limb],
@@ -212,7 +208,6 @@ pub fn fused_submul_rshift_columns(
 /// lanes terminate without replacement), the vector pass only touches the
 /// live columns instead of dragging `w − lanes` identity lanes through
 /// every row. With `lanes == w` it is exactly the full-width pass.
-// analyze: constant-flow(public = "w, lanes, rows")
 #[allow(clippy::too_many_arguments)]
 pub fn fused_submul_rshift_columns_prefix(
     u: &mut [Limb],
@@ -256,7 +251,6 @@ pub fn fused_submul_rshift_columns_prefix(
 /// state) it relocates a surviving lane into the dense prefix. The copy is
 /// a fixed strided sweep: which lanes move is decided by the public
 /// termination structure, never by operand values.
-// analyze: constant-flow(public = "w, rows, src, dst")
 pub fn copy_lane_columns(
     u: &mut [Limb],
     v: &mut [Limb],
@@ -277,7 +271,6 @@ pub fn copy_lane_columns(
 /// Zero lane column `t` across both operand planes (`rows` limb rows, row
 /// stride `w`): clears a dead column before a fresh pair is refilled into
 /// it, restoring the high-zero padding invariant the vector pass relies on.
-// analyze: constant-flow(public = "w, rows, t")
 pub fn zero_lane_columns(u: &mut [Limb], v: &mut [Limb], w: usize, rows: usize, t: usize) {
     assert!(t < w, "lane out of range: {t} vs {w}");
     for k in 0..rows {
@@ -292,7 +285,6 @@ pub fn zero_lane_columns(u: &mut [Limb], v: &mut [Limb], w: usize, rows: usize, 
 // is as safe as `columns_kernel` — the body holds no intrinsics and no raw
 // pointers, the target-feature attribute merely licenses the compiler to
 // autovectorize the inlined kernel with AVX2 instructions.
-// analyze: constant-flow(public = "w, lanes, rows")
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx2")]
 #[allow(clippy::too_many_arguments)]
@@ -317,7 +309,6 @@ unsafe fn columns_avx2(
 ///
 /// `w` is the plane row stride; `lanes ≤ w` the dense column prefix to
 /// process (the warp's resident width after compaction).
-// analyze: constant-flow(public = "w, lanes, rows")
 #[inline(always)]
 #[allow(clippy::too_many_arguments)]
 fn columns_kernel(
@@ -382,7 +373,6 @@ fn columns_kernel(
 
 /// Emit one shifted output row into the selected `X` plane of each lane,
 /// leaving the `Y` plane untouched, with branchless blend stores.
-// analyze: constant-flow(public = "w, lanes, row")
 #[inline(always)]
 #[allow(clippy::too_many_arguments)]
 fn emit_row(

@@ -78,6 +78,7 @@ impl GcdPair {
         };
         let need = lhi.max(1);
         if self.x.len() < need {
+            // analyze: allow(za-alloc, reason = "operand buffers grow to the corpus stride once and are reused across loads; after warmup the resize is a no-op")
             self.x.resize(need, 0);
             self.y.resize(need, 0);
         }
@@ -279,6 +280,7 @@ impl GcdPair {
         // hot loop must not allocate per pair).
         let tn = self.ly + beta + 1;
         if self.scratch.len() < tn {
+            // analyze: allow(za-alloc, reason = "reusable scratch grows to the operand stride once; after warmup the resize is a no-op")
             self.scratch.resize(tn, 0);
         }
         let t = &mut self.scratch[..tn];

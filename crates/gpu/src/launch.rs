@@ -106,6 +106,7 @@ pub fn try_simulate_bulk_gcd(
 /// This is the execution-agnostic core of [`simulate_bulk_gcd_retry`]; the
 /// lockstep scan driver wraps its live engine launches in it so faulted and
 /// fault-free runs share one retry state machine.
+// analyze: zero-alloc
 pub fn retry_launch<T>(
     launch: u64,
     injector: &dyn FaultInjector,
